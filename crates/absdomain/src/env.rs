@@ -1,0 +1,115 @@
+//! The abstract store `∆ : Vars → AVals`.
+
+use crate::AValue;
+use std::collections::BTreeMap;
+
+/// An abstract environment mapping variable (or field) names to
+/// abstract values. Backed by a `BTreeMap` so iteration — and therefore
+/// the whole pipeline — is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Env {
+    vars: BTreeMap<String, AValue>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Looks up `name`.
+    pub fn get(&self, name: &str) -> Option<&AValue> {
+        self.vars.get(name)
+    }
+
+    /// Binds `name` to `value`, returning the previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: AValue) -> Option<AValue> {
+        self.vars.insert(name.into(), value)
+    }
+
+    /// Removes a binding.
+    pub fn remove(&mut self, name: &str) -> Option<AValue> {
+        self.vars.remove(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` if there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &AValue)> {
+        self.vars.iter()
+    }
+
+    /// Pointwise join with `other`: variables bound in both are joined;
+    /// variables bound in exactly one side are kept as-is (the other
+    /// branch did not touch them).
+    pub fn join_with(&mut self, other: Env) {
+        for (name, value) in other.vars {
+            match self.vars.remove(&name) {
+                Some(existing) => {
+                    self.vars.insert(name, existing.join(value));
+                }
+                None => {
+                    self.vars.insert(name, value);
+                }
+            }
+        }
+    }
+}
+
+impl FromIterator<(String, AValue)> for Env {
+    fn from_iter<T: IntoIterator<Item = (String, AValue)>>(iter: T) -> Self {
+        Env { vars: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, AValue)> for Env {
+    fn extend<T: IntoIterator<Item = (String, AValue)>>(&mut self, iter: T) {
+        self.vars.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut env = Env::new();
+        assert!(env.is_empty());
+        env.set("algo", AValue::Str("AES".into()));
+        assert_eq!(env.get("algo"), Some(&AValue::Str("AES".into())));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn join_merges_pointwise() {
+        let mut a = Env::new();
+        a.set("x", AValue::Int(1));
+        a.set("only_a", AValue::Int(9));
+        let mut b = Env::new();
+        b.set("x", AValue::Int(2));
+        b.set("only_b", AValue::Str("s".into()));
+        a.join_with(b);
+        assert_eq!(a.get("x"), Some(&AValue::TopInt));
+        assert_eq!(a.get("only_a"), Some(&AValue::Int(9)));
+        assert_eq!(a.get("only_b"), Some(&AValue::Str("s".into())));
+    }
+
+    #[test]
+    fn join_identical_keeps_constant() {
+        let mut a = Env::new();
+        a.set("x", AValue::Str("AES".into()));
+        let mut b = Env::new();
+        b.set("x", AValue::Str("AES".into()));
+        a.join_with(b);
+        assert_eq!(a.get("x"), Some(&AValue::Str("AES".into())));
+    }
+}

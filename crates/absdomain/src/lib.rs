@@ -1,0 +1,34 @@
+//! Abstract domains for DiffCode (PLDI'18, §3.2–3.3).
+//!
+//! The abstraction is deliberately tailored to crypto APIs:
+//!
+//! * **Heap**: a per-allocation-site abstraction — every constructor or
+//!   factory call site becomes one abstract object ([`AllocSite`]);
+//!   `⊤obj` stands for objects whose allocation is not in the analyzed
+//!   code (e.g. method parameters).
+//! * **Base types** (paper Figure 3): integer and string constants are
+//!   kept *exactly* (they encode configuration such as
+//!   `"AES/CBC/NoPadding"` or iteration counts), while bytes and byte
+//!   arrays are collapsed to `constbyte[]` vs `⊤byte[]` — enough to
+//!   distinguish a hard-coded key/IV from a runtime-provided one.
+//!
+//! # Example
+//!
+//! ```
+//! use absdomain::AValue;
+//!
+//! let a = AValue::Str("AES".to_owned());
+//! let b = AValue::Str("DES".to_owned());
+//! assert_eq!(a.clone().join(a.clone()), AValue::Str("AES".to_owned()));
+//! assert_eq!(a.join(b), AValue::TopStr);
+//! ```
+
+#![warn(missing_docs)]
+
+mod env;
+mod sig;
+mod value;
+
+pub use env::Env;
+pub use sig::MethodSig;
+pub use value::{AValue, AllocSite, ValueKind};

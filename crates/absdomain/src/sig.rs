@@ -1,0 +1,88 @@
+//! Method signatures as tracked by the abstraction.
+
+use std::fmt;
+
+/// A method signature `m([t0], t1, …, tk)` restricted to what the
+/// lightweight analysis can know: the (erased) declaring class, the
+/// method name, and the arity. `<init>` denotes constructors, matching
+/// JVM convention and the paper's figures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodSig {
+    /// The class the method belongs to (e.g. `Cipher`).
+    pub class: String,
+    /// The method name; `<init>` for constructors.
+    pub name: String,
+    /// Number of arguments at the call site.
+    pub arity: usize,
+}
+
+impl MethodSig {
+    /// Creates a signature.
+    pub fn new(class: impl Into<String>, name: impl Into<String>, arity: usize) -> Self {
+        MethodSig { class: class.into(), name: name.into(), arity }
+    }
+
+    /// Creates a constructor signature for `class`.
+    pub fn ctor(class: impl Into<String>, arity: usize) -> Self {
+        MethodSig::new(class, "<init>", arity)
+    }
+
+    /// `true` if this is a constructor.
+    pub fn is_ctor(&self) -> bool {
+        self.name == "<init>"
+    }
+
+    /// The label used for DAG method nodes. Methods of the object's own
+    /// class print bare (`getInstance`), foreign methods print
+    /// qualified (`Cipher.init`) — matching the paper's figures.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use absdomain::MethodSig;
+    ///
+    /// let init = MethodSig::new("Cipher", "init", 3);
+    /// assert_eq!(init.label_for("Cipher"), "init");
+    /// assert_eq!(init.label_for("IvParameterSpec"), "Cipher.init");
+    /// ```
+    pub fn label_for(&self, owner_class: &str) -> String {
+        if self.class == owner_class {
+            self.name.clone()
+        } else {
+            format!("{}.{}", self.class, self.name)
+        }
+    }
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}/{}", self.class, self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctor_detection() {
+        assert!(MethodSig::ctor("IvParameterSpec", 1).is_ctor());
+        assert!(!MethodSig::new("Cipher", "init", 2).is_ctor());
+    }
+
+    #[test]
+    fn labels_qualify_foreign_methods() {
+        let own = MethodSig::new("Cipher", "getInstance", 1);
+        assert_eq!(own.label_for("Cipher"), "getInstance");
+        let foreign = MethodSig::new("Cipher", "init", 3);
+        assert_eq!(foreign.label_for("IvParameterSpec"), "Cipher.init");
+    }
+
+    #[test]
+    fn display_includes_arity() {
+        assert_eq!(
+            MethodSig::new("Cipher", "getInstance", 1).to_string(),
+            "Cipher.getInstance/1"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Abstract-interpretation and DAG-construction throughput.
+
+use analysis::{analyze, ApiModel};
+use corpus::fixtures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usagegraph::{dags_for_class, DEFAULT_MAX_DEPTH};
+
+fn bench_analysis(c: &mut Criterion) {
+    let api = ApiModel::standard();
+    let unit = javalang::parse_compilation_unit(fixtures::FIGURE2_NEW).unwrap();
+    c.bench_function("analysis/figure2_new", |b| {
+        b.iter(|| analyze(black_box(&unit), &api).objects.len());
+    });
+
+    // A corpus-generated cipher module is larger and inter-procedural.
+    let corpus = corpus::generate(&corpus::GeneratorConfig::small(12, 0xAB));
+    let src = corpus
+        .code_changes()
+        .map(|ch| ch.new.to_owned())
+        .find(|s| s.contains("Cipher.getInstance"))
+        .expect("at least one cipher module in 12 projects");
+    let unit = javalang::parse_compilation_unit(&src).unwrap();
+    c.bench_function("analysis/generated_cipher_module", |b| {
+        b.iter(|| analyze(black_box(&unit), &api).objects.len());
+    });
+}
+
+fn bench_dag_construction(c: &mut Criterion) {
+    let api = ApiModel::standard();
+    let unit = javalang::parse_compilation_unit(fixtures::FIGURE2_NEW).unwrap();
+    let usages = analyze(&unit, &api);
+    c.bench_function("dag/build_all_cipher_dags", |b| {
+        b.iter(|| dags_for_class(black_box(&usages), "Cipher", DEFAULT_MAX_DEPTH).len());
+    });
+}
+
+fn bench_dag_distance(c: &mut Criterion) {
+    let api = ApiModel::standard();
+    let old = analyze(
+        &javalang::parse_compilation_unit(fixtures::FIGURE2_OLD).unwrap(),
+        &api,
+    );
+    let new = analyze(
+        &javalang::parse_compilation_unit(fixtures::FIGURE2_NEW).unwrap(),
+        &api,
+    );
+    let old_dags = dags_for_class(&old, "Cipher", DEFAULT_MAX_DEPTH);
+    let new_dags = dags_for_class(&new, "Cipher", DEFAULT_MAX_DEPTH);
+    c.bench_function("dag/iou_distance", |b| {
+        b.iter(|| black_box(&old_dags[0]).distance(black_box(&new_dags[0])));
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_dag_construction, bench_dag_distance);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Distance computation and agglomerative clustering scaling.
+
+use cluster::{agglomerate, usage_dist};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use usagegraph::{FeaturePath, UsageChange};
+
+fn synthetic_changes(n: usize) -> Vec<UsageChange> {
+    let modes = ["AES/ECB", "AES/CBC", "AES/GCM", "DES", "RSA", "Blowfish"];
+    (0..n)
+        .map(|i| {
+            let from = modes[i % modes.len()];
+            let to = modes[(i + 1 + i / modes.len()) % modes.len()];
+            UsageChange {
+                class: "Cipher".to_owned(),
+                removed: vec![FeaturePath(vec![
+                    "Cipher".into(),
+                    "getInstance".into(),
+                    format!("arg1:{from}"),
+                ])],
+                added: vec![FeaturePath(vec![
+                    "Cipher".into(),
+                    "getInstance".into(),
+                    format!("arg1:{to}"),
+                ])],
+            }
+        })
+        .collect()
+}
+
+fn bench_usage_dist(c: &mut Criterion) {
+    let changes = synthetic_changes(2);
+    c.bench_function("distance/usage_dist", |b| {
+        b.iter(|| usage_dist(black_box(&changes[0]), black_box(&changes[1])));
+    });
+}
+
+fn bench_agglomerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerate");
+    group.sample_size(20);
+    for n in [10usize, 40, 80] {
+        let changes = synthetic_changes(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &changes, |b, changes| {
+            b.iter(|| {
+                agglomerate(changes.len(), |i, j| {
+                    usage_dist(&changes[i], &changes[j])
+                })
+                .merges
+                .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_usage_dist, bench_agglomerate);
+criterion_main!(benches);

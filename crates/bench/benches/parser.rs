@@ -1,0 +1,64 @@
+//! Front-end throughput: lexing and parsing generated Java sources.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_sources() -> Vec<(String, String)> {
+    let corpus = corpus::generate(&corpus::GeneratorConfig::small(3, 0xBE));
+    let mut out = Vec::new();
+    for (i, change) in corpus.code_changes().take(3).enumerate() {
+        out.push((format!("file{i}"), change.new.to_owned()));
+    }
+    // A large file: concatenate many classes.
+    let big = out
+        .iter()
+        .enumerate()
+        .map(|(i, (_, src))| {
+            src.replace("public class", &format!("class Variant{i}X"))
+                .replace("package", "// package")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push(("large".to_owned(), big.repeat(8)));
+    out
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let sources = sample_sources();
+    let mut group = c.benchmark_group("lexer");
+    for (name, src) in &sources {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| javalang::lex(black_box(src)).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let sources = sample_sources();
+    let mut group = c.benchmark_group("parser");
+    for (name, src) in &sources {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), src, |b, src| {
+            b.iter(|| {
+                javalang::parse_compilation_unit(black_box(src))
+                    .unwrap()
+                    .types
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_printer(c: &mut Criterion) {
+    let (_, src) = &sample_sources()[0];
+    let unit = javalang::parse_compilation_unit(src).unwrap();
+    c.bench_function("printer/pretty_print", |b| {
+        b.iter(|| javalang::pretty_print(black_box(&unit)).len());
+    });
+}
+
+criterion_group!(benches, bench_lexer, bench_parser, bench_printer);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Generalization beyond the paper's six classes (its concluding
+//! claim: "while we focus on crypto APIs, the approach is general").
+//!
+//! This binary points the unchanged pipeline at a **seventh** target
+//! class — `java.security.Signature` — and shows the same machinery
+//! working end to end: mining, the filtering funnel, clustering, an
+//! auto-suggested rule, and a DSL-defined checker rule, all without a
+//! single line of new analysis code.
+//!
+//! Usage: `cargo run --release -p diffcode-bench --bin extension [n_projects] [seed]`
+
+use diffcode::{apply_filters, elicit_auto, DiffCode, Table};
+use diffcode_bench::{config_from_args, header};
+use rules::{dsl, CheckedProject, ProjectContext};
+
+fn main() {
+    let config = config_from_args(200);
+    println!(
+        "corpus: {} projects, seed {:#x}",
+        config.n_projects, config.seed
+    );
+    let corpus = corpus::generate(&config);
+
+    // 1. Mine the new class with the existing pipeline.
+    let mut dc = DiffCode::new();
+    let mined = dc.mine(&corpus, &["Signature"]);
+    header("Filtering funnel for the 7th class: Signature");
+    let total = mined.changes.len();
+    let (filtered, stats) = apply_filters(mined.changes);
+    let mut table = Table::new(["Target API Class", "Usage Changes", "fsame", "fadd", "frem", "fdup"]);
+    table.row([
+        "Signature".to_owned(),
+        total.to_string(),
+        stats.after_fsame.to_string(),
+        stats.after_fadd.to_string(),
+        stats.after_frem.to_string(),
+        stats.after_fdup.to_string(),
+    ]);
+    print!("{}", table.render());
+
+    // 2. Cluster and auto-suggest rules (silhouette-chosen cut).
+    header("Clusters and auto-suggested rules");
+    let elicitation = elicit_auto(&filtered);
+    for (i, cluster) in elicitation.clusters.iter().enumerate() {
+        println!("cluster {} ({} members):", i + 1, cluster.members.len());
+        print!("{}", cluster.representative);
+        println!("suggested rule:\n{}\n", cluster.suggested);
+    }
+
+    // 3. A checker rule for the new class, written in the Figure 9 DSL.
+    header("DSL-defined rule checked across the corpus");
+    let rule = dsl::parse_rule(
+        "S1",
+        "Do not sign with SHA-1 or MD5 based algorithms",
+        "Signature : getInstance(X) \u{2227} (X=SHA1withRSA \u{2228} X=MD5withRSA)",
+    )
+    .expect("rule parses");
+    println!("{} : {}", rule.id, rule.description);
+
+    let mut applicable = 0usize;
+    let mut matching = 0usize;
+    for project in &corpus.projects {
+        let usages: Vec<analysis::Usages> = project
+            .head_files()
+            .values()
+            .filter_map(|src| dc.analyze_source(src).ok())
+            .map(|rc| (*rc).clone())
+            .collect();
+        let checked = CheckedProject {
+            name: project.full_name(),
+            usages,
+            context: ProjectContext::plain(),
+        };
+        let is_applicable = checked
+            .usages
+            .iter()
+            .any(|u| rule.applicable(u, &checked.context));
+        if is_applicable {
+            applicable += 1;
+            if checked.usages.iter().any(|u| rule.matches(u, &checked.context)) {
+                matching += 1;
+            }
+        }
+    }
+    println!(
+        "\napplicable: {applicable} projects ({:.1}%), matching: {matching} ({:.1}% of applicable)",
+        100.0 * applicable as f64 / corpus.projects.len() as f64,
+        if applicable == 0 { 0.0 } else { 100.0 * matching as f64 / applicable as f64 },
+    );
+    println!(
+        "\nNo pipeline code changed for this experiment: the class name and one\n\
+         DSL rule are the only inputs — the paper's generality claim, executed."
+    );
+}

@@ -1,0 +1,24 @@
+//! Figure 10: CryptoChecker rule violations over the checking corpus
+//! (the paper checks 519 projects: 461 training + 58 newer).
+//!
+//! Usage: `cargo run --release -p diffcode-bench --bin fig10 [n_projects] [seed]`
+
+use diffcode::Experiments;
+use diffcode_bench::{config_from_args, header};
+
+fn main() {
+    let config = config_from_args(519);
+    header(&format!(
+        "Figure 10 — CryptoChecker over {} projects (seed {:#x})",
+        config.n_projects, config.seed
+    ));
+    let mut exp = Experiments::new(corpus::generate(&config));
+    let out = exp.figure10();
+    print!("{}", out.table());
+    println!(
+        "\n{} of {} projects ({:.1}%) violate at least one rule (paper: >57%)",
+        out.any_violation,
+        out.total_projects,
+        100.0 * out.any_violation as f64 / out.total_projects as f64
+    );
+}

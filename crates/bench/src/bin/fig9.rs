@@ -1,0 +1,14 @@
+//! Figure 9: the 13 security rules elicited from the security fixes.
+//!
+//! Usage: `cargo run -p diffcode-bench --bin fig9`
+
+use diffcode_bench::header;
+
+fn main() {
+    header("Figure 9 — security rules derived from Java Crypto API fixes");
+    print!("{}", diffcode::figure9_table());
+    println!(
+        "\n{} rules; R2, R7, R9, R10, R11, R12 were previously documented, the rest are new.",
+        rules::all_rules().len()
+    );
+}

@@ -1,0 +1,37 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each binary regenerates one table/figure of the paper's evaluation
+//! section; see DESIGN.md for the experiment index and EXPERIMENTS.md
+//! for paper-vs-measured numbers.
+
+use corpus::GeneratorConfig;
+
+/// Parses `[n_projects] [seed]` from the command line, with
+/// paper-scale defaults.
+pub fn config_from_args(default_projects: usize) -> GeneratorConfig {
+    let mut args = std::env::args().skip(1);
+    let n_projects = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_projects);
+    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xD1FF_C0DE);
+    GeneratorConfig { n_projects, seed, ..GeneratorConfig::default() }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}\n", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_uses_paper_scale() {
+        let cfg = config_from_args(461);
+        assert_eq!(cfg.n_projects, 461);
+    }
+}

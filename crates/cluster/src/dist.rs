@@ -1,0 +1,194 @@
+//! Distances between paths, path sets, and usage changes (paper §4.3).
+
+use crate::lev::label_similarity;
+use usagegraph::matching::min_cost_assignment;
+use usagegraph::{FeaturePath, UsageChange};
+
+/// The distance between two feature paths:
+///
+/// `pathDist(p₁,p₂) = 1 − (j + LSR(p₁[j], p₂[j])) / max(|p₁|, |p₂|)`
+///
+/// where `j` is the length (in labels) of the longest common prefix and
+/// the LSR term compares the first differing labels (0 when one path is
+/// a prefix of the other).
+///
+/// # Example
+///
+/// ```
+/// use usagegraph::FeaturePath;
+///
+/// let ecb = FeaturePath(vec!["Cipher".into(), "getInstance".into(), "arg1:AES/ECB".into()]);
+/// let cbc = FeaturePath(vec!["Cipher".into(), "getInstance".into(), "arg1:AES/CBC".into()]);
+/// let init = FeaturePath(vec!["Cipher".into(), "init".into()]);
+/// // A mode switch is much closer than a different method entirely:
+/// assert!(cluster::path_dist(&ecb, &cbc) < cluster::path_dist(&ecb, &init));
+/// ```
+pub fn path_dist(p1: &FeaturePath, p2: &FeaturePath) -> f64 {
+    if p1 == p2 {
+        return 0.0;
+    }
+    let a = p1.labels();
+    let b = p2.labels();
+    let common = a
+        .iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let lsr = if common < a.len() && common < b.len() {
+        label_similarity(&a[common], &b[common])
+    } else {
+        0.0
+    };
+    let max_len = a.len().max(b.len()) as f64;
+    (1.0 - (common as f64 + lsr) / max_len).clamp(0.0, 1.0)
+}
+
+/// The distance between two path sets: the minimum over all matchings
+/// of the summed pairwise path distance. Unmatched paths (when the sets
+/// have different sizes) cost 1 each.
+pub fn paths_dist(f1: &[FeaturePath], f2: &[FeaturePath]) -> f64 {
+    if f1.is_empty() && f2.is_empty() {
+        return 0.0;
+    }
+    let n = f1.len().max(f2.len());
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| match (f1.get(i), f2.get(j)) {
+                    (Some(a), Some(b)) => path_dist(a, b),
+                    // A path with no counterpart is maximally distant.
+                    _ => 1.0,
+                })
+                .collect()
+        })
+        .collect();
+    let (_, total) = min_cost_assignment(&cost);
+    total
+}
+
+/// The distance between two usage changes: the average of the removed-
+/// feature distance and the added-feature distance.
+pub fn usage_dist(c1: &UsageChange, c2: &UsageChange) -> f64 {
+    (paths_dist(&c1.removed, &c2.removed) + paths_dist(&c1.added, &c2.added)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(labels: &[&str]) -> FeaturePath {
+        FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn identical_paths_distance_zero() {
+        let p = path(&["Cipher", "getInstance", "arg1:AES"]);
+        assert_eq!(path_dist(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_reduces_distance() {
+        let a = path(&["Cipher", "getInstance", "arg1:AES/ECB"]);
+        let b = path(&["Cipher", "getInstance", "arg1:AES/CBC"]);
+        let c = path(&["Cipher", "init", "arg1:ENCRYPT_MODE"]);
+        let d_ab = path_dist(&a, &b);
+        let d_ac = path_dist(&a, &c);
+        assert!(d_ab < d_ac, "mode change ({d_ab}) closer than different method ({d_ac})");
+        assert!(d_ab < 0.25, "{d_ab}");
+    }
+
+    #[test]
+    fn prefix_path_distance() {
+        let short = path(&["Cipher", "init"]);
+        let long = path(&["Cipher", "init", "arg3:IvParameterSpec"]);
+        // common = 2, no differing label on the short side.
+        let d = path_dist(&short, &long);
+        assert!((d - (1.0 - 2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_dist_bounds_and_symmetry() {
+        let ps = [
+            path(&["Cipher"]),
+            path(&["Cipher", "getInstance", "arg1:AES"]),
+            path(&["MessageDigest", "getInstance", "arg1:SHA-1"]),
+            path(&["Cipher", "init", "arg1:ENCRYPT_MODE"]),
+        ];
+        for a in &ps {
+            assert_eq!(path_dist(a, a), 0.0);
+            for b in &ps {
+                let ab = path_dist(a, b);
+                assert!((ab - path_dist(b, a)).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_dist_matches_best_pairing() {
+        let f1 = vec![
+            path(&["Cipher", "getInstance", "arg1:AES"]),
+            path(&["Cipher", "init", "arg1:ENCRYPT_MODE"]),
+        ];
+        // Same paths in reverse order: a matching exists with cost 0.
+        let f2 = vec![f1[1].clone(), f1[0].clone()];
+        assert_eq!(paths_dist(&f1, &f2), 0.0);
+    }
+
+    #[test]
+    fn paths_dist_counts_unmatched() {
+        let f1 = vec![path(&["Cipher", "getInstance", "arg1:AES"])];
+        let f2: Vec<FeaturePath> = vec![];
+        assert_eq!(paths_dist(&f1, &f2), 1.0);
+        assert_eq!(paths_dist(&f2, &f1), 1.0);
+        assert_eq!(paths_dist(&f2, &f2), 0.0);
+    }
+
+    #[test]
+    fn usage_dist_averages_sides() {
+        let c1 = UsageChange {
+            class: "Cipher".into(),
+            removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+            added: vec![path(&["Cipher", "getInstance", "arg1:AES/CBC"])],
+        };
+        let c2 = c1.clone();
+        assert_eq!(usage_dist(&c1, &c2), 0.0);
+
+        let c3 = UsageChange {
+            class: "Cipher".into(),
+            removed: vec![],
+            added: vec![],
+        };
+        assert_eq!(usage_dist(&c1, &c3), 1.0);
+    }
+
+    #[test]
+    fn similar_fixes_cluster_close() {
+        // ECB→CBC and ECB→GCM (paper Figure 8: these merge early).
+        let ecb_cbc = UsageChange {
+            class: "Cipher".into(),
+            removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+            added: vec![
+                path(&["Cipher", "getInstance", "arg1:AES/CBC"]),
+                path(&["Cipher", "init", "arg3:IvParameterSpec"]),
+            ],
+        };
+        let ecb_gcm = UsageChange {
+            class: "Cipher".into(),
+            removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+            added: vec![
+                path(&["Cipher", "getInstance", "arg1:AES/GCM"]),
+                path(&["Cipher", "init", "arg3:IvParameterSpec"]),
+            ],
+        };
+        let sha_fix = UsageChange {
+            class: "MessageDigest".into(),
+            removed: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-1"])],
+            added: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-256"])],
+        };
+        let d_modes = usage_dist(&ecb_cbc, &ecb_gcm);
+        let d_cross = usage_dist(&ecb_cbc, &sha_fix);
+        assert!(d_modes < d_cross, "{d_modes} vs {d_cross}");
+        assert!(d_modes < 0.2, "{d_modes}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Levenshtein distance and the label similarity ratio (paper §4.3).
+//!
+//! Modification units follow the paper: *characters* for string-valued
+//! labels (configuration strings such as `AES/CBC/PKCS5Padding`),
+//! *single units* for integers, byte abstractions, API constants, and
+//! method names — so any two distinct method signatures are exactly one
+//! substitution apart.
+
+/// Classic Levenshtein distance over arbitrary comparable units.
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// How a DAG label is measured for edit distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LabelUnits {
+    /// The label counts as a single unit (method names, integers, byte
+    /// abstractions, API constants).
+    Atomic,
+    /// The label is a string measured character by character.
+    Chars(Vec<char>),
+}
+
+fn classify(label: &str) -> LabelUnits {
+    // Argument labels carry their value after `argN:`.
+    let value = match label.split_once(':') {
+        Some((prefix, value)) if prefix.starts_with("arg") => value,
+        _ => return LabelUnits::Atomic, // method name / root type label
+    };
+    if value.parse::<i64>().is_ok() {
+        return LabelUnits::Atomic;
+    }
+    // Abstraction tokens and API constants are atomic units.
+    let atomic_tokens = [
+        "constbyte",
+        "constbyte[]",
+        "\u{22a4}byte",
+        "\u{22a4}byte[]",
+        "\u{22a4}int",
+        "\u{22a4}int[]",
+        "\u{22a4}str",
+        "\u{22a4}str[]",
+        "\u{22a4}bool",
+        "\u{22a4}obj",
+        "\u{22a4}",
+        "null",
+        "true",
+        "false",
+    ];
+    if atomic_tokens.contains(&value) {
+        return LabelUnits::Atomic;
+    }
+    if value
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+    {
+        // API constants such as ENCRYPT_MODE.
+        return LabelUnits::Atomic;
+    }
+    LabelUnits::Chars(label.chars().collect())
+}
+
+/// The Levenshtein similarity ratio between two node labels:
+/// `LSR(l, l') = 1 − lev(l, l') / max(|l|, |l'|)`.
+pub fn label_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    match (classify(a), classify(b)) {
+        (LabelUnits::Chars(ca), LabelUnits::Chars(cb)) => {
+            let lev = levenshtein(&ca, &cb);
+            let max = ca.len().max(cb.len());
+            if max == 0 {
+                1.0
+            } else {
+                1.0 - lev as f64 / max as f64
+            }
+        }
+        // Atomic labels: one substitution turns one into the other.
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(&chars("kitten"), &chars("sitting")), 3);
+        assert_eq!(levenshtein(&chars(""), &chars("abc")), 3);
+        assert_eq!(levenshtein(&chars("abc"), &chars("")), 3);
+        assert_eq!(levenshtein(&chars("abc"), &chars("abc")), 0);
+        assert_eq!(levenshtein::<char>(&[], &[]), 0);
+    }
+
+    #[test]
+    fn levenshtein_over_non_char_units() {
+        let a = [1, 2, 3];
+        let b = [1, 9, 3, 4];
+        assert_eq!(levenshtein(&a, &b), 2);
+    }
+
+    #[test]
+    fn method_labels_are_atomic() {
+        assert_eq!(label_similarity("getInstance", "init"), 0.0);
+        assert_eq!(label_similarity("getInstance", "getInstance"), 1.0);
+        // Even near-identical method names are one substitution apart.
+        assert_eq!(label_similarity("setSeed", "setSeeds"), 0.0);
+    }
+
+    #[test]
+    fn int_labels_are_atomic() {
+        assert_eq!(label_similarity("arg3:100", "arg3:1000"), 0.0);
+        assert_eq!(label_similarity("arg3:100", "arg3:100"), 1.0);
+    }
+
+    #[test]
+    fn byte_abstractions_are_atomic() {
+        assert_eq!(
+            label_similarity("arg1:constbyte[]", "arg1:\u{22a4}byte[]"),
+            0.0
+        );
+    }
+
+    #[test]
+    fn api_constants_are_atomic() {
+        assert_eq!(
+            label_similarity("arg1:ENCRYPT_MODE", "arg1:DECRYPT_MODE"),
+            0.0
+        );
+    }
+
+    #[test]
+    fn string_labels_use_characters() {
+        let s = label_similarity("arg1:AES/ECB/PKCS5Padding", "arg1:AES/CBC/PKCS5Padding");
+        assert!(s > 0.85, "mode switch keeps most characters: {s}");
+        let far = label_similarity("arg1:AES/CBC/PKCS5Padding", "arg1:RSA");
+        assert!(far < 0.3, "{far}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let pairs = [
+            ("arg1:AES", "arg1:AES/CBC"),
+            ("getInstance", "arg1:AES"),
+            ("arg2:Secret", "arg2:SecretKeySpec"),
+        ];
+        for (a, b) in pairs {
+            let ab = label_similarity(a, b);
+            let ba = label_similarity(b, a);
+            assert!((ab - ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Filtering-stage distances and hierarchical clustering of semantic
+//! usage changes (paper §4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{cluster_usage_changes, usage_dist};
+//! use usagegraph::{FeaturePath, UsageChange};
+//!
+//! fn path(labels: &[&str]) -> FeaturePath {
+//!     FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+//! }
+//!
+//! let ecb_to_cbc = UsageChange {
+//!     class: "Cipher".into(),
+//!     removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+//!     added: vec![path(&["Cipher", "getInstance", "arg1:AES/CBC"])],
+//! };
+//! let ecb_to_gcm = UsageChange {
+//!     class: "Cipher".into(),
+//!     removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+//!     added: vec![path(&["Cipher", "getInstance", "arg1:AES/GCM"])],
+//! };
+//! assert!(usage_dist(&ecb_to_cbc, &ecb_to_gcm) < 0.2);
+//!
+//! let dendrogram = cluster_usage_changes(&[ecb_to_cbc, ecb_to_gcm]);
+//! assert_eq!(dendrogram.merges.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dist;
+mod hierarchy;
+mod lev;
+
+pub use dist::{path_dist, paths_dist, usage_dist};
+pub use hierarchy::{agglomerate, agglomerate_with, Dendrogram, Linkage, Merge};
+pub use lev::{label_similarity, levenshtein};
+
+use usagegraph::UsageChange;
+
+/// Clusters usage changes hierarchically under [`usage_dist`] with
+/// complete linkage.
+pub fn cluster_usage_changes(changes: &[UsageChange]) -> Dendrogram {
+    agglomerate(changes.len(), |i, j| usage_dist(&changes[i], &changes[j]))
+}

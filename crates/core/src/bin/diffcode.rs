@@ -1,0 +1,145 @@
+//! The `diffcode` command-line tool. See [`diffcode::cli::USAGE`].
+
+use diffcode::cli;
+use rules::ProjectContext;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        print!("{}", cli::USAGE);
+        return Ok(ExitCode::from(2));
+    };
+    match command.as_str() {
+        "analyze" => {
+            let (paths, classes, _) = parse_flags(&args[1..])?;
+            let [path] = paths.as_slice() else {
+                return Err("analyze takes exactly one file".to_owned());
+            };
+            let source = read(path)?;
+            let classes: Vec<&str> = classes.iter().map(String::as_str).collect();
+            print!(
+                "{}",
+                cli::render_analysis(&source, &classes).map_err(|e| e.to_string())?
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let (paths, classes, _) = parse_flags(&args[1..])?;
+            let [old, new] = paths.as_slice() else {
+                return Err("diff takes exactly two files".to_owned());
+            };
+            let old_source = read(old)?;
+            let new_source = read(new)?;
+            let classes: Vec<&str> = classes.iter().map(String::as_str).collect();
+            print!(
+                "{}",
+                cli::render_diff(&old_source, &new_source, &classes)
+                    .map_err(|e| e.to_string())?
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let (paths, _, android) = parse_flags(&args[1..])?;
+            if paths.is_empty() {
+                return Err("check needs at least one file or directory".to_owned());
+            }
+            let mut files = Vec::new();
+            for path in &paths {
+                collect_java_files(path, &mut files)?;
+            }
+            if files.is_empty() {
+                return Err("no .java files found".to_owned());
+            }
+            let context = match android {
+                Some(min_sdk) => ProjectContext::android(min_sdk),
+                None => ProjectContext::plain(),
+            };
+            let (report, violations) = cli::render_check(&files, context);
+            print!("{report}");
+            Ok(if violations == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "rules" => {
+            print!("{}", cli::render_rules());
+            Ok(ExitCode::SUCCESS)
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", cli::USAGE);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", cli::USAGE)),
+    }
+}
+
+/// Parsed positional paths, `--class` values, and `--android` minSdk.
+type ParsedFlags = (Vec<PathBuf>, Vec<String>, Option<i64>);
+
+/// Splits positional arguments from `--class <Name>` (repeatable) and
+/// `--android <minSdk>` flags.
+fn parse_flags(args: &[String]) -> Result<ParsedFlags, String> {
+    let mut paths = Vec::new();
+    let mut classes = Vec::new();
+    let mut android = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--class" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--class needs a value".to_owned())?;
+                classes.push(value.clone());
+            }
+            "--android" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--android needs a minSdkVersion".to_owned())?;
+                android = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad minSdkVersion `{value}`"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok((paths, classes, android))
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn collect_java_files(
+    path: &Path,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect_java_files(&entry, out)?;
+        }
+        return Ok(());
+    }
+    if path.extension().is_some_and(|ext| ext == "java") {
+        out.push((path.display().to_string(), read(path)?));
+    }
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! The `diffcode` command-line tool: analyze, diff, and check real
+//! `.java` files.
+//!
+//! All rendering lives here (unit-testable, no I/O); the binary in
+//! `src/bin/diffcode.rs` only reads files and forwards sources.
+
+use crate::pipeline::DiffCode;
+use analysis::TARGET_CLASSES;
+use javalang::ParseError;
+use rules::{CheckedProject, CryptoChecker, ProjectContext};
+use std::fmt::Write as _;
+
+/// Renders the abstract usages of one source file: every abstract
+/// object of a target class with its usage DAG.
+///
+/// # Errors
+///
+/// Fails if the source cannot be lexed.
+pub fn render_analysis(source: &str, classes: &[&str]) -> Result<String, ParseError> {
+    let mut dc = DiffCode::new();
+    let usages = dc.analyze_source(source)?;
+    let classes = effective_classes(classes);
+    let mut out = String::new();
+    let mut found = 0usize;
+    for class in &classes {
+        for site in usages.objects_of_type(class) {
+            found += 1;
+            let dag = usagegraph::build_dag(&usages, site, usagegraph::DEFAULT_MAX_DEPTH);
+            let _ = writeln!(out, "abstract object {site} : {class}");
+            for event in usages.events_of(site) {
+                let args: Vec<String> =
+                    event.args.iter().map(|a| a.label()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {}({})",
+                    event.method.label_for(class),
+                    args.join(", ")
+                );
+            }
+            let _ = writeln!(out, "  usage DAG:");
+            for path in &dag.paths {
+                let _ = writeln!(out, "    {path}");
+            }
+        }
+    }
+    if found == 0 {
+        let _ = writeln!(out, "no usages of {} found", classes.join(", "));
+    }
+    Ok(out)
+}
+
+/// Renders the usage changes between two source versions.
+///
+/// # Errors
+///
+/// Fails if either source cannot be lexed.
+pub fn render_diff(
+    old_source: &str,
+    new_source: &str,
+    classes: &[&str],
+) -> Result<String, ParseError> {
+    let mut dc = DiffCode::new();
+    let classes = effective_classes(classes);
+    let mut out = String::new();
+    let mut any = false;
+    for class in &classes {
+        for (_, _, change) in dc.usage_changes_from_pair(old_source, new_source, class)? {
+            if change.is_same() {
+                continue;
+            }
+            any = true;
+            let kind = if change.is_pure_addition() {
+                " (new usage)"
+            } else if change.is_pure_removal() {
+                " (usage removed)"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "usage change for {class}{kind}:");
+            for line in change.to_string().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+            if !change.is_pure_addition() && !change.is_pure_removal() {
+                let suggested = rules::SuggestedRule::from_change(&change);
+                let _ = writeln!(out, "  suggested rule:");
+                for line in suggested.to_string().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
+        }
+    }
+    if !any {
+        let _ = writeln!(
+            out,
+            "no semantic usage changes (the change is a refactoring under the abstraction)"
+        );
+    }
+    Ok(out)
+}
+
+/// Checks a set of named sources as one project against the 13 rules.
+/// Returns the report and the number of violated rules.
+pub fn render_check(
+    files: &[(String, String)],
+    context: ProjectContext,
+) -> (String, usize) {
+    let mut dc = DiffCode::new();
+    let mut usages = Vec::new();
+    let mut out = String::new();
+    for (name, source) in files {
+        match dc.analyze_source(source) {
+            Ok(u) => usages.push((*u).clone()),
+            Err(err) => {
+                let _ = writeln!(out, "warning: {name}: {err}");
+            }
+        }
+    }
+    let project = CheckedProject {
+        name: "cli".to_owned(),
+        usages,
+        context,
+    };
+    let checker = CryptoChecker::standard();
+    let violations = checker.violations(&project);
+    if violations.is_empty() {
+        let _ = writeln!(out, "no rule violations in {} file(s)", files.len());
+        return (out, 0);
+    }
+    let _ = writeln!(
+        out,
+        "{} rule violation(s) in {} file(s):",
+        violations.len(),
+        files.len()
+    );
+    for id in &violations {
+        let rule = checker
+            .rules()
+            .iter()
+            .find(|r| r.id == *id)
+            .expect("violations come from the checker's rules");
+        let _ = writeln!(out, "  {:4} {}", rule.id, rule.description);
+        // Evidence: the first file whose usages violate the rule.
+        for usage in &project.usages {
+            let evidence = rule.evidence(usage, &project.context);
+            if evidence.is_empty() {
+                continue;
+            }
+            for e in evidence {
+                let _ = writeln!(
+                    out,
+                    "       evidence: {} object {} — {}",
+                    e.class,
+                    e.site,
+                    e.witnesses.join("; ")
+                );
+            }
+            break;
+        }
+    }
+    let count = violations.len();
+    (out, count)
+}
+
+/// The Figure 9 rule table.
+pub fn render_rules() -> String {
+    crate::experiments::figure9_table()
+}
+
+/// Usage string for the binary.
+pub const USAGE: &str = "\
+diffcode — infer and check crypto API rules from Java code changes
+
+USAGE:
+    diffcode analyze <file.java> [--class <Name>]
+    diffcode diff <old.java> <new.java> [--class <Name>]
+    diffcode check <file-or-dir>... [--android <minSdk>]
+    diffcode rules
+
+COMMANDS:
+    analyze   print the abstract crypto-API usages (objects, events, DAGs)
+    diff      print the semantic usage changes between two versions
+    check     run CryptoChecker (the 13 elicited rules) on files/directories
+    rules     print the rule table (paper Figure 9)
+";
+
+fn effective_classes<'a>(classes: &[&'a str]) -> Vec<&'a str> {
+    if classes.is_empty() {
+        TARGET_CLASSES.to_vec()
+    } else {
+        classes.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::fixtures::{FIGURE2_NEW, FIGURE2_OLD};
+
+    #[test]
+    fn analyze_renders_dags() {
+        let out = render_analysis(FIGURE2_NEW, &[]).unwrap();
+        assert!(out.contains("abstract object"), "{out}");
+        assert!(out.contains("Cipher getInstance arg1:AES/CBC/PKCS5Padding"), "{out}");
+        assert!(out.contains("IvParameterSpec"), "{out}");
+    }
+
+    #[test]
+    fn analyze_restricts_to_class() {
+        let out = render_analysis(FIGURE2_NEW, &["MessageDigest"]).unwrap();
+        assert!(out.contains("no usages of MessageDigest"), "{out}");
+    }
+
+    #[test]
+    fn diff_renders_changes_and_suggestion() {
+        let out = render_diff(FIGURE2_OLD, FIGURE2_NEW, &["Cipher"]).unwrap();
+        assert!(out.contains("- Cipher getInstance arg1:AES"), "{out}");
+        assert!(out.contains("suggested rule:"), "{out}");
+    }
+
+    #[test]
+    fn diff_of_refactoring_reports_none() {
+        let out = render_diff(FIGURE2_NEW, FIGURE2_NEW, &[]).unwrap();
+        assert!(out.contains("no semantic usage changes"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_violations() {
+        let files = vec![(
+            "AESCipher.java".to_owned(),
+            FIGURE2_OLD.to_owned(),
+        )];
+        let (out, count) = render_check(&files, ProjectContext::plain());
+        assert!(count >= 1, "{out}");
+        assert!(out.contains("R7"), "default AES is ECB: {out}");
+    }
+
+    #[test]
+    fn check_clean_file() {
+        let files = vec![(
+            "Safe.java".to_owned(),
+            r#"class Safe { void m(byte[] iv, javax.crypto.SecretKey k) throws Exception {
+                Cipher c = Cipher.getInstance("AES/GCM/NoPadding", "BC");
+                c.init(Cipher.ENCRYPT_MODE, k, new IvParameterSpec(iv));
+            } }"#
+                .to_owned(),
+        )];
+        let (out, count) = render_check(&files, ProjectContext::plain());
+        assert_eq!(count, 0, "{out}");
+    }
+
+    #[test]
+    fn rules_table_renders() {
+        let out = render_rules();
+        assert!(out.contains("R13"));
+    }
+}

@@ -1,0 +1,177 @@
+//! The four filters of §4.2: `fsame`, `fadd`, `frem`, `fdup`, applied
+//! in that order, with per-stage survivor counts (Figure 6).
+
+use crate::pipeline::MinedUsageChange;
+use std::collections::BTreeSet;
+use usagegraph::FeaturePath;
+
+/// Which filter stage removed a usage change (or none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterStage {
+    /// Removed by `fsame` (no features added or removed).
+    FSame,
+    /// Removed by `fadd` (pure addition).
+    FAdd,
+    /// Removed by `frem` (pure removal).
+    FRem,
+    /// Removed by `fdup` (duplicate of an earlier change).
+    FDup,
+    /// Survived all filters.
+    Remaining,
+}
+
+/// Survivor counts after each stage (one Figure 6 row, minus the class
+/// name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Usage changes before filtering.
+    pub total: usize,
+    /// Remaining after `fsame`.
+    pub after_fsame: usize,
+    /// Remaining after `fadd`.
+    pub after_fadd: usize,
+    /// Remaining after `frem`.
+    pub after_frem: usize,
+    /// Remaining after `fdup`.
+    pub after_fdup: usize,
+}
+
+/// A dedup key: the usage change's feature sets.
+fn dup_key(change: &MinedUsageChange) -> (String, Vec<FeaturePath>, Vec<FeaturePath>) {
+    (
+        change.class.clone(),
+        change.change.removed.clone(),
+        change.change.added.clone(),
+    )
+}
+
+/// Tags every change with the stage that removes it. `seen` carries
+/// dedup state so callers can run several batches consistently.
+pub fn stage_changes(
+    changes: &[MinedUsageChange],
+) -> Vec<(FilterStage, &MinedUsageChange)> {
+    let mut seen: BTreeSet<(String, Vec<FeaturePath>, Vec<FeaturePath>)> =
+        BTreeSet::new();
+    changes
+        .iter()
+        .map(|c| {
+            let stage = if c.change.is_same() {
+                FilterStage::FSame
+            } else if c.change.is_pure_addition() {
+                FilterStage::FAdd
+            } else if c.change.is_pure_removal() {
+                FilterStage::FRem
+            } else if !seen.insert(dup_key(c)) {
+                FilterStage::FDup
+            } else {
+                FilterStage::Remaining
+            };
+            (stage, c)
+        })
+        .collect()
+}
+
+/// Applies the filters, returning the surviving changes and the
+/// per-stage statistics.
+pub fn apply_filters(
+    changes: Vec<MinedUsageChange>,
+) -> (Vec<MinedUsageChange>, FilterStats) {
+    let staged = stage_changes(&changes);
+    let mut stats = FilterStats { total: changes.len(), ..FilterStats::default() };
+    let mut keep_indices = Vec::new();
+    for (idx, (stage, _)) in staged.iter().enumerate() {
+        match stage {
+            FilterStage::FSame => {}
+            FilterStage::FAdd => stats.after_fsame += 1,
+            FilterStage::FRem => {
+                stats.after_fsame += 1;
+                stats.after_fadd += 1;
+            }
+            FilterStage::FDup => {
+                stats.after_fsame += 1;
+                stats.after_fadd += 1;
+                stats.after_frem += 1;
+            }
+            FilterStage::Remaining => {
+                stats.after_fsame += 1;
+                stats.after_fadd += 1;
+                stats.after_frem += 1;
+                stats.after_fdup += 1;
+                keep_indices.push(idx);
+            }
+        }
+    }
+    let mut keep_set: Vec<bool> = vec![false; changes.len()];
+    for idx in keep_indices {
+        keep_set[idx] = true;
+    }
+    let kept = changes
+        .into_iter()
+        .zip(keep_set)
+        .filter_map(|(c, keep)| keep.then_some(c))
+        .collect();
+    (kept, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ChangeMeta;
+    use usagegraph::{UsageChange, UsageDag};
+
+    fn mk(class: &str, removed: &[&str], added: &[&str]) -> MinedUsageChange {
+        let path = |s: &&str| FeaturePath(vec![class.to_owned(), (*s).to_owned()]);
+        MinedUsageChange {
+            meta: ChangeMeta {
+                project: "u/p".into(),
+                commit: "c".into(),
+                message: String::new(),
+                path: "A.java".into(),
+            },
+            class: class.to_owned(),
+            old_dag: UsageDag::empty(class),
+            new_dag: UsageDag::empty(class),
+            change: UsageChange {
+                class: class.to_owned(),
+                removed: removed.iter().map(path).collect(),
+                added: added.iter().map(path).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn filters_apply_in_order() {
+        let changes = vec![
+            mk("Cipher", &[], &[]),               // fsame
+            mk("Cipher", &[], &["x"]),            // fadd
+            mk("Cipher", &["y"], &[]),            // frem
+            mk("Cipher", &["a"], &["b"]),         // remaining
+            mk("Cipher", &["a"], &["b"]),         // fdup
+            mk("Cipher", &["a"], &["c"]),         // remaining
+        ];
+        let (kept, stats) = apply_filters(changes);
+        assert_eq!(stats.total, 6);
+        assert_eq!(stats.after_fsame, 5);
+        assert_eq!(stats.after_fadd, 4);
+        assert_eq!(stats.after_frem, 3);
+        assert_eq!(stats.after_fdup, 2);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_detection_is_class_scoped() {
+        let changes = vec![
+            mk("Cipher", &["a"], &["b"]),
+            mk("MessageDigest", &["a"], &["b"]),
+        ];
+        let (kept, _) = apply_filters(changes);
+        assert_eq!(kept.len(), 2, "same features on different classes are distinct");
+    }
+
+    #[test]
+    fn empty_input() {
+        let (kept, stats) = apply_filters(Vec::new());
+        assert!(kept.is_empty());
+        assert_eq!(stats, FilterStats::default());
+    }
+}

@@ -1,0 +1,276 @@
+//! The end-to-end DiffCode pipeline (paper Figure 1): mine code
+//! changes, analyze both versions, derive usage changes per target API
+//! class.
+
+use analysis::{analyze, ApiModel, Usages, TARGET_CLASSES};
+use corpus::Corpus;
+use javalang::ParseError;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use usagegraph::{dags_for_class, diff_dags, pair_dags, UsageChange, UsageDag, DEFAULT_MAX_DEPTH};
+
+/// Provenance of a mined usage change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeMeta {
+    /// `user/project`.
+    pub project: String,
+    /// Commit id.
+    pub commit: String,
+    /// Commit message.
+    pub message: String,
+    /// Changed file.
+    pub path: String,
+}
+
+/// One usage change with provenance and the DAG pair it came from.
+#[derive(Debug, Clone)]
+pub struct MinedUsageChange {
+    /// Where the change was mined.
+    pub meta: ChangeMeta,
+    /// The target API class.
+    pub class: String,
+    /// The paired old-version DAG.
+    pub old_dag: UsageDag,
+    /// The paired new-version DAG.
+    pub new_dag: UsageDag,
+    /// The `(F⁻, F⁺)` feature diff.
+    pub change: UsageChange,
+}
+
+/// Aggregate counters from a mining run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Code changes (program version pairs) processed.
+    pub code_changes: usize,
+    /// Files that failed to parse on either side (skipped).
+    pub parse_failures: usize,
+}
+
+/// The result of mining a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct MiningResult {
+    /// All derived usage changes, in corpus order.
+    pub changes: Vec<MinedUsageChange>,
+    /// Counters.
+    pub stats: MiningStats,
+}
+
+/// The DiffCode system: configuration + analysis cache.
+#[derive(Debug, Default)]
+pub struct DiffCode {
+    api: ApiModel,
+    max_depth: usize,
+    cache: HashMap<u64, Rc<Usages>>,
+}
+
+impl DiffCode {
+    /// A pipeline with the paper's defaults (DAG depth 5).
+    pub fn new() -> Self {
+        DiffCode { api: ApiModel::standard(), max_depth: DEFAULT_MAX_DEPTH, cache: HashMap::new() }
+    }
+
+    /// Overrides the DAG construction depth.
+    pub fn with_depth(max_depth: usize) -> Self {
+        DiffCode { max_depth, ..DiffCode::new() }
+    }
+
+    /// Parses and analyzes one source file, caching by content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer-level failures; member-level parse problems are
+    /// tolerated by the parser itself.
+    pub fn analyze_source(&mut self, source: &str) -> Result<Rc<Usages>, ParseError> {
+        let key = content_key(source);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        // `parse_snippet` accepts full units, bare class bodies, and
+        // bare statement sequences — the partial programs DiffCode
+        // mines (paper §5.1).
+        let unit = javalang::parse_snippet(source)?;
+        let usages = Rc::new(analyze(&unit, &self.api));
+        self.cache.insert(key, Rc::clone(&usages));
+        Ok(usages)
+    }
+
+    /// Derives the usage changes of `class` between two source
+    /// versions, returning the paired DAGs alongside each diff.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either source cannot be lexed.
+    pub fn usage_changes_from_pair(
+        &mut self,
+        old_source: &str,
+        new_source: &str,
+        class: &str,
+    ) -> Result<Vec<(UsageDag, UsageDag, UsageChange)>, ParseError> {
+        let old = self.analyze_source(old_source)?;
+        let new = self.analyze_source(new_source)?;
+        Ok(self.usage_changes_from_usages(&old, &new, class))
+    }
+
+    /// Same as [`Self::usage_changes_from_pair`] but over pre-analyzed
+    /// usages.
+    pub fn usage_changes_from_usages(
+        &self,
+        old: &Usages,
+        new: &Usages,
+        class: &str,
+    ) -> Vec<(UsageDag, UsageDag, UsageChange)> {
+        let old_dags = dags_for_class(old, class, self.max_depth);
+        let new_dags = dags_for_class(new, class, self.max_depth);
+        if old_dags.is_empty() && new_dags.is_empty() {
+            return Vec::new();
+        }
+        pair_dags(&old_dags, &new_dags, class)
+            .into_iter()
+            .map(|(a, b)| {
+                let change = diff_dags(&a, &b);
+                (a, b, change)
+            })
+            .collect()
+    }
+
+    /// Mines every code change of `corpus` for usage changes of the
+    /// given target classes (defaults to the paper's six, Figure 5).
+    pub fn mine(&mut self, corpus: &Corpus, classes: &[&str]) -> MiningResult {
+        let classes: Vec<&str> =
+            if classes.is_empty() { TARGET_CLASSES.to_vec() } else { classes.to_vec() };
+        let mut result = MiningResult::default();
+        for code_change in corpus.code_changes() {
+            result.stats.code_changes += 1;
+            let (old, new) = match (
+                self.analyze_source(code_change.old),
+                self.analyze_source(code_change.new),
+            ) {
+                (Ok(old), Ok(new)) => (old, new),
+                _ => {
+                    result.stats.parse_failures += 1;
+                    continue;
+                }
+            };
+            for class in &classes {
+                for (old_dag, new_dag, change) in
+                    self.usage_changes_from_usages(&old, &new, class)
+                {
+                    result.changes.push(MinedUsageChange {
+                        meta: ChangeMeta {
+                            project: code_change.project.full_name(),
+                            commit: code_change.commit.id.clone(),
+                            message: code_change.commit.message.clone(),
+                            path: code_change.path.to_owned(),
+                        },
+                        class: (*class).to_owned(),
+                        old_dag,
+                        new_dag,
+                        change,
+                    });
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Mines `corpus` using one [`DiffCode`] per worker thread, sharding by
+/// project. The result is identical to [`DiffCode::mine`] — shards are
+/// concatenated in project order — but wall-clock scales with cores.
+pub fn mine_parallel(
+    corpus: &Corpus,
+    classes: &[&str],
+    n_threads: usize,
+) -> MiningResult {
+    let n_threads = n_threads.max(1).min(corpus.projects.len().max(1));
+    if n_threads <= 1 {
+        return DiffCode::new().mine(corpus, classes);
+    }
+    let chunk = corpus.projects.len().div_ceil(n_threads);
+    let shards: Vec<Corpus> = corpus
+        .projects
+        .chunks(chunk)
+        .map(|projects| Corpus { projects: projects.to_vec() })
+        .collect();
+    let results: Vec<MiningResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || DiffCode::new().mine(shard, classes))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("miner thread")).collect()
+    });
+    let mut merged = MiningResult::default();
+    for result in results {
+        merged.stats.code_changes += result.stats.code_changes;
+        merged.stats.parse_failures += result.stats.parse_failures;
+        merged.changes.extend(result.changes);
+    }
+    merged
+}
+
+fn content_key(source: &str) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    source.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::fixtures;
+
+    #[test]
+    fn figure2_pair_produces_two_changes() {
+        let mut dc = DiffCode::new();
+        let changes = dc
+            .usage_changes_from_pair(fixtures::FIGURE2_OLD, fixtures::FIGURE2_NEW, "Cipher")
+            .unwrap();
+        assert_eq!(changes.len(), 2, "enc and dec");
+        for (_, _, change) in &changes {
+            assert!(!change.is_same());
+            assert!(!change.removed.is_empty() && !change.added.is_empty());
+        }
+    }
+
+    #[test]
+    fn cache_hits_for_identical_content() {
+        let mut dc = DiffCode::new();
+        let a = dc.analyze_source(fixtures::FIGURE2_OLD).unwrap();
+        let b = dc.analyze_source(fixtures::FIGURE2_OLD).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn parallel_mining_equals_sequential() {
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(8, 77));
+        let sequential = DiffCode::new().mine(&corpus, &[]);
+        let parallel = super::mine_parallel(&corpus, &[], 4);
+        assert_eq!(sequential.stats, parallel.stats);
+        assert_eq!(sequential.changes.len(), parallel.changes.len());
+        for (a, b) in sequential.changes.iter().zip(&parallel.changes) {
+            assert_eq!(a.change, b.change);
+            assert_eq!(a.meta, b.meta);
+            assert_eq!(a.old_dag, b.old_dag);
+        }
+    }
+
+    #[test]
+    fn mining_small_corpus_produces_changes() {
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(4, 11));
+        let mut dc = DiffCode::new();
+        let result = dc.mine(&corpus, &[]);
+        assert!(result.stats.code_changes > 50);
+        assert_eq!(result.stats.parse_failures, 0, "templates must parse");
+        assert!(!result.changes.is_empty());
+        // The vast majority of mined usage changes are non-semantic.
+        let same = result.changes.iter().filter(|c| c.change.is_same()).count();
+        assert!(
+            same as f64 > 0.8 * result.changes.len() as f64,
+            "{same}/{}",
+            result.changes.len()
+        );
+    }
+}

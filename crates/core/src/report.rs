@@ -1,0 +1,166 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use diffcode::Table;
+///
+/// let mut table = Table::new(["Rule", "Matching"]);
+/// table.row(["R1", "89 (34.6%)"]);
+/// let text = table.render();
+/// assert!(text.lines().count() == 3);
+/// assert!(text.contains("R1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn render_markdown(&self) -> String {
+        let escape = |cell: &str| cell.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            let cells: Vec<String> = (0..self.headers.len())
+                .map(|i| escape(row.get(i).map(String::as_str).unwrap_or("")))
+                .collect();
+            out.push_str(&cells.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; n_cols];
+        let measure = |cells: &[String], widths: &mut Vec<usize>| {
+            for (i, cell) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&self.headers, &mut widths);
+        for row in &self.rows {
+            measure(row, &mut widths);
+        }
+
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', pad));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_owned()
+        };
+
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let sep_len = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.extend(std::iter::repeat_n('-', sep_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["Rule", "Applicable", "Matching"]);
+        t.row(["R1", "257 (49.5%)", "89 (34.6%)"]);
+        t.row(["R13", "8 (1.5%)", "4 (50%)"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Rule"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Applicable" starts at the same offset in all rows.
+        let col = lines[0].find("Applicable").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "257");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(["Rule", "Matching"]);
+        t.row(["R1", "89 (34.6%)"]);
+        t.row(["R2|x", "15"]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| Rule | Matching |\n|---|---|\n"), "{md}");
+        assert!(md.contains("| R1 | 89 (34.6%) |"), "{md}");
+        assert!(md.contains("R2\\|x"), "pipes escaped: {md}");
+    }
+}

@@ -1,0 +1,379 @@
+//! A hand-written "golden" mini-corpus with known ground truth.
+//!
+//! Unlike the generated corpus (whose change mix comes from the same
+//! knobs the experiments measure), every commit here is written by
+//! hand, so end-to-end tests against it are free of generator
+//! circularity. Three projects, each with a small multi-file history:
+//!
+//! * **alice/messenger** — ECB cipher with a static IV and SHA-1
+//!   checksums; one refactoring, then two real security fixes.
+//! * **bob/vault** — password vault with a weak PBKDF2 configuration;
+//!   one fix, one unrelated edit.
+//! * **carol/gateway** — RSA key exchange plus AES/CBC payloads and no
+//!   integrity protection (the R13 scenario); the fix adds an HMAC.
+
+use crate::model::{Commit, Corpus, FileChange, Project, ProjectFacts};
+
+fn change(path: &str, old: Option<&str>, new: &str) -> FileChange {
+    FileChange {
+        path: path.to_owned(),
+        old: old.map(str::to_owned),
+        new: Some(new.to_owned()),
+    }
+}
+
+fn commit(id: &str, message: &str, changes: Vec<FileChange>) -> Commit {
+    Commit { id: id.to_owned(), message: message.to_owned(), changes }
+}
+
+// ---------------------------------------------------------------------
+// alice/messenger
+// ---------------------------------------------------------------------
+
+const MESSENGER_CRYPTO_V1: &str = r#"
+package com.alice.messenger;
+
+import javax.crypto.Cipher;
+import javax.crypto.spec.IvParameterSpec;
+import javax.crypto.spec.SecretKeySpec;
+
+public class MessageCrypto {
+    private static final byte[] IV = new byte[16];
+
+    public byte[] seal(byte[] plaintext, byte[] keyBytes) throws Exception {
+        SecretKeySpec key = new SecretKeySpec(keyBytes, "AES");
+        IvParameterSpec iv = new IvParameterSpec(IV);
+        Cipher cipher = Cipher.getInstance("AES");
+        cipher.init(Cipher.ENCRYPT_MODE, key);
+        return cipher.doFinal(plaintext);
+    }
+}
+"#;
+
+const MESSENGER_CRYPTO_V2: &str = r#"
+package com.alice.messenger;
+
+import javax.crypto.Cipher;
+import javax.crypto.spec.IvParameterSpec;
+import javax.crypto.spec.SecretKeySpec;
+
+public class MessageCrypto {
+    private static final byte[] IV = new byte[16];
+
+    // Renamed for clarity; no behavioural change.
+    public byte[] sealMessage(byte[] message, byte[] keyBytes) throws Exception {
+        SecretKeySpec secretKey = new SecretKeySpec(keyBytes, "AES");
+        IvParameterSpec ivSpec = new IvParameterSpec(IV);
+        Cipher aes = Cipher.getInstance("AES");
+        aes.init(Cipher.ENCRYPT_MODE, secretKey);
+        return aes.doFinal(message);
+    }
+}
+"#;
+
+const MESSENGER_CRYPTO_V3: &str = r#"
+package com.alice.messenger;
+
+import java.security.SecureRandom;
+import javax.crypto.Cipher;
+import javax.crypto.spec.GCMParameterSpec;
+import javax.crypto.spec.SecretKeySpec;
+
+public class MessageCrypto {
+    public byte[] sealMessage(byte[] message, byte[] keyBytes) throws Exception {
+        SecretKeySpec secretKey = new SecretKeySpec(keyBytes, "AES");
+        byte[] nonce = new byte[12];
+        SecureRandom random = new SecureRandom();
+        random.nextBytes(nonce);
+        GCMParameterSpec spec = new GCMParameterSpec(128, nonce);
+        Cipher aes = Cipher.getInstance("AES/GCM/NoPadding");
+        aes.init(Cipher.ENCRYPT_MODE, secretKey, spec);
+        return aes.doFinal(message);
+    }
+}
+"#;
+
+const MESSENGER_DIGEST_V1: &str = r#"
+package com.alice.messenger;
+
+import java.security.MessageDigest;
+
+public class Fingerprints {
+    public byte[] fingerprint(byte[] attachment) throws Exception {
+        MessageDigest digest = MessageDigest.getInstance("SHA-1");
+        return digest.digest(attachment);
+    }
+}
+"#;
+
+const MESSENGER_DIGEST_V2: &str = r#"
+package com.alice.messenger;
+
+import java.security.MessageDigest;
+
+public class Fingerprints {
+    public byte[] fingerprint(byte[] attachment) throws Exception {
+        MessageDigest digest = MessageDigest.getInstance("SHA-256");
+        return digest.digest(attachment);
+    }
+}
+"#;
+
+fn messenger() -> Project {
+    Project {
+        user: "alice".to_owned(),
+        name: "messenger".to_owned(),
+        facts: ProjectFacts::default(),
+        commits: vec![
+            commit(
+                "m000000001",
+                "Initial import",
+                vec![
+                    change("src/MessageCrypto.java", None, MESSENGER_CRYPTO_V1),
+                    change("src/Fingerprints.java", None, MESSENGER_DIGEST_V1),
+                ],
+            ),
+            commit(
+                "m000000002",
+                "Rename seal to sealMessage and tidy locals",
+                vec![change(
+                    "src/MessageCrypto.java",
+                    Some(MESSENGER_CRYPTO_V1),
+                    MESSENGER_CRYPTO_V2,
+                )],
+            ),
+            commit(
+                "m000000003",
+                "Security: use AES/GCM with a random nonce",
+                vec![change(
+                    "src/MessageCrypto.java",
+                    Some(MESSENGER_CRYPTO_V2),
+                    MESSENGER_CRYPTO_V3,
+                )],
+            ),
+            commit(
+                "m000000004",
+                "Security: fingerprint attachments with SHA-256",
+                vec![change(
+                    "src/Fingerprints.java",
+                    Some(MESSENGER_DIGEST_V1),
+                    MESSENGER_DIGEST_V2,
+                )],
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// bob/vault
+// ---------------------------------------------------------------------
+
+const VAULT_V1: &str = r#"
+package com.bob.vault;
+
+import javax.crypto.SecretKeyFactory;
+import javax.crypto.spec.PBEKeySpec;
+
+public class VaultKey {
+    private static final byte[] SALT = { 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08 };
+
+    public javax.crypto.SecretKey unlock(char[] masterPassword) throws Exception {
+        PBEKeySpec spec = new PBEKeySpec(masterPassword, SALT, 100, 256);
+        SecretKeyFactory factory = SecretKeyFactory.getInstance("PBKDF2WithHmacSHA1");
+        return factory.generateSecret(spec);
+    }
+}
+"#;
+
+const VAULT_V2: &str = r#"
+package com.bob.vault;
+
+import java.security.SecureRandom;
+import javax.crypto.SecretKeyFactory;
+import javax.crypto.spec.PBEKeySpec;
+
+public class VaultKey {
+    public javax.crypto.SecretKey unlock(char[] masterPassword) throws Exception {
+        byte[] salt = new byte[16];
+        SecureRandom random = new SecureRandom();
+        random.nextBytes(salt);
+        PBEKeySpec spec = new PBEKeySpec(masterPassword, salt, 65536, 256);
+        SecretKeyFactory factory = SecretKeyFactory.getInstance("PBKDF2WithHmacSHA1");
+        return factory.generateSecret(spec);
+    }
+}
+"#;
+
+const VAULT_V3: &str = r#"
+package com.bob.vault;
+
+import java.security.SecureRandom;
+import javax.crypto.SecretKeyFactory;
+import javax.crypto.spec.PBEKeySpec;
+
+// Vault key derivation. See SECURITY.md for parameter rationale.
+public class VaultKey {
+    public javax.crypto.SecretKey unlock(char[] masterPassword) throws Exception {
+        byte[] salt = new byte[16];
+        SecureRandom random = new SecureRandom();
+        random.nextBytes(salt);
+        PBEKeySpec spec = new PBEKeySpec(masterPassword, salt, 65536, 256);
+        SecretKeyFactory factory = SecretKeyFactory.getInstance("PBKDF2WithHmacSHA1");
+        return factory.generateSecret(spec);
+    }
+}
+"#;
+
+fn vault() -> Project {
+    Project {
+        user: "bob".to_owned(),
+        name: "vault".to_owned(),
+        facts: ProjectFacts::default(),
+        commits: vec![
+            commit(
+                "v000000001",
+                "Initial import",
+                vec![change("src/VaultKey.java", None, VAULT_V1)],
+            ),
+            commit(
+                "v000000002",
+                "Security: random salt and 65536 PBKDF2 iterations",
+                vec![change("src/VaultKey.java", Some(VAULT_V1), VAULT_V2)],
+            ),
+            commit(
+                "v000000003",
+                "Document key derivation parameters",
+                vec![change("src/VaultKey.java", Some(VAULT_V2), VAULT_V3)],
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// carol/gateway
+// ---------------------------------------------------------------------
+
+const GATEWAY_V1: &str = r#"
+package com.carol.gateway;
+
+import javax.crypto.Cipher;
+import javax.crypto.spec.IvParameterSpec;
+
+public class SecureChannel {
+    public byte[] wrapSessionKey(java.security.Key serverPublicKey, byte[] sessionKey)
+            throws Exception {
+        Cipher rsa = Cipher.getInstance("RSA");
+        rsa.init(Cipher.WRAP_MODE, serverPublicKey);
+        return rsa.doFinal(sessionKey);
+    }
+
+    public byte[] sendPayload(javax.crypto.SecretKey sessionKey, byte[] payload, byte[] iv)
+            throws Exception {
+        Cipher aes = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        aes.init(Cipher.ENCRYPT_MODE, sessionKey, new IvParameterSpec(iv));
+        return aes.doFinal(payload);
+    }
+}
+"#;
+
+const GATEWAY_V2: &str = r#"
+package com.carol.gateway;
+
+import javax.crypto.Cipher;
+import javax.crypto.Mac;
+import javax.crypto.spec.IvParameterSpec;
+import javax.crypto.spec.SecretKeySpec;
+
+public class SecureChannel {
+    public byte[] wrapSessionKey(java.security.Key serverPublicKey, byte[] sessionKey)
+            throws Exception {
+        Cipher rsa = Cipher.getInstance("RSA");
+        rsa.init(Cipher.WRAP_MODE, serverPublicKey);
+        return rsa.doFinal(sessionKey);
+    }
+
+    public byte[] sendPayload(javax.crypto.SecretKey sessionKey, byte[] payload, byte[] iv)
+            throws Exception {
+        Cipher aes = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        aes.init(Cipher.ENCRYPT_MODE, sessionKey, new IvParameterSpec(iv));
+        return aes.doFinal(payload);
+    }
+
+    public byte[] authenticate(byte[] ciphertext, byte[] macKeyBytes) throws Exception {
+        Mac hmac = Mac.getInstance("HmacSHA256");
+        SecretKeySpec macKey = new SecretKeySpec(macKeyBytes, "HmacSHA256");
+        hmac.init(macKey);
+        return hmac.doFinal(ciphertext);
+    }
+}
+"#;
+
+fn gateway() -> Project {
+    Project {
+        user: "carol".to_owned(),
+        name: "gateway".to_owned(),
+        facts: ProjectFacts::default(),
+        commits: vec![
+            commit(
+                "g000000001",
+                "Initial import",
+                vec![change("src/SecureChannel.java", None, GATEWAY_V1)],
+            ),
+            commit(
+                "g000000002",
+                "Security: authenticate payloads with HMAC-SHA256",
+                vec![change("src/SecureChannel.java", Some(GATEWAY_V1), GATEWAY_V2)],
+            ),
+        ],
+    }
+}
+
+/// The golden corpus: three hand-written projects with known ground
+/// truth (see module docs).
+pub fn golden_corpus() -> Corpus {
+    Corpus { projects: vec![messenger(), vault(), gateway()] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_golden_sources_parse_cleanly() {
+        let corpus = golden_corpus();
+        for project in &corpus.projects {
+            for commit in &project.commits {
+                for fc in &commit.changes {
+                    for src in [fc.old.as_deref(), fc.new.as_deref()].into_iter().flatten()
+                    {
+                        let unit = javalang::parse_compilation_unit(src).unwrap();
+                        assert!(
+                            unit.diagnostics.is_empty(),
+                            "{}/{}: {:?}",
+                            project.full_name(),
+                            fc.path,
+                            unit.diagnostics
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histories_chain() {
+        let corpus = golden_corpus();
+        for project in &corpus.projects {
+            let mut current: std::collections::BTreeMap<String, String> =
+                Default::default();
+            for commit in &project.commits {
+                for fc in &commit.changes {
+                    if let Some(old) = &fc.old {
+                        assert_eq!(current.get(&fc.path), Some(old), "{}", fc.path);
+                    }
+                    current.insert(fc.path.clone(), fc.new.clone().unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! The tree is deliberately permissive: type names are kept as dotted
+//! strings rather than resolved symbols, because DiffCode analyzes
+//! partial programs where resolution is impossible.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompilationUnit {
+    /// The `package` declaration, if present.
+    pub package: Option<String>,
+    /// `import` declarations in source order.
+    pub imports: Vec<Import>,
+    /// Top-level type declarations.
+    pub types: Vec<TypeDecl>,
+    /// Recoverable problems encountered while parsing this unit.
+    pub diagnostics: Vec<crate::error::ParseDiagnostic>,
+}
+
+impl CompilationUnit {
+    /// Iterates over all type declarations, including nested ones.
+    pub fn all_types(&self) -> Vec<&TypeDecl> {
+        let mut out = Vec::new();
+        fn walk<'a>(t: &'a TypeDecl, out: &mut Vec<&'a TypeDecl>) {
+            out.push(t);
+            for m in &t.members {
+                if let Member::Type(nested) = m {
+                    walk(nested, out);
+                }
+            }
+        }
+        for t in &self.types {
+            walk(t, &mut out);
+        }
+        out
+    }
+
+    /// Resolves a simple type name against the imports of this unit,
+    /// returning the last segment of the matching import, or the name
+    /// unchanged.
+    pub fn simple_name<'a>(&self, name: &'a str) -> &'a str {
+        name.rsplit('.').next().unwrap_or(name)
+    }
+}
+
+/// An `import` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// `true` for `import static`.
+    pub is_static: bool,
+    /// The dotted path, without any trailing `.*`.
+    pub path: String,
+    /// `true` for on-demand (`.*`) imports.
+    pub on_demand: bool,
+}
+
+/// The kind of a type declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeKind {
+    /// A `class`.
+    Class,
+    /// An `interface`.
+    Interface,
+    /// An `enum`.
+    Enum,
+    /// An `@interface` annotation declaration.
+    Annotation,
+}
+
+/// Modifier flags. Only the ones the analysis cares about are tracked
+/// individually; the rest are recorded by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Modifiers {
+    /// `static`
+    pub is_static: bool,
+    /// `final`
+    pub is_final: bool,
+    /// `public` / `protected` / `private` / package-private.
+    pub visibility: Visibility,
+    /// `abstract`
+    pub is_abstract: bool,
+}
+
+/// Java visibility levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// `public`
+    Public,
+    /// `protected`
+    Protected,
+    /// No modifier.
+    #[default]
+    Package,
+    /// `private`
+    Private,
+}
+
+/// A class/interface/enum declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// What kind of type this is.
+    pub kind: TypeKind,
+    /// Declared modifiers.
+    pub modifiers: Modifiers,
+    /// The simple name.
+    pub name: String,
+    /// The `extends` clause, if any (single name for classes).
+    pub extends: Option<Type>,
+    /// The `implements` clause.
+    pub implements: Vec<Type>,
+    /// Enum constants (empty for non-enums).
+    pub enum_constants: Vec<String>,
+    /// Members in source order.
+    pub members: Vec<Member>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl TypeDecl {
+    /// All field declarations of this type.
+    pub fn fields(&self) -> impl Iterator<Item = &FieldDecl> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Field(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All method declarations of this type (constructors included).
+    pub fn methods(&self) -> impl Iterator<Item = &MethodDecl> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Method(m) => Some(m),
+            _ => None,
+        })
+    }
+}
+
+/// A class member.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Member {
+    /// A field declaration (possibly with several declarators).
+    Field(FieldDecl),
+    /// A method or constructor.
+    Method(MethodDecl),
+    /// A static or instance initializer block.
+    Initializer {
+        /// `true` for `static { ... }`.
+        is_static: bool,
+        /// The body.
+        body: Block,
+    },
+    /// A nested type.
+    Type(TypeDecl),
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Declared modifiers.
+    pub modifiers: Modifiers,
+    /// The declared type.
+    pub ty: Type,
+    /// One declarator per comma-separated name.
+    pub declarators: Vec<Declarator>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A single `name = init` declarator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    /// The variable name.
+    pub name: String,
+    /// Extra array dimensions declared after the name (`int x[]`).
+    pub extra_dims: usize,
+    /// The initializer, if any.
+    pub init: Option<Expr>,
+}
+
+/// A method or constructor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Declared modifiers.
+    pub modifiers: Modifiers,
+    /// Return type; `None` for constructors.
+    pub return_type: Option<Type>,
+    /// The method name (class name for constructors).
+    pub name: String,
+    /// `true` if this is a constructor.
+    pub is_constructor: bool,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Declared thrown types.
+    pub throws: Vec<Type>,
+    /// The body; `None` for abstract/native methods.
+    pub body: Option<Block>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The declared type.
+    pub ty: Type,
+    /// The parameter name.
+    pub name: String,
+    /// `true` for varargs (`Type... name`).
+    pub varargs: bool,
+}
+
+/// A type reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// A primitive type.
+    Primitive(PrimitiveType),
+    /// A (possibly dotted, possibly generic) named type. Generic
+    /// arguments are recorded but erased for analysis.
+    Named {
+        /// Dotted name as written (e.g. `javax.crypto.Cipher`).
+        name: String,
+        /// Type arguments, if written.
+        args: Vec<Type>,
+    },
+    /// An array type.
+    Array(Box<Type>),
+    /// `?` or `? extends X` wildcards inside generics.
+    Wildcard,
+    /// `var` or a type the parser could not make sense of.
+    Unknown,
+}
+
+impl Type {
+    /// Convenience constructor for a non-generic named type.
+    pub fn named(name: impl Into<String>) -> Type {
+        Type::Named { name: name.into(), args: Vec::new() }
+    }
+
+    /// The simple (last-segment, erased) name of this type, or `None`
+    /// for primitives/arrays/wildcards.
+    pub fn simple_name(&self) -> Option<&str> {
+        match self {
+            Type::Named { name, .. } => Some(name.rsplit('.').next().unwrap_or(name)),
+            _ => None,
+        }
+    }
+
+    /// A display string in the abstraction's notation: `byte[]`, `int`,
+    /// `Cipher`, …
+    pub fn display_name(&self) -> String {
+        match self {
+            Type::Primitive(p) => p.as_str().to_owned(),
+            Type::Named { name, .. } => {
+                name.rsplit('.').next().unwrap_or(name).to_owned()
+            }
+            Type::Array(inner) => format!("{}[]", inner.display_name()),
+            Type::Wildcard => "?".to_owned(),
+            Type::Unknown => "<unknown>".to_owned(),
+        }
+    }
+}
+
+/// Java's primitive types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum PrimitiveType {
+    Boolean,
+    Byte,
+    Short,
+    Int,
+    Long,
+    Char,
+    Float,
+    Double,
+    Void,
+}
+
+impl PrimitiveType {
+    /// The keyword spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PrimitiveType::Boolean => "boolean",
+            PrimitiveType::Byte => "byte",
+            PrimitiveType::Short => "short",
+            PrimitiveType::Int => "int",
+            PrimitiveType::Long => "long",
+            PrimitiveType::Char => "char",
+            PrimitiveType::Float => "float",
+            PrimitiveType::Double => "double",
+            PrimitiveType::Void => "void",
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A nested block.
+    Block(Block),
+    /// A local variable declaration.
+    LocalVar {
+        /// Declared type (or [`Type::Unknown`] for `var`).
+        ty: Type,
+        /// Declarators.
+        declarators: Vec<Declarator>,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// `if (cond) then else alt`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Else branch, if present.
+        alt: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+    },
+    /// A classic `for` loop.
+    For {
+        /// Initializers (declarations or expression statements).
+        init: Vec<Stmt>,
+        /// The loop condition, if present.
+        cond: Option<Expr>,
+        /// Update expressions.
+        update: Vec<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// An enhanced `for (T x : iterable)` loop.
+    ForEach {
+        /// Element type.
+        ty: Type,
+        /// Element variable name.
+        name: String,
+        /// The iterated expression.
+        iterable: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `throw expr;`
+    Throw(Expr),
+    /// `try { .. } catch (..) { .. } finally { .. }` with optional
+    /// resources.
+    Try {
+        /// try-with-resources declarations.
+        resources: Vec<Stmt>,
+        /// The guarded block.
+        block: Block,
+        /// Catch clauses.
+        catches: Vec<CatchClause>,
+        /// The finally block, if present.
+        finally: Option<Block>,
+    },
+    /// A `switch` statement (cases flattened; analysis treats all arms
+    /// as may-execute).
+    Switch {
+        /// The scrutinee.
+        scrutinee: Expr,
+        /// Case bodies.
+        cases: Vec<SwitchCase>,
+    },
+    /// `synchronized (expr) { .. }`
+    Synchronized {
+        /// The monitor expression.
+        monitor: Expr,
+        /// The body.
+        body: Block,
+    },
+    /// `break;` (labels ignored).
+    Break,
+    /// `continue;` (labels ignored).
+    Continue,
+    /// `assert expr;` / `assert expr : msg;`
+    Assert(Expr),
+    /// An empty statement.
+    Empty,
+    /// A local class declaration.
+    LocalType(TypeDecl),
+    /// A statement the parser skipped after an error.
+    Unparsed,
+}
+
+/// One `case`/`default` arm of a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The case label expressions; empty for `default`.
+    pub labels: Vec<Expr>,
+    /// The statements of the arm.
+    pub body: Vec<Stmt>,
+}
+
+/// A catch clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchClause {
+    /// Caught exception types (multi-catch allowed).
+    pub types: Vec<Type>,
+    /// Binder name.
+    pub name: String,
+    /// Handler body.
+    pub body: Block,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    UShr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    UShr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Pos,
+    Not,
+    BitNot,
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// `int`/`long` literal.
+    Int(i64),
+    /// `float`/`double` literal.
+    Float(f64),
+    /// `boolean` literal.
+    Bool(bool),
+    /// `char` literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// `null`.
+    Null,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Literal(Lit),
+    /// A simple or qualified name (`x`, `Cipher.ENCRYPT_MODE`). Names
+    /// are kept unresolved; the analyzer decides what each segment is.
+    Name(Vec<String>),
+    /// `target.field` where target is a non-name expression.
+    FieldAccess {
+        /// The receiver expression.
+        target: Box<Expr>,
+        /// The accessed field.
+        name: String,
+    },
+    /// A method invocation.
+    MethodCall {
+        /// Explicit receiver, if any. `None` for unqualified calls.
+        target: Option<Box<Expr>>,
+        /// The method name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `new T(args)` (anonymous class bodies recorded but opaque).
+    New {
+        /// The instantiated type.
+        ty: Type,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// `true` if an anonymous class body followed.
+        anon_body: bool,
+    },
+    /// `new T[dims]` or `new T[]{...}`.
+    NewArray {
+        /// Element type.
+        ty: Type,
+        /// Explicit dimension expressions.
+        dims: Vec<Expr>,
+        /// The array initializer, if given.
+        init: Option<Vec<Expr>>,
+    },
+    /// A bare `{...}` array initializer (only valid in declarations).
+    ArrayInit(Vec<Expr>),
+    /// An assignment (also compound assignments).
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Which operator.
+        op: AssignOp,
+        /// Assigned value.
+        rhs: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `(T) expr`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// The casted expression.
+        expr: Box<Expr>,
+    },
+    /// `array[index]`.
+    ArrayAccess {
+        /// Array expression.
+        array: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `cond ? then : alt`.
+    Conditional {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        alt: Box<Expr>,
+    },
+    /// `expr instanceof T`.
+    InstanceOf {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Tested type.
+        ty: Type,
+    },
+    /// `this`.
+    This,
+    /// `super`.
+    Super,
+    /// `T.class`.
+    ClassLiteral(Type),
+    /// A lambda expression; the body is kept opaque.
+    Lambda,
+    /// A method reference (`T::m`); kept opaque.
+    MethodRef,
+    /// An expression the parser skipped after an error.
+    Unparsed,
+}
+
+impl Expr {
+    /// Convenience constructor for a simple name.
+    pub fn name(segments: &[&str]) -> Expr {
+        Expr::Name(segments.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Convenience constructor for a string literal.
+    pub fn str_lit(s: impl Into<String>) -> Expr {
+        Expr::Literal(Lit::Str(s.into()))
+    }
+
+    /// Convenience constructor for an int literal.
+    pub fn int_lit(v: i64) -> Expr {
+        Expr::Literal(Lit::Int(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display_names() {
+        assert_eq!(Type::named("javax.crypto.Cipher").display_name(), "Cipher");
+        assert_eq!(
+            Type::Array(Box::new(Type::Primitive(PrimitiveType::Byte))).display_name(),
+            "byte[]"
+        );
+        assert_eq!(Type::Primitive(PrimitiveType::Int).display_name(), "int");
+    }
+
+    #[test]
+    fn simple_name_strips_qualifier() {
+        let t = Type::named("a.b.C");
+        assert_eq!(t.simple_name(), Some("C"));
+        assert_eq!(Type::Primitive(PrimitiveType::Int).simple_name(), None);
+    }
+
+    #[test]
+    fn all_types_walks_nested() {
+        let inner = TypeDecl {
+            kind: TypeKind::Class,
+            modifiers: Modifiers::default(),
+            name: "Inner".into(),
+            extends: None,
+            implements: vec![],
+            enum_constants: vec![],
+            members: vec![],
+            span: Span::default(),
+        };
+        let outer = TypeDecl {
+            kind: TypeKind::Class,
+            modifiers: Modifiers::default(),
+            name: "Outer".into(),
+            extends: None,
+            implements: vec![],
+            enum_constants: vec![],
+            members: vec![Member::Type(inner)],
+            span: Span::default(),
+        };
+        let unit = CompilationUnit {
+            package: None,
+            imports: vec![],
+            types: vec![outer],
+            diagnostics: vec![],
+        };
+        let names: Vec<_> = unit.all_types().iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names, vec!["Outer", "Inner"]);
+    }
+
+    use crate::error::Span;
+}

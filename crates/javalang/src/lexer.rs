@@ -1,0 +1,699 @@
+//! A hand-written lexer for the Java subset.
+//!
+//! The lexer strips comments and whitespace, resolves string/char
+//! escapes, and handles the numeric literal zoo (hex, octal, binary,
+//! underscores, suffixes). `>>` and `>>>` are deliberately left as
+//! sequences of `>` tokens so that generic type arguments nest without
+//! lexer feedback; the parser reassembles shift operators.
+
+use crate::error::{ParseError, Span};
+use crate::token::{Keyword, Punct, SpannedToken, Token};
+
+/// Streaming lexer over a source string.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lexes the entire input, appending a trailing [`Token::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unterminated strings/comments/chars and
+    /// malformed numeric literals.
+    pub fn tokenize(mut self) -> Result<Vec<SpannedToken>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.token == Token::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::new(start, self.pos, line)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    self.span_from(start, line),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<SpannedToken, ParseError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let line = self.line;
+        let Some(b) = self.peek() else {
+            return Ok(SpannedToken {
+                token: Token::Eof,
+                span: self.span_from(start, line),
+            });
+        };
+
+        let token = if b.is_ascii_alphabetic() || b == b'_' || b == b'$' || b >= 0x80 {
+            self.lex_word()
+        } else if b.is_ascii_digit()
+            || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()))
+        {
+            self.lex_number()?
+        } else if b == b'"' {
+            self.lex_string()?
+        } else if b == b'\'' {
+            self.lex_char()?
+        } else {
+            self.lex_punct()?
+        };
+        Ok(SpannedToken { token, span: self.span_from(start, line) })
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        match word {
+            "true" => Token::BoolLit(true),
+            "false" => Token::BoolLit(false),
+            "null" => Token::Null,
+            _ => match Keyword::lookup(word) {
+                Some(kw) => Token::Keyword(kw),
+                None => Token::Ident(word.to_owned()),
+            },
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        let line = self.line;
+
+        if self.peek() == Some(b'0')
+            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
+        {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+            {
+                self.bump();
+            }
+            let text: String = self.src[digits_start..self.pos]
+                .chars()
+                .filter(|c| *c != '_')
+                .collect();
+            let is_long = self.consume_long_suffix();
+            // Wrap like javac does for e.g. 0xFFFFFFFF.
+            let value = u64::from_str_radix(&text, 16).map_err(|_| {
+                ParseError::new("invalid hex literal", self.span_from(start, line))
+            })? as i64;
+            return Ok(Token::IntLit(value, is_long));
+        }
+        if self.peek() == Some(b'0')
+            && matches!(self.peek_at(1), Some(b'b') | Some(b'B'))
+        {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_some_and(|b| b == b'0' || b == b'1' || b == b'_') {
+                self.bump();
+            }
+            let text: String = self.src[digits_start..self.pos]
+                .chars()
+                .filter(|c| *c != '_')
+                .collect();
+            let is_long = self.consume_long_suffix();
+            let value = u64::from_str_radix(&text, 2).map_err(|_| {
+                ParseError::new("invalid binary literal", self.span_from(start, line))
+            })? as i64;
+            return Ok(Token::IntLit(value, is_long));
+        }
+
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' if !saw_dot
+                    && !saw_exp
+                    && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    saw_dot = true;
+                    self.bump();
+                }
+                b'.' if !saw_dot && !saw_exp && self.pos > start => {
+                    // `1.` — a trailing dot is valid in Java floats, but a
+                    // dot followed by an identifier is member access on a
+                    // literal; treat digit-dot-nondigit as end of number.
+                    break;
+                }
+                b'e' | b'E'
+                    if !saw_exp
+                        && self.peek_at(1).is_some_and(|c| {
+                            c.is_ascii_digit() || c == b'+' || c == b'-'
+                        }) =>
+                {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.src[start..self.pos]
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+
+        match self.peek() {
+            Some(b'f') | Some(b'F') | Some(b'd') | Some(b'D') => {
+                self.bump();
+                let value = text.parse::<f64>().map_err(|_| {
+                    ParseError::new("invalid float literal", self.span_from(start, line))
+                })?;
+                return Ok(Token::FloatLit(value));
+            }
+            _ => {}
+        }
+        if saw_dot || saw_exp {
+            let value = text.parse::<f64>().map_err(|_| {
+                ParseError::new("invalid float literal", self.span_from(start, line))
+            })?;
+            return Ok(Token::FloatLit(value));
+        }
+        let is_long = self.consume_long_suffix();
+        // Octal (leading zero) is parsed as octal, matching Java.
+        let value = if text.len() > 1 && text.starts_with('0') {
+            i64::from_str_radix(&text[1..], 8).unwrap_or(0)
+        } else {
+            // Out-of-range decimal literals (e.g. Long.MIN_VALUE's magnitude)
+            // saturate rather than failing the whole file.
+            text.parse::<i64>().unwrap_or(i64::MAX)
+        };
+        Ok(Token::IntLit(value, is_long))
+    }
+
+    fn consume_long_suffix(&mut self) -> bool {
+        if matches!(self.peek(), Some(b'l') | Some(b'L')) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lex_escape(&mut self, start: usize, line: u32) -> Result<char, ParseError> {
+        // The leading backslash has been consumed.
+        let Some(b) = self.bump() else {
+            return Err(ParseError::new(
+                "unterminated escape sequence",
+                self.span_from(start, line),
+            ));
+        };
+        Ok(match b {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'0' => '\0',
+            b'\'' => '\'',
+            b'"' => '"',
+            b'\\' => '\\',
+            b'u' => {
+                // \uXXXX (possibly multiple 'u's per the JLS)
+                while self.peek() == Some(b'u') {
+                    self.bump();
+                }
+                let mut value: u32 = 0;
+                for _ in 0..4 {
+                    let Some(d) = self.bump() else {
+                        return Err(ParseError::new(
+                            "unterminated unicode escape",
+                            self.span_from(start, line),
+                        ));
+                    };
+                    let digit = (d as char).to_digit(16).ok_or_else(|| {
+                        ParseError::new(
+                            "invalid unicode escape",
+                            self.span_from(start, line),
+                        )
+                    })?;
+                    value = value * 16 + digit;
+                }
+                char::from_u32(value).unwrap_or('\u{fffd}')
+            }
+            other => other as char,
+        })
+    }
+
+    fn lex_string(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        self.span_from(start, line),
+                    ));
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(Token::StrLit(value));
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    value.push(self.lex_escape(start, line)?);
+                }
+                Some(b) if b < 0x80 => {
+                    self.bump();
+                    value.push(b as char);
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole character.
+                    let ch = self.src[self.pos..].chars().next().unwrap();
+                    for _ in 0..ch.len_utf8() {
+                        self.bump();
+                    }
+                    value.push(ch);
+                }
+            }
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // opening quote
+        let ch = match self.peek() {
+            None => {
+                return Err(ParseError::new(
+                    "unterminated char literal",
+                    self.span_from(start, line),
+                ));
+            }
+            Some(b'\\') => {
+                self.bump();
+                self.lex_escape(start, line)?
+            }
+            Some(b) if b < 0x80 => {
+                self.bump();
+                b as char
+            }
+            Some(_) => {
+                let ch = self.src[self.pos..].chars().next().unwrap();
+                for _ in 0..ch.len_utf8() {
+                    self.bump();
+                }
+                ch
+            }
+        };
+        if self.peek() != Some(b'\'') {
+            return Err(ParseError::new(
+                "unterminated char literal",
+                self.span_from(start, line),
+            ));
+        }
+        self.bump();
+        Ok(Token::CharLit(ch))
+    }
+
+    fn lex_punct(&mut self) -> Result<Token, ParseError> {
+        use Punct::*;
+        let start = self.pos;
+        let line = self.line;
+        let b = self.bump().expect("caller checked non-empty");
+        let two = self.peek();
+        let three = self.peek_at(1);
+        let p = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'@' => At,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => {
+                if two == Some(b'.') && three == Some(b'.') {
+                    self.bump();
+                    self.bump();
+                    Ellipsis
+                } else {
+                    Dot
+                }
+            }
+            b':' => {
+                if two == Some(b':') {
+                    self.bump();
+                    ColonColon
+                } else {
+                    Colon
+                }
+            }
+            b'=' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    NotEq
+                } else {
+                    Not
+                }
+            }
+            b'<' => match (two, three) {
+                (Some(b'='), _) => {
+                    self.bump();
+                    Le
+                }
+                (Some(b'<'), Some(b'=')) => {
+                    self.bump();
+                    self.bump();
+                    ShlAssign
+                }
+                (Some(b'<'), _) => {
+                    self.bump();
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => {
+                // `>>`/`>>>`/`>>=` stay as separate `>` tokens except `>=`.
+                if two == Some(b'=') {
+                    self.bump();
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'&' => match two {
+                Some(b'&') => {
+                    self.bump();
+                    AndAnd
+                }
+                Some(b'=') => {
+                    self.bump();
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match two {
+                Some(b'|') => {
+                    self.bump();
+                    OrOr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            b'^' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    CaretAssign
+                } else {
+                    Caret
+                }
+            }
+            b'+' => match two {
+                Some(b'+') => {
+                    self.bump();
+                    Inc
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match two {
+                Some(b'-') => {
+                    self.bump();
+                    Dec
+                }
+                Some(b'=') => {
+                    self.bump();
+                    MinusAssign
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    PercentAssign
+                } else {
+                    Percent
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character {:?}", other as char),
+                    self.span_from(start, line),
+                ));
+            }
+        };
+        Ok(Token::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("class Foo"),
+            vec![
+                Token::Keyword(Keyword::Class),
+                Token::Ident("Foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn contextual_var_is_identifier() {
+        assert_eq!(toks("var")[0], Token::Ident("var".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\n\t\"\\""#)[0], Token::StrLit("a\n\t\"\\".into()));
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(toks(r#""A""#)[0], Token::StrLit("A".into()));
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(toks(r"'x'")[0], Token::CharLit('x'));
+        assert_eq!(toks(r"'\n'")[0], Token::CharLit('\n'));
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(toks("42")[0], Token::IntLit(42, false));
+        assert_eq!(toks("0x10")[0], Token::IntLit(16, false));
+        assert_eq!(toks("0b101")[0], Token::IntLit(5, false));
+        assert_eq!(toks("017")[0], Token::IntLit(15, false));
+        assert_eq!(toks("1_000")[0], Token::IntLit(1000, false));
+        assert_eq!(toks("7L")[0], Token::IntLit(7, true));
+    }
+
+    #[test]
+    fn hex_wraps_like_javac() {
+        assert_eq!(toks("0xFFFFFFFFFFFFFFFF")[0], Token::IntLit(-1, false));
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(toks("1.5")[0], Token::FloatLit(1.5));
+        assert_eq!(toks("2f")[0], Token::FloatLit(2.0));
+        assert_eq!(toks("1e3")[0], Token::FloatLit(1000.0));
+        assert_eq!(toks("2.5d")[0], Token::FloatLit(2.5));
+    }
+
+    #[test]
+    fn member_access_on_int_is_not_float() {
+        // `x.1` never occurs but `foo.bar` after an int: `1.toString()` is
+        // invalid Java anyway; ensure `1.` followed by identifier stops.
+        let t = toks("1.x");
+        assert_eq!(t[0], Token::IntLit(1, false));
+        assert_eq!(t[1], Token::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            toks("a // line\n /* block \n */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn shift_right_is_two_gt_tokens() {
+        assert_eq!(
+            toks(">>"),
+            vec![
+                Token::Punct(Punct::Gt),
+                Token::Punct(Punct::Gt),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a += b >>> 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct(Punct::PlusAssign),
+                Token::Ident("b".into()),
+                Token::Punct(Punct::Gt),
+                Token::Punct(Punct::Gt),
+                Token::Punct(Punct::Gt),
+                Token::IntLit(2, false),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(Lexer::new("/* abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = Lexer::new("a\nb").tokenize().unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! A lexer, parser, and AST for the subset of Java exercised by
+//! crypto-API client code.
+//!
+//! The original DiffCode system (PLDI'18) analyzes Java sources fetched
+//! from version control, including *partial programs* — library code
+//! without an entry point, snippets that reference unresolved types, and
+//! files that do not compile on their own. This crate therefore
+//! implements an **error-tolerant** recursive-descent front end rather
+//! than a conforming compiler front end: unparseable class members are
+//! skipped (with a recorded [`ParseDiagnostic`]) instead of failing the
+//! whole file.
+//!
+//! # Example
+//!
+//! ```
+//! use javalang::parse_compilation_unit;
+//!
+//! let unit = parse_compilation_unit(
+//!     r#"
+//!     class Demo {
+//!         void run() throws Exception {
+//!             javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("AES");
+//!         }
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(unit.types.len(), 1);
+//! # Ok::<(), javalang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod visit;
+
+pub use ast::CompilationUnit;
+pub use error::{ParseDiagnostic, ParseError};
+pub use parser::{parse_compilation_unit, Parser};
+pub use printer::pretty_print;
+
+/// Convenience: lex `source` into a token stream, discarding trivia.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed literals (e.g. an unterminated
+/// string).
+pub fn lex(source: &str) -> Result<Vec<token::SpannedToken>, ParseError> {
+    lexer::Lexer::new(source).tokenize()
+}
+
+/// Parses a *partial program*: a full compilation unit, a bare class
+/// body (members without a surrounding class), or a bare statement
+/// sequence — the kinds of snippets DiffCode mines from patches and
+/// pastes.
+///
+/// Wrapping is attempted in that order; the first parse producing at
+/// least one type declaration wins.
+///
+/// # Errors
+///
+/// Fails only if none of the three interpretations lexes/parses.
+///
+/// # Example
+///
+/// ```
+/// // A bare statement sequence, not valid as a compilation unit:
+/// let unit = javalang::parse_snippet(
+///     r#"Cipher c = Cipher.getInstance("AES"); c.init(Cipher.ENCRYPT_MODE, key);"#,
+/// )?;
+/// assert_eq!(unit.types.len(), 1); // wrapped in a synthetic class
+/// # Ok::<(), javalang::ParseError>(())
+/// ```
+pub fn parse_snippet(source: &str) -> Result<CompilationUnit, ParseError> {
+    let direct = parse_compilation_unit(source);
+    if let Ok(unit) = &direct {
+        if !unit.types.is_empty() && unit.diagnostics.is_empty() {
+            return direct;
+        }
+    }
+    // Candidate interpretations, scored by recovered-error count; the
+    // cleanest one (fewest skipped regions) wins, with ties broken in
+    // declaration order below.
+    let mut best: Option<CompilationUnit> = None;
+    let mut consider = |unit: CompilationUnit, has_content: bool| {
+        if !has_content {
+            return;
+        }
+        let better = match &best {
+            None => true,
+            Some(current) => unit.diagnostics.len() < current.diagnostics.len(),
+        };
+        if better {
+            best = Some(unit);
+        }
+    };
+
+    if let Ok(unit) = &direct {
+        let has_types = !unit.types.is_empty();
+        consider(unit.clone(), has_types);
+    }
+    let as_members = format!("class __Snippet__ {{\n{source}\n}}");
+    if let Ok(unit) = parse_compilation_unit(&as_members) {
+        let has_content = unit.types.first().is_some_and(|t| !t.members.is_empty());
+        consider(unit, has_content);
+    }
+    let as_statements =
+        format!("class __Snippet__ {{ void __snippet__() throws Exception {{\n{source}\n}} }}");
+    if let Ok(unit) = parse_compilation_unit(&as_statements) {
+        let has_content = unit.types.first().is_some_and(|t| {
+            t.methods()
+                .next()
+                .and_then(|m| m.body.as_ref())
+                .is_some_and(|b| !b.stmts.is_empty())
+        });
+        consider(unit, has_content);
+    }
+    match best {
+        Some(unit) => Ok(unit),
+        None => direct,
+    }
+}

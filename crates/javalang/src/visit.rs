@@ -1,0 +1,265 @@
+//! A read-only visitor over the AST.
+//!
+//! Override the hooks you care about; `walk_*` free functions provide
+//! the default traversal so overrides can recurse selectively.
+
+use crate::ast::*;
+
+/// A read-only AST visitor. All hooks default to plain traversal.
+pub trait Visitor {
+    /// Called for every type declaration (including nested ones).
+    fn visit_type_decl(&mut self, decl: &TypeDecl) {
+        walk_type_decl(self, decl);
+    }
+
+    /// Called for every method declaration.
+    fn visit_method(&mut self, method: &MethodDecl) {
+        walk_method(self, method);
+    }
+
+    /// Called for every field declaration.
+    fn visit_field(&mut self, field: &FieldDecl) {
+        walk_field(self, field);
+    }
+
+    /// Called for every statement.
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    /// Called for every expression.
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+}
+
+/// Visits every type in `unit`.
+pub fn walk_unit<V: Visitor + ?Sized>(v: &mut V, unit: &CompilationUnit) {
+    for t in &unit.types {
+        v.visit_type_decl(t);
+    }
+}
+
+/// Default traversal for a type declaration.
+pub fn walk_type_decl<V: Visitor + ?Sized>(v: &mut V, decl: &TypeDecl) {
+    for m in &decl.members {
+        match m {
+            Member::Field(f) => v.visit_field(f),
+            Member::Method(m) => v.visit_method(m),
+            Member::Initializer { body, .. } => {
+                for s in &body.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+            Member::Type(t) => v.visit_type_decl(t),
+        }
+    }
+}
+
+/// Default traversal for a method.
+pub fn walk_method<V: Visitor + ?Sized>(v: &mut V, method: &MethodDecl) {
+    if let Some(body) = &method.body {
+        for s in &body.stmts {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+/// Default traversal for a field.
+pub fn walk_field<V: Visitor + ?Sized>(v: &mut V, field: &FieldDecl) {
+    for d in &field.declarators {
+        if let Some(init) = &d.init {
+            v.visit_expr(init);
+        }
+    }
+}
+
+/// Default traversal for a statement.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    match stmt {
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::LocalVar { declarators, .. } => {
+            for d in declarators {
+                if let Some(init) = &d.init {
+                    v.visit_expr(init);
+                }
+            }
+        }
+        Stmt::Expr(e) | Stmt::Throw(e) | Stmt::Assert(e) => v.visit_expr(e),
+        Stmt::If { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then);
+            if let Some(alt) = alt {
+                v.visit_stmt(alt);
+            }
+        }
+        Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        Stmt::For { init, cond, update, body } => {
+            for s in init {
+                v.visit_stmt(s);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            for u in update {
+                v.visit_expr(u);
+            }
+            v.visit_stmt(body);
+        }
+        Stmt::ForEach { iterable, body, .. } => {
+            v.visit_expr(iterable);
+            v.visit_stmt(body);
+        }
+        Stmt::Return(value) => {
+            if let Some(value) = value {
+                v.visit_expr(value);
+            }
+        }
+        Stmt::Try { resources, block, catches, finally } => {
+            for r in resources {
+                v.visit_stmt(r);
+            }
+            for s in &block.stmts {
+                v.visit_stmt(s);
+            }
+            for c in catches {
+                for s in &c.body.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+            if let Some(f) = finally {
+                for s in &f.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::Switch { scrutinee, cases } => {
+            v.visit_expr(scrutinee);
+            for c in cases {
+                for l in &c.labels {
+                    v.visit_expr(l);
+                }
+                for s in &c.body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        Stmt::Synchronized { monitor, body } => {
+            v.visit_expr(monitor);
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        Stmt::LocalType(t) => v.visit_type_decl(t),
+        Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Unparsed => {}
+    }
+}
+
+/// Default traversal for an expression.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    match expr {
+        Expr::FieldAccess { target, .. } => v.visit_expr(target),
+        Expr::MethodCall { target, args, .. } => {
+            if let Some(t) = target {
+                v.visit_expr(t);
+            }
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::New { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::NewArray { dims, init, .. } => {
+            for d in dims {
+                v.visit_expr(d);
+            }
+            if let Some(init) = init {
+                for e in init {
+                    v.visit_expr(e);
+                }
+            }
+        }
+        Expr::ArrayInit(elems) => {
+            for e in elems {
+                v.visit_expr(e);
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => v.visit_expr(expr),
+        Expr::ArrayAccess { array, index } => {
+            v.visit_expr(array);
+            v.visit_expr(index);
+        }
+        Expr::Conditional { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_expr(then);
+            v.visit_expr(alt);
+        }
+        Expr::InstanceOf { expr, .. } => v.visit_expr(expr),
+        Expr::Literal(_)
+        | Expr::Name(_)
+        | Expr::This
+        | Expr::Super
+        | Expr::ClassLiteral(_)
+        | Expr::Lambda
+        | Expr::MethodRef
+        | Expr::Unparsed => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_compilation_unit;
+
+    #[derive(Default)]
+    struct CallCounter {
+        calls: Vec<String>,
+    }
+
+    impl Visitor for CallCounter {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let Expr::MethodCall { name, .. } = expr {
+                self.calls.push(name.clone());
+            }
+            walk_expr(self, expr);
+        }
+    }
+
+    #[test]
+    fn visitor_finds_nested_calls() {
+        let unit = parse_compilation_unit(
+            r#"
+            class A {
+                void m() {
+                    a(b(), c(d()));
+                    if (cond()) { e(); }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut counter = CallCounter::default();
+        walk_unit(&mut counter, &unit);
+        let mut calls = counter.calls;
+        calls.sort();
+        assert_eq!(calls, vec!["a", "b", "c", "cond", "d", "e"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Edge cases mined from real-world Java crypto code: the parser must
+//! handle (or cleanly recover from) all of these.
+
+use javalang::ast::*;
+use javalang::{parse_compilation_unit, pretty_print};
+
+fn parse(src: &str) -> CompilationUnit {
+    parse_compilation_unit(src).expect("parse failed")
+}
+
+fn parse_clean(src: &str) -> CompilationUnit {
+    let unit = parse(src);
+    assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
+    unit
+}
+
+#[test]
+fn hex_byte_arrays() {
+    let unit = parse_clean(
+        "class A { static final byte[] KEY = { (byte) 0xDE, (byte) 0xAD, 0x01, -1 }; }",
+    );
+    let field = unit.types[0].fields().next().unwrap();
+    let Some(Expr::ArrayInit(elems)) = &field.declarators[0].init else {
+        panic!()
+    };
+    assert_eq!(elems.len(), 4);
+}
+
+#[test]
+fn ternary_in_argument_position() {
+    parse_clean(
+        r#"class A { void m(boolean gcm) throws Exception {
+            Cipher c = Cipher.getInstance(gcm ? "AES/GCM/NoPadding" : "AES/CBC/PKCS5Padding");
+        } }"#,
+    );
+}
+
+#[test]
+fn chained_calls_and_fluent_builders() {
+    let unit = parse_clean(
+        r#"class A { String m() { return new StringBuilder().append("a").append(1).toString(); } }"#,
+    );
+    assert_eq!(unit.types[0].methods().count(), 1);
+}
+
+#[test]
+fn static_nested_generic_types() {
+    parse_clean(
+        "class A { java.util.Map.Entry<String, java.util.List<byte[]>> e; }",
+    );
+}
+
+#[test]
+fn conditional_with_generics_ambiguity() {
+    // `a < b ? x : y` — the `<` must not be taken as a type argument.
+    let unit = parse_clean("class A { int m(int a, int b, int x, int y) { return a < b ? x : y; } }");
+    let body = unit.types[0].methods().next().unwrap().body.as_ref().unwrap();
+    let Stmt::Return(Some(Expr::Conditional { .. })) = &body.stmts[0] else {
+        panic!("{body:?}")
+    };
+}
+
+#[test]
+fn arrays_of_arrays() {
+    parse_clean(
+        "class A { byte[][] table = new byte[4][16]; int[][] m() { return new int[2][]; } }",
+    );
+}
+
+#[test]
+fn varargs_and_final_params() {
+    let unit = parse_clean(
+        "class A { void log(final String fmt, Object... args) {} }",
+    );
+    let m = unit.types[0].methods().next().unwrap();
+    assert!(m.params[1].varargs);
+}
+
+#[test]
+fn static_initializer_registering_provider() {
+    let unit = parse_clean(
+        r#"
+        class A {
+            static {
+                java.security.Security.addProvider(new BouncyCastleProvider());
+            }
+        }
+        "#,
+    );
+    assert!(matches!(
+        unit.types[0].members[0],
+        Member::Initializer { is_static: true, .. }
+    ));
+}
+
+#[test]
+fn throws_with_multiple_exceptions() {
+    let unit = parse_clean(
+        "class A { void m() throws NoSuchAlgorithmException, NoSuchPaddingException, InvalidKeyException {} }",
+    );
+    assert_eq!(unit.types[0].methods().next().unwrap().throws.len(), 3);
+}
+
+#[test]
+fn string_switch() {
+    parse_clean(
+        r#"
+        class A {
+            int bits(String algo) {
+                switch (algo) {
+                    case "AES": return 128;
+                    case "DES": return 56;
+                    default: return 0;
+                }
+            }
+        }
+        "#,
+    );
+}
+
+#[test]
+fn arrow_switch_statement() {
+    let unit = parse(
+        r#"
+        class A {
+            void m(int x) {
+                switch (x) {
+                    case 1 -> a();
+                    default -> b();
+                }
+            }
+        }
+        "#,
+    );
+    assert_eq!(unit.types[0].methods().count(), 1);
+}
+
+#[test]
+fn unicode_identifiers_and_strings() {
+    let unit = parse_clean(
+        "class A { String grüße = \"schlüssel\"; }",
+    );
+    assert_eq!(unit.types[0].fields().count(), 1);
+}
+
+#[test]
+fn deeply_nested_expressions_terminate() {
+    let mut expr = String::from("1");
+    for _ in 0..300 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("class A {{ int x = {expr}; }}");
+    // Past the nesting limit the parser must fail gracefully (recovery
+    // diagnostic), never blow the stack.
+    let unit = parse(&src);
+    assert!(!unit.diagnostics.is_empty());
+
+    // A comfortably deep but legal expression still parses.
+    let mut ok_expr = String::from("1");
+    for _ in 0..40 {
+        ok_expr = format!("({ok_expr} + 1)");
+    }
+    let unit = parse(&format!("class A {{ int x = {ok_expr}; }}"));
+    assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
+    assert_eq!(unit.types[0].fields().count(), 1);
+}
+
+#[test]
+fn comments_between_everything() {
+    parse_clean(
+        r#"
+        class /* c */ A /* c */ { // trailing
+            /* before */ int /* mid */ x /* after */ = /* val */ 1; // end
+        }
+        "#,
+    );
+}
+
+#[test]
+fn empty_class_and_semicolons() {
+    let unit = parse_clean("class A { ;;; } ; class B {}");
+    assert_eq!(unit.types.len(), 2);
+}
+
+#[test]
+fn instanceof_with_pattern_binding() {
+    parse_clean(
+        "class A { boolean m(Object o) { return o instanceof String s; } }",
+    );
+}
+
+#[test]
+fn broken_expression_recovers_at_statement_level() {
+    let unit = parse(
+        r#"
+        class A {
+            void bad() { int x = ; }
+            void good() { fine(); }
+        }
+        "#,
+    );
+    let names: Vec<_> = unit.types[0].methods().map(|m| m.name.clone()).collect();
+    assert!(names.contains(&"good".to_owned()));
+    assert!(!unit.diagnostics.is_empty());
+}
+
+#[test]
+fn missing_semicolon_recovers() {
+    let unit = parse(
+        r#"
+        class A {
+            int a = 1
+            int b = 2;
+            void m() { use(b); }
+        }
+        "#,
+    );
+    // Recovery may merge the broken field, but the method must survive.
+    assert!(unit.types[0].methods().any(|m| m.name == "m"));
+}
+
+#[test]
+fn roundtrip_stability_on_edge_cases() {
+    let sources = [
+        "class A { byte[] k = { 1, 2 }; }",
+        r#"class B { void m() { for (int i = 0, j = 1; i < j; i++, j--) { swap(i, j); } } }"#,
+        r#"class C { Object m() { return cond ? new int[] { 1 } : null; } }"#,
+    ];
+    for src in sources {
+        let unit1 = parse(src);
+        let p1 = pretty_print(&unit1);
+        let unit2 = parse(&p1);
+        let p2 = pretty_print(&unit2);
+        assert_eq!(p1, p2, "roundtrip diverged for {src}");
+    }
+}
+
+#[test]
+fn annotations_with_arguments() {
+    parse_clean(
+        r#"
+        @SuppressWarnings({"unchecked", "deprecation"})
+        @Target(ElementType.METHOD)
+        class A {
+            @Inject(name = "x", optional = true) Provider p;
+        }
+        "#,
+    );
+}
+
+#[test]
+fn imports_do_not_leak_into_members() {
+    let unit = parse_clean(
+        "package a.b; import x.y.Z; import static q.R.*; class A { Z z; }",
+    );
+    assert_eq!(unit.imports.len(), 2);
+    assert_eq!(unit.types.len(), 1);
+}
+
+#[test]
+fn long_and_float_suffixed_literals() {
+    parse_clean(
+        "class A { long t = 1000L; double d = 0.5d; float f = 2.5f; long h = 0xFFL; }",
+    );
+}
+
+#[test]
+fn synchronized_method_modifier_vs_statement() {
+    let unit = parse_clean(
+        r#"
+        class A {
+            synchronized void m() { }
+            void n() { synchronized (lock) { poke(); } }
+        }
+        "#,
+    );
+    assert_eq!(unit.types[0].methods().count(), 2);
+}

@@ -1,0 +1,124 @@
+//! Partial-program support: `parse_snippet` accepts compilation units,
+//! bare class bodies, and bare statement sequences.
+
+use javalang::ast::{Member, Stmt};
+use javalang::parse_snippet;
+
+#[test]
+fn full_unit_passes_through() {
+    let unit = parse_snippet("package p; class A { void m() {} }").unwrap();
+    assert_eq!(unit.types[0].name, "A");
+    assert_eq!(unit.package.as_deref(), Some("p"));
+}
+
+#[test]
+fn bare_method_is_wrapped() {
+    let unit = parse_snippet(
+        r#"
+        byte[] encrypt(byte[] data, Key key) throws Exception {
+            Cipher c = Cipher.getInstance("AES");
+            c.init(Cipher.ENCRYPT_MODE, key);
+            return c.doFinal(data);
+        }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(unit.types[0].name, "__Snippet__");
+    let methods: Vec<_> = unit.types[0].methods().collect();
+    assert_eq!(methods.len(), 1);
+    assert_eq!(methods[0].name, "encrypt");
+    assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
+}
+
+#[test]
+fn bare_statements_are_wrapped() {
+    let unit = parse_snippet(
+        r#"
+        Cipher c = Cipher.getInstance("AES");
+        c.init(Cipher.ENCRYPT_MODE, key);
+        byte[] out = c.doFinal(data);
+        "#,
+    )
+    .unwrap();
+    let body = unit.types[0]
+        .methods()
+        .next()
+        .unwrap()
+        .body
+        .as_ref()
+        .unwrap();
+    assert_eq!(body.stmts.len(), 3, "{body:?}");
+    assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
+    // The non-declaration statement must survive (not be dropped as a
+    // broken member).
+    assert!(body
+        .stmts
+        .iter()
+        .any(|s| matches!(s, Stmt::Expr(_))));
+}
+
+#[test]
+fn bare_fields_are_wrapped_as_members() {
+    let unit = parse_snippet(
+        r#"
+        private static final String ALGO = "AES/GCM/NoPadding";
+        Cipher cached;
+        "#,
+    )
+    .unwrap();
+    let fields: Vec<_> = unit.types[0]
+        .members
+        .iter()
+        .filter(|m| matches!(m, Member::Field(_)))
+        .collect();
+    assert_eq!(fields.len(), 2);
+}
+
+#[test]
+fn mixed_snippet_prefers_cleanest_interpretation() {
+    // A declaration plus a call: as a class body the call is a broken
+    // member (1 diagnostic); as statements both parse cleanly.
+    let unit = parse_snippet(
+        r#"
+        MessageDigest d = MessageDigest.getInstance("SHA-256");
+        d.update(payload);
+        "#,
+    )
+    .unwrap();
+    assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
+    let body = unit.types[0]
+        .methods()
+        .next()
+        .unwrap()
+        .body
+        .as_ref()
+        .unwrap();
+    assert_eq!(body.stmts.len(), 2);
+}
+
+#[test]
+fn garbage_still_errors_or_empty() {
+    let result = parse_snippet("⊥⊥⊥ not java at all ⊥⊥⊥");
+    // Either a parse error or an empty/diagnosed unit — never a panic.
+    if let Ok(unit) = result {
+        assert!(unit.types.is_empty() || !unit.diagnostics.is_empty());
+    }
+}
+
+#[test]
+fn snippet_analysis_end_to_end() {
+    // The pipeline consumes snippets through the same abstraction.
+    let unit = parse_snippet(
+        r#"SecureRandom r = new SecureRandom(); byte[] seed = { 1, 2 }; r.setSeed(seed);"#,
+    )
+    .unwrap();
+    assert_eq!(unit.types.len(), 1);
+    let body = unit.types[0]
+        .methods()
+        .next()
+        .unwrap()
+        .body
+        .as_ref()
+        .unwrap();
+    assert_eq!(body.stmts.len(), 3);
+}

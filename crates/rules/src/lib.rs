@@ -1,0 +1,45 @@
+//! Security rules for the Java Crypto API: the rule language of §6.3,
+//! the 13 elicited rules of Figure 9, CryptoLint's oracle rules CL1–CL5,
+//! change classification (§6.2), the CryptoChecker (§6.4), and automatic
+//! rule suggestion (§6.3).
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::{analyze, ApiModel};
+//! use rules::{CryptoChecker, CheckedProject, ProjectContext};
+//!
+//! let unit = javalang::parse_compilation_unit(
+//!     r#"class C { void m() throws Exception { Cipher c = Cipher.getInstance("AES"); } }"#,
+//! )?;
+//! let project = CheckedProject {
+//!     name: "demo".to_owned(),
+//!     usages: vec![analyze(&unit, &ApiModel::standard())],
+//!     context: ProjectContext::plain(),
+//! };
+//! let checker = CryptoChecker::standard();
+//! let violations = checker.violations(&project);
+//! assert!(violations.contains(&"R7".to_owned()), "default AES is ECB");
+//! # Ok::<(), javalang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod checker;
+pub mod classify;
+pub mod cryptolint;
+pub mod dagcheck;
+pub mod dsl;
+pub mod formula;
+pub mod rule;
+pub mod suggest;
+
+pub use builtin::all_rules;
+pub use checker::{CheckScope, CheckedProject, CryptoChecker, RuleStats};
+pub use classify::{classify_change, classify_dag_pair, ChangeClass};
+pub use dagcheck::clause_triggers;
+pub use cryptolint::cryptolint_rules;
+pub use formula::{ArgConstraint, CallPred, Formula};
+pub use rule::{Applicability, ClassClause, ContextCond, Evidence, ProjectContext, Rule};
+pub use suggest::SuggestedRule;

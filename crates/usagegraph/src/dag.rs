@@ -1,0 +1,375 @@
+//! Usage DAGs (paper §3.4).
+//!
+//! A node's identity is its root-to-node **label path** — this respects
+//! the edge structure, makes the node-set intersection/union of the
+//! distance metric well-defined across graphs, and directly yields the
+//! feature paths of §3.5. On the paper's Figure 2 example this
+//! representation reproduces the published distance (`1/2`) and the
+//! published removed/added features exactly.
+
+use crate::matching::min_cost_assignment;
+use absdomain::{AValue, AllocSite};
+use analysis::Usages;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Default maximum path length (the paper's construction depth n = 5).
+pub const DEFAULT_MAX_DEPTH: usize = 5;
+
+/// One root-to-node label path, e.g.
+/// `["Cipher", "getInstance", "arg1:AES"]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeaturePath(pub Vec<String>);
+
+impl FeaturePath {
+    /// The labels of the path.
+    pub fn labels(&self) -> &[String] {
+        &self.0
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the path has no labels (never produced by builders).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `true` if `self` is a strict prefix of `other`.
+    pub fn is_strict_prefix_of(&self, other: &FeaturePath) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for FeaturePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join(" "))
+    }
+}
+
+/// A rooted usage DAG, represented by its set of root-to-node label
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageDag {
+    /// The root object's type (the root node label).
+    pub root_type: String,
+    /// All root-to-node label paths, including the trivial root path.
+    pub paths: BTreeSet<FeaturePath>,
+}
+
+impl UsageDag {
+    /// The empty DAG for `root_type`: just the root node. Used to pad
+    /// version sides with unequal object counts (paper §3.5).
+    pub fn empty(root_type: impl Into<String>) -> Self {
+        let root_type = root_type.into();
+        let mut paths = BTreeSet::new();
+        paths.insert(FeaturePath(vec![root_type.clone()]));
+        UsageDag { root_type, paths }
+    }
+
+    /// `true` if this DAG is just a root node.
+    pub fn is_trivial(&self) -> bool {
+        self.paths.len() <= 1
+    }
+
+    /// The intersection-over-union node distance of §3.5:
+    /// `1 − |N₁∩N₂| / |N₁∪N₂|`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use usagegraph::UsageDag;
+    ///
+    /// let a = UsageDag::empty("Cipher");
+    /// assert_eq!(a.distance(&a), 0.0);
+    /// let b = UsageDag::empty("MessageDigest");
+    /// assert_eq!(a.distance(&b), 1.0, "disjoint node sets");
+    /// ```
+    pub fn distance(&self, other: &UsageDag) -> f64 {
+        let inter = self.paths.intersection(&other.paths).count();
+        let union = self.paths.union(&other.paths).count();
+        if union == 0 {
+            return 0.0;
+        }
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+/// Builds the usage DAG for the abstract object at `root`, expanding
+/// nested abstract objects breadth-first up to `max_depth` labels per
+/// path.
+pub fn build_dag(usages: &Usages, root: AllocSite, max_depth: usize) -> UsageDag {
+    let root_type = usages
+        .type_of(root)
+        .unwrap_or("<unknown>")
+        .to_owned();
+    let mut dag = UsageDag::empty(root_type.clone());
+    let mut on_path: Vec<(absdomain::MethodSig, Vec<AValue>)> = Vec::new();
+    expand(
+        usages,
+        root,
+        &root_type,
+        &FeaturePath(vec![root_type.clone()]),
+        max_depth,
+        &mut dag.paths,
+        &mut on_path,
+        /*is_root=*/ true,
+    );
+    dag
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    usages: &Usages,
+    site: AllocSite,
+    owner_type: &str,
+    prefix: &FeaturePath,
+    max_depth: usize,
+    paths: &mut BTreeSet<FeaturePath>,
+    on_path: &mut Vec<(absdomain::MethodSig, Vec<AValue>)>,
+    is_root: bool,
+) {
+    if prefix.len() >= max_depth {
+        return;
+    }
+    for event in usages.events_of(site) {
+        // Nested objects expand only with their own class's methods
+        // (creation and self-calls); the methods of *other* classes they
+        // are passed to already appear above them in the DAG. This is
+        // what keeps Figure 2(c)'s IvParameterSpec node to a single
+        // `<init>` child.
+        if !is_root && event.method.class != owner_type {
+            continue;
+        }
+        // Cycle prevention (paper: "add an edge … if it does not
+        // introduce a cycle"): an event already on the current expansion
+        // path is the same (m, σ) node.
+        let key = (event.method.clone(), event.args.clone());
+        if on_path.contains(&key) {
+            continue;
+        }
+        let method_label = event.method.label_for(owner_type);
+        let mut method_path = prefix.0.clone();
+        method_path.push(method_label);
+        let method_path = FeaturePath(method_path);
+        paths.insert(method_path.clone());
+
+        if method_path.len() >= max_depth {
+            continue;
+        }
+        for (index, arg) in event.args.iter().enumerate() {
+            let label = format!("arg{}:{}", index + 1, arg.label());
+            let mut arg_path = method_path.0.clone();
+            arg_path.push(label);
+            let arg_path = FeaturePath(arg_path);
+            paths.insert(arg_path.clone());
+
+            if let AValue::Obj { site: arg_site, ty } = arg {
+                if *arg_site != site {
+                    on_path.push(key.clone());
+                    expand(
+                        usages, *arg_site, ty, &arg_path, max_depth, paths, on_path,
+                        /*is_root=*/ false,
+                    );
+                    on_path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Builds one DAG per abstract object of type `class` in `usages`,
+/// ordered by allocation site.
+pub fn dags_for_class(usages: &Usages, class: &str, max_depth: usize) -> Vec<UsageDag> {
+    usages
+        .objects_of_type(class)
+        .map(|site| build_dag(usages, site, max_depth))
+        .collect()
+}
+
+/// Pairs old-version DAGs with new-version DAGs by solving a min-cost
+/// matching under the IoU distance (§3.5). Sides of unequal size are
+/// padded with [`UsageDag::empty`].
+///
+/// Returns the paired DAGs (old, new) — padded entries appear as
+/// trivial DAGs.
+pub fn pair_dags(
+    old: &[UsageDag],
+    new: &[UsageDag],
+    class: &str,
+) -> Vec<(UsageDag, UsageDag)> {
+    let n = old.len().max(new.len());
+    if n == 0 {
+        return Vec::new();
+    }
+    let pad = UsageDag::empty(class);
+    let old_padded: Vec<&UsageDag> = (0..n)
+        .map(|i| old.get(i).unwrap_or(&pad))
+        .collect();
+    let new_padded: Vec<&UsageDag> = (0..n)
+        .map(|i| new.get(i).unwrap_or(&pad))
+        .collect();
+
+    let cost: Vec<Vec<f64>> = old_padded
+        .iter()
+        .map(|a| new_padded.iter().map(|b| a.distance(b)).collect())
+        .collect();
+    let (assignment, _) = min_cost_assignment(&cost);
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| (old_padded[i].clone(), new_padded[j].clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::{analyze, ApiModel};
+
+    fn dag_of(src: &str, class: &str) -> Vec<UsageDag> {
+        let unit = javalang::parse_compilation_unit(src).unwrap();
+        let usages = analyze(&unit, &ApiModel::standard());
+        dags_for_class(&usages, class, DEFAULT_MAX_DEPTH)
+    }
+
+    const FIGURE2_OLD: &str = r#"
+        class AESCipher {
+            Cipher enc, dec;
+            final String algorithm = "AES";
+            protected void setKey(Secret key) {
+                try {
+                    enc = Cipher.getInstance(algorithm);
+                    enc.init(Cipher.ENCRYPT_MODE, key);
+                    dec = Cipher.getInstance(algorithm);
+                    dec.init(Cipher.DECRYPT_MODE, key);
+                } catch (Exception e) { }
+            }
+        }
+    "#;
+
+    const FIGURE2_NEW: &str = r#"
+        class AESCipher {
+            Cipher enc, dec;
+            final String algorithm = "AES/CBC/PKCS5Padding";
+            protected void setKeyAndIV(Secret key, String iv) {
+                byte[] ivBytes;
+                IvParameterSpec ivSpec;
+                try {
+                    ivBytes = Hex.decodeHex(iv.toCharArray());
+                    ivSpec = new IvParameterSpec(ivBytes);
+                    enc = Cipher.getInstance(algorithm);
+                    enc.init(Cipher.ENCRYPT_MODE, key, ivSpec);
+                    dec = Cipher.getInstance(algorithm);
+                    dec.init(Cipher.DECRYPT_MODE, key, ivSpec);
+                } catch (Exception e) { }
+            }
+        }
+    "#;
+
+    fn paths_of(dag: &UsageDag) -> Vec<String> {
+        dag.paths.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn figure2b_old_enc_dag() {
+        let dags = dag_of(FIGURE2_OLD, "Cipher");
+        assert_eq!(dags.len(), 2);
+        let enc = &dags[0];
+        let expected: BTreeSet<String> = [
+            "Cipher",
+            "Cipher getInstance",
+            "Cipher getInstance arg1:AES",
+            "Cipher init",
+            "Cipher init arg1:ENCRYPT_MODE",
+            "Cipher init arg2:Secret",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        let got: BTreeSet<String> = paths_of(enc).into_iter().collect();
+        assert_eq!(got, expected, "Figure 2(b) node set");
+    }
+
+    #[test]
+    fn figure2c_new_enc_dag() {
+        let dags = dag_of(FIGURE2_NEW, "Cipher");
+        let enc = &dags[0];
+        let expected: BTreeSet<String> = [
+            "Cipher",
+            "Cipher getInstance",
+            "Cipher getInstance arg1:AES/CBC/PKCS5Padding",
+            "Cipher init",
+            "Cipher init arg1:ENCRYPT_MODE",
+            "Cipher init arg2:Secret",
+            "Cipher init arg3:IvParameterSpec",
+            "Cipher init arg3:IvParameterSpec <init>",
+            "Cipher init arg3:IvParameterSpec <init> arg1:\u{22a4}byte[]",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        let got: BTreeSet<String> = paths_of(enc).into_iter().collect();
+        assert_eq!(got, expected, "Figure 2(c) node set with cycle-free <init>");
+    }
+
+    #[test]
+    fn figure2_distance_is_one_half() {
+        let old = dag_of(FIGURE2_OLD, "Cipher");
+        let new = dag_of(FIGURE2_NEW, "Cipher");
+        let d = old[0].distance(&new[0]);
+        assert!((d - 0.5).abs() < 1e-9, "paper reports dist = 1/2, got {d}");
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_examples() {
+        let old = dag_of(FIGURE2_OLD, "Cipher");
+        let new = dag_of(FIGURE2_NEW, "Cipher");
+        for a in old.iter().chain(new.iter()) {
+            assert!(a.distance(a).abs() < 1e-9, "d(x,x) = 0");
+            for b in old.iter().chain(new.iter()) {
+                let ab = a.distance(b);
+                assert!((ab - b.distance(a)).abs() < 1e-9, "symmetry");
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_matches_like_with_like() {
+        let old = dag_of(FIGURE2_OLD, "Cipher");
+        let new = dag_of(FIGURE2_NEW, "Cipher");
+        let pairs = pair_dags(&old, &new, "Cipher");
+        assert_eq!(pairs.len(), 2);
+        // enc pairs with enc (both use ENCRYPT_MODE), dec with dec.
+        let enc_pair = &pairs[0];
+        assert!(enc_pair.0.paths.iter().any(|p| p.to_string().contains("ENCRYPT")));
+        assert!(enc_pair.1.paths.iter().any(|p| p.to_string().contains("ENCRYPT")));
+    }
+
+    #[test]
+    fn pairing_pads_unequal_sides() {
+        let old = dag_of(FIGURE2_OLD, "Cipher");
+        let pairs = pair_dags(&old, &[], "Cipher");
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|(_, new)| new.is_trivial()));
+    }
+
+    #[test]
+    fn empty_dag_distance_to_itself_is_zero() {
+        let a = UsageDag::empty("Cipher");
+        let b = UsageDag::empty("Cipher");
+        assert!(a.distance(&b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_prefix() {
+        let a = FeaturePath(vec!["A".into(), "b".into()]);
+        let b = FeaturePath(vec!["A".into(), "b".into(), "c".into()]);
+        assert!(a.is_strict_prefix_of(&b));
+        assert!(!b.is_strict_prefix_of(&a));
+        assert!(!a.is_strict_prefix_of(&a));
+    }
+}

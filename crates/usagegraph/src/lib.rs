@@ -1,0 +1,67 @@
+//! Usage DAGs and usage changes (paper §3.4–3.5).
+//!
+//! Pipeline stage: given the abstract usages of an old and a new
+//! program version, build one DAG per abstract object, pair the DAGs
+//! across versions with a minimum-cost matching under the
+//! intersection-over-union distance, and diff each pair into a
+//! [`UsageChange`] — the `(F⁻, F⁺)` feature sets that all later stages
+//! (filtering, clustering, rule elicitation) operate on.
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::{analyze, ApiModel};
+//! use usagegraph::usage_changes;
+//!
+//! let api = ApiModel::standard();
+//! let old = analyze(
+//!     &javalang::parse_compilation_unit(
+//!         r#"class C { void m() throws Exception { Cipher c = Cipher.getInstance("AES"); } }"#,
+//!     )?,
+//!     &api,
+//! );
+//! let new = analyze(
+//!     &javalang::parse_compilation_unit(
+//!         r#"class C { void m() throws Exception { Cipher c = Cipher.getInstance("AES/GCM/NoPadding"); } }"#,
+//!     )?,
+//!     &api,
+//! );
+//! let changes = usage_changes(&old, &new, "Cipher");
+//! assert_eq!(changes.len(), 1);
+//! assert_eq!(changes[0].removed[0].to_string(), "Cipher getInstance arg1:AES");
+//! # Ok::<(), javalang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dag;
+mod diff;
+pub mod matching;
+
+pub use dag::{
+    build_dag, dags_for_class, pair_dags, FeaturePath, UsageDag, DEFAULT_MAX_DEPTH,
+};
+pub use diff::{diff_dags, removed, shortest, UsageChange};
+
+use analysis::Usages;
+
+/// Derives all usage changes of `class` between two program versions:
+/// build DAGs → pair → diff (Figure 4 of the paper).
+pub fn usage_changes(old: &Usages, new: &Usages, class: &str) -> Vec<UsageChange> {
+    usage_changes_with_depth(old, new, class, DEFAULT_MAX_DEPTH)
+}
+
+/// [`usage_changes`] with an explicit DAG construction depth.
+pub fn usage_changes_with_depth(
+    old: &Usages,
+    new: &Usages,
+    class: &str,
+    max_depth: usize,
+) -> Vec<UsageChange> {
+    let old_dags = dags_for_class(old, class, max_depth);
+    let new_dags = dags_for_class(new, class, max_depth);
+    pair_dags(&old_dags, &new_dags, class)
+        .iter()
+        .map(|(a, b)| diff_dags(a, b))
+        .collect()
+}

@@ -1,0 +1,188 @@
+//! Minimum-cost assignment (Hungarian algorithm, O(n³)).
+//!
+//! Used twice in the pipeline: to pair old-version DAGs with
+//! new-version DAGs (paper §3.5), and to match removed/added feature
+//! paths when computing `pathsDist` (paper §4.3).
+
+/// Solves the assignment problem on a square cost matrix.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = col`.
+///
+/// # Panics
+///
+/// Panics if `cost` is not square or is empty in a ragged way.
+pub fn min_cost_assignment(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+
+    const INF: f64 = f64::INFINITY;
+    // Potentials-based Hungarian algorithm with 1-based sentinel row/col.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row assigned to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(row, &col)| cost[row][col])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (a, c) = min_cost_assignment(&[]);
+        assert!(a.is_empty());
+        assert_close(c, 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let (a, c) = min_cost_assignment(&[vec![3.5]]);
+        assert_eq!(a, vec![0]);
+        assert_close(c, 3.5);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_cheaper() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let (a, c) = min_cost_assignment(&cost);
+        assert_eq!(a, vec![1, 0]);
+        assert_close(c, 2.0);
+    }
+
+    #[test]
+    fn three_by_three_known_optimum() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (_, c) = min_cost_assignment(&cost);
+        assert_close(c, 5.0); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let cost = vec![
+            vec![0.3, 0.9, 0.1, 0.7],
+            vec![0.8, 0.2, 0.6, 0.4],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.0, 1.0, 0.9, 0.2],
+        ];
+        let (a, _) = min_cost_assignment(&cost);
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn optimal_vs_brute_force() {
+        // Deterministic pseudo-random matrices, checked against brute
+        // force over all permutations.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for n in 1..=5 {
+            let cost: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let (_, got) = min_cost_assignment(&cost);
+            let best = permutations(n)
+                .into_iter()
+                .map(|perm| {
+                    perm.iter()
+                        .enumerate()
+                        .map(|(i, &j)| cost[i][j])
+                        .sum::<f64>()
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert_close(got, best);
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for rest in permutations(n - 1) {
+            for pos in 0..=rest.len() {
+                let mut p = rest.clone();
+                p.insert(pos, n - 1);
+                out.push(p);
+            }
+        }
+        out
+    }
+}

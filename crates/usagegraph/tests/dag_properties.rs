@@ -1,0 +1,154 @@
+//! Structural properties of usage-DAG construction: depth bounds,
+//! cycle prevention, nested expansion, and pairing stability.
+
+use analysis::{analyze, ApiModel, Usages};
+use usagegraph::{build_dag, dags_for_class, pair_dags, usage_changes_with_depth, UsageDag};
+
+fn usages(src: &str) -> Usages {
+    let unit = javalang::parse_compilation_unit(src).unwrap();
+    analyze(&unit, &ApiModel::standard())
+}
+
+fn dag(src: &str, class: &str, depth: usize) -> UsageDag {
+    let u = usages(src);
+    let site = u.objects_of_type(class).next().expect("object");
+    build_dag(&u, site, depth)
+}
+
+const NESTED: &str = r#"
+    class C {
+        void m(Key key, byte[] ivBytes) throws Exception {
+            IvParameterSpec iv = new IvParameterSpec(ivBytes);
+            Cipher c = Cipher.getInstance("AES/CBC/PKCS5Padding");
+            c.init(Cipher.ENCRYPT_MODE, key, iv);
+        }
+    }
+"#;
+
+#[test]
+fn paths_respect_depth_bound() {
+    for depth in 1..=6 {
+        let d = dag(NESTED, "Cipher", depth);
+        assert!(
+            d.paths.iter().all(|p| p.len() <= depth),
+            "depth {depth}: {:?}",
+            d.paths
+        );
+    }
+}
+
+#[test]
+fn deeper_dags_are_supersets() {
+    let shallow = dag(NESTED, "Cipher", 3);
+    let deep = dag(NESTED, "Cipher", 5);
+    assert!(shallow.paths.is_subset(&deep.paths));
+    assert!(shallow.paths.len() < deep.paths.len());
+}
+
+#[test]
+fn every_non_root_path_extends_a_parent() {
+    let d = dag(NESTED, "Cipher", 5);
+    for p in &d.paths {
+        if p.len() <= 1 {
+            continue;
+        }
+        let parent = usagegraph::FeaturePath(p.labels()[..p.len() - 1].to_vec());
+        assert!(
+            d.paths.contains(&parent),
+            "path {p} has no parent in the DAG"
+        );
+    }
+}
+
+#[test]
+fn root_path_always_present() {
+    let d = dag(NESTED, "Cipher", 5);
+    assert!(d
+        .paths
+        .contains(&usagegraph::FeaturePath(vec!["Cipher".to_owned()])));
+}
+
+#[test]
+fn mutual_usage_does_not_loop() {
+    // The IV spec flows into two ciphers, which both reference it; the
+    // construction must terminate and not re-expand the same event.
+    let src = r#"
+        class C {
+            void m(Key key, byte[] ivBytes) throws Exception {
+                IvParameterSpec iv = new IvParameterSpec(ivBytes);
+                Cipher a = Cipher.getInstance("AES/CBC/PKCS5Padding");
+                a.init(Cipher.ENCRYPT_MODE, key, iv);
+                Cipher b = Cipher.getInstance("AES/CBC/PKCS5Padding");
+                b.init(Cipher.DECRYPT_MODE, key, iv);
+            }
+        }
+    "#;
+    let u = usages(src);
+    for site in u.objects_of_type("Cipher") {
+        let d = build_dag(&u, site, 8);
+        assert!(d.paths.len() < 60, "expansion exploded: {}", d.paths.len());
+    }
+    // The IvParameterSpec root DAG carries the foreign Cipher.init usage.
+    let iv_site = u.objects_of_type("IvParameterSpec").next().unwrap();
+    let iv_dag = build_dag(&u, iv_site, 5);
+    assert!(
+        iv_dag
+            .paths
+            .iter()
+            .any(|p| p.to_string().contains("Cipher.init")),
+        "{:?}",
+        iv_dag.paths
+    );
+}
+
+#[test]
+fn pairing_is_stable_under_reordering() {
+    let old_u = usages(NESTED);
+    let old = dags_for_class(&old_u, "Cipher", 5);
+    let new = old.clone();
+    let pairs = pair_dags(&old, &new, "Cipher");
+    for (a, b) in &pairs {
+        assert_eq!(a, b, "identical versions must pair each DAG with itself");
+    }
+}
+
+#[test]
+fn usage_changes_with_smaller_depth_lose_nested_features() {
+    let old = usages(
+        r#"class C { void m(Key k) throws Exception {
+            Cipher c = Cipher.getInstance("AES");
+            c.init(Cipher.ENCRYPT_MODE, k);
+        } }"#,
+    );
+    let new = usages(NESTED);
+    let at5 = usage_changes_with_depth(&old, &new, "Cipher", 5);
+    let at2 = usage_changes_with_depth(&old, &new, "Cipher", 2);
+    let f5: Vec<String> = at5[0].added.iter().map(|p| p.to_string()).collect();
+    let f2: Vec<String> = at2[0].added.iter().map(|p| p.to_string()).collect();
+    assert!(
+        f5.iter().any(|p| p.contains("arg3:IvParameterSpec")),
+        "{f5:?}"
+    );
+    assert!(
+        !f2.iter().any(|p| p.contains("arg3")),
+        "depth 2 cannot see argument features: {f2:?}"
+    );
+}
+
+#[test]
+fn distance_monotone_under_feature_removal() {
+    // Removing a differing feature cannot increase the distance.
+    let a = dag(NESTED, "Cipher", 5);
+    let mut b = a.clone();
+    let extra = usagegraph::FeaturePath(vec![
+        "Cipher".to_owned(),
+        "getInstance".to_owned(),
+        "arg2:BC".to_owned(),
+    ]);
+    b.paths.insert(extra.clone());
+    let with_extra = a.distance(&b);
+    b.paths.remove(&extra);
+    let without = a.distance(&b);
+    assert!(without <= with_extra);
+    assert_eq!(without, 0.0);
+}

@@ -1,0 +1,44 @@
+//! Automatic rule suggestion (paper §6.3): derive a candidate security
+//! rule from each curated fix pair and show that the rule matches the
+//! *unfixed* code but not the fixed code.
+//!
+//! Run with: `cargo run --example rule_suggestion`
+
+use analysis::TARGET_CLASSES;
+use corpus::fixtures::all_fix_pairs;
+use diffcode::DiffCode;
+use rules::SuggestedRule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dc = DiffCode::new();
+
+    for pair in all_fix_pairs() {
+        println!("=== {} — {} ===\n", pair.name, pair.description);
+        print!("{}", corpus::render_patch(pair.old, pair.new));
+
+        // Find the class whose usage actually changed.
+        for class in TARGET_CLASSES {
+            let changes = dc.usage_changes_from_pair(pair.old, pair.new, class)?;
+            for (_, _, change) in changes {
+                if change.is_same()
+                    || change.is_pure_addition()
+                    || change.is_pure_removal()
+                {
+                    continue;
+                }
+                let rule = SuggestedRule::from_change(&change);
+                println!("\nsuggested rule:\n{rule}");
+
+                let old_usages = dc.analyze_source(pair.old)?;
+                let new_usages = dc.analyze_source(pair.new)?;
+                println!(
+                    "\n  matches unfixed code: {}",
+                    rule.matches(&old_usages)
+                );
+                println!("  matches fixed code:   {}", rule.matches(&new_usages));
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! CryptoChecker over whole generated projects (the paper's §6.4),
+//! including the Android-context rule R6 and the composite rule R13.
+
+use corpus::{generate, GeneratorConfig};
+use diffcode::Experiments;
+use rules::CryptoChecker;
+
+#[test]
+fn figure10_headline_over_57_percent() {
+    let mut exp = Experiments::new(generate(&GeneratorConfig::small(80, 0xC4EC)));
+    let out = exp.figure10();
+    assert_eq!(out.total_projects, 80);
+    let pct = 100.0 * out.any_violation as f64 / out.total_projects as f64;
+    assert!(pct > 57.0, "paper: >57%; got {pct:.1}%");
+}
+
+#[test]
+fn figure10_rule_shape() {
+    let mut exp = Experiments::new(generate(&GeneratorConfig::small(120, 0xC4ED)));
+    let out = exp.figure10();
+    let get = |id: &str| out.rows.iter().find(|r| r.rule_id == id).unwrap();
+
+    // R3 (don't construct SecureRandom without SHA1PRNG): nearly all
+    // applicable projects match (paper: 94.8%).
+    let r3 = get("R3");
+    assert!(r3.applicable > 0);
+    assert!(r3.matching_pct() > 60.0, "R3: {:?}", r3);
+
+    // R5 (BouncyCastle provider): nearly all Cipher users match
+    // (paper: 97.6%).
+    let r5 = get("R5");
+    assert!(r5.matching_pct() > 80.0, "R5: {:?}", r5);
+
+    // R12 (static seed) is rare (paper: 0.3%).
+    let r12 = get("R12");
+    assert!(r12.matching_pct() < 15.0, "R12: {:?}", r12);
+
+    // R4 (getInstanceStrong) is rare (paper: 1%).
+    let r4 = get("R4");
+    assert!(r4.matching_pct() < 15.0, "R4: {:?}", r4);
+
+    // R13 applies to few projects (paper: 1.5% of projects).
+    let r13 = get("R13");
+    assert!(
+        (r13.applicable as f64) < 0.15 * out.total_projects as f64,
+        "R13: {:?}",
+        r13
+    );
+
+    // Rules sharing a subject class report identical applicability.
+    assert_eq!(get("R3").applicable, get("R4").applicable);
+    assert_eq!(get("R7").applicable, get("R8").applicable);
+    assert_eq!(get("R2").applicable, get("R11").applicable);
+}
+
+#[test]
+fn android_only_rule_needs_android_context() {
+    let mut exp = Experiments::new(generate(&GeneratorConfig::small(100, 0xA11D)));
+    let out = exp.figure10();
+    let r6 = out.rows.iter().find(|r| r.rule_id == "R6").unwrap();
+    let r3 = out.rows.iter().find(|r| r.rule_id == "R3").unwrap();
+    // R6 applies only to Android projects, a strict subset of
+    // SecureRandom users.
+    assert!(r6.applicable < r3.applicable, "{r6:?} vs {r3:?}");
+    assert!(r6.matching <= r6.applicable);
+}
+
+#[test]
+fn violations_are_reported_per_project() {
+    let mut exp = Experiments::new(generate(&GeneratorConfig::small(25, 0x77)));
+    let checker = CryptoChecker::standard();
+    let projects = exp.checked_projects();
+    assert_eq!(projects.len(), 25);
+    let mut any = 0;
+    for project in &projects {
+        let violations = checker.violations(project);
+        // Violations are sorted rule ids from the known set.
+        for v in &violations {
+            assert!(v.starts_with('R'), "{v}");
+        }
+        if !violations.is_empty() {
+            any += 1;
+        }
+    }
+    assert!(any > 0);
+}
+
+#[test]
+fn head_analysis_matches_final_commit_state() {
+    // The checker sees the project as of HEAD: a project whose last
+    // security state changed must be judged on the final state.
+    let corpus = generate(&GeneratorConfig::small(10, 0xBEEF));
+    let mut exp = Experiments::new(corpus.clone());
+    let projects = exp.checked_projects();
+    for (project, checked) in corpus.projects.iter().zip(&projects) {
+        assert_eq!(project.full_name(), checked.name);
+        assert_eq!(project.head_files().len(), checked.usages.len());
+    }
+}

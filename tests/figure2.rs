@@ -1,0 +1,116 @@
+//! Byte-for-byte reproduction of the paper's Figure 2: the `AESCipher`
+//! code change, the usage DAGs of the `enc` object before and after,
+//! the DAG distance, and the removed/added features.
+
+use corpus::fixtures::{FIGURE2_NEW, FIGURE2_OLD};
+use diffcode::DiffCode;
+use std::collections::BTreeSet;
+
+fn paths_of(dag: &usagegraph::UsageDag) -> BTreeSet<String> {
+    dag.paths.iter().map(|p| p.to_string()).collect()
+}
+
+#[test]
+fn figure2b_old_enc_dag_node_set() {
+    let mut dc = DiffCode::new();
+    let changes = dc
+        .usage_changes_from_pair(FIGURE2_OLD, FIGURE2_NEW, "Cipher")
+        .unwrap();
+    let enc = changes
+        .iter()
+        .find(|(old, _, _)| {
+            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+        })
+        .expect("enc object");
+    let expected: BTreeSet<String> = [
+        "Cipher",
+        "Cipher getInstance",
+        "Cipher getInstance arg1:AES",
+        "Cipher init",
+        "Cipher init arg1:ENCRYPT_MODE",
+        "Cipher init arg2:Secret",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    assert_eq!(paths_of(&enc.0), expected);
+}
+
+#[test]
+fn figure2c_new_enc_dag_node_set() {
+    let mut dc = DiffCode::new();
+    let changes = dc
+        .usage_changes_from_pair(FIGURE2_OLD, FIGURE2_NEW, "Cipher")
+        .unwrap();
+    let enc = changes
+        .iter()
+        .find(|(old, _, _)| {
+            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+        })
+        .expect("enc object");
+    let expected: BTreeSet<String> = [
+        "Cipher",
+        "Cipher getInstance",
+        "Cipher getInstance arg1:AES/CBC/PKCS5Padding",
+        "Cipher init",
+        "Cipher init arg1:ENCRYPT_MODE",
+        "Cipher init arg2:Secret",
+        "Cipher init arg3:IvParameterSpec",
+        "Cipher init arg3:IvParameterSpec <init>",
+        "Cipher init arg3:IvParameterSpec <init> arg1:\u{22a4}byte[]",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    assert_eq!(paths_of(&enc.1), expected);
+}
+
+#[test]
+fn figure2_distance_is_one_half() {
+    let mut dc = DiffCode::new();
+    let changes = dc
+        .usage_changes_from_pair(FIGURE2_OLD, FIGURE2_NEW, "Cipher")
+        .unwrap();
+    let enc = &changes[0];
+    assert!((enc.0.distance(&enc.1) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn figure2d_removed_and_added_features() {
+    let mut dc = DiffCode::new();
+    let changes = dc
+        .usage_changes_from_pair(FIGURE2_OLD, FIGURE2_NEW, "Cipher")
+        .unwrap();
+    let (_, _, change) = changes
+        .iter()
+        .find(|(old, _, _)| {
+            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+        })
+        .expect("enc object");
+
+    let removed: Vec<String> = change.removed.iter().map(|p| p.to_string()).collect();
+    let added: Vec<String> = change.added.iter().map(|p| p.to_string()).collect();
+
+    assert_eq!(removed, vec!["Cipher getInstance arg1:AES".to_owned()]);
+    assert!(added.contains(&"Cipher getInstance arg1:AES/CBC/PKCS5Padding".to_owned()));
+    assert!(added.contains(&"Cipher init arg3:IvParameterSpec".to_owned()));
+    // Shortest-path property: the <init> subtree of the IV spec must
+    // NOT appear (its prefix is already an added feature).
+    assert!(
+        !added.iter().any(|p| p.contains("<init>")),
+        "{added:?}"
+    );
+}
+
+#[test]
+fn both_cipher_objects_change_identically_modulo_mode_constant() {
+    let mut dc = DiffCode::new();
+    let changes = dc
+        .usage_changes_from_pair(FIGURE2_OLD, FIGURE2_NEW, "Cipher")
+        .unwrap();
+    assert_eq!(changes.len(), 2);
+    for (_, _, change) in &changes {
+        assert_eq!(change.removed.len(), 1);
+        assert!(change.removed[0].to_string().ends_with("arg1:AES"));
+    }
+}

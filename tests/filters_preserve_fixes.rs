@@ -1,0 +1,103 @@
+//! The paper's central filtering claim (§6.2, Figure 7): the filters
+//! eliminate non-semantic changes but never lose security fixes (except
+//! duplicates removed by `fdup`), and fixes far outnumber buggy
+//! changes.
+
+use corpus::{generate, GeneratorConfig};
+use diffcode::Experiments;
+
+fn experiments() -> Experiments {
+    Experiments::new(generate(&GeneratorConfig::small(120, 0xF17E)))
+}
+
+#[test]
+fn no_rule_classified_fix_is_removed_by_fsame_fadd_frem() {
+    let exp = experiments();
+    for row in exp.figure7() {
+        assert_eq!(row.fix.fsame, 0, "{}: fsame dropped a fix", row.rule_id);
+        assert_eq!(row.fix.fadd, 0, "{}: fadd dropped a fix", row.rule_id);
+        assert_eq!(row.fix.frem, 0, "{}: frem dropped a fix", row.rule_id);
+        // fdup may drop duplicate fixes — the paper observes exactly
+        // one such case — and everything else must survive.
+        assert_eq!(
+            row.fix.total,
+            row.fix.fdup + row.fix.remaining,
+            "{}: fix accounting",
+            row.rule_id
+        );
+    }
+}
+
+#[test]
+fn over_80_percent_of_classified_changes_are_fixes() {
+    let exp = experiments();
+    let rows = exp.figure7();
+    let fixes: usize = rows.iter().map(|r| r.fix.total).sum();
+    let bugs: usize = rows.iter().map(|r| r.bug.total).sum();
+    assert!(fixes + bugs > 0, "corpus has classified changes");
+    let ratio = fixes as f64 / (fixes + bugs) as f64;
+    assert!(ratio > 0.8, "paper: >80% are fixes; got {ratio:.2} ({fixes}/{bugs})");
+}
+
+#[test]
+fn non_semantic_changes_dominate_and_are_filtered() {
+    let exp = experiments();
+    for row in exp.figure7() {
+        let none_total = row.none.total;
+        let all = none_total + row.fix.total + row.bug.total;
+        if all < 50 {
+            continue; // too small to be statistically meaningful
+        }
+        assert!(
+            none_total as f64 > 0.95 * all as f64,
+            "{}: most changes are non-semantic ({none_total}/{all})",
+            row.rule_id
+        );
+        // fsame is the dominant filter for non-semantic changes.
+        assert!(
+            row.none.fsame > row.none.fadd + row.none.frem,
+            "{}: {:?}",
+            row.rule_id,
+            row.none
+        );
+    }
+}
+
+#[test]
+fn classification_is_consistent_with_commit_messages() {
+    // Every usage change classified as a fix by a CL rule must come
+    // from a commit the generator labelled as a security fix (the
+    // reverse need not hold: some fixes are outside CL1–CL5's scope).
+    let exp = experiments();
+    let staged = diffcode::stage_changes(exp.mined_changes());
+    let _ = staged;
+    for row in exp.figure7() {
+        let _ = row;
+    }
+    // Detailed provenance check on the raw data:
+    use rules::{classify_dag_pair, cryptolint_rules, ChangeClass};
+    for rule in cryptolint_rules() {
+        for change in exp.mined_changes() {
+            if change.class != rule.subject_class() {
+                continue;
+            }
+            // Pure additions/removals are classified at program level
+            // by Figure 7 (an object-level "fix" that merely deletes an
+            // insecure usage is handled there); only modifications are
+            // checked here.
+            if change.change.is_pure_addition() || change.change.is_pure_removal() {
+                continue;
+            }
+            let class = classify_dag_pair(&rule, &change.old_dag, &change.new_dag);
+            if class == ChangeClass::Fix {
+                assert!(
+                    change.meta.message.starts_with("Security:")
+                        || change.meta.message.contains("Avoid blocking"),
+                    "{} classified a '{}' commit as a fix",
+                    rule.id,
+                    change.meta.message
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Property-based tests over the core data structures and invariants.
+
+use absdomain::AValue;
+use cluster::{agglomerate, label_similarity, levenshtein, path_dist, paths_dist};
+use proptest::prelude::*;
+use usagegraph::matching::min_cost_assignment;
+use usagegraph::{FeaturePath, UsageDag};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn avalue() -> impl Strategy<Value = AValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AValue::Int),
+        Just(AValue::TopInt),
+        "[a-zA-Z/]{0,12}".prop_map(AValue::Str),
+        Just(AValue::TopStr),
+        Just(AValue::ConstByte),
+        Just(AValue::TopByte),
+        Just(AValue::ConstByteArray),
+        Just(AValue::TopByteArray),
+        any::<bool>().prop_map(AValue::Bool),
+        Just(AValue::Null),
+        Just(AValue::Unknown),
+        ("[A-Z][a-zA-Z]{0,8}", "[A-Z_]{1,10}").prop_map(|(class, name)| {
+            AValue::ApiConst { class, name }
+        }),
+    ]
+}
+
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("getInstance".to_owned()),
+        Just("init".to_owned()),
+        Just("<init>".to_owned()),
+        "arg[1-3]:[A-Za-z/\\-0-9]{1,14}",
+        Just("arg1:\u{22a4}byte[]".to_owned()),
+        Just("arg1:constbyte[]".to_owned()),
+    ]
+}
+
+fn feature_path() -> impl Strategy<Value = FeaturePath> {
+    proptest::collection::vec(label(), 1..5).prop_map(|mut labels| {
+        labels.insert(0, "Cipher".to_owned());
+        FeaturePath(labels)
+    })
+}
+
+fn usage_dag() -> impl Strategy<Value = UsageDag> {
+    proptest::collection::btree_set(feature_path(), 0..8).prop_map(|mut paths| {
+        paths.insert(FeaturePath(vec!["Cipher".to_owned()]));
+        UsageDag { root_type: "Cipher".to_owned(), paths }
+    })
+}
+
+// ---------------------------------------------------------------------
+// absdomain: join is a semilattice (on the value level)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn join_is_idempotent(v in avalue()) {
+        prop_assert_eq!(v.clone().join(v.clone()), v);
+    }
+
+    #[test]
+    fn join_is_commutative(a in avalue(), b in avalue()) {
+        prop_assert_eq!(a.clone().join(b.clone()), b.join(a));
+    }
+
+    #[test]
+    fn join_is_associative(a in avalue(), b in avalue(), c in avalue()) {
+        let left = a.clone().join(b.clone()).join(c.clone());
+        let right = a.join(b.join(c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn join_absorbs_toward_top(a in avalue(), b in avalue()) {
+        let joined = a.clone().join(b);
+        // Joining again with one operand changes nothing.
+        prop_assert_eq!(joined.clone().join(a), joined);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Levenshtein / label similarity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-z]{0,12}",
+        b in "[a-z]{0,12}",
+        c in "[a-z]{0,12}",
+    ) {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let cv: Vec<char> = c.chars().collect();
+        let ab = levenshtein(&av, &bv);
+        let ba = levenshtein(&bv, &av);
+        prop_assert_eq!(ab, ba, "symmetry");
+        prop_assert_eq!(levenshtein(&av, &av), 0, "identity");
+        let ac = levenshtein(&av, &cv);
+        let cb = levenshtein(&cv, &bv);
+        prop_assert!(ab <= ac + cb, "triangle: {} > {} + {}", ab, ac, cb);
+        prop_assert!(ab <= av.len().max(bv.len()), "upper bound");
+    }
+
+    #[test]
+    fn label_similarity_bounded_symmetric(a in label(), b in label()) {
+        let ab = label_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - label_similarity(&b, &a)).abs() < 1e-12);
+        prop_assert!((label_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path and path-set distances
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn path_dist_bounded_symmetric_identity(p in feature_path(), q in feature_path()) {
+        let pq = path_dist(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&pq));
+        prop_assert!((pq - path_dist(&q, &p)).abs() < 1e-12);
+        prop_assert!(path_dist(&p, &p).abs() < 1e-12);
+        if p != q {
+            prop_assert!(pq > 0.0, "distinct paths have positive distance");
+        }
+    }
+
+    #[test]
+    fn paths_dist_zero_iff_permutation(
+        paths in proptest::collection::vec(feature_path(), 0..5)
+    ) {
+        let mut shuffled = paths.clone();
+        shuffled.reverse();
+        prop_assert!(paths_dist(&paths, &shuffled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_dist_unmatched_costs_one(
+        paths in proptest::collection::vec(feature_path(), 1..5)
+    ) {
+        let d = paths_dist(&paths, &[]);
+        prop_assert!((d - paths.len() as f64).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Usage DAGs: IoU distance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dag_distance_is_bounded_symmetric(a in usage_dag(), b in usage_dag()) {
+        let ab = a.distance(&b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - b.distance(&a)).abs() < 1e-12);
+        prop_assert!(a.distance(&a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_distance_never_one_for_same_root(a in usage_dag(), b in usage_dag()) {
+        // Both share the root path, so the intersection is non-empty.
+        prop_assert!(a.distance(&b) < 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hungarian assignment
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn assignment_is_permutation_and_not_worse_than_samples(
+        n in 1usize..6,
+        values in proptest::collection::vec(0.0f64..1.0, 36),
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| values[i * 6 + j]).collect())
+            .collect();
+        let (assignment, total) = min_cost_assignment(&cost);
+        let mut sorted = assignment.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "permutation");
+
+        // Identity and reverse permutations can never beat the optimum.
+        let identity: f64 = (0..n).map(|i| cost[i][i]).sum();
+        let reverse: f64 = (0..n).map(|i| cost[i][n - 1 - i]).sum();
+        prop_assert!(total <= identity + 1e-9);
+        prop_assert!(total <= reverse + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical clustering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dendrogram_structure(coords in proptest::collection::vec(0.0f64..100.0, 1..12)) {
+        let n = coords.len();
+        let d = agglomerate(n, |i, j| (coords[i] - coords[j]).abs());
+        prop_assert_eq!(d.n_leaves, n);
+        prop_assert_eq!(d.merges.len(), n - 1);
+        // Complete linkage produces monotone merge distances.
+        for w in d.merges.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+        // Any cut partitions the leaves.
+        for threshold in [0.0, 1.0, 50.0, f64::INFINITY] {
+            let clusters = d.cut(threshold);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+        }
+        prop_assert_eq!(d.cut(f64::INFINITY).len(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser: printing and re-parsing generated corpus code is stable
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn corpus_sources_roundtrip_through_printer(seed in 0u64..5000) {
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(1, seed));
+        let change = corpus.code_changes().next();
+        if let Some(change) = change {
+            let unit1 = javalang::parse_compilation_unit(change.new).unwrap();
+            let printed1 = javalang::pretty_print(&unit1);
+            let unit2 = javalang::parse_compilation_unit(&printed1).unwrap();
+            let printed2 = javalang::pretty_print(&unit2);
+            prop_assert_eq!(printed1, printed2);
+        }
+    }
+
+    #[test]
+    fn filters_are_idempotent(seed in 0u64..2000) {
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(2, seed));
+        let mut dc = diffcode::DiffCode::new();
+        let mined = dc.mine(&corpus, &["Cipher", "SecureRandom"]);
+        let (once, stats1) = diffcode::apply_filters(mined.changes);
+        let n_once = once.len();
+        let (twice, stats2) = diffcode::apply_filters(once);
+        prop_assert_eq!(n_once, twice.len());
+        prop_assert_eq!(stats1.after_fdup, stats2.total);
+        prop_assert_eq!(stats2.total, stats2.after_fdup, "already filtered");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Robustness: the front end and analyzer never panic on mangled input
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn parser_never_panics_on_mutated_sources(
+        seed in 0u64..500,
+        cut_start in 0usize..2000,
+        cut_len in 0usize..200,
+        splice in proptest::option::of("[ -~]{0,40}"),
+    ) {
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(1, seed));
+        let Some(change) = corpus.code_changes().next() else { return Ok(()) };
+        let mut source = change.new.to_owned();
+        // Cut a byte range (clamped to char boundaries).
+        let start = source
+            .char_indices()
+            .map(|(i, _)| i)
+            .take_while(|i| *i <= cut_start.min(source.len()))
+            .last()
+            .unwrap_or(0);
+        let end = source
+            .char_indices()
+            .map(|(i, _)| i)
+            .find(|i| *i >= (start + cut_len).min(source.len()))
+            .unwrap_or(source.len());
+        source.replace_range(start..end, splice.as_deref().unwrap_or(""));
+
+        // Must not panic; errors and diagnostics are fine.
+        if let Ok(unit) = javalang::parse_snippet(&source) {
+            let _ = analysis::analyze(&unit, &analysis::ApiModel::standard());
+        }
+    }
+
+    #[test]
+    fn analyzer_never_panics_on_random_ascii(source in "[ -~\n]{0,300}") {
+        if let Ok(unit) = javalang::parse_snippet(&source) {
+            let usages = analysis::analyze(&unit, &analysis::ApiModel::standard());
+            // And the downstream DAG construction holds up too.
+            for class in analysis::TARGET_CLASSES {
+                for site in usages.objects_of_type(class) {
+                    let _ = usagegraph::build_dag(&usages, site, 5);
+                }
+            }
+        }
+    }
+}
