@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p diffcode-bench --bin ablation [n_projects] [seed]`
 
-use cluster::{agglomerate_with, usage_dist, Linkage};
+use cluster::{agglomerate_matrix, usage_distance_matrix, Linkage};
 use diffcode::{apply_filters, stage_changes, DiffCode, FilterStage, MinedUsageChange, Table};
 use diffcode_bench::{config_from_args, header};
 use usagegraph::{FeaturePath, UsageChange};
@@ -98,17 +98,18 @@ fn ablate_linkage(corpus: &corpus::Corpus) {
     let changes: Vec<UsageChange> = filtered.iter().map(|c| c.change.clone()).collect();
     println!("{} filtered Cipher changes\n", changes.len());
 
+    // All three linkages agglomerate over one shared distance matrix:
+    // the pairwise distances do not depend on the linkage, so the
+    // ablation pays for them once.
+    let matrix = usage_distance_matrix(&changes);
+
     let mut table = Table::new(["linkage", "clusters@0.45", "largest", "max merge dist"]);
     for (name, linkage) in [
         ("single", Linkage::Single),
         ("average", Linkage::Average),
         ("complete", Linkage::Complete),
     ] {
-        let dendrogram = agglomerate_with(
-            changes.len(),
-            |i, j| usage_dist(&changes[i], &changes[j]),
-            linkage,
-        );
+        let dendrogram = agglomerate_matrix(&matrix, linkage);
         let clusters = dendrogram.cut(0.45);
         let largest = clusters.iter().map(Vec::len).max().unwrap_or(0);
         let max_dist = dendrogram

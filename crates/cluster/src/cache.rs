@@ -1,0 +1,158 @@
+//! Memoized label similarity over interned labels.
+//!
+//! The corpus re-uses a small vocabulary of DAG labels (`Cipher`,
+//! `getInstance`, `arg1:AES/CBC/PKCS5Padding`, …) across thousands of
+//! usage changes, so during a distance-matrix build the same label
+//! pair is compared many times. [`LabelCache`] interns each label once
+//! (classifying it into edit-distance units at intern time) and
+//! memoizes the Levenshtein similarity ratio per unordered id pair, so
+//! each distinct pair is computed exactly once no matter how many
+//! paths mention it. The cache is `Sync` and is shared across the
+//! worker threads of [`DistanceMatrix::from_fn`](crate::DistanceMatrix::from_fn).
+
+use crate::lev::{classify, units_similarity, LabelUnits};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// An interning, memoizing wrapper around
+/// [`label_similarity`](crate::label_similarity).
+///
+/// # Example
+///
+/// ```
+/// let cache = cluster::LabelCache::default();
+/// let direct = cluster::label_similarity("arg1:AES/ECB", "arg1:AES/CBC");
+/// assert_eq!(cache.similarity("arg1:AES/ECB", "arg1:AES/CBC"), direct);
+/// // The second lookup is a memo hit.
+/// assert_eq!(cache.similarity("arg1:AES/CBC", "arg1:AES/ECB"), direct);
+/// ```
+#[derive(Debug, Default)]
+pub struct LabelCache {
+    interner: RwLock<Interner>,
+    memo: RwLock<HashMap<u64, f64>>,
+}
+
+#[derive(Debug, Default)]
+struct Interner {
+    ids: HashMap<String, u32>,
+    /// Classification of each interned label, indexed by id.
+    units: Vec<LabelUnits>,
+}
+
+impl LabelCache {
+    /// The memoized similarity ratio — identical to
+    /// [`label_similarity`](crate::label_similarity) on the same pair.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let ia = self.intern(a);
+        let ib = self.intern(b);
+        let key = pack(ia, ib);
+        if let Some(&hit) = self.memo.read().expect("memo lock").get(&key) {
+            return hit;
+        }
+        let computed = {
+            let interner = self.interner.read().expect("interner lock");
+            units_similarity(&interner.units[ia as usize], &interner.units[ib as usize])
+        };
+        self.memo.write().expect("memo lock").insert(key, computed);
+        computed
+    }
+
+    /// Number of distinct labels interned so far.
+    #[must_use]
+    pub fn interned_labels(&self) -> usize {
+        self.interner.read().expect("interner lock").units.len()
+    }
+
+    /// Number of distinct label pairs memoized so far.
+    #[must_use]
+    pub fn memoized_pairs(&self) -> usize {
+        self.memo.read().expect("memo lock").len()
+    }
+
+    fn intern(&self, label: &str) -> u32 {
+        if let Some(&id) = self.interner.read().expect("interner lock").ids.get(label) {
+            return id;
+        }
+        let mut interner = self.interner.write().expect("interner lock");
+        // Another thread may have interned it between the locks.
+        if let Some(&id) = interner.ids.get(label) {
+            return id;
+        }
+        let id = u32::try_from(interner.units.len()).expect("fewer than 2^32 labels");
+        interner.units.push(classify(label));
+        interner.ids.insert(label.to_owned(), id);
+        id
+    }
+}
+
+/// Packs an unordered id pair into one map key.
+fn pack(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label_similarity;
+
+    #[test]
+    fn agrees_with_uncached_similarity() {
+        let cache = LabelCache::default();
+        let labels = [
+            "getInstance",
+            "init",
+            "arg1:AES/ECB/PKCS5Padding",
+            "arg1:AES/CBC/PKCS5Padding",
+            "arg1:ENCRYPT_MODE",
+            "arg3:100",
+            "arg1:constbyte[]",
+            "Cipher",
+        ];
+        for a in labels {
+            for b in labels {
+                assert_eq!(
+                    cache.similarity(a, b),
+                    label_similarity(a, b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoizes_each_unordered_pair_once() {
+        let cache = LabelCache::default();
+        cache.similarity("arg1:AES/ECB", "arg1:AES/CBC");
+        cache.similarity("arg1:AES/CBC", "arg1:AES/ECB"); // same pair, swapped
+        cache.similarity("arg1:AES/ECB", "arg1:AES/GCM");
+        assert_eq!(cache.interned_labels(), 3);
+        assert_eq!(cache.memoized_pairs(), 2);
+        // Equal labels short-circuit without touching the cache.
+        cache.similarity("arg1:AES/ECB", "arg1:AES/ECB");
+        assert_eq!(cache.memoized_pairs(), 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = LabelCache::default();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        let a = format!("arg1:AES/MODE{}", i % 5);
+                        let b = format!("arg1:AES/MODE{}", (i + t) % 5);
+                        let got = cache.similarity(&a, &b);
+                        assert_eq!(got, label_similarity(&a, &b));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.interned_labels(), 5);
+        assert!(cache.memoized_pairs() <= 10);
+    }
+}

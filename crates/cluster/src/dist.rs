@@ -1,5 +1,6 @@
 //! Distances between paths, path sets, and usage changes (paper §4.3).
 
+use crate::cache::LabelCache;
 use crate::lev::label_similarity;
 use usagegraph::matching::min_cost_assignment;
 use usagegraph::{FeaturePath, UsageChange};
@@ -24,6 +25,12 @@ use usagegraph::{FeaturePath, UsageChange};
 /// assert!(cluster::path_dist(&ecb, &cbc) < cluster::path_dist(&ecb, &init));
 /// ```
 pub fn path_dist(p1: &FeaturePath, p2: &FeaturePath) -> f64 {
+    path_dist_by(p1, p2, &label_similarity)
+}
+
+/// [`path_dist`] with a pluggable label-similarity function (the
+/// uncached default or a [`LabelCache`]).
+fn path_dist_by(p1: &FeaturePath, p2: &FeaturePath, sim: &dyn Fn(&str, &str) -> f64) -> f64 {
     if p1 == p2 {
         return 0.0;
     }
@@ -35,7 +42,7 @@ pub fn path_dist(p1: &FeaturePath, p2: &FeaturePath) -> f64 {
         .take_while(|(x, y)| x == y)
         .count();
     let lsr = if common < a.len() && common < b.len() {
-        label_similarity(&a[common], &b[common])
+        sim(&a[common], &b[common])
     } else {
         0.0
     };
@@ -47,6 +54,14 @@ pub fn path_dist(p1: &FeaturePath, p2: &FeaturePath) -> f64 {
 /// of the summed pairwise path distance. Unmatched paths (when the sets
 /// have different sizes) cost 1 each.
 pub fn paths_dist(f1: &[FeaturePath], f2: &[FeaturePath]) -> f64 {
+    paths_dist_by(f1, f2, &label_similarity)
+}
+
+fn paths_dist_by(
+    f1: &[FeaturePath],
+    f2: &[FeaturePath],
+    sim: &dyn Fn(&str, &str) -> f64,
+) -> f64 {
     if f1.is_empty() && f2.is_empty() {
         return 0.0;
     }
@@ -55,7 +70,7 @@ pub fn paths_dist(f1: &[FeaturePath], f2: &[FeaturePath]) -> f64 {
         .map(|i| {
             (0..n)
                 .map(|j| match (f1.get(i), f2.get(j)) {
-                    (Some(a), Some(b)) => path_dist(a, b),
+                    (Some(a), Some(b)) => path_dist_by(a, b, sim),
                     // A path with no counterpart is maximally distant.
                     _ => 1.0,
                 })
@@ -70,6 +85,16 @@ pub fn paths_dist(f1: &[FeaturePath], f2: &[FeaturePath]) -> f64 {
 /// feature distance and the added-feature distance.
 pub fn usage_dist(c1: &UsageChange, c2: &UsageChange) -> f64 {
     (paths_dist(&c1.removed, &c2.removed) + paths_dist(&c1.added, &c2.added)) / 2.0
+}
+
+/// [`usage_dist`] with label similarities memoized through `cache` —
+/// numerically identical, but each distinct label pair is compared at
+/// most once across an entire distance-matrix build.
+pub fn usage_dist_cached(c1: &UsageChange, c2: &UsageChange, cache: &LabelCache) -> f64 {
+    let sim = |a: &str, b: &str| cache.similarity(a, b);
+    (paths_dist_by(&c1.removed, &c2.removed, &sim)
+        + paths_dist_by(&c1.added, &c2.added, &sim))
+        / 2.0
 }
 
 #[cfg(test)]
@@ -190,5 +215,38 @@ mod tests {
         let d_cross = usage_dist(&ecb_cbc, &sha_fix);
         assert!(d_modes < d_cross, "{d_modes} vs {d_cross}");
         assert!(d_modes < 0.2, "{d_modes}");
+    }
+
+    #[test]
+    fn cached_usage_dist_is_identical() {
+        let changes = [
+            UsageChange {
+                class: "Cipher".into(),
+                removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+                added: vec![
+                    path(&["Cipher", "getInstance", "arg1:AES/CBC"]),
+                    path(&["Cipher", "init", "arg3:IvParameterSpec"]),
+                ],
+            },
+            UsageChange {
+                class: "Cipher".into(),
+                removed: vec![path(&["Cipher", "getInstance", "arg1:AES/ECB"])],
+                added: vec![path(&["Cipher", "getInstance", "arg1:AES/GCM"])],
+            },
+            UsageChange {
+                class: "MessageDigest".into(),
+                removed: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-1"])],
+                added: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-256"])],
+            },
+            UsageChange { class: "Cipher".into(), removed: vec![], added: vec![] },
+        ];
+        let cache = LabelCache::default();
+        for a in &changes {
+            for b in &changes {
+                // Bitwise equality: the cache must not change results.
+                assert_eq!(usage_dist_cached(a, b, &cache), usage_dist(a, b));
+            }
+        }
+        assert!(cache.memoized_pairs() > 0, "cache saw the repeated label pairs");
     }
 }

@@ -1,5 +1,21 @@
 //! Agglomerative hierarchical clustering with complete linkage
 //! (paper §4.3).
+//!
+//! The public entry points ([`agglomerate`], [`agglomerate_with`],
+//! [`agglomerate_matrix`]) run the O(n²) nearest-neighbor-chain
+//! algorithm from [`crate::chain`] over a shared [`DistanceMatrix`].
+//! The original quadratic-scan loop is retained as
+//! [`agglomerate_naive`]: it is the executable specification the chain
+//! is tested against, including its tie-breaking.
+
+use crate::chain::nn_chain;
+use crate::matrix::DistanceMatrix;
+
+/// Distances closer than this are merge-order ties and are broken
+/// deterministically (smallest node-id pair first). Shared by the
+/// naive reference loop and the nn-chain so both resolve ties the same
+/// way.
+pub(crate) const TIE_EPS: f64 = 1e-12;
 
 /// One merge step of the agglomeration. Node ids: `0..n` are leaves;
 /// merge `k` creates node `n + k`.
@@ -24,14 +40,21 @@ pub struct Dendrogram {
 }
 
 impl Dendrogram {
-    /// The leaf indices under node `id` (a leaf or a merge node).
+    /// The leaf indices under node `id` (a leaf or a merge node),
+    /// sorted ascending. Iterative, so deep dendrograms (e.g. a chain
+    /// of duplicate items) cannot overflow the stack.
     pub fn leaves_under(&self, id: usize) -> Vec<usize> {
-        if id < self.n_leaves {
-            return vec![id];
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(node) = stack.pop() {
+            if node < self.n_leaves {
+                out.push(node);
+            } else {
+                let merge = &self.merges[node - self.n_leaves];
+                stack.push(merge.left);
+                stack.push(merge.right);
+            }
         }
-        let merge = &self.merges[id - self.n_leaves];
-        let mut out = self.leaves_under(merge.left);
-        out.extend(self.leaves_under(merge.right));
         out.sort_unstable();
         out
     }
@@ -106,23 +129,28 @@ impl Dendrogram {
     /// mean silhouette coefficient over `k ∈ 2..=max_k`, returning
     /// `(k, clusters, score)`. With fewer than 3 leaves the trivial
     /// partition is returned with score 0.
+    ///
+    /// Takes the same shared [`DistanceMatrix`] the dendrogram was
+    /// built from: no pairwise distance is ever re-evaluated here.
+    ///
+    /// # Panics
+    ///
+    /// If `matrix` does not cover exactly `n_leaves` items.
     pub fn best_cut(
         &self,
-        dist: impl Fn(usize, usize) -> f64,
+        matrix: &DistanceMatrix,
         max_k: usize,
     ) -> (usize, Vec<Vec<usize>>, f64) {
         let n = self.n_leaves;
+        assert_eq!(matrix.len(), n, "matrix size must match the dendrogram");
         if n < 3 {
             return (n, self.cut_into(n), 0.0);
         }
-        let matrix: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { dist(i, j) }).collect())
-            .collect();
         let mut best = (2usize, self.cut_into(2), f64::NEG_INFINITY);
         for k in 2..=max_k.min(n - 1) {
             let clusters = self.cut_into(k);
-            let score = mean_silhouette(&clusters, &matrix);
-            if score > best.2 + 1e-12 {
+            let score = mean_silhouette(&clusters, matrix);
+            if score > best.2 + TIE_EPS {
                 best = (k, clusters, score);
             }
         }
@@ -179,9 +207,9 @@ pub enum Linkage {
     Average,
 }
 
-/// Mean silhouette coefficient of a partition under a precomputed
+/// Mean silhouette coefficient of a partition under the shared
 /// distance matrix; singletons score 0.
-fn mean_silhouette(clusters: &[Vec<usize>], matrix: &[Vec<f64>]) -> f64 {
+fn mean_silhouette(clusters: &[Vec<usize>], matrix: &DistanceMatrix) -> f64 {
     let n: usize = clusters.iter().map(Vec::len).sum();
     if n == 0 {
         return 0.0;
@@ -195,7 +223,7 @@ fn mean_silhouette(clusters: &[Vec<usize>], matrix: &[Vec<f64>]) -> f64 {
             let a: f64 = cluster
                 .iter()
                 .filter(|&&j| j != i)
-                .map(|&j| matrix[i][j])
+                .map(|&j| matrix.get(i, j))
                 .sum::<f64>()
                 / (cluster.len() - 1) as f64;
             let b = clusters
@@ -203,7 +231,7 @@ fn mean_silhouette(clusters: &[Vec<usize>], matrix: &[Vec<f64>]) -> f64 {
                 .enumerate()
                 .filter(|(cj, c)| *cj != ci && !c.is_empty())
                 .map(|(_, c)| {
-                    c.iter().map(|&j| matrix[i][j]).sum::<f64>() / c.len() as f64
+                    c.iter().map(|&j| matrix.get(i, j)).sum::<f64>() / c.len() as f64
                 })
                 .fold(f64::INFINITY, f64::min);
             let denom = a.max(b);
@@ -220,6 +248,12 @@ fn mean_silhouette(clusters: &[Vec<usize>], matrix: &[Vec<f64>]) -> f64 {
 ///
 /// Ties are broken deterministically by smallest node-id pair.
 ///
+/// Each pairwise distance is evaluated exactly once (in parallel, into
+/// a shared [`DistanceMatrix`]) and agglomeration runs the O(n²)
+/// nearest-neighbor chain. To reuse the matrix afterwards — e.g. for
+/// [`Dendrogram::best_cut`] — build it yourself and call
+/// [`agglomerate_matrix`].
+///
 /// # Example
 ///
 /// ```
@@ -227,12 +261,35 @@ fn mean_silhouette(clusters: &[Vec<usize>], matrix: &[Vec<f64>]) -> f64 {
 /// let tree = cluster::agglomerate(4, |i, j| (coords[i] - coords[j]).abs());
 /// assert_eq!(tree.cut(1.0), vec![vec![0, 1], vec![2, 3]]);
 /// ```
-pub fn agglomerate(n: usize, dist: impl Fn(usize, usize) -> f64) -> Dendrogram {
+pub fn agglomerate(n: usize, dist: impl Fn(usize, usize) -> f64 + Sync) -> Dendrogram {
     agglomerate_with(n, dist, Linkage::Complete)
 }
 
 /// [`agglomerate`] with an explicit linkage criterion.
 pub fn agglomerate_with(
+    n: usize,
+    dist: impl Fn(usize, usize) -> f64 + Sync,
+    linkage: Linkage,
+) -> Dendrogram {
+    agglomerate_matrix(&DistanceMatrix::from_fn(n, dist), linkage)
+}
+
+/// Agglomerates over an already-built distance matrix — the fast path
+/// when the matrix is shared with other stages (silhouette cuts,
+/// ablations, benches).
+pub fn agglomerate_matrix(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    nn_chain(matrix, linkage)
+}
+
+/// The original quadratic-scan agglomeration loop, retained as the
+/// executable specification of [`agglomerate_with`]: it recomputes
+/// cluster distances from leaf members every round (O(n³) and worse),
+/// and the nn-chain implementation is property-tested to produce the
+/// identical dendrogram — same merges, node ids, heights, and
+/// tie-breaking — on all inputs with distinct pairwise distances and
+/// exhaustively on small tie-heavy ones (see `crate::chain` for the
+/// boundary under adversarial exact ties).
+pub fn agglomerate_naive(
     n: usize,
     dist: impl Fn(usize, usize) -> f64,
     linkage: Linkage,
@@ -292,7 +349,7 @@ pub fn agglomerate_with(
                 best = Some(match best {
                     None => candidate,
                     Some(current) => {
-                        if candidate.0 < current.0 - 1e-12 {
+                        if candidate.0 < current.0 - TIE_EPS {
                             candidate
                         } else {
                             current
@@ -385,9 +442,9 @@ mod tests {
     #[test]
     fn best_cut_recovers_natural_grouping() {
         let coords: [f64; 7] = [0.0, 0.4, 0.8, 10.0, 10.3, 20.0, 20.5];
-        let dist = |i: usize, j: usize| (coords[i] - coords[j]).abs();
-        let d = agglomerate(7, dist);
-        let (k, clusters, score) = d.best_cut(dist, 6);
+        let matrix = DistanceMatrix::from_fn(7, |i, j| (coords[i] - coords[j]).abs());
+        let d = agglomerate_matrix(&matrix, Linkage::Complete);
+        let (k, clusters, score) = d.best_cut(&matrix, 6);
         assert_eq!(k, 3, "{clusters:?} score={score}");
         assert_eq!(clusters[0], vec![0, 1, 2]);
         assert_eq!(clusters[1], vec![3, 4]);
@@ -398,13 +455,42 @@ mod tests {
     #[test]
     fn best_cut_tiny_inputs() {
         let dist = |i: usize, j: usize| (i as f64 - j as f64).abs();
-        let d = agglomerate(1, dist);
-        let (k, clusters, _) = d.best_cut(dist, 5);
+        let matrix = DistanceMatrix::from_fn(1, dist);
+        let d = agglomerate_matrix(&matrix, Linkage::Complete);
+        let (k, clusters, _) = d.best_cut(&matrix, 5);
         assert_eq!(k, 1);
         assert_eq!(clusters, vec![vec![0]]);
-        let d = agglomerate(2, dist);
-        let (k, _, _) = d.best_cut(dist, 5);
+        let matrix = DistanceMatrix::from_fn(2, dist);
+        let d = agglomerate_matrix(&matrix, Linkage::Complete);
+        let (k, _, _) = d.best_cut(&matrix, 5);
         assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn leaves_under_handles_caterpillar_dendrograms_iteratively() {
+        // Points at i² under single linkage: every merge absorbs the
+        // next leaf into one growing cluster, so the dendrogram is a
+        // maximally deep caterpillar — the shape where a recursive
+        // walk would recurse n deep.
+        let n = 2000;
+        let d = agglomerate_with(
+            n,
+            |i, j| {
+                let (fi, fj) = (i as f64, j as f64);
+                (fi * fi - fj * fj).abs()
+            },
+            Linkage::Single,
+        );
+        // Caterpillar shape: from the second merge on, one child is
+        // always the previous merge node.
+        for (k, merge) in d.merges.iter().enumerate().skip(1) {
+            assert_eq!(merge.right, n + k - 1, "merge {k} extends the chain");
+            assert_eq!(merge.left, k + 1, "merge {k} absorbs leaf {}", k + 1);
+        }
+        let root = n + d.merges.len() - 1;
+        let leaves = d.leaves_under(root);
+        assert_eq!(leaves.len(), n);
+        assert!(leaves.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
 
 /// How a DAG label is measured for edit distance.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum LabelUnits {
+pub(crate) enum LabelUnits {
     /// The label counts as a single unit (method names, integers, byte
     /// abstractions, API constants).
     Atomic,
@@ -37,7 +37,7 @@ enum LabelUnits {
     Chars(Vec<char>),
 }
 
-fn classify(label: &str) -> LabelUnits {
+pub(crate) fn classify(label: &str) -> LabelUnits {
     // Argument labels carry their value after `argN:`.
     let value = match label.split_once(':') {
         Some((prefix, value)) if prefix.starts_with("arg") => value,
@@ -82,9 +82,16 @@ pub fn label_similarity(a: &str, b: &str) -> f64 {
     if a == b {
         return 1.0;
     }
-    match (classify(a), classify(b)) {
+    units_similarity(&classify(a), &classify(b))
+}
+
+/// [`label_similarity`] over pre-classified labels (the labels are
+/// known to be distinct). Shared by the uncached path above and the
+/// interned cache in [`crate::cache`].
+pub(crate) fn units_similarity(a: &LabelUnits, b: &LabelUnits) -> f64 {
+    match (a, b) {
         (LabelUnits::Chars(ca), LabelUnits::Chars(cb)) => {
-            let lev = levenshtein(&ca, &cb);
+            let lev = levenshtein(ca, cb);
             let max = ca.len().max(cb.len());
             if max == 0 {
                 1.0

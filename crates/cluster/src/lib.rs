@@ -1,6 +1,20 @@
 //! Filtering-stage distances and hierarchical clustering of semantic
 //! usage changes (paper §4.3).
 //!
+//! The clustering stack is built around a first-class
+//! [`DistanceMatrix`]: all `n·(n−1)/2` pairwise [`usage_dist`] values
+//! are computed **once**, in parallel, with label similarities
+//! memoized through a shared [`LabelCache`]. Agglomeration then runs
+//! the O(n²) nearest-neighbor-chain algorithm (Lance–Williams updates;
+//! see [`agglomerate_matrix`]) over the matrix, and silhouette-based
+//! cut selection ([`Dendrogram::best_cut`]) reuses the same matrix —
+//! no stage ever re-evaluates a pairwise distance. The quadratic-scan
+//! reference loop survives as [`agglomerate_naive`] and the nn-chain
+//! is property-tested to reproduce its dendrograms exactly whenever
+//! pairwise distances are distinct, and exhaustively on small
+//! tie-heavy inputs (see `crate::chain` docs for the precise boundary
+//! under adversarial exact ties).
+//!
 //! # Example
 //!
 //! ```
@@ -29,18 +43,46 @@
 
 #![warn(missing_docs)]
 
+mod cache;
+mod chain;
 mod dist;
 mod hierarchy;
 mod lev;
+mod matrix;
 
-pub use dist::{path_dist, paths_dist, usage_dist};
-pub use hierarchy::{agglomerate, agglomerate_with, Dendrogram, Linkage, Merge};
+pub use cache::LabelCache;
+pub use dist::{path_dist, paths_dist, usage_dist, usage_dist_cached};
+pub use hierarchy::{
+    agglomerate, agglomerate_matrix, agglomerate_naive, agglomerate_with, Dendrogram, Linkage,
+    Merge,
+};
 pub use lev::{label_similarity, levenshtein};
+pub use matrix::DistanceMatrix;
 
 use usagegraph::UsageChange;
+
+/// Builds the shared pairwise [`usage_dist`] matrix for `changes`:
+/// computed in parallel, each pair exactly once, label similarities
+/// memoized across the whole build.
+pub fn usage_distance_matrix(changes: &[UsageChange]) -> DistanceMatrix {
+    let cache = LabelCache::default();
+    DistanceMatrix::from_fn(changes.len(), |i, j| {
+        usage_dist_cached(&changes[i], &changes[j], &cache)
+    })
+}
 
 /// Clusters usage changes hierarchically under [`usage_dist`] with
 /// complete linkage.
 pub fn cluster_usage_changes(changes: &[UsageChange]) -> Dendrogram {
-    agglomerate(changes.len(), |i, j| usage_dist(&changes[i], &changes[j]))
+    cluster_usage_changes_matrix(changes).0
+}
+
+/// [`cluster_usage_changes`], also returning the shared
+/// [`DistanceMatrix`] so downstream stages (e.g.
+/// [`Dendrogram::best_cut`]) can reuse it instead of re-evaluating
+/// [`usage_dist`].
+pub fn cluster_usage_changes_matrix(changes: &[UsageChange]) -> (Dendrogram, DistanceMatrix) {
+    let matrix = usage_distance_matrix(changes);
+    let dendrogram = agglomerate_matrix(&matrix, Linkage::Complete);
+    (dendrogram, matrix)
 }

@@ -1,0 +1,209 @@
+//! A shared, condensed pairwise distance matrix.
+//!
+//! The clustering pipeline evaluates `usage_dist` O(n²) times to build
+//! the leaf-distance matrix, and the distance itself is expensive (a
+//! Hungarian assignment over Levenshtein label similarities). This
+//! module computes the matrix **once**, in parallel, and hands it to
+//! agglomeration ([`crate::agglomerate_matrix`]), silhouette selection
+//! ([`crate::Dendrogram::best_cut`]), and the benches — so no stage
+//! ever re-evaluates a pairwise distance.
+//!
+//! Storage is the condensed upper triangle (`n·(n−1)/2` values, row
+//! major, `i < j`), the same layout SciPy's `pdist` uses: half the
+//! memory of a square matrix and cache-friendly row scans.
+
+/// A symmetric pairwise distance matrix over `n` items with zero
+/// diagonal, stored as the condensed upper triangle.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Condensed upper triangle: entry `(i, j)` with `i < j` lives at
+    /// `i·n − i·(i+1)/2 + (j − i − 1)`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all `n·(n−1)/2` pairwise distances, in parallel across
+    /// the available cores via scoped threads. `dist` is called exactly
+    /// once per unordered pair `{i, j}`, `i < j`, and must be
+    /// symmetric; the diagonal is implicitly zero.
+    pub fn from_fn(n: usize, dist: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let mut data = vec![0.0f64; condensed_len(n)];
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Serial fallback: one core, or a matrix too small to be worth
+        // the spawn overhead.
+        if threads < 2 || n < 128 {
+            let mut idx = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    data[idx] = dist(i, j);
+                    idx += 1;
+                }
+            }
+            return DistanceMatrix { n, data };
+        }
+        // Split the condensed buffer into per-row slices (disjoint, so
+        // the borrows check), then deal rows to workers round-robin:
+        // row i has n−1−i entries, and interleaving short and long rows
+        // balances total work per thread without a scheduler.
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
+            (0..threads).map(|_| Vec::with_capacity(n / threads + 1)).collect();
+        let mut rest = data.as_mut_slice();
+        for i in 0..n {
+            let (row, tail) = rest.split_at_mut(n - 1 - i);
+            buckets[i % threads].push((i, row));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(|| {
+                    for (i, row) in bucket {
+                        for (offset, slot) in row.iter_mut().enumerate() {
+                            *slot = dist(i, i + 1 + offset);
+                        }
+                    }
+                });
+            }
+        });
+        DistanceMatrix { n, data }
+    }
+
+    /// Wraps an already-condensed distance vector (length must be
+    /// `n·(n−1)/2`).
+    ///
+    /// # Panics
+    ///
+    /// If the length does not match `n`.
+    pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), condensed_len(n), "condensed length for n={n}");
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of items (leaves) the matrix covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between items `i` and `j` (zero on the diagonal).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.data[condensed_index(self.n, i, j)]
+    }
+
+    /// The condensed upper triangle, row major, `i < j`.
+    #[must_use]
+    pub fn condensed(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Length of the condensed form for `n` items.
+pub(crate) fn condensed_len(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Condensed offset of pair `(i, j)` with `i < j`.
+pub(crate) fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn condensed_indexing_is_bijective() {
+        for n in 0..12 {
+            let mut seen = vec![false; condensed_len(n)];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let k = condensed_index(n, i, j);
+                    assert!(!seen[k], "({i},{j}) collides at {k}");
+                    seen[k] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} leaves gaps");
+        }
+    }
+
+    #[test]
+    fn get_is_symmetric_with_zero_diagonal() {
+        let m = DistanceMatrix::from_fn(5, |i, j| (i * 10 + j) as f64);
+        for i in 0..5 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in i + 1..5 {
+                assert_eq!(m.get(i, j), (i * 10 + j) as f64);
+                assert_eq!(m.get(j, i), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluates_each_pair_exactly_once() {
+        // Both the serial path (small n) and the threaded path (large
+        // n) must call `dist` exactly n·(n−1)/2 times.
+        for n in [0, 1, 2, 40, 200] {
+            let calls = AtomicUsize::new(0);
+            let m = DistanceMatrix::from_fn(n, |i, j| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                (i + j) as f64
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), condensed_len(n), "n={n}");
+            assert_eq!(m.len(), n);
+            if n > 1 {
+                assert_eq!(m.get(n - 2, n - 1), (2 * n - 3) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // from_fn picks the threaded path at n ≥ 128 when cores allow;
+        // the result must be identical to a serial fill either way.
+        let n = 150;
+        let dist = |i: usize, j: usize| ((i * 31 + j * 17) % 101) as f64 / 101.0;
+        let m = DistanceMatrix::from_fn(n, dist);
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(m.get(i, j), dist(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_condensed_round_trips() {
+        let m = DistanceMatrix::from_fn(6, |i, j| (i + j) as f64);
+        let again = DistanceMatrix::from_condensed(6, m.condensed().to_vec());
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "condensed length")]
+    fn from_condensed_rejects_bad_length() {
+        let _ = DistanceMatrix::from_condensed(4, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(DistanceMatrix::from_fn(0, |_, _| 1.0).is_empty());
+        let one = DistanceMatrix::from_fn(1, |_, _| 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.get(0, 0), 0.0);
+        assert!(one.condensed().is_empty());
+    }
+}

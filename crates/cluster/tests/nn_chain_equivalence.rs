@@ -1,0 +1,222 @@
+//! The nearest-neighbor-chain agglomeration must reproduce the naive
+//! quadratic-scan reference: same merges, same node ids, same heights,
+//! same tie-breaking (smallest node-id pair first).
+//!
+//! The guarantee has a precisely-bounded caveat. When all pairwise
+//! distances are distinct (generic position) the two algorithms agree
+//! exactly at every size — `matches_naive_on_random_coords` below. When
+//! distances tie exactly, the chain still reproduces the reference on
+//! every small input we can check exhaustively (all 4-level 1-D grids
+//! with n ≤ 5, all quarter-quantized dissimilarity matrices with
+//! n ≤ 3), but on larger adversarial tie tangles — several exactly
+//! equal merge heights whose candidate pairs share operands — the
+//! reference's global smallest-pair scan uses information (final node
+//! ids of not-yet-discovered merges) that no O(n²) chain can have, and
+//! the two may resolve the tangle into different, equally valid trees.
+//! For those inputs `fast_path_is_a_valid_linkage_tree` checks the
+//! chain's output against the linkage *definition* instead: every merge
+//! height must equal the complete/single/average distance between its
+//! children's leaf sets, recomputed independently from the matrix.
+//!
+//! Complete and single linkage heights are compared bitwise — both
+//! implementations only ever *select* input distances (max/min), never
+//! recombine them. Average linkage recombines: the Lance–Williams
+//! weighted update and the naive sum-over-all-leaf-pairs mean are the
+//! same rational number but round differently in floating point, so
+//! average heights are compared to 1e-9 and the tie-stress generators
+//! (where an ulp can flip an exact tie) only run complete/single.
+
+use cluster::{agglomerate_matrix, agglomerate_naive, Dendrogram, DistanceMatrix, Linkage};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const ALL_LINKAGES: [Linkage; 3] = [Linkage::Complete, Linkage::Single, Linkage::Average];
+const SELECTING_LINKAGES: [Linkage; 2] = [Linkage::Complete, Linkage::Single];
+
+/// Asserts the chain and naive dendrograms are structurally identical;
+/// heights compared bitwise unless `height_tol` is given.
+fn assert_equivalent(matrix: &DistanceMatrix, linkage: Linkage, height_tol: Option<f64>) {
+    let fast = agglomerate_matrix(matrix, linkage);
+    let naive = agglomerate_naive(matrix.len(), |i, j| matrix.get(i, j), linkage);
+    assert_eq!(fast.n_leaves, naive.n_leaves);
+    assert_eq!(fast.merges.len(), naive.merges.len(), "{linkage:?}");
+    for (k, (f, n)) in fast.merges.iter().zip(&naive.merges).enumerate() {
+        assert_eq!((f.left, f.right), (n.left, n.right), "{linkage:?} merge {k}");
+        match height_tol {
+            None => assert!(
+                f.distance == n.distance,
+                "{linkage:?} merge {k}: height {} != {}",
+                f.distance,
+                n.distance
+            ),
+            Some(tol) => assert!(
+                (f.distance - n.distance).abs() <= tol,
+                "{linkage:?} merge {k}: height {} vs {}",
+                f.distance,
+                n.distance
+            ),
+        }
+    }
+}
+
+/// Checks `dendrogram` against the linkage definition itself: heights
+/// are non-decreasing and every merge's height equals the linkage
+/// distance between its children's leaf sets, recomputed from the
+/// matrix. This holds for *any* valid tie resolution, so it applies
+/// even where chain and naive disagree on adversarial ties.
+fn assert_valid_linkage_tree(dendrogram: &Dendrogram, matrix: &DistanceMatrix, linkage: Linkage) {
+    let n = dendrogram.n_leaves;
+    for w in dendrogram.merges.windows(2) {
+        assert!(w[0].distance <= w[1].distance + 1e-9, "heights must be non-decreasing");
+    }
+    for (k, m) in dendrogram.merges.iter().enumerate() {
+        assert!(m.left < m.right && m.right < n + k, "{linkage:?} merge {k} ids");
+        let left = dendrogram.leaves_under(m.left);
+        let right = dendrogram.leaves_under(m.right);
+        let cross: Vec<f64> = left
+            .iter()
+            .flat_map(|&a| right.iter().map(move |&b| matrix.get(a, b)))
+            .collect();
+        let expected = match linkage {
+            Linkage::Complete => cross.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Linkage::Single => cross.iter().copied().fold(f64::INFINITY, f64::min),
+            Linkage::Average => cross.iter().sum::<f64>() / cross.len() as f64,
+        };
+        let tol = match linkage {
+            Linkage::Average => 1e-9,
+            _ => 0.0,
+        };
+        assert!(
+            (m.distance - expected).abs() <= tol,
+            "{linkage:?} merge {k}: height {} but linkage distance between children is {expected}",
+            m.distance
+        );
+    }
+}
+
+fn matrix_from_coords(coords: &[f64]) -> DistanceMatrix {
+    DistanceMatrix::from_fn(coords.len(), |i, j| (coords[i] - coords[j]).abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generic-position inputs, every linkage, exact equivalence. With
+    /// probability 1 no two pairwise distances collide, so this
+    /// exercises the whole algorithm except tie resolution at sizes
+    /// well beyond the exhaustive checks.
+    #[test]
+    fn matches_naive_on_random_coords(coords in vec(0.0f64..1.0, 2..20)) {
+        let matrix = matrix_from_coords(&coords);
+        for linkage in ALL_LINKAGES {
+            let tol = match linkage {
+                Linkage::Average => Some(1e-9),
+                _ => None,
+            };
+            assert_equivalent(&matrix, linkage, tol);
+        }
+    }
+
+    /// Tie-heavy inputs at any size: coordinates on a tiny integer
+    /// grid, so zero distances and exact height ties are everywhere
+    /// (the shape real usage-change corpora have — many identical
+    /// changes). Beyond exhaustively-verified sizes the chain may
+    /// resolve tie tangles differently from the reference, so this
+    /// asserts validity against the linkage definition, which any
+    /// correct resolution satisfies.
+    #[test]
+    fn duplicate_grids_yield_valid_linkage_trees(coords in vec(0usize..4, 2..24)) {
+        let coords: Vec<f64> = coords.into_iter().map(|c| c as f64).collect();
+        let matrix = matrix_from_coords(&coords);
+        for linkage in ALL_LINKAGES {
+            let d = agglomerate_matrix(&matrix, linkage);
+            assert_valid_linkage_tree(&d, &matrix, linkage);
+        }
+    }
+
+    /// Arbitrary symmetric dissimilarities quantized to quarters: not
+    /// even metric, and almost every candidate pair ties with another.
+    /// Same validity-not-equivalence rationale as above.
+    #[test]
+    fn quantized_ties_yield_valid_linkage_trees(
+        n in 2usize..12,
+        quarters in vec(0usize..5, 66),
+    ) {
+        let condensed: Vec<f64> =
+            quarters[..n * (n - 1) / 2].iter().map(|&q| q as f64 * 0.25).collect();
+        let matrix = DistanceMatrix::from_condensed(n, condensed);
+        for linkage in SELECTING_LINKAGES {
+            let d = agglomerate_matrix(&matrix, linkage);
+            assert_valid_linkage_tree(&d, &matrix, linkage);
+        }
+    }
+
+    /// The dendrogram contract holds for the fast path regardless of
+    /// linkage: n−1 merges, node k = n+k, heights non-decreasing
+    /// (reducible linkages cannot invert), every leaf under the root.
+    #[test]
+    fn fast_path_keeps_dendrogram_contract(coords in vec(0.0f64..1.0, 1..24)) {
+        let matrix = matrix_from_coords(&coords);
+        let n = coords.len();
+        for linkage in ALL_LINKAGES {
+            let d = agglomerate_matrix(&matrix, linkage);
+            prop_assert_eq!(d.n_leaves, n);
+            prop_assert_eq!(d.merges.len(), n - 1);
+            for w in d.merges.windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance + 1e-9);
+            }
+            for (k, m) in d.merges.iter().enumerate() {
+                prop_assert!(m.left < m.right);
+                prop_assert!(m.right < n + k);
+            }
+            if n > 1 {
+                let root = n + d.merges.len() - 1;
+                prop_assert_eq!(d.leaves_under(root).len(), n);
+            }
+        }
+    }
+}
+
+/// Exhaustive exact-equivalence check on every 4-point and 5-point
+/// configuration over a 4-level quantized grid: the smallest sizes
+/// where chain discovery order can differ from merge order, with every
+/// tie pattern a 1-D grid can force. 4⁴ + 4⁵ = 1280 configs.
+#[test]
+fn exhaustive_small_grids_match_naive_exactly() {
+    for n in [4usize, 5] {
+        for code in 0..4usize.pow(n as u32) {
+            let mut c = code;
+            let coords: Vec<f64> = (0..n)
+                .map(|_| {
+                    let level = c % 4;
+                    c /= 4;
+                    level as f64
+                })
+                .collect();
+            let matrix = matrix_from_coords(&coords);
+            for linkage in SELECTING_LINKAGES {
+                assert_equivalent(&matrix, linkage, None);
+            }
+        }
+    }
+}
+
+/// Exhaustive exact-equivalence check on every quarter-quantized
+/// 3-point dissimilarity matrix (not necessarily metric): 5³ configs.
+#[test]
+fn exhaustive_three_point_quantized_match_naive_exactly() {
+    for code in 0..5usize.pow(3) {
+        let mut c = code;
+        let condensed: Vec<f64> = (0..3)
+            .map(|_| {
+                let q = c % 5;
+                c /= 5;
+                q as f64 * 0.25
+            })
+            .collect();
+        let matrix = DistanceMatrix::from_condensed(3, condensed);
+        for linkage in SELECTING_LINKAGES {
+            assert_equivalent(&matrix, linkage, None);
+        }
+    }
+}

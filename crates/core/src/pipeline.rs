@@ -177,7 +177,13 @@ impl DiffCode {
 
 /// Mines `corpus` using one [`DiffCode`] per worker thread, sharding by
 /// project. The result is identical to [`DiffCode::mine`] — shards are
-/// concatenated in project order — but wall-clock scales with cores.
+/// contiguous project runs concatenated in project order — but
+/// wall-clock scales with cores. Shard boundaries balance the number of
+/// *code changes* per shard rather than the number of projects: mining
+/// cost is driven by how many old/new file pairs a shard parses, and
+/// real corpora are heavily skewed (a handful of projects contribute
+/// most commits), so equal-project chunks leave most threads idle
+/// behind the one that drew the giant project.
 pub fn mine_parallel(
     corpus: &Corpus,
     classes: &[&str],
@@ -187,12 +193,7 @@ pub fn mine_parallel(
     if n_threads <= 1 {
         return DiffCode::new().mine(corpus, classes);
     }
-    let chunk = corpus.projects.len().div_ceil(n_threads);
-    let shards: Vec<Corpus> = corpus
-        .projects
-        .chunks(chunk)
-        .map(|projects| Corpus { projects: projects.to_vec() })
-        .collect();
+    let shards = shard_by_code_changes(corpus, n_threads);
     let results: Vec<MiningResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
@@ -209,6 +210,57 @@ pub fn mine_parallel(
         merged.changes.extend(result.changes);
     }
     merged
+}
+
+/// Splits `corpus` into at most `n_shards` contiguous project runs
+/// whose total code-change counts are as even as a greedy in-order
+/// partition can make them. Projects are never reordered, so
+/// concatenating shard results reproduces sequential mining exactly.
+fn shard_by_code_changes(corpus: &Corpus, n_shards: usize) -> Vec<Corpus> {
+    let weights: Vec<usize> = corpus
+        .projects
+        .iter()
+        .map(|project| {
+            project
+                .commits
+                .iter()
+                .map(|commit| {
+                    commit
+                        .changes
+                        .iter()
+                        .filter(|change| change.old.is_some() && change.new.is_some())
+                        .count()
+                })
+                .sum()
+        })
+        .collect();
+    let total: usize = weights.iter().sum();
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut start = 0;
+    let mut consumed = 0usize;
+    for s in 0..n_shards {
+        if start >= corpus.projects.len() {
+            break;
+        }
+        // Re-derive the ideal share from what is still unassigned, so
+        // one oversized project early on does not starve later shards.
+        let ideal = (total - consumed).div_ceil(n_shards - s);
+        let mut end = start;
+        let mut acc = 0usize;
+        while end < corpus.projects.len() {
+            if end > start && acc + weights[end] > ideal {
+                break;
+            }
+            acc += weights[end];
+            end += 1;
+        }
+        consumed += acc;
+        shards.push(Corpus { projects: corpus.projects[start..end].to_vec() });
+        start = end;
+    }
+    // The last pass always takes the remainder (ideal == total − consumed).
+    debug_assert_eq!(start, corpus.projects.len());
+    shards
 }
 
 fn content_key(source: &str) -> u64 {
@@ -254,6 +306,82 @@ mod tests {
             assert_eq!(a.change, b.change);
             assert_eq!(a.meta, b.meta);
             assert_eq!(a.old_dag, b.old_dag);
+        }
+    }
+
+    /// A project with `k` code changes (and one file-added change that
+    /// must not count toward the shard weight).
+    fn project_with_changes(name: &str, k: usize) -> corpus::Project {
+        let changes = |i: usize| corpus::FileChange {
+            path: format!("F{i}.java"),
+            old: Some(format!("class F{i} {{}}")),
+            new: Some(format!("class F{i} {{ int x; }}")),
+        };
+        corpus::Project {
+            user: "u".into(),
+            name: name.into(),
+            facts: corpus::ProjectFacts::default(),
+            commits: vec![corpus::Commit {
+                id: format!("{name}-1"),
+                message: "edit".into(),
+                changes: (0..k)
+                    .map(changes)
+                    .chain(std::iter::once(corpus::FileChange {
+                        path: "New.java".into(),
+                        old: None,
+                        new: Some("class New {}".into()),
+                    }))
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn shards_balance_by_code_change_count_not_project_count() {
+        // One giant project followed by six tiny ones: equal-project
+        // chunking at 4 threads would pair the giant with a tiny one
+        // and leave that shard with 13/19 of the work.
+        let sizes = [12usize, 2, 1, 1, 1, 1, 1];
+        let corpus = corpus::Corpus {
+            projects: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| project_with_changes(&format!("p{i}"), k))
+                .collect(),
+        };
+        let shards = super::shard_by_code_changes(&corpus, 4);
+        let loads: Vec<usize> =
+            shards.iter().map(|s| s.code_changes().count()).collect();
+        // The giant project is alone in its shard and the tiny ones
+        // spread over the remaining shards instead of queueing behind it.
+        assert_eq!(loads[0], 12, "{loads:?}");
+        assert!(loads.len() >= 3, "{loads:?}");
+        assert!(loads[1..].iter().all(|&l| l <= 4), "{loads:?}");
+        // Order is preserved: concatenated shards reproduce the corpus.
+        let concatenated: Vec<_> = shards
+            .iter()
+            .flat_map(|s| s.projects.iter().map(|p| p.name.clone()))
+            .collect();
+        let original: Vec<_> = corpus.projects.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(concatenated, original);
+    }
+
+    #[test]
+    fn skewed_parallel_mining_equals_sequential() {
+        let mut corpus = corpus::generate(&corpus::GeneratorConfig::small(6, 21));
+        // Skew the corpus: duplicate the first project's commits so one
+        // project dominates the work distribution.
+        for _ in 0..3 {
+            let extra = corpus.projects[0].commits.clone();
+            corpus.projects[0].commits.extend(extra);
+        }
+        let sequential = DiffCode::new().mine(&corpus, &[]);
+        let parallel = super::mine_parallel(&corpus, &[], 3);
+        assert_eq!(sequential.stats, parallel.stats);
+        assert_eq!(sequential.changes.len(), parallel.changes.len());
+        for (a, b) in sequential.changes.iter().zip(&parallel.changes) {
+            assert_eq!(a.change, b.change);
+            assert_eq!(a.meta, b.meta);
         }
     }
 

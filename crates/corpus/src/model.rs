@@ -122,6 +122,29 @@ pub struct CodeChange<'a> {
     pub new: &'a str,
 }
 
+impl Project {
+    /// Writes the project's HEAD tree under `root` (creating
+    /// directories as needed), returning the paths written. Used to
+    /// hand generated projects to file-based tools such as the
+    /// `diffcode` CLI.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn materialize(&self, root: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        for (rel, content) in self.head_files() {
+            let path = root.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, content)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,28 +196,5 @@ mod tests {
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].old, "v1");
         assert_eq!(changes[0].new, "v2");
-    }
-}
-
-impl Project {
-    /// Writes the project's HEAD tree under `root` (creating
-    /// directories as needed), returning the paths written. Used to
-    /// hand generated projects to file-based tools such as the
-    /// `diffcode` CLI.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem errors.
-    pub fn materialize(&self, root: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
-        let mut written = Vec::new();
-        for (rel, content) in self.head_files() {
-            let path = root.join(rel);
-            if let Some(parent) = path.parent() {
-                std::fs::create_dir_all(parent)?;
-            }
-            std::fs::write(&path, content)?;
-            written.push(path);
-        }
-        Ok(written)
     }
 }

@@ -1,0 +1,333 @@
+//! Offline stand-in for the `criterion` crate (no registry access in
+//! the build environment). Provides a minimal wall-clock benchmark
+//! harness with the surface this workspace's benches use: groups,
+//! per-input benchmarks, throughput annotation, and the standard
+//! `--test` smoke mode (run every benchmark body once, no timing),
+//! which CI uses to keep benches compiling and running.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over `sample_size` batches whose iteration count targets
+//! `measurement_time / sample_size` apiece; the per-iteration mean,
+//! minimum, and maximum batch averages are reported. No statistics
+//! beyond that — this harness exists to keep relative comparisons and
+//! CI smoke runs working offline, not to replace criterion's analysis.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away (re-export of
+/// `std::hint::black_box` for criterion-API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher<'a> {
+    mode: Mode,
+    report: &'a mut Vec<Sample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run the body exactly once (`--test`).
+    Smoke,
+    /// Warm up, then time batches.
+    Measure { sample_size: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Calls `body` repeatedly and records per-iteration timings.
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        match self.mode {
+            Mode::Smoke => {
+                std_black_box(body());
+            }
+            Mode::Measure { sample_size } => {
+                // Warm-up: estimate the per-iteration cost.
+                let warmup_budget = Duration::from_millis(300);
+                let started = Instant::now();
+                let mut warmup_iters: u64 = 0;
+                while started.elapsed() < warmup_budget {
+                    std_black_box(body());
+                    warmup_iters += 1;
+                }
+                let per_iter = started.elapsed() / warmup_iters.max(1) as u32;
+
+                // Aim each batch at ~measurement_time / sample_size.
+                let measurement_time = Duration::from_millis(1500);
+                let batch_budget = measurement_time / sample_size.max(1) as u32;
+                let batch_iters = if per_iter.is_zero() {
+                    1000
+                } else {
+                    (batch_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+                        as u64
+                };
+
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                let mut max = Duration::ZERO;
+                for _ in 0..sample_size.max(1) {
+                    let batch_start = Instant::now();
+                    for _ in 0..batch_iters {
+                        std_black_box(body());
+                    }
+                    let batch = batch_start.elapsed() / batch_iters as u32;
+                    total += batch;
+                    min = min.min(batch);
+                    max = max.max(batch);
+                }
+                self.report.push(Sample {
+                    mean: total / sample_size.max(1) as u32,
+                    min,
+                    max,
+                    iters: batch_iters * sample_size as u64,
+                });
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Measure { sample_size: 10 } }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` selects smoke
+    /// mode; a bare filter argument is accepted and ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::Smoke;
+        }
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, name: &str, body: impl FnMut(&mut Bencher<'_>)) {
+        run_one(self.mode, name, None, body);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            mode: self.mode,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs registered benchmark groups (called by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    mode: Mode,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'c ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if let Mode::Measure { sample_size } = &mut self.mode {
+            *sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput (printed
+    /// only).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `body` against one input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.mode, &label, self.throughput, |b| body(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        body: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        run_one(self.mode, &label, self.throughput, body);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    mode: Mode,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut body: impl FnMut(&mut Bencher<'_>),
+) {
+    let mut report = Vec::new();
+    let mut bencher = Bencher { mode, report: &mut report };
+    body(&mut bencher);
+    match mode {
+        Mode::Smoke => println!("test {label} ... ok"),
+        Mode::Measure { .. } => {
+            for sample in &report {
+                let mut line = format!(
+                    "{label:<50} time: [{} {} {}]",
+                    format_duration(sample.min),
+                    format_duration(sample.mean),
+                    format_duration(sample.max),
+                );
+                if let Some(tp) = throughput {
+                    let per_sec = match tp {
+                        Throughput::Bytes(n) => format!(
+                            "{:.1} MiB/s",
+                            n as f64 / sample.mean.as_secs_f64() / (1024.0 * 1024.0)
+                        ),
+                        Throughput::Elements(n) => format!(
+                            "{:.0} elem/s",
+                            n as f64 / sample.mean.as_secs_f64()
+                        ),
+                    };
+                    line.push_str(&format!(" thrpt: {per_sec}"));
+                }
+                line.push_str(&format!(" ({} iters)", sample.iters));
+                println!("{line}");
+            }
+            if report.is_empty() {
+                println!("{label:<50} (no samples)");
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0;
+        let mut report = Vec::new();
+        let mut bencher = Bencher { mode: Mode::Smoke, report: &mut report };
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_records_a_sample() {
+        let mut report = Vec::new();
+        let mut bencher =
+            Bencher { mode: Mode::Measure { sample_size: 2 }, report: &mut report };
+        bencher.iter(|| black_box(3u64).wrapping_mul(5));
+        assert_eq!(report.len(), 1);
+        assert!(report[0].iters >= 2);
+        assert!(report[0].min <= report[0].mean && report[0].mean <= report[0].max);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(80).id, "80");
+        assert_eq!(BenchmarkId::new("parse", "small").id, "parse/small");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}
