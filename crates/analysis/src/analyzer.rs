@@ -12,6 +12,7 @@
 //! the set of (method, abstract-argument-vector) events observed on it.
 
 use crate::api::{looks_like_class_name, looks_like_const_name, ApiModel};
+use crate::limits::{AnalysisError, AnalysisLimits};
 use absdomain::{AValue, AllocSite, Env, MethodSig};
 use javalang::ast::*;
 use std::collections::{BTreeMap, HashMap};
@@ -100,19 +101,59 @@ impl Usages {
 }
 
 /// Analyzes a parsed compilation unit, returning its abstract usages.
+///
+/// This is the trusted-input entry point: no step budget, no depth
+/// pre-check. Parser-produced trees are depth-bounded by
+/// [`javalang::Limits::max_nesting`], so the recursive walk is safe;
+/// for untrusted or hand-built inputs use [`try_analyze`].
 pub fn analyze(unit: &CompilationUnit, api: &ApiModel) -> Usages {
-    let mut analyzer = Analyzer {
-        api,
-        sites: HashMap::new(),
-        next_site: 0,
-        usages: Usages::default(),
-        unit_constants: BTreeMap::new(),
-    };
-    analyzer.collect_unit_constants(unit);
-    for class in unit.all_types() {
-        analyzer.analyze_class(class);
+    run(unit, api, u64::MAX).0
+}
+
+/// Analyzes `unit` under explicit resource budgets.
+///
+/// # Errors
+///
+/// [`AnalysisError::AstTooDeep`] if the unit's tree is deeper than
+/// `limits.max_ast_depth` (measured iteratively, before any recursion),
+/// and [`AnalysisError::StepBudgetExceeded`] if the interpreter burns
+/// through `limits.max_steps` before finishing.
+pub fn try_analyze(
+    unit: &CompilationUnit,
+    api: &ApiModel,
+    limits: &AnalysisLimits,
+) -> Result<Usages, AnalysisError> {
+    if limits.max_ast_depth != usize::MAX {
+        let depth = javalang::visit::ast_depth(unit);
+        if depth > limits.max_ast_depth {
+            return Err(AnalysisError::AstTooDeep {
+                depth,
+                max_depth: limits.max_ast_depth,
+            });
+        }
     }
-    analyzer.usages
+    let (usages, exhausted) = run(unit, api, limits.max_steps);
+    if exhausted {
+        return Err(AnalysisError::StepBudgetExceeded {
+            max_steps: limits.max_steps,
+        });
+    }
+    Ok(usages)
+}
+
+/// Counts the interpreter steps a fault-free analysis of `unit` takes.
+/// Exists so budget-boundary tests can pin "exactly enough fuel
+/// succeeds, one step less fails" without hard-coding step counts.
+pub fn analysis_steps(unit: &CompilationUnit, api: &ApiModel) -> u64 {
+    let mut analyzer = Analyzer::new(api, u64::MAX);
+    analyzer.run_unit(unit);
+    u64::MAX - analyzer.fuel
+}
+
+fn run(unit: &CompilationUnit, api: &ApiModel, fuel: u64) -> (Usages, bool) {
+    let mut analyzer = Analyzer::new(api, fuel);
+    analyzer.run_unit(unit);
+    (analyzer.usages, analyzer.exhausted)
 }
 
 const MAX_INLINE_DEPTH: usize = 3;
@@ -128,6 +169,13 @@ struct Analyzer<'a> {
     /// `Class.FIELD` — resolves the common constants-holder pattern
     /// (`Constants.HASH_ALGO`) across classes of the same file.
     unit_constants: BTreeMap<String, AValue>,
+    /// Remaining step budget.
+    fuel: u64,
+    /// Set once the budget runs out; every interpreter entry point
+    /// then returns immediately, unwinding the analysis without
+    /// recursion or panics. The partial result is discarded by
+    /// [`try_analyze`].
+    exhausted: bool,
 }
 
 /// Per-entry execution context.
@@ -140,6 +188,52 @@ struct Ctx<'a> {
 }
 
 impl<'a> Analyzer<'a> {
+    fn new(api: &'a ApiModel, fuel: u64) -> Analyzer<'a> {
+        Analyzer {
+            api,
+            sites: HashMap::new(),
+            next_site: 0,
+            usages: Usages::default(),
+            unit_constants: BTreeMap::new(),
+            fuel,
+            exhausted: false,
+        }
+    }
+
+    fn run_unit(&mut self, unit: &'a CompilationUnit) {
+        self.collect_unit_constants(unit);
+        for class in unit.all_types() {
+            self.analyze_class(class);
+        }
+    }
+
+    /// Consumes `cost` steps; returns `true` when the budget is gone
+    /// and the caller should bail out.
+    fn charge(&mut self, cost: u64) -> bool {
+        if self.exhausted {
+            return true;
+        }
+        if self.fuel < cost {
+            self.fuel = 0;
+            self.exhausted = true;
+            return true;
+        }
+        self.fuel -= cost;
+        false
+    }
+
+    /// Clones `env` for a branch/inline fork, charging its size — the
+    /// clone itself is O(|env|) work, so flat per-statement charging
+    /// would let `k` branches over `n` variables do `k·n` work on `k`
+    /// fuel. When the budget is already gone the clone is skipped (the
+    /// result will be discarded anyway).
+    fn fork_env(&mut self, env: &Env) -> Env {
+        if self.charge(1 + env.len() as u64) {
+            return Env::new();
+        }
+        env.clone()
+    }
+
     /// Collects `static final` field constants (strings, ints, and
     /// constant arrays) of every class, so sibling classes can resolve
     /// `Holder.CONST` references.
@@ -198,7 +292,7 @@ impl<'a> Analyzer<'a> {
         // Initializer blocks share the field environment.
         for member in &class.members {
             if let Member::Initializer { body, .. } = member {
-                let mut env = fields.clone();
+                let mut env = self.fork_env(&fields);
                 let mut ctx =
                     Ctx { class, depth: 0, call_stack: Vec::new(), ret: None };
                 self.exec_block(body, &mut env, &mut ctx);
@@ -207,7 +301,7 @@ impl<'a> Analyzer<'a> {
         // Pass 2: every method is an entry method.
         for method in class.methods() {
             let Some(body) = &method.body else { continue };
-            let mut env = fields.clone();
+            let mut env = self.fork_env(&fields);
             for param in &method.params {
                 env.set(param.name.clone(), top_for_type(&param.ty));
             }
@@ -262,6 +356,9 @@ impl<'a> Analyzer<'a> {
     }
 
     fn exec_stmt(&mut self, stmt: &'a Stmt, env: &mut Env, ctx: &mut Ctx<'a>) {
+        if self.charge(1) {
+            return;
+        }
         match stmt {
             Stmt::Block(b) => self.exec_block(b, env, ctx),
             Stmt::LocalVar { ty, declarators } => {
@@ -281,11 +378,11 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::If { cond, then, alt } => {
                 self.eval(cond, env, ctx);
-                let mut then_env = env.clone();
+                let mut then_env = self.fork_env(env);
                 self.exec_stmt(then, &mut then_env, ctx);
                 match alt {
                     Some(alt) => {
-                        let mut alt_env = env.clone();
+                        let mut alt_env = self.fork_env(env);
                         self.exec_stmt(alt, &mut alt_env, ctx);
                         then_env.join_with(alt_env);
                         *env = then_env;
@@ -295,7 +392,7 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::While { cond, body } => {
                 self.eval(cond, env, ctx);
-                let mut body_env = env.clone();
+                let mut body_env = self.fork_env(env);
                 self.exec_stmt(body, &mut body_env, ctx);
                 env.join_with(body_env);
             }
@@ -311,7 +408,7 @@ impl<'a> Analyzer<'a> {
                 if let Some(c) = cond {
                     self.eval(c, env, ctx);
                 }
-                let mut body_env = env.clone();
+                let mut body_env = self.fork_env(env);
                 self.exec_stmt(body, &mut body_env, ctx);
                 for u in update {
                     self.eval(u, &mut body_env, ctx);
@@ -320,7 +417,7 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::ForEach { ty, name, iterable, body } => {
                 self.eval(iterable, env, ctx);
-                let mut body_env = env.clone();
+                let mut body_env = self.fork_env(env);
                 body_env.set(name.clone(), top_for_type(ty));
                 self.exec_stmt(body, &mut body_env, ctx);
                 body_env.remove(name);
@@ -341,7 +438,7 @@ impl<'a> Analyzer<'a> {
                 }
                 self.exec_block(block, env, ctx);
                 for catch in catches {
-                    let mut catch_env = env.clone();
+                    let mut catch_env = self.fork_env(env);
                     let exc_ty = catch
                         .types
                         .first()
@@ -358,12 +455,12 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::Switch { scrutinee, cases } => {
                 self.eval(scrutinee, env, ctx);
-                let base = env.clone();
+                let base = self.fork_env(env);
                 for case in cases {
                     for label in &case.labels {
                         self.eval(label, env, ctx);
                     }
-                    let mut case_env = base.clone();
+                    let mut case_env = self.fork_env(&base);
                     for s in &case.body {
                         self.exec_stmt(s, &mut case_env, ctx);
                     }
@@ -387,6 +484,9 @@ impl<'a> Analyzer<'a> {
     // ------------------------------------------------------------------
 
     fn eval(&mut self, expr: &'a Expr, env: &mut Env, ctx: &mut Ctx<'a>) -> AValue {
+        if self.charge(1) {
+            return AValue::Unknown;
+        }
         match expr {
             Expr::Literal(lit) => match lit {
                 Lit::Int(v) => AValue::Int(*v),
@@ -641,8 +741,11 @@ impl<'a> Analyzer<'a> {
                 // `holder.field = value` (possibly chained) — abstract
                 // heap store. Strong update is sound here because each
                 // allocation site is a distinct abstract object.
-                let mut current = env.get(&segs[0]).cloned();
-                for field in &segs[1..segs.len() - 1] {
+                let [first, path @ .., last] = segs.as_slice() else {
+                    return;
+                };
+                let mut current = env.get(first).cloned();
+                for field in path {
                     current = match current {
                         Some(AValue::Obj { site, .. }) => {
                             env.get(&heap_key(site, field)).cloned()
@@ -651,10 +754,7 @@ impl<'a> Analyzer<'a> {
                     };
                 }
                 if let Some(AValue::Obj { site, .. }) = current {
-                    env.set(
-                        heap_key(site, segs.last().expect("len >= 2")),
-                        value,
-                    );
+                    env.set(heap_key(site, last), value);
                 }
             }
             Expr::FieldAccess { target, name } if **target == Expr::This => {
@@ -744,19 +844,24 @@ impl<'a> Analyzer<'a> {
             }
             return self.inline_local_call(name, arg_vals, env, ctx);
         }
-        let target = target.expect("non-this call has a target");
+        let Some(target) = target else {
+            // Unreachable given the `is_this_call` early return, but a
+            // skip is the right degradation if that invariant drifts.
+            return AValue::Unknown;
+        };
 
-        // Static call on a class name?
+        // Static call on a class name? (An `Expr::Name` with no
+        // segments cannot come out of the parser, but hand-built trees
+        // may contain one — treat it as an unknown receiver.)
         if let Expr::Name(segments) = target {
-            if env.get(&segments[0]).is_none() {
-                let class = segments
-                    .last()
-                    .expect("names are non-empty")
-                    .clone();
-                if looks_like_class_name(&class) {
-                    return self.eval_static_call(
-                        call_expr, &class, name, arg_vals,
-                    );
+            if let (Some(first), Some(last)) = (segments.first(), segments.last()) {
+                if env.get(first).is_none() {
+                    let class = last.clone();
+                    if looks_like_class_name(&class) {
+                        return self.eval_static_call(
+                            call_expr, &class, name, arg_vals,
+                        );
+                    }
                 }
             }
         }
@@ -826,9 +931,11 @@ impl<'a> Analyzer<'a> {
         let Some(callee) = callee else {
             return AValue::Unknown;
         };
-        let body = callee.body.as_ref().expect("checked above");
+        let Some(body) = callee.body.as_ref() else {
+            return AValue::Unknown;
+        };
 
-        let mut callee_env = env.clone();
+        let mut callee_env = self.fork_env(env);
         for (param, value) in callee.params.iter().zip(arg_vals) {
             callee_env.set(param.name.clone(), value);
         }
@@ -974,25 +1081,27 @@ fn array_value(elem_ty: &Type, vals: &[AValue], _explicit: bool) -> AValue {
 /// Infers the abstraction of an array literal from its elements when no
 /// declared type is available.
 fn infer_array_literal(vals: &[AValue]) -> AValue {
-    if vals.iter().all(|v| matches!(v, AValue::Int(_))) && !vals.is_empty() {
-        let ns = vals
+    if !vals.is_empty() {
+        let ints: Vec<i64> = vals
             .iter()
-            .map(|v| match v {
-                AValue::Int(n) => *n,
-                _ => unreachable!(),
+            .filter_map(|v| match v {
+                AValue::Int(n) => Some(*n),
+                _ => None,
             })
             .collect();
-        return AValue::IntArray(ns);
-    }
-    if vals.iter().all(|v| matches!(v, AValue::Str(_))) && !vals.is_empty() {
-        let ss = vals
+        if ints.len() == vals.len() {
+            return AValue::IntArray(ints);
+        }
+        let strs: Vec<String> = vals
             .iter()
-            .map(|v| match v {
-                AValue::Str(s) => s.clone(),
-                _ => unreachable!(),
+            .filter_map(|v| match v {
+                AValue::Str(s) => Some(s.clone()),
+                _ => None,
             })
             .collect();
-        return AValue::StrArray(ss);
+        if strs.len() == vals.len() {
+            return AValue::StrArray(strs);
+        }
     }
     if vals.iter().all(value_is_const) {
         AValue::ConstByteArray

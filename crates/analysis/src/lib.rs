@@ -32,9 +32,11 @@
 
 mod analyzer;
 mod api;
+mod limits;
 
-pub use analyzer::{analyze, UsageEvent, Usages};
+pub use analyzer::{analysis_steps, analyze, try_analyze, UsageEvent, Usages};
 pub use api::{looks_like_class_name, looks_like_const_name, ApiModel, TARGET_CLASSES, TRACKED_CLASSES};
+pub use limits::{AnalysisError, AnalysisLimits};
 
 #[cfg(test)]
 mod tests {
@@ -388,6 +390,57 @@ mod tests {
             usages.events_of(digest)[0].args,
             vec![AValue::Str("MD5".into())]
         );
+    }
+
+    #[test]
+    fn step_budget_boundary_is_exact() {
+        let unit = javalang::parse_compilation_unit(FIXTURE).expect("parse");
+        let api = ApiModel::standard();
+        let steps = analysis_steps(&unit, &api);
+        assert!(steps > 0);
+
+        let exact = AnalysisLimits { max_steps: steps, ..AnalysisLimits::DEFAULT };
+        let ok = try_analyze(&unit, &api, &exact).expect("exact budget suffices");
+        assert_eq!(ok, analyze(&unit, &api), "budgeted result matches unbudgeted");
+
+        let short = AnalysisLimits { max_steps: steps - 1, ..AnalysisLimits::DEFAULT };
+        assert_eq!(
+            try_analyze(&unit, &api, &short),
+            Err(AnalysisError::StepBudgetExceeded { max_steps: steps - 1 })
+        );
+    }
+
+    const FIXTURE: &str = r#"
+        class C {
+            void m(boolean strong) throws Exception {
+                String algo;
+                if (strong) { algo = "SHA-256"; } else { algo = "SHA-1"; }
+                MessageDigest d = MessageDigest.getInstance(algo);
+            }
+        }
+    "#;
+
+    #[test]
+    fn ast_depth_limit_rejects_deep_trees() {
+        let unit = javalang::parse_compilation_unit(FIXTURE).expect("parse");
+        let api = ApiModel::standard();
+        let depth = javalang::visit::ast_depth(&unit);
+        let tight = AnalysisLimits { max_ast_depth: depth - 1, ..AnalysisLimits::DEFAULT };
+        assert_eq!(
+            try_analyze(&unit, &api, &tight),
+            Err(AnalysisError::AstTooDeep { depth, max_depth: depth - 1 })
+        );
+        let loose = AnalysisLimits { max_ast_depth: depth, ..AnalysisLimits::DEFAULT };
+        assert!(try_analyze(&unit, &api, &loose).is_ok());
+    }
+
+    #[test]
+    fn default_budget_handles_real_sources() {
+        let unit = javalang::parse_compilation_unit(FIGURE2_NEW).expect("parse");
+        let api = ApiModel::standard();
+        let usages = try_analyze(&unit, &api, &AnalysisLimits::DEFAULT)
+            .expect("figure 2 is tiny");
+        assert_eq!(usages, analyze(&unit, &api));
     }
 
     #[test]

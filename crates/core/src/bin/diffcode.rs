@@ -74,6 +74,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", cli::render_rules());
             Ok(ExitCode::SUCCESS)
         }
+        "chaos" => {
+            let (seed, rate, projects) = parse_chaos_flags(&args[1..])?;
+            print!("{}", cli::render_chaos(seed, rate, projects));
+            Ok(ExitCode::SUCCESS)
+        }
         "help" | "--help" | "-h" => {
             print!("{}", cli::USAGE);
             Ok(ExitCode::SUCCESS)
@@ -117,6 +122,41 @@ fn parse_flags(args: &[String]) -> Result<ParsedFlags, String> {
         }
     }
     Ok((paths, classes, android))
+}
+
+/// Parses `chaos` flags: `--seed <N>` (default 42), `--rate <0..1>`
+/// (default 0.4), `--projects <N>` (default 6).
+fn parse_chaos_flags(args: &[String]) -> Result<(u64, f64, usize), String> {
+    let mut seed = 42u64;
+    let mut rate = 0.4f64;
+    let mut projects = 6usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let value = value_for("--seed")?;
+                seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--rate" => {
+                let value = value_for("--rate")?;
+                rate = value.parse().map_err(|_| format!("bad rate `{value}`"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("rate `{value}` not in 0..1"));
+                }
+            }
+            "--projects" => {
+                let value = value_for("--projects")?;
+                projects = value
+                    .parse()
+                    .map_err(|_| format!("bad project count `{value}`"))?;
+            }
+            other => return Err(format!("unknown chaos argument `{other}`")),
+        }
+    }
+    Ok((seed, rate, projects))
 }
 
 fn read(path: &Path) -> Result<String, String> {

@@ -4,7 +4,9 @@
 //! All rendering lives here (unit-testable, no I/O); the binary in
 //! `src/bin/diffcode.rs` only reads files and forwards sources.
 
-use crate::pipeline::DiffCode;
+use crate::pipeline::{DiffCode, MiningResult};
+use crate::quarantine::ErrorKind;
+use crate::report::Table;
 use analysis::TARGET_CLASSES;
 use javalang::ParseError;
 use rules::{CheckedProject, CryptoChecker, ProjectContext};
@@ -166,6 +168,108 @@ pub fn render_rules() -> String {
     crate::experiments::figure9_table()
 }
 
+/// Renders a mining run's accounting: mined/skipped totals, the
+/// per-kind skip breakdown, and the quarantine (capped at
+/// `max_reports` entries, with a count of the remainder).
+pub fn render_mining_summary(result: &MiningResult, max_reports: usize) -> String {
+    let stats = &result.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "processed {} code change(s): {} mined, {} skipped",
+        stats.code_changes,
+        stats.mined,
+        stats.skipped.total()
+    );
+    if stats.skipped.total() > 0 {
+        let mut table = Table::new(["Skip kind", "Count", "Share"]);
+        for kind in ErrorKind::ALL {
+            let count = stats.skipped.get(kind);
+            if count == 0 {
+                continue;
+            }
+            table.row([
+                kind.name().to_owned(),
+                count.to_string(),
+                format!("{:.1}%", 100.0 * count as f64 / stats.code_changes as f64),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+    if !result.quarantine.is_empty() {
+        let _ = writeln!(out, "\nquarantine:");
+        for report in result.quarantine.iter().take(max_reports) {
+            let _ = writeln!(
+                out,
+                "  [{}] {} @ {} ({}): {}",
+                report.kind,
+                report.meta.project,
+                report.meta.commit,
+                report.meta.path,
+                report.error
+            );
+            if !report.excerpt.is_empty() {
+                let _ = writeln!(out, "      | {}", report.excerpt);
+            }
+        }
+        if result.quarantine.len() > max_reports {
+            let _ = writeln!(
+                out,
+                "  … and {} more",
+                result.quarantine.len() - max_reports
+            );
+        }
+    }
+    out
+}
+
+/// Runs the seeded chaos experiment: generates a corpus, injects
+/// faults into ~`rate` of its code changes (panic injection included),
+/// mines it, and renders the accounting. Backs the `diffcode chaos`
+/// command and the quarantine-rate numbers in EXPERIMENTS.md §8.
+pub fn render_chaos(seed: u64, rate: f64, n_projects: usize) -> String {
+    const MARKER: &str = "@@DIFFCODE_CHAOS_PANIC@@";
+    std::env::set_var("DIFFCODE_CHAOS_PANIC_MARKER", MARKER);
+    let mut corpus = corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed));
+    let log = corpus::Mutator::new(seed, rate)
+        .with_panic_marker(MARKER)
+        .inject(&mut corpus);
+    // The injected panics are expected; keep them off the console.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = DiffCode::new().mine(&corpus, &[]);
+    std::panic::set_hook(prev_hook);
+    std::env::remove_var("DIFFCODE_CHAOS_PANIC_MARKER");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos run: seed {seed}, fault rate {rate:.2}, {n_projects} project(s), \
+         {} fault(s) injected into {} code change(s)",
+        log.faults.len(),
+        log.code_changes
+    );
+    assert!(
+        result.stats.is_balanced(),
+        "accounting invariant violated: {:?}",
+        result.stats
+    );
+    out.push_str(&render_mining_summary(&result, 10));
+    let rate_pct = if result.stats.code_changes == 0 {
+        0.0
+    } else {
+        100.0 * result.stats.skipped.total() as f64 / result.stats.code_changes as f64
+    };
+    let _ = writeln!(
+        out,
+        "\nquarantine rate: {rate_pct:.1}% ({} of {}); accounting exact: \
+         processed = mined + skipped",
+        result.stats.skipped.total(),
+        result.stats.code_changes
+    );
+    out
+}
+
 /// Usage string for the binary.
 pub const USAGE: &str = "\
 diffcode — infer and check crypto API rules from Java code changes
@@ -175,12 +279,14 @@ USAGE:
     diffcode diff <old.java> <new.java> [--class <Name>]
     diffcode check <file-or-dir>... [--android <minSdk>]
     diffcode rules
+    diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
 
 COMMANDS:
     analyze   print the abstract crypto-API usages (objects, events, DAGs)
     diff      print the semantic usage changes between two versions
     check     run CryptoChecker (the 13 elicited rules) on files/directories
     rules     print the rule table (paper Figure 9)
+    chaos     fault-inject a generated corpus and report the quarantine accounting
 ";
 
 fn effective_classes<'a>(classes: &[&'a str]) -> Vec<&'a str> {
@@ -252,5 +358,64 @@ mod tests {
     fn rules_table_renders() {
         let out = render_rules();
         assert!(out.contains("R13"));
+    }
+
+    #[test]
+    fn mining_summary_renders_accounting() {
+        let corpus = corpus::Corpus {
+            projects: vec![corpus::Project {
+                user: "u".into(),
+                name: "p".into(),
+                facts: corpus::ProjectFacts::default(),
+                commits: vec![corpus::Commit {
+                    id: "c1".into(),
+                    message: "m".into(),
+                    changes: vec![corpus::FileChange {
+                        path: "A.java".into(),
+                        old: Some("class A { String s = \"open".into()),
+                        new: Some("class A {}".into()),
+                    }],
+                }],
+            }],
+        };
+        let result = DiffCode::new().mine(&corpus, &[]);
+        let out = render_mining_summary(&result, 10);
+        assert!(out.contains("1 skipped"), "{out}");
+        assert!(out.contains("lex"), "{out}");
+        assert!(out.contains("u/p @ c1 (A.java)"), "{out}");
+    }
+
+    #[test]
+    fn mining_summary_caps_quarantine_listing() {
+        let changes: Vec<corpus::FileChange> = (0..5)
+            .map(|i| corpus::FileChange {
+                path: format!("F{i}.java"),
+                old: Some("class A { String s = \"open".into()),
+                new: Some("class A {}".into()),
+            })
+            .collect();
+        let corpus = corpus::Corpus {
+            projects: vec![corpus::Project {
+                user: "u".into(),
+                name: "p".into(),
+                facts: corpus::ProjectFacts::default(),
+                commits: vec![corpus::Commit {
+                    id: "c1".into(),
+                    message: "m".into(),
+                    changes,
+                }],
+            }],
+        };
+        let result = DiffCode::new().mine(&corpus, &[]);
+        let out = render_mining_summary(&result, 2);
+        assert!(out.contains("… and 3 more"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_reports_exact_accounting() {
+        let out = render_chaos(7, 0.5, 3);
+        assert!(out.contains("chaos run: seed 7"), "{out}");
+        assert!(out.contains("quarantine rate:"), "{out}");
+        assert!(out.contains("accounting exact"), "{out}");
     }
 }

@@ -46,6 +46,7 @@ pub mod elicit;
 pub mod experiments;
 pub mod filter;
 pub mod pipeline;
+pub mod quarantine;
 pub mod report;
 
 pub use elicit::{elicit, elicit_auto, render_dendrogram, ClusterReport, Elicitation};
@@ -55,4 +56,7 @@ pub use experiments::{
 };
 pub use filter::{apply_filters, stage_changes, FilterStage, FilterStats};
 pub use pipeline::{mine_parallel, ChangeMeta, DiffCode, MinedUsageChange, MiningResult, MiningStats};
+pub use quarantine::{
+    ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
+};
 pub use report::Table;

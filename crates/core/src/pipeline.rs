@@ -1,14 +1,28 @@
 //! The end-to-end DiffCode pipeline (paper Figure 1): mine code
 //! changes, analyze both versions, derive usage changes per target API
 //! class.
+//!
+//! Mining is **total**: no code change can abort a run. Each change is
+//! processed under per-stage resource budgets
+//! ([`crate::quarantine::PipelineLimits`]) and behind a panic-isolation
+//! boundary; failures degrade to per-kind counted skips with a
+//! [`QuarantineReport`] carrying provenance.
 
-use analysis::{analyze, ApiModel, Usages, TARGET_CLASSES};
+use crate::quarantine::{
+    excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport,
+    SkipCounters,
+};
+use analysis::{analyze, try_analyze, ApiModel, Usages, TARGET_CLASSES};
 use corpus::Corpus;
 use javalang::ParseError;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use usagegraph::{dags_for_class, diff_dags, pair_dags, UsageChange, UsageDag, DEFAULT_MAX_DEPTH};
+use usagegraph::{
+    dags_for_class, diff_dags, pair_dags, try_dags_for_class, DagLimits,
+    UsageChange, UsageDag, DEFAULT_MAX_DEPTH,
+};
 
 /// Provenance of a mined usage change.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,7 +38,7 @@ pub struct ChangeMeta {
 }
 
 /// One usage change with provenance and the DAG pair it came from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinedUsageChange {
     /// Where the change was mined.
     pub meta: ChangeMeta,
@@ -39,21 +53,41 @@ pub struct MinedUsageChange {
 }
 
 /// Aggregate counters from a mining run.
+///
+/// Invariant (checked by [`MiningStats::is_balanced`]): every processed
+/// change is either mined or skipped under exactly one kind,
+/// `code_changes == mined + skipped.total()`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MiningStats {
     /// Code changes (program version pairs) processed.
     pub code_changes: usize,
-    /// Files that failed to parse on either side (skipped).
+    /// Files that failed to lex or parse on either side (skipped).
+    /// Kept as the historical aggregate of `skipped.lex + skipped.parse`.
     pub parse_failures: usize,
+    /// Code changes analyzed to completion (with or without usage
+    /// changes to show for it).
+    pub mined: usize,
+    /// Per-kind skip counters.
+    pub skipped: SkipCounters,
+}
+
+impl MiningStats {
+    /// `true` when the accounting invariant holds:
+    /// `code_changes == mined + skipped.total()`.
+    pub fn is_balanced(&self) -> bool {
+        self.code_changes == self.mined + self.skipped.total()
+    }
 }
 
 /// The result of mining a corpus.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MiningResult {
     /// All derived usage changes, in corpus order.
     pub changes: Vec<MinedUsageChange>,
     /// Counters.
     pub stats: MiningStats,
+    /// One report per skipped code change, in corpus order.
+    pub quarantine: Vec<QuarantineReport>,
 }
 
 /// The DiffCode system: configuration + analysis cache.
@@ -62,12 +96,19 @@ pub struct DiffCode {
     api: ApiModel,
     max_depth: usize,
     cache: HashMap<u64, Rc<Usages>>,
+    limits: PipelineLimits,
 }
 
 impl DiffCode {
-    /// A pipeline with the paper's defaults (DAG depth 5).
+    /// A pipeline with the paper's defaults (DAG depth 5) and the
+    /// default resource budgets.
     pub fn new() -> Self {
-        DiffCode { api: ApiModel::standard(), max_depth: DEFAULT_MAX_DEPTH, cache: HashMap::new() }
+        DiffCode {
+            api: ApiModel::standard(),
+            max_depth: DEFAULT_MAX_DEPTH,
+            cache: HashMap::new(),
+            limits: PipelineLimits::DEFAULT,
+        }
     }
 
     /// Overrides the DAG construction depth.
@@ -75,7 +116,21 @@ impl DiffCode {
         DiffCode { max_depth, ..DiffCode::new() }
     }
 
-    /// Parses and analyzes one source file, caching by content.
+    /// Overrides the per-stage resource budgets.
+    pub fn with_limits(limits: PipelineLimits) -> Self {
+        DiffCode { limits, ..DiffCode::new() }
+    }
+
+    /// The budgets this pipeline applies while mining.
+    pub fn limits(&self) -> &PipelineLimits {
+        &self.limits
+    }
+
+    /// Parses and analyzes one source file, caching by content. Parsing
+    /// runs under the configured front-end budgets; analysis is
+    /// unbudgeted — this is the trusted-input entry point used by the
+    /// CLI on local files. The mining loop uses
+    /// [`Self::try_analyze_source`] instead.
     ///
     /// # Errors
     ///
@@ -89,8 +144,39 @@ impl DiffCode {
         // `parse_snippet` accepts full units, bare class bodies, and
         // bare statement sequences — the partial programs DiffCode
         // mines (paper §5.1).
-        let unit = javalang::parse_snippet(source)?;
+        let unit = javalang::parse_snippet_with_limits(source, self.limits.parse)?;
         let usages = Rc::new(analyze(&unit, &self.api));
+        self.cache.insert(key, Rc::clone(&usages));
+        Ok(usages)
+    }
+
+    /// Parses and analyzes one untrusted source file under the full
+    /// budget stack, caching by content.
+    ///
+    /// The cache is only written *after* parse and analysis both
+    /// succeeded, so a panic anywhere in this function leaves the
+    /// pipeline state exactly as it was — the property that makes the
+    /// per-change `AssertUnwindSafe` in [`Self::mine`] sound.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`PipelineError`]s for lexer/parser failures and
+    /// analysis-budget overruns.
+    pub fn try_analyze_source(
+        &mut self,
+        source: &str,
+    ) -> Result<Rc<Usages>, PipelineError> {
+        if let Some(marker) = chaos_panic_marker() {
+            if source.contains(&marker) {
+                panic!("chaos fault injection: panic marker present in source");
+            }
+        }
+        let key = content_key(source);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(Rc::clone(hit));
+        }
+        let unit = javalang::parse_snippet_with_limits(source, self.limits.parse)?;
+        let usages = Rc::new(try_analyze(&unit, &self.api, &self.limits.analysis)?);
         self.cache.insert(key, Rc::clone(&usages));
         Ok(usages)
     }
@@ -134,45 +220,162 @@ impl DiffCode {
             .collect()
     }
 
+    /// [`Self::usage_changes_from_usages`] under the configured DAG
+    /// budgets — the variant the mining loop uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`usagegraph::DagError`] budget failures.
+    pub fn try_usage_changes_from_usages(
+        &self,
+        old: &Usages,
+        new: &Usages,
+        class: &str,
+    ) -> Result<Vec<(UsageDag, UsageDag, UsageChange)>, PipelineError> {
+        let limits = DagLimits { max_depth: self.max_depth, ..self.limits.dag };
+        let old_dags = try_dags_for_class(old, class, &limits)?;
+        let new_dags = try_dags_for_class(new, class, &limits)?;
+        if old_dags.is_empty() && new_dags.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(pair_dags(&old_dags, &new_dags, class)
+            .into_iter()
+            .map(|(a, b)| {
+                let change = diff_dags(&a, &b);
+                (a, b, change)
+            })
+            .collect())
+    }
+
     /// Mines every code change of `corpus` for usage changes of the
     /// given target classes (defaults to the paper's six, Figure 5).
+    ///
+    /// Mining never aborts: a change that fails any stage — or panics —
+    /// is skipped, counted under its [`ErrorKind`], and quarantined
+    /// with provenance, while the remaining changes proceed.
     pub fn mine(&mut self, corpus: &Corpus, classes: &[&str]) -> MiningResult {
         let classes: Vec<&str> =
             if classes.is_empty() { TARGET_CLASSES.to_vec() } else { classes.to_vec() };
+        if let Some(project) = chaos_shard_panic_project() {
+            if corpus.projects.iter().any(|p| p.name == project) {
+                panic!("chaos fault injection: shard-panic project `{project}` present");
+            }
+        }
         let mut result = MiningResult::default();
         for code_change in corpus.code_changes() {
             result.stats.code_changes += 1;
-            let (old, new) = match (
-                self.analyze_source(code_change.old),
-                self.analyze_source(code_change.new),
-            ) {
-                (Ok(old), Ok(new)) => (old, new),
-                _ => {
-                    result.stats.parse_failures += 1;
-                    continue;
-                }
+            let meta = ChangeMeta {
+                project: code_change.project.full_name(),
+                commit: code_change.commit.id.clone(),
+                message: code_change.commit.message.clone(),
+                path: code_change.path.to_owned(),
             };
-            for class in &classes {
-                for (old_dag, new_dag, change) in
-                    self.usage_changes_from_usages(&old, &new, class)
-                {
-                    result.changes.push(MinedUsageChange {
-                        meta: ChangeMeta {
-                            project: code_change.project.full_name(),
-                            commit: code_change.commit.id.clone(),
-                            message: code_change.commit.message.clone(),
-                            path: code_change.path.to_owned(),
-                        },
-                        class: (*class).to_owned(),
-                        old_dag,
-                        new_dag,
-                        change,
+            match self.process_change(&code_change, &classes) {
+                Ok(mined) => {
+                    result.stats.mined += 1;
+                    for (class, old_dag, new_dag, change) in mined {
+                        result.changes.push(MinedUsageChange {
+                            meta: meta.clone(),
+                            class,
+                            old_dag,
+                            new_dag,
+                            change,
+                        });
+                    }
+                }
+                Err((error, excerpt)) => {
+                    let kind = error.kind();
+                    result.stats.skipped.bump(kind);
+                    if matches!(kind, ErrorKind::Lex | ErrorKind::Parse) {
+                        result.stats.parse_failures += 1;
+                    }
+                    result.quarantine.push(QuarantineReport {
+                        meta,
+                        kind,
+                        error: error.to_string(),
+                        excerpt,
                     });
                 }
             }
         }
+        debug_assert!(result.stats.is_balanced());
         result
     }
+
+    /// Runs one code change through analyze → DAG diff behind a panic
+    /// boundary. On failure returns the typed error plus the triage
+    /// excerpt of the offending side (the new version when the side is
+    /// unknowable, i.e. for panics and DAG-stage failures).
+    ///
+    /// `AssertUnwindSafe` audit: the only state the closure can leave
+    /// inconsistent on unwind is `self` — and every `&mut self` path
+    /// ([`Self::try_analyze_source`]) mutates only the content-keyed
+    /// analysis cache, *after* the fallible work for that entry has
+    /// fully succeeded. An unwind therefore observes either no cache
+    /// entry or a complete, valid one; no partially-initialized state
+    /// survives the catch.
+    fn process_change(
+        &mut self,
+        code_change: &corpus::CodeChange<'_>,
+        classes: &[&str],
+    ) -> Result<MinedTuples, (PipelineError, String)> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let old = self
+                .try_analyze_source(code_change.old)
+                .map_err(|e| (e, excerpt(code_change.old)))?;
+            let new = self
+                .try_analyze_source(code_change.new)
+                .map_err(|e| (e, excerpt(code_change.new)))?;
+            let mut mined = MinedTuples::new();
+            for class in classes {
+                let tuples = self
+                    .try_usage_changes_from_usages(&old, &new, class)
+                    .map_err(|e| (e, excerpt(code_change.new)))?;
+                for (old_dag, new_dag, change) in tuples {
+                    mined.push(((*class).to_owned(), old_dag, new_dag, change));
+                }
+            }
+            Ok(mined)
+        }));
+        match outcome {
+            Ok(processed) => processed,
+            Err(payload) => Err((
+                PipelineError::Panic(panic_message(payload)),
+                excerpt(code_change.new),
+            )),
+        }
+    }
+}
+
+type MinedTuples = Vec<(String, UsageDag, UsageDag, UsageChange)>;
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Fault-injection hook: when the `DIFFCODE_CHAOS_PANIC_MARKER`
+/// environment variable is set (non-empty), any source containing the
+/// marker panics inside [`DiffCode::try_analyze_source`]. This lets the
+/// chaos harness drive a real panic through the release pipeline and
+/// assert that per-change isolation contains it; with the variable
+/// unset (production) the check is a single `env::var` miss.
+fn chaos_panic_marker() -> Option<String> {
+    std::env::var("DIFFCODE_CHAOS_PANIC_MARKER").ok().filter(|m| !m.is_empty())
+}
+
+/// Companion hook for shard-level faults: when
+/// `DIFFCODE_CHAOS_SHARD_PANIC_PROJECT` names a project in the corpus,
+/// [`DiffCode::mine`] panics *before* entering the per-change isolation
+/// loop — exercising [`mine_parallel`]'s thread-join degradation path.
+fn chaos_shard_panic_project() -> Option<String> {
+    std::env::var("DIFFCODE_CHAOS_SHARD_PANIC_PROJECT").ok().filter(|m| !m.is_empty())
 }
 
 /// Mines `corpus` using one [`DiffCode`] per worker thread, sharding by
@@ -198,18 +401,56 @@ pub fn mine_parallel(
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
-                scope.spawn(move || DiffCode::new().mine(shard, classes))
+                (shard, scope.spawn(move || DiffCode::new().mine(shard, classes)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("miner thread")).collect()
+        handles
+            .into_iter()
+            .map(|(shard, handle)| match handle.join() {
+                Ok(result) => result,
+                // A worker died outside the per-change isolation (mine
+                // itself never panics on input). Fold the shard in as
+                // all-skipped so sibling shards' results survive and
+                // the merged accounting still balances.
+                Err(payload) => shard_failure_result(shard, &panic_message(payload)),
+            })
+            .collect()
     });
     let mut merged = MiningResult::default();
     for result in results {
         merged.stats.code_changes += result.stats.code_changes;
         merged.stats.parse_failures += result.stats.parse_failures;
+        merged.stats.mined += result.stats.mined;
+        merged.stats.skipped.absorb(&result.stats.skipped);
         merged.changes.extend(result.changes);
+        merged.quarantine.extend(result.quarantine);
     }
+    debug_assert!(merged.stats.is_balanced());
     merged
+}
+
+/// The accounting for a shard whose worker thread panicked before
+/// returning: every code change of the shard is recorded as a
+/// [`ErrorKind::Panic`] skip with a quarantine report, so
+/// `code_changes == mined + skipped.total()` holds for the merged run.
+fn shard_failure_result(shard: &Corpus, message: &str) -> MiningResult {
+    let mut result = MiningResult::default();
+    for code_change in shard.code_changes() {
+        result.stats.code_changes += 1;
+        result.stats.skipped.bump(ErrorKind::Panic);
+        result.quarantine.push(QuarantineReport {
+            meta: ChangeMeta {
+                project: code_change.project.full_name(),
+                commit: code_change.commit.id.clone(),
+                message: code_change.commit.message.clone(),
+                path: code_change.path.to_owned(),
+            },
+            kind: ErrorKind::Panic,
+            error: format!("mining shard panicked: {message}"),
+            excerpt: excerpt(code_change.new),
+        });
+    }
+    result
 }
 
 /// Splits `corpus` into at most `n_shards` contiguous project runs
@@ -383,6 +624,130 @@ mod tests {
             assert_eq!(a.change, b.change);
             assert_eq!(a.meta, b.meta);
         }
+    }
+
+    /// A one-project corpus with one code change per (old, new) pair.
+    fn corpus_of_pairs(name: &str, pairs: &[(&str, &str)]) -> corpus::Corpus {
+        corpus::Corpus {
+            projects: vec![corpus::Project {
+                user: "u".into(),
+                name: name.into(),
+                facts: corpus::ProjectFacts::default(),
+                commits: pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (old, new))| corpus::Commit {
+                        id: format!("c{i}"),
+                        message: format!("change {i}"),
+                        changes: vec![corpus::FileChange {
+                            path: format!("F{i}.java"),
+                            old: Some((*old).to_owned()),
+                            new: Some((*new).to_owned()),
+                        }],
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_skipped_and_quarantined() {
+        let corpus = corpus_of_pairs(
+            "p",
+            &[
+                ("class A {}", "class A { int x; }"),
+                ("class B {}", "class B { String s = \"unterminated; }"),
+            ],
+        );
+        let result = DiffCode::new().mine(&corpus, &[]);
+        assert_eq!(result.stats.code_changes, 2);
+        assert_eq!(result.stats.mined, 1);
+        assert_eq!(result.stats.skipped.lex, 1);
+        assert_eq!(result.stats.parse_failures, 1);
+        assert!(result.stats.is_balanced());
+        assert_eq!(result.quarantine.len(), 1);
+        let report = &result.quarantine[0];
+        assert_eq!(report.kind, crate::quarantine::ErrorKind::Lex);
+        assert_eq!(report.meta.project, "u/p");
+        assert_eq!(report.meta.commit, "c1");
+        assert_eq!(report.meta.path, "F1.java");
+        assert!(report.error.contains("unterminated string"), "{}", report.error);
+        assert!(report.excerpt.contains("class B"), "{}", report.excerpt);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_change() {
+        // Per-call env read: safe to set here even with sibling tests
+        // running — their sources never contain the marker.
+        std::env::set_var("DIFFCODE_CHAOS_PANIC_MARKER", "@@CHAOS_PANIC@@");
+        let corpus = corpus_of_pairs(
+            "p",
+            &[
+                ("class A {}", "class A { int x; }"),
+                ("class B {}", "class B { /* @@CHAOS_PANIC@@ */ }"),
+                ("class C {}", "class C { int y; }"),
+            ],
+        );
+        let result = DiffCode::new().mine(&corpus, &[]);
+        assert_eq!(result.stats.code_changes, 3);
+        assert_eq!(result.stats.mined, 2);
+        assert_eq!(result.stats.skipped.panic, 1);
+        assert_eq!(result.stats.parse_failures, 0);
+        assert!(result.stats.is_balanced());
+        assert_eq!(result.quarantine.len(), 1);
+        assert_eq!(result.quarantine[0].kind, crate::quarantine::ErrorKind::Panic);
+        assert_eq!(result.quarantine[0].meta.commit, "c1");
+        assert!(
+            result.quarantine[0].error.contains("chaos fault injection"),
+            "{}",
+            result.quarantine[0].error
+        );
+    }
+
+    #[test]
+    fn shard_panic_folds_partial_results() {
+        std::env::set_var(
+            "DIFFCODE_CHAOS_SHARD_PANIC_PROJECT",
+            "__chaos_shard__",
+        );
+        let mut corpus = corpus_of_pairs(
+            "ok-project",
+            &[("class A {}", "class A { int x; }")],
+        );
+        corpus
+            .projects
+            .extend(corpus_of_pairs("__chaos_shard__", &[("class B {}", "class B { int y; }")]).projects);
+        let result = super::mine_parallel(&corpus, &[], 2);
+        assert_eq!(result.stats.code_changes, 2);
+        assert_eq!(result.stats.mined, 1, "healthy shard survives");
+        assert_eq!(result.stats.skipped.panic, 1, "dead shard folded as skips");
+        assert!(result.stats.is_balanced());
+        assert_eq!(result.quarantine.len(), 1);
+        assert_eq!(result.quarantine[0].meta.project, "u/__chaos_shard__");
+        assert!(
+            result.quarantine[0].error.contains("mining shard panicked"),
+            "{}",
+            result.quarantine[0].error
+        );
+    }
+
+    #[test]
+    fn budget_overruns_quarantine_as_analysis_kind() {
+        let limits = PipelineLimits {
+            analysis: analysis::AnalysisLimits {
+                max_steps: 1,
+                ..analysis::AnalysisLimits::DEFAULT
+            },
+            ..PipelineLimits::DEFAULT
+        };
+        let corpus = corpus_of_pairs(
+            "p",
+            &[("class A { void m() { int x = 1; } }", "class A { void m() { int x = 2; } }")],
+        );
+        let result = DiffCode::with_limits(limits).mine(&corpus, &[]);
+        assert_eq!(result.stats.skipped.analysis_budget, 1);
+        assert_eq!(result.stats.parse_failures, 0, "budget skip is not a parse failure");
+        assert!(result.stats.is_balanced());
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Fault-tolerant mining support: the shared pipeline error taxonomy,
+//! per-stage resource budgets, skip accounting, and quarantine reports.
+//!
+//! Mining runs over untrusted input at corpus scale, so the pipeline
+//! is **total**: no input may abort, hang, or poison a run. Every
+//! stage (lexing/parsing, abstract interpretation, DAG construction)
+//! returns a typed error instead of panicking, a last-resort
+//! `catch_unwind` around each code change converts residual panics
+//! into [`ErrorKind::Panic`] skips, and every skip is accounted —
+//! `code_changes == mined + skipped.total()` is an invariant of
+//! [`crate::MiningStats`] — and quarantined with provenance for later
+//! triage.
+
+use crate::pipeline::ChangeMeta;
+use analysis::{AnalysisError, AnalysisLimits};
+use javalang::{Limits, ParseError};
+use std::fmt;
+use usagegraph::{DagError, DagLimits};
+
+/// Coarse classification of why a code change was skipped. One counter
+/// per variant lives in [`crate::MiningStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// The source could not be lexed (malformed literals, budget
+    /// overruns caught before or during tokenization).
+    Lex,
+    /// The token stream could not be parsed into any compilation unit
+    /// (including nesting-budget overruns).
+    Parse,
+    /// The abstract interpreter exceeded its step budget or refused a
+    /// too-deep AST.
+    AnalysisBudget,
+    /// Usage-DAG construction exceeded its path or object budget.
+    DagBudget,
+    /// A panic escaped a pipeline stage and was caught at the
+    /// per-change isolation boundary.
+    Panic,
+}
+
+impl ErrorKind {
+    /// All kinds, in severity-agnostic display order.
+    pub const ALL: [ErrorKind; 5] = [
+        ErrorKind::Lex,
+        ErrorKind::Parse,
+        ErrorKind::AnalysisBudget,
+        ErrorKind::DagBudget,
+        ErrorKind::Panic,
+    ];
+
+    /// Stable machine-readable name, used in reports and CI greps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::AnalysisBudget => "analysis-budget",
+            ErrorKind::DagBudget => "dag-budget",
+            ErrorKind::Panic => "panic",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One typed failure from any pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Lexer or parser failure (see [`ParseError::kind`]).
+    Frontend(ParseError),
+    /// Abstract-interpreter budget failure.
+    Analysis(AnalysisError),
+    /// DAG-construction budget failure.
+    Dag(DagError),
+    /// A caught panic; the payload message, when it was a string.
+    Panic(String),
+}
+
+impl PipelineError {
+    /// The coarse [`ErrorKind`] this error counts under.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            PipelineError::Frontend(e) if e.kind().is_lexical() => ErrorKind::Lex,
+            PipelineError::Frontend(_) => ErrorKind::Parse,
+            PipelineError::Analysis(_) => ErrorKind::AnalysisBudget,
+            PipelineError::Dag(_) => ErrorKind::DagBudget,
+            PipelineError::Panic(_) => ErrorKind::Panic,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "{e}"),
+            PipelineError::Analysis(e) => write!(f, "{e}"),
+            PipelineError::Dag(e) => write!(f, "{e}"),
+            PipelineError::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Frontend(e)
+    }
+}
+
+impl From<AnalysisError> for PipelineError {
+    fn from(e: AnalysisError) -> Self {
+        PipelineError::Analysis(e)
+    }
+}
+
+impl From<DagError> for PipelineError {
+    fn from(e: DagError) -> Self {
+        PipelineError::Dag(e)
+    }
+}
+
+/// Per-kind skip counters. `total()` plus the mined count always
+/// equals the processed count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipCounters {
+    /// Skips classified [`ErrorKind::Lex`].
+    pub lex: usize,
+    /// Skips classified [`ErrorKind::Parse`].
+    pub parse: usize,
+    /// Skips classified [`ErrorKind::AnalysisBudget`].
+    pub analysis_budget: usize,
+    /// Skips classified [`ErrorKind::DagBudget`].
+    pub dag_budget: usize,
+    /// Skips classified [`ErrorKind::Panic`].
+    pub panic: usize,
+}
+
+impl SkipCounters {
+    /// The counter for `kind`.
+    pub fn get(&self, kind: ErrorKind) -> usize {
+        match kind {
+            ErrorKind::Lex => self.lex,
+            ErrorKind::Parse => self.parse,
+            ErrorKind::AnalysisBudget => self.analysis_budget,
+            ErrorKind::DagBudget => self.dag_budget,
+            ErrorKind::Panic => self.panic,
+        }
+    }
+
+    /// Increments the counter for `kind`.
+    pub fn bump(&mut self, kind: ErrorKind) {
+        match kind {
+            ErrorKind::Lex => self.lex += 1,
+            ErrorKind::Parse => self.parse += 1,
+            ErrorKind::AnalysisBudget => self.analysis_budget += 1,
+            ErrorKind::DagBudget => self.dag_budget += 1,
+            ErrorKind::Panic => self.panic += 1,
+        }
+    }
+
+    /// Sum over all kinds.
+    pub fn total(&self) -> usize {
+        ErrorKind::ALL.iter().map(|k| self.get(*k)).sum()
+    }
+
+    /// Adds `other`'s counters into `self` (shard merging).
+    pub fn absorb(&mut self, other: &SkipCounters) {
+        for kind in ErrorKind::ALL {
+            for _ in 0..other.get(kind) {
+                self.bump(kind);
+            }
+        }
+    }
+}
+
+/// One quarantined code change: provenance, classification, and a
+/// minimized excerpt of the offending source for triage without
+/// re-fetching the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineReport {
+    /// Where the skipped change came from.
+    pub meta: ChangeMeta,
+    /// Coarse classification.
+    pub kind: ErrorKind,
+    /// The full error message.
+    pub error: String,
+    /// First non-blank line of the failing source, control characters
+    /// replaced and truncated to 80 characters.
+    pub excerpt: String,
+}
+
+/// Produces the triage excerpt stored in a [`QuarantineReport`]: the
+/// first non-blank line with control characters replaced by `·`,
+/// truncated to 80 characters (with an ellipsis when cut).
+pub fn excerpt(source: &str) -> String {
+    const MAX_CHARS: usize = 80;
+    let line = source
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .unwrap_or("")
+        .trim_end();
+    let mut out = String::new();
+    for (i, c) in line.chars().enumerate() {
+        if i == MAX_CHARS {
+            out.push('…');
+            break;
+        }
+        out.push(if c.is_control() { '·' } else { c });
+    }
+    out
+}
+
+/// The per-stage resource budgets one [`crate::DiffCode`] applies while
+/// mining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineLimits {
+    /// Lexer/parser budgets.
+    pub parse: Limits,
+    /// Abstract-interpreter budgets.
+    pub analysis: AnalysisLimits,
+    /// DAG-construction budgets (`max_depth` here is overridden by the
+    /// pipeline's configured DAG depth).
+    pub dag: DagLimits,
+}
+
+impl PipelineLimits {
+    /// The default stack of budgets, suitable for crawl-scale corpora.
+    pub const DEFAULT: PipelineLimits = PipelineLimits {
+        parse: Limits::DEFAULT,
+        analysis: AnalysisLimits::DEFAULT,
+        dag: DagLimits::DEFAULT,
+    };
+}
+
+impl Default for PipelineLimits {
+    fn default() -> Self {
+        PipelineLimits::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        let lex = ParseError::with_kind(
+            javalang::ParseErrorKind::UnterminatedString,
+            "unterminated string literal",
+            javalang::error::Span::new(0, 1, 1),
+        );
+        assert_eq!(PipelineError::Frontend(lex).kind(), ErrorKind::Lex);
+        let parse = ParseError::with_kind(
+            javalang::ParseErrorKind::NestingTooDeep,
+            "too deep",
+            javalang::error::Span::new(0, 1, 1),
+        );
+        assert_eq!(PipelineError::Frontend(parse).kind(), ErrorKind::Parse);
+        assert_eq!(
+            PipelineError::Analysis(AnalysisError::StepBudgetExceeded {
+                max_steps: 1
+            })
+            .kind(),
+            ErrorKind::AnalysisBudget
+        );
+        assert_eq!(
+            PipelineError::Dag(DagError::PathBudgetExceeded { max_paths: 1 }).kind(),
+            ErrorKind::DagBudget
+        );
+        assert_eq!(
+            PipelineError::Panic("boom".into()).kind(),
+            ErrorKind::Panic
+        );
+    }
+
+    #[test]
+    fn skip_counters_account_exactly() {
+        let mut c = SkipCounters::default();
+        c.bump(ErrorKind::Lex);
+        c.bump(ErrorKind::Lex);
+        c.bump(ErrorKind::Panic);
+        assert_eq!(c.get(ErrorKind::Lex), 2);
+        assert_eq!(c.total(), 3);
+        let mut d = SkipCounters::default();
+        d.bump(ErrorKind::DagBudget);
+        d.absorb(&c);
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn excerpt_sanitizes_and_truncates() {
+        assert_eq!(excerpt("\n\n  class A {\t}  "), "  class A {·}");
+        let long = "x".repeat(200);
+        let e = excerpt(&long);
+        assert_eq!(e.chars().count(), 81, "80 chars + ellipsis");
+        assert!(e.ends_with('…'));
+        assert_eq!(excerpt("   \n\t\n"), "");
+    }
+}

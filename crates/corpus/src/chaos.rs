@@ -1,0 +1,303 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! The mining pipeline claims to be *total* — no input aborts it, only
+//! skip-and-account. This module provides the adversarial inputs that
+//! back the claim: a deterministic [`Mutator`] that corrupts a fraction
+//! of a corpus's code changes with the classic fuzzer products
+//! (truncation, byte flips, unbalanced braces, pathological nesting,
+//! oversized tokens) plus an optional panic-injection marker, and
+//! returns a [`FaultLog`] identifying exactly which changes were
+//! touched — so a chaos test can assert that every *untouched* change
+//! mines byte-identically to a fault-free run.
+
+use crate::model::Corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kinds of corruption the mutator injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Cut the source off mid-token (simulates interrupted fetches).
+    Truncate,
+    /// Overwrite a handful of characters with ASCII garbage.
+    ByteFlips,
+    /// Append opening braces that never close.
+    UnbalancedBraces,
+    /// Splice in an expression nested thousands of parentheses deep —
+    /// a stack-overflow trap for recursive parsers.
+    DeepNesting,
+    /// Splice in a single token far beyond any sane length — an
+    /// allocation trap for lexers.
+    HugeToken,
+    /// Splice in the panic marker honored by the pipeline's
+    /// fault-injection hook (`DIFFCODE_CHAOS_PANIC_MARKER`).
+    PanicMarker,
+}
+
+impl FaultKind {
+    /// Stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Truncate => "truncate",
+            FaultKind::ByteFlips => "byte-flips",
+            FaultKind::UnbalancedBraces => "unbalanced-braces",
+            FaultKind::DeepNesting => "deep-nesting",
+            FaultKind::HugeToken => "huge-token",
+            FaultKind::PanicMarker => "panic-marker",
+        }
+    }
+}
+
+/// One injected fault, keyed by the (project, commit, path) identity of
+/// the code change it corrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// `user/project` of the touched change.
+    pub project: String,
+    /// Commit id of the touched change.
+    pub commit: String,
+    /// File path of the touched change.
+    pub path: String,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Which side was corrupted (`true` = the new version).
+    pub new_side: bool,
+}
+
+/// Everything a chaos test needs to reason about an injection run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// All injected faults, in corpus order.
+    pub faults: Vec<InjectedFault>,
+    /// Code changes inspected (faulted or not).
+    pub code_changes: usize,
+}
+
+impl FaultLog {
+    /// `true` if the code change identified by (`project`, `commit`,
+    /// `path`) was corrupted.
+    pub fn touched(&self, project: &str, commit: &str, path: &str) -> bool {
+        self.faults.iter().any(|f| {
+            f.project == project && f.commit == commit && f.path == path
+        })
+    }
+}
+
+/// A deterministic, seeded corpus corruptor.
+#[derive(Debug)]
+pub struct Mutator {
+    rng: StdRng,
+    rate: f64,
+    panic_marker: Option<String>,
+}
+
+impl Mutator {
+    /// A mutator that corrupts each code change with probability
+    /// `rate` (clamped to `[0, 1]`), deterministically from `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+            rate: rate.clamp(0.0, 1.0),
+            panic_marker: None,
+        }
+    }
+
+    /// Enables [`FaultKind::PanicMarker`] faults carrying `marker`.
+    /// Without this, the mutator never injects panics (so accounting
+    /// tests see only input-shaped faults).
+    pub fn with_panic_marker(mut self, marker: impl Into<String>) -> Self {
+        self.panic_marker = Some(marker.into());
+        self
+    }
+
+    /// Corrupts ~`rate` of the corpus's code changes in place and
+    /// returns the log of what was touched. Only changes with both an
+    /// old and a new side are candidates (matching what mining
+    /// processes); additions and deletions are left alone.
+    pub fn inject(&mut self, corpus: &mut Corpus) -> FaultLog {
+        let mut log = FaultLog::default();
+        for project in &mut corpus.projects {
+            let full_name = format!("{}/{}", project.user, project.name);
+            for commit in &mut project.commits {
+                for change in &mut commit.changes {
+                    let (Some(old), Some(new)) = (&change.old, &change.new) else {
+                        continue;
+                    };
+                    log.code_changes += 1;
+                    if !self.rng.random_bool(self.rate) {
+                        continue;
+                    }
+                    let new_side = self.rng.random_bool(0.7);
+                    let victim = if new_side { new } else { old };
+                    let (mutated, kind) = self.corrupt(victim);
+                    if new_side {
+                        change.new = Some(mutated);
+                    } else {
+                        change.old = Some(mutated);
+                    }
+                    log.faults.push(InjectedFault {
+                        project: full_name.clone(),
+                        commit: commit.id.clone(),
+                        path: change.path.clone(),
+                        kind,
+                        new_side,
+                    });
+                }
+            }
+        }
+        log
+    }
+
+    /// Applies one randomly chosen corruption to `source`.
+    fn corrupt(&mut self, source: &str) -> (String, FaultKind) {
+        let n_kinds = if self.panic_marker.is_some() { 6 } else { 5 };
+        match self.rng.random_range(0..n_kinds) {
+            0 => (self.truncate(source), FaultKind::Truncate),
+            1 => (self.byte_flips(source), FaultKind::ByteFlips),
+            2 => (self.unbalanced_braces(source), FaultKind::UnbalancedBraces),
+            3 => (self.deep_nesting(), FaultKind::DeepNesting),
+            4 => (self.huge_token(), FaultKind::HugeToken),
+            _ => (self.panic_marker(source), FaultKind::PanicMarker),
+        }
+    }
+
+    fn truncate(&mut self, source: &str) -> String {
+        if source.is_empty() {
+            return String::new();
+        }
+        let cut = self.rng.random_range(0..source.len());
+        // Snap to a char boundary so the result stays valid UTF-8 —
+        // we model interrupted transfers of text, not encoding errors.
+        let cut = (0..=cut).rev().find(|i| source.is_char_boundary(*i)).unwrap_or(0);
+        source[..cut].to_owned()
+    }
+
+    fn byte_flips(&mut self, source: &str) -> String {
+        const GARBAGE: &[char] =
+            &['\u{1}', '\u{7f}', '`', '\\', '"', '\'', '#', '$', '\u{b}'];
+        let mut chars: Vec<char> = source.chars().collect();
+        if chars.is_empty() {
+            return "\u{1}\u{1}".to_owned();
+        }
+        let flips = 1 + self.rng.random_range(0..8usize);
+        for _ in 0..flips {
+            let at = self.rng.random_range(0..chars.len());
+            let with = GARBAGE[self.rng.random_range(0..GARBAGE.len())];
+            chars[at] = with;
+        }
+        chars.into_iter().collect()
+    }
+
+    fn unbalanced_braces(&mut self, source: &str) -> String {
+        let n = 1 + self.rng.random_range(0..64usize);
+        let mut out = String::with_capacity(source.len() + n);
+        if self.rng.random_bool(0.5) {
+            out.extend(std::iter::repeat_n('}', n));
+            out.push_str(source);
+        } else {
+            out.push_str(source);
+            out.extend(std::iter::repeat_n('{', n));
+        }
+        out
+    }
+
+    fn deep_nesting(&mut self) -> String {
+        let depth = 10_000 + self.rng.random_range(0..2_000usize);
+        let mut out = String::with_capacity(2 * depth + 64);
+        out.push_str("class Chaos { int x = ");
+        out.extend(std::iter::repeat_n('(', depth));
+        out.push('1');
+        out.extend(std::iter::repeat_n(')', depth));
+        out.push_str("; }");
+        out
+    }
+
+    fn huge_token(&mut self) -> String {
+        // Half the time a megabyte-plus token (trips the source-size
+        // budget), half the time ~128 KiB (fits the source budget but
+        // trips the per-token budget).
+        let len = if self.rng.random_bool(0.5) { 1 << 21 } else { 1 << 17 };
+        let mut out = String::with_capacity(len + 64);
+        out.push_str("class Chaos { int ");
+        out.extend(std::iter::repeat_n('a', len));
+        out.push_str(" = 1; }");
+        out
+    }
+
+    fn panic_marker(&mut self, source: &str) -> String {
+        let marker = self.panic_marker.as_deref().unwrap_or("");
+        format!("{source}\n/* {marker} */\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn injection_is_deterministic() {
+        let pristine = generate(&GeneratorConfig::small(4, 9));
+        let mut a = pristine.clone();
+        let mut b = pristine.clone();
+        let log_a = Mutator::new(42, 0.4).inject(&mut a);
+        let log_b = Mutator::new(42, 0.4).inject(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(log_a, log_b);
+        assert!(!log_a.faults.is_empty());
+        assert_ne!(a, pristine, "faults must actually corrupt something");
+    }
+
+    #[test]
+    fn rate_controls_fault_volume() {
+        let mut corpus = generate(&GeneratorConfig::small(4, 9));
+        let none = Mutator::new(1, 0.0).inject(&mut corpus.clone());
+        assert!(none.faults.is_empty());
+        let all = Mutator::new(1, 1.0).inject(&mut corpus);
+        assert_eq!(all.faults.len(), all.code_changes);
+    }
+
+    #[test]
+    fn untouched_changes_keep_their_bytes() {
+        let pristine = generate(&GeneratorConfig::small(4, 9));
+        let mut faulted = pristine.clone();
+        let log = Mutator::new(7, 0.5).inject(&mut faulted);
+        for (p_old, p_new) in pristine.projects.iter().zip(&faulted.projects) {
+            for (c_old, c_new) in p_old.commits.iter().zip(&p_new.commits) {
+                for (ch_old, ch_new) in c_old.changes.iter().zip(&c_new.changes) {
+                    if !log.touched(&p_old.full_name(), &c_old.id, &ch_old.path) {
+                        assert_eq!(ch_old, ch_new);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_marker_requires_opt_in() {
+        let mut corpus = generate(&GeneratorConfig::small(4, 9));
+        let log = Mutator::new(3, 1.0).inject(&mut corpus);
+        assert!(
+            log.faults.iter().all(|f| f.kind != FaultKind::PanicMarker),
+            "no panic faults without with_panic_marker"
+        );
+        let mut corpus2 = generate(&GeneratorConfig::small(4, 9));
+        let log2 = Mutator::new(3, 1.0)
+            .with_panic_marker("@@CHAOS@@")
+            .inject(&mut corpus2);
+        assert!(log2.faults.iter().any(|f| f.kind == FaultKind::PanicMarker));
+    }
+
+    #[test]
+    fn mutations_stay_valid_utf8_strings() {
+        // String construction already guarantees UTF-8; this pins the
+        // shapes: truncation shortens, braces lengthen, nesting and
+        // token bombs are big.
+        let mut m = Mutator::new(11, 1.0);
+        let src = "class A { String s = \"héllo\"; }";
+        assert!(m.truncate(src).len() <= src.len());
+        assert!(m.unbalanced_braces(src).len() > src.len());
+        assert!(m.deep_nesting().len() > 20_000);
+        assert!(m.huge_token().len() > (1 << 17));
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod fixtures;
 mod generator;
@@ -32,6 +33,7 @@ mod model;
 pub mod stats;
 pub mod templates;
 
+pub use chaos::{FaultKind, FaultLog, InjectedFault, Mutator};
 pub use diff::{diff_lines, render_patch, DiffLine};
 pub use generator::{generate, GeneratorConfig};
 pub use golden::golden_corpus;

@@ -1,4 +1,11 @@
 //! Error and diagnostic types for the front end.
+//!
+//! Every failure on the untrusted-input path carries a typed
+//! [`ParseErrorKind`] so downstream consumers (the mining pipeline's
+//! quarantine accounting in particular) can bucket failures without
+//! string matching. The human-readable `message` strings are part of
+//! the stable surface too — tests assert on them — so kinds are an
+//! *addition*, not a replacement.
 
 use std::error::Error;
 use std::fmt;
@@ -36,17 +43,111 @@ impl fmt::Display for Span {
     }
 }
 
+/// What category of failure a [`ParseError`] represents.
+///
+/// Lexical kinds come out of [`crate::lexer::Lexer`]; syntactic kinds
+/// out of the parser. Budget kinds can come from either, depending on
+/// which limit tripped first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// `/*` with no matching `*/`.
+    UnterminatedComment,
+    /// `"` with no closing quote on the same line.
+    UnterminatedString,
+    /// `'` with no closing quote.
+    UnterminatedChar,
+    /// A backslash escape cut off by end of input, or a malformed
+    /// `\uXXXX` sequence.
+    InvalidEscape,
+    /// A numeric literal with no digits or out-of-range digits
+    /// (`0x`, `0b_`, `1e`, ...).
+    InvalidLiteral,
+    /// A byte that starts no Java token (`#`, a stray `\`, ...).
+    UnexpectedChar,
+    /// The source text exceeds [`crate::limits::Limits::max_source_bytes`].
+    SourceTooLarge,
+    /// The token stream exceeds [`crate::limits::Limits::max_tokens`].
+    TokenBudgetExceeded,
+    /// A single token exceeds [`crate::limits::Limits::max_token_bytes`].
+    TokenTooLong,
+    /// The parser found a token that fits no production and could not
+    /// recover.
+    UnexpectedToken,
+    /// Expression / statement / type nesting exceeded
+    /// [`crate::limits::Limits::max_nesting`].
+    NestingTooDeep,
+    /// An invariant the front end maintains internally was violated —
+    /// always a bug in this crate, never the input's fault, but
+    /// reported as an error rather than a panic so one bad file cannot
+    /// abort a mining run.
+    Internal,
+}
+
+impl ParseErrorKind {
+    /// Whether this kind is produced during lexing (as opposed to
+    /// parsing). Budget kinds that trip in the lexer count as lexical.
+    pub fn is_lexical(self) -> bool {
+        matches!(
+            self,
+            ParseErrorKind::UnterminatedComment
+                | ParseErrorKind::UnterminatedString
+                | ParseErrorKind::UnterminatedChar
+                | ParseErrorKind::InvalidEscape
+                | ParseErrorKind::InvalidLiteral
+                | ParseErrorKind::UnexpectedChar
+                | ParseErrorKind::SourceTooLarge
+                | ParseErrorKind::TokenBudgetExceeded
+                | ParseErrorKind::TokenTooLong
+        )
+    }
+
+    /// A short stable identifier, usable as a counter key.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParseErrorKind::UnterminatedComment => "unterminated-comment",
+            ParseErrorKind::UnterminatedString => "unterminated-string",
+            ParseErrorKind::UnterminatedChar => "unterminated-char",
+            ParseErrorKind::InvalidEscape => "invalid-escape",
+            ParseErrorKind::InvalidLiteral => "invalid-literal",
+            ParseErrorKind::UnexpectedChar => "unexpected-char",
+            ParseErrorKind::SourceTooLarge => "source-too-large",
+            ParseErrorKind::TokenBudgetExceeded => "token-budget",
+            ParseErrorKind::TokenTooLong => "token-too-long",
+            ParseErrorKind::UnexpectedToken => "unexpected-token",
+            ParseErrorKind::NestingTooDeep => "nesting-too-deep",
+            ParseErrorKind::Internal => "internal",
+        }
+    }
+}
+
 /// A fatal parse error: the file could not be turned into an AST at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    kind: ParseErrorKind,
     message: String,
     span: Span,
 }
 
 impl ParseError {
-    /// Creates a parse error at `span`.
+    /// Creates a parse error at `span` with the generic
+    /// [`ParseErrorKind::UnexpectedToken`] kind.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError { message: message.into(), span }
+        ParseError {
+            kind: ParseErrorKind::UnexpectedToken,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a parse error of a specific kind at `span`.
+    pub fn with_kind(kind: ParseErrorKind, message: impl Into<String>, span: Span) -> Self {
+        ParseError { kind, message: message.into(), span }
+    }
+
+    /// The failure category.
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
     }
 
     /// The human-readable description, lowercase, without punctuation.

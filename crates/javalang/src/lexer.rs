@@ -6,7 +6,8 @@
 //! sequences of `>` tokens so that generic type arguments nest without
 //! lexer feedback; the parser reassembles shift operators.
 
-use crate::error::{ParseError, Span};
+use crate::error::{ParseError, ParseErrorKind, Span};
+use crate::limits::Limits;
 use crate::token::{Keyword, Punct, SpannedToken, Token};
 
 /// Streaming lexer over a source string.
@@ -16,24 +17,60 @@ pub struct Lexer<'s> {
     bytes: &'s [u8],
     pos: usize,
     line: u32,
+    limits: Limits,
 }
 
 impl<'s> Lexer<'s> {
-    /// Creates a lexer over `source`.
+    /// Creates a lexer over `source` with [`Limits::DEFAULT`] budgets.
     pub fn new(source: &'s str) -> Self {
-        Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1 }
+        Lexer::with_limits(source, Limits::DEFAULT)
+    }
+
+    /// Creates a lexer over `source` with explicit resource budgets.
+    pub fn with_limits(source: &'s str, limits: Limits) -> Self {
+        Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1, limits }
     }
 
     /// Lexes the entire input, appending a trailing [`Token::Eof`].
     ///
     /// # Errors
     ///
-    /// Returns an error for unterminated strings/comments/chars and
-    /// malformed numeric literals.
+    /// Returns an error for unterminated strings/comments/chars,
+    /// malformed numeric literals, and inputs that exceed the
+    /// configured [`Limits`].
     pub fn tokenize(mut self) -> Result<Vec<SpannedToken>, ParseError> {
+        if self.src.len() > self.limits.max_source_bytes {
+            return Err(ParseError::with_kind(
+                ParseErrorKind::SourceTooLarge,
+                format!(
+                    "source is {} bytes, budget is {}",
+                    self.src.len(),
+                    self.limits.max_source_bytes
+                ),
+                Span::new(0, self.src.len(), 1),
+            ));
+        }
         let mut out = Vec::new();
         loop {
             let tok = self.next_token()?;
+            if tok.span.end - tok.span.start > self.limits.max_token_bytes {
+                return Err(ParseError::with_kind(
+                    ParseErrorKind::TokenTooLong,
+                    format!(
+                        "token is {} bytes, budget is {}",
+                        tok.span.end - tok.span.start,
+                        self.limits.max_token_bytes
+                    ),
+                    tok.span,
+                ));
+            }
+            if out.len() >= self.limits.max_tokens {
+                return Err(ParseError::with_kind(
+                    ParseErrorKind::TokenBudgetExceeded,
+                    format!("more than {} tokens", self.limits.max_tokens),
+                    tok.span,
+                ));
+            }
             let done = tok.token == Token::Eof;
             out.push(tok);
             if done {
@@ -93,7 +130,8 @@ impl<'s> Lexer<'s> {
                                 self.bump();
                             }
                             None => {
-                                return Err(ParseError::new(
+                                return Err(ParseError::with_kind(
+                                    ParseErrorKind::UnterminatedComment,
                                     "unterminated block comment",
                                     self.span_from(start, line),
                                 ));
@@ -177,7 +215,11 @@ impl<'s> Lexer<'s> {
             let is_long = self.consume_long_suffix();
             // Wrap like javac does for e.g. 0xFFFFFFFF.
             let value = u64::from_str_radix(&text, 16).map_err(|_| {
-                ParseError::new("invalid hex literal", self.span_from(start, line))
+                ParseError::with_kind(
+                    ParseErrorKind::InvalidLiteral,
+                    "invalid hex literal",
+                    self.span_from(start, line),
+                )
             })? as i64;
             return Ok(Token::IntLit(value, is_long));
         }
@@ -196,7 +238,11 @@ impl<'s> Lexer<'s> {
                 .collect();
             let is_long = self.consume_long_suffix();
             let value = u64::from_str_radix(&text, 2).map_err(|_| {
-                ParseError::new("invalid binary literal", self.span_from(start, line))
+                ParseError::with_kind(
+                    ParseErrorKind::InvalidLiteral,
+                    "invalid binary literal",
+                    self.span_from(start, line),
+                )
             })? as i64;
             return Ok(Token::IntLit(value, is_long));
         }
@@ -245,7 +291,11 @@ impl<'s> Lexer<'s> {
             Some(b'f') | Some(b'F') | Some(b'd') | Some(b'D') => {
                 self.bump();
                 let value = text.parse::<f64>().map_err(|_| {
-                    ParseError::new("invalid float literal", self.span_from(start, line))
+                    ParseError::with_kind(
+                        ParseErrorKind::InvalidLiteral,
+                        "invalid float literal",
+                        self.span_from(start, line),
+                    )
                 })?;
                 return Ok(Token::FloatLit(value));
             }
@@ -253,7 +303,11 @@ impl<'s> Lexer<'s> {
         }
         if saw_dot || saw_exp {
             let value = text.parse::<f64>().map_err(|_| {
-                ParseError::new("invalid float literal", self.span_from(start, line))
+                ParseError::with_kind(
+                    ParseErrorKind::InvalidLiteral,
+                    "invalid float literal",
+                    self.span_from(start, line),
+                )
             })?;
             return Ok(Token::FloatLit(value));
         }
@@ -281,7 +335,8 @@ impl<'s> Lexer<'s> {
     fn lex_escape(&mut self, start: usize, line: u32) -> Result<char, ParseError> {
         // The leading backslash has been consumed.
         let Some(b) = self.bump() else {
-            return Err(ParseError::new(
+            return Err(ParseError::with_kind(
+                ParseErrorKind::InvalidEscape,
                 "unterminated escape sequence",
                 self.span_from(start, line),
             ));
@@ -304,13 +359,15 @@ impl<'s> Lexer<'s> {
                 let mut value: u32 = 0;
                 for _ in 0..4 {
                     let Some(d) = self.bump() else {
-                        return Err(ParseError::new(
+                        return Err(ParseError::with_kind(
+                            ParseErrorKind::InvalidEscape,
                             "unterminated unicode escape",
                             self.span_from(start, line),
                         ));
                     };
                     let digit = (d as char).to_digit(16).ok_or_else(|| {
-                        ParseError::new(
+                        ParseError::with_kind(
+                            ParseErrorKind::InvalidEscape,
                             "invalid unicode escape",
                             self.span_from(start, line),
                         )
@@ -323,6 +380,23 @@ impl<'s> Lexer<'s> {
         })
     }
 
+    /// The full (possibly multi-byte) character at the cursor. `pos`
+    /// is always on a character boundary by construction; if that
+    /// invariant is ever violated, report a typed internal error
+    /// instead of panicking on the slice.
+    fn cur_char(&self, start: usize, line: u32) -> Result<char, ParseError> {
+        self.src
+            .get(self.pos..)
+            .and_then(|rest| rest.chars().next())
+            .ok_or_else(|| {
+                ParseError::with_kind(
+                    ParseErrorKind::Internal,
+                    "lexer lost a character boundary",
+                    self.span_from(start, line),
+                )
+            })
+    }
+
     fn lex_string(&mut self) -> Result<Token, ParseError> {
         let start = self.pos;
         let line = self.line;
@@ -331,7 +405,8 @@ impl<'s> Lexer<'s> {
         loop {
             match self.peek() {
                 None | Some(b'\n') => {
-                    return Err(ParseError::new(
+                    return Err(ParseError::with_kind(
+                        ParseErrorKind::UnterminatedString,
                         "unterminated string literal",
                         self.span_from(start, line),
                     ));
@@ -350,7 +425,7 @@ impl<'s> Lexer<'s> {
                 }
                 Some(_) => {
                     // Multi-byte UTF-8: copy the whole character.
-                    let ch = self.src[self.pos..].chars().next().unwrap();
+                    let ch = self.cur_char(start, line)?;
                     for _ in 0..ch.len_utf8() {
                         self.bump();
                     }
@@ -366,7 +441,8 @@ impl<'s> Lexer<'s> {
         self.bump(); // opening quote
         let ch = match self.peek() {
             None => {
-                return Err(ParseError::new(
+                return Err(ParseError::with_kind(
+                    ParseErrorKind::UnterminatedChar,
                     "unterminated char literal",
                     self.span_from(start, line),
                 ));
@@ -380,7 +456,7 @@ impl<'s> Lexer<'s> {
                 b as char
             }
             Some(_) => {
-                let ch = self.src[self.pos..].chars().next().unwrap();
+                let ch = self.cur_char(start, line)?;
                 for _ in 0..ch.len_utf8() {
                     self.bump();
                 }
@@ -388,7 +464,8 @@ impl<'s> Lexer<'s> {
             }
         };
         if self.peek() != Some(b'\'') {
-            return Err(ParseError::new(
+            return Err(ParseError::with_kind(
+                ParseErrorKind::UnterminatedChar,
                 "unterminated char literal",
                 self.span_from(start, line),
             ));
@@ -401,7 +478,13 @@ impl<'s> Lexer<'s> {
         use Punct::*;
         let start = self.pos;
         let line = self.line;
-        let b = self.bump().expect("caller checked non-empty");
+        let Some(b) = self.bump() else {
+            return Err(ParseError::with_kind(
+                ParseErrorKind::Internal,
+                "lexer read past end of input",
+                self.span_from(start, line),
+            ));
+        };
         let two = self.peek();
         let three = self.peek_at(1);
         let p = match b {
@@ -555,7 +638,8 @@ impl<'s> Lexer<'s> {
                 }
             }
             other => {
-                return Err(ParseError::new(
+                return Err(ParseError::with_kind(
+                    ParseErrorKind::UnexpectedChar,
                     format!("unexpected character {:?}", other as char),
                     self.span_from(start, line),
                 ));

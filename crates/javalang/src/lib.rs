@@ -33,14 +33,18 @@
 pub mod ast;
 pub mod error;
 pub mod lexer;
+pub mod limits;
 pub mod parser;
 pub mod printer;
 pub mod token;
 pub mod visit;
 
 pub use ast::CompilationUnit;
-pub use error::{ParseDiagnostic, ParseError};
-pub use parser::{parse_compilation_unit, Parser};
+pub use error::{ParseDiagnostic, ParseError, ParseErrorKind};
+pub use limits::Limits;
+pub use parser::{
+    parse_compilation_unit, parse_compilation_unit_with_limits, Parser,
+};
 pub use printer::pretty_print;
 
 /// Convenience: lex `source` into a token stream, discarding trivia.
@@ -76,7 +80,24 @@ pub fn lex(source: &str) -> Result<Vec<token::SpannedToken>, ParseError> {
 /// # Ok::<(), javalang::ParseError>(())
 /// ```
 pub fn parse_snippet(source: &str) -> Result<CompilationUnit, ParseError> {
-    let direct = parse_compilation_unit(source);
+    parse_snippet_with_limits(source, Limits::DEFAULT)
+}
+
+/// Like [`parse_snippet`], with explicit resource budgets.
+///
+/// The budgets apply to each candidate interpretation; the synthetic
+/// wrapper class adds a handful of tokens and one nesting level, which
+/// is accounted for before the source's own budget is charged.
+///
+/// # Errors
+///
+/// As [`parse_snippet`], plus typed budget errors when `limits` are
+/// exceeded.
+pub fn parse_snippet_with_limits(
+    source: &str,
+    limits: Limits,
+) -> Result<CompilationUnit, ParseError> {
+    let direct = parse_compilation_unit_with_limits(source, limits);
     if let Ok(unit) = &direct {
         if !unit.types.is_empty() && unit.diagnostics.is_empty() {
             return direct;
@@ -103,14 +124,24 @@ pub fn parse_snippet(source: &str) -> Result<CompilationUnit, ParseError> {
         let has_types = !unit.types.is_empty();
         consider(unit.clone(), has_types);
     }
+    // The synthetic wrappers add a few dozen bytes, a dozen tokens, and
+    // up to two nesting levels; widen the budgets by that much so a
+    // source exactly at its limit is not rejected for the wrapper's
+    // overhead.
+    let wrapped_limits = Limits {
+        max_source_bytes: limits.max_source_bytes.saturating_add(96),
+        max_tokens: limits.max_tokens.saturating_add(16),
+        max_nesting: limits.max_nesting.saturating_add(2),
+        ..limits
+    };
     let as_members = format!("class __Snippet__ {{\n{source}\n}}");
-    if let Ok(unit) = parse_compilation_unit(&as_members) {
+    if let Ok(unit) = parse_compilation_unit_with_limits(&as_members, wrapped_limits) {
         let has_content = unit.types.first().is_some_and(|t| !t.members.is_empty());
         consider(unit, has_content);
     }
     let as_statements =
         format!("class __Snippet__ {{ void __snippet__() throws Exception {{\n{source}\n}} }}");
-    if let Ok(unit) = parse_compilation_unit(&as_statements) {
+    if let Ok(unit) = parse_compilation_unit_with_limits(&as_statements, wrapped_limits) {
         let has_content = unit.types.first().is_some_and(|t| {
             t.methods()
                 .next()

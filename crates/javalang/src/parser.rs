@@ -7,11 +7,12 @@
 //! requirement to analyze partial programs mined from version control.
 
 use crate::ast::*;
-use crate::error::{ParseDiagnostic, ParseError, Span};
+use crate::error::{ParseDiagnostic, ParseError, ParseErrorKind, Span};
 use crate::lexer::Lexer;
+use crate::limits::Limits;
 use crate::token::{Keyword, Punct, SpannedToken, Token};
 
-/// Parses a whole source file.
+/// Parses a whole source file with [`Limits::DEFAULT`] budgets.
 ///
 /// # Errors
 ///
@@ -19,8 +20,22 @@ use crate::token::{Keyword, Punct, SpannedToken, Token};
 /// structure could be recovered at all; member-level problems are
 /// reported via [`CompilationUnit::diagnostics`].
 pub fn parse_compilation_unit(source: &str) -> Result<CompilationUnit, ParseError> {
-    let tokens = Lexer::new(source).tokenize()?;
-    Parser::new(tokens).parse_unit()
+    parse_compilation_unit_with_limits(source, Limits::DEFAULT)
+}
+
+/// Parses a whole source file with explicit resource budgets.
+///
+/// # Errors
+///
+/// As [`parse_compilation_unit`], plus typed budget errors
+/// ([`ParseErrorKind::SourceTooLarge`] and friends) when `limits` are
+/// exceeded.
+pub fn parse_compilation_unit_with_limits(
+    source: &str,
+    limits: Limits,
+) -> Result<CompilationUnit, ParseError> {
+    let tokens = Lexer::with_limits(source, limits).tokenize()?;
+    Parser::with_limits(tokens, limits).parse_unit()
 }
 
 /// The recursive-descent parser.
@@ -29,36 +44,53 @@ pub struct Parser {
     tokens: Vec<SpannedToken>,
     pos: usize,
     diagnostics: Vec<ParseDiagnostic>,
-    /// Current expression/statement nesting depth (guards the stack
-    /// against adversarial inputs).
+    /// Current nesting depth across *all* recursive paths (statements,
+    /// expressions, types, array initialisers, nested type
+    /// declarations) — guards the stack against adversarial inputs.
     depth: usize,
+    /// Depth at which [`Parser::nested`] gives up.
+    max_nesting: usize,
 }
-
-/// Maximum expression/statement nesting before the parser gives up on
-/// the construct (recovery takes over). Real code stays far below this.
-const MAX_NESTING: usize = 64;
 
 type PResult<T> = Result<T, ParseError>;
 
 impl Parser {
-    /// Creates a parser over a pre-lexed token stream (must end with
-    /// [`Token::Eof`]).
+    /// Creates a parser over a pre-lexed token stream with
+    /// [`Limits::DEFAULT`] budgets. A missing trailing [`Token::Eof`]
+    /// is appended rather than rejected.
     pub fn new(tokens: Vec<SpannedToken>) -> Self {
-        assert!(
-            matches!(tokens.last(), Some(t) if t.token == Token::Eof),
-            "token stream must end with Eof"
-        );
-        Parser { tokens, pos: 0, diagnostics: Vec::new(), depth: 0 }
+        Parser::with_limits(tokens, Limits::DEFAULT)
+    }
+
+    /// Creates a parser over a pre-lexed token stream with explicit
+    /// resource budgets.
+    pub fn with_limits(mut tokens: Vec<SpannedToken>, limits: Limits) -> Self {
+        if !matches!(tokens.last(), Some(t) if t.token == Token::Eof) {
+            let span = tokens.last().map(|t| t.span).unwrap_or_default();
+            tokens.push(SpannedToken { token: Token::Eof, span });
+        }
+        Parser {
+            tokens,
+            pos: 0,
+            diagnostics: Vec::new(),
+            depth: 0,
+            max_nesting: limits.max_nesting,
+        }
     }
 
     /// Runs `f` one nesting level deeper, failing fast past
-    /// [`MAX_NESTING`] so adversarial inputs cannot exhaust the stack.
+    /// [`Limits::max_nesting`] so adversarial inputs cannot exhaust
+    /// the stack.
     fn nested<T>(
         &mut self,
         f: impl FnOnce(&mut Self) -> PResult<T>,
     ) -> PResult<T> {
-        if self.depth >= MAX_NESTING {
-            return Err(self.error("expression or statement nesting too deep"));
+        if self.depth >= self.max_nesting {
+            return Err(ParseError::with_kind(
+                ParseErrorKind::NestingTooDeep,
+                "expression or statement nesting too deep",
+                self.span(),
+            ));
         }
         self.depth += 1;
         let result = f(self);
@@ -325,7 +357,14 @@ impl Parser {
     // Type declarations
     // ------------------------------------------------------------------
 
+    /// Nested type declarations (`class A { class B { ... } }`) recurse
+    /// through [`Parser::parse_member`], so the whole production runs
+    /// under the nesting guard.
     fn parse_type_decl(&mut self) -> PResult<TypeDecl> {
+        self.nested(|p| p.parse_type_decl_inner())
+    }
+
+    fn parse_type_decl_inner(&mut self) -> PResult<TypeDecl> {
         let start = self.span();
         self.skip_annotations();
         let modifiers = self.parse_modifiers();
@@ -719,6 +758,12 @@ impl Parser {
     ///
     /// Fails if the cursor is not at a type.
     pub fn parse_type(&mut self) -> PResult<Type> {
+        // Types recurse through type arguments (`A<B<C<...>>>`) and
+        // wildcard bounds, so they run under the nesting guard too.
+        self.nested(|p| p.parse_type_inner())
+    }
+
+    fn parse_type_inner(&mut self) -> PResult<Type> {
         self.skip_annotations();
         let base = match self.peek().clone() {
             Token::Keyword(kw) => {
@@ -758,7 +803,14 @@ impl Parser {
                 {
                     self.bump();
                     let Token::Ident(seg) = self.bump().clone() else {
-                        unreachable!()
+                        // Checked by the loop condition; reported as a
+                        // typed error instead of a panic so one bad
+                        // file cannot abort a mining run.
+                        return Err(ParseError::with_kind(
+                            ParseErrorKind::Internal,
+                            "expected identifier after `.` in type name",
+                            self.span(),
+                        ));
                     };
                     name.push('.');
                     name.push_str(&seg);
@@ -1256,6 +1308,11 @@ impl Parser {
     }
 
     fn parse_array_init(&mut self) -> PResult<Vec<Expr>> {
+        // `{{{{...}}}}` nests without passing through `parse_expr`.
+        self.nested(|p| p.parse_array_init_inner())
+    }
+
+    fn parse_array_init_inner(&mut self) -> PResult<Vec<Expr>> {
         self.expect_punct(Punct::LBrace)?;
         let mut elems = Vec::new();
         loop {
@@ -1306,7 +1363,9 @@ impl Parser {
         let rhs = if self.check_punct(Punct::LBrace) {
             Expr::ArrayInit(self.parse_array_init()?)
         } else {
-            self.parse_assignment()?
+            // `a = b = c = ...` recurses without passing through
+            // `parse_expr`; count it against the nesting budget.
+            self.nested(|p| p.parse_assignment())?
         };
         Ok(Expr::Assign { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
     }
@@ -1316,7 +1375,8 @@ impl Parser {
         if self.eat_punct(Punct::Question) {
             let then = self.parse_expr()?;
             self.expect_punct(Punct::Colon)?;
-            let alt = self.parse_conditional()?;
+            // `a ? b : c ? d : ...` chains recurse directly.
+            let alt = self.nested(|p| p.parse_conditional())?;
             Ok(Expr::Conditional {
                 cond: Box::new(cond),
                 then: Box::new(then),
@@ -1412,7 +1472,9 @@ impl Parser {
         };
         if let Some(op) = op {
             self.bump();
-            let expr = self.parse_unary()?;
+            // `- - - - x` chains recurse without passing through
+            // `parse_expr`; count them against the nesting budget.
+            let expr = self.nested(|p| p.parse_unary())?;
             // Fold numeric negation into the literal so that constants
             // like `-1` abstract to the integer -1.
             if op == UnOp::Neg {
@@ -1474,7 +1536,8 @@ impl Parser {
             self.pos = save;
             return Ok(None);
         }
-        let expr = self.parse_unary()?;
+        // `(A)(A)(A)...x` cast chains recurse via `parse_unary`.
+        let expr = self.nested(|p| p.parse_unary())?;
         Ok(Some(Expr::Cast { ty, expr: Box::new(expr) }))
     }
 

@@ -7,6 +7,7 @@
 //! representation reproduces the published distance (`1/2`) and the
 //! published removed/added features exactly.
 
+use crate::limits::{DagError, DagLimits};
 use crate::matching::min_cost_assignment;
 use absdomain::{AValue, AllocSite};
 use analysis::Usages;
@@ -99,8 +100,32 @@ impl UsageDag {
 
 /// Builds the usage DAG for the abstract object at `root`, expanding
 /// nested abstract objects breadth-first up to `max_depth` labels per
-/// path.
+/// path. No path cap — for analysis results of trusted provenance; the
+/// mining pipeline uses [`try_build_dag`].
 pub fn build_dag(usages: &Usages, root: AllocSite, max_depth: usize) -> UsageDag {
+    let limits = DagLimits { max_depth, ..DagLimits::UNBOUNDED };
+    match try_build_dag(usages, root, &limits) {
+        Ok(dag) => dag,
+        // Unreachable with max_paths == usize::MAX; an empty DAG is the
+        // graceful degradation if that ever changes.
+        Err(_) => UsageDag::empty(
+            usages.type_of(root).unwrap_or("<unknown>").to_owned(),
+        ),
+    }
+}
+
+/// Builds the usage DAG for the abstract object at `root` under
+/// explicit budgets.
+///
+/// # Errors
+///
+/// [`DagError::PathBudgetExceeded`] when the path set outgrows
+/// `limits.max_paths`.
+pub fn try_build_dag(
+    usages: &Usages,
+    root: AllocSite,
+    limits: &DagLimits,
+) -> Result<UsageDag, DagError> {
     let root_type = usages
         .type_of(root)
         .unwrap_or("<unknown>")
@@ -112,12 +137,25 @@ pub fn build_dag(usages: &Usages, root: AllocSite, max_depth: usize) -> UsageDag
         root,
         &root_type,
         &FeaturePath(vec![root_type.clone()]),
-        max_depth,
+        limits,
         &mut dag.paths,
         &mut on_path,
         /*is_root=*/ true,
-    );
-    dag
+    )?;
+    Ok(dag)
+}
+
+/// Inserts `path` into `paths`, failing when the budget is exceeded.
+fn insert_path(
+    paths: &mut BTreeSet<FeaturePath>,
+    path: FeaturePath,
+    limits: &DagLimits,
+) -> Result<(), DagError> {
+    paths.insert(path);
+    if paths.len() > limits.max_paths {
+        return Err(DagError::PathBudgetExceeded { max_paths: limits.max_paths });
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -126,13 +164,13 @@ fn expand(
     site: AllocSite,
     owner_type: &str,
     prefix: &FeaturePath,
-    max_depth: usize,
+    limits: &DagLimits,
     paths: &mut BTreeSet<FeaturePath>,
     on_path: &mut Vec<(absdomain::MethodSig, Vec<AValue>)>,
     is_root: bool,
-) {
-    if prefix.len() >= max_depth {
-        return;
+) -> Result<(), DagError> {
+    if prefix.len() >= limits.max_depth {
+        return Ok(());
     }
     for event in usages.events_of(site) {
         // Nested objects expand only with their own class's methods
@@ -154,9 +192,9 @@ fn expand(
         let mut method_path = prefix.0.clone();
         method_path.push(method_label);
         let method_path = FeaturePath(method_path);
-        paths.insert(method_path.clone());
+        insert_path(paths, method_path.clone(), limits)?;
 
-        if method_path.len() >= max_depth {
+        if method_path.len() >= limits.max_depth {
             continue;
         }
         for (index, arg) in event.args.iter().enumerate() {
@@ -164,20 +202,22 @@ fn expand(
             let mut arg_path = method_path.0.clone();
             arg_path.push(label);
             let arg_path = FeaturePath(arg_path);
-            paths.insert(arg_path.clone());
+            insert_path(paths, arg_path.clone(), limits)?;
 
             if let AValue::Obj { site: arg_site, ty } = arg {
                 if *arg_site != site {
                     on_path.push(key.clone());
-                    expand(
-                        usages, *arg_site, ty, &arg_path, max_depth, paths, on_path,
+                    let result = expand(
+                        usages, *arg_site, ty, &arg_path, limits, paths, on_path,
                         /*is_root=*/ false,
                     );
                     on_path.pop();
+                    result?;
                 }
             }
         }
     }
+    Ok(())
 }
 
 /// Builds one DAG per abstract object of type `class` in `usages`,
@@ -186,6 +226,32 @@ pub fn dags_for_class(usages: &Usages, class: &str, max_depth: usize) -> Vec<Usa
     usages
         .objects_of_type(class)
         .map(|site| build_dag(usages, site, max_depth))
+        .collect()
+}
+
+/// [`dags_for_class`] under explicit budgets: the object count and
+/// every DAG's path set must stay within `limits`.
+///
+/// # Errors
+///
+/// [`DagError::TooManyObjects`] when the class has more than
+/// `limits.max_objects` allocation sites, and any error of
+/// [`try_build_dag`] for the individual DAGs.
+pub fn try_dags_for_class(
+    usages: &Usages,
+    class: &str,
+    limits: &DagLimits,
+) -> Result<Vec<UsageDag>, DagError> {
+    let objects = usages.objects_of_type(class).count();
+    if objects > limits.max_objects {
+        return Err(DagError::TooManyObjects {
+            objects,
+            max_objects: limits.max_objects,
+        });
+    }
+    usages
+        .objects_of_type(class)
+        .map(|site| try_build_dag(usages, site, limits))
         .collect()
 }
 
@@ -362,6 +428,38 @@ mod tests {
         let a = UsageDag::empty("Cipher");
         let b = UsageDag::empty("Cipher");
         assert!(a.distance(&b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_budget_boundary_is_exact() {
+        let unit = javalang::parse_compilation_unit(FIGURE2_NEW).unwrap();
+        let usages = analyze(&unit, &ApiModel::standard());
+        let site = usages.objects_of_type("Cipher").next().unwrap();
+        let full = build_dag(&usages, site, DEFAULT_MAX_DEPTH);
+        let n = full.paths.len();
+
+        let exact = DagLimits { max_paths: n, ..DagLimits::DEFAULT };
+        assert_eq!(try_build_dag(&usages, site, &exact), Ok(full));
+
+        let short = DagLimits { max_paths: n - 1, ..DagLimits::DEFAULT };
+        assert_eq!(
+            try_build_dag(&usages, site, &short),
+            Err(DagError::PathBudgetExceeded { max_paths: n - 1 })
+        );
+    }
+
+    #[test]
+    fn object_cap_rejects_crowded_classes() {
+        let unit = javalang::parse_compilation_unit(FIGURE2_NEW).unwrap();
+        let usages = analyze(&unit, &ApiModel::standard());
+        let tight = DagLimits { max_objects: 1, ..DagLimits::DEFAULT };
+        assert_eq!(
+            try_dags_for_class(&usages, "Cipher", &tight),
+            Err(DagError::TooManyObjects { objects: 2, max_objects: 1 })
+        );
+        let loose = DagLimits { max_objects: 2, ..DagLimits::DEFAULT };
+        let dags = try_dags_for_class(&usages, "Cipher", &loose).unwrap();
+        assert_eq!(dags, dags_for_class(&usages, "Cipher", DEFAULT_MAX_DEPTH));
     }
 
     #[test]

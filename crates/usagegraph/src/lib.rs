@@ -36,12 +36,15 @@
 
 mod dag;
 mod diff;
+mod limits;
 pub mod matching;
 
 pub use dag::{
-    build_dag, dags_for_class, pair_dags, FeaturePath, UsageDag, DEFAULT_MAX_DEPTH,
+    build_dag, dags_for_class, pair_dags, try_build_dag, try_dags_for_class,
+    FeaturePath, UsageDag, DEFAULT_MAX_DEPTH,
 };
 pub use diff::{diff_dags, removed, shortest, UsageChange};
+pub use limits::{DagError, DagLimits};
 
 use analysis::Usages;
 
@@ -64,4 +67,25 @@ pub fn usage_changes_with_depth(
         .iter()
         .map(|(a, b)| diff_dags(a, b))
         .collect()
+}
+
+/// [`usage_changes`] under explicit resource budgets — the variant the
+/// mining pipeline uses on untrusted analysis results.
+///
+/// # Errors
+///
+/// Any [`DagError`] raised while building or counting the DAGs of
+/// either version side.
+pub fn try_usage_changes(
+    old: &Usages,
+    new: &Usages,
+    class: &str,
+    limits: &DagLimits,
+) -> Result<Vec<UsageChange>, DagError> {
+    let old_dags = try_dags_for_class(old, class, limits)?;
+    let new_dags = try_dags_for_class(new, class, limits)?;
+    Ok(pair_dags(&old_dags, &new_dags, class)
+        .iter()
+        .map(|(a, b)| diff_dags(a, b))
+        .collect())
 }

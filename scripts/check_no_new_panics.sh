@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Guards the fault-tolerance invariant: non-test code in the crates on
+# the untrusted-input path (javalang, analysis, usagegraph, core) must
+# not gain new unwrap()/expect()/panic! sites. Deliberate sites are
+# recorded in scripts/panic_allowlist.txt; add a line there (with a
+# justification comment) only when a panic is genuinely unreachable
+# from input or is itself a fault-injection hook.
+#
+# Test code is exempt: by repo convention every `#[cfg(test)]` module
+# sits at the bottom of its file, so scanning stops at that marker.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=scripts/panic_allowlist.txt
+found=$(
+    find crates/javalang/src crates/analysis/src crates/usagegraph/src \
+        crates/core/src -name '*.rs' -print0 |
+        sort -z |
+        while IFS= read -r -d '' f; do
+            awk -v fn="$f" '
+                /#\[cfg\(test\)\]/ { exit }
+                /\.unwrap\(\)|\.expect\(|panic!\(/ {
+                    gsub(/^[ \t]+/, "", $0)
+                    print fn ": " $0
+                }
+            ' "$f"
+        done
+)
+
+new=$(grep -vxF -f <(grep -v '^#' "$allowlist" | grep -v '^$') \
+    <<<"$found" || true)
+if [ -n "${new// /}" ]; then
+    echo "error: new panic/unwrap/expect site(s) in non-test pipeline code:" >&2
+    echo "$new" >&2
+    echo >&2
+    echo "Convert to a typed error (PipelineError taxonomy), or if the" >&2
+    echo "site is provably unreachable from input, add the exact line to" >&2
+    echo "$allowlist with a justification." >&2
+    exit 1
+fi
+echo "ok: no new panic/unwrap/expect sites outside the allowlist"

@@ -53,6 +53,23 @@ fn unknown_command_errors() {
 }
 
 #[test]
+fn chaos_prints_exact_accounting() {
+    let out = diffcode(&["chaos", "--seed", "7", "--rate", "0.5", "--projects", "3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos run: seed 7"), "{stdout}");
+    assert!(stdout.contains("quarantine rate:"), "{stdout}");
+    assert!(stdout.contains("accounting exact"), "{stdout}");
+}
+
+#[test]
+fn chaos_rejects_bad_rate() {
+    let out = diffcode(&["chaos", "--rate", "1.5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not in 0..1"));
+}
+
+#[test]
 fn rules_prints_figure9() {
     let out = diffcode(&["rules"]);
     assert!(out.status.success());

@@ -304,3 +304,174 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Robustness: the budgeted pipeline is total on raw byte soup
+// ---------------------------------------------------------------------
+
+/// Tight budgets: any hang or blow-up under these is a bug, not load.
+fn soup_limits() -> javalang::Limits {
+    javalang::Limits {
+        max_source_bytes: 4096,
+        max_tokens: 512,
+        max_token_bytes: 64,
+        max_nesting: 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn budgeted_pipeline_is_total_on_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // Arbitrary bytes, including invalid UTF-8 (lossily replaced),
+        // NULs, and control characters. Every stage must return — Ok or
+        // a typed Err — never panic, hang, or overflow the stack.
+        let source = String::from_utf8_lossy(&bytes);
+        let _ = javalang::lex(&source);
+        let limits = analysis::AnalysisLimits { max_steps: 10_000, max_ast_depth: 64 };
+        if let Ok(unit) = javalang::parse_snippet_with_limits(&source, soup_limits()) {
+            if let Ok(usages) =
+                analysis::try_analyze(&unit, &analysis::ApiModel::standard(), &limits)
+            {
+                let dag_limits = usagegraph::DagLimits {
+                    max_paths: 256,
+                    max_objects: 32,
+                    ..usagegraph::DagLimits::DEFAULT
+                };
+                for class in analysis::TARGET_CLASSES {
+                    let _ = usagegraph::try_dags_for_class(&usages, class, &dag_limits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mining_is_total_on_byte_soup_pairs(
+        old in proptest::collection::vec(any::<u8>(), 0..400),
+        new in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Same property one level up: a whole corpus made of garbage
+        // mines to an exactly-accounted result, never an abort.
+        let corpus = corpus::Corpus {
+            projects: vec![corpus::Project {
+                user: "soup".into(),
+                name: "soup".into(),
+                facts: corpus::ProjectFacts::default(),
+                commits: vec![corpus::Commit {
+                    id: "deadbeef".into(),
+                    message: "garbage".into(),
+                    changes: vec![corpus::FileChange {
+                        path: "A.java".into(),
+                        old: Some(String::from_utf8_lossy(&old).into_owned()),
+                        new: Some(String::from_utf8_lossy(&new).into_owned()),
+                    }],
+                }],
+            }],
+        };
+        let result = diffcode::DiffCode::new().mine(&corpus, &[]);
+        prop_assert!(result.stats.is_balanced());
+        prop_assert_eq!(result.quarantine.len(), result.stats.skipped.total());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Budget boundaries are exact: a budget of N passes, N-1 rejects
+// ---------------------------------------------------------------------
+
+#[test]
+fn nesting_budget_boundary_is_exact() {
+    // Find the minimal nesting budget under which the source parses
+    // *cleanly* (a type, no recovery diagnostics), then pin the
+    // boundary: one level less must reject the deep expression — as a
+    // hard NestingTooDeep error or an error-tolerant recovery that
+    // records it — and one more paren pair in the source must shift
+    // the boundary by exactly one level.
+    let source_at = |parens: usize| {
+        format!(
+            "class A {{ int x = {}1{}; }}",
+            "(".repeat(parens),
+            ")".repeat(parens)
+        )
+    };
+    let parse = |source: &str, n: usize| {
+        javalang::parse_compilation_unit_with_limits(
+            source,
+            javalang::Limits { max_nesting: n, ..javalang::Limits::UNBOUNDED },
+        )
+    };
+    let min_clean_budget = |source: &str| {
+        (1..512)
+            .find(|n| {
+                parse(source, *n)
+                    .is_ok_and(|u| !u.types.is_empty() && u.diagnostics.is_empty())
+            })
+            .expect("source must parse under some budget")
+    };
+    let shallow = source_at(8);
+    let n = min_clean_budget(&shallow);
+    match parse(&shallow, n - 1) {
+        Err(e) => assert_eq!(e.kind(), javalang::ParseErrorKind::NestingTooDeep),
+        Ok(unit) => {
+            assert!(
+                unit.diagnostics.iter().any(|d| d.message.contains("nesting")),
+                "recovery must record the overrun: {:?}",
+                unit.diagnostics
+            );
+        }
+    }
+    assert_eq!(
+        min_clean_budget(&source_at(9)),
+        n + 1,
+        "one extra paren pair costs exactly one nesting level"
+    );
+}
+
+#[test]
+fn token_budget_boundary_is_exact() {
+    let source = "class A { int x = 1; int y = 2; }";
+    let tokens = javalang::lex(source).unwrap().len();
+    let at = javalang::Limits { max_tokens: tokens, ..javalang::Limits::UNBOUNDED };
+    assert!(javalang::parse_compilation_unit_with_limits(source, at).is_ok());
+    let under =
+        javalang::Limits { max_tokens: tokens - 1, ..javalang::Limits::UNBOUNDED };
+    let reject =
+        javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
+    assert_eq!(reject.kind(), javalang::ParseErrorKind::TokenBudgetExceeded);
+}
+
+#[test]
+fn source_size_boundary_is_exact() {
+    let source = "class A { int x = 1; }";
+    let at = javalang::Limits {
+        max_source_bytes: source.len(),
+        ..javalang::Limits::UNBOUNDED
+    };
+    assert!(javalang::parse_compilation_unit_with_limits(source, at).is_ok());
+    let under = javalang::Limits {
+        max_source_bytes: source.len() - 1,
+        ..javalang::Limits::UNBOUNDED
+    };
+    let reject =
+        javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
+    assert_eq!(reject.kind(), javalang::ParseErrorKind::SourceTooLarge);
+}
+
+#[test]
+fn token_length_boundary_is_exact() {
+    let ident = "a".repeat(40);
+    let source = format!("class A {{ int {ident} = 1; }}");
+    let at = javalang::Limits {
+        max_token_bytes: ident.len(),
+        ..javalang::Limits::UNBOUNDED
+    };
+    assert!(javalang::parse_compilation_unit_with_limits(&source, at).is_ok());
+    let under = javalang::Limits {
+        max_token_bytes: ident.len() - 1,
+        ..javalang::Limits::UNBOUNDED
+    };
+    let reject =
+        javalang::parse_compilation_unit_with_limits(&source, under).unwrap_err();
+    assert_eq!(reject.kind(), javalang::ParseErrorKind::TokenTooLong);
+}
