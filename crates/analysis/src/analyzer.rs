@@ -123,6 +123,22 @@ pub fn try_analyze(
     api: &ApiModel,
     limits: &AnalysisLimits,
 ) -> Result<Usages, AnalysisError> {
+    try_analyze_counted(unit, api, limits).map(|(usages, _)| usages)
+}
+
+/// [`try_analyze`], additionally reporting how many interpreter steps
+/// the analysis consumed — the pipeline's observability layer
+/// aggregates these into its `analysis.steps` counter, turning the
+/// fuel budget into a measurable per-corpus cost.
+///
+/// # Errors
+///
+/// Same as [`try_analyze`].
+pub fn try_analyze_counted(
+    unit: &CompilationUnit,
+    api: &ApiModel,
+    limits: &AnalysisLimits,
+) -> Result<(Usages, u64), AnalysisError> {
     if limits.max_ast_depth != usize::MAX {
         let depth = javalang::visit::ast_depth(unit);
         if depth > limits.max_ast_depth {
@@ -132,13 +148,15 @@ pub fn try_analyze(
             });
         }
     }
-    let (usages, exhausted) = run(unit, api, limits.max_steps);
-    if exhausted {
+    let mut analyzer = Analyzer::new(api, limits.max_steps);
+    analyzer.run_unit(unit);
+    if analyzer.exhausted {
         return Err(AnalysisError::StepBudgetExceeded {
             max_steps: limits.max_steps,
         });
     }
-    Ok(usages)
+    let steps = limits.max_steps - analyzer.fuel;
+    Ok((analyzer.usages, steps))
 }
 
 /// Counts the interpreter steps a fault-free analysis of `unit` takes.

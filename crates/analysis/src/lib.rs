@@ -34,7 +34,7 @@ mod analyzer;
 mod api;
 mod limits;
 
-pub use analyzer::{analysis_steps, analyze, try_analyze, UsageEvent, Usages};
+pub use analyzer::{analysis_steps, analyze, try_analyze, try_analyze_counted, UsageEvent, Usages};
 pub use api::{looks_like_class_name, looks_like_const_name, ApiModel, TARGET_CLASSES, TRACKED_CLASSES};
 pub use limits::{AnalysisError, AnalysisLimits};
 

@@ -1,41 +1,50 @@
 //! Regenerates every table/figure in one run and prints them in paper
 //! order. Mines the corpus once and reuses it across figures.
 //!
+//! All timings come from the observability layer: stages run under
+//! [`obs::MetricsRegistry`] spans (the mining spans are the ones the
+//! pipeline itself records, merged across worker shards) and the run
+//! ends with the aggregated stage-latency table — no ad-hoc clock
+//! arithmetic in the binary.
+//!
 //! Usage: `cargo run --release -p diffcode-bench --bin all_experiments [n_projects] [seed]`
 
 use diffcode::Experiments;
-use diffcode_bench::{config_from_args, header};
+use diffcode_bench::{config_from_args, header, render_span_table};
+use obs::MetricsRegistry;
 
 fn main() {
     let config = config_from_args(461);
-    let started = std::time::Instant::now();
+    let mut metrics = MetricsRegistry::new();
     println!(
         "generating corpus: {} projects, seed {:#x}",
         config.n_projects, config.seed
     );
-    let corpus = corpus::generate(&config);
+    let corpus = metrics.time("corpus.generate", || corpus::generate(&config));
     println!(
         "  {} projects, {} commits",
         corpus.projects.len(),
         corpus.total_commits()
     );
-    let exp_started = std::time::Instant::now();
-    let mut exp = Experiments::new(corpus);
+    let mut exp = metrics.time("experiments.mine", || Experiments::new(corpus));
+    metrics.merge(exp.metrics());
     println!(
-        "  mined {} code changes -> {} usage changes in {:.1?}",
+        "  mined {} code changes -> {} usage changes in {}",
         exp.code_changes(),
         exp.mined_changes().len(),
-        exp_started.elapsed()
+        obs::fmt_ns(metrics.span("experiments.mine").map_or(0, |s| s.sum_ns)),
     );
 
     header("Figure 6 — usage changes per target API class after filtering");
-    print!("{}", exp.figure6_table());
+    let fig6 = metrics.time("figures.fig6", || exp.figure6_table());
+    print!("{fig6}");
 
     header("Figure 7 — fixes / bugs / non-semantic vs CL1–CL5");
-    print!("{}", exp.figure7_table());
+    let fig7 = metrics.time("figures.fig7", || exp.figure7_table());
+    print!("{fig7}");
 
     header("Figure 8 — Cipher dendrogram (clusters at cut 0.45)");
-    let fig8 = exp.figure8("Cipher", 0.45);
+    let fig8 = metrics.time("figures.fig8", || exp.figure8("Cipher", 0.45));
     println!(
         "{} filtered changes, {} clusters; top clusters:",
         fig8.filtered.len(),
@@ -50,7 +59,7 @@ fn main() {
     print!("{}", diffcode::figure9_table());
 
     header("Figure 10 — CryptoChecker violations");
-    let out = exp.figure10();
+    let out = metrics.time("figures.fig10", || exp.figure10());
     print!("{}", out.table());
     println!(
         "\n{} of {} projects ({:.1}%) violate at least one rule (paper: >57%)",
@@ -59,5 +68,12 @@ fn main() {
         100.0 * out.any_violation as f64 / out.total_projects as f64
     );
 
-    println!("\ntotal wall time: {:.1?}", started.elapsed());
+    header("Stage latencies (MetricsRegistry spans)");
+    print!("{}", render_span_table(&metrics));
+    let total: u64 = ["corpus.generate", "experiments.mine", "figures.fig6",
+        "figures.fig7", "figures.fig8", "figures.fig10"]
+        .iter()
+        .filter_map(|name| metrics.span(name).map(|s| s.sum_ns))
+        .sum();
+    println!("\ntotal stage time: {}", obs::fmt_ns(total));
 }

@@ -5,6 +5,7 @@
 //! for paper-vs-measured numbers.
 
 use corpus::GeneratorConfig;
+use obs::{fmt_ns, MetricsRegistry};
 
 /// Parses `[n_projects] [seed]` from the command line, with
 /// paper-scale defaults.
@@ -23,6 +24,28 @@ pub fn header(title: &str) {
     println!("\n{}", "=".repeat(72));
     println!("{title}");
     println!("{}\n", "=".repeat(72));
+}
+
+/// Renders every span in `registry` as a latency table, sorted by the
+/// registry's deterministic (lexicographic) span order. This is the
+/// experiment binaries' single timing sink: stages record spans and
+/// this table is printed at the end, instead of each binary doing its
+/// own `Instant` arithmetic.
+pub fn render_span_table(registry: &MetricsRegistry) -> String {
+    let mut table = diffcode::Table::new(vec![
+        "span", "count", "total", "mean", "min", "max",
+    ]);
+    for (name, span) in registry.spans() {
+        table.row(vec![
+            name.to_owned(),
+            span.count.to_string(),
+            fmt_ns(span.sum_ns),
+            fmt_ns(span.mean_ns()),
+            fmt_ns(span.min_ns),
+            fmt_ns(span.max_ns),
+        ]);
+    }
+    table.render()
 }
 
 #[cfg(test)]

@@ -82,7 +82,25 @@ pub fn cluster_usage_changes(changes: &[UsageChange]) -> Dendrogram {
 /// [`Dendrogram::best_cut`]) can reuse it instead of re-evaluating
 /// [`usage_dist`].
 pub fn cluster_usage_changes_matrix(changes: &[UsageChange]) -> (Dendrogram, DistanceMatrix) {
-    let matrix = usage_distance_matrix(changes);
-    let dendrogram = agglomerate_matrix(&matrix, Linkage::Complete);
+    cluster_usage_changes_matrix_metered(changes, &mut obs::MetricsRegistry::new())
+}
+
+/// [`cluster_usage_changes_matrix`] with stage observability: records
+/// the `cluster.matrix` and `cluster.agglomerate` timing spans and the
+/// `cluster.items` / `cluster.pairs` counters into `registry`, so a
+/// pipeline run can see where clustering wall-clock goes (the matrix
+/// build is O(n²) distance evaluations; the nn-chain is O(n²) updates).
+pub fn cluster_usage_changes_matrix_metered(
+    changes: &[UsageChange],
+    registry: &mut obs::MetricsRegistry,
+) -> (Dendrogram, DistanceMatrix) {
+    registry.inc("cluster.items", changes.len() as u64);
+    registry.inc(
+        "cluster.pairs",
+        (changes.len().saturating_sub(1) * changes.len() / 2) as u64,
+    );
+    let matrix = registry.time("cluster.matrix", || usage_distance_matrix(changes));
+    let dendrogram =
+        registry.time("cluster.agglomerate", || agglomerate_matrix(&matrix, Linkage::Complete));
     (dendrogram, matrix)
 }

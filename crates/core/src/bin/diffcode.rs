@@ -79,6 +79,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", cli::render_chaos(seed, rate, projects));
             Ok(ExitCode::SUCCESS)
         }
+        "metrics" => {
+            let (seed, projects, threads, json_path) = parse_metrics_flags(&args[1..])?;
+            let threads = threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+            let (report, registry) = cli::run_metrics(seed, projects, threads);
+            print!("{report}");
+            if let Some(path) = json_path {
+                std::fs::write(&path, registry.to_json())
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("metrics snapshot written to {}", path.display());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         "help" | "--help" | "-h" => {
             print!("{}", cli::USAGE);
             Ok(ExitCode::SUCCESS)
@@ -157,6 +173,49 @@ fn parse_chaos_flags(args: &[String]) -> Result<(u64, f64, usize), String> {
         }
     }
     Ok((seed, rate, projects))
+}
+
+/// Parses `metrics` flags: `--seed <N>` (default 42), `--projects <N>`
+/// (default 12), `--threads <N>` (default: all cores), and
+/// `--metrics-json <path>` (optional snapshot output).
+fn parse_metrics_flags(
+    args: &[String],
+) -> Result<(u64, usize, Option<usize>, Option<PathBuf>), String> {
+    let mut seed = 42u64;
+    let mut projects = 12usize;
+    let mut threads = None;
+    let mut json_path = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                let value = value_for("--seed")?;
+                seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--projects" => {
+                let value = value_for("--projects")?;
+                projects = value
+                    .parse()
+                    .map_err(|_| format!("bad project count `{value}`"))?;
+            }
+            "--threads" => {
+                let value = value_for("--threads")?;
+                threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad thread count `{value}`"))?,
+                );
+            }
+            "--metrics-json" => {
+                json_path = Some(PathBuf::from(value_for("--metrics-json")?));
+            }
+            other => return Err(format!("unknown metrics argument `{other}`")),
+        }
+    }
+    Ok((seed, projects, threads, json_path))
 }
 
 fn read(path: &Path) -> Result<String, String> {

@@ -4,11 +4,13 @@
 //! All rendering lives here (unit-testable, no I/O); the binary in
 //! `src/bin/diffcode.rs` only reads files and forwards sources.
 
-use crate::pipeline::{DiffCode, MiningResult};
+use crate::filter::apply_filters_with_metrics;
+use crate::pipeline::{mine_parallel_with_metrics, DiffCode, MiningResult};
 use crate::quarantine::ErrorKind;
 use crate::report::Table;
 use analysis::TARGET_CLASSES;
 use javalang::ParseError;
+use obs::{fmt_ns, MetricsRegistry};
 use rules::{CheckedProject, CryptoChecker, ProjectContext};
 use std::fmt::Write as _;
 
@@ -270,6 +272,143 @@ pub fn render_chaos(seed: u64, rate: f64, n_projects: usize) -> String {
     out
 }
 
+/// The counter names of the mining → filtering funnel, in pipeline
+/// order. Shared by the report renderer, the invariant check, and the
+/// CI snapshot checker (which re-implements the same chain over the
+/// JSON snapshot).
+pub const FILTER_FUNNEL: [&str; 5] = [
+    "filter.total",
+    "filter.after_fsame",
+    "filter.after_fadd",
+    "filter.after_frem",
+    "filter.after_fdup",
+];
+
+/// Runs the full pipeline (generate → mine in parallel → filter →
+/// cluster/elicit) over a seeded corpus with the observability layer
+/// on, returning the rendered per-stage report and the registry (the
+/// binary serializes it for `--metrics-json`).
+///
+/// Backs the `diffcode metrics` command. The report is built entirely
+/// from the registry, so anything it shows is also in the snapshot.
+pub fn run_metrics(
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+) -> (String, MetricsRegistry) {
+    let mut registry = MetricsRegistry::new();
+    let corpus = registry.time("corpus.generate", || {
+        corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed))
+    });
+    corpus::corpus_stats(&corpus).record(&mut registry);
+    let result = mine_parallel_with_metrics(&corpus, &[], n_threads, &mut registry);
+    let (kept, filter_stats) =
+        apply_filters_with_metrics(result.changes.clone(), &mut registry);
+    if kept.len() >= 2 {
+        let clock = obs::Stopwatch::start();
+        let _ = crate::elicit::elicit_auto_with_metrics(&kept, &mut registry);
+        registry.record_span("elicit.total", clock.elapsed());
+    }
+    // Reconciliation: the registry must agree exactly with the
+    // pipeline's own accounting structs.
+    debug_assert_eq!(registry.counter("mine.mined"), result.stats.mined as u64);
+    debug_assert_eq!(
+        registry.counter("mine.skipped"),
+        result.stats.skipped.total() as u64
+    );
+    debug_assert_eq!(registry.counter("filter.total"), filter_stats.total as u64);
+    let report = render_metrics_report(&registry, seed, n_threads);
+    (report, registry)
+}
+
+/// Renders the per-stage metrics report: the pipeline funnel, the
+/// quarantine breakdown by error kind, and the stage latency table —
+/// all sourced from `registry`.
+pub fn render_metrics_report(
+    registry: &MetricsRegistry,
+    seed: u64,
+    n_threads: usize,
+) -> String {
+    let mut out = String::new();
+    let gauge = |name: &str| registry.gauge(name).unwrap_or(0.0) as u64;
+    let _ = writeln!(
+        out,
+        "metrics run: seed {seed}, {} project(s), {} commit(s), {n_threads} thread(s)",
+        gauge("corpus.projects"),
+        gauge("corpus.total_commits"),
+    );
+
+    out.push_str("\npipeline funnel:\n");
+    let mut funnel = Table::new(["Stage", "Count"]);
+    funnel.row(["code changes processed".to_owned(),
+        registry.counter("mine.code_changes").to_string()]);
+    funnel.row(["  mined".to_owned(), registry.counter("mine.mined").to_string()]);
+    funnel.row(["  skipped (quarantined)".to_owned(),
+        registry.counter("mine.skipped").to_string()]);
+    funnel.row(["usage changes".to_owned(),
+        registry.counter("filter.total").to_string()]);
+    for (name, label) in FILTER_FUNNEL.iter().skip(1).zip([
+        "  after fsame",
+        "  after fadd",
+        "  after frem",
+        "  after fdup (kept)",
+    ]) {
+        funnel.row([label.to_owned(), registry.counter(name).to_string()]);
+    }
+    funnel.row(["clusters elicited".to_owned(),
+        registry.counter("elicit.clusters").to_string()]);
+    out.push_str(&funnel.render());
+
+    if registry.counter("mine.skipped") > 0 {
+        out.push_str("\nquarantine breakdown:\n");
+        let mut table = Table::new(["Kind", "Count", "Share"]);
+        let processed = registry.counter("mine.code_changes").max(1);
+        for kind in ErrorKind::ALL {
+            let count = registry.counter(&format!("mine.skipped.{}", kind.name()));
+            if count > 0 {
+                table.row([
+                    kind.name().to_owned(),
+                    count.to_string(),
+                    format!("{:.1}%", 100.0 * count as f64 / processed as f64),
+                ]);
+            }
+        }
+        out.push_str(&table.render());
+    }
+
+    out.push_str("\nstage latencies:\n");
+    let mut spans = Table::new(["Span", "Count", "Total", "Mean", "Min", "Max"]);
+    for (name, span) in registry.spans() {
+        spans.row([
+            name.to_owned(),
+            span.count.to_string(),
+            fmt_ns(span.sum_ns),
+            fmt_ns(span.mean_ns()),
+            fmt_ns(span.min_ns),
+            fmt_ns(span.max_ns),
+        ]);
+    }
+    out.push_str(&spans.render());
+
+    let partition =
+        obs::check_partition(registry, "mine.code_changes", &["mine.mined", "mine.skipped"]);
+    let funnel_ok = obs::check_funnel(registry, &FILTER_FUNNEL);
+    match (partition, funnel_ok) {
+        (Ok(()), Ok(())) => {
+            let _ = writeln!(
+                out,
+                "\ninvariants: OK (processed = mined + skipped; funnel monotone)"
+            );
+        }
+        (partition, funnel_result) => {
+            for err in [partition.err(), funnel_result.err()].into_iter().flatten() {
+                let _ = writeln!(out, "\ninvariant VIOLATED: {err}");
+            }
+        }
+    }
+    out
+}
+
 /// Usage string for the binary.
 pub const USAGE: &str = "\
 diffcode — infer and check crypto API rules from Java code changes
@@ -280,6 +419,8 @@ USAGE:
     diffcode check <file-or-dir>... [--android <minSdk>]
     diffcode rules
     diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
+    diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
+                     [--metrics-json <path>]
 
 COMMANDS:
     analyze   print the abstract crypto-API usages (objects, events, DAGs)
@@ -287,6 +428,9 @@ COMMANDS:
     check     run CryptoChecker (the 13 elicited rules) on files/directories
     rules     print the rule table (paper Figure 9)
     chaos     fault-inject a generated corpus and report the quarantine accounting
+    metrics   run the pipeline over a seeded corpus and report per-stage
+              counters, quarantine breakdown, and stage latencies;
+              --metrics-json writes the machine-readable snapshot
 ";
 
 fn effective_classes<'a>(classes: &[&'a str]) -> Vec<&'a str> {

@@ -2,7 +2,8 @@
 //! (paper §4.3 and §6.3).
 
 use crate::pipeline::MinedUsageChange;
-use cluster::{cluster_usage_changes_matrix, Dendrogram};
+use cluster::{cluster_usage_changes_matrix, cluster_usage_changes_matrix_metered, Dendrogram};
+use obs::MetricsRegistry;
 use rules::SuggestedRule;
 use usagegraph::UsageChange;
 
@@ -48,6 +49,25 @@ pub fn elicit_auto(changes: &[MinedUsageChange]) -> Elicitation {
     let (dendrogram, matrix) = cluster_usage_changes_matrix(&usage_changes);
     let (_, members, _) = dendrogram.best_cut(&matrix, usage_changes.len());
     build_elicitation(dendrogram, members, &usage_changes)
+}
+
+/// [`elicit_auto`] with stage observability: the clustering spans come
+/// from [`cluster_usage_changes_matrix_metered`], the silhouette search
+/// is timed as `elicit.cut`, and the resulting cluster count is
+/// published as `elicit.clusters`.
+pub fn elicit_auto_with_metrics(
+    changes: &[MinedUsageChange],
+    registry: &mut MetricsRegistry,
+) -> Elicitation {
+    let usage_changes: Vec<UsageChange> =
+        changes.iter().map(|c| c.change.clone()).collect();
+    let (dendrogram, matrix) =
+        cluster_usage_changes_matrix_metered(&usage_changes, registry);
+    let members = registry
+        .time("elicit.cut", || dendrogram.best_cut(&matrix, usage_changes.len()).1);
+    let elicitation = build_elicitation(dendrogram, members, &usage_changes);
+    registry.inc("elicit.clusters", elicitation.clusters.len() as u64);
+    elicitation
 }
 
 fn build_elicitation(

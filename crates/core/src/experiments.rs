@@ -22,6 +22,7 @@ pub struct Experiments {
     pub corpus: Corpus,
     mining: MiningResult,
     pipeline: DiffCode,
+    metrics: obs::MetricsRegistry,
 }
 
 impl Experiments {
@@ -31,8 +32,23 @@ impl Experiments {
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        let mining = crate::pipeline::mine_parallel(&corpus, &[], threads);
-        Experiments { corpus, mining, pipeline: DiffCode::new() }
+        let mut metrics = obs::MetricsRegistry::new();
+        corpus::corpus_stats(&corpus).record(&mut metrics);
+        let mining = crate::pipeline::mine_parallel_with_metrics(
+            &corpus,
+            &[],
+            threads,
+            &mut metrics,
+        );
+        Experiments { corpus, mining, pipeline: DiffCode::new(), metrics }
+    }
+
+    /// The observability registry from mining (merged across worker
+    /// shards): `mine.*` counters, the `mine.run`/`mine.change` spans,
+    /// and the `corpus.*` gauges. The bench binaries report timings
+    /// from these spans instead of their own ad-hoc clocks.
+    pub fn metrics(&self) -> &obs::MetricsRegistry {
+        &self.metrics
     }
 
     /// All mined usage changes.

@@ -2,8 +2,10 @@
 //! in that order, with per-stage survivor counts (Figure 6).
 
 use crate::pipeline::MinedUsageChange;
+use obs::MetricsRegistry;
 use std::collections::BTreeSet;
-use usagegraph::FeaturePath;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// Which filter stage removed a usage change (or none).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,22 +38,68 @@ pub struct FilterStats {
     pub after_fdup: usize,
 }
 
-/// A dedup key: the usage change's feature sets.
-fn dup_key(change: &MinedUsageChange) -> (String, Vec<FeaturePath>, Vec<FeaturePath>) {
-    (
-        change.class.clone(),
-        change.change.removed.clone(),
-        change.change.added.clone(),
-    )
+impl FilterStats {
+    /// `true` when the funnel invariant holds:
+    /// `total ≥ after_fsame ≥ after_fadd ≥ after_frem ≥ after_fdup`.
+    /// Asserted in debug builds at the filter stage boundary.
+    pub fn is_monotone(&self) -> bool {
+        self.total >= self.after_fsame
+            && self.after_fsame >= self.after_fadd
+            && self.after_fadd >= self.after_frem
+            && self.after_frem >= self.after_fdup
+    }
+
+    /// Publishes the funnel as `filter.*` counters so metrics snapshots
+    /// reconcile exactly with Figure 6.
+    pub fn record(&self, registry: &mut MetricsRegistry) {
+        registry.inc("filter.total", self.total as u64);
+        registry.inc("filter.after_fsame", self.after_fsame as u64);
+        registry.inc("filter.after_fadd", self.after_fadd as u64);
+        registry.inc("filter.after_frem", self.after_frem as u64);
+        registry.inc("filter.after_fdup", self.after_fdup as u64);
+    }
 }
 
-/// Tags every change with the stage that removes it. `seen` carries
-/// dedup state so callers can run several batches consistently.
+/// A dedup key: a 128-bit fingerprint of the usage change's class and
+/// feature sets.
+///
+/// Fingerprinting (two independent deterministic `SipHash` passes)
+/// replaces the earlier owned `(String, Vec<FeaturePath>, Vec<FeaturePath>)`
+/// key, which cloned all three fields for every staged change. The two
+/// halves are domain-separated, so a collision requires two distinct
+/// changes to collide under both keyed hashes at once (~2⁻¹²⁸ per
+/// pair) — negligible against corpus-scale dedup sets.
+pub type DupKey = (u64, u64);
+
+fn dup_key(change: &MinedUsageChange) -> DupKey {
+    let fields = (&change.class, &change.change.removed, &change.change.added);
+    let mut h1 = DefaultHasher::new();
+    fields.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0xD1FF_C0DEu64.hash(&mut h2);
+    fields.hash(&mut h2);
+    (h1.finish(), h2.finish())
+}
+
+/// Tags every change with the stage that removes it, deduplicating
+/// within this call only. For batched mining where `fdup` must be
+/// consistent *across* batches (the paper dedups corpus-wide), use
+/// [`stage_changes_with_seen`] with one shared `seen` set.
 pub fn stage_changes(
     changes: &[MinedUsageChange],
 ) -> Vec<(FilterStage, &MinedUsageChange)> {
-    let mut seen: BTreeSet<(String, Vec<FeaturePath>, Vec<FeaturePath>)> =
-        BTreeSet::new();
+    stage_changes_with_seen(changes, &mut BTreeSet::new())
+}
+
+/// [`stage_changes`] with caller-owned dedup state: `seen` carries the
+/// `fdup` fingerprints forward, so staging several batches with the
+/// same set yields exactly the stages a single concatenated run would
+/// (a change is a duplicate if *any* earlier batch already produced
+/// its key).
+pub fn stage_changes_with_seen<'a>(
+    changes: &'a [MinedUsageChange],
+    seen: &mut BTreeSet<DupKey>,
+) -> Vec<(FilterStage, &'a MinedUsageChange)> {
     changes
         .iter()
         .map(|c| {
@@ -76,7 +124,18 @@ pub fn stage_changes(
 pub fn apply_filters(
     changes: Vec<MinedUsageChange>,
 ) -> (Vec<MinedUsageChange>, FilterStats) {
-    let staged = stage_changes(&changes);
+    apply_filters_with_seen(changes, &mut BTreeSet::new())
+}
+
+/// [`apply_filters`] with caller-owned `fdup` state (see
+/// [`stage_changes_with_seen`]): filtering shard outputs batch-by-batch
+/// with one shared `seen` keeps corpus-wide dedup identical to
+/// filtering the concatenated result in one call.
+pub fn apply_filters_with_seen(
+    changes: Vec<MinedUsageChange>,
+    seen: &mut BTreeSet<DupKey>,
+) -> (Vec<MinedUsageChange>, FilterStats) {
+    let staged = stage_changes_with_seen(&changes, seen);
     let mut stats = FilterStats { total: changes.len(), ..FilterStats::default() };
     let mut keep_indices = Vec::new();
     for (idx, (stage, _)) in staged.iter().enumerate() {
@@ -105,11 +164,38 @@ pub fn apply_filters(
     for idx in keep_indices {
         keep_set[idx] = true;
     }
-    let kept = changes
+    let kept: Vec<MinedUsageChange> = changes
         .into_iter()
         .zip(keep_set)
         .filter_map(|(c, keep)| keep.then_some(c))
         .collect();
+    debug_assert!(stats.is_monotone(), "filter funnel not monotone: {stats:?}");
+    debug_assert_eq!(stats.after_fdup, kept.len(), "survivors must equal after_fdup");
+    (kept, stats)
+}
+
+/// [`apply_filters`] with stage observability: records the
+/// `filter.apply` timing span and the `filter.*` funnel counters into
+/// `registry`.
+pub fn apply_filters_with_metrics(
+    changes: Vec<MinedUsageChange>,
+    registry: &mut MetricsRegistry,
+) -> (Vec<MinedUsageChange>, FilterStats) {
+    let (kept, stats) = registry.time("filter.apply", || apply_filters(changes));
+    stats.record(registry);
+    debug_assert!(
+        obs::check_funnel(
+            registry,
+            &[
+                "filter.total",
+                "filter.after_fsame",
+                "filter.after_fadd",
+                "filter.after_frem",
+                "filter.after_fdup",
+            ],
+        )
+        .is_ok()
+    );
     (kept, stats)
 }
 
@@ -117,7 +203,7 @@ pub fn apply_filters(
 mod tests {
     use super::*;
     use crate::pipeline::ChangeMeta;
-    use usagegraph::{UsageChange, UsageDag};
+    use usagegraph::{FeaturePath, UsageChange, UsageDag};
 
     fn mk(class: &str, removed: &[&str], added: &[&str]) -> MinedUsageChange {
         let path = |s: &&str| FeaturePath(vec![class.to_owned(), (*s).to_owned()]);
@@ -173,5 +259,145 @@ mod tests {
         let (kept, stats) = apply_filters(Vec::new());
         assert!(kept.is_empty());
         assert_eq!(stats, FilterStats::default());
+    }
+
+    /// The pre-fingerprint dedup key: clones class + both feature sets.
+    /// Retained here as the specification the hash key must agree with.
+    fn reference_key(
+        change: &MinedUsageChange,
+    ) -> (String, Vec<FeaturePath>, Vec<FeaturePath>) {
+        (
+            change.class.clone(),
+            change.change.removed.clone(),
+            change.change.added.clone(),
+        )
+    }
+
+    #[test]
+    fn hash_key_dedups_identically_to_cloning_key() {
+        // A battery with every collision-relevant shape: exact dups,
+        // class-only differences, removed/added swaps, prefix overlap.
+        let changes = vec![
+            mk("Cipher", &["a"], &["b"]),
+            mk("Cipher", &["a"], &["b"]),          // dup of 0
+            mk("MessageDigest", &["a"], &["b"]),   // other class
+            mk("Cipher", &["b"], &["a"]),          // swapped sides
+            mk("Cipher", &["a", "b"], &["c"]),
+            mk("Cipher", &["a"], &["b", "c"]),
+            mk("Cipher", &["a", "b"], &["c"]),     // dup of 4
+            mk("Cipher", &[], &["b"]),             // fadd, never keyed
+            mk("Cipher", &["x"], &["b"]),
+        ];
+        let mut by_reference = BTreeSet::new();
+        let mut by_hash = BTreeSet::new();
+        for c in &changes {
+            if c.change.is_same()
+                || c.change.is_pure_addition()
+                || c.change.is_pure_removal()
+            {
+                continue;
+            }
+            assert_eq!(
+                by_reference.insert(reference_key(c)),
+                by_hash.insert(dup_key(c)),
+                "keys disagree on {c:?}"
+            );
+        }
+        // And end-to-end: the staging decisions match the reference.
+        let staged = stage_changes(&changes);
+        let expected = [
+            FilterStage::Remaining,
+            FilterStage::FDup,
+            FilterStage::Remaining,
+            FilterStage::Remaining,
+            FilterStage::Remaining,
+            FilterStage::Remaining,
+            FilterStage::FDup,
+            FilterStage::FAdd,
+            FilterStage::Remaining,
+        ];
+        let got: Vec<FilterStage> = staged.iter().map(|(s, _)| *s).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn shared_seen_dedups_across_batches_like_one_run() {
+        let all = vec![
+            mk("Cipher", &["a"], &["b"]),
+            mk("Cipher", &["c"], &["d"]),
+            mk("Cipher", &["a"], &["b"]), // dup of batch 1's first
+            mk("Cipher", &["e"], &["f"]),
+            mk("Cipher", &["c"], &["d"]), // dup of batch 1's second
+        ];
+        let one_shot: Vec<FilterStage> =
+            stage_changes(&all).iter().map(|(s, _)| *s).collect();
+
+        let mut seen = BTreeSet::new();
+        let mut batched = Vec::new();
+        for batch in all.chunks(2) {
+            batched.extend(
+                stage_changes_with_seen(batch, &mut seen)
+                    .iter()
+                    .map(|(s, _)| *s),
+            );
+        }
+        assert_eq!(batched, one_shot);
+
+        // Fresh sets per batch would *not* reproduce the one-shot run —
+        // the cross-batch duplicates would survive.
+        let mut per_batch = Vec::new();
+        for batch in all.chunks(2) {
+            per_batch
+                .extend(stage_changes(batch).iter().map(|(s, _)| *s));
+        }
+        assert_ne!(per_batch, one_shot, "test must exercise cross-batch dups");
+    }
+
+    #[test]
+    fn apply_filters_with_seen_matches_concatenated_run() {
+        let all = vec![
+            mk("Cipher", &["a"], &["b"]),
+            mk("Cipher", &[], &[]),
+            mk("Cipher", &["a"], &["b"]),
+            mk("Cipher", &["c"], &["d"]),
+            mk("Cipher", &["a"], &["b"]),
+        ];
+        let (kept_once, stats_once) = apply_filters(all.clone());
+
+        let mut seen = BTreeSet::new();
+        let mut kept_batched = Vec::new();
+        let mut totals = FilterStats::default();
+        for batch in all.chunks(2) {
+            let (kept, stats) = apply_filters_with_seen(batch.to_vec(), &mut seen);
+            kept_batched.extend(kept);
+            totals.total += stats.total;
+            totals.after_fsame += stats.after_fsame;
+            totals.after_fadd += stats.after_fadd;
+            totals.after_frem += stats.after_frem;
+            totals.after_fdup += stats.after_fdup;
+        }
+        assert_eq!(kept_batched, kept_once);
+        assert_eq!(totals, stats_once);
+    }
+
+    #[test]
+    fn metrics_variant_publishes_the_funnel() {
+        let changes = vec![
+            mk("Cipher", &[], &[]),
+            mk("Cipher", &["a"], &["b"]),
+            mk("Cipher", &["a"], &["b"]),
+        ];
+        let mut reg = obs::MetricsRegistry::new();
+        let (kept, stats) = apply_filters_with_metrics(changes, &mut reg);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(reg.counter("filter.total"), stats.total as u64);
+        assert_eq!(reg.counter("filter.after_fdup"), stats.after_fdup as u64);
+        assert!(reg.span("filter.apply").is_some());
+        obs::check_funnel(
+            &reg,
+            &["filter.total", "filter.after_fsame", "filter.after_fadd",
+              "filter.after_frem", "filter.after_fdup"],
+        )
+        .unwrap();
     }
 }

@@ -54,9 +54,16 @@ pub use experiments::{
     figure9_table, Experiments, Figure10Output, Figure6Row, Figure7Cell, Figure7Row,
     Figure8Output,
 };
-pub use filter::{apply_filters, stage_changes, FilterStage, FilterStats};
-pub use pipeline::{mine_parallel, ChangeMeta, DiffCode, MinedUsageChange, MiningResult, MiningStats};
+pub use elicit::elicit_auto_with_metrics;
+pub use filter::{
+    apply_filters, apply_filters_with_metrics, apply_filters_with_seen, stage_changes,
+    stage_changes_with_seen, DupKey, FilterStage, FilterStats,
+};
+pub use pipeline::{
+    mine_parallel, mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange,
+    MiningResult, MiningStats,
+};
 pub use quarantine::{
     ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
 };
-pub use report::Table;
+pub use report::{display_width, Table};

@@ -12,9 +12,10 @@ use crate::quarantine::{
     excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport,
     SkipCounters,
 };
-use analysis::{analyze, try_analyze, ApiModel, Usages, TARGET_CLASSES};
+use analysis::{analyze, try_analyze_counted, ApiModel, Usages, TARGET_CLASSES};
 use corpus::Corpus;
 use javalang::ParseError;
+use obs::{MetricsRegistry, Stopwatch};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -97,6 +98,7 @@ pub struct DiffCode {
     max_depth: usize,
     cache: HashMap<u64, Rc<Usages>>,
     limits: PipelineLimits,
+    metrics: MetricsRegistry,
 }
 
 impl DiffCode {
@@ -108,6 +110,7 @@ impl DiffCode {
             max_depth: DEFAULT_MAX_DEPTH,
             cache: HashMap::new(),
             limits: PipelineLimits::DEFAULT,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -126,6 +129,21 @@ impl DiffCode {
         &self.limits
     }
 
+    /// The observability registry this pipeline has accumulated:
+    /// `mine.*` / `analyze.*` / `analysis.*` counters and the
+    /// `mine.run` / `mine.change` timing spans, cumulative across every
+    /// [`Self::mine`] call on this instance.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Takes the accumulated registry, leaving an empty one — how
+    /// [`mine_parallel_with_metrics`] collects per-shard metrics from
+    /// worker pipelines on join.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        std::mem::take(&mut self.metrics)
+    }
+
     /// Parses and analyzes one source file, caching by content. Parsing
     /// runs under the configured front-end budgets; analysis is
     /// unbudgeted — this is the trusted-input entry point used by the
@@ -139,8 +157,11 @@ impl DiffCode {
     pub fn analyze_source(&mut self, source: &str) -> Result<Rc<Usages>, ParseError> {
         let key = content_key(source);
         if let Some(hit) = self.cache.get(&key) {
-            return Ok(Rc::clone(hit));
+            let hit = Rc::clone(hit);
+            self.metrics.inc("analyze.cache_hit", 1);
+            return Ok(hit);
         }
+        self.metrics.inc("analyze.cache_miss", 1);
         // `parse_snippet` accepts full units, bare class bodies, and
         // bare statement sequences — the partial programs DiffCode
         // mines (paper §5.1).
@@ -156,7 +177,10 @@ impl DiffCode {
     /// The cache is only written *after* parse and analysis both
     /// succeeded, so a panic anywhere in this function leaves the
     /// pipeline state exactly as it was — the property that makes the
-    /// per-change `AssertUnwindSafe` in [`Self::mine`] sound.
+    /// per-change `AssertUnwindSafe` in [`Self::mine`] sound. (The
+    /// metrics counters may reflect a half-finished attempt after an
+    /// unwind, but counters are monotone aggregates with no validity
+    /// invariant to break.)
     ///
     /// # Errors
     ///
@@ -173,10 +197,16 @@ impl DiffCode {
         }
         let key = content_key(source);
         if let Some(hit) = self.cache.get(&key) {
-            return Ok(Rc::clone(hit));
+            let hit = Rc::clone(hit);
+            self.metrics.inc("analyze.cache_hit", 1);
+            return Ok(hit);
         }
+        self.metrics.inc("analyze.cache_miss", 1);
         let unit = javalang::parse_snippet_with_limits(source, self.limits.parse)?;
-        let usages = Rc::new(try_analyze(&unit, &self.api, &self.limits.analysis)?);
+        let (usages, steps) =
+            try_analyze_counted(&unit, &self.api, &self.limits.analysis)?;
+        self.metrics.inc("analysis.steps", steps);
+        let usages = Rc::new(usages);
         self.cache.insert(key, Rc::clone(&usages));
         Ok(usages)
     }
@@ -261,8 +291,10 @@ impl DiffCode {
                 panic!("chaos fault injection: shard-panic project `{project}` present");
             }
         }
+        let run_clock = Stopwatch::start();
         let mut result = MiningResult::default();
         for code_change in corpus.code_changes() {
+            let change_clock = Stopwatch::start();
             result.stats.code_changes += 1;
             let meta = ChangeMeta {
                 project: code_change.project.full_name(),
@@ -297,8 +329,24 @@ impl DiffCode {
                     });
                 }
             }
+            self.metrics.record_span("mine.change", change_clock.elapsed());
         }
+        self.metrics.record_span("mine.run", run_clock.elapsed());
+        self.metrics.inc("mine.code_changes", result.stats.code_changes as u64);
+        self.metrics.inc("mine.mined", result.stats.mined as u64);
+        self.metrics.inc("mine.usage_changes", result.changes.len() as u64);
+        result.stats.skipped.record(&mut self.metrics);
         debug_assert!(result.stats.is_balanced());
+        // Stage boundary: the cumulative counters must partition the
+        // same way the per-run stats do.
+        debug_assert!(
+            obs::check_partition(
+                &self.metrics,
+                "mine.code_changes",
+                &["mine.mined", "mine.skipped"],
+            )
+            .is_ok()
+        );
         result
     }
 
@@ -392,40 +440,81 @@ pub fn mine_parallel(
     classes: &[&str],
     n_threads: usize,
 ) -> MiningResult {
+    mine_parallel_with_metrics(corpus, classes, n_threads, &mut MetricsRegistry::new())
+}
+
+/// [`mine_parallel`] with stage observability: each worker pipeline
+/// accumulates its own [`MetricsRegistry`] (no locks on the hot path)
+/// and the per-shard registries are merged into `registry` on join —
+/// counters add, `mine.change` span aggregates fold together. A shard
+/// whose worker died contributes its all-skipped accounting plus a
+/// `mine.shard_failures` increment.
+pub fn mine_parallel_with_metrics(
+    corpus: &Corpus,
+    classes: &[&str],
+    n_threads: usize,
+    registry: &mut MetricsRegistry,
+) -> MiningResult {
     let n_threads = n_threads.max(1).min(corpus.projects.len().max(1));
     if n_threads <= 1 {
-        return DiffCode::new().mine(corpus, classes);
+        let mut dc = DiffCode::new();
+        let result = dc.mine(corpus, classes);
+        registry.merge(&dc.take_metrics());
+        return result;
     }
     let shards = shard_by_code_changes(corpus, n_threads);
-    let results: Vec<MiningResult> = std::thread::scope(|scope| {
+    let results: Vec<(MiningResult, MetricsRegistry)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
-                (shard, scope.spawn(move || DiffCode::new().mine(shard, classes)))
+                (
+                    shard,
+                    scope.spawn(move || {
+                        let mut dc = DiffCode::new();
+                        let result = dc.mine(shard, classes);
+                        (result, dc.take_metrics())
+                    }),
+                )
             })
             .collect();
         handles
             .into_iter()
             .map(|(shard, handle)| match handle.join() {
-                Ok(result) => result,
+                Ok(outcome) => outcome,
                 // A worker died outside the per-change isolation (mine
                 // itself never panics on input). Fold the shard in as
                 // all-skipped so sibling shards' results survive and
-                // the merged accounting still balances.
-                Err(payload) => shard_failure_result(shard, &panic_message(payload)),
+                // the merged accounting still balances; its in-flight
+                // metrics died with the thread, so rebuild the counters
+                // the accounting requires from the skip totals.
+                Err(payload) => {
+                    let result = shard_failure_result(shard, &panic_message(payload));
+                    let mut shard_metrics = MetricsRegistry::new();
+                    shard_metrics.inc("mine.shard_failures", 1);
+                    shard_metrics
+                        .inc("mine.code_changes", result.stats.code_changes as u64);
+                    shard_metrics.inc("mine.mined", 0);
+                    result.stats.skipped.record(&mut shard_metrics);
+                    (result, shard_metrics)
+                }
             })
             .collect()
     });
     let mut merged = MiningResult::default();
-    for result in results {
+    for (result, shard_metrics) in results {
         merged.stats.code_changes += result.stats.code_changes;
         merged.stats.parse_failures += result.stats.parse_failures;
         merged.stats.mined += result.stats.mined;
         merged.stats.skipped.absorb(&result.stats.skipped);
         merged.changes.extend(result.changes);
         merged.quarantine.extend(result.quarantine);
+        registry.merge(&shard_metrics);
     }
     debug_assert!(merged.stats.is_balanced());
+    debug_assert!(
+        obs::check_partition(registry, "mine.code_changes", &["mine.mined", "mine.skipped"])
+            .is_ok()
+    );
     merged
 }
 

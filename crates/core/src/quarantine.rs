@@ -169,10 +169,20 @@ impl SkipCounters {
 
     /// Adds `other`'s counters into `self` (shard merging).
     pub fn absorb(&mut self, other: &SkipCounters) {
+        self.lex += other.lex;
+        self.parse += other.parse;
+        self.analysis_budget += other.analysis_budget;
+        self.dag_budget += other.dag_budget;
+        self.panic += other.panic;
+    }
+
+    /// Publishes the per-kind breakdown as `mine.skipped.<kind>`
+    /// counters (plus the `mine.skipped` total), so metrics snapshots
+    /// carry the same quarantine accounting as [`QuarantineReport`]s.
+    pub fn record(&self, registry: &mut obs::MetricsRegistry) {
+        registry.inc("mine.skipped", self.total() as u64);
         for kind in ErrorKind::ALL {
-            for _ in 0..other.get(kind) {
-                self.bump(kind);
-            }
+            registry.inc(&format!("mine.skipped.{}", kind.name()), self.get(kind) as u64);
         }
     }
 }

@@ -47,6 +47,19 @@ fn categorize(message: &str) -> &'static str {
     }
 }
 
+impl CorpusStats {
+    /// Publishes the corpus shape as `corpus.*` gauges — the
+    /// denominators every downstream pipeline rate (quarantine %,
+    /// funnel survival %) is computed against.
+    pub fn record(&self, registry: &mut obs::MetricsRegistry) {
+        registry.set_gauge("corpus.projects", self.projects as f64);
+        registry.set_gauge("corpus.distinct_users", self.distinct_users as f64);
+        registry.set_gauge("corpus.total_commits", self.total_commits as f64);
+        registry.set_gauge("corpus.code_changes", self.code_changes as f64);
+        registry.set_gauge("corpus.android_projects", self.android_projects as f64);
+    }
+}
+
 /// Computes the statistics for `corpus`.
 pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
     let mut stats = CorpusStats {

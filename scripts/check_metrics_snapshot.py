@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validates a `diffcode metrics --metrics-json` snapshot.
+
+Checks the invariants the pipeline promises (DESIGN.md, "Observability"):
+
+  1. schema: version 1 with counters/gauges/spans sections;
+  2. partition: mine.code_changes == mine.mined + mine.skipped, and
+     mine.skipped equals the sum of its per-kind breakdown;
+  3. funnel: filter.total >= after_fsame >= after_fadd >= after_frem
+     >= after_fdup (Figure 6 only ever narrows);
+  4. span sanity: count >= 1 implies min_ns <= max_ns <= sum_ns.
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+Usage: check_metrics_snapshot.py <snapshot.json>
+"""
+
+import json
+import sys
+
+FUNNEL = [
+    "filter.total",
+    "filter.after_fsame",
+    "filter.after_fadd",
+    "filter.after_frem",
+    "filter.after_fdup",
+]
+
+SKIP_KINDS = ["lex", "parse", "analysis-budget", "dag-budget", "panic"]
+
+
+def check(snapshot):
+    errors = []
+
+    if snapshot.get("version") != 1:
+        errors.append(f"unsupported snapshot version: {snapshot.get('version')!r}")
+    counters = snapshot.get("counters", {})
+    spans = snapshot.get("spans", {})
+    for section in ("counters", "gauges", "spans"):
+        if not isinstance(snapshot.get(section), dict):
+            errors.append(f"missing or malformed section: {section}")
+
+    # Partition: every processed change is either mined or skipped.
+    processed = counters.get("mine.code_changes")
+    mined = counters.get("mine.mined")
+    skipped = counters.get("mine.skipped")
+    if None in (processed, mined, skipped):
+        errors.append("missing mine.{code_changes,mined,skipped} counters")
+    elif processed != mined + skipped:
+        errors.append(
+            f"partition violated: mine.code_changes={processed} != "
+            f"mine.mined={mined} + mine.skipped={skipped}"
+        )
+    if skipped is not None:
+        by_kind = sum(counters.get(f"mine.skipped.{kind}", 0) for kind in SKIP_KINDS)
+        if by_kind != skipped:
+            errors.append(
+                f"quarantine breakdown sums to {by_kind}, "
+                f"but mine.skipped={skipped}"
+            )
+
+    # Funnel: each filter stage passes a subset of its input.
+    missing = [stage for stage in FUNNEL if stage not in counters]
+    if missing:
+        errors.append(f"missing funnel counters: {', '.join(missing)}")
+    else:
+        for above, below in zip(FUNNEL, FUNNEL[1:]):
+            if counters[above] < counters[below]:
+                errors.append(
+                    f"funnel not monotone: {above}={counters[above]} < "
+                    f"{below}={counters[below]}"
+                )
+
+    # Span aggregates must be internally consistent.
+    for name, span in sorted(spans.items()):
+        count = span.get("count", 0)
+        if count == 0:
+            continue
+        lo, hi, total = span.get("min_ns", 0), span.get("max_ns", 0), span.get("sum_ns", 0)
+        if not (lo <= hi <= total):
+            errors.append(
+                f"span {name}: expected min <= max <= sum, "
+                f"got min={lo} max={hi} sum={total}"
+            )
+        if hi * count < total:
+            errors.append(f"span {name}: sum={total} exceeds count*max={hi * count}")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        snapshot = json.load(f)
+    errors = check(snapshot)
+    for error in errors:
+        print(f"INVARIANT VIOLATED: {error}", file=sys.stderr)
+    if not errors:
+        counters = snapshot["counters"]
+        print(
+            "snapshot OK: "
+            f"{counters.get('mine.code_changes', 0)} processed = "
+            f"{counters.get('mine.mined', 0)} mined + "
+            f"{counters.get('mine.skipped', 0)} skipped; funnel "
+            + " >= ".join(str(counters.get(stage, 0)) for stage in FUNNEL)
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+//! Observability integration tests: the metrics registry must exactly
+//! reconcile with the pipeline's own statistics, sharded mining plus
+//! filtering must dedup identically to a sequential run, and the JSON
+//! snapshot must carry the full funnel.
+
+use corpus::{generate, GeneratorConfig};
+use diffcode::{
+    apply_filters, apply_filters_with_metrics, apply_filters_with_seen,
+    mine_parallel_with_metrics, DiffCode, ErrorKind,
+};
+use obs::MetricsRegistry;
+use std::collections::BTreeSet;
+
+const SEED: u64 = 7;
+
+fn corpus_under_test() -> corpus::Corpus {
+    generate(&GeneratorConfig { n_projects: 10, seed: SEED, ..GeneratorConfig::default() })
+}
+
+/// Sharded mining + per-shard filtering with a shared dedup set keeps
+/// exactly the same changes as mining and filtering in one sequential
+/// pass. This is the bug the `stage_changes_with_seen` split fixes:
+/// without shared `seen` state, fdup only dedups within a shard.
+#[test]
+fn sharded_filtering_with_shared_seen_matches_sequential() {
+    let corpus = corpus_under_test();
+
+    // Ground truth: one sequential mine + one-shot filtering.
+    let sequential = DiffCode::new().mine(&corpus, &[]);
+    let (kept_seq, stats_seq) = apply_filters(sequential.changes.clone());
+
+    // Sharded: parallel mine, then filter the merged stream in batches
+    // (as a shard-streaming consumer would) with one shared seen-set.
+    let mut registry = MetricsRegistry::new();
+    let parallel = mine_parallel_with_metrics(&corpus, &[], 4, &mut registry);
+    assert_eq!(parallel.changes, sequential.changes, "mining must be shard-invariant");
+
+    let mut seen = BTreeSet::new();
+    let mut kept_batched = Vec::new();
+    let mut total_after_fdup = 0;
+    for batch in parallel.changes.chunks(3) {
+        let (kept, stats) = apply_filters_with_seen(batch.to_vec(), &mut seen);
+        total_after_fdup += stats.after_fdup;
+        kept_batched.extend(kept);
+    }
+    assert_eq!(kept_batched, kept_seq, "batched filtering must dedup like one pass");
+    assert_eq!(total_after_fdup, stats_seq.after_fdup);
+}
+
+/// Every counter the pipeline publishes must equal the corresponding
+/// `MiningStats` / `FilterStats` field — the report and the stats are
+/// two views of one run, never two bookkeeping systems drifting apart.
+#[test]
+fn metrics_counters_reconcile_with_pipeline_stats() {
+    let corpus = corpus_under_test();
+    let mut registry = MetricsRegistry::new();
+    let result = mine_parallel_with_metrics(&corpus, &[], 4, &mut registry);
+
+    assert_eq!(registry.counter("mine.code_changes"), result.stats.code_changes as u64);
+    assert_eq!(registry.counter("mine.mined"), result.stats.mined as u64);
+    assert_eq!(registry.counter("mine.skipped"), result.stats.skipped.total() as u64);
+    assert_eq!(registry.counter("mine.usage_changes"), result.changes.len() as u64);
+    for kind in ErrorKind::ALL {
+        assert_eq!(
+            registry.counter(&format!("mine.skipped.{}", kind.name())),
+            result.stats.skipped.get(kind) as u64,
+            "per-kind quarantine counter for {}",
+            kind.name()
+        );
+    }
+    assert!(obs::check_partition(
+        &registry,
+        "mine.code_changes",
+        &["mine.mined", "mine.skipped"],
+    )
+    .is_ok());
+
+    let (kept, stats) = apply_filters_with_metrics(result.changes, &mut registry);
+    assert_eq!(registry.counter("filter.total"), stats.total as u64);
+    assert_eq!(registry.counter("filter.after_fsame"), stats.after_fsame as u64);
+    assert_eq!(registry.counter("filter.after_fadd"), stats.after_fadd as u64);
+    assert_eq!(registry.counter("filter.after_frem"), stats.after_frem as u64);
+    assert_eq!(registry.counter("filter.after_fdup"), kept.len() as u64);
+    assert!(obs::check_funnel(
+        &registry,
+        &["filter.total", "filter.after_fsame", "filter.after_fadd",
+          "filter.after_frem", "filter.after_fdup"],
+    )
+    .is_ok());
+}
+
+/// Parallel mining merges per-shard registries; the merged counters
+/// must match a sequential run's counters exactly (spans aggregate the
+/// same event counts, wall-clock aside).
+#[test]
+fn parallel_and_sequential_registries_agree_on_counts() {
+    let corpus = corpus_under_test();
+
+    let mut dc = DiffCode::new();
+    let _ = dc.mine(&corpus, &[]);
+    let sequential = dc.take_metrics();
+
+    let mut parallel = MetricsRegistry::new();
+    let _ = mine_parallel_with_metrics(&corpus, &[], 4, &mut parallel);
+
+    let seq_counters: Vec<_> = sequential.counters().collect();
+    let par_counters: Vec<_> = parallel.counters().collect();
+    assert_eq!(seq_counters, par_counters);
+
+    // Same number of per-change timing events, however they were sharded.
+    let seq_span = sequential.span("mine.change").expect("sequential span");
+    let par_span = parallel.span("mine.change").expect("parallel span");
+    assert_eq!(seq_span.count, par_span.count);
+}
+
+/// The snapshot is versioned and carries every funnel stage, including
+/// zero-valued ones — downstream checkers rely on their presence.
+#[test]
+fn json_snapshot_carries_the_funnel() {
+    let corpus = corpus_under_test();
+    let mut registry = MetricsRegistry::new();
+    let result = mine_parallel_with_metrics(&corpus, &[], 2, &mut registry);
+    let (_, _) = apply_filters_with_metrics(result.changes, &mut registry);
+
+    let json = registry.to_json();
+    assert!(json.contains("\"version\": 1"), "{json}");
+    for stage in ["filter.total", "filter.after_fsame", "filter.after_fadd",
+                  "filter.after_frem", "filter.after_fdup"] {
+        assert!(json.contains(&format!("\"{stage}\":")), "snapshot missing {stage}");
+    }
+    for counter in ["mine.code_changes", "mine.mined", "mine.skipped"] {
+        assert!(json.contains(&format!("\"{counter}\":")), "snapshot missing {counter}");
+    }
+    assert!(json.contains("\"mine.run\": {"), "snapshot missing mine.run span");
+}

@@ -242,6 +242,38 @@ proptest! {
     }
 
     #[test]
+    fn filter_funnel_is_monotone(seed in 0u64..3000, n_projects in 1usize..4) {
+        // Figure 6's funnel only ever narrows: every stage passes a
+        // subset of its input, and the final count is what callers get.
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed));
+        let mut dc = diffcode::DiffCode::new();
+        let mined = dc.mine(&corpus, &["Cipher", "SecureRandom", "MessageDigest"]);
+        let (kept, stats) = diffcode::apply_filters(mined.changes);
+        prop_assert!(stats.total >= stats.after_fsame);
+        prop_assert!(stats.after_fsame >= stats.after_fadd);
+        prop_assert!(stats.after_fadd >= stats.after_frem);
+        prop_assert!(stats.after_frem >= stats.after_fdup);
+        prop_assert_eq!(stats.after_fdup, kept.len());
+        prop_assert!(stats.is_monotone());
+
+        // And the metrics-publishing variant reports the same funnel.
+        let mined = diffcode::DiffCode::new()
+            .mine(&corpus, &["Cipher", "SecureRandom", "MessageDigest"]);
+        let mut registry = obs::MetricsRegistry::new();
+        let (kept2, stats2) =
+            diffcode::apply_filters_with_metrics(mined.changes, &mut registry);
+        prop_assert_eq!(kept2.len(), kept.len());
+        prop_assert_eq!(stats2.total, stats.total);
+        prop_assert_eq!(registry.counter("filter.total"), stats.total as u64);
+        prop_assert_eq!(registry.counter("filter.after_fdup"), stats.after_fdup as u64);
+        prop_assert!(obs::check_funnel(
+            &registry,
+            &["filter.total", "filter.after_fsame", "filter.after_fadd",
+              "filter.after_frem", "filter.after_fdup"],
+        ).is_ok());
+    }
+
+    #[test]
     fn filters_are_idempotent(seed in 0u64..2000) {
         let corpus = corpus::generate(&corpus::GeneratorConfig::small(2, seed));
         let mut dc = diffcode::DiffCode::new();
