@@ -19,7 +19,11 @@ pub struct MethodSig {
 impl MethodSig {
     /// Creates a signature.
     pub fn new(class: impl Into<String>, name: impl Into<String>, arity: usize) -> Self {
-        MethodSig { class: class.into(), name: name.into(), arity }
+        MethodSig {
+            class: class.into(),
+            name: name.into(),
+            arity,
+        }
     }
 
     /// Creates a constructor signature for `class`.

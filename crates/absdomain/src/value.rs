@@ -147,10 +147,7 @@ impl AValue {
                     (AValue::Obj { ty: a, .. }, AValue::Obj { ty: b, .. })
                     | (AValue::Obj { ty: a, .. }, AValue::TopObj { ty: Some(b) })
                     | (AValue::TopObj { ty: Some(a) }, AValue::Obj { ty: b, .. })
-                    | (
-                        AValue::TopObj { ty: Some(a) },
-                        AValue::TopObj { ty: Some(b) },
-                    ) => {
+                    | (AValue::TopObj { ty: Some(a) }, AValue::TopObj { ty: Some(b) }) => {
                         if a == b {
                             Some(a.clone())
                         } else {
@@ -177,14 +174,15 @@ impl AValue {
     pub fn label(&self) -> String {
         match self {
             AValue::Obj { ty, .. } => ty.clone(),
-            AValue::TopObj { ty } => {
-                ty.clone().unwrap_or_else(|| "\u{22a4}obj".to_owned())
-            }
+            AValue::TopObj { ty } => ty.clone().unwrap_or_else(|| "\u{22a4}obj".to_owned()),
             AValue::Int(v) => v.to_string(),
             AValue::TopInt => "\u{22a4}int".to_owned(),
             AValue::IntArray(vs) => format!(
                 "[{}]",
-                vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                vs.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             AValue::TopIntArray => "\u{22a4}int[]".to_owned(),
             AValue::Str(s) => s.clone(),
@@ -223,15 +221,15 @@ mod tests {
     use super::*;
 
     fn obj(site: u32, ty: &str) -> AValue {
-        AValue::Obj { site: AllocSite(site), ty: ty.to_owned() }
+        AValue::Obj {
+            site: AllocSite(site),
+            ty: ty.to_owned(),
+        }
     }
 
     #[test]
     fn join_equal_is_identity() {
-        assert_eq!(
-            AValue::Int(5).join(AValue::Int(5)),
-            AValue::Int(5)
-        );
+        assert_eq!(AValue::Int(5).join(AValue::Int(5)), AValue::Int(5));
         assert_eq!(obj(1, "Cipher").join(obj(1, "Cipher")), obj(1, "Cipher"));
     }
 
@@ -252,7 +250,9 @@ mod tests {
     fn join_objects_keeps_common_type() {
         assert_eq!(
             obj(1, "Cipher").join(obj(2, "Cipher")),
-            AValue::TopObj { ty: Some("Cipher".to_owned()) }
+            AValue::TopObj {
+                ty: Some("Cipher".to_owned())
+            }
         );
         assert_eq!(
             obj(1, "Cipher").join(obj(2, "Mac")),
@@ -268,12 +268,18 @@ mod tests {
 
     #[test]
     fn join_kind_mismatch_is_unknown() {
-        assert_eq!(AValue::Int(1).join(AValue::Str("x".into())), AValue::Unknown);
+        assert_eq!(
+            AValue::Int(1).join(AValue::Str("x".into())),
+            AValue::Unknown
+        );
     }
 
     #[test]
     fn api_const_joins_with_int() {
-        let c = AValue::ApiConst { class: "Cipher".into(), name: "ENCRYPT_MODE".into() };
+        let c = AValue::ApiConst {
+            class: "Cipher".into(),
+            name: "ENCRYPT_MODE".into(),
+        };
         assert_eq!(c.clone().join(c.clone()), c.clone());
         assert_eq!(c.join(AValue::Int(7)), AValue::TopInt);
     }
@@ -284,12 +290,18 @@ mod tests {
         assert_eq!(AValue::ConstByteArray.label(), "constbyte[]");
         assert_eq!(AValue::Str("AES/CBC".into()).label(), "AES/CBC");
         assert_eq!(
-            AValue::ApiConst { class: "Cipher".into(), name: "ENCRYPT_MODE".into() }
-                .label(),
+            AValue::ApiConst {
+                class: "Cipher".into(),
+                name: "ENCRYPT_MODE".into()
+            }
+            .label(),
             "ENCRYPT_MODE"
         );
         assert_eq!(
-            AValue::TopObj { ty: Some("Secret".into()) }.label(),
+            AValue::TopObj {
+                ty: Some("Secret".into())
+            }
+            .label(),
             "Secret"
         );
     }

@@ -39,10 +39,7 @@ pub struct Usages {
 
 impl Usages {
     /// All allocation sites whose object has type `ty`, in site order.
-    pub fn objects_of_type<'a>(
-        &'a self,
-        ty: &'a str,
-    ) -> impl Iterator<Item = AllocSite> + 'a {
+    pub fn objects_of_type<'a>(&'a self, ty: &'a str) -> impl Iterator<Item = AllocSite> + 'a {
         self.objects
             .iter()
             .filter(move |(_, t)| t.as_str() == ty)
@@ -270,9 +267,9 @@ impl<'a> Analyzer<'a> {
                             // Shared hard-coded material (keys, IVs).
                             match &field.ty {
                                 Type::Array(inner) => match inner.as_ref() {
-                                    Type::Primitive(
-                                        PrimitiveType::Byte | PrimitiveType::Char,
-                                    ) => AValue::ConstByteArray,
+                                    Type::Primitive(PrimitiveType::Byte | PrimitiveType::Char) => {
+                                        AValue::ConstByteArray
+                                    }
                                     _ => continue,
                                 },
                                 _ => continue,
@@ -291,8 +288,12 @@ impl<'a> Analyzer<'a> {
         // Pass 1: field initializers, evaluated in source order so later
         // fields can reference earlier constants.
         let mut fields = Env::new();
-        let mut ctx =
-            Ctx { class, depth: 0, call_stack: Vec::new(), ret: None };
+        let mut ctx = Ctx {
+            class,
+            depth: 0,
+            call_stack: Vec::new(),
+            ret: None,
+        };
         for member in &class.members {
             if let Member::Field(field) = member {
                 for d in &field.declarators {
@@ -311,8 +312,12 @@ impl<'a> Analyzer<'a> {
         for member in &class.members {
             if let Member::Initializer { body, .. } = member {
                 let mut env = self.fork_env(&fields);
-                let mut ctx =
-                    Ctx { class, depth: 0, call_stack: Vec::new(), ret: None };
+                let mut ctx = Ctx {
+                    class,
+                    depth: 0,
+                    call_stack: Vec::new(),
+                    ret: None,
+                };
                 self.exec_block(body, &mut env, &mut ctx);
             }
         }
@@ -419,7 +424,12 @@ impl<'a> Analyzer<'a> {
                 self.exec_stmt(body, env, ctx);
                 self.eval(cond, env, ctx);
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 for s in init {
                     self.exec_stmt(s, env, ctx);
                 }
@@ -433,7 +443,12 @@ impl<'a> Analyzer<'a> {
                 }
                 env.join_with(body_env);
             }
-            Stmt::ForEach { ty, name, iterable, body } => {
+            Stmt::ForEach {
+                ty,
+                name,
+                iterable,
+                body,
+            } => {
                 self.eval(iterable, env, ctx);
                 let mut body_env = self.fork_env(env);
                 body_env.set(name.clone(), top_for_type(ty));
@@ -450,7 +465,12 @@ impl<'a> Analyzer<'a> {
                     });
                 }
             }
-            Stmt::Try { resources, block, catches, finally } => {
+            Stmt::Try {
+                resources,
+                block,
+                catches,
+                finally,
+            } => {
                 for r in resources {
                     self.exec_stmt(r, env, ctx);
                 }
@@ -489,11 +509,7 @@ impl<'a> Analyzer<'a> {
                 self.eval(monitor, env, ctx);
                 self.exec_block(body, env, ctx);
             }
-            Stmt::LocalType(_)
-            | Stmt::Break
-            | Stmt::Continue
-            | Stmt::Empty
-            | Stmt::Unparsed => {}
+            Stmt::LocalType(_) | Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Unparsed => {}
         }
     }
 
@@ -532,8 +548,7 @@ impl<'a> Analyzer<'a> {
                 self.eval_call(expr, target.as_deref(), name, args, env, ctx)
             }
             Expr::New { ty, args, .. } => {
-                let arg_vals: Vec<AValue> =
-                    args.iter().map(|a| self.eval(a, env, ctx)).collect();
+                let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(a, env, ctx)).collect();
                 let class = ty.display_name();
                 if ty.simple_name().is_some() {
                     // Per-allocation-site heap abstraction (paper §3.3):
@@ -547,7 +562,9 @@ impl<'a> Analyzer<'a> {
                     self.record_on_args(&sig, &arg_vals);
                     AValue::Obj { site, ty: class }
                 } else {
-                    AValue::TopObj { ty: ty.simple_name().map(str::to_owned) }
+                    AValue::TopObj {
+                        ty: ty.simple_name().map(str::to_owned),
+                    }
                 }
             }
             Expr::NewArray { ty, dims, init } => {
@@ -574,14 +591,12 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::ArrayInit(elems) => {
-                let vals: Vec<AValue> =
-                    elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+                let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
                 infer_array_literal(&vals)
             }
             Expr::Assign { lhs, op, rhs } => {
                 let rhs_val = if let Expr::ArrayInit(elems) = rhs.as_ref() {
-                    let vals: Vec<AValue> =
-                        elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+                    let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
                     infer_array_literal(&vals)
                 } else {
                     self.eval(rhs, env, ctx)
@@ -592,19 +607,13 @@ impl<'a> Analyzer<'a> {
                         let old = self.eval_lvalue(lhs, env);
                         // Compound assignment: fold when both constant.
                         match (&old, &rhs_val) {
-                            (AValue::Str(a), AValue::Str(b))
-                                if *op == AssignOp::Add =>
-                            {
+                            (AValue::Str(a), AValue::Str(b)) if *op == AssignOp::Add => {
                                 AValue::Str(format!("{a}{b}"))
                             }
-                            (AValue::Str(a), AValue::Int(b))
-                                if *op == AssignOp::Add =>
-                            {
+                            (AValue::Str(a), AValue::Int(b)) if *op == AssignOp::Add => {
                                 AValue::Str(format!("{a}{b}"))
                             }
-                            (AValue::Int(a), AValue::Int(b)) => {
-                                fold_int_assign(*a, *b, *op)
-                            }
+                            (AValue::Int(a), AValue::Int(b)) => fold_int_assign(*a, *b, *op),
                             _ => old.join(rhs_val),
                         }
                     }
@@ -623,10 +632,7 @@ impl<'a> Analyzer<'a> {
                     (UnOp::Neg, AValue::Int(n)) => AValue::Int(-n),
                     (UnOp::BitNot, AValue::Int(n)) => AValue::Int(!n),
                     (UnOp::Not, AValue::Bool(b)) => AValue::Bool(!b),
-                    (
-                        UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec,
-                        _,
-                    ) => {
+                    (UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec, _) => {
                         // Increment havocs the variable.
                         if let Expr::Name(segs) = &**expr {
                             if segs.len() == 1 && env.get(&segs[0]).is_some() {
@@ -667,9 +673,16 @@ impl<'a> Analyzer<'a> {
                 self.eval(expr, env, ctx);
                 AValue::TopBool
             }
-            Expr::This => AValue::TopObj { ty: Some(ctx.class.name.clone()) },
+            Expr::This => AValue::TopObj {
+                ty: Some(ctx.class.name.clone()),
+            },
             Expr::Super => AValue::TopObj {
-                ty: ctx.class.extends.as_ref().and_then(|t| t.simple_name()).map(str::to_owned),
+                ty: ctx
+                    .class
+                    .extends
+                    .as_ref()
+                    .and_then(|t| t.simple_name())
+                    .map(str::to_owned),
             },
             Expr::ClassLiteral(_) | Expr::Lambda | Expr::MethodRef | Expr::Unparsed => {
                 AValue::Unknown
@@ -716,7 +729,10 @@ impl<'a> Analyzer<'a> {
             let last = &segments[segments.len() - 1];
             let qualifier = &segments[segments.len() - 2];
             if looks_like_const_name(last) && looks_like_class_name(qualifier) {
-                return AValue::ApiConst { class: qualifier.clone(), name: last.clone() };
+                return AValue::ApiConst {
+                    class: qualifier.clone(),
+                    name: last.clone(),
+                };
             }
         }
         AValue::Unknown
@@ -728,15 +744,13 @@ impl<'a> Analyzer<'a> {
             Expr::Name(segs) if segs.len() == 1 => {
                 env.get(&segs[0]).cloned().unwrap_or(AValue::Unknown)
             }
-            Expr::Name(segs) if segs.len() == 2 => {
-                match env.get(&segs[0]) {
-                    Some(AValue::Obj { site, .. }) => env
-                        .get(&heap_key(*site, &segs[1]))
-                        .cloned()
-                        .unwrap_or(AValue::Unknown),
-                    _ => AValue::Unknown,
-                }
-            }
+            Expr::Name(segs) if segs.len() == 2 => match env.get(&segs[0]) {
+                Some(AValue::Obj { site, .. }) => env
+                    .get(&heap_key(*site, &segs[1]))
+                    .cloned()
+                    .unwrap_or(AValue::Unknown),
+                _ => AValue::Unknown,
+            },
             Expr::FieldAccess { target, name } if **target == Expr::This => {
                 env.get(name).cloned().unwrap_or(AValue::Unknown)
             }
@@ -744,13 +758,7 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn assign_lvalue(
-        &mut self,
-        lhs: &'a Expr,
-        value: AValue,
-        env: &mut Env,
-        ctx: &mut Ctx<'a>,
-    ) {
+    fn assign_lvalue(&mut self, lhs: &'a Expr, value: AValue, env: &mut Env, ctx: &mut Ctx<'a>) {
         match lhs {
             Expr::Name(segs) if segs.len() == 1 => {
                 env.set(segs[0].clone(), value);
@@ -765,9 +773,7 @@ impl<'a> Analyzer<'a> {
                 let mut current = env.get(first).cloned();
                 for field in path {
                     current = match current {
-                        Some(AValue::Obj { site, .. }) => {
-                            env.get(&heap_key(site, field)).cloned()
-                        }
+                        Some(AValue::Obj { site, .. }) => env.get(&heap_key(site, field)).cloned(),
                         _ => None,
                     };
                 }
@@ -796,13 +802,9 @@ impl<'a> Analyzer<'a> {
                                     AValue::TopByteArray
                                 }
                                 AValue::IntArray(_) if value_is_const(&value) => old,
-                                AValue::IntArray(_) | AValue::TopIntArray => {
-                                    AValue::TopIntArray
-                                }
+                                AValue::IntArray(_) | AValue::TopIntArray => AValue::TopIntArray,
                                 AValue::StrArray(_) if value_is_const(&value) => old,
-                                AValue::StrArray(_) | AValue::TopStrArray => {
-                                    AValue::TopStrArray
-                                }
+                                AValue::StrArray(_) | AValue::TopStrArray => AValue::TopStrArray,
                                 other => other,
                             };
                             env.set(segs[0].clone(), havocked);
@@ -827,8 +829,7 @@ impl<'a> Analyzer<'a> {
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        let arg_vals: Vec<AValue> =
-            args.iter().map(|a| self.eval(a, env, ctx)).collect();
+        let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(a, env, ctx)).collect();
 
         // Array-havoc methods mutate their argument in place
         // (`random.nextBytes(iv)`).
@@ -841,9 +842,7 @@ impl<'a> Analyzer<'a> {
                                 AValue::ConstByteArray | AValue::TopByteArray => {
                                     AValue::TopByteArray
                                 }
-                                AValue::IntArray(_) | AValue::TopIntArray => {
-                                    AValue::TopIntArray
-                                }
+                                AValue::IntArray(_) | AValue::TopIntArray => AValue::TopIntArray,
                                 other => other,
                             };
                             env.set(segs[0].clone(), havocked);
@@ -876,9 +875,7 @@ impl<'a> Analyzer<'a> {
                 if env.get(first).is_none() {
                     let class = last.clone();
                     if looks_like_class_name(&class) {
-                        return self.eval_static_call(
-                            call_expr, &class, name, arg_vals,
-                        );
+                        return self.eval_static_call(call_expr, &class, name, arg_vals);
                     }
                 }
             }
@@ -918,13 +915,18 @@ impl<'a> Analyzer<'a> {
             let sig = MethodSig::new(class, name, arg_vals.len());
             self.record(site, sig.clone(), arg_vals.clone());
             self.record_on_args(&sig, &arg_vals);
-            return AValue::Obj { site, ty: class.to_owned() };
+            return AValue::Obj {
+                site,
+                ty: class.to_owned(),
+            };
         }
         let sig = MethodSig::new(class, name, arg_vals.len());
         self.record_on_args(&sig, &arg_vals);
         if self.api.is_factory(class, name) {
             // Factory of an untracked class.
-            return AValue::TopObj { ty: Some(class.to_owned()) };
+            return AValue::TopObj {
+                ty: Some(class.to_owned()),
+            };
         }
         self.api
             .eval_known_call(name, None, &arg_vals)
@@ -938,14 +940,13 @@ impl<'a> Analyzer<'a> {
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        if ctx.depth >= MAX_INLINE_DEPTH
-            || ctx.call_stack.iter().any(|m| m == name)
-        {
+        if ctx.depth >= MAX_INLINE_DEPTH || ctx.call_stack.iter().any(|m| m == name) {
             return AValue::Unknown;
         }
-        let callee = ctx.class.methods().find(|m| {
-            m.name == name && m.params.len() == arg_vals.len() && m.body.is_some()
-        });
+        let callee = ctx
+            .class
+            .methods()
+            .find(|m| m.name == name && m.params.len() == arg_vals.len() && m.body.is_some());
         let Some(callee) = callee else {
             return AValue::Unknown;
         };
@@ -974,9 +975,7 @@ impl<'a> Analyzer<'a> {
         let updates: Vec<(String, AValue)> = env
             .iter()
             .filter(|(k, _)| !callee.params.iter().any(|p| &p.name == *k))
-            .filter_map(|(k, _)| {
-                callee_env.get(k).map(|v| (k.clone(), v.clone()))
-            })
+            .filter_map(|(k, _)| callee_env.get(k).map(|v| (k.clone(), v.clone())))
             .collect();
         for (k, v) in updates {
             env.set(k, v);
@@ -991,8 +990,7 @@ impl<'a> Analyzer<'a> {
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        let vals: Vec<AValue> =
-            elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+        let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
         // Unwrap the declared array element type.
         let elem_ty = match declared {
             Type::Array(inner) => inner.as_ref().clone(),
@@ -1013,25 +1011,15 @@ fn heap_key(site: AllocSite, field: &str) -> String {
 fn top_for_type(ty: &Type) -> AValue {
     match ty {
         Type::Primitive(p) => match p {
-            PrimitiveType::Int | PrimitiveType::Long | PrimitiveType::Short => {
-                AValue::TopInt
-            }
+            PrimitiveType::Int | PrimitiveType::Long | PrimitiveType::Short => AValue::TopInt,
             PrimitiveType::Byte | PrimitiveType::Char => AValue::TopByte,
             PrimitiveType::Boolean => AValue::TopBool,
-            PrimitiveType::Float | PrimitiveType::Double | PrimitiveType::Void => {
-                AValue::Unknown
-            }
+            PrimitiveType::Float | PrimitiveType::Double | PrimitiveType::Void => AValue::Unknown,
         },
         Type::Array(inner) => match inner.as_ref() {
-            Type::Primitive(PrimitiveType::Byte | PrimitiveType::Char) => {
-                AValue::TopByteArray
-            }
-            Type::Primitive(PrimitiveType::Int | PrimitiveType::Long) => {
-                AValue::TopIntArray
-            }
-            Type::Named { name, .. } if name.ends_with("String") => {
-                AValue::TopStrArray
-            }
+            Type::Primitive(PrimitiveType::Byte | PrimitiveType::Char) => AValue::TopByteArray,
+            Type::Primitive(PrimitiveType::Int | PrimitiveType::Long) => AValue::TopIntArray,
+            Type::Named { name, .. } if name.ends_with("String") => AValue::TopStrArray,
             _ => AValue::Unknown,
         },
         Type::Named { .. } => match ty.simple_name() {
@@ -1039,7 +1027,9 @@ fn top_for_type(ty: &Type) -> AValue {
             Some("Integer") | Some("Long") | Some("Short") => AValue::TopInt,
             Some("Boolean") => AValue::TopBool,
             Some("Byte") | Some("Character") => AValue::TopByte,
-            other => AValue::TopObj { ty: other.map(str::to_owned) },
+            other => AValue::TopObj {
+                ty: other.map(str::to_owned),
+            },
         },
         Type::Wildcard | Type::Unknown => AValue::Unknown,
     }
@@ -1167,9 +1157,7 @@ fn fold_binary(op: BinOp, l: AValue, r: AValue) -> AValue {
     }
     match op {
         Eq | Ne | Lt | Gt | Le | Ge | AndAnd | OrOr => AValue::TopBool,
-        Add if l.kind() == absdomain::ValueKind::Str
-            || r.kind() == absdomain::ValueKind::Str =>
-        {
+        Add if l.kind() == absdomain::ValueKind::Str || r.kind() == absdomain::ValueKind::Str => {
             AValue::TopStr
         }
         _ => {

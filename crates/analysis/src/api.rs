@@ -55,8 +55,7 @@ impl ApiModel {
     /// returns an instance of `class`. The JCA convention is uniform:
     /// every engine class exposes `getInstance` overloads.
     pub fn is_factory(&self, class: &str, method: &str) -> bool {
-        looks_like_class_name(class)
-            && (method == "getInstance" || method == "getInstanceStrong")
+        looks_like_class_name(class) && (method == "getInstance" || method == "getInstanceStrong")
     }
 
     /// The abstract result of calling `method` with `args`, for the few
@@ -77,17 +76,15 @@ impl ApiModel {
         });
         match method {
             // char[]/byte[] producers that preserve constness.
-            "toCharArray" | "getBytes" | "decodeHex" | "decode" | "parseHexBinary"
-            | "copyOf" | "copyOfRange" | "clone" => Some(if const_inputs {
+            "toCharArray" | "getBytes" | "decodeHex" | "decode" | "parseHexBinary" | "copyOf"
+            | "copyOfRange" | "clone" => Some(if const_inputs {
                 AValue::ConstByteArray
             } else {
                 AValue::TopByteArray
             }),
             // Inherently data-dependent producers.
-            "digest" | "doFinal" | "update" | "generateSeed" | "getEncoded"
-            | "generateKey" | "generateSecret" | "sign" | "wrap" | "unwrap" => {
-                Some(AValue::TopByteArray)
-            }
+            "digest" | "doFinal" | "update" | "generateSeed" | "getEncoded" | "generateKey"
+            | "generateSecret" | "sign" | "wrap" | "unwrap" => Some(AValue::TopByteArray),
             _ => None,
         }
     }
@@ -103,7 +100,10 @@ impl ApiModel {
 /// Heuristic used when a dotted name does not resolve to a local or
 /// field: a capitalized segment is read as a class name.
 pub fn looks_like_class_name(segment: &str) -> bool {
-    segment.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    segment
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase())
 }
 
 /// Heuristic for API constants: `Cipher.ENCRYPT_MODE`,
@@ -111,8 +111,13 @@ pub fn looks_like_class_name(segment: &str) -> bool {
 /// class-like qualifier.
 pub fn looks_like_const_name(segment: &str) -> bool {
     !segment.is_empty()
-        && segment.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
-        && segment.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && segment
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+        && segment
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
 }
 
 #[cfg(test)]

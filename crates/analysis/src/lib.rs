@@ -35,7 +35,9 @@ mod api;
 mod limits;
 
 pub use analyzer::{analysis_steps, analyze, try_analyze, try_analyze_counted, UsageEvent, Usages};
-pub use api::{looks_like_class_name, looks_like_const_name, ApiModel, TARGET_CLASSES, TRACKED_CLASSES};
+pub use api::{
+    looks_like_class_name, looks_like_const_name, ApiModel, TARGET_CLASSES, TRACKED_CLASSES,
+};
 pub use limits::{AnalysisError, AnalysisLimits};
 
 #[cfg(test)]
@@ -97,12 +99,18 @@ mod tests {
         assert_eq!(init.args.len(), 3);
         assert_eq!(
             init.args[0],
-            AValue::ApiConst { class: "Cipher".into(), name: "ENCRYPT_MODE".into() }
+            AValue::ApiConst {
+                class: "Cipher".into(),
+                name: "ENCRYPT_MODE".into()
+            }
         );
-        assert_eq!(init.args[1], AValue::TopObj { ty: Some("Secret".into()) });
-        assert!(
-            matches!(init.args[2], AValue::Obj { ref ty, .. } if ty == "IvParameterSpec")
+        assert_eq!(
+            init.args[1],
+            AValue::TopObj {
+                ty: Some("Secret".into())
+            }
         );
+        assert!(matches!(init.args[2], AValue::Obj { ref ty, .. } if ty == "IvParameterSpec"));
     }
 
     #[test]
@@ -121,7 +129,9 @@ mod tests {
             "IV bytes derive from a parameter, hence ⊤byte[]"
         );
         assert!(
-            events.iter().any(|e| e.method.name == "init" && e.method.class == "Cipher"),
+            events
+                .iter()
+                .any(|e| e.method.name == "init" && e.method.class == "Cipher"),
             "passing the spec to Cipher.init is a usage of the spec: {events:?}"
         );
     }
@@ -227,8 +237,9 @@ mod tests {
         assert_eq!(ciphers.len(), 1, "one allocation site inside the helper");
         let events = usages.events_of(ciphers[0]);
         assert!(
-            events.iter().any(|e| e.method.name == "getInstance"
-                && e.args == vec![AValue::Str("DES".into())]),
+            events.iter().any(
+                |e| e.method.name == "getInstance" && e.args == vec![AValue::Str("DES".into())]
+            ),
             "constant must flow through the inlined helper: {events:?}"
         );
         assert!(events.iter().any(|e| e.method.name == "init"));
@@ -321,9 +332,8 @@ mod tests {
 
     #[test]
     fn untracked_classes_get_sites_but_no_target_objects() {
-        let usages = usages_of(
-            r#"class C { void m() { StringBuilder sb = new StringBuilder(); } }"#,
-        );
+        let usages =
+            usages_of(r#"class C { void m() { StringBuilder sb = new StringBuilder(); } }"#);
         // Every allocation site is an abstract object (heap abstraction)…
         assert_eq!(usages.objects_of_type("StringBuilder").count(), 1);
         // …but no target-class objects exist.
@@ -399,14 +409,26 @@ mod tests {
         let steps = analysis_steps(&unit, &api);
         assert!(steps > 0);
 
-        let exact = AnalysisLimits { max_steps: steps, ..AnalysisLimits::DEFAULT };
+        let exact = AnalysisLimits {
+            max_steps: steps,
+            ..AnalysisLimits::DEFAULT
+        };
         let ok = try_analyze(&unit, &api, &exact).expect("exact budget suffices");
-        assert_eq!(ok, analyze(&unit, &api), "budgeted result matches unbudgeted");
+        assert_eq!(
+            ok,
+            analyze(&unit, &api),
+            "budgeted result matches unbudgeted"
+        );
 
-        let short = AnalysisLimits { max_steps: steps - 1, ..AnalysisLimits::DEFAULT };
+        let short = AnalysisLimits {
+            max_steps: steps - 1,
+            ..AnalysisLimits::DEFAULT
+        };
         assert_eq!(
             try_analyze(&unit, &api, &short),
-            Err(AnalysisError::StepBudgetExceeded { max_steps: steps - 1 })
+            Err(AnalysisError::StepBudgetExceeded {
+                max_steps: steps - 1
+            })
         );
     }
 
@@ -425,12 +447,21 @@ mod tests {
         let unit = javalang::parse_compilation_unit(FIXTURE).expect("parse");
         let api = ApiModel::standard();
         let depth = javalang::visit::ast_depth(&unit);
-        let tight = AnalysisLimits { max_ast_depth: depth - 1, ..AnalysisLimits::DEFAULT };
+        let tight = AnalysisLimits {
+            max_ast_depth: depth - 1,
+            ..AnalysisLimits::DEFAULT
+        };
         assert_eq!(
             try_analyze(&unit, &api, &tight),
-            Err(AnalysisError::AstTooDeep { depth, max_depth: depth - 1 })
+            Err(AnalysisError::AstTooDeep {
+                depth,
+                max_depth: depth - 1
+            })
         );
-        let loose = AnalysisLimits { max_ast_depth: depth, ..AnalysisLimits::DEFAULT };
+        let loose = AnalysisLimits {
+            max_ast_depth: depth,
+            ..AnalysisLimits::DEFAULT
+        };
         assert!(try_analyze(&unit, &api, &loose).is_ok());
     }
 
@@ -438,8 +469,7 @@ mod tests {
     fn default_budget_handles_real_sources() {
         let unit = javalang::parse_compilation_unit(FIGURE2_NEW).expect("parse");
         let api = ApiModel::standard();
-        let usages = try_analyze(&unit, &api, &AnalysisLimits::DEFAULT)
-            .expect("figure 2 is tiny");
+        let usages = try_analyze(&unit, &api, &AnalysisLimits::DEFAULT).expect("figure 2 is tiny");
         assert_eq!(usages, analyze(&unit, &api));
     }
 

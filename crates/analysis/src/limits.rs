@@ -30,13 +30,17 @@ impl AnalysisLimits {
     /// three orders of magnitude above any real corpus file) and AST
     /// depth 512 (the parser's own ceiling leaves real files far
     /// below this).
-    pub const DEFAULT: AnalysisLimits =
-        AnalysisLimits { max_steps: 2_000_000, max_ast_depth: 512 };
+    pub const DEFAULT: AnalysisLimits = AnalysisLimits {
+        max_steps: 2_000_000,
+        max_ast_depth: 512,
+    };
 
     /// No step budget and no depth pre-check — the legacy behaviour of
     /// [`crate::analyze`], for trusted fixture inputs.
-    pub const UNBOUNDED: AnalysisLimits =
-        AnalysisLimits { max_steps: u64::MAX, max_ast_depth: usize::MAX };
+    pub const UNBOUNDED: AnalysisLimits = AnalysisLimits {
+        max_steps: u64::MAX,
+        max_ast_depth: usize::MAX,
+    };
 }
 
 impl Default for AnalysisLimits {

@@ -81,7 +81,10 @@ fn conditional_expression_joins() {
         }
         "#,
     );
-    assert_eq!(first_arg_of(&u, "MessageDigest", "getInstance"), AValue::TopStr);
+    assert_eq!(
+        first_arg_of(&u, "MessageDigest", "getInstance"),
+        AValue::TopStr
+    );
 }
 
 #[test]
@@ -121,7 +124,10 @@ fn foreach_element_is_top() {
         }
         "#,
     );
-    assert_eq!(first_arg_of(&u, "MessageDigest", "getInstance"), AValue::TopStr);
+    assert_eq!(
+        first_arg_of(&u, "MessageDigest", "getInstance"),
+        AValue::TopStr
+    );
 }
 
 #[test]
@@ -137,7 +143,10 @@ fn string_array_constant_indexing() {
         "#,
     );
     // Element reads of even constant arrays are ⊤str (index unknown).
-    assert_eq!(first_arg_of(&u, "MessageDigest", "getInstance"), AValue::TopStr);
+    assert_eq!(
+        first_arg_of(&u, "MessageDigest", "getInstance"),
+        AValue::TopStr
+    );
 }
 
 #[test]
@@ -283,7 +292,10 @@ fn cipher_modes_via_api_constants() {
         .unwrap();
     assert_eq!(
         init.args[0],
-        AValue::ApiConst { class: "Cipher".into(), name: "DECRYPT_MODE".into() }
+        AValue::ApiConst {
+            class: "Cipher".into(),
+            name: "DECRYPT_MODE".into()
+        }
     );
 }
 
@@ -354,7 +366,11 @@ fn mac_and_keygenerator_are_tracked() {
     assert_eq!(u.objects_of_type("Mac").count(), 1);
     assert_eq!(u.objects_of_type("KeyGenerator").count(), 1);
     let kg = u.objects_of_type("KeyGenerator").next().unwrap();
-    let init = u.events_of(kg).iter().find(|e| e.method.name == "init").unwrap();
+    let init = u
+        .events_of(kg)
+        .iter()
+        .find(|e| e.method.name == "init")
+        .unwrap();
     assert_eq!(init.args[0], AValue::Int(256));
 }
 

@@ -52,5 +52,10 @@ fn bench_dag_distance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analysis, bench_dag_construction, bench_dag_distance);
+criterion_group!(
+    benches,
+    bench_analysis,
+    bench_dag_construction,
+    bench_dag_distance
+);
 criterion_main!(benches);

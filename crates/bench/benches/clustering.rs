@@ -74,7 +74,11 @@ fn bench_agglomerate(c: &mut Criterion) {
     for n in [10usize, 40, 80, 160] {
         let matrix = synthetic_matrix(n);
         group.bench_with_input(BenchmarkId::new("naive", n), &matrix, |b, m| {
-            b.iter(|| agglomerate_naive(m.len(), |i, j| m.get(i, j), Linkage::Complete).merges.len());
+            b.iter(|| {
+                agglomerate_naive(m.len(), |i, j| m.get(i, j), Linkage::Complete)
+                    .merges
+                    .len()
+            });
         });
         group.bench_with_input(BenchmarkId::new("nn_chain", n), &matrix, |b, m| {
             b.iter(|| agglomerate_matrix(m, Linkage::Complete).merges.len());

@@ -34,9 +34,8 @@ fn bench_filter(c: &mut Criterion) {
 }
 
 fn bench_checker(c: &mut Criterion) {
-    let mut exp = diffcode::Experiments::new(corpus::generate(
-        &corpus::GeneratorConfig::small(10, 0xE2E),
-    ));
+    let mut exp =
+        diffcode::Experiments::new(corpus::generate(&corpus::GeneratorConfig::small(10, 0xE2E)));
     let projects = exp.checked_projects();
     let checker = rules::CryptoChecker::standard();
     c.bench_function("pipeline/crypto_checker", |b| {

@@ -72,9 +72,7 @@ fn fixes_surviving(changes: &[MinedUsageChange]) -> usize {
     use std::collections::BTreeSet;
     let mut surviving: BTreeSet<&str> = BTreeSet::new();
     for (stage, change) in stage_changes(changes) {
-        if change.meta.message.starts_with("Security:")
-            && !matches!(stage, FilterStage::FSame)
-        {
+        if change.meta.message.starts_with("Security:") && !matches!(stage, FilterStage::FSame) {
             surviving.insert(change.meta.commit.as_str());
         }
     }
@@ -212,7 +210,12 @@ fn ablate_abstraction(corpus: &corpus::Corpus) {
     let (_, precise_stats) = apply_filters(mined.changes);
     let (_, coarse_stats) = apply_filters(coarse);
 
-    let mut table = Table::new(["abstraction", "semantic", "survivors", "fix commits surviving"]);
+    let mut table = Table::new([
+        "abstraction",
+        "semantic",
+        "survivors",
+        "fix commits surviving",
+    ]);
     table.row([
         "exact strings (paper)".to_owned(),
         precise_stats.after_fsame.to_string(),

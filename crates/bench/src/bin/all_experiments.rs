@@ -70,10 +70,16 @@ fn main() {
 
     header("Stage latencies (MetricsRegistry spans)");
     print!("{}", render_span_table(&metrics));
-    let total: u64 = ["corpus.generate", "experiments.mine", "figures.fig6",
-        "figures.fig7", "figures.fig8", "figures.fig10"]
-        .iter()
-        .filter_map(|name| metrics.span(name).map(|s| s.sum_ns))
-        .sum();
+    let total: u64 = [
+        "corpus.generate",
+        "experiments.mine",
+        "figures.fig6",
+        "figures.fig7",
+        "figures.fig8",
+        "figures.fig10",
+    ]
+    .iter()
+    .filter_map(|name| metrics.span(name).map(|s| s.sum_ns))
+    .sum();
     println!("\ntotal stage time: {}", obs::fmt_ns(total));
 }

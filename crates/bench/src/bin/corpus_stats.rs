@@ -20,7 +20,11 @@ fn main() {
     let mut table = Table::new(["quantity", "paper (§6.1)", "this corpus"]);
     table.row(["projects", "461", &stats.projects.to_string()]);
     table.row(["distinct users", "397", &stats.distinct_users.to_string()]);
-    table.row(["code changes mined", "11,551", &stats.code_changes.to_string()]);
+    table.row([
+        "code changes mined",
+        "11,551",
+        &stats.code_changes.to_string(),
+    ]);
     table.row([
         "android projects",
         "(n/a, implied by R6)",

@@ -27,7 +27,14 @@ fn main() {
     header("Filtering funnel for the 7th class: Signature");
     let total = mined.changes.len();
     let (filtered, stats) = apply_filters(mined.changes);
-    let mut table = Table::new(["Target API Class", "Usage Changes", "fsame", "fadd", "frem", "fdup"]);
+    let mut table = Table::new([
+        "Target API Class",
+        "Usage Changes",
+        "fsame",
+        "fadd",
+        "frem",
+        "fdup",
+    ]);
     table.row([
         "Signature".to_owned(),
         total.to_string(),
@@ -77,7 +84,11 @@ fn main() {
             .any(|u| rule.applicable(u, &checked.context));
         if is_applicable {
             applicable += 1;
-            if checked.usages.iter().any(|u| rule.matches(u, &checked.context)) {
+            if checked
+                .usages
+                .iter()
+                .any(|u| rule.matches(u, &checked.context))
+            {
                 matching += 1;
             }
         }
@@ -85,7 +96,11 @@ fn main() {
     println!(
         "\napplicable: {applicable} projects ({:.1}%), matching: {matching} ({:.1}% of applicable)",
         100.0 * applicable as f64 / corpus.projects.len() as f64,
-        if applicable == 0 { 0.0 } else { 100.0 * matching as f64 / applicable as f64 },
+        if applicable == 0 {
+            0.0
+        } else {
+            100.0 * matching as f64 / applicable as f64
+        },
     );
     println!(
         "\nNo pipeline code changed for this experiment: the class name and one\n\

@@ -19,8 +19,10 @@ fn main() {
     let fixes: usize = rows.iter().map(|r| r.fix.total).sum();
     let bugs: usize = rows.iter().map(|r| r.bug.total).sum();
     let fix_fdup: usize = rows.iter().map(|r| r.fix.fdup).sum();
-    let fix_lost: usize =
-        rows.iter().map(|r| r.fix.fsame + r.fix.fadd + r.fix.frem).sum();
+    let fix_lost: usize = rows
+        .iter()
+        .map(|r| r.fix.fsame + r.fix.fadd + r.fix.frem)
+        .sum();
     println!("\nfixes={fixes} bugs={bugs} (paper: >80% of classified changes are fixes)");
     println!(
         "fixes removed by fsame/fadd/frem: {fix_lost} (paper: 0); by fdup: {fix_fdup} (paper: 1)"

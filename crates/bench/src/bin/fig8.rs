@@ -21,20 +21,21 @@ fn main() {
     );
 
     for (i, cluster) in fig8.elicitation.clusters.iter().take(10).enumerate() {
-        println!("--- cluster {} ({} members) ---", i + 1, cluster.members.len());
+        println!(
+            "--- cluster {} ({} members) ---",
+            i + 1,
+            cluster.members.len()
+        );
         print!("{}", cluster.representative);
         println!();
     }
 
     // The paper's headline cluster: ECB-mode fixes merging into R7.
     let ecb_cluster = fig8.elicitation.clusters.iter().find(|c| {
-        c.representative
-            .removed
-            .iter()
-            .any(|p| {
-                let s = p.to_string();
-                s.ends_with("arg1:AES") || s.contains("AES/ECB")
-            })
+        c.representative.removed.iter().any(|p| {
+            let s = p.to_string();
+            s.ends_with("arg1:AES") || s.contains("AES/ECB")
+        })
     });
     match ecb_cluster {
         Some(c) => {

@@ -15,8 +15,15 @@ pub fn config_from_args(default_projects: usize) -> GeneratorConfig {
         .next()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default_projects);
-    let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(0xD1FF_C0DE);
-    GeneratorConfig { n_projects, seed, ..GeneratorConfig::default() }
+    let seed = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1FF_C0DE);
+    GeneratorConfig {
+        n_projects,
+        seed,
+        ..GeneratorConfig::default()
+    }
 }
 
 /// Prints a section header.
@@ -32,9 +39,7 @@ pub fn header(title: &str) {
 /// this table is printed at the end, instead of each binary doing its
 /// own `Instant` arithmetic.
 pub fn render_span_table(registry: &MetricsRegistry) -> String {
-    let mut table = diffcode::Table::new(vec![
-        "span", "count", "total", "mean", "min", "max",
-    ]);
+    let mut table = diffcode::Table::new(vec!["span", "count", "total", "mean", "min", "max"]);
     for (name, span) in registry.spans() {
         table.row(vec![
             name.to_owned(),

@@ -114,11 +114,7 @@ mod tests {
         ];
         for a in labels {
             for b in labels {
-                assert_eq!(
-                    cache.similarity(a, b),
-                    label_similarity(a, b),
-                    "{a} vs {b}"
-                );
+                assert_eq!(cache.similarity(a, b), label_similarity(a, b), "{a} vs {b}");
             }
         }
     }

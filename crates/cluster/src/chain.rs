@@ -98,11 +98,11 @@ pub(crate) fn nn_chain(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram 
             (None, None) => a.cmp(&b),
             (None, Some(_)) => std::cmp::Ordering::Less,
             (Some(_), None) => std::cmp::Ordering::Greater,
-            (Some(ka), Some(kb)) => ka
-                .0
-                .partial_cmp(&kb.0)
-                .expect("finite heights")
-                .then(ka.1.cmp(&kb.1)),
+            (Some(ka), Some(kb)) => {
+                ka.0.partial_cmp(&kb.0)
+                    .expect("finite heights")
+                    .then(ka.1.cmp(&kb.1))
+            }
         }
     };
 
@@ -234,9 +234,7 @@ fn relabel(n: usize, raw: Vec<(Op, Op, f64)>) -> Dendrogram {
             let mut best: Option<(usize, usize, usize)> = None; // (left, right, pos)
             for (pos, &disc) in pending.iter().enumerate() {
                 let (a, b, _) = raw[disc];
-                if let (Some(ia), Some(ib)) =
-                    (resolve(&node_id, a), resolve(&node_id, b))
-                {
+                if let (Some(ia), Some(ib)) = (resolve(&node_id, a), resolve(&node_id, b)) {
                     let (lo, hi) = (ia.min(ib), ia.max(ib));
                     if best.is_none_or(|(bl, br, _)| (lo, hi) < (bl, br)) {
                         best = Some((lo, hi, pos));
@@ -245,15 +243,21 @@ fn relabel(n: usize, raw: Vec<(Op, Op, f64)>) -> Dendrogram {
             }
             // Dependencies point at equal-or-lower heights (reducible
             // linkages cannot invert), so some merge is always ready.
-            let (left, right, pos) =
-                best.expect("a ready merge exists within every height run");
+            let (left, right, pos) = best.expect("a ready merge exists within every height run");
             let disc = pending.swap_remove(pos);
             node_id[disc] = Some(n + merges.len());
-            merges.push(Merge { left, right, distance: height });
+            merges.push(Merge {
+                left,
+                right,
+                distance: height,
+            });
         }
         run_start = run_end;
     }
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -276,7 +280,14 @@ mod tests {
         assert!(one.merges.is_empty());
 
         let two = nn_chain(&matrix_of(&[0.0, 2.5]), Linkage::Complete);
-        assert_eq!(two.merges, vec![Merge { left: 0, right: 1, distance: 2.5 }]);
+        assert_eq!(
+            two.merges,
+            vec![Merge {
+                left: 0,
+                right: 1,
+                distance: 2.5
+            }]
+        );
     }
 
     #[test]
@@ -322,8 +333,22 @@ mod tests {
         // lexicographically smallest pair (0, 1) first.
         let m = DistanceMatrix::from_condensed(3, vec![1.0, 2.0, 1.0]);
         let fast = nn_chain(&m, Linkage::Complete);
-        assert_eq!(fast.merges[0], Merge { left: 0, right: 1, distance: 1.0 });
-        assert_eq!(fast.merges[1], Merge { left: 2, right: 3, distance: 2.0 });
+        assert_eq!(
+            fast.merges[0],
+            Merge {
+                left: 0,
+                right: 1,
+                distance: 1.0
+            }
+        );
+        assert_eq!(
+            fast.merges[1],
+            Merge {
+                left: 2,
+                right: 3,
+                distance: 2.0
+            }
+        );
     }
 
     #[test]

@@ -36,11 +36,7 @@ fn path_dist_by(p1: &FeaturePath, p2: &FeaturePath, sim: &dyn Fn(&str, &str) -> 
     }
     let a = p1.labels();
     let b = p2.labels();
-    let common = a
-        .iter()
-        .zip(b.iter())
-        .take_while(|(x, y)| x == y)
-        .count();
+    let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
     let lsr = if common < a.len() && common < b.len() {
         sim(&a[common], &b[common])
     } else {
@@ -57,11 +53,7 @@ pub fn paths_dist(f1: &[FeaturePath], f2: &[FeaturePath]) -> f64 {
     paths_dist_by(f1, f2, &label_similarity)
 }
 
-fn paths_dist_by(
-    f1: &[FeaturePath],
-    f2: &[FeaturePath],
-    sim: &dyn Fn(&str, &str) -> f64,
-) -> f64 {
+fn paths_dist_by(f1: &[FeaturePath], f2: &[FeaturePath], sim: &dyn Fn(&str, &str) -> f64) -> f64 {
     if f1.is_empty() && f2.is_empty() {
         return 0.0;
     }
@@ -92,8 +84,7 @@ pub fn usage_dist(c1: &UsageChange, c2: &UsageChange) -> f64 {
 /// most once across an entire distance-matrix build.
 pub fn usage_dist_cached(c1: &UsageChange, c2: &UsageChange, cache: &LabelCache) -> f64 {
     let sim = |a: &str, b: &str| cache.similarity(a, b);
-    (paths_dist_by(&c1.removed, &c2.removed, &sim)
-        + paths_dist_by(&c1.added, &c2.added, &sim))
+    (paths_dist_by(&c1.removed, &c2.removed, &sim) + paths_dist_by(&c1.added, &c2.added, &sim))
         / 2.0
 }
 
@@ -118,7 +109,10 @@ mod tests {
         let c = path(&["Cipher", "init", "arg1:ENCRYPT_MODE"]);
         let d_ab = path_dist(&a, &b);
         let d_ac = path_dist(&a, &c);
-        assert!(d_ab < d_ac, "mode change ({d_ab}) closer than different method ({d_ac})");
+        assert!(
+            d_ab < d_ac,
+            "mode change ({d_ab}) closer than different method ({d_ac})"
+        );
         assert!(d_ab < 0.25, "{d_ab}");
     }
 
@@ -238,7 +232,11 @@ mod tests {
                 removed: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-1"])],
                 added: vec![path(&["MessageDigest", "getInstance", "arg1:SHA-256"])],
             },
-            UsageChange { class: "Cipher".into(), removed: vec![], added: vec![] },
+            UsageChange {
+                class: "Cipher".into(),
+                removed: vec![],
+                added: vec![],
+            },
         ];
         let cache = LabelCache::default();
         for a in &changes {
@@ -247,6 +245,9 @@ mod tests {
                 assert_eq!(usage_dist_cached(a, b, &cache), usage_dist(a, b));
             }
         }
-        assert!(cache.memoized_pairs() > 0, "cache saw the repeated label pairs");
+        assert!(
+            cache.memoized_pairs() > 0,
+            "cache saw the repeated label pairs"
+        );
     }
 }

@@ -136,11 +136,7 @@ impl Dendrogram {
     /// # Panics
     ///
     /// If `matrix` does not cover exactly `n_leaves` items.
-    pub fn best_cut(
-        &self,
-        matrix: &DistanceMatrix,
-        max_k: usize,
-    ) -> (usize, Vec<Vec<usize>>, f64) {
+    pub fn best_cut(&self, matrix: &DistanceMatrix, max_k: usize) -> (usize, Vec<Vec<usize>>, f64) {
         let n = self.n_leaves;
         assert_eq!(matrix.len(), n, "matrix size must match the dendrogram");
         if n < 3 {
@@ -230,9 +226,7 @@ fn mean_silhouette(clusters: &[Vec<usize>], matrix: &DistanceMatrix) -> f64 {
                 .iter()
                 .enumerate()
                 .filter(|(cj, c)| *cj != ci && !c.is_empty())
-                .map(|(_, c)| {
-                    c.iter().map(|&j| matrix.get(i, j)).sum::<f64>() / c.len() as f64
-                })
+                .map(|(_, c)| c.iter().map(|&j| matrix.get(i, j)).sum::<f64>() / c.len() as f64)
                 .fold(f64::INFINITY, f64::min);
             let denom = a.max(b);
             if denom > 0.0 {
@@ -302,7 +296,11 @@ pub fn agglomerate_naive(
     let mut active: Vec<usize> = (0..n).collect();
     // Pre-compute the leaf distance matrix once.
     let leaf_dist: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { dist(i, j) }).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { dist(i, j) })
+                .collect()
+        })
         .collect();
     let complete = |a: &[usize], b: &[usize]| -> f64 {
         match linkage {
@@ -365,9 +363,16 @@ pub fn agglomerate_naive(
         members.push(Some(merged));
         active.retain(|&x| x != a && x != b);
         active.push(node);
-        merges.push(Merge { left: a, right: b, distance: d });
+        merges.push(Merge {
+            left: a,
+            right: b,
+            distance: d,
+        });
     }
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -515,9 +520,11 @@ mod tests {
         // whole chain at distance 1, complete linkage does not.
         let coords: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
         let single = agglomerate_with(4, |i, j| (coords[i] - coords[j]).abs(), Linkage::Single);
-        assert!(single.merges.iter().all(|m| (m.distance - 1.0).abs() < 1e-9));
-        let complete =
-            agglomerate_with(4, |i, j| (coords[i] - coords[j]).abs(), Linkage::Complete);
+        assert!(single
+            .merges
+            .iter()
+            .all(|m| (m.distance - 1.0).abs() < 1e-9));
+        let complete = agglomerate_with(4, |i, j| (coords[i] - coords[j]).abs(), Linkage::Complete);
         assert!(complete.merges.last().unwrap().distance > 1.0);
     }
 
@@ -537,10 +544,7 @@ mod tests {
     fn default_linkage_is_complete() {
         let coords: [f64; 3] = [0.0, 1.0, 5.0];
         let d = |i: usize, j: usize| (coords[i] - coords[j]).abs();
-        assert_eq!(
-            agglomerate(3, d),
-            agglomerate_with(3, d, Linkage::Complete)
-        );
+        assert_eq!(agglomerate(3, d), agglomerate_with(3, d, Linkage::Complete));
     }
 
     #[test]

@@ -100,7 +100,8 @@ pub fn cluster_usage_changes_matrix_metered(
         (changes.len().saturating_sub(1) * changes.len() / 2) as u64,
     );
     let matrix = registry.time("cluster.matrix", || usage_distance_matrix(changes));
-    let dendrogram =
-        registry.time("cluster.agglomerate", || agglomerate_matrix(&matrix, Linkage::Complete));
+    let dendrogram = registry.time("cluster.agglomerate", || {
+        agglomerate_matrix(&matrix, Linkage::Complete)
+    });
     (dendrogram, matrix)
 }

@@ -48,8 +48,9 @@ impl DistanceMatrix {
         // the borrows check), then deal rows to workers round-robin:
         // row i has n−1−i entries, and interleaving short and long rows
         // balances total work per thread without a scheduler.
-        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
-            (0..threads).map(|_| Vec::with_capacity(n / threads + 1)).collect();
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads)
+            .map(|_| Vec::with_capacity(n / threads + 1))
+            .collect();
         let mut rest = data.as_mut_slice();
         for i in 0..n {
             let (row, tail) = rest.split_at_mut(n - 1 - i);

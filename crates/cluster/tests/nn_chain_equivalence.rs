@@ -41,7 +41,11 @@ fn assert_equivalent(matrix: &DistanceMatrix, linkage: Linkage, height_tol: Opti
     assert_eq!(fast.n_leaves, naive.n_leaves);
     assert_eq!(fast.merges.len(), naive.merges.len(), "{linkage:?}");
     for (k, (f, n)) in fast.merges.iter().zip(&naive.merges).enumerate() {
-        assert_eq!((f.left, f.right), (n.left, n.right), "{linkage:?} merge {k}");
+        assert_eq!(
+            (f.left, f.right),
+            (n.left, n.right),
+            "{linkage:?} merge {k}"
+        );
         match height_tol {
             None => assert!(
                 f.distance == n.distance,
@@ -67,10 +71,16 @@ fn assert_equivalent(matrix: &DistanceMatrix, linkage: Linkage, height_tol: Opti
 fn assert_valid_linkage_tree(dendrogram: &Dendrogram, matrix: &DistanceMatrix, linkage: Linkage) {
     let n = dendrogram.n_leaves;
     for w in dendrogram.merges.windows(2) {
-        assert!(w[0].distance <= w[1].distance + 1e-9, "heights must be non-decreasing");
+        assert!(
+            w[0].distance <= w[1].distance + 1e-9,
+            "heights must be non-decreasing"
+        );
     }
     for (k, m) in dendrogram.merges.iter().enumerate() {
-        assert!(m.left < m.right && m.right < n + k, "{linkage:?} merge {k} ids");
+        assert!(
+            m.left < m.right && m.right < n + k,
+            "{linkage:?} merge {k} ids"
+        );
         let left = dendrogram.leaves_under(m.left);
         let right = dendrogram.leaves_under(m.right);
         let cross: Vec<f64> = left

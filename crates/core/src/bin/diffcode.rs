@@ -45,8 +45,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let classes: Vec<&str> = classes.iter().map(String::as_str).collect();
             print!(
                 "{}",
-                cli::render_diff(&old_source, &new_source, &classes)
-                    .map_err(|e| e.to_string())?
+                cli::render_diff(&old_source, &new_source, &classes).map_err(|e| e.to_string())?
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -68,7 +67,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let (report, violations) = cli::render_check(&files, context);
             print!("{report}");
-            Ok(if violations == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if violations == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "rules" => {
             print!("{}", cli::render_rules());
@@ -148,9 +151,7 @@ fn parse_chaos_flags(args: &[String]) -> Result<(u64, f64, usize), String> {
     let mut projects = 6usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value_for = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--seed" => {
                 let value = value_for("--seed")?;
@@ -187,9 +188,7 @@ fn parse_metrics_flags(
     let mut json_path = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value_for = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--seed" => {
                 let value = value_for("--seed")?;
@@ -222,10 +221,7 @@ fn read(path: &Path) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn collect_java_files(
-    path: &Path,
-    out: &mut Vec<(String, String)>,
-) -> Result<(), String> {
+fn collect_java_files(path: &Path, out: &mut Vec<(String, String)>) -> Result<(), String> {
     if path.is_dir() {
         let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
             .map_err(|e| format!("{}: {e}", path.display()))?

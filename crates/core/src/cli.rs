@@ -32,8 +32,7 @@ pub fn render_analysis(source: &str, classes: &[&str]) -> Result<String, ParseEr
             let dag = usagegraph::build_dag(&usages, site, usagegraph::DEFAULT_MAX_DEPTH);
             let _ = writeln!(out, "abstract object {site} : {class}");
             for event in usages.events_of(site) {
-                let args: Vec<String> =
-                    event.args.iter().map(|a| a.label()).collect();
+                let args: Vec<String> = event.args.iter().map(|a| a.label()).collect();
                 let _ = writeln!(
                     out,
                     "  {}({})",
@@ -104,10 +103,7 @@ pub fn render_diff(
 
 /// Checks a set of named sources as one project against the 13 rules.
 /// Returns the report and the number of violated rules.
-pub fn render_check(
-    files: &[(String, String)],
-    context: ProjectContext,
-) -> (String, usize) {
+pub fn render_check(files: &[(String, String)], context: ProjectContext) -> (String, usize) {
     let mut dc = DiffCode::new();
     let mut usages = Vec::new();
     let mut out = String::new();
@@ -291,19 +287,14 @@ pub const FILTER_FUNNEL: [&str; 5] = [
 ///
 /// Backs the `diffcode metrics` command. The report is built entirely
 /// from the registry, so anything it shows is also in the snapshot.
-pub fn run_metrics(
-    seed: u64,
-    n_projects: usize,
-    n_threads: usize,
-) -> (String, MetricsRegistry) {
+pub fn run_metrics(seed: u64, n_projects: usize, n_threads: usize) -> (String, MetricsRegistry) {
     let mut registry = MetricsRegistry::new();
     let corpus = registry.time("corpus.generate", || {
         corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed))
     });
     corpus::corpus_stats(&corpus).record(&mut registry);
     let result = mine_parallel_with_metrics(&corpus, &[], n_threads, &mut registry);
-    let (kept, filter_stats) =
-        apply_filters_with_metrics(result.changes.clone(), &mut registry);
+    let (kept, filter_stats) = apply_filters_with_metrics(result.changes.clone(), &mut registry);
     if kept.len() >= 2 {
         let clock = obs::Stopwatch::start();
         let _ = crate::elicit::elicit_auto_with_metrics(&kept, &mut registry);
@@ -324,11 +315,7 @@ pub fn run_metrics(
 /// Renders the per-stage metrics report: the pipeline funnel, the
 /// quarantine breakdown by error kind, and the stage latency table —
 /// all sourced from `registry`.
-pub fn render_metrics_report(
-    registry: &MetricsRegistry,
-    seed: u64,
-    n_threads: usize,
-) -> String {
+pub fn render_metrics_report(registry: &MetricsRegistry, seed: u64, n_threads: usize) -> String {
     let mut out = String::new();
     let gauge = |name: &str| registry.gauge(name).unwrap_or(0.0) as u64;
     let _ = writeln!(
@@ -340,13 +327,22 @@ pub fn render_metrics_report(
 
     out.push_str("\npipeline funnel:\n");
     let mut funnel = Table::new(["Stage", "Count"]);
-    funnel.row(["code changes processed".to_owned(),
-        registry.counter("mine.code_changes").to_string()]);
-    funnel.row(["  mined".to_owned(), registry.counter("mine.mined").to_string()]);
-    funnel.row(["  skipped (quarantined)".to_owned(),
-        registry.counter("mine.skipped").to_string()]);
-    funnel.row(["usage changes".to_owned(),
-        registry.counter("filter.total").to_string()]);
+    funnel.row([
+        "code changes processed".to_owned(),
+        registry.counter("mine.code_changes").to_string(),
+    ]);
+    funnel.row([
+        "  mined".to_owned(),
+        registry.counter("mine.mined").to_string(),
+    ]);
+    funnel.row([
+        "  skipped (quarantined)".to_owned(),
+        registry.counter("mine.skipped").to_string(),
+    ]);
+    funnel.row([
+        "usage changes".to_owned(),
+        registry.counter("filter.total").to_string(),
+    ]);
     for (name, label) in FILTER_FUNNEL.iter().skip(1).zip([
         "  after fsame",
         "  after fadd",
@@ -355,8 +351,10 @@ pub fn render_metrics_report(
     ]) {
         funnel.row([label.to_owned(), registry.counter(name).to_string()]);
     }
-    funnel.row(["clusters elicited".to_owned(),
-        registry.counter("elicit.clusters").to_string()]);
+    funnel.row([
+        "clusters elicited".to_owned(),
+        registry.counter("elicit.clusters").to_string(),
+    ]);
     out.push_str(&funnel.render());
 
     if registry.counter("mine.skipped") > 0 {
@@ -390,8 +388,11 @@ pub fn render_metrics_report(
     }
     out.push_str(&spans.render());
 
-    let partition =
-        obs::check_partition(registry, "mine.code_changes", &["mine.mined", "mine.skipped"]);
+    let partition = obs::check_partition(
+        registry,
+        "mine.code_changes",
+        &["mine.mined", "mine.skipped"],
+    );
     let funnel_ok = obs::check_funnel(registry, &FILTER_FUNNEL);
     match (partition, funnel_ok) {
         (Ok(()), Ok(())) => {
@@ -450,7 +451,10 @@ mod tests {
     fn analyze_renders_dags() {
         let out = render_analysis(FIGURE2_NEW, &[]).unwrap();
         assert!(out.contains("abstract object"), "{out}");
-        assert!(out.contains("Cipher getInstance arg1:AES/CBC/PKCS5Padding"), "{out}");
+        assert!(
+            out.contains("Cipher getInstance arg1:AES/CBC/PKCS5Padding"),
+            "{out}"
+        );
         assert!(out.contains("IvParameterSpec"), "{out}");
     }
 
@@ -475,10 +479,7 @@ mod tests {
 
     #[test]
     fn check_reports_violations() {
-        let files = vec![(
-            "AESCipher.java".to_owned(),
-            FIGURE2_OLD.to_owned(),
-        )];
+        let files = vec![("AESCipher.java".to_owned(), FIGURE2_OLD.to_owned())];
         let (out, count) = render_check(&files, ProjectContext::plain());
         assert!(count >= 1, "{out}");
         assert!(out.contains("R7"), "default AES is ECB: {out}");

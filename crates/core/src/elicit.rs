@@ -31,8 +31,7 @@ pub struct Elicitation {
 
 /// Clusters `changes` and cuts the dendrogram at `threshold`.
 pub fn elicit(changes: &[MinedUsageChange], threshold: f64) -> Elicitation {
-    let usage_changes: Vec<UsageChange> =
-        changes.iter().map(|c| c.change.clone()).collect();
+    let usage_changes: Vec<UsageChange> = changes.iter().map(|c| c.change.clone()).collect();
     let (dendrogram, _) = cluster_usage_changes_matrix(&usage_changes);
     let members = dendrogram.cut(threshold);
     build_elicitation(dendrogram, members, &usage_changes)
@@ -44,8 +43,7 @@ pub fn elicit(changes: &[MinedUsageChange], threshold: f64) -> Elicitation {
 /// The silhouette search reuses the distance matrix the dendrogram was
 /// built from, so no pairwise distance is ever evaluated twice.
 pub fn elicit_auto(changes: &[MinedUsageChange]) -> Elicitation {
-    let usage_changes: Vec<UsageChange> =
-        changes.iter().map(|c| c.change.clone()).collect();
+    let usage_changes: Vec<UsageChange> = changes.iter().map(|c| c.change.clone()).collect();
     let (dendrogram, matrix) = cluster_usage_changes_matrix(&usage_changes);
     let (_, members, _) = dendrogram.best_cut(&matrix, usage_changes.len());
     build_elicitation(dendrogram, members, &usage_changes)
@@ -59,12 +57,11 @@ pub fn elicit_auto_with_metrics(
     changes: &[MinedUsageChange],
     registry: &mut MetricsRegistry,
 ) -> Elicitation {
-    let usage_changes: Vec<UsageChange> =
-        changes.iter().map(|c| c.change.clone()).collect();
-    let (dendrogram, matrix) =
-        cluster_usage_changes_matrix_metered(&usage_changes, registry);
-    let members = registry
-        .time("elicit.cut", || dendrogram.best_cut(&matrix, usage_changes.len()).1);
+    let usage_changes: Vec<UsageChange> = changes.iter().map(|c| c.change.clone()).collect();
+    let (dendrogram, matrix) = cluster_usage_changes_matrix_metered(&usage_changes, registry);
+    let members = registry.time("elicit.cut", || {
+        dendrogram.best_cut(&matrix, usage_changes.len()).1
+    });
     let elicitation = build_elicitation(dendrogram, members, &usage_changes);
     registry.inc("elicit.clusters", elicitation.clusters.len() as u64);
     elicitation
@@ -80,11 +77,18 @@ fn build_elicitation(
         .map(|members| {
             let representative = usage_changes[members[0]].clone();
             let suggested = SuggestedRule::from_change(&representative);
-            ClusterReport { members, representative, suggested }
+            ClusterReport {
+                members,
+                representative,
+                suggested,
+            }
         })
         .collect();
     clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
-    Elicitation { dendrogram, clusters }
+    Elicitation {
+        dendrogram,
+        clusters,
+    }
 }
 
 /// Renders the dendrogram with one-line change summaries as leaf
@@ -142,8 +146,7 @@ mod tests {
         // search now runs over the shared distance matrix, and this
         // grouping is the one the closure-based search produced before
         // that change.
-        let members: Vec<Vec<usize>> =
-            auto.clusters.iter().map(|c| c.members.clone()).collect();
+        let members: Vec<Vec<usize>> = auto.clusters.iter().map(|c| c.members.clone()).collect();
         assert_eq!(members, vec![vec![0, 1, 2], vec![3]]);
     }
 
@@ -164,9 +167,21 @@ mod tests {
             .iter()
             .find(|c| c.members.contains(&0))
             .unwrap();
-        assert!(ecb_cluster.members.contains(&1), "{:?}", elicitation.clusters);
-        assert!(ecb_cluster.members.contains(&2), "{:?}", elicitation.clusters);
-        assert!(!ecb_cluster.members.contains(&3), "{:?}", elicitation.clusters);
+        assert!(
+            ecb_cluster.members.contains(&1),
+            "{:?}",
+            elicitation.clusters
+        );
+        assert!(
+            ecb_cluster.members.contains(&2),
+            "{:?}",
+            elicitation.clusters
+        );
+        assert!(
+            !ecb_cluster.members.contains(&3),
+            "{:?}",
+            elicitation.clusters
+        );
 
         // The suggested rule for the representative mentions the ECB
         // feature on the must-have side.

@@ -10,8 +10,8 @@ use crate::report::Table;
 use analysis::TARGET_CLASSES;
 use corpus::Corpus;
 use rules::{
-    all_rules, classify_dag_pair, cryptolint_rules, ChangeClass, CheckedProject,
-    CryptoChecker, ProjectContext, RuleStats,
+    all_rules, classify_dag_pair, cryptolint_rules, ChangeClass, CheckedProject, CryptoChecker,
+    ProjectContext, RuleStats,
 };
 use std::collections::BTreeMap;
 
@@ -34,13 +34,14 @@ impl Experiments {
             .unwrap_or(1);
         let mut metrics = obs::MetricsRegistry::new();
         corpus::corpus_stats(&corpus).record(&mut metrics);
-        let mining = crate::pipeline::mine_parallel_with_metrics(
-            &corpus,
-            &[],
-            threads,
-            &mut metrics,
-        );
-        Experiments { corpus, mining, pipeline: DiffCode::new(), metrics }
+        let mining =
+            crate::pipeline::mine_parallel_with_metrics(&corpus, &[], threads, &mut metrics);
+        Experiments {
+            corpus,
+            mining,
+            pipeline: DiffCode::new(),
+            metrics,
+        }
     }
 
     /// The observability registry from mining (merged across worker
@@ -79,7 +80,10 @@ impl Experiments {
                     .cloned()
                     .collect();
                 let (_, stats) = apply_filters(class_changes);
-                Figure6Row { class: (*class).to_owned(), stats }
+                Figure6Row {
+                    class: (*class).to_owned(),
+                    stats,
+                }
             })
             .collect()
     }
@@ -125,8 +129,7 @@ impl Experiments {
         let staged = stage_changes(&self.mining.changes);
         // Group usage changes by (code change, class) to evaluate the
         // program-level trigger state.
-        let mut groups: BTreeMap<(String, String, String, String), Vec<usize>> =
-            BTreeMap::new();
+        let mut groups: BTreeMap<(String, String, String, String), Vec<usize>> = BTreeMap::new();
         for (idx, change) in self.mining.changes.iter().enumerate() {
             groups
                 .entry((
@@ -150,12 +153,12 @@ impl Experiments {
                     if self.mining.changes[members[0]].class != rule.subject_class() {
                         continue;
                     }
-                    let old_triggers = members.iter().any(|&i| {
-                        rules::clause_triggers(clause, &self.mining.changes[i].old_dag)
-                    });
-                    let new_triggers = members.iter().any(|&i| {
-                        rules::clause_triggers(clause, &self.mining.changes[i].new_dag)
-                    });
+                    let old_triggers = members
+                        .iter()
+                        .any(|&i| rules::clause_triggers(clause, &self.mining.changes[i].old_dag));
+                    let new_triggers = members
+                        .iter()
+                        .any(|&i| rules::clause_triggers(clause, &self.mining.changes[i].new_dag));
                     let program = match (old_triggers, new_triggers) {
                         (true, false) => ChangeClass::Fix,
                         (false, true) => ChangeClass::Bug,
@@ -175,8 +178,7 @@ impl Experiments {
                     if change.class != rule.subject_class() {
                         continue;
                     }
-                    let object =
-                        classify_dag_pair(&rule, &change.old_dag, &change.new_dag);
+                    let object = classify_dag_pair(&rule, &change.old_dag, &change.new_dag);
                     let class = if object == program_class[idx] {
                         object
                     } else {
@@ -206,12 +208,17 @@ impl Experiments {
     /// Renders Figure 7 as a text table.
     pub fn figure7_table(&self) -> String {
         let mut table = Table::new([
-            "Rule", "Type", "Total", "fsame", "fadd", "frem", "fdup", "Remaining",
+            "Rule",
+            "Type",
+            "Total",
+            "fsame",
+            "fadd",
+            "frem",
+            "fdup",
+            "Remaining",
         ]);
         for row in self.figure7() {
-            for (label, cell) in
-                [("fix", row.fix), ("bug", row.bug), ("none", row.none)]
-            {
+            for (label, cell) in [("fix", row.fix), ("bug", row.bug), ("none", row.none)] {
                 table.row([
                     row.rule_id.clone(),
                     label.to_owned(),
@@ -244,7 +251,11 @@ impl Experiments {
         let (filtered, _) = apply_filters(class_changes);
         let elicitation = elicit(&filtered, threshold);
         let rendering = render_dendrogram(&filtered, &elicitation.dendrogram);
-        Figure8Output { filtered, elicitation, rendering }
+        Figure8Output {
+            filtered,
+            elicitation,
+            rendering,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -279,7 +290,11 @@ impl Experiments {
         let checker = CryptoChecker::standard();
         let rows = checker.check_all(&projects);
         let any_violation = checker.projects_with_any_violation(&projects);
-        Figure10Output { rows, total_projects: projects.len(), any_violation }
+        Figure10Output {
+            rows,
+            total_projects: projects.len(),
+            any_violation,
+        }
     }
 }
 
@@ -353,7 +368,11 @@ impl Figure10Output {
         for row in &self.rows {
             table.row([
                 row.rule_id.clone(),
-                format!("{} ({:.1}%)", row.applicable, row.applicable_pct(self.total_projects)),
+                format!(
+                    "{} ({:.1}%)",
+                    row.applicable,
+                    row.applicable_pct(self.total_projects)
+                ),
                 format!("{} ({:.1}%)", row.matching, row.matching_pct()),
             ]);
         }

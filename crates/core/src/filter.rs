@@ -3,8 +3,8 @@
 
 use crate::pipeline::MinedUsageChange;
 use obs::MetricsRegistry;
-use std::collections::BTreeSet;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 /// Which filter stage removed a usage change (or none).
@@ -85,9 +85,7 @@ fn dup_key(change: &MinedUsageChange) -> DupKey {
 /// within this call only. For batched mining where `fdup` must be
 /// consistent *across* batches (the paper dedups corpus-wide), use
 /// [`stage_changes_with_seen`] with one shared `seen` set.
-pub fn stage_changes(
-    changes: &[MinedUsageChange],
-) -> Vec<(FilterStage, &MinedUsageChange)> {
+pub fn stage_changes(changes: &[MinedUsageChange]) -> Vec<(FilterStage, &MinedUsageChange)> {
     stage_changes_with_seen(changes, &mut BTreeSet::new())
 }
 
@@ -121,9 +119,7 @@ pub fn stage_changes_with_seen<'a>(
 
 /// Applies the filters, returning the surviving changes and the
 /// per-stage statistics.
-pub fn apply_filters(
-    changes: Vec<MinedUsageChange>,
-) -> (Vec<MinedUsageChange>, FilterStats) {
+pub fn apply_filters(changes: Vec<MinedUsageChange>) -> (Vec<MinedUsageChange>, FilterStats) {
     apply_filters_with_seen(changes, &mut BTreeSet::new())
 }
 
@@ -136,7 +132,10 @@ pub fn apply_filters_with_seen(
     seen: &mut BTreeSet<DupKey>,
 ) -> (Vec<MinedUsageChange>, FilterStats) {
     let staged = stage_changes_with_seen(&changes, seen);
-    let mut stats = FilterStats { total: changes.len(), ..FilterStats::default() };
+    let mut stats = FilterStats {
+        total: changes.len(),
+        ..FilterStats::default()
+    };
     let mut keep_indices = Vec::new();
     for (idx, (stage, _)) in staged.iter().enumerate() {
         match stage {
@@ -170,7 +169,11 @@ pub fn apply_filters_with_seen(
         .filter_map(|(c, keep)| keep.then_some(c))
         .collect();
     debug_assert!(stats.is_monotone(), "filter funnel not monotone: {stats:?}");
-    debug_assert_eq!(stats.after_fdup, kept.len(), "survivors must equal after_fdup");
+    debug_assert_eq!(
+        stats.after_fdup,
+        kept.len(),
+        "survivors must equal after_fdup"
+    );
     (kept, stats)
 }
 
@@ -183,19 +186,17 @@ pub fn apply_filters_with_metrics(
 ) -> (Vec<MinedUsageChange>, FilterStats) {
     let (kept, stats) = registry.time("filter.apply", || apply_filters(changes));
     stats.record(registry);
-    debug_assert!(
-        obs::check_funnel(
-            registry,
-            &[
-                "filter.total",
-                "filter.after_fsame",
-                "filter.after_fadd",
-                "filter.after_frem",
-                "filter.after_fdup",
-            ],
-        )
-        .is_ok()
-    );
+    debug_assert!(obs::check_funnel(
+        registry,
+        &[
+            "filter.total",
+            "filter.after_fsame",
+            "filter.after_fadd",
+            "filter.after_frem",
+            "filter.after_fdup",
+        ],
+    )
+    .is_ok());
     (kept, stats)
 }
 
@@ -228,12 +229,12 @@ mod tests {
     #[test]
     fn filters_apply_in_order() {
         let changes = vec![
-            mk("Cipher", &[], &[]),               // fsame
-            mk("Cipher", &[], &["x"]),            // fadd
-            mk("Cipher", &["y"], &[]),            // frem
-            mk("Cipher", &["a"], &["b"]),         // remaining
-            mk("Cipher", &["a"], &["b"]),         // fdup
-            mk("Cipher", &["a"], &["c"]),         // remaining
+            mk("Cipher", &[], &[]),       // fsame
+            mk("Cipher", &[], &["x"]),    // fadd
+            mk("Cipher", &["y"], &[]),    // frem
+            mk("Cipher", &["a"], &["b"]), // remaining
+            mk("Cipher", &["a"], &["b"]), // fdup
+            mk("Cipher", &["a"], &["c"]), // remaining
         ];
         let (kept, stats) = apply_filters(changes);
         assert_eq!(stats.total, 6);
@@ -251,7 +252,11 @@ mod tests {
             mk("MessageDigest", &["a"], &["b"]),
         ];
         let (kept, _) = apply_filters(changes);
-        assert_eq!(kept.len(), 2, "same features on different classes are distinct");
+        assert_eq!(
+            kept.len(),
+            2,
+            "same features on different classes are distinct"
+        );
     }
 
     #[test]
@@ -263,9 +268,7 @@ mod tests {
 
     /// The pre-fingerprint dedup key: clones class + both feature sets.
     /// Retained here as the specification the hash key must agree with.
-    fn reference_key(
-        change: &MinedUsageChange,
-    ) -> (String, Vec<FeaturePath>, Vec<FeaturePath>) {
+    fn reference_key(change: &MinedUsageChange) -> (String, Vec<FeaturePath>, Vec<FeaturePath>) {
         (
             change.class.clone(),
             change.change.removed.clone(),
@@ -279,22 +282,19 @@ mod tests {
         // class-only differences, removed/added swaps, prefix overlap.
         let changes = vec![
             mk("Cipher", &["a"], &["b"]),
-            mk("Cipher", &["a"], &["b"]),          // dup of 0
-            mk("MessageDigest", &["a"], &["b"]),   // other class
-            mk("Cipher", &["b"], &["a"]),          // swapped sides
+            mk("Cipher", &["a"], &["b"]),        // dup of 0
+            mk("MessageDigest", &["a"], &["b"]), // other class
+            mk("Cipher", &["b"], &["a"]),        // swapped sides
             mk("Cipher", &["a", "b"], &["c"]),
             mk("Cipher", &["a"], &["b", "c"]),
-            mk("Cipher", &["a", "b"], &["c"]),     // dup of 4
-            mk("Cipher", &[], &["b"]),             // fadd, never keyed
+            mk("Cipher", &["a", "b"], &["c"]), // dup of 4
+            mk("Cipher", &[], &["b"]),         // fadd, never keyed
             mk("Cipher", &["x"], &["b"]),
         ];
         let mut by_reference = BTreeSet::new();
         let mut by_hash = BTreeSet::new();
         for c in &changes {
-            if c.change.is_same()
-                || c.change.is_pure_addition()
-                || c.change.is_pure_removal()
-            {
+            if c.change.is_same() || c.change.is_pure_addition() || c.change.is_pure_removal() {
                 continue;
             }
             assert_eq!(
@@ -329,8 +329,7 @@ mod tests {
             mk("Cipher", &["e"], &["f"]),
             mk("Cipher", &["c"], &["d"]), // dup of batch 1's second
         ];
-        let one_shot: Vec<FilterStage> =
-            stage_changes(&all).iter().map(|(s, _)| *s).collect();
+        let one_shot: Vec<FilterStage> = stage_changes(&all).iter().map(|(s, _)| *s).collect();
 
         let mut seen = BTreeSet::new();
         let mut batched = Vec::new();
@@ -347,8 +346,7 @@ mod tests {
         // the cross-batch duplicates would survive.
         let mut per_batch = Vec::new();
         for batch in all.chunks(2) {
-            per_batch
-                .extend(stage_changes(batch).iter().map(|(s, _)| *s));
+            per_batch.extend(stage_changes(batch).iter().map(|(s, _)| *s));
         }
         assert_ne!(per_batch, one_shot, "test must exercise cross-batch dups");
     }
@@ -395,8 +393,13 @@ mod tests {
         assert!(reg.span("filter.apply").is_some());
         obs::check_funnel(
             &reg,
-            &["filter.total", "filter.after_fsame", "filter.after_fadd",
-              "filter.after_frem", "filter.after_fdup"],
+            &[
+                "filter.total",
+                "filter.after_fsame",
+                "filter.after_fadd",
+                "filter.after_frem",
+                "filter.after_fdup",
+            ],
         )
         .unwrap();
     }

@@ -49,12 +49,11 @@ pub mod pipeline;
 pub mod quarantine;
 pub mod report;
 
+pub use elicit::elicit_auto_with_metrics;
 pub use elicit::{elicit, elicit_auto, render_dendrogram, ClusterReport, Elicitation};
 pub use experiments::{
-    figure9_table, Experiments, Figure10Output, Figure6Row, Figure7Cell, Figure7Row,
-    Figure8Output,
+    figure9_table, Experiments, Figure10Output, Figure6Row, Figure7Cell, Figure7Row, Figure8Output,
 };
-pub use elicit::elicit_auto_with_metrics;
 pub use filter::{
     apply_filters, apply_filters_with_metrics, apply_filters_with_seen, stage_changes,
     stage_changes_with_seen, DupKey, FilterStage, FilterStats,
@@ -63,7 +62,5 @@ pub use pipeline::{
     mine_parallel, mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange,
     MiningResult, MiningStats,
 };
-pub use quarantine::{
-    ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
-};
+pub use quarantine::{ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters};
 pub use report::{display_width, Table};

@@ -9,8 +9,7 @@
 //! [`QuarantineReport`] carrying provenance.
 
 use crate::quarantine::{
-    excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport,
-    SkipCounters,
+    excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
 };
 use analysis::{analyze, try_analyze_counted, ApiModel, Usages, TARGET_CLASSES};
 use corpus::Corpus;
@@ -21,8 +20,8 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use usagegraph::{
-    dags_for_class, diff_dags, pair_dags, try_dags_for_class, DagLimits,
-    UsageChange, UsageDag, DEFAULT_MAX_DEPTH,
+    dags_for_class, diff_dags, pair_dags, try_dags_for_class, DagLimits, UsageChange, UsageDag,
+    DEFAULT_MAX_DEPTH,
 };
 
 /// Provenance of a mined usage change.
@@ -116,12 +115,18 @@ impl DiffCode {
 
     /// Overrides the DAG construction depth.
     pub fn with_depth(max_depth: usize) -> Self {
-        DiffCode { max_depth, ..DiffCode::new() }
+        DiffCode {
+            max_depth,
+            ..DiffCode::new()
+        }
     }
 
     /// Overrides the per-stage resource budgets.
     pub fn with_limits(limits: PipelineLimits) -> Self {
-        DiffCode { limits, ..DiffCode::new() }
+        DiffCode {
+            limits,
+            ..DiffCode::new()
+        }
     }
 
     /// The budgets this pipeline applies while mining.
@@ -186,10 +191,7 @@ impl DiffCode {
     ///
     /// Typed [`PipelineError`]s for lexer/parser failures and
     /// analysis-budget overruns.
-    pub fn try_analyze_source(
-        &mut self,
-        source: &str,
-    ) -> Result<Rc<Usages>, PipelineError> {
+    pub fn try_analyze_source(&mut self, source: &str) -> Result<Rc<Usages>, PipelineError> {
         if let Some(marker) = chaos_panic_marker() {
             if source.contains(&marker) {
                 panic!("chaos fault injection: panic marker present in source");
@@ -203,8 +205,7 @@ impl DiffCode {
         }
         self.metrics.inc("analyze.cache_miss", 1);
         let unit = javalang::parse_snippet_with_limits(source, self.limits.parse)?;
-        let (usages, steps) =
-            try_analyze_counted(&unit, &self.api, &self.limits.analysis)?;
+        let (usages, steps) = try_analyze_counted(&unit, &self.api, &self.limits.analysis)?;
         self.metrics.inc("analysis.steps", steps);
         let usages = Rc::new(usages);
         self.cache.insert(key, Rc::clone(&usages));
@@ -262,7 +263,10 @@ impl DiffCode {
         new: &Usages,
         class: &str,
     ) -> Result<Vec<(UsageDag, UsageDag, UsageChange)>, PipelineError> {
-        let limits = DagLimits { max_depth: self.max_depth, ..self.limits.dag };
+        let limits = DagLimits {
+            max_depth: self.max_depth,
+            ..self.limits.dag
+        };
         let old_dags = try_dags_for_class(old, class, &limits)?;
         let new_dags = try_dags_for_class(new, class, &limits)?;
         if old_dags.is_empty() && new_dags.is_empty() {
@@ -284,8 +288,11 @@ impl DiffCode {
     /// is skipped, counted under its [`ErrorKind`], and quarantined
     /// with provenance, while the remaining changes proceed.
     pub fn mine(&mut self, corpus: &Corpus, classes: &[&str]) -> MiningResult {
-        let classes: Vec<&str> =
-            if classes.is_empty() { TARGET_CLASSES.to_vec() } else { classes.to_vec() };
+        let classes: Vec<&str> = if classes.is_empty() {
+            TARGET_CLASSES.to_vec()
+        } else {
+            classes.to_vec()
+        };
         if let Some(project) = chaos_shard_panic_project() {
             if corpus.projects.iter().any(|p| p.name == project) {
                 panic!("chaos fault injection: shard-panic project `{project}` present");
@@ -329,24 +336,25 @@ impl DiffCode {
                     });
                 }
             }
-            self.metrics.record_span("mine.change", change_clock.elapsed());
+            self.metrics
+                .record_span("mine.change", change_clock.elapsed());
         }
         self.metrics.record_span("mine.run", run_clock.elapsed());
-        self.metrics.inc("mine.code_changes", result.stats.code_changes as u64);
+        self.metrics
+            .inc("mine.code_changes", result.stats.code_changes as u64);
         self.metrics.inc("mine.mined", result.stats.mined as u64);
-        self.metrics.inc("mine.usage_changes", result.changes.len() as u64);
+        self.metrics
+            .inc("mine.usage_changes", result.changes.len() as u64);
         result.stats.skipped.record(&mut self.metrics);
         debug_assert!(result.stats.is_balanced());
         // Stage boundary: the cumulative counters must partition the
         // same way the per-run stats do.
-        debug_assert!(
-            obs::check_partition(
-                &self.metrics,
-                "mine.code_changes",
-                &["mine.mined", "mine.skipped"],
-            )
-            .is_ok()
-        );
+        debug_assert!(obs::check_partition(
+            &self.metrics,
+            "mine.code_changes",
+            &["mine.mined", "mine.skipped"],
+        )
+        .is_ok());
         result
     }
 
@@ -415,7 +423,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// assert that per-change isolation contains it; with the variable
 /// unset (production) the check is a single `env::var` miss.
 fn chaos_panic_marker() -> Option<String> {
-    std::env::var("DIFFCODE_CHAOS_PANIC_MARKER").ok().filter(|m| !m.is_empty())
+    std::env::var("DIFFCODE_CHAOS_PANIC_MARKER")
+        .ok()
+        .filter(|m| !m.is_empty())
 }
 
 /// Companion hook for shard-level faults: when
@@ -423,7 +433,9 @@ fn chaos_panic_marker() -> Option<String> {
 /// [`DiffCode::mine`] panics *before* entering the per-change isolation
 /// loop — exercising [`mine_parallel`]'s thread-join degradation path.
 fn chaos_shard_panic_project() -> Option<String> {
-    std::env::var("DIFFCODE_CHAOS_SHARD_PANIC_PROJECT").ok().filter(|m| !m.is_empty())
+    std::env::var("DIFFCODE_CHAOS_SHARD_PANIC_PROJECT")
+        .ok()
+        .filter(|m| !m.is_empty())
 }
 
 /// Mines `corpus` using one [`DiffCode`] per worker thread, sharding by
@@ -435,11 +447,7 @@ fn chaos_shard_panic_project() -> Option<String> {
 /// real corpora are heavily skewed (a handful of projects contribute
 /// most commits), so equal-project chunks leave most threads idle
 /// behind the one that drew the giant project.
-pub fn mine_parallel(
-    corpus: &Corpus,
-    classes: &[&str],
-    n_threads: usize,
-) -> MiningResult {
+pub fn mine_parallel(corpus: &Corpus, classes: &[&str], n_threads: usize) -> MiningResult {
     mine_parallel_with_metrics(corpus, classes, n_threads, &mut MetricsRegistry::new())
 }
 
@@ -491,8 +499,7 @@ pub fn mine_parallel_with_metrics(
                     let result = shard_failure_result(shard, &panic_message(payload));
                     let mut shard_metrics = MetricsRegistry::new();
                     shard_metrics.inc("mine.shard_failures", 1);
-                    shard_metrics
-                        .inc("mine.code_changes", result.stats.code_changes as u64);
+                    shard_metrics.inc("mine.code_changes", result.stats.code_changes as u64);
                     shard_metrics.inc("mine.mined", 0);
                     result.stats.skipped.record(&mut shard_metrics);
                     (result, shard_metrics)
@@ -511,10 +518,12 @@ pub fn mine_parallel_with_metrics(
         registry.merge(&shard_metrics);
     }
     debug_assert!(merged.stats.is_balanced());
-    debug_assert!(
-        obs::check_partition(registry, "mine.code_changes", &["mine.mined", "mine.skipped"])
-            .is_ok()
-    );
+    debug_assert!(obs::check_partition(
+        registry,
+        "mine.code_changes",
+        &["mine.mined", "mine.skipped"]
+    )
+    .is_ok());
     merged
 }
 
@@ -585,7 +594,9 @@ fn shard_by_code_changes(corpus: &Corpus, n_shards: usize) -> Vec<Corpus> {
             end += 1;
         }
         consumed += acc;
-        shards.push(Corpus { projects: corpus.projects[start..end].to_vec() });
+        shards.push(Corpus {
+            projects: corpus.projects[start..end].to_vec(),
+        });
         start = end;
     }
     // The last pass always takes the remainder (ideal == total − consumed).
@@ -680,8 +691,7 @@ mod tests {
                 .collect(),
         };
         let shards = super::shard_by_code_changes(&corpus, 4);
-        let loads: Vec<usize> =
-            shards.iter().map(|s| s.code_changes().count()).collect();
+        let loads: Vec<usize> = shards.iter().map(|s| s.code_changes().count()).collect();
         // The giant project is alone in its shard and the tiny ones
         // spread over the remaining shards instead of queueing behind it.
         assert_eq!(loads[0], 12, "{loads:?}");
@@ -760,7 +770,11 @@ mod tests {
         assert_eq!(report.meta.project, "u/p");
         assert_eq!(report.meta.commit, "c1");
         assert_eq!(report.meta.path, "F1.java");
-        assert!(report.error.contains("unterminated string"), "{}", report.error);
+        assert!(
+            report.error.contains("unterminated string"),
+            "{}",
+            report.error
+        );
         assert!(report.excerpt.contains("class B"), "{}", report.excerpt);
     }
 
@@ -784,7 +798,10 @@ mod tests {
         assert_eq!(result.stats.parse_failures, 0);
         assert!(result.stats.is_balanced());
         assert_eq!(result.quarantine.len(), 1);
-        assert_eq!(result.quarantine[0].kind, crate::quarantine::ErrorKind::Panic);
+        assert_eq!(
+            result.quarantine[0].kind,
+            crate::quarantine::ErrorKind::Panic
+        );
         assert_eq!(result.quarantine[0].meta.commit, "c1");
         assert!(
             result.quarantine[0].error.contains("chaos fault injection"),
@@ -795,17 +812,11 @@ mod tests {
 
     #[test]
     fn shard_panic_folds_partial_results() {
-        std::env::set_var(
-            "DIFFCODE_CHAOS_SHARD_PANIC_PROJECT",
-            "__chaos_shard__",
+        std::env::set_var("DIFFCODE_CHAOS_SHARD_PANIC_PROJECT", "__chaos_shard__");
+        let mut corpus = corpus_of_pairs("ok-project", &[("class A {}", "class A { int x; }")]);
+        corpus.projects.extend(
+            corpus_of_pairs("__chaos_shard__", &[("class B {}", "class B { int y; }")]).projects,
         );
-        let mut corpus = corpus_of_pairs(
-            "ok-project",
-            &[("class A {}", "class A { int x; }")],
-        );
-        corpus
-            .projects
-            .extend(corpus_of_pairs("__chaos_shard__", &[("class B {}", "class B { int y; }")]).projects);
         let result = super::mine_parallel(&corpus, &[], 2);
         assert_eq!(result.stats.code_changes, 2);
         assert_eq!(result.stats.mined, 1, "healthy shard survives");
@@ -831,11 +842,17 @@ mod tests {
         };
         let corpus = corpus_of_pairs(
             "p",
-            &[("class A { void m() { int x = 1; } }", "class A { void m() { int x = 2; } }")],
+            &[(
+                "class A { void m() { int x = 1; } }",
+                "class A { void m() { int x = 2; } }",
+            )],
         );
         let result = DiffCode::with_limits(limits).mine(&corpus, &[]);
         assert_eq!(result.stats.skipped.analysis_budget, 1);
-        assert_eq!(result.stats.parse_failures, 0, "budget skip is not a parse failure");
+        assert_eq!(
+            result.stats.parse_failures, 0,
+            "budget skip is not a parse failure"
+        );
         assert!(result.stats.is_balanced());
     }
 

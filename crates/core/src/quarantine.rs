@@ -182,7 +182,10 @@ impl SkipCounters {
     pub fn record(&self, registry: &mut obs::MetricsRegistry) {
         registry.inc("mine.skipped", self.total() as u64);
         for kind in ErrorKind::ALL {
-            registry.inc(&format!("mine.skipped.{}", kind.name()), self.get(kind) as u64);
+            registry.inc(
+                &format!("mine.skipped.{}", kind.name()),
+                self.get(kind) as u64,
+            );
         }
     }
 }
@@ -271,20 +274,14 @@ mod tests {
         );
         assert_eq!(PipelineError::Frontend(parse).kind(), ErrorKind::Parse);
         assert_eq!(
-            PipelineError::Analysis(AnalysisError::StepBudgetExceeded {
-                max_steps: 1
-            })
-            .kind(),
+            PipelineError::Analysis(AnalysisError::StepBudgetExceeded { max_steps: 1 }).kind(),
             ErrorKind::AnalysisBudget
         );
         assert_eq!(
             PipelineError::Dag(DagError::PathBudgetExceeded { max_paths: 1 }).kind(),
             ErrorKind::DagBudget
         );
-        assert_eq!(
-            PipelineError::Panic("boom".into()).kind(),
-            ErrorKind::Panic
-        );
+        assert_eq!(PipelineError::Panic("boom".into()).kind(), ErrorKind::Panic);
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -244,7 +247,11 @@ mod tests {
         assert_eq!(display_width("abc"), 3);
         assert_eq!(display_width("暗号"), 4, "CJK ideographs are wide");
         assert_eq!(display_width("ｱﾊﾟｰﾄ"), 5, "halfwidth katakana stay narrow");
-        assert_eq!(display_width("e\u{0301}"), 1, "combining accent is zero-width");
+        assert_eq!(
+            display_width("e\u{0301}"),
+            1,
+            "combining accent is zero-width"
+        );
         assert_eq!(display_width("한글"), 4, "hangul syllables are wide");
         assert_eq!(display_width("Ｒ１"), 4, "fullwidth forms are wide");
     }

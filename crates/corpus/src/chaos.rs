@@ -77,9 +77,9 @@ impl FaultLog {
     /// `true` if the code change identified by (`project`, `commit`,
     /// `path`) was corrupted.
     pub fn touched(&self, project: &str, commit: &str, path: &str) -> bool {
-        self.faults.iter().any(|f| {
-            f.project == project && f.commit == commit && f.path == path
-        })
+        self.faults
+            .iter()
+            .any(|f| f.project == project && f.commit == commit && f.path == path)
     }
 }
 
@@ -168,13 +168,15 @@ impl Mutator {
         let cut = self.rng.random_range(0..source.len());
         // Snap to a char boundary so the result stays valid UTF-8 —
         // we model interrupted transfers of text, not encoding errors.
-        let cut = (0..=cut).rev().find(|i| source.is_char_boundary(*i)).unwrap_or(0);
+        let cut = (0..=cut)
+            .rev()
+            .find(|i| source.is_char_boundary(*i))
+            .unwrap_or(0);
         source[..cut].to_owned()
     }
 
     fn byte_flips(&mut self, source: &str) -> String {
-        const GARBAGE: &[char] =
-            &['\u{1}', '\u{7f}', '`', '\\', '"', '\'', '#', '$', '\u{b}'];
+        const GARBAGE: &[char] = &['\u{1}', '\u{7f}', '`', '\\', '"', '\'', '#', '$', '\u{b}'];
         let mut chars: Vec<char> = source.chars().collect();
         if chars.is_empty() {
             return "\u{1}\u{1}".to_owned();
@@ -216,7 +218,11 @@ impl Mutator {
         // Half the time a megabyte-plus token (trips the source-size
         // budget), half the time ~128 KiB (fits the source budget but
         // trips the per-token budget).
-        let len = if self.rng.random_bool(0.5) { 1 << 21 } else { 1 << 17 };
+        let len = if self.rng.random_bool(0.5) {
+            1 << 21
+        } else {
+            1 << 17
+        };
         let mut out = String::with_capacity(len + 64);
         out.push_str("class Chaos { int ");
         out.extend(std::iter::repeat_n('a', len));

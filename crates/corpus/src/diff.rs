@@ -58,11 +58,7 @@ fn myers_trace<'a>(a: &[&'a str], b: &[&'a str]) -> Vec<Vec<isize>> {
     trace
 }
 
-fn backtrack<'a>(
-    a: &[&'a str],
-    b: &[&'a str],
-    trace: &[Vec<isize>],
-) -> Vec<DiffLine<'a>> {
+fn backtrack<'a>(a: &[&'a str], b: &[&'a str], trace: &[Vec<isize>]) -> Vec<DiffLine<'a>> {
     let n = a.len() as isize;
     let m = b.len() as isize;
     let offset = n + m;
@@ -75,13 +71,12 @@ fn backtrack<'a>(
     while d > 0 {
         let v = &trace[d as usize];
         let k = x - y;
-        let prev_k = if k == -d
-            || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize])
-        {
-            k + 1
-        } else {
-            k - 1
-        };
+        let prev_k =
+            if k == -d || (k != d && v[(k - 1 + offset) as usize] < v[(k + 1 + offset) as usize]) {
+                k + 1
+            } else {
+                k - 1
+            };
         let prev_x = v[(prev_k + offset) as usize];
         let prev_y = prev_x - prev_k;
         while x > prev_x && y > prev_y {

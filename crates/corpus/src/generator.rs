@@ -44,12 +44,19 @@ impl GeneratorConfig {
 
     /// The paper's checking corpus (519 projects: training + 58 newer).
     pub fn checking() -> Self {
-        GeneratorConfig { n_projects: 519, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            n_projects: 519,
+            ..GeneratorConfig::default()
+        }
     }
 
     /// A small corpus for tests and quick demos.
     pub fn small(n_projects: usize, seed: u64) -> Self {
-        GeneratorConfig { n_projects, seed, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            n_projects,
+            seed,
+            ..GeneratorConfig::default()
+        }
     }
 }
 
@@ -151,7 +158,11 @@ fn sample_cipher(rng: &mut StdRng) -> CipherScenario {
     let iv = if algo.needs_iv() {
         *weighted(
             rng,
-            &[(IvKind::StaticIv, 0.08), (IvKind::RandomIv, 0.55), (IvKind::ParamIv, 0.37)],
+            &[
+                (IvKind::StaticIv, 0.08),
+                (IvKind::RandomIv, 0.55),
+                (IvKind::ParamIv, 0.37),
+            ],
         )
     } else {
         IvKind::NoIv
@@ -170,7 +181,11 @@ fn sample_cipher(rng: &mut StdRng) -> CipherScenario {
         algo,
         padding: *weighted(
             rng,
-            &[(Padding::Pkcs5, 0.70), (Padding::None, 0.20), (Padding::Pkcs7, 0.10)],
+            &[
+                (Padding::Pkcs5, 0.70),
+                (Padding::None, 0.20),
+                (Padding::Pkcs7, 0.10),
+            ],
         ),
         bc_provider: rng.random_bool(0.03),
         iv,
@@ -208,12 +223,20 @@ fn sample_random(rng: &mut StdRng) -> RandomScenario {
     RandomScenario {
         ctor: *weighted(
             rng,
-            &[(RngCtor::Default, 0.95), (RngCtor::Sha1Prng, 0.035), (RngCtor::Strong, 0.015)],
+            &[
+                (RngCtor::Default, 0.95),
+                (RngCtor::Sha1Prng, 0.035),
+                (RngCtor::Strong, 0.015),
+            ],
         ),
         sun_provider: rng.random_bool(0.25),
         seed: *weighted(
             rng,
-            &[(SeedKind::NoSeed, 0.93), (SeedKind::StaticSeed, 0.012), (SeedKind::ParamSeed, 0.058)],
+            &[
+                (SeedKind::NoSeed, 0.93),
+                (SeedKind::StaticSeed, 0.012),
+                (SeedKind::ParamSeed, 0.058),
+            ],
         ),
         extra_usages: *weighted(rng, &[(0u8, 0.6), (1, 0.3), (2, 0.1)]),
         style: sample_style(rng),
@@ -224,11 +247,22 @@ fn sample_pbe(rng: &mut StdRng) -> PbeScenario {
     PbeScenario {
         iterations: *weighted(
             rng,
-            &[(64i64, 0.06), (100, 0.13), (500, 0.09), (1000, 0.24), (10000, 0.33), (65536, 0.15)],
+            &[
+                (64i64, 0.06),
+                (100, 0.13),
+                (500, 0.09),
+                (1000, 0.24),
+                (10000, 0.33),
+                (65536, 0.15),
+            ],
         ),
         salt: *weighted(
             rng,
-            &[(SaltKind::StaticSalt, 0.12), (SaltKind::RandomSalt, 0.50), (SaltKind::ParamSalt, 0.38)],
+            &[
+                (SaltKind::StaticSalt, 0.12),
+                (SaltKind::RandomSalt, 0.50),
+                (SaltKind::ParamSalt, 0.38),
+            ],
         ),
         style: sample_style(rng),
     }
@@ -364,14 +398,21 @@ fn apply_fix(module: &mut Module, rng: &mut StdRng) -> String {
             if matches!(s.algo, CipherAlgo::AesDefault | CipherAlgo::AesEcb) {
                 fixes.push(("Switch AES from ECB to CBC with a fresh IV", |s, rng| {
                     s.algo = CipherAlgo::AesCbc;
-                    s.iv = if rng.random_bool(0.7) { IvKind::RandomIv } else { IvKind::ParamIv };
+                    s.iv = if rng.random_bool(0.7) {
+                        IvKind::RandomIv
+                    } else {
+                        IvKind::ParamIv
+                    };
                 }));
                 fixes.push(("Use authenticated AES/GCM instead of ECB", |s, _| {
                     s.algo = CipherAlgo::AesGcm;
                     s.iv = IvKind::RandomIv;
                 }));
             }
-            if matches!(s.algo, CipherAlgo::Des | CipherAlgo::DesEde | CipherAlgo::Blowfish) {
+            if matches!(
+                s.algo,
+                CipherAlgo::Des | CipherAlgo::DesEde | CipherAlgo::Blowfish
+            ) {
                 fixes.push(("Replace weak cipher with AES/CBC", |s, _| {
                     s.algo = CipherAlgo::AesCbc;
                     if s.iv == IvKind::NoIv {
@@ -395,9 +436,12 @@ fn apply_fix(module: &mut Module, rng: &mut StdRng) -> String {
                 }));
             }
             if s.rsa_wrap && !s.with_mac {
-                fixes.push(("Add HMAC integrity protection after key exchange", |s, _| {
-                    s.with_mac = true;
-                }));
+                fixes.push((
+                    "Add HMAC integrity protection after key exchange",
+                    |s, _| {
+                        s.with_mac = true;
+                    },
+                ));
             }
             if fixes.is_empty() {
                 return apply_change(module, ChangeKind::Refactor, rng);
@@ -408,9 +452,12 @@ fn apply_fix(module: &mut Module, rng: &mut StdRng) -> String {
             format!("Security: {message}")
         }
         Module::Digest(s) => {
-            let weak =
-                |a: &str| matches!(a, "SHA-1" | "SHA1" | "MD5" | "MD2");
-            let target = if rng.random_bool(0.7) { "SHA-256" } else { "SHA-512" };
+            let weak = |a: &str| matches!(a, "SHA-1" | "SHA1" | "MD5" | "MD2");
+            let target = if rng.random_bool(0.7) {
+                "SHA-256"
+            } else {
+                "SHA-512"
+            };
             if weak(&s.algo) {
                 s.algo = target.to_owned();
                 return format!("Security: migrate hash to {target}");
@@ -470,8 +517,10 @@ fn apply_fix(module: &mut Module, rng: &mut StdRng) -> String {
 fn apply_bug(module: &mut Module, rng: &mut StdRng) -> String {
     match module {
         Module::Cipher(s) => {
-            if matches!(s.algo, CipherAlgo::AesCbc | CipherAlgo::AesGcm | CipherAlgo::AesCtr)
-            {
+            if matches!(
+                s.algo,
+                CipherAlgo::AesCbc | CipherAlgo::AesGcm | CipherAlgo::AesCtr
+            ) {
                 s.algo = CipherAlgo::AesDefault;
                 s.iv = IvKind::NoIv;
                 return "Simplify cipher configuration".to_owned();
@@ -514,8 +563,8 @@ fn apply_bug(module: &mut Module, rng: &mut StdRng) -> String {
 // ---------------------------------------------------------------------
 
 const PROJECT_FLAVORS: [&str; 12] = [
-    "wallet", "chat", "sync", "vault", "backup", "mail", "notes", "gateway", "cache",
-    "ledger", "auth", "relay",
+    "wallet", "chat", "sync", "vault", "backup", "mail", "notes", "gateway", "cache", "ledger",
+    "auth", "relay",
 ];
 
 fn generate_project(idx: usize, config: &GeneratorConfig, rng: &mut StdRng) -> Project {
@@ -586,7 +635,11 @@ fn generate_project(idx: usize, config: &GeneratorConfig, rng: &mut StdRng) -> P
         let message = apply_change(&mut modules[module_idx], kind, rng);
         let new = modules[module_idx].render(&pkg_segment);
         let path = modules[module_idx].path(&pkg_segment);
-        let mut changes = vec![FileChange { path, old: Some(old), new: Some(new) }];
+        let mut changes = vec![FileChange {
+            path,
+            old: Some(old),
+            new: Some(new),
+        }];
         // Sweeping commits occasionally touch a second crypto file
         // (comment/bookkeeping only), like real repository-wide edits.
         if modules.len() > 1 && rng.random_bool(0.08) {
@@ -600,10 +653,19 @@ fn generate_project(idx: usize, config: &GeneratorConfig, rng: &mut StdRng) -> P
                 new: Some(new2),
             });
         }
-        commits.push(Commit { id: commit_id(idx, c), message, changes });
+        commits.push(Commit {
+            id: commit_id(idx, c),
+            message,
+            changes,
+        });
     }
 
-    Project { user, name, facts, commits }
+    Project {
+        user,
+        name,
+        facts,
+        commits,
+    }
 }
 
 fn commit_id(project: usize, commit: usize) -> String {
@@ -639,7 +701,11 @@ mod tests {
         assert_eq!(corpus.projects.len(), 10);
         for p in &corpus.projects {
             // initial + 18..=32 evolution commits
-            assert!(p.commits.len() >= 19 && p.commits.len() <= 33, "{}", p.commits.len());
+            assert!(
+                p.commits.len() >= 19 && p.commits.len() <= 33,
+                "{}",
+                p.commits.len()
+            );
             assert!(!p.commits[0].changes.is_empty());
         }
     }
@@ -665,8 +731,7 @@ mod tests {
     fn histories_chain_old_to_new() {
         let corpus = generate(&GeneratorConfig::small(4, 1));
         for project in &corpus.projects {
-            let mut current: std::collections::BTreeMap<String, String> =
-                Default::default();
+            let mut current: std::collections::BTreeMap<String, String> = Default::default();
             for commit in &project.commits {
                 for fc in &commit.changes {
                     if let Some(old) = &fc.old {

@@ -23,7 +23,11 @@ fn change(path: &str, old: Option<&str>, new: &str) -> FileChange {
 }
 
 fn commit(id: &str, message: &str, changes: Vec<FileChange>) -> Commit {
-    Commit { id: id.to_owned(), message: message.to_owned(), changes }
+    Commit {
+        id: id.to_owned(),
+        message: message.to_owned(),
+        changes,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -322,7 +326,11 @@ fn gateway() -> Project {
             commit(
                 "g000000002",
                 "Security: authenticate payloads with HMAC-SHA256",
-                vec![change("src/SecureChannel.java", Some(GATEWAY_V1), GATEWAY_V2)],
+                vec![change(
+                    "src/SecureChannel.java",
+                    Some(GATEWAY_V1),
+                    GATEWAY_V2,
+                )],
             ),
         ],
     }
@@ -331,7 +339,9 @@ fn gateway() -> Project {
 /// The golden corpus: three hand-written projects with known ground
 /// truth (see module docs).
 pub fn golden_corpus() -> Corpus {
-    Corpus { projects: vec![messenger(), vault(), gateway()] }
+    Corpus {
+        projects: vec![messenger(), vault(), gateway()],
+    }
 }
 
 #[cfg(test)]
@@ -344,8 +354,7 @@ mod tests {
         for project in &corpus.projects {
             for commit in &project.commits {
                 for fc in &commit.changes {
-                    for src in [fc.old.as_deref(), fc.new.as_deref()].into_iter().flatten()
-                    {
+                    for src in [fc.old.as_deref(), fc.new.as_deref()].into_iter().flatten() {
                         let unit = javalang::parse_compilation_unit(src).unwrap();
                         assert!(
                             unit.diagnostics.is_empty(),
@@ -364,8 +373,7 @@ mod tests {
     fn histories_chain() {
         let corpus = golden_corpus();
         for project in &corpus.projects {
-            let mut current: std::collections::BTreeMap<String, String> =
-                Default::default();
+            let mut current: std::collections::BTreeMap<String, String> = Default::default();
             for commit in &project.commits {
                 for fc in &commit.changes {
                     if let Some(old) = &fc.old {

@@ -90,8 +90,10 @@ impl Corpus {
     pub fn code_changes(&self) -> impl Iterator<Item = CodeChange<'_>> {
         self.projects.iter().flat_map(|project| {
             project.commits.iter().flat_map(move |commit| {
-                commit.changes.iter().filter_map(move |change| {
-                    match (&change.old, &change.new) {
+                commit
+                    .changes
+                    .iter()
+                    .filter_map(move |change| match (&change.old, &change.new) {
                         (Some(old), Some(new)) => Some(CodeChange {
                             project,
                             commit,
@@ -100,8 +102,7 @@ impl Corpus {
                             new,
                         }),
                         _ => None,
-                    }
-                })
+                    })
             })
         })
     }

@@ -93,9 +93,10 @@ pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
         for class in classes {
             let pattern_factory = format!("{class}.getInstance");
             let pattern_ctor = format!("new {class}(");
-            if head.values().any(|src| {
-                src.contains(&pattern_factory) || src.contains(&pattern_ctor)
-            }) {
+            if head
+                .values()
+                .any(|src| src.contains(&pattern_factory) || src.contains(&pattern_ctor))
+            {
                 *stats
                     .projects_using_class
                     .entry(class.to_owned())
@@ -162,8 +163,16 @@ mod tests {
     fn class_usage_counts_are_plausible() {
         let corpus = generate(&GeneratorConfig::small(120, 11));
         let stats = corpus_stats(&corpus);
-        let random = stats.projects_using_class.get("SecureRandom").copied().unwrap_or(0);
-        let pbe = stats.projects_using_class.get("PBEKeySpec").copied().unwrap_or(0);
+        let random = stats
+            .projects_using_class
+            .get("SecureRandom")
+            .copied()
+            .unwrap_or(0);
+        let pbe = stats
+            .projects_using_class
+            .get("PBEKeySpec")
+            .copied()
+            .unwrap_or(0);
         assert!(random > pbe, "SecureRandom is the most common class");
         assert!(random > 0 && random <= 120);
     }

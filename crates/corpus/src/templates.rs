@@ -69,7 +69,10 @@ impl CipherAlgo {
 
     /// Whether the mode requires an IV.
     pub fn needs_iv(self) -> bool {
-        !matches!(self, CipherAlgo::AesDefault | CipherAlgo::AesEcb | CipherAlgo::Rsa)
+        !matches!(
+            self,
+            CipherAlgo::AesDefault | CipherAlgo::AesEcb | CipherAlgo::Rsa
+        )
     }
 
     /// Whether the IV parameter is a `GCMParameterSpec`.
@@ -343,7 +346,10 @@ impl CipherScenario {
                 out,
                 "        Cipher legacy{i} = Cipher.getInstance({transform_expr});"
             );
-            let _ = writeln!(out, "        legacy{i}.init(Cipher.ENCRYPT_MODE, legacyKey{i});");
+            let _ = writeln!(
+                out,
+                "        legacy{i}.init(Cipher.ENCRYPT_MODE, legacyKey{i});"
+            );
             let _ = writeln!(out, "        return legacy{i}.doFinal(data);");
             out.push_str("    }\n");
         }
@@ -672,8 +678,17 @@ mod tests {
             CipherAlgo::Blowfish,
         ];
         for algo in algos {
-            for iv in [IvKind::NoIv, IvKind::StaticIv, IvKind::RandomIv, IvKind::ParamIv] {
-                for key in [KeyKind::HardcodedKey, KeyKind::ParamKey, KeyKind::GeneratedKey] {
+            for iv in [
+                IvKind::NoIv,
+                IvKind::StaticIv,
+                IvKind::RandomIv,
+                IvKind::ParamIv,
+            ] {
+                for key in [
+                    KeyKind::HardcodedKey,
+                    KeyKind::ParamKey,
+                    KeyKind::GeneratedKey,
+                ] {
                     let scenario = CipherScenario {
                         algo,
                         padding: Padding::Pkcs5,
@@ -739,10 +754,17 @@ mod tests {
 
     #[test]
     fn pbe_scenarios_parse() {
-        for salt in [SaltKind::StaticSalt, SaltKind::RandomSalt, SaltKind::ParamSalt] {
+        for salt in [
+            SaltKind::StaticSalt,
+            SaltKind::RandomSalt,
+            SaltKind::ParamSalt,
+        ] {
             for iterations in [100, 1000, 65536] {
-                let scenario =
-                    PbeScenario { iterations, salt, style: StyleKnobs::default() };
+                let scenario = PbeScenario {
+                    iterations,
+                    salt,
+                    style: StyleKnobs::default(),
+                };
                 assert_parses(&scenario.render("PasswordCrypto", "com.example"));
             }
         }
@@ -804,7 +826,10 @@ impl SignatureScenario {
             out,
             "    public byte[] sign(byte[] data, java.security.PrivateKey key) throws Exception {{"
         );
-        let _ = writeln!(out, "        Signature signer = Signature.getInstance({algo_expr});");
+        let _ = writeln!(
+            out,
+            "        Signature signer = Signature.getInstance({algo_expr});"
+        );
         out.push_str("        signer.initSign(key);\n");
         out.push_str("        signer.update(data);\n");
         out.push_str("        return signer.sign();\n");
@@ -813,7 +838,10 @@ impl SignatureScenario {
             out,
             "    public boolean verify(byte[] data, byte[] sig, java.security.PublicKey key) throws Exception {{"
         );
-        let _ = writeln!(out, "        Signature verifier = Signature.getInstance({algo_expr});");
+        let _ = writeln!(
+            out,
+            "        Signature verifier = Signature.getInstance({algo_expr});"
+        );
         out.push_str("        verifier.initVerify(key);\n");
         out.push_str("        verifier.update(data);\n");
         out.push_str("        return verifier.verify(sig);\n");
@@ -835,11 +863,19 @@ mod signature_tests {
 
     #[test]
     fn signature_scenarios_parse() {
-        for algo in ["SHA1withRSA", "MD5withRSA", "SHA256withRSA", "SHA256withECDSA"] {
+        for algo in [
+            "SHA1withRSA",
+            "MD5withRSA",
+            "SHA256withRSA",
+            "SHA256withECDSA",
+        ] {
             for extract_const in [false, true] {
                 let scenario = SignatureScenario {
                     algo: algo.to_owned(),
-                    style: StyleKnobs { extract_const, ..StyleKnobs::default() },
+                    style: StyleKnobs {
+                        extract_const,
+                        ..StyleKnobs::default()
+                    },
                 };
                 let src = scenario.render("Signer", "com.example");
                 let unit = javalang::parse_compilation_unit(&src).unwrap();

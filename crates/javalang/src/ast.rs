@@ -235,7 +235,10 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for a non-generic named type.
     pub fn named(name: impl Into<String>) -> Type {
-        Type::Named { name: name.into(), args: Vec::new() }
+        Type::Named {
+            name: name.into(),
+            args: Vec::new(),
+        }
     }
 
     /// The simple (last-segment, erased) name of this type, or `None`
@@ -252,9 +255,7 @@ impl Type {
     pub fn display_name(&self) -> String {
         match self {
             Type::Primitive(p) => p.as_str().to_owned(),
-            Type::Named { name, .. } => {
-                name.rsplit('.').next().unwrap_or(name).to_owned()
-            }
+            Type::Named { name, .. } => name.rsplit('.').next().unwrap_or(name).to_owned(),
             Type::Array(inner) => format!("{}[]", inner.display_name()),
             Type::Wildcard => "?".to_owned(),
             Type::Unknown => "<unknown>".to_owned(),

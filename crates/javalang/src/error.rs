@@ -142,7 +142,11 @@ impl ParseError {
 
     /// Creates a parse error of a specific kind at `span`.
     pub fn with_kind(kind: ParseErrorKind, message: impl Into<String>, span: Span) -> Self {
-        ParseError { kind, message: message.into(), span }
+        ParseError {
+            kind,
+            message: message.into(),
+            span,
+        }
     }
 
     /// The failure category.

@@ -28,7 +28,13 @@ impl<'s> Lexer<'s> {
 
     /// Creates a lexer over `source` with explicit resource budgets.
     pub fn with_limits(source: &'s str, limits: Limits) -> Self {
-        Lexer { src: source, bytes: source.as_bytes(), pos: 0, line: 1, limits }
+        Lexer {
+            src: source,
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            limits,
+        }
     }
 
     /// Lexes the entire input, appending a trailing [`Token::Eof`].
@@ -168,7 +174,10 @@ impl<'s> Lexer<'s> {
         } else {
             self.lex_punct()?
         };
-        Ok(SpannedToken { token, span: self.span_from(start, line) })
+        Ok(SpannedToken {
+            token,
+            span: self.span_from(start, line),
+        })
     }
 
     fn lex_word(&mut self) -> Token {
@@ -196,9 +205,7 @@ impl<'s> Lexer<'s> {
         let start = self.pos;
         let line = self.line;
 
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
             self.bump();
             self.bump();
             let digits_start = self.pos;
@@ -223,13 +230,14 @@ impl<'s> Lexer<'s> {
             })? as i64;
             return Ok(Token::IntLit(value, is_long));
         }
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'b') | Some(b'B'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'b') | Some(b'B')) {
             self.bump();
             self.bump();
             let digits_start = self.pos;
-            while self.peek().is_some_and(|b| b == b'0' || b == b'1' || b == b'_') {
+            while self
+                .peek()
+                .is_some_and(|b| b == b'0' || b == b'1' || b == b'_')
+            {
                 self.bump();
             }
             let text: String = self.src[digits_start..self.pos]
@@ -269,9 +277,9 @@ impl<'s> Lexer<'s> {
                 }
                 b'e' | b'E'
                     if !saw_exp
-                        && self.peek_at(1).is_some_and(|c| {
-                            c.is_ascii_digit() || c == b'+' || c == b'-'
-                        }) =>
+                        && self
+                            .peek_at(1)
+                            .is_some_and(|c| c.is_ascii_digit() || c == b'+' || c == b'-') =>
                 {
                     saw_exp = true;
                     self.bump();
@@ -731,7 +739,11 @@ mod tests {
     fn comments_are_trivia() {
         assert_eq!(
             toks("a // line\n /* block \n */ b"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -739,11 +751,7 @@ mod tests {
     fn shift_right_is_two_gt_tokens() {
         assert_eq!(
             toks(">>"),
-            vec![
-                Token::Punct(Punct::Gt),
-                Token::Punct(Punct::Gt),
-                Token::Eof
-            ]
+            vec![Token::Punct(Punct::Gt), Token::Punct(Punct::Gt), Token::Eof]
         );
     }
 

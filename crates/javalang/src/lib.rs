@@ -42,9 +42,7 @@ pub mod visit;
 pub use ast::CompilationUnit;
 pub use error::{ParseDiagnostic, ParseError, ParseErrorKind};
 pub use limits::Limits;
-pub use parser::{
-    parse_compilation_unit, parse_compilation_unit_with_limits, Parser,
-};
+pub use parser::{parse_compilation_unit, parse_compilation_unit_with_limits, Parser};
 pub use printer::pretty_print;
 
 /// Convenience: lex `source` into a token stream, discarding trivia.

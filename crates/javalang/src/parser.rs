@@ -67,7 +67,10 @@ impl Parser {
     pub fn with_limits(mut tokens: Vec<SpannedToken>, limits: Limits) -> Self {
         if !matches!(tokens.last(), Some(t) if t.token == Token::Eof) {
             let span = tokens.last().map(|t| t.span).unwrap_or_default();
-            tokens.push(SpannedToken { token: Token::Eof, span });
+            tokens.push(SpannedToken {
+                token: Token::Eof,
+                span,
+            });
         }
         Parser {
             tokens,
@@ -81,10 +84,7 @@ impl Parser {
     /// Runs `f` one nesting level deeper, failing fast past
     /// [`Limits::max_nesting`] so adversarial inputs cannot exhaust
     /// the stack.
-    fn nested<T>(
-        &mut self,
-        f: impl FnOnce(&mut Self) -> PResult<T>,
-    ) -> PResult<T> {
+    fn nested<T>(&mut self, f: impl FnOnce(&mut Self) -> PResult<T>) -> PResult<T> {
         if self.depth >= self.max_nesting {
             return Err(ParseError::with_kind(
                 ParseErrorKind::NestingTooDeep,
@@ -223,12 +223,10 @@ impl Parser {
                 return;
             }
             self.bump(); // @
-            // Dotted annotation name.
+                         // Dotted annotation name.
             if matches!(self.peek(), Token::Ident(_)) {
                 self.bump();
-                while self.check_punct(Punct::Dot)
-                    && matches!(self.peek_at(1), Token::Ident(_))
-                {
+                while self.check_punct(Punct::Dot) && matches!(self.peek_at(1), Token::Ident(_)) {
                     self.bump();
                     self.bump();
                 }
@@ -323,7 +321,11 @@ impl Parser {
                 }
             }
             let _ = self.expect_punct(Punct::Semi);
-            unit.imports.push(Import { is_static, path, on_demand });
+            unit.imports.push(Import {
+                is_static,
+                path,
+                on_demand,
+            });
         }
 
         while !self.at_eof() {
@@ -537,7 +539,10 @@ impl Parser {
         // Initializer block.
         if self.check_punct(Punct::LBrace) {
             let body = self.parse_block()?;
-            return Ok(Member::Initializer { is_static: modifiers.is_static, body });
+            return Ok(Member::Initializer {
+                is_static: modifiers.is_static,
+                body,
+            });
         }
 
         // Nested type.
@@ -577,7 +582,12 @@ impl Parser {
         let declarators = self.parse_declarators(name)?;
         self.expect_punct(Punct::Semi)?;
         let span = start.merge(self.span());
-        Ok(Member::Field(FieldDecl { modifiers, ty, declarators, span }))
+        Ok(Member::Field(FieldDecl {
+            modifiers,
+            ty,
+            declarators,
+            span,
+        }))
     }
 
     fn parse_method_rest(
@@ -610,7 +620,11 @@ impl Parser {
                     self.bump();
                     ty = Type::Array(Box::new(ty));
                 }
-                params.push(Param { ty, name: pname, varargs });
+                params.push(Param {
+                    ty,
+                    name: pname,
+                    varargs,
+                });
                 if !self.eat_punct(Punct::Comma) {
                     break;
                 }
@@ -619,8 +633,7 @@ impl Parser {
         self.expect_punct(Punct::RParen)?;
 
         // `int m()[]` — archaic; skip.
-        while self.check_punct(Punct::LBracket)
-            && *self.peek_at(1) == Token::Punct(Punct::RBracket)
+        while self.check_punct(Punct::LBracket) && *self.peek_at(1) == Token::Punct(Punct::RBracket)
         {
             self.bump();
             self.bump();
@@ -777,19 +790,14 @@ impl Parser {
                     Keyword::Float => PrimitiveType::Float,
                     Keyword::Double => PrimitiveType::Double,
                     Keyword::Void => PrimitiveType::Void,
-                    _ => {
-                        return Err(
-                            self.error(format!("expected type, found `{kw}`"))
-                        )
-                    }
+                    _ => return Err(self.error(format!("expected type, found `{kw}`"))),
                 };
                 self.bump();
                 Type::Primitive(prim)
             }
             Token::Punct(Punct::Question) => {
                 self.bump();
-                if self.eat_keyword(Keyword::Extends) || self.eat_keyword(Keyword::Super)
-                {
+                if self.eat_keyword(Keyword::Extends) || self.eat_keyword(Keyword::Super) {
                     let _ = self.parse_type()?;
                 }
                 Type::Wildcard
@@ -798,9 +806,7 @@ impl Parser {
                 self.bump();
                 let mut name = first;
                 let mut args = self.parse_type_args()?;
-                while self.check_punct(Punct::Dot)
-                    && matches!(self.peek_at(1), Token::Ident(_))
-                {
+                while self.check_punct(Punct::Dot) && matches!(self.peek_at(1), Token::Ident(_)) {
                     self.bump();
                     let Token::Ident(seg) = self.bump().clone() else {
                         // Checked by the loop condition; reported as a
@@ -984,12 +990,10 @@ impl Parser {
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Assert(value))
             }
-            Token::Keyword(
-                Keyword::Class | Keyword::Interface | Keyword::Enum,
-            ) => Ok(Stmt::LocalType(self.parse_type_decl()?)),
-            Token::Keyword(
-                Keyword::Final | Keyword::Static | Keyword::Abstract,
-            ) => {
+            Token::Keyword(Keyword::Class | Keyword::Interface | Keyword::Enum) => {
+                Ok(Stmt::LocalType(self.parse_type_decl()?))
+            }
+            Token::Keyword(Keyword::Final | Keyword::Static | Keyword::Abstract) => {
                 // Could be a local class or a final local variable.
                 let save = self.pos;
                 self.parse_modifiers();
@@ -1052,7 +1056,12 @@ impl Parser {
             Ok(inner) => {
                 let (ty, name, iterable) = inner?;
                 let body = Box::new(self.parse_stmt()?);
-                return Ok(Stmt::ForEach { ty, name, iterable, body });
+                return Ok(Stmt::ForEach {
+                    ty,
+                    name,
+                    iterable,
+                    body,
+                });
             }
             Err(_) => {
                 self.pos = save;
@@ -1086,7 +1095,12 @@ impl Parser {
         }
         self.expect_punct(Punct::RParen)?;
         let body = Box::new(self.parse_stmt()?);
-        Ok(Stmt::For { init, cond, update, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        })
     }
 
     /// Attempts `Type name :` and, on success, returns the pieces with
@@ -1157,7 +1171,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::Try { resources, block, catches, finally })
+        Ok(Stmt::Try {
+            resources,
+            block,
+            catches,
+            finally,
+        })
     }
 
     fn parse_switch(&mut self) -> PResult<Stmt> {
@@ -1194,7 +1213,10 @@ impl Parser {
                     continue;
                 }
                 self.expect_punct(Punct::Colon)?;
-                current = Some(SwitchCase { labels, body: Vec::new() });
+                current = Some(SwitchCase {
+                    labels,
+                    body: Vec::new(),
+                });
                 continue;
             }
             if self.check_keyword(Keyword::Default) {
@@ -1204,11 +1226,17 @@ impl Parser {
                 }
                 if self.eat_punct(Punct::Arrow) {
                     let body = vec![self.parse_stmt()?];
-                    cases.push(SwitchCase { labels: Vec::new(), body });
+                    cases.push(SwitchCase {
+                        labels: Vec::new(),
+                        body,
+                    });
                     continue;
                 }
                 self.expect_punct(Punct::Colon)?;
-                current = Some(SwitchCase { labels: Vec::new(), body: Vec::new() });
+                current = Some(SwitchCase {
+                    labels: Vec::new(),
+                    body: Vec::new(),
+                });
                 continue;
             }
             let stmt = self.parse_stmt()?;
@@ -1217,7 +1245,10 @@ impl Parser {
                 None => {
                     // Statement before any case label — malformed, keep it
                     // in an anonymous arm.
-                    current = Some(SwitchCase { labels: Vec::new(), body: vec![stmt] });
+                    current = Some(SwitchCase {
+                        labels: Vec::new(),
+                        body: vec![stmt],
+                    });
                 }
             }
         }
@@ -1259,9 +1290,7 @@ impl Parser {
         // after the name must come `=`, `,`, `;`, `[`, or `:` (foreach
         // handled elsewhere).
         match self.peek_at(1) {
-            Token::Punct(
-                Punct::Assign | Punct::Comma | Punct::Semi | Punct::LBracket,
-            ) => {}
+            Token::Punct(Punct::Assign | Punct::Comma | Punct::Semi | Punct::LBracket) => {}
             _ => {
                 self.pos = save;
                 return Ok(None);
@@ -1299,7 +1328,11 @@ impl Parser {
             } else {
                 None
             };
-            declarators.push(Declarator { name, extra_dims, init });
+            declarators.push(Declarator {
+                name,
+                extra_dims,
+                init,
+            });
             if !self.eat_punct(Punct::Comma) {
                 return Ok(declarators);
             }
@@ -1367,7 +1400,11 @@ impl Parser {
             // `parse_expr`; count it against the nesting budget.
             self.nested(|p| p.parse_assignment())?
         };
-        Ok(Expr::Assign { lhs: Box::new(lhs), op, rhs: Box::new(rhs) })
+        Ok(Expr::Assign {
+            lhs: Box::new(lhs),
+            op,
+            rhs: Box::new(rhs),
+        })
     }
 
     fn parse_conditional(&mut self) -> PResult<Expr> {
@@ -1443,7 +1480,10 @@ impl Parser {
                 if let Token::Ident(_) = self.peek() {
                     self.bump();
                 }
-                lhs = Expr::InstanceOf { expr: Box::new(lhs), ty };
+                lhs = Expr::InstanceOf {
+                    expr: Box::new(lhs),
+                    ty,
+                };
                 continue;
             }
             let Some((op, prec, ntok)) = self.binop_at_cursor() else {
@@ -1456,7 +1496,11 @@ impl Parser {
                 self.bump();
             }
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -1485,7 +1529,10 @@ impl Parser {
                     return Ok(Expr::Literal(Lit::Float(-v)));
                 }
             }
-            return Ok(Expr::Unary { op, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
         }
 
         // Cast?
@@ -1515,8 +1562,7 @@ impl Parser {
             self.pos = save;
             return Ok(None);
         }
-        let is_primitive_or_array =
-            matches!(ty, Type::Primitive(_) | Type::Array(_));
+        let is_primitive_or_array = matches!(ty, Type::Primitive(_) | Type::Array(_));
         let castable_follows = match self.peek() {
             Token::Ident(_)
             | Token::IntLit(..)
@@ -1525,9 +1571,7 @@ impl Parser {
             | Token::StrLit(_)
             | Token::BoolLit(_)
             | Token::Null
-            | Token::Keyword(
-                Keyword::New | Keyword::This | Keyword::Super,
-            )
+            | Token::Keyword(Keyword::New | Keyword::This | Keyword::Super)
             | Token::Punct(Punct::LParen | Punct::Not | Punct::Tilde) => true,
             Token::Punct(Punct::Minus | Punct::Plus) => is_primitive_or_array,
             _ => false,
@@ -1538,7 +1582,10 @@ impl Parser {
         }
         // `(A)(A)(A)...x` cast chains recurse via `parse_unary`.
         let expr = self.nested(|p| p.parse_unary())?;
-        Ok(Some(Expr::Cast { ty, expr: Box::new(expr) }))
+        Ok(Some(Expr::Cast {
+            ty,
+            expr: Box::new(expr),
+        }))
     }
 
     fn parse_postfix(&mut self) -> PResult<Expr> {
@@ -1622,11 +1669,17 @@ impl Parser {
                 }
                 Token::Punct(Punct::Inc) => {
                     self.bump();
-                    expr = Expr::Unary { op: UnOp::PostInc, expr: Box::new(expr) };
+                    expr = Expr::Unary {
+                        op: UnOp::PostInc,
+                        expr: Box::new(expr),
+                    };
                 }
                 Token::Punct(Punct::Dec) => {
                     self.bump();
-                    expr = Expr::Unary { op: UnOp::PostDec, expr: Box::new(expr) };
+                    expr = Expr::Unary {
+                        op: UnOp::PostDec,
+                        expr: Box::new(expr),
+                    };
                 }
                 Token::Punct(Punct::ColonColon) => {
                     self.bump();
@@ -1685,14 +1738,22 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Expr::NewArray { ty: elem_ty, dims, init });
+            return Ok(Expr::NewArray {
+                ty: elem_ty,
+                dims,
+                init,
+            });
         }
         if self.check_punct(Punct::LBrace) {
             // `new int[] {...}` path where the brackets were parsed as
             // part of the type.
             if let Type::Array(inner) = ty {
                 let init = Some(self.parse_array_init()?);
-                return Ok(Expr::NewArray { ty: *inner, dims: Vec::new(), init });
+                return Ok(Expr::NewArray {
+                    ty: *inner,
+                    dims: Vec::new(),
+                    init,
+                });
             }
         }
         self.expect_punct(Punct::LParen)?;
@@ -1703,7 +1764,11 @@ impl Parser {
         } else {
             false
         };
-        Ok(Expr::New { ty, args, anon_body })
+        Ok(Expr::New {
+            ty,
+            args,
+            anon_body,
+        })
     }
 
     /// Detects `( ... ) ->` lambda heads.
@@ -1768,7 +1833,11 @@ impl Parser {
                 self.bump();
                 if self.eat_punct(Punct::LParen) {
                     let args = self.parse_args()?;
-                    return Ok(Expr::MethodCall { target: None, name: "this".into(), args });
+                    return Ok(Expr::MethodCall {
+                        target: None,
+                        name: "this".into(),
+                        args,
+                    });
                 }
                 Ok(Expr::This)
             }
@@ -1826,7 +1895,11 @@ impl Parser {
                 self.bump();
                 if self.eat_punct(Punct::LParen) {
                     let args = self.parse_args()?;
-                    return Ok(Expr::MethodCall { target: None, name, args });
+                    return Ok(Expr::MethodCall {
+                        target: None,
+                        name,
+                        args,
+                    });
                 }
                 Ok(Expr::Name(vec![name]))
             }
@@ -1895,9 +1968,7 @@ mod tests {
 
     #[test]
     fn parses_generic_types() {
-        let unit = parse(
-            "class A { java.util.Map<String, java.util.List<Integer>> m; }",
-        );
+        let unit = parse("class A { java.util.Map<String, java.util.List<Integer>> m; }");
         let field = unit.types[0].fields().next().unwrap();
         let Type::Named { name, args } = &field.ty else {
             panic!("expected named type")
@@ -1924,8 +1995,7 @@ mod tests {
             panic!("expected local var")
         };
         assert_eq!(ty.display_name(), "Cipher");
-        let Some(Expr::MethodCall { target, name, args }) = &declarators[0].init
-        else {
+        let Some(Expr::MethodCall { target, name, args }) = &declarators[0].init else {
             panic!("expected call initializer")
         };
         assert_eq!(name, "getInstance");
@@ -1938,7 +2008,10 @@ mod tests {
             panic!("expected call stmt")
         };
         assert_eq!(name, "init");
-        assert_eq!(args[0], Expr::Name(vec!["Cipher".into(), "ENCRYPT_MODE".into()]));
+        assert_eq!(
+            args[0],
+            Expr::Name(vec!["Cipher".into(), "ENCRYPT_MODE".into()])
+        );
     }
 
     #[test]
@@ -1959,7 +2032,9 @@ mod tests {
         let Stmt::LocalVar { declarators, .. } = &body.stmts[1] else {
             panic!()
         };
-        let Some(Expr::NewArray { init: Some(elems), .. }) = &declarators[0].init
+        let Some(Expr::NewArray {
+            init: Some(elems), ..
+        }) = &declarators[0].init
         else {
             panic!("expected array literal")
         };
@@ -2010,10 +2085,14 @@ mod tests {
             "#,
         );
         let body = first_method_body(&unit);
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else { panic!() };
+        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(declarators[0].init, Some(Expr::Cast { .. })));
         // `(foo) - 1` must parse as subtraction, not a cast of -1.
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[4] else { panic!() };
+        let Stmt::LocalVar { declarators, .. } = &body.stmts[4] else {
+            panic!()
+        };
         assert!(matches!(declarators[0].init, Some(Expr::Binary { .. })));
     }
 
@@ -2052,15 +2131,22 @@ mod tests {
         );
         assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
         let body = first_method_body(&unit);
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[1] else { panic!() };
+        let Stmt::LocalVar { declarators, .. } = &body.stmts[1] else {
+            panic!()
+        };
         assert!(matches!(
             declarators[0].init,
             Some(Expr::Binary { op: BinOp::Shr, .. })
         ));
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[2] else { panic!() };
+        let Stmt::LocalVar { declarators, .. } = &body.stmts[2] else {
+            panic!()
+        };
         assert!(matches!(
             declarators[0].init,
-            Some(Expr::Binary { op: BinOp::UShr, .. })
+            Some(Expr::Binary {
+                op: BinOp::UShr,
+                ..
+            })
         ));
     }
 
@@ -2075,8 +2161,7 @@ mod tests {
             }
             "#,
         );
-        let names: Vec<_> =
-            unit.types[0].methods().map(|m| m.name.clone()).collect();
+        let names: Vec<_> = unit.types[0].methods().map(|m| m.name.clone()).collect();
         assert!(names.contains(&"good1".to_owned()));
         assert!(names.contains(&"good2".to_owned()));
         assert!(!unit.diagnostics.is_empty());
@@ -2118,10 +2203,15 @@ mod tests {
             .body
             .as_ref()
             .unwrap();
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else { panic!() };
+        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else {
+            panic!()
+        };
         assert!(matches!(
             declarators[0].init,
-            Some(Expr::New { anon_body: true, .. })
+            Some(Expr::New {
+                anon_body: true,
+                ..
+            })
         ));
     }
 
@@ -2142,9 +2232,8 @@ mod tests {
 
     #[test]
     fn string_plus_concatenation() {
-        let unit = parse(
-            r#"class A { void m() { d = MessageDigest.getInstance("SHA" + "-256"); } }"#,
-        );
+        let unit =
+            parse(r#"class A { void m() { d = MessageDigest.getInstance("SHA" + "-256"); } }"#);
         assert!(unit.diagnostics.is_empty());
         let body = first_method_body(&unit);
         assert_eq!(body.stmts.len(), 1);
@@ -2159,9 +2248,7 @@ mod tests {
 
     #[test]
     fn labeled_statements() {
-        let unit = parse(
-            "class A { void m() { outer: for (;;) { break; } } }",
-        );
+        let unit = parse("class A { void m() { outer: for (;;) { break; } } }");
         assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
     }
 

@@ -98,8 +98,7 @@ impl Printer {
     fn member(&mut self, m: &Member) {
         match m {
             Member::Field(f) => {
-                let decls: Vec<_> =
-                    f.declarators.iter().map(declarator_str).collect();
+                let decls: Vec<_> = f.declarators.iter().map(declarator_str).collect();
                 self.line(&format!(
                     "{}{} {};",
                     Self::modifiers(&f.modifiers),
@@ -177,8 +176,7 @@ impl Printer {
                 self.line("}");
             }
             Stmt::LocalVar { ty, declarators } => {
-                let decls: Vec<_> =
-                    declarators.iter().map(declarator_str).collect();
+                let decls: Vec<_> = declarators.iter().map(declarator_str).collect();
                 self.line(&format!("{} {};", type_str(ty), decls.join(", ")));
             }
             Stmt::Expr(e) => self.line(&format!("{};", expr_str(e))),
@@ -212,13 +210,17 @@ impl Printer {
                 self.indent -= 1;
                 self.line(&format!("}} while ({});", expr_str(cond)));
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 let init_s: Vec<_> = init
                     .iter()
                     .map(|s| match s {
                         Stmt::LocalVar { ty, declarators } => {
-                            let decls: Vec<_> =
-                                declarators.iter().map(declarator_str).collect();
+                            let decls: Vec<_> = declarators.iter().map(declarator_str).collect();
                             format!("{} {}", type_str(ty), decls.join(", "))
                         }
                         Stmt::Expr(e) => expr_str(e),
@@ -238,7 +240,12 @@ impl Printer {
                 self.indent -= 1;
                 self.line("}");
             }
-            Stmt::ForEach { ty, name, iterable, body } => {
+            Stmt::ForEach {
+                ty,
+                name,
+                iterable,
+                body,
+            } => {
                 self.line(&format!(
                     "for ({} {} : {}) {{",
                     type_str(ty),
@@ -255,7 +262,12 @@ impl Printer {
                 None => self.line("return;"),
             },
             Stmt::Throw(v) => self.line(&format!("throw {};", expr_str(v))),
-            Stmt::Try { resources, block, catches, finally } => {
+            Stmt::Try {
+                resources,
+                block,
+                catches,
+                finally,
+            } => {
                 if resources.is_empty() {
                     self.line("try {");
                 } else {
@@ -263,10 +275,8 @@ impl Printer {
                         .iter()
                         .map(|s| match s {
                             Stmt::LocalVar { ty, declarators } => {
-                                let decls: Vec<_> = declarators
-                                    .iter()
-                                    .map(declarator_str)
-                                    .collect();
+                                let decls: Vec<_> =
+                                    declarators.iter().map(declarator_str).collect();
                                 format!("{} {}", type_str(ty), decls.join(", "))
                             }
                             Stmt::Expr(e) => expr_str(e),
@@ -278,11 +288,7 @@ impl Printer {
                 self.block_inline(block);
                 for c in catches {
                     let types: Vec<_> = c.types.iter().map(type_str).collect();
-                    self.line(&format!(
-                        "}} catch ({} {}) {{",
-                        types.join(" | "),
-                        c.name
-                    ));
+                    self.line(&format!("}} catch ({} {}) {{", types.join(" | "), c.name));
                     self.block_inline(&c.body);
                 }
                 if let Some(f) = finally {
@@ -419,7 +425,11 @@ pub fn expr_str(e: &Expr) -> String {
                 None => format!("{name}({})", args_s.join(", ")),
             }
         }
-        Expr::New { ty, args, anon_body } => {
+        Expr::New {
+            ty,
+            args,
+            anon_body,
+        } => {
             let args_s: Vec<_> = args.iter().map(expr_str).collect();
             let body = if *anon_body { " { }" } else { "" };
             format!("new {}({}){body}", type_str(ty), args_s.join(", "))
@@ -545,10 +555,7 @@ mod tests {
 
     #[test]
     fn prints_escapes() {
-        assert_eq!(
-            expr_str(&Expr::str_lit("a\"b\\c\n")),
-            r#""a\"b\\c\n""#
-        );
+        assert_eq!(expr_str(&Expr::str_lit("a\"b\\c\n")), r#""a\"b\\c\n""#);
     }
 
     #[test]

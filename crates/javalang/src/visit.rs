@@ -101,7 +101,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             v.visit_expr(cond);
             v.visit_stmt(body);
         }
-        Stmt::For { init, cond, update, body } => {
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
             for s in init {
                 v.visit_stmt(s);
             }
@@ -122,7 +127,12 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
                 v.visit_expr(value);
             }
         }
-        Stmt::Try { resources, block, catches, finally } => {
+        Stmt::Try {
+            resources,
+            block,
+            catches,
+            finally,
+        } => {
             for r in resources {
                 v.visit_stmt(r);
             }
@@ -241,8 +251,7 @@ enum Node<'a> {
 /// lets them reject pathological trees *before* recursing into them.
 pub fn ast_depth(unit: &CompilationUnit) -> usize {
     let mut max = 0usize;
-    let mut work: Vec<(Node<'_>, usize)> =
-        unit.types.iter().map(|t| (Node::Type(t), 1)).collect();
+    let mut work: Vec<(Node<'_>, usize)> = unit.types.iter().map(|t| (Node::Type(t), 1)).collect();
     fn push_block<'a>(work: &mut Vec<(Node<'a>, usize)>, b: &'a Block, d: usize) {
         for s in &b.stmts {
             work.push((Node::Stmt(s), d));
@@ -296,7 +305,12 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     work.push((Node::Expr(cond), d + 1));
                     work.push((Node::Stmt(body), d + 1));
                 }
-                Stmt::For { init, cond, update, body } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                } => {
                     for s in init {
                         work.push((Node::Stmt(s), d + 1));
                     }
@@ -317,7 +331,12 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                         work.push((Node::Expr(value), d + 1));
                     }
                 }
-                Stmt::Try { resources, block, catches, finally } => {
+                Stmt::Try {
+                    resources,
+                    block,
+                    catches,
+                    finally,
+                } => {
                     for r in resources {
                         work.push((Node::Stmt(r), d + 1));
                     }
@@ -453,10 +472,9 @@ mod tests {
     #[test]
     fn ast_depth_grows_with_nesting() {
         let shallow = parse_compilation_unit("class A { int x = 1; }").unwrap();
-        let deep = parse_compilation_unit(
-            "class A { void m() { if (a) { if (b) { c(d(e())); } } } }",
-        )
-        .unwrap();
+        let deep =
+            parse_compilation_unit("class A { void m() { if (a) { if (b) { c(d(e())); } } } }")
+                .unwrap();
         assert!(ast_depth(&shallow) < ast_depth(&deep));
         assert!(ast_depth(&CompilationUnit::default()) == 0);
     }
@@ -467,7 +485,10 @@ mod tests {
         // a recursive walker; the iterative depth must handle it.
         let mut expr = Expr::int_lit(1);
         for _ in 0..100_000 {
-            expr = Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) };
+            expr = Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+            };
         }
         let unit = CompilationUnit {
             types: vec![TypeDecl {

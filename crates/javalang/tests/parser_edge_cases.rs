@@ -45,16 +45,21 @@ fn chained_calls_and_fluent_builders() {
 
 #[test]
 fn static_nested_generic_types() {
-    parse_clean(
-        "class A { java.util.Map.Entry<String, java.util.List<byte[]>> e; }",
-    );
+    parse_clean("class A { java.util.Map.Entry<String, java.util.List<byte[]>> e; }");
 }
 
 #[test]
 fn conditional_with_generics_ambiguity() {
     // `a < b ? x : y` — the `<` must not be taken as a type argument.
-    let unit = parse_clean("class A { int m(int a, int b, int x, int y) { return a < b ? x : y; } }");
-    let body = unit.types[0].methods().next().unwrap().body.as_ref().unwrap();
+    let unit =
+        parse_clean("class A { int m(int a, int b, int x, int y) { return a < b ? x : y; } }");
+    let body = unit.types[0]
+        .methods()
+        .next()
+        .unwrap()
+        .body
+        .as_ref()
+        .unwrap();
     let Stmt::Return(Some(Expr::Conditional { .. })) = &body.stmts[0] else {
         panic!("{body:?}")
     };
@@ -69,9 +74,7 @@ fn arrays_of_arrays() {
 
 #[test]
 fn varargs_and_final_params() {
-    let unit = parse_clean(
-        "class A { void log(final String fmt, Object... args) {} }",
-    );
+    let unit = parse_clean("class A { void log(final String fmt, Object... args) {} }");
     let m = unit.types[0].methods().next().unwrap();
     assert!(m.params[1].varargs);
 }
@@ -89,7 +92,10 @@ fn static_initializer_registering_provider() {
     );
     assert!(matches!(
         unit.types[0].members[0],
-        Member::Initializer { is_static: true, .. }
+        Member::Initializer {
+            is_static: true,
+            ..
+        }
     ));
 }
 
@@ -137,9 +143,7 @@ fn arrow_switch_statement() {
 
 #[test]
 fn unicode_identifiers_and_strings() {
-    let unit = parse_clean(
-        "class A { String grüße = \"schlüssel\"; }",
-    );
+    let unit = parse_clean("class A { String grüße = \"schlüssel\"; }");
     assert_eq!(unit.types[0].fields().count(), 1);
 }
 
@@ -184,9 +188,7 @@ fn empty_class_and_semicolons() {
 
 #[test]
 fn instanceof_with_pattern_binding() {
-    parse_clean(
-        "class A { boolean m(Object o) { return o instanceof String s; } }",
-    );
+    parse_clean("class A { boolean m(Object o) { return o instanceof String s; } }");
 }
 
 #[test]
@@ -250,18 +252,14 @@ fn annotations_with_arguments() {
 
 #[test]
 fn imports_do_not_leak_into_members() {
-    let unit = parse_clean(
-        "package a.b; import x.y.Z; import static q.R.*; class A { Z z; }",
-    );
+    let unit = parse_clean("package a.b; import x.y.Z; import static q.R.*; class A { Z z; }");
     assert_eq!(unit.imports.len(), 2);
     assert_eq!(unit.types.len(), 1);
 }
 
 #[test]
 fn long_and_float_suffixed_literals() {
-    parse_clean(
-        "class A { long t = 1000L; double d = 0.5d; float f = 2.5f; long h = 0xFFL; }",
-    );
+    parse_clean("class A { long t = 1000L; double d = 0.5d; float f = 2.5f; long h = 0xFFL; }");
 }
 
 #[test]

@@ -51,10 +51,7 @@ fn bare_statements_are_wrapped() {
     assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
     // The non-declaration statement must survive (not be dropped as a
     // broken member).
-    assert!(body
-        .stmts
-        .iter()
-        .any(|s| matches!(s, Stmt::Expr(_))));
+    assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Expr(_))));
 }
 
 #[test]

@@ -117,7 +117,9 @@ mod tests {
         assert!(json.contains("\"version\": 1"), "{json}");
         assert!(json.contains("\"g\": 6.0"), "{json}");
         assert!(
-            json.contains("\"s\": { \"count\": 1, \"sum_ns\": 42, \"min_ns\": 42, \"max_ns\": 42 }"),
+            json.contains(
+                "\"s\": { \"count\": 1, \"sum_ns\": 42, \"min_ns\": 42, \"max_ns\": 42 }"
+            ),
             "{json}"
         );
         assert_eq!(json, to_json(&reg), "serialization is deterministic");

@@ -112,7 +112,10 @@ impl MetricsRegistry {
 
     /// Folds one measured duration into span `name`.
     pub fn record_span(&mut self, name: &str, duration: Duration) {
-        self.spans.entry(name.to_owned()).or_default().record(duration);
+        self.spans
+            .entry(name.to_owned())
+            .or_default()
+            .record(duration);
     }
 
     /// Times `f` and records the wall-clock duration under `name`.

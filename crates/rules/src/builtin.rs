@@ -54,8 +54,7 @@ pub fn r1() -> Rule {
         "MessageDigest : getInstance(X) \u{2227} X=SHA-1",
         "MessageDigest",
         F::Exists(
-            CallPred::method("getInstance")
-                .arg(1, A::InStrs(vec!["SHA-1".into(), "SHA1".into()])),
+            CallPred::method("getInstance").arg(1, A::InStrs(vec!["SHA-1".into(), "SHA1".into()])),
         ),
         &["Stevens et al., The first SHA-1 collision (2017) [30]"],
     )
@@ -111,9 +110,7 @@ pub fn r5() -> Rule {
         "Use the BouncyCastle provider for Cipher",
         "Cipher : getInstance(_,X) \u{2227} X\u{2260}BC",
         "Cipher",
-        F::Exists(
-            CallPred::method("getInstance").arg(2, A::NotInStrs(vec!["BC".into()])),
-        ),
+        F::Exists(CallPred::method("getInstance").arg(2, A::NotInStrs(vec!["BC".into()]))),
         &["Bouncy Castle vs JCA key-length restriction (2016) [3]"],
     )
 }
@@ -125,11 +122,17 @@ pub fn r6() -> Rule {
         "R6",
         "The underlying PRNG is vulnerable on Android v16-18",
         "SecureRandom : <init>(_) \u{2227} \u{00ac}LPRNG \u{2227} MIN_SDK_VERSION\u{2265}16",
-        vec![ClassClause::new("SecureRandom", F::Exists(CallPred::creation()))],
+        vec![ClassClause::new(
+            "SecureRandom",
+            F::Exists(CallPred::creation()),
+        )],
         vec![],
         ContextCond::AndroidPrngVulnerable,
         Applicability::ClassPresentWithContext("SecureRandom".to_owned()),
-        &["Kaplan et al., Attacking the Linux PRNG on Android (WOOT'14) [17]", "Android: Some SecureRandom Thoughts (2013) [1]"],
+        &[
+            "Kaplan et al., Attacking the Linux PRNG on Android (WOOT'14) [17]",
+            "Android: Some SecureRandom Thoughts (2013) [1]",
+        ],
     )
 }
 
@@ -142,14 +145,13 @@ pub fn r7() -> Rule {
         "Cipher : getInstance(X) \u{2227} (X=AES \u{2228} X=AES/ECB)",
         "Cipher",
         F::Or(vec![
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::EqStr("AES".into())),
-            ),
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::StartsWith("AES/ECB".into())),
-            ),
+            F::Exists(CallPred::method("getInstance").arg(1, A::EqStr("AES".into()))),
+            F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("AES/ECB".into()))),
         ]),
-        &["Bellare & Rogaway, Introduction to Modern Cryptography [9]", "Egele et al., CCS'13 [12]"],
+        &[
+            "Bellare & Rogaway, Introduction to Modern Cryptography [9]",
+            "Egele et al., CCS'13 [12]",
+        ],
     )
 }
 
@@ -162,9 +164,7 @@ pub fn r8() -> Rule {
         "Cipher",
         F::Or(vec![
             F::Exists(CallPred::method("getInstance").arg(1, A::EqStr("DES".into()))),
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::StartsWith("DES/".into())),
-            ),
+            F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("DES/".into()))),
         ]),
         &["CERT MSC61-J: Do not use insecure or weak cryptographic algorithms [23]"],
     )
@@ -232,29 +232,19 @@ pub fn r13() -> Rule {
         vec![
             ClassClause::new(
                 "Cipher",
-                F::Exists(
-                    CallPred::method("getInstance")
-                        .arg(1, A::StartsWith("AES/CBC".into())),
-                ),
+                F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("AES/CBC".into()))),
             ),
             ClassClause::new(
                 "Cipher",
                 F::Or(vec![
-                    F::Exists(
-                        CallPred::method("getInstance").arg(1, A::EqStr("RSA".into())),
-                    ),
-                    F::Exists(
-                        CallPred::method("getInstance")
-                            .arg(1, A::StartsWith("RSA/".into())),
-                    ),
+                    F::Exists(CallPred::method("getInstance").arg(1, A::EqStr("RSA".into()))),
+                    F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("RSA/".into()))),
                 ]),
             ),
         ],
         vec![ClassClause::new(
             "Mac",
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::StartsWith("Hmac".into())),
-            ),
+            F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("Hmac".into()))),
         )],
         ContextCond::None,
         Applicability::PositiveClausesMatch,
@@ -333,9 +323,7 @@ mod tests {
 
     #[test]
     fn r3_flags_default_construction() {
-        let bad = usages(
-            r#"class C { void m() { SecureRandom r = new SecureRandom(); } }"#,
-        );
+        let bad = usages(r#"class C { void m() { SecureRandom r = new SecureRandom(); } }"#);
         let good = usages(
             r#"class C { void m() throws Exception { SecureRandom r = SecureRandom.getInstance("SHA1PRNG"); } }"#,
         );

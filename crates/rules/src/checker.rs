@@ -73,7 +73,10 @@ pub struct CryptoChecker {
 impl CryptoChecker {
     /// A checker over the given rules (per-file scope).
     pub fn new(rules: Vec<Rule>) -> Self {
-        CryptoChecker { rules, scope: CheckScope::PerFile }
+        CryptoChecker {
+            rules,
+            scope: CheckScope::PerFile,
+        }
     }
 
     /// A checker with all 13 rules of Figure 9.
@@ -121,8 +124,7 @@ impl CryptoChecker {
     /// Aggregates applicable/matching counts over `projects` — the
     /// Figure 10 table.
     pub fn check_all(&self, projects: &[CheckedProject]) -> Vec<RuleStats> {
-        let views: Vec<Vec<Usages>> =
-            projects.iter().map(|p| self.views(p)).collect();
+        let views: Vec<Vec<Usages>> = projects.iter().map(|p| self.views(p)).collect();
         self.rules
             .iter()
             .map(|rule| RuleStats {
@@ -137,8 +139,7 @@ impl CryptoChecker {
                     .iter()
                     .zip(&views)
                     .filter(|(p, v)| {
-                        Self::applicable_in(rule, v, p)
-                            && Self::matches_in(rule, v, p)
+                        Self::applicable_in(rule, v, p) && Self::matches_in(rule, v, p)
                     })
                     .count(),
             })
@@ -152,9 +153,7 @@ impl CryptoChecker {
             .iter()
             .filter(|p| {
                 let views = self.views(p);
-                self.rules
-                    .iter()
-                    .any(|r| Self::matches_in(r, &views, p))
+                self.rules.iter().any(|r| Self::matches_in(r, &views, p))
             })
             .count()
     }
@@ -185,11 +184,15 @@ mod tests {
         );
         let p2 = project(
             "safe-user",
-            &[r#"class B { void m() throws Exception { Cipher c = Cipher.getInstance("AES/GCM/NoPadding", "BC"); } }"#],
+            &[
+                r#"class B { void m() throws Exception { Cipher c = Cipher.getInstance("AES/GCM/NoPadding", "BC"); } }"#,
+            ],
         );
         let p3 = project(
             "digest-user",
-            &[r#"class D { void m() throws Exception { MessageDigest d = MessageDigest.getInstance("SHA-1"); } }"#],
+            &[
+                r#"class D { void m() throws Exception { MessageDigest d = MessageDigest.getInstance("SHA-1"); } }"#,
+            ],
         );
         let projects = vec![p1, p2, p3];
         let checker = CryptoChecker::standard();
@@ -247,10 +250,11 @@ mod tests {
             r#"class B { void m() throws Exception { Cipher c = Cipher.getInstance("AES/CBC/PKCS5Padding"); } }"#,
         ];
         let split = project("split", &sources);
-        let project_checker =
-            CryptoChecker::standard().with_scope(CheckScope::Project);
+        let project_checker = CryptoChecker::standard().with_scope(CheckScope::Project);
         assert!(
-            project_checker.violations(&split).contains(&"R13".to_owned()),
+            project_checker
+                .violations(&split)
+                .contains(&"R13".to_owned()),
             "the paper's project-level reading sees both ciphers"
         );
 
@@ -263,11 +267,9 @@ mod tests {
                 r#"class M { void m() throws Exception { Mac mac = Mac.getInstance("HmacSHA256"); } }"#,
             ],
         );
-        assert!(
-            !project_checker
-                .violations(&with_mac)
-                .contains(&"R13".to_owned())
-        );
+        assert!(!project_checker
+            .violations(&with_mac)
+            .contains(&"R13".to_owned()));
     }
 
     #[test]

@@ -26,12 +26,8 @@ pub fn cl1() -> Rule {
         "Cipher",
         F::Or(vec![
             F::Exists(CallPred::method("getInstance").arg(1, A::EqStr("AES".into()))),
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::StartsWith("AES/ECB".into())),
-            ),
-            F::Exists(
-                CallPred::method("getInstance").arg(1, A::StartsWith("DES/ECB".into())),
-            ),
+            F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("AES/ECB".into()))),
+            F::Exists(CallPred::method("getInstance").arg(1, A::StartsWith("DES/ECB".into()))),
         ]),
     )
 }

@@ -42,7 +42,10 @@ pub fn label_to_avalue(label: &str) -> AValue {
             .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
         && label.chars().next().is_some_and(|c| c.is_ascii_uppercase())
     {
-        return AValue::ApiConst { class: "?".to_owned(), name: label.to_owned() };
+        return AValue::ApiConst {
+            class: "?".to_owned(),
+            name: label.to_owned(),
+        };
     }
     AValue::Str(label.to_owned())
 }

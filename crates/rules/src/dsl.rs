@@ -37,7 +37,9 @@ pub struct ParseRuleError {
 
 impl ParseRuleError {
     fn new(message: impl Into<String>) -> Self {
-        ParseRuleError { message: message.into() }
+        ParseRuleError {
+            message: message.into(),
+        }
     }
 }
 
@@ -99,7 +101,9 @@ pub fn parse_rule(id: &str, description: &str, text: &str) -> Result<Rule, Parse
     }
 
     if positive.is_empty() {
-        return Err(ParseRuleError::new("rule needs at least one positive clause"));
+        return Err(ParseRuleError::new(
+            "rule needs at least one positive clause",
+        ));
     }
     let applicability = if positive.len() > 1 {
         Applicability::PositiveClausesMatch
@@ -207,11 +211,21 @@ fn strip_outer_parens(text: &str) -> &str {
 enum Item {
     /// `getInstance(X,_)` or `getInstanceStrong` — a (possibly negated)
     /// call atom with variable/placeholder parameters.
-    Call { negated: bool, name: String, params: Vec<Option<char>> },
+    Call {
+        negated: bool,
+        name: String,
+        params: Vec<Option<char>>,
+    },
     /// `X=SHA-1`, `X<1000`, `startsWith(X,AES/CBC)`, …
-    Constraint { var: char, constraint: ArgConstraint },
+    Constraint {
+        var: char,
+        constraint: ArgConstraint,
+    },
     /// `(X=AES ∨ X=AES/ECB)` — all disjuncts on the same variable.
-    OrConstraints { var: char, constraints: Vec<ArgConstraint> },
+    OrConstraints {
+        var: char,
+        constraints: Vec<ArgConstraint>,
+    },
     /// `¬LPRNG` / `MIN_SDK_VERSION≥16` — project context.
     Context,
 }
@@ -240,7 +254,9 @@ fn parse_clause_body(text: &str) -> Result<(Formula, ContextCond), ParseRuleErro
         .filter(|(_, it)| matches!(it, Item::Call { .. }))
         .collect();
     if calls.is_empty() {
-        return Err(ParseRuleError::new(format!("clause `{text}` has no method atom")));
+        return Err(ParseRuleError::new(format!(
+            "clause `{text}` has no method atom"
+        )));
     }
     let mut var_slot: Vec<(char, usize, usize)> = Vec::new(); // (var, call idx, pos)
     for (idx, item) in &calls {
@@ -283,7 +299,14 @@ fn parse_clause_body(text: &str) -> Result<(Formula, ContextCond), ParseRuleErro
     // or-group becomes a disjunction of its variants.
     let mut parts = Vec::new();
     for (idx, item) in items.iter().enumerate() {
-        let Item::Call { negated, name, params } = item else { continue };
+        let Item::Call {
+            negated,
+            name,
+            params,
+        } = item
+        else {
+            continue;
+        };
         let base = CallPred {
             methods: vec![name.clone()],
             args: call_args[idx]
@@ -339,12 +362,8 @@ impl CloneNot for Formula {
         match f {
             Formula::Exists(p) => Formula::NotExists(p),
             Formula::NotExists(p) => Formula::Exists(p),
-            Formula::Or(fs) => {
-                Formula::And(fs.into_iter().map(|x| self.clone_not(x)).collect())
-            }
-            Formula::And(fs) => {
-                Formula::Or(fs.into_iter().map(|x| self.clone_not(x)).collect())
-            }
+            Formula::Or(fs) => Formula::And(fs.into_iter().map(|x| self.clone_not(x)).collect()),
+            Formula::And(fs) => Formula::Or(fs.into_iter().map(|x| self.clone_not(x)).collect()),
         }
     }
 }
@@ -431,7 +450,10 @@ fn parse_item(text: &str) -> Result<Item, ParseRuleError> {
             }
             constraints.push(constraint);
         }
-        return Ok(Item::OrConstraints { var: var.expect("nonempty"), constraints });
+        return Ok(Item::OrConstraints {
+            var: var.expect("nonempty"),
+            constraints,
+        });
     }
 
     // Variable constraint `X=…` / `X≠…` / `X<…` / `X≥…`.
@@ -440,7 +462,10 @@ fn parse_item(text: &str) -> Result<Item, ParseRuleError> {
             let lhs = lhs.trim();
             if lhs.len() == 1 {
                 let var = parse_var(lhs)?;
-                return Ok(Item::Constraint { var, constraint: make(rhs.trim())? });
+                return Ok(Item::Constraint {
+                    var,
+                    constraint: make(rhs.trim())?,
+                });
             }
         }
     }
@@ -477,7 +502,11 @@ fn parse_item(text: &str) -> Result<Item, ParseRuleError> {
     {
         return Err(ParseRuleError::new(format!("bad method name `{name}`")));
     }
-    Ok(Item::Call { negated, name: name.to_owned(), params })
+    Ok(Item::Call {
+        negated,
+        name: name.to_owned(),
+        params,
+    })
 }
 
 type ConstraintBuilder = fn(&str) -> Result<ArgConstraint, ParseRuleError>;
@@ -562,12 +591,7 @@ mod tests {
 
     #[test]
     fn ascii_spellings_accepted() {
-        let rule = parse_rule(
-            "RX",
-            "ascii",
-            "PBEKeySpec : <init>(_,_,X,_) && X<1000",
-        )
-        .unwrap();
+        let rule = parse_rule("RX", "ascii", "PBEKeySpec : <init>(_,_,X,_) && X<1000").unwrap();
         let bad = usages(
             r#"class C { void m(char[] p, byte[] s) { PBEKeySpec k = new PBEKeySpec(p, s, 100, 256); } }"#,
         );
@@ -688,14 +712,17 @@ mod tests {
     #[test]
     fn error_cases() {
         assert!(parse_rule("E", "", "no colon here").is_err());
-        assert!(parse_rule("E", "", "Cipher : X=AES").is_err(), "unbound variable");
-        assert!(parse_rule("E", "", "Cipher : getInstance(X").is_err());
-        assert!(parse_rule("E", "", "\u{00ac}(Cipher : getInstance(_))").is_err(),
-            "needs a positive clause");
-        assert!(parse_rule("E", "", "Cipher : getInstance(X) \u{2227} Y=Z").is_err());
         assert!(
-            parse_rule("E", "", "PBEKeySpec : <init>(_,_,X,_) \u{2227} X<abc").is_err()
+            parse_rule("E", "", "Cipher : X=AES").is_err(),
+            "unbound variable"
         );
+        assert!(parse_rule("E", "", "Cipher : getInstance(X").is_err());
+        assert!(
+            parse_rule("E", "", "\u{00ac}(Cipher : getInstance(_))").is_err(),
+            "needs a positive clause"
+        );
+        assert!(parse_rule("E", "", "Cipher : getInstance(X) \u{2227} Y=Z").is_err());
+        assert!(parse_rule("E", "", "PBEKeySpec : <init>(_,_,X,_) \u{2227} X<abc").is_err());
     }
 
     #[test]
@@ -715,8 +742,7 @@ mod tests {
             if !equivalent.contains(&builtin.id.as_str()) {
                 continue;
             }
-            let parsed =
-                parse_rule(&builtin.id, &builtin.description, &builtin.display).unwrap();
+            let parsed = parse_rule(&builtin.id, &builtin.description, &builtin.display).unwrap();
             for src in &programs {
                 let u = usages(src);
                 assert_eq!(

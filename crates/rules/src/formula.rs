@@ -95,7 +95,10 @@ pub struct CallPred {
 impl CallPred {
     /// A predicate on one method name with no argument constraints.
     pub fn method(name: impl Into<String>) -> Self {
-        CallPred { methods: vec![name.into()], args: Vec::new() }
+        CallPred {
+            methods: vec![name.into()],
+            args: Vec::new(),
+        }
     }
 
     /// Adds an argument constraint (1-based index).
@@ -119,13 +122,12 @@ impl CallPred {
 
     /// Evaluates the predicate on one event.
     pub fn matches(&self, event: &UsageEvent) -> bool {
-        if !self.methods.is_empty() && !self.methods.contains(&event.method.name)
-        {
+        if !self.methods.is_empty() && !self.methods.contains(&event.method.name) {
             return false;
         }
-        self.args.iter().all(|(index, constraint)| {
-            constraint.matches(event.args.get(index - 1))
-        })
+        self.args
+            .iter()
+            .all(|(index, constraint)| constraint.matches(event.args.get(index - 1)))
     }
 }
 
@@ -161,7 +163,10 @@ mod tests {
 
     fn event(name: &str, args: Vec<AValue>) -> UsageEvent {
         let arity = args.len();
-        UsageEvent { method: MethodSig::new("Cipher", name, arity), args }
+        UsageEvent {
+            method: MethodSig::new("Cipher", name, arity),
+            args,
+        }
     }
 
     #[test]
@@ -201,8 +206,7 @@ mod tests {
 
     #[test]
     fn call_pred_on_events() {
-        let pred = CallPred::method("getInstance")
-            .arg(1, ArgConstraint::EqStr("DES".into()));
+        let pred = CallPred::method("getInstance").arg(1, ArgConstraint::EqStr("DES".into()));
         assert!(pred.matches(&event("getInstance", vec![AValue::Str("DES".into())])));
         assert!(!pred.matches(&event("getInstance", vec![AValue::Str("AES".into())])));
         assert!(!pred.matches(&event("init", vec![AValue::Str("DES".into())])));

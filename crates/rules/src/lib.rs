@@ -38,8 +38,8 @@ pub mod suggest;
 pub use builtin::all_rules;
 pub use checker::{CheckScope, CheckedProject, CryptoChecker, RuleStats};
 pub use classify::{classify_change, classify_dag_pair, ChangeClass};
-pub use dagcheck::clause_triggers;
 pub use cryptolint::cryptolint_rules;
+pub use dagcheck::clause_triggers;
 pub use formula::{ArgConstraint, CallPred, Formula};
 pub use rule::{Applicability, ClassClause, ContextCond, Evidence, ProjectContext, Rule};
 pub use suggest::SuggestedRule;

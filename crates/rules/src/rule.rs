@@ -23,7 +23,10 @@ impl ProjectContext {
 
     /// An Android project with the given `minSdkVersion`.
     pub fn android(min_sdk_version: i64) -> Self {
-        ProjectContext { min_sdk_version: Some(min_sdk_version), has_lprng_fix: false }
+        ProjectContext {
+            min_sdk_version: Some(min_sdk_version),
+            has_lprng_fix: false,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ pub struct ClassClause {
 impl ClassClause {
     /// Creates a clause.
     pub fn new(class: impl Into<String>, formula: Formula) -> Self {
-        ClassClause { class: class.into(), formula }
+        ClassClause {
+            class: class.into(),
+            formula,
+        }
     }
 
     /// `true` if some abstract object of `self.class` satisfies the
@@ -116,16 +122,11 @@ impl Rule {
     /// `true` if the rule can say anything about this project.
     pub fn applicable(&self, usages: &Usages, ctx: &ProjectContext) -> bool {
         match &self.applicability {
-            Applicability::ClassPresent(class) => {
-                usages.objects_of_type(class).next().is_some()
-            }
+            Applicability::ClassPresent(class) => usages.objects_of_type(class).next().is_some(),
             Applicability::ClassPresentWithContext(class) => {
-                usages.objects_of_type(class).next().is_some()
-                    && ctx.min_sdk_version.is_some()
+                usages.objects_of_type(class).next().is_some() && ctx.min_sdk_version.is_some()
             }
-            Applicability::PositiveClausesMatch => {
-                self.positive.iter().all(|c| c.matches(usages))
-            }
+            Applicability::PositiveClausesMatch => self.positive.iter().all(|c| c.matches(usages)),
         }
     }
 
@@ -187,16 +188,11 @@ pub struct Evidence {
 
 /// Collects display strings for the events that satisfy each `Exists`
 /// predicate of a satisfied formula.
-fn collect_witnesses(
-    formula: &Formula,
-    events: &[analysis::UsageEvent],
-    out: &mut Vec<String>,
-) {
+fn collect_witnesses(formula: &Formula, events: &[analysis::UsageEvent], out: &mut Vec<String>) {
     match formula {
         Formula::Exists(pred) => {
             if let Some(event) = events.iter().find(|e| pred.matches(e)) {
-                let args: Vec<String> =
-                    event.args.iter().map(absdomain::AValue::label).collect();
+                let args: Vec<String> = event.args.iter().map(absdomain::AValue::label).collect();
                 let rendered = format!("{}({})", event.method.name, args.join(", "));
                 if !out.contains(&rendered) {
                     out.push(rendered);
@@ -238,10 +234,10 @@ mod tests {
             display: String::new(),
             positive: vec![ClassClause::new(
                 "MessageDigest",
-                Formula::Exists(
-                    CallPred::method("getInstance")
-                        .arg(1, ArgConstraint::InStrs(vec!["SHA-1".into(), "SHA1".into()])),
-                ),
+                Formula::Exists(CallPred::method("getInstance").arg(
+                    1,
+                    ArgConstraint::InStrs(vec!["SHA-1".into(), "SHA1".into()]),
+                )),
             )],
             negative: vec![],
             context: ContextCond::None,
@@ -326,7 +322,10 @@ mod tests {
             .iter()
             .flat_map(|e| e.witnesses.iter().map(String::as_str))
             .collect();
-        assert!(all.contains(&"getInstance(AES/CBC/PKCS5Padding)"), "{all:?}");
+        assert!(
+            all.contains(&"getInstance(AES/CBC/PKCS5Padding)"),
+            "{all:?}"
+        );
         assert!(all.contains(&"getInstance(RSA)"), "{all:?}");
     }
 
@@ -345,15 +344,18 @@ mod tests {
             applicability: Applicability::ClassPresentWithContext("SecureRandom".into()),
             references: vec![],
         };
-        let u = usages(
-            r#"class C { void m() { SecureRandom r = new SecureRandom(); } }"#,
+        let u = usages(r#"class C { void m() { SecureRandom r = new SecureRandom(); } }"#);
+        assert!(
+            !rule.applicable(&u, &ProjectContext::plain()),
+            "not Android"
         );
-        assert!(!rule.applicable(&u, &ProjectContext::plain()), "not Android");
         assert!(rule.applicable(&u, &ProjectContext::android(17)));
         assert!(rule.matches(&u, &ProjectContext::android(17)));
         assert!(!rule.matches(&u, &ProjectContext::android(21)));
-        let fixed =
-            ProjectContext { min_sdk_version: Some(17), has_lprng_fix: true };
+        let fixed = ProjectContext {
+            min_sdk_version: Some(17),
+            has_lprng_fix: true,
+        };
         assert!(!rule.matches(&u, &fixed));
     }
 }

@@ -39,11 +39,13 @@ impl SuggestedRule {
         &self,
         paths: impl IntoIterator<Item = &'a FeaturePath> + Clone,
     ) -> bool {
-        self.must_have.iter().all(|needed| {
-            paths.clone().into_iter().any(|p| p == needed)
-        }) && !self.must_not_have.iter().any(|banned| {
-            paths.clone().into_iter().any(|p| p == banned)
-        })
+        self.must_have
+            .iter()
+            .all(|needed| paths.clone().into_iter().any(|p| p == needed))
+            && !self
+                .must_not_have
+                .iter()
+                .any(|banned| paths.clone().into_iter().any(|p| p == banned))
     }
 
     /// `true` if any abstract object of the subject class in `usages`
@@ -107,7 +109,13 @@ fn render_atom(path: &FeaturePath, var: char, relation: &str) -> String {
             match split_arg(&labels[2]) {
                 Some((index, value)) => {
                     let placeholders: Vec<String> = (1..=index)
-                        .map(|i| if i == index { var.to_string() } else { "_".to_owned() })
+                        .map(|i| {
+                            if i == index {
+                                var.to_string()
+                            } else {
+                                "_".to_owned()
+                            }
+                        })
                         .collect();
                     format!(
                         "{method}({}) \u{2227} {var} {relation} {value}",

@@ -103,14 +103,15 @@ impl UsageDag {
 /// path. No path cap — for analysis results of trusted provenance; the
 /// mining pipeline uses [`try_build_dag`].
 pub fn build_dag(usages: &Usages, root: AllocSite, max_depth: usize) -> UsageDag {
-    let limits = DagLimits { max_depth, ..DagLimits::UNBOUNDED };
+    let limits = DagLimits {
+        max_depth,
+        ..DagLimits::UNBOUNDED
+    };
     match try_build_dag(usages, root, &limits) {
         Ok(dag) => dag,
         // Unreachable with max_paths == usize::MAX; an empty DAG is the
         // graceful degradation if that ever changes.
-        Err(_) => UsageDag::empty(
-            usages.type_of(root).unwrap_or("<unknown>").to_owned(),
-        ),
+        Err(_) => UsageDag::empty(usages.type_of(root).unwrap_or("<unknown>").to_owned()),
     }
 }
 
@@ -126,10 +127,7 @@ pub fn try_build_dag(
     root: AllocSite,
     limits: &DagLimits,
 ) -> Result<UsageDag, DagError> {
-    let root_type = usages
-        .type_of(root)
-        .unwrap_or("<unknown>")
-        .to_owned();
+    let root_type = usages.type_of(root).unwrap_or("<unknown>").to_owned();
     let mut dag = UsageDag::empty(root_type.clone());
     let mut on_path: Vec<(absdomain::MethodSig, Vec<AValue>)> = Vec::new();
     expand(
@@ -153,7 +151,9 @@ fn insert_path(
 ) -> Result<(), DagError> {
     paths.insert(path);
     if paths.len() > limits.max_paths {
-        return Err(DagError::PathBudgetExceeded { max_paths: limits.max_paths });
+        return Err(DagError::PathBudgetExceeded {
+            max_paths: limits.max_paths,
+        });
     }
     Ok(())
 }
@@ -261,22 +261,14 @@ pub fn try_dags_for_class(
 ///
 /// Returns the paired DAGs (old, new) — padded entries appear as
 /// trivial DAGs.
-pub fn pair_dags(
-    old: &[UsageDag],
-    new: &[UsageDag],
-    class: &str,
-) -> Vec<(UsageDag, UsageDag)> {
+pub fn pair_dags(old: &[UsageDag], new: &[UsageDag], class: &str) -> Vec<(UsageDag, UsageDag)> {
     let n = old.len().max(new.len());
     if n == 0 {
         return Vec::new();
     }
     let pad = UsageDag::empty(class);
-    let old_padded: Vec<&UsageDag> = (0..n)
-        .map(|i| old.get(i).unwrap_or(&pad))
-        .collect();
-    let new_padded: Vec<&UsageDag> = (0..n)
-        .map(|i| new.get(i).unwrap_or(&pad))
-        .collect();
+    let old_padded: Vec<&UsageDag> = (0..n).map(|i| old.get(i).unwrap_or(&pad)).collect();
+    let new_padded: Vec<&UsageDag> = (0..n).map(|i| new.get(i).unwrap_or(&pad)).collect();
 
     let cost: Vec<Vec<f64>> = old_padded
         .iter()
@@ -411,8 +403,16 @@ mod tests {
         assert_eq!(pairs.len(), 2);
         // enc pairs with enc (both use ENCRYPT_MODE), dec with dec.
         let enc_pair = &pairs[0];
-        assert!(enc_pair.0.paths.iter().any(|p| p.to_string().contains("ENCRYPT")));
-        assert!(enc_pair.1.paths.iter().any(|p| p.to_string().contains("ENCRYPT")));
+        assert!(enc_pair
+            .0
+            .paths
+            .iter()
+            .any(|p| p.to_string().contains("ENCRYPT")));
+        assert!(enc_pair
+            .1
+            .paths
+            .iter()
+            .any(|p| p.to_string().contains("ENCRYPT")));
     }
 
     #[test]
@@ -438,10 +438,16 @@ mod tests {
         let full = build_dag(&usages, site, DEFAULT_MAX_DEPTH);
         let n = full.paths.len();
 
-        let exact = DagLimits { max_paths: n, ..DagLimits::DEFAULT };
+        let exact = DagLimits {
+            max_paths: n,
+            ..DagLimits::DEFAULT
+        };
         assert_eq!(try_build_dag(&usages, site, &exact), Ok(full));
 
-        let short = DagLimits { max_paths: n - 1, ..DagLimits::DEFAULT };
+        let short = DagLimits {
+            max_paths: n - 1,
+            ..DagLimits::DEFAULT
+        };
         assert_eq!(
             try_build_dag(&usages, site, &short),
             Err(DagError::PathBudgetExceeded { max_paths: n - 1 })
@@ -452,12 +458,21 @@ mod tests {
     fn object_cap_rejects_crowded_classes() {
         let unit = javalang::parse_compilation_unit(FIGURE2_NEW).unwrap();
         let usages = analyze(&unit, &ApiModel::standard());
-        let tight = DagLimits { max_objects: 1, ..DagLimits::DEFAULT };
+        let tight = DagLimits {
+            max_objects: 1,
+            ..DagLimits::DEFAULT
+        };
         assert_eq!(
             try_dags_for_class(&usages, "Cipher", &tight),
-            Err(DagError::TooManyObjects { objects: 2, max_objects: 1 })
+            Err(DagError::TooManyObjects {
+                objects: 2,
+                max_objects: 1
+            })
         );
-        let loose = DagLimits { max_objects: 2, ..DagLimits::DEFAULT };
+        let loose = DagLimits {
+            max_objects: 2,
+            ..DagLimits::DEFAULT
+        };
         let dags = try_dags_for_class(&usages, "Cipher", &loose).unwrap();
         assert_eq!(dags, dags_for_class(&usages, "Cipher", DEFAULT_MAX_DEPTH));
     }

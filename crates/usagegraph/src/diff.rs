@@ -60,8 +60,7 @@ pub fn shortest(paths: &BTreeSet<FeaturePath>) -> Vec<FeaturePath> {
 
 /// `Removed(G₁,G₂) = Shortest(Paths(G₁) \ Paths(G₂))`.
 pub fn removed(g1: &UsageDag, g2: &UsageDag) -> Vec<FeaturePath> {
-    let diff: BTreeSet<FeaturePath> =
-        g1.paths.difference(&g2.paths).cloned().collect();
+    let diff: BTreeSet<FeaturePath> = g1.paths.difference(&g2.paths).cloned().collect();
     shortest(&diff)
 }
 
@@ -138,8 +137,7 @@ mod tests {
         // `init/2` and `init/3` are different signatures, so the old
         // init arity-2 call also disappears; the paper's figure elides
         // arity. The essential added features must be present:
-        let added: Vec<String> =
-            change.added.iter().map(|p| p.to_string()).collect();
+        let added: Vec<String> = change.added.iter().map(|p| p.to_string()).collect();
         assert!(
             added.contains(&"Cipher getInstance arg1:AES/CBC/PKCS5Padding".to_owned()),
             "{added:?}"

@@ -40,8 +40,8 @@ mod limits;
 pub mod matching;
 
 pub use dag::{
-    build_dag, dags_for_class, pair_dags, try_build_dag, try_dags_for_class,
-    FeaturePath, UsageDag, DEFAULT_MAX_DEPTH,
+    build_dag, dags_for_class, pair_dags, try_build_dag, try_dags_for_class, FeaturePath, UsageDag,
+    DEFAULT_MAX_DEPTH,
 };
 pub use diff::{diff_dags, removed, shortest, UsageChange};
 pub use limits::{DagError, DagLimits};

@@ -86,7 +86,10 @@ impl fmt::Display for DagError {
             DagError::PathBudgetExceeded { max_paths } => {
                 write!(f, "usage DAG exceeded its budget of {max_paths} paths")
             }
-            DagError::TooManyObjects { objects, max_objects } => {
+            DagError::TooManyObjects {
+                objects,
+                max_objects,
+            } => {
                 write!(
                     f,
                     "{objects} abstract objects exceed the pairing maximum of {max_objects}"

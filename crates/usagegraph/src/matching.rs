@@ -155,8 +155,7 @@ mod tests {
             (state % 1000) as f64 / 1000.0
         };
         for n in 1..=5 {
-            let cost: Vec<Vec<f64>> =
-                (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
             let (_, got) = min_cost_assignment(&cost);
             let best = permutations(n)
                 .into_iter()

@@ -32,7 +32,11 @@ fn check(name: &str, context: ProjectContext) {
     println!(
         "{name:<42} R6 {}   (all violations: {})",
         if r6 { "VULNERABLE" } else { "ok        " },
-        if violations.is_empty() { "none".to_owned() } else { violations.join(", ") }
+        if violations.is_empty() {
+            "none".to_owned()
+        } else {
+            violations.join(", ")
+        }
     );
 }
 
@@ -41,11 +45,17 @@ fn main() {
     println!("Rule R6: the platform PRNG is vulnerable on Android API 16-18");
     println!("unless the app installs the Linux-PRNG fix.\n");
 
-    check("server project (no Android context)", ProjectContext::plain());
+    check(
+        "server project (no Android context)",
+        ProjectContext::plain(),
+    );
     check("Android app, minSdkVersion 17", ProjectContext::android(17));
     check(
         "Android app, minSdkVersion 17 + PRNG fix",
-        ProjectContext { min_sdk_version: Some(17), has_lprng_fix: true },
+        ProjectContext {
+            min_sdk_version: Some(17),
+            has_lprng_fix: true,
+        },
     );
     check("Android app, minSdkVersion 21", ProjectContext::android(21));
 

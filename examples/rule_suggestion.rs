@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for class in TARGET_CLASSES {
             let changes = dc.usage_changes_from_pair(pair.old, pair.new, class)?;
             for (_, _, change) in changes {
-                if change.is_same()
-                    || change.is_pure_addition()
-                    || change.is_pure_removal()
-                {
+                if change.is_same() || change.is_pure_addition() || change.is_pure_removal() {
                     continue;
                 }
                 let rule = SuggestedRule::from_change(&change);
@@ -31,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
                 let old_usages = dc.analyze_source(pair.old)?;
                 let new_usages = dc.analyze_source(pair.new)?;
-                println!(
-                    "\n  matches unfixed code: {}",
-                    rule.matches(&old_usages)
-                );
+                println!("\n  matches unfixed code: {}", rule.matches(&old_usages));
                 println!("  matches fixed code:   {}", rule.matches(&new_usages));
             }
         }

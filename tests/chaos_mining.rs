@@ -76,13 +76,10 @@ fn chaos_fault_injection_is_total() {
     }
 
     // Guarantee 3: untouched changes mine byte-identically.
-    let untouched = |m: &&MinedUsageChange| {
-        !log.touched(&m.meta.project, &m.meta.commit, &m.meta.path)
-    };
-    let base_kept: Vec<&MinedUsageChange> =
-        baseline.changes.iter().filter(untouched).collect();
-    let fault_kept: Vec<&MinedUsageChange> =
-        result.changes.iter().filter(untouched).collect();
+    let untouched =
+        |m: &&MinedUsageChange| !log.touched(&m.meta.project, &m.meta.commit, &m.meta.path);
+    let base_kept: Vec<&MinedUsageChange> = baseline.changes.iter().filter(untouched).collect();
+    let fault_kept: Vec<&MinedUsageChange> = result.changes.iter().filter(untouched).collect();
     assert_eq!(base_kept, fault_kept, "fault blast radius leaked");
 
     // And the parallel path degrades identically to the sequential one.
@@ -99,7 +96,9 @@ fn chaos_panic_faults_are_isolated_per_change() {
     std::env::set_var("DIFFCODE_CHAOS_PANIC_MARKER", MARKER);
 
     let mut corpus = generate(&GeneratorConfig::small(4, SEED + 1));
-    let log = Mutator::new(7, 0.5).with_panic_marker(MARKER).inject(&mut corpus);
+    let log = Mutator::new(7, 0.5)
+        .with_panic_marker(MARKER)
+        .inject(&mut corpus);
     let panic_faults = log
         .faults
         .iter()
@@ -121,8 +120,16 @@ fn chaos_panic_faults_are_isolated_per_change() {
             result.stats.skipped.panic, panic_faults,
             "each marker fault must become exactly one isolated panic skip"
         );
-        for report in result.quarantine.iter().filter(|r| r.kind == ErrorKind::Panic) {
-            assert!(report.error.contains("chaos"), "payload lost: {}", report.error);
+        for report in result
+            .quarantine
+            .iter()
+            .filter(|r| r.kind == ErrorKind::Panic)
+        {
+            assert!(
+                report.error.contains("chaos"),
+                "payload lost: {}",
+                report.error
+            );
         }
     }
     assert_eq!(sequential, parallel);

@@ -140,8 +140,7 @@ fn check_android_context_enables_r6() {
 
 #[test]
 fn check_walks_directories() {
-    let dir = std::env::temp_dir()
-        .join(format!("diffcode-cli-dirtest-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("diffcode-cli-dirtest-{}", std::process::id()));
     std::fs::create_dir_all(dir.join("nested")).unwrap();
     std::fs::write(dir.join("A.java"), INSECURE).unwrap();
     std::fs::write(dir.join("nested/B.java"), SECURE).unwrap();
@@ -162,8 +161,7 @@ fn bad_flag_reports_error() {
 fn check_materialized_generated_project() {
     // Generated corpus -> real files on disk -> the CLI checks them.
     let corpus = corpus::generate(&corpus::GeneratorConfig::small(6, 0xD15C));
-    let dir = std::env::temp_dir()
-        .join(format!("diffcode-materialize-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("diffcode-materialize-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let project = &corpus.projects[0];
     let written = project.materialize(&dir).unwrap();

@@ -91,7 +91,10 @@ fn dendrogram_renders_every_change() {
     }
     let elicitation = elicit(&changes, 0.5);
     let rendering = diffcode::render_dendrogram(&changes, &elicitation.dendrogram);
-    let leaf_lines = rendering.lines().filter(|l| l.trim_start().starts_with("- ")).count();
+    let leaf_lines = rendering
+        .lines()
+        .filter(|l| l.trim_start().starts_with("- "))
+        .count();
     assert_eq!(leaf_lines, changes.len());
 }
 

@@ -19,7 +19,9 @@ fn figure2b_old_enc_dag_node_set() {
     let enc = changes
         .iter()
         .find(|(old, _, _)| {
-            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+            old.paths
+                .iter()
+                .any(|p| p.to_string().contains("ENCRYPT_MODE"))
         })
         .expect("enc object");
     let expected: BTreeSet<String> = [
@@ -45,7 +47,9 @@ fn figure2c_new_enc_dag_node_set() {
     let enc = changes
         .iter()
         .find(|(old, _, _)| {
-            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+            old.paths
+                .iter()
+                .any(|p| p.to_string().contains("ENCRYPT_MODE"))
         })
         .expect("enc object");
     let expected: BTreeSet<String> = [
@@ -84,7 +88,9 @@ fn figure2d_removed_and_added_features() {
     let (_, _, change) = changes
         .iter()
         .find(|(old, _, _)| {
-            old.paths.iter().any(|p| p.to_string().contains("ENCRYPT_MODE"))
+            old.paths
+                .iter()
+                .any(|p| p.to_string().contains("ENCRYPT_MODE"))
         })
         .expect("enc object");
 
@@ -96,10 +102,7 @@ fn figure2d_removed_and_added_features() {
     assert!(added.contains(&"Cipher init arg3:IvParameterSpec".to_owned()));
     // Shortest-path property: the <init> subtree of the IV spec must
     // NOT appear (its prefix is already an added feature).
-    assert!(
-        !added.iter().any(|p| p.contains("<init>")),
-        "{added:?}"
-    );
+    assert!(!added.iter().any(|p| p.contains("<init>")), "{added:?}");
 }
 
 #[test]

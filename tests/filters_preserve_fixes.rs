@@ -40,7 +40,10 @@ fn over_80_percent_of_classified_changes_are_fixes() {
     let bugs: usize = rows.iter().map(|r| r.bug.total).sum();
     assert!(fixes + bugs > 0, "corpus has classified changes");
     let ratio = fixes as f64 / (fixes + bugs) as f64;
-    assert!(ratio > 0.8, "paper: >80% are fixes; got {ratio:.2} ({fixes}/{bugs})");
+    assert!(
+        ratio > 0.8,
+        "paper: >80% are fixes; got {ratio:.2} ({fixes}/{bugs})"
+    );
 }
 
 #[test]

@@ -128,7 +128,11 @@ fn suggested_rules_from_all_fixtures_separate_old_from_new() {
             assert_eq!(modifications, 0, "provider fix is addition-only");
             assert!(pure_additions > 0, "{}", pair.name);
         } else {
-            assert!(modifications > 0, "{} produced no modification changes", pair.name);
+            assert!(
+                modifications > 0,
+                "{} produced no modification changes",
+                pair.name
+            );
         }
     }
 }

@@ -60,14 +60,15 @@ fn gcm_fix_has_expected_features() {
     let gcm_fix = exp
         .mined_changes()
         .iter()
-        .find(|c| {
-            c.meta.message.contains("AES/GCM") && c.class == "Cipher" && !c.change.is_same()
-        })
+        .find(|c| c.meta.message.contains("AES/GCM") && c.class == "Cipher" && !c.change.is_same())
         .expect("the messenger GCM fix");
-    let removed: Vec<String> =
-        gcm_fix.change.removed.iter().map(|p| p.to_string()).collect();
-    let added: Vec<String> =
-        gcm_fix.change.added.iter().map(|p| p.to_string()).collect();
+    let removed: Vec<String> = gcm_fix
+        .change
+        .removed
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let added: Vec<String> = gcm_fix.change.added.iter().map(|p| p.to_string()).collect();
     assert!(
         removed.contains(&"Cipher getInstance arg1:AES".to_owned()),
         "{removed:?}"
@@ -126,16 +127,14 @@ fn checker_verdicts_before_and_after_history() {
     };
     let mut exp0 = Experiments::new(initial);
     let projects0 = exp0.checked_projects();
-    let by_name0 = |name: &str| {
-        projects0
-            .iter()
-            .find(|p| p.name.contains(name))
-            .unwrap()
-    };
+    let by_name0 = |name: &str| projects0.iter().find(|p| p.name.contains(name)).unwrap();
     let messenger0 = checker.violations(by_name0("messenger"));
     assert!(messenger0.contains(&"R7".to_owned()), "{messenger0:?}");
     assert!(messenger0.contains(&"R1".to_owned()), "{messenger0:?}");
-    assert!(messenger0.contains(&"R9".to_owned()), "static IV: {messenger0:?}");
+    assert!(
+        messenger0.contains(&"R9".to_owned()),
+        "static IV: {messenger0:?}"
+    );
     let vault0 = checker.violations(by_name0("vault"));
     assert!(vault0.contains(&"R2".to_owned()), "{vault0:?}");
     assert!(vault0.contains(&"R11".to_owned()), "{vault0:?}");
@@ -150,9 +149,7 @@ fn fixes_cluster_by_kind() {
         .mined_changes()
         .iter()
         .filter(|c| {
-            !c.change.is_same()
-                && !c.change.is_pure_addition()
-                && !c.change.is_pure_removal()
+            !c.change.is_same() && !c.change.is_pure_addition() && !c.change.is_pure_removal()
         })
         .cloned()
         .collect();

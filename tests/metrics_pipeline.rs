@@ -5,8 +5,8 @@
 
 use corpus::{generate, GeneratorConfig};
 use diffcode::{
-    apply_filters, apply_filters_with_metrics, apply_filters_with_seen,
-    mine_parallel_with_metrics, DiffCode, ErrorKind,
+    apply_filters, apply_filters_with_metrics, apply_filters_with_seen, mine_parallel_with_metrics,
+    DiffCode, ErrorKind,
 };
 use obs::MetricsRegistry;
 use std::collections::BTreeSet;
@@ -14,7 +14,11 @@ use std::collections::BTreeSet;
 const SEED: u64 = 7;
 
 fn corpus_under_test() -> corpus::Corpus {
-    generate(&GeneratorConfig { n_projects: 10, seed: SEED, ..GeneratorConfig::default() })
+    generate(&GeneratorConfig {
+        n_projects: 10,
+        seed: SEED,
+        ..GeneratorConfig::default()
+    })
 }
 
 /// Sharded mining + per-shard filtering with a shared dedup set keeps
@@ -33,7 +37,10 @@ fn sharded_filtering_with_shared_seen_matches_sequential() {
     // (as a shard-streaming consumer would) with one shared seen-set.
     let mut registry = MetricsRegistry::new();
     let parallel = mine_parallel_with_metrics(&corpus, &[], 4, &mut registry);
-    assert_eq!(parallel.changes, sequential.changes, "mining must be shard-invariant");
+    assert_eq!(
+        parallel.changes, sequential.changes,
+        "mining must be shard-invariant"
+    );
 
     let mut seen = BTreeSet::new();
     let mut kept_batched = Vec::new();
@@ -43,7 +50,10 @@ fn sharded_filtering_with_shared_seen_matches_sequential() {
         total_after_fdup += stats.after_fdup;
         kept_batched.extend(kept);
     }
-    assert_eq!(kept_batched, kept_seq, "batched filtering must dedup like one pass");
+    assert_eq!(
+        kept_batched, kept_seq,
+        "batched filtering must dedup like one pass"
+    );
     assert_eq!(total_after_fdup, stats_seq.after_fdup);
 }
 
@@ -56,10 +66,19 @@ fn metrics_counters_reconcile_with_pipeline_stats() {
     let mut registry = MetricsRegistry::new();
     let result = mine_parallel_with_metrics(&corpus, &[], 4, &mut registry);
 
-    assert_eq!(registry.counter("mine.code_changes"), result.stats.code_changes as u64);
+    assert_eq!(
+        registry.counter("mine.code_changes"),
+        result.stats.code_changes as u64
+    );
     assert_eq!(registry.counter("mine.mined"), result.stats.mined as u64);
-    assert_eq!(registry.counter("mine.skipped"), result.stats.skipped.total() as u64);
-    assert_eq!(registry.counter("mine.usage_changes"), result.changes.len() as u64);
+    assert_eq!(
+        registry.counter("mine.skipped"),
+        result.stats.skipped.total() as u64
+    );
+    assert_eq!(
+        registry.counter("mine.usage_changes"),
+        result.changes.len() as u64
+    );
     for kind in ErrorKind::ALL {
         assert_eq!(
             registry.counter(&format!("mine.skipped.{}", kind.name())),
@@ -77,14 +96,28 @@ fn metrics_counters_reconcile_with_pipeline_stats() {
 
     let (kept, stats) = apply_filters_with_metrics(result.changes, &mut registry);
     assert_eq!(registry.counter("filter.total"), stats.total as u64);
-    assert_eq!(registry.counter("filter.after_fsame"), stats.after_fsame as u64);
-    assert_eq!(registry.counter("filter.after_fadd"), stats.after_fadd as u64);
-    assert_eq!(registry.counter("filter.after_frem"), stats.after_frem as u64);
+    assert_eq!(
+        registry.counter("filter.after_fsame"),
+        stats.after_fsame as u64
+    );
+    assert_eq!(
+        registry.counter("filter.after_fadd"),
+        stats.after_fadd as u64
+    );
+    assert_eq!(
+        registry.counter("filter.after_frem"),
+        stats.after_frem as u64
+    );
     assert_eq!(registry.counter("filter.after_fdup"), kept.len() as u64);
     assert!(obs::check_funnel(
         &registry,
-        &["filter.total", "filter.after_fsame", "filter.after_fadd",
-          "filter.after_frem", "filter.after_fdup"],
+        &[
+            "filter.total",
+            "filter.after_fsame",
+            "filter.after_fadd",
+            "filter.after_frem",
+            "filter.after_fdup"
+        ],
     )
     .is_ok());
 }
@@ -124,12 +157,26 @@ fn json_snapshot_carries_the_funnel() {
 
     let json = registry.to_json();
     assert!(json.contains("\"version\": 1"), "{json}");
-    for stage in ["filter.total", "filter.after_fsame", "filter.after_fadd",
-                  "filter.after_frem", "filter.after_fdup"] {
-        assert!(json.contains(&format!("\"{stage}\":")), "snapshot missing {stage}");
+    for stage in [
+        "filter.total",
+        "filter.after_fsame",
+        "filter.after_fadd",
+        "filter.after_frem",
+        "filter.after_fdup",
+    ] {
+        assert!(
+            json.contains(&format!("\"{stage}\":")),
+            "snapshot missing {stage}"
+        );
     }
     for counter in ["mine.code_changes", "mine.mined", "mine.skipped"] {
-        assert!(json.contains(&format!("\"{counter}\":")), "snapshot missing {counter}");
+        assert!(
+            json.contains(&format!("\"{counter}\":")),
+            "snapshot missing {counter}"
+        );
     }
-    assert!(json.contains("\"mine.run\": {"), "snapshot missing mine.run span");
+    assert!(
+        json.contains("\"mine.run\": {"),
+        "snapshot missing mine.run span"
+    );
 }

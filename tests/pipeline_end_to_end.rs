@@ -37,7 +37,10 @@ fn filter_funnel_shape_matches_paper() {
     let total: usize = rows.iter().map(|r| r.stats.total).sum();
     let semantic: usize = rows.iter().map(|r| r.stats.after_fsame).sum();
     let surviving: usize = rows.iter().map(|r| r.stats.after_fdup).sum();
-    assert!(total > 500, "corpus yields plenty of usage changes: {total}");
+    assert!(
+        total > 500,
+        "corpus yields plenty of usage changes: {total}"
+    );
     // fsame removes the overwhelming majority (paper: >97%).
     assert!(
         (semantic as f64) < 0.2 * total as f64,
@@ -61,7 +64,9 @@ fn security_fix_commits_survive_filtering() {
         if change.meta.message.starts_with("Security:") {
             fix_commits.insert(change.meta.commit.as_str());
             if !matches!(stage, FilterStage::FSame) {
-                *semantic_commits.entry(change.meta.commit.as_str()).or_default() += 1;
+                *semantic_commits
+                    .entry(change.meta.commit.as_str())
+                    .or_default() += 1;
             }
         }
     }
@@ -103,7 +108,11 @@ fn clustering_filtered_changes_terminates_with_sane_tree() {
     if n > 1 {
         assert_eq!(fig8.elicitation.dendrogram.merges.len(), n - 1);
     }
-    let in_clusters: usize =
-        fig8.elicitation.clusters.iter().map(|c| c.members.len()).sum();
+    let in_clusters: usize = fig8
+        .elicitation
+        .clusters
+        .iter()
+        .map(|c| c.members.len())
+        .sum();
     assert_eq!(in_clusters, n, "clusters partition the leaves");
 }

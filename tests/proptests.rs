@@ -23,9 +23,8 @@ fn avalue() -> impl Strategy<Value = AValue> {
         any::<bool>().prop_map(AValue::Bool),
         Just(AValue::Null),
         Just(AValue::Unknown),
-        ("[A-Z][a-zA-Z]{0,8}", "[A-Z_]{1,10}").prop_map(|(class, name)| {
-            AValue::ApiConst { class, name }
-        }),
+        ("[A-Z][a-zA-Z]{0,8}", "[A-Z_]{1,10}")
+            .prop_map(|(class, name)| { AValue::ApiConst { class, name } }),
     ]
 }
 
@@ -50,7 +49,10 @@ fn feature_path() -> impl Strategy<Value = FeaturePath> {
 fn usage_dag() -> impl Strategy<Value = UsageDag> {
     proptest::collection::btree_set(feature_path(), 0..8).prop_map(|mut paths| {
         paths.insert(FeaturePath(vec!["Cipher".to_owned()]));
-        UsageDag { root_type: "Cipher".to_owned(), paths }
+        UsageDag {
+            root_type: "Cipher".to_owned(),
+            paths,
+        }
     })
 }
 
@@ -430,14 +432,16 @@ fn nesting_budget_boundary_is_exact() {
     let parse = |source: &str, n: usize| {
         javalang::parse_compilation_unit_with_limits(
             source,
-            javalang::Limits { max_nesting: n, ..javalang::Limits::UNBOUNDED },
+            javalang::Limits {
+                max_nesting: n,
+                ..javalang::Limits::UNBOUNDED
+            },
         )
     };
     let min_clean_budget = |source: &str| {
         (1..512)
             .find(|n| {
-                parse(source, *n)
-                    .is_ok_and(|u| !u.types.is_empty() && u.diagnostics.is_empty())
+                parse(source, *n).is_ok_and(|u| !u.types.is_empty() && u.diagnostics.is_empty())
             })
             .expect("source must parse under some budget")
     };
@@ -447,7 +451,9 @@ fn nesting_budget_boundary_is_exact() {
         Err(e) => assert_eq!(e.kind(), javalang::ParseErrorKind::NestingTooDeep),
         Ok(unit) => {
             assert!(
-                unit.diagnostics.iter().any(|d| d.message.contains("nesting")),
+                unit.diagnostics
+                    .iter()
+                    .any(|d| d.message.contains("nesting")),
                 "recovery must record the overrun: {:?}",
                 unit.diagnostics
             );
@@ -464,12 +470,16 @@ fn nesting_budget_boundary_is_exact() {
 fn token_budget_boundary_is_exact() {
     let source = "class A { int x = 1; int y = 2; }";
     let tokens = javalang::lex(source).unwrap().len();
-    let at = javalang::Limits { max_tokens: tokens, ..javalang::Limits::UNBOUNDED };
+    let at = javalang::Limits {
+        max_tokens: tokens,
+        ..javalang::Limits::UNBOUNDED
+    };
     assert!(javalang::parse_compilation_unit_with_limits(source, at).is_ok());
-    let under =
-        javalang::Limits { max_tokens: tokens - 1, ..javalang::Limits::UNBOUNDED };
-    let reject =
-        javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
+    let under = javalang::Limits {
+        max_tokens: tokens - 1,
+        ..javalang::Limits::UNBOUNDED
+    };
+    let reject = javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
     assert_eq!(reject.kind(), javalang::ParseErrorKind::TokenBudgetExceeded);
 }
 
@@ -485,8 +495,7 @@ fn source_size_boundary_is_exact() {
         max_source_bytes: source.len() - 1,
         ..javalang::Limits::UNBOUNDED
     };
-    let reject =
-        javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
+    let reject = javalang::parse_compilation_unit_with_limits(source, under).unwrap_err();
     assert_eq!(reject.kind(), javalang::ParseErrorKind::SourceTooLarge);
 }
 
@@ -503,7 +512,6 @@ fn token_length_boundary_is_exact() {
         max_token_bytes: ident.len() - 1,
         ..javalang::Limits::UNBOUNDED
     };
-    let reject =
-        javalang::parse_compilation_unit_with_limits(&source, under).unwrap_err();
+    let reject = javalang::parse_compilation_unit_with_limits(&source, under).unwrap_err();
     assert_eq!(reject.kind(), javalang::ParseErrorKind::TokenTooLong);
 }

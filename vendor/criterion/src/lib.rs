@@ -41,12 +41,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id from a function name and a parameter.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
     }
 
     /// An id from the parameter alone.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -144,7 +148,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { mode: Mode::Measure { sample_size: 10 } }
+        Criterion {
+            mode: Mode::Measure { sample_size: 10 },
+        }
     }
 }
 
@@ -215,11 +221,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks a function within the group.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        body: impl FnMut(&mut Bencher<'_>),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, body: impl FnMut(&mut Bencher<'_>)) -> &mut Self {
         let label = format!("{}/{name}", self.name);
         run_one(self.mode, &label, self.throughput, body);
         self
@@ -236,7 +238,10 @@ fn run_one(
     mut body: impl FnMut(&mut Bencher<'_>),
 ) {
     let mut report = Vec::new();
-    let mut bencher = Bencher { mode, report: &mut report };
+    let mut bencher = Bencher {
+        mode,
+        report: &mut report,
+    };
     body(&mut bencher);
     match mode {
         Mode::Smoke => println!("test {label} ... ok"),
@@ -254,10 +259,9 @@ fn run_one(
                             "{:.1} MiB/s",
                             n as f64 / sample.mean.as_secs_f64() / (1024.0 * 1024.0)
                         ),
-                        Throughput::Elements(n) => format!(
-                            "{:.0} elem/s",
-                            n as f64 / sample.mean.as_secs_f64()
-                        ),
+                        Throughput::Elements(n) => {
+                            format!("{:.0} elem/s", n as f64 / sample.mean.as_secs_f64())
+                        }
                     };
                     line.push_str(&format!(" thrpt: {per_sec}"));
                 }
@@ -300,7 +304,10 @@ mod tests {
     fn smoke_mode_runs_body_once() {
         let mut count = 0;
         let mut report = Vec::new();
-        let mut bencher = Bencher { mode: Mode::Smoke, report: &mut report };
+        let mut bencher = Bencher {
+            mode: Mode::Smoke,
+            report: &mut report,
+        };
         bencher.iter(|| count += 1);
         assert_eq!(count, 1);
         assert!(report.is_empty());
@@ -309,8 +316,10 @@ mod tests {
     #[test]
     fn measure_mode_records_a_sample() {
         let mut report = Vec::new();
-        let mut bencher =
-            Bencher { mode: Mode::Measure { sample_size: 2 }, report: &mut report };
+        let mut bencher = Bencher {
+            mode: Mode::Measure { sample_size: 2 },
+            report: &mut report,
+        };
         bencher.iter(|| black_box(3u64).wrapping_mul(5));
         assert_eq!(report.len(), 1);
         assert!(report[0].iters >= 2);

@@ -98,7 +98,9 @@ pub mod strategy {
 
     /// The canonical strategy for `T` (full range for ints, fair bool).
     pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-        AnyStrategy { _marker: std::marker::PhantomData }
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
     }
 
     impl<T: Arbitrary> Strategy for AnyStrategy<T> {
@@ -209,9 +211,9 @@ pub mod string {
                 }
                 '\\' => {
                     i += 2;
-                    vec![*chars.get(i - 1).unwrap_or_else(|| {
-                        panic!("dangling escape in pattern {pattern:?}")
-                    })]
+                    vec![*chars
+                        .get(i - 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))]
                 }
                 c => {
                     i += 1;
@@ -239,7 +241,11 @@ pub mod string {
             } else {
                 (1, 1)
             };
-            atoms.push(Atom { chars: candidates, min, max });
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
         }
         atoms
     }
@@ -257,11 +263,13 @@ pub mod string {
             };
             // A range `a-z` needs an unescaped `-` with both neighbours
             // inside the class.
-            if chars.get(i + 1) == Some(&'-')
-                && i + 2 < chars.len()
-                && chars[i + 2] != ']'
-            {
-                let hi = if chars[i + 2] == '\\' { i += 1; chars[i + 2] } else { chars[i + 2] };
+            if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']' {
+                let hi = if chars[i + 2] == '\\' {
+                    i += 1;
+                    chars[i + 2]
+                } else {
+                    chars[i + 2]
+                };
                 assert!(c <= hi, "inverted range in pattern {pattern:?}");
                 set.extend(c..=hi);
                 i += 3;
@@ -313,7 +321,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
@@ -331,7 +342,10 @@ pub mod collection {
 
     /// Generates vectors of `element` values with length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -356,7 +370,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -595,7 +612,8 @@ mod tests {
             let tail = &s[5..];
             assert!((1..=14).contains(&tail.chars().count()), "{s}");
             assert!(
-                tail.chars().all(|c| c.is_ascii_alphanumeric() || c == '/' || c == '-'),
+                tail.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '/' || c == '-'),
                 "{s}"
             );
         }
