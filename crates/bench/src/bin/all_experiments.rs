@@ -7,10 +7,14 @@
 //! ends with the aggregated stage-latency table — no ad-hoc clock
 //! arithmetic in the binary.
 //!
-//! Usage: `cargo run --release -p diffcode-bench --bin all_experiments [n_projects] [seed]`
+//! Usage: `cargo run --release -p diffcode-bench --bin all_experiments [n_projects] [seed]
+//! [--bench-json <path>]`
+//!
+//! `--bench-json` writes the run's metrics snapshot (per-stage latency
+//! spans included) for CI's bench-regression gate.
 
 use diffcode::Experiments;
-use diffcode_bench::{config_from_args, header, render_span_table};
+use diffcode_bench::{bench_json_path, config_from_args, header, render_span_table};
 use obs::MetricsRegistry;
 
 fn main() {
@@ -82,4 +86,12 @@ fn main() {
     .filter_map(|name| metrics.span(name).map(|s| s.sum_ns))
     .sum();
     println!("\ntotal stage time: {}", obs::fmt_ns(total));
+
+    if let Some(path) = bench_json_path() {
+        if let Err(err) = std::fs::write(&path, metrics.to_json()) {
+            eprintln!("error: writing {}: {err}", path.display());
+            std::process::exit(2);
+        }
+        println!("bench metrics written to {}", path.display());
+    }
 }

@@ -6,17 +6,19 @@
 
 use corpus::GeneratorConfig;
 use obs::{fmt_ns, MetricsRegistry};
+use std::path::PathBuf;
 
 /// Parses `[n_projects] [seed]` from the command line, with
-/// paper-scale defaults.
+/// paper-scale defaults. Flag arguments (`--bench-json <path>`) are
+/// skipped; see [`bench_json_path`].
 pub fn config_from_args(default_projects: usize) -> GeneratorConfig {
-    let mut args = std::env::args().skip(1);
-    let n_projects = args
-        .next()
+    let (positionals, _) = split_args();
+    let n_projects = positionals
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default_projects);
-    let seed = args
-        .next()
+    let seed = positionals
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xD1FF_C0DE);
     GeneratorConfig {
@@ -24,6 +26,29 @@ pub fn config_from_args(default_projects: usize) -> GeneratorConfig {
         seed,
         ..GeneratorConfig::default()
     }
+}
+
+/// The `--bench-json <path>` argument, if given: where the binary
+/// writes its metrics-registry snapshot (counters, gauges, and the
+/// per-stage latency spans CI's regression gate reads).
+pub fn bench_json_path() -> Option<PathBuf> {
+    split_args().1
+}
+
+/// Splits the command line into positional arguments and the optional
+/// `--bench-json` value.
+fn split_args() -> (Vec<String>, Option<PathBuf>) {
+    let mut positionals = Vec::new();
+    let mut json = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        if arg == "--bench-json" {
+            json = iter.next().map(PathBuf::from);
+        } else {
+            positionals.push(arg);
+        }
+    }
+    (positionals, json)
 }
 
 /// Prints a section header.

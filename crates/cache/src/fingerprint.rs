@@ -1,0 +1,126 @@
+//! 128-bit content fingerprints (FNV-1a).
+//!
+//! `DefaultHasher` is explicitly unstable across releases and
+//! processes, so cache keys use a hand-rolled FNV-1a over 128 bits:
+//! trivially portable, deterministic forever, and wide enough that
+//! birthday collisions are out of reach for any corpus this pipeline
+//! will see (2⁶⁴ entries for a 50% collision chance).
+
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content fingerprint. Displays as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Running FNV-1a 128 state, fed length-delimited parts.
+#[derive(Debug, Clone)]
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one part, length-prefixed so `["ab","c"]` and `["a","bc"]`
+    /// hash differently.
+    fn update_part(&mut self, part: &[u8]) {
+        self.update(&(part.len() as u64).to_le_bytes());
+        self.update(part);
+    }
+}
+
+/// Fingerprints a sequence of byte parts. Each part is length-delimited
+/// before hashing, so the fingerprint depends on the part boundaries,
+/// not just the concatenation.
+pub fn fingerprint(parts: &[&[u8]]) -> Fingerprint {
+    let mut fnv = Fnv128::new();
+    for part in parts {
+        fnv.update_part(part);
+    }
+    Fingerprint(fnv.0)
+}
+
+/// [`fingerprint`] over string parts.
+pub fn fingerprint_str(parts: &[&str]) -> Fingerprint {
+    let mut fnv = Fnv128::new();
+    for part in parts {
+        fnv.update_part(part.as_bytes());
+    }
+    Fingerprint(fnv.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a 128 of the empty input is the offset basis; one part
+        // still mixes in the length prefix.
+        assert_eq!(fingerprint(&[]), Fingerprint(FNV_OFFSET));
+        assert_ne!(fingerprint(&[b""]), Fingerprint(FNV_OFFSET));
+    }
+
+    #[test]
+    fn part_boundaries_matter() {
+        assert_ne!(fingerprint(&[b"ab", b"c"]), fingerprint(&[b"a", b"bc"]));
+        assert_ne!(fingerprint(&[b"abc"]), fingerprint(&[b"ab", b"c"]));
+        assert_eq!(fingerprint(&[b"ab", b"c"]), fingerprint(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn str_and_bytes_agree() {
+        assert_eq!(
+            fingerprint_str(&["old", "new"]),
+            fingerprint(&[b"old", b"new"])
+        );
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = fingerprint(&[b"round", b"trip"]);
+        let hex = fp.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::parse(&hex), Some(fp));
+        assert_eq!(Fingerprint::parse("xyz"), None);
+        assert_eq!(Fingerprint::parse(&hex[..31]), None);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        // Not a collision test, just a sanity sweep over small inputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..1000 {
+            let bytes = i.to_le_bytes();
+            assert!(seen.insert(fingerprint(&[&bytes])), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! The append-log cache store.
+//!
+//! On disk a cache is one file, `<dir>/cache.log`: a magic header
+//! followed by self-describing records
+//! `(key: u128, version: u32, payload_len: u64, payload, fnv64(payload))`.
+//! Appending is the only write pattern a mining run needs, so the
+//! format never rewrites in place; [`CacheStore::vacuum`] produces a
+//! compacted file when asked.
+//!
+//! Crash safety is by construction: a flush that dies mid-record
+//! leaves a truncated tail that fails its length or checksum check, so
+//! the next [`CacheStore::open`] indexes every record up to the tail
+//! and ignores the rest; the next [`CacheStore::flush`] truncates the
+//! garbage before appending. Entries are immutable once written —
+//! a duplicate key appended later supersedes the earlier record at
+//! load time (last write wins), which vacuum then compacts away.
+
+use crate::fingerprint::Fingerprint;
+use crate::wire::{Reader, WireError, Writer};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every cache log (format, not analysis, version;
+/// bump only on layout change).
+const MAGIC: &[u8] = b"DIFFCACHE1\n";
+
+/// The log file name inside a cache directory.
+const LOG_NAME: &str = "cache.log";
+
+/// FNV-1a 64 of `bytes` — the per-record payload checksum.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// One indexed entry: the analysis version it was written under and
+/// its serialized payload.
+#[derive(Debug, Clone)]
+struct Entry {
+    version: u32,
+    payload: Vec<u8>,
+}
+
+/// The result of a cache lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Lookup<'a> {
+    /// The key is present at the store's analysis version.
+    Hit(&'a [u8]),
+    /// The key is present but was written under a different analysis
+    /// version — the cached outcome may no longer be what the pipeline
+    /// would compute, so it must be recomputed.
+    StaleVersion,
+    /// The key is absent.
+    Miss,
+}
+
+/// Write log for one mining shard: an ordered append buffer plus its
+/// own lookup index, so a shard sees its *own* writes (duplicate file
+/// pairs within a shard hit on the second encounter) without any
+/// shared mutable state. Dropped without being absorbed — e.g. when
+/// the shard's worker thread dies — its entries simply never reach the
+/// store, which is exactly what the accounting wants: a dead shard's
+/// changes were folded in as skips, so caching their half-finished
+/// outcomes would let a later warm run disagree with the cold one.
+#[derive(Debug, Default)]
+pub struct ShardLog {
+    order: Vec<Fingerprint>,
+    entries: HashMap<u128, Vec<u8>>,
+}
+
+impl ShardLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ShardLog::default()
+    }
+
+    /// Records `payload` for `key` (first write wins within a shard —
+    /// the pipeline only records a key it just missed on).
+    pub fn record(&mut self, key: Fingerprint, payload: Vec<u8>) {
+        if !self.entries.contains_key(&key.0) {
+            self.order.push(key);
+            self.entries.insert(key.0, payload);
+        }
+    }
+
+    /// This shard's own payload for `key`, if it wrote one.
+    pub fn get(&self, key: Fingerprint) -> Option<&[u8]> {
+        self.entries.get(&key.0).map(Vec::as_slice)
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Aggregate facts about a store, for `diffcode cache stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Indexed entries at the store's analysis version.
+    pub current_entries: usize,
+    /// Indexed entries written under another analysis version.
+    pub stale_entries: usize,
+    /// Well-formed records in the log — those scanned at open plus
+    /// those flushed since (superseded duplicates included).
+    pub records_loaded: usize,
+    /// Bytes of unreadable tail ignored at open.
+    pub corrupt_tail_bytes: u64,
+    /// Size of the log file in bytes (as of open plus flushed writes).
+    pub file_bytes: u64,
+    /// Entries recorded but not yet flushed.
+    pub pending_entries: usize,
+}
+
+/// What [`CacheStore::vacuum`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VacuumReport {
+    /// Entries kept (current version, one record per key).
+    pub kept: usize,
+    /// Indexed entries dropped for carrying a stale version.
+    pub dropped_stale: usize,
+    /// On-disk records dropped as superseded duplicates or corrupt.
+    pub dropped_records: usize,
+    /// File size before compaction.
+    pub bytes_before: u64,
+    /// File size after compaction.
+    pub bytes_after: u64,
+}
+
+/// What [`verify`] found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Well-formed records (checksum passed).
+    pub valid_records: usize,
+    /// Records whose payload failed its checksum.
+    pub checksum_failures: usize,
+    /// Bytes of unreadable tail after the last well-formed record.
+    pub corrupt_tail_bytes: u64,
+    /// Distinct keys among valid records.
+    pub distinct_keys: usize,
+    /// Record count per analysis version, ascending.
+    pub versions: BTreeMap<u32, usize>,
+}
+
+impl VerifyReport {
+    /// `true` when the log has no integrity problems.
+    pub fn is_clean(&self) -> bool {
+        self.checksum_failures == 0 && self.corrupt_tail_bytes == 0
+    }
+}
+
+/// A persistent content-addressed store bound to one analysis version.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    version: u32,
+    index: HashMap<u128, Entry>,
+    pending: Vec<Fingerprint>,
+    /// Byte length of the well-formed prefix of the log file; flush
+    /// truncates to this before appending.
+    valid_len: u64,
+    records_loaded: usize,
+    corrupt_tail_bytes: u64,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) the cache under `dir`, indexing every
+    /// well-formed record of its log. `version` is the caller's current
+    /// analysis version: entries written under any other version will
+    /// report [`Lookup::StaleVersion`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or reading the log. A
+    /// *corrupt* log is not an error — unreadable bytes are skipped and
+    /// reported via [`CacheStore::stats`].
+    pub fn open(dir: &Path, version: u32) -> io::Result<CacheStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = CacheStore {
+            dir: dir.to_owned(),
+            version,
+            index: HashMap::new(),
+            pending: Vec::new(),
+            valid_len: 0,
+            records_loaded: 0,
+            corrupt_tail_bytes: 0,
+        };
+        let log = store.log_path();
+        if log.exists() {
+            let bytes = std::fs::read(&log)?;
+            store.load(&bytes);
+        }
+        Ok(store)
+    }
+
+    /// The path of the backing log file.
+    pub fn log_path(&self) -> PathBuf {
+        self.dir.join(LOG_NAME)
+    }
+
+    /// The analysis version lookups are checked against.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    fn load(&mut self, bytes: &[u8]) {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            // Foreign or empty file: treat everything as corrupt tail
+            // so flush rewrites from scratch.
+            self.corrupt_tail_bytes = bytes.len() as u64;
+            self.valid_len = 0;
+            return;
+        }
+        let mut reader = Reader::new(&bytes[MAGIC.len()..]);
+        let mut consumed = MAGIC.len() as u64;
+        while !reader.is_exhausted() {
+            match read_record(&mut reader) {
+                Ok((key, version, payload)) => {
+                    consumed = (bytes.len() - reader.remaining()) as u64;
+                    self.records_loaded += 1;
+                    // Last write wins: a re-recorded key supersedes.
+                    self.index.insert(key.0, Entry { version, payload });
+                }
+                Err(_) => break,
+            }
+        }
+        self.valid_len = consumed;
+        self.corrupt_tail_bytes = bytes.len() as u64 - consumed;
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: Fingerprint) -> Lookup<'_> {
+        match self.index.get(&key.0) {
+            Some(entry) if entry.version == self.version => Lookup::Hit(&entry.payload),
+            Some(_) => Lookup::StaleVersion,
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Records `payload` for `key` at the store's version. Visible to
+    /// [`CacheStore::get`] immediately; durable after
+    /// [`CacheStore::flush`].
+    pub fn insert(&mut self, key: Fingerprint, payload: Vec<u8>) {
+        // Callers only insert on a miss (the mining loop checks first;
+        // `absorb` skips keys that already hit), so a key is pending at
+        // most once per flush.
+        self.index.insert(
+            key.0,
+            Entry {
+                version: self.version,
+                payload,
+            },
+        );
+        self.pending.push(key);
+    }
+
+    /// Merges a shard's write log into the store (in the shard's append
+    /// order, so flushed files are deterministic for a deterministic
+    /// mining order).
+    pub fn absorb(&mut self, log: ShardLog) {
+        let ShardLog { order, mut entries } = log;
+        for key in order {
+            if let Some(payload) = entries.remove(&key.0) {
+                // Skip keys a previously-absorbed shard already wrote:
+                // identical content produces identical payloads, so
+                // first-wins and last-wins agree; not re-appending just
+                // keeps the log smaller.
+                if matches!(self.get(key), Lookup::Hit(_)) {
+                    continue;
+                }
+                self.insert(key, payload);
+            }
+        }
+    }
+
+    /// Appends every pending entry to the log file. Returns the number
+    /// of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; pending entries stay queued on error.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let path = self.log_path();
+        let fresh = !path.exists() || self.valid_len == 0;
+        // Not truncate(true): the well-formed prefix must survive. The
+        // set_len below drops exactly the corrupt tail instead.
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        // Drop any corrupt tail (or foreign content) before appending.
+        file.set_len(if fresh { 0 } else { self.valid_len })?;
+        let mut out = io::BufWriter::new(file);
+        use io::Seek as _;
+        out.seek(io::SeekFrom::End(0))?;
+        let mut written = 0u64;
+        if fresh {
+            out.write_all(MAGIC)?;
+            written += MAGIC.len() as u64;
+        }
+        let mut flushed = 0usize;
+        for key in std::mem::take(&mut self.pending) {
+            let entry = &self.index[&key.0];
+            let record = encode_record(key, entry.version, &entry.payload);
+            out.write_all(&record)?;
+            written += record.len() as u64;
+            flushed += 1;
+        }
+        out.flush()?;
+        self.valid_len = if fresh {
+            written
+        } else {
+            self.valid_len + written
+        };
+        self.corrupt_tail_bytes = 0;
+        // Keep the on-disk record count honest: vacuum and stats derive
+        // the superseded-duplicate count from it.
+        self.records_loaded += flushed;
+        Ok(flushed)
+    }
+
+    /// Number of indexed entries at the current version.
+    pub fn len(&self) -> usize {
+        self.index
+            .values()
+            .filter(|e| e.version == self.version)
+            .count()
+    }
+
+    /// `true` when no entry is indexed at the current version.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate store facts.
+    pub fn stats(&self) -> CacheStats {
+        let current_entries = self.len();
+        CacheStats {
+            current_entries,
+            stale_entries: self.index.len() - current_entries,
+            records_loaded: self.records_loaded,
+            corrupt_tail_bytes: self.corrupt_tail_bytes,
+            file_bytes: self.valid_len + self.corrupt_tail_bytes,
+            pending_entries: self.pending.len(),
+        }
+    }
+
+    /// Rewrites the log to exactly one record per current-version key
+    /// (sorted by key, so vacuumed files are canonical), dropping stale
+    /// versions, superseded duplicates, and any corrupt tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the original file is left in
+    /// place (the rewrite goes through a temp file + rename).
+    pub fn vacuum(&mut self) -> io::Result<VacuumReport> {
+        self.flush()?;
+        let bytes_before = self.valid_len + self.corrupt_tail_bytes;
+        let mut keys: Vec<u128> = self
+            .index
+            .iter()
+            .filter(|(_, e)| e.version == self.version)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        let dropped_stale = self.index.len() - keys.len();
+
+        let mut out: Vec<u8> = Vec::with_capacity(MAGIC.len());
+        out.extend_from_slice(MAGIC);
+        for key in &keys {
+            let entry = &self.index[key];
+            out.extend_from_slice(&encode_record(
+                Fingerprint(*key),
+                entry.version,
+                &entry.payload,
+            ));
+        }
+        let tmp = self.dir.join(format!("{LOG_NAME}.tmp"));
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, self.log_path())?;
+
+        let dropped_records = self.records_loaded.saturating_sub(keys.len());
+        self.index.retain(|_, e| e.version == self.version);
+        self.records_loaded = keys.len();
+        self.valid_len = out.len() as u64;
+        self.corrupt_tail_bytes = 0;
+        Ok(VacuumReport {
+            kept: keys.len(),
+            dropped_stale,
+            dropped_records,
+            bytes_before,
+            bytes_after: out.len() as u64,
+        })
+    }
+}
+
+/// Scans the log under `dir` without building an index: record
+/// well-formedness, payload checksums, per-version counts.
+///
+/// # Errors
+///
+/// I/O failures only; an absent log verifies as an empty clean report.
+pub fn verify(dir: &Path) -> io::Result<VerifyReport> {
+    let path = dir.join(LOG_NAME);
+    let mut report = VerifyReport::default();
+    if !path.exists() {
+        return Ok(report);
+    }
+    let bytes = std::fs::read(&path)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        report.corrupt_tail_bytes = bytes.len() as u64;
+        return Ok(report);
+    }
+    let mut reader = Reader::new(&bytes[MAGIC.len()..]);
+    let mut keys = std::collections::HashSet::new();
+    while !reader.is_exhausted() {
+        match read_record_checked(&mut reader) {
+            Ok((key, version, checksum_ok)) => {
+                if checksum_ok {
+                    report.valid_records += 1;
+                    keys.insert(key.0);
+                    *report.versions.entry(version).or_insert(0) += 1;
+                } else {
+                    report.checksum_failures += 1;
+                }
+            }
+            Err(_) => {
+                report.corrupt_tail_bytes = reader.remaining() as u64;
+                break;
+            }
+        }
+    }
+    report.distinct_keys = keys.len();
+    Ok(report)
+}
+
+/// Serializes one record.
+fn encode_record(key: Fingerprint, version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u128(key.0);
+    w.u32(version);
+    w.bytes(payload);
+    w.u64(checksum(payload));
+    w.finish()
+}
+
+/// Reads one record, validating its checksum (checksum mismatch is a
+/// wire error: the record is not trustworthy).
+fn read_record(reader: &mut Reader<'_>) -> Result<(Fingerprint, u32, Vec<u8>), WireError> {
+    let key = Fingerprint(reader.u128()?);
+    let version = reader.u32()?;
+    let payload = reader.bytes()?.to_vec();
+    let stored = reader.u64()?;
+    if stored != checksum(&payload) {
+        return Err(WireError::Malformed("record checksum mismatch"));
+    }
+    Ok((key, version, payload))
+}
+
+/// Reads one record structurally, reporting (rather than failing on) a
+/// checksum mismatch — [`verify`] wants to keep scanning past a bad
+/// payload whose framing is intact.
+fn read_record_checked(reader: &mut Reader<'_>) -> Result<(Fingerprint, u32, bool), WireError> {
+    let key = Fingerprint(reader.u128()?);
+    let version = reader.u32()?;
+    let payload = reader.bytes()?;
+    let stored = reader.u64()?;
+    Ok((key, version, stored == checksum(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("diffcache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_get_flush_reopen() {
+        let dir = temp_dir("roundtrip");
+        let key = fingerprint(&[b"a", b"b"]);
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(key), Lookup::Miss);
+        store.insert(key, vec![1, 2, 3]);
+        assert_eq!(store.get(key), Lookup::Hit(&[1, 2, 3]));
+        assert_eq!(store.flush().unwrap(), 1);
+        assert_eq!(store.flush().unwrap(), 0, "nothing pending");
+
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(key), Lookup::Hit(&[1, 2, 3]));
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_bump_invalidates_without_deleting() {
+        let dir = temp_dir("version");
+        let key = fingerprint(&[b"k"]);
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        store.insert(key, b"v1".to_vec());
+        store.flush().unwrap();
+
+        let store = CacheStore::open(&dir, 2).unwrap();
+        assert_eq!(store.get(key), Lookup::StaleVersion);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.stats().stale_entries, 1);
+
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(
+            store.get(key),
+            Lookup::Hit(b"v1".as_slice()),
+            "old version intact"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_is_ignored_and_healed_by_flush() {
+        let dir = temp_dir("corrupt");
+        let key = fingerprint(&[b"good"]);
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        store.insert(key, b"payload".to_vec());
+        store.flush().unwrap();
+        let log = store.log_path();
+        // Simulate a crash mid-append: garbage after the valid record.
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes.extend_from_slice(&[0xAB; 13]);
+        std::fs::write(&log, &bytes).unwrap();
+
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(key), Lookup::Hit(b"payload".as_slice()));
+        assert_eq!(store.stats().corrupt_tail_bytes, 13);
+        let key2 = fingerprint(&[b"second"]);
+        store.insert(key2, b"two".to_vec());
+        store.flush().unwrap();
+
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(
+            store.stats().corrupt_tail_bytes,
+            0,
+            "flush truncated the tail"
+        );
+        assert_eq!(store.get(key), Lookup::Hit(b"payload".as_slice()));
+        assert_eq!(store.get(key2), Lookup::Hit(b"two".as_slice()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_logs_see_their_own_writes_and_absorb_in_order() {
+        let dir = temp_dir("shards");
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        let (ka, kb) = (fingerprint(&[b"a"]), fingerprint(&[b"b"]));
+
+        let mut log1 = ShardLog::new();
+        log1.record(ka, b"A".to_vec());
+        assert_eq!(log1.get(ka), Some(b"A".as_slice()), "own write visible");
+        log1.record(ka, b"IGNORED".to_vec());
+        assert_eq!(log1.get(ka), Some(b"A".as_slice()), "first write wins");
+
+        let mut log2 = ShardLog::new();
+        log2.record(kb, b"B".to_vec());
+        log2.record(ka, b"A".to_vec()); // duplicate across shards
+
+        store.absorb(log1);
+        store.absorb(log2);
+        assert_eq!(store.get(ka), Lookup::Hit(b"A".as_slice()));
+        assert_eq!(store.get(kb), Lookup::Hit(b"B".as_slice()));
+        assert_eq!(
+            store.stats().pending_entries,
+            2,
+            "cross-shard duplicate skipped"
+        );
+        store.flush().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_shard_log_leaves_no_trace() {
+        let dir = temp_dir("dead-shard");
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        let key = fingerprint(&[b"dead"]);
+        {
+            let mut log = ShardLog::new();
+            log.record(key, b"half-finished".to_vec());
+            // The worker died: the log is dropped, never absorbed.
+        }
+        store.flush().unwrap();
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(key), Lookup::Miss);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn vacuum_compacts_stale_and_duplicates() {
+        let dir = temp_dir("vacuum");
+        let key = fingerprint(&[b"x"]);
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        store.insert(key, b"old".to_vec());
+        store.flush().unwrap();
+        // Same key re-recorded at a newer version, plus a fresh key.
+        let mut store = CacheStore::open(&dir, 2).unwrap();
+        store.insert(key, b"new".to_vec());
+        store.insert(fingerprint(&[b"y"]), b"why".to_vec());
+        store.flush().unwrap();
+
+        let mut store = CacheStore::open(&dir, 2).unwrap();
+        assert_eq!(store.records_loaded, 3);
+        let report = store.vacuum().unwrap();
+        assert_eq!(report.kept, 2);
+        assert!(report.bytes_after < report.bytes_before);
+
+        let store = CacheStore::open(&dir, 2).unwrap();
+        assert_eq!(store.get(key), Lookup::Hit(b"new".as_slice()));
+        assert_eq!(store.stats().records_loaded, 2);
+        assert_eq!(store.stats().stale_entries, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_integrity() {
+        let dir = temp_dir("verify");
+        assert_eq!(
+            verify(&dir).unwrap(),
+            VerifyReport::default(),
+            "absent log is clean"
+        );
+        let mut store = CacheStore::open(&dir, 3).unwrap();
+        store.insert(fingerprint(&[b"1"]), b"one".to_vec());
+        store.insert(fingerprint(&[b"2"]), b"two".to_vec());
+        store.flush().unwrap();
+
+        let report = verify(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.valid_records, 2);
+        assert_eq!(report.distinct_keys, 2);
+        assert_eq!(report.versions.get(&3), Some(&2));
+
+        // Flip a payload byte: framing intact, checksum broken.
+        let log = dir.join(LOG_NAME);
+        let mut bytes = std::fs::read(&log).unwrap();
+        let flip = MAGIC.len() + 16 + 4 + 8; // first payload byte
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&log, &bytes).unwrap();
+        let report = verify(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.checksum_failures, 1);
+        assert_eq!(report.valid_records, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_treated_as_fully_corrupt() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOG_NAME), b"not a cache file at all").unwrap();
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.stats().corrupt_tail_bytes > 0);
+        let report = verify(&dir).unwrap();
+        assert!(!report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -82,6 +82,47 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", cli::render_chaos(seed, rate, projects));
             Ok(ExitCode::SUCCESS)
         }
+        "mine" => {
+            let opts = parse_mine_flags(&args[1..])?;
+            let threads = opts.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+            let (report, registry) =
+                cli::run_mine(opts.seed, opts.projects, threads, opts.cache_dir.as_deref())?;
+            print!("{report}");
+            if let Some(path) = opts.metrics_json {
+                std::fs::write(&path, registry.to_json())
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "cache" => {
+            let (action, dir) = parse_cache_args(&args[1..])?;
+            match action.as_str() {
+                "stats" => {
+                    print!("{}", cli::render_cache_stats(&dir)?);
+                    Ok(ExitCode::SUCCESS)
+                }
+                "vacuum" => {
+                    print!("{}", cli::render_cache_vacuum(&dir)?);
+                    Ok(ExitCode::SUCCESS)
+                }
+                "verify" => {
+                    let (report, clean) = cli::render_cache_verify(&dir)?;
+                    print!("{report}");
+                    Ok(if clean {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    })
+                }
+                other => Err(format!(
+                    "unknown cache action `{other}` (expected stats, vacuum, or verify)"
+                )),
+            }
+        }
         "metrics" => {
             let (seed, projects, threads, json_path) = parse_metrics_flags(&args[1..])?;
             let threads = threads.unwrap_or_else(|| {
@@ -174,6 +215,91 @@ fn parse_chaos_flags(args: &[String]) -> Result<(u64, f64, usize), String> {
         }
     }
     Ok((seed, rate, projects))
+}
+
+/// Parsed `mine` flags.
+struct MineOpts {
+    seed: u64,
+    projects: usize,
+    threads: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
+}
+
+/// Parses `mine` flags: `--seed <N>` (default 42), `--projects <N>`
+/// (default 12), `--threads <N>` (default: all cores), `--cache-dir
+/// <dir>` (enables the persistent result cache), and `--metrics-json
+/// <path>` (optional snapshot output).
+fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
+    let mut opts = MineOpts {
+        seed: 42,
+        projects: 12,
+        threads: None,
+        cache_dir: None,
+        metrics_json: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seed" => {
+                let value = value_for("--seed")?;
+                opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--projects" => {
+                let value = value_for("--projects")?;
+                opts.projects = value
+                    .parse()
+                    .map_err(|_| format!("bad project count `{value}`"))?;
+            }
+            "--threads" => {
+                let value = value_for("--threads")?;
+                opts.threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad thread count `{value}`"))?,
+                );
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(value_for("--cache-dir")?));
+            }
+            "--metrics-json" => {
+                opts.metrics_json = Some(PathBuf::from(value_for("--metrics-json")?));
+            }
+            other => return Err(format!("unknown mine argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses `cache` arguments: one action (`stats`, `vacuum`, `verify`)
+/// plus a required `--cache-dir <dir>`.
+fn parse_cache_args(args: &[String]) -> Result<(String, PathBuf), String> {
+    let mut action = None;
+    let mut dir = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--cache-dir needs a value".to_owned())?;
+                dir = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown cache flag `{flag}`"));
+            }
+            word => {
+                if action.replace(word.to_owned()).is_some() {
+                    return Err("cache takes exactly one action".to_owned());
+                }
+            }
+        }
+    }
+    let action =
+        action.ok_or_else(|| "cache needs an action: stats, vacuum, or verify".to_owned())?;
+    let dir = dir.ok_or_else(|| "cache needs --cache-dir <dir>".to_owned())?;
+    Ok((action, dir))
 }
 
 /// Parses `metrics` flags: `--seed <N>` (default 42), `--projects <N>`

@@ -5,14 +5,16 @@
 //! `src/bin/diffcode.rs` only reads files and forwards sources.
 
 use crate::filter::apply_filters_with_metrics;
-use crate::pipeline::{mine_parallel_with_metrics, DiffCode, MiningResult};
-use crate::quarantine::ErrorKind;
+use crate::mcache::MiningCache;
+use crate::pipeline::{mine_parallel_cached, mine_parallel_with_metrics, DiffCode, MiningResult};
+use crate::quarantine::{ErrorKind, PipelineLimits};
 use crate::report::Table;
 use analysis::TARGET_CLASSES;
 use javalang::ParseError;
 use obs::{fmt_ns, MetricsRegistry};
 use rules::{CheckedProject, CryptoChecker, ProjectContext};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Renders the abstract usages of one source file: every abstract
 /// object of a target class with its usage DAG.
@@ -268,6 +270,204 @@ pub fn render_chaos(seed: u64, rate: f64, n_projects: usize) -> String {
     out
 }
 
+/// Runs a (parallel) mining run over a seeded corpus, optionally
+/// through the persistent result cache under `cache_dir`, and renders
+/// the accounting. Backs the `diffcode mine` command.
+///
+/// The rendered report is **fully deterministic** — no timings, no
+/// thread counts, no cache hit/miss numbers — so CI can byte-compare a
+/// cold run's stdout against a warm one's. Everything
+/// run-dependent (latencies, `cache.hit` / `cache.miss` /
+/// `cache.stale_version`, flush counts) lives only in the returned
+/// registry, which the binary serializes via `--metrics-json`.
+///
+/// # Errors
+///
+/// I/O failures opening or flushing the cache.
+pub fn run_mine(
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+    cache_dir: Option<&Path>,
+) -> Result<(String, MetricsRegistry), String> {
+    let mut registry = MetricsRegistry::new();
+    let corpus = registry.time("corpus.generate", || {
+        corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed))
+    });
+    corpus::corpus_stats(&corpus).record(&mut registry);
+    let mut cache = match cache_dir {
+        Some(dir) => Some(
+            // DiffCode::new() mines at default limits and depth; the
+            // cache must be opened with the same configuration or every
+            // lookup would miss.
+            MiningCache::open(
+                dir,
+                &[],
+                &PipelineLimits::DEFAULT,
+                usagegraph::DEFAULT_MAX_DEPTH,
+            )
+            .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let result = mine_parallel_cached(&corpus, &[], n_threads, &mut registry, cache.as_mut());
+    if let Some(cache) = cache.as_mut() {
+        let flushed = cache.flush().map_err(|e| format!("flushing cache: {e}"))?;
+        registry.inc("cache.flushed_entries", flushed as u64);
+        let stats = cache.store().stats();
+        registry.set_gauge("cache.entries", stats.current_entries as f64);
+        registry.set_gauge("cache.file_bytes", stats.file_bytes as f64);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "mine run: seed {seed}, {n_projects} project(s)");
+    out.push_str(&render_mining_summary(&result, 10));
+    let _ = writeln!(out, "\nresult digest: {}", mined_digest(&result));
+    Ok((out, registry))
+}
+
+/// A content fingerprint of everything a mining run produced, in
+/// order: provenance, class, both DAGs, and the feature diff of every
+/// mined change. Two runs that print the same digest produced the same
+/// changes — the warm-vs-cold CI gate compares this (plus the rest of
+/// the byte-identical report).
+fn mined_digest(result: &MiningResult) -> cache::Fingerprint {
+    fn dag_text(dag: &usagegraph::UsageDag) -> String {
+        let paths: Vec<String> = dag.paths.iter().map(ToString::to_string).collect();
+        format!("{}:{}", dag.root_type, paths.join(";"))
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(result.changes.len());
+    for mined in &result.changes {
+        parts.push(format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            mined.meta.project,
+            mined.meta.commit,
+            mined.meta.path,
+            mined.class,
+            dag_text(&mined.old_dag),
+            dag_text(&mined.new_dag),
+            mined.change,
+        ));
+    }
+    let parts: Vec<&str> = parts.iter().map(String::as_str).collect();
+    cache::fingerprint_str(&parts)
+}
+
+/// Renders `diffcode cache stats` for the store under `dir`.
+///
+/// # Errors
+///
+/// I/O failures opening the store.
+pub fn render_cache_stats(dir: &Path) -> Result<String, String> {
+    let cache = MiningCache::open(
+        dir,
+        &[],
+        &PipelineLimits::DEFAULT,
+        usagegraph::DEFAULT_MAX_DEPTH,
+    )
+    .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
+    let stats = cache.store().stats();
+    let mut table = Table::new(["Fact", "Value"]);
+    table.row(["directory".to_owned(), dir.display().to_string()]);
+    table.row([
+        "analysis version".to_owned(),
+        crate::mcache::ANALYSIS_VERSION.to_string(),
+    ]);
+    table.row([
+        "entries (current version)".to_owned(),
+        stats.current_entries.to_string(),
+    ]);
+    table.row([
+        "entries (stale version)".to_owned(),
+        stats.stale_entries.to_string(),
+    ]);
+    table.row([
+        "records on disk".to_owned(),
+        stats.records_loaded.to_string(),
+    ]);
+    table.row(["file bytes".to_owned(), stats.file_bytes.to_string()]);
+    table.row([
+        "corrupt tail bytes".to_owned(),
+        stats.corrupt_tail_bytes.to_string(),
+    ]);
+    Ok(table.render())
+}
+
+/// Runs `diffcode cache vacuum`: compacts the log to one record per
+/// live key, dropping stale versions, superseded duplicates, and any
+/// corrupt tail.
+///
+/// # Errors
+///
+/// I/O failures opening or rewriting the store.
+pub fn render_cache_vacuum(dir: &Path) -> Result<String, String> {
+    let mut cache = MiningCache::open(
+        dir,
+        &[],
+        &PipelineLimits::DEFAULT,
+        usagegraph::DEFAULT_MAX_DEPTH,
+    )
+    .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
+    let report = cache
+        .store_mut()
+        .vacuum()
+        .map_err(|e| format!("vacuuming cache at {}: {e}", dir.display()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "vacuumed {}: kept {} entr{}, dropped {} stale + {} superseded/corrupt record(s), \
+         {} -> {} bytes",
+        dir.display(),
+        report.kept,
+        if report.kept == 1 { "y" } else { "ies" },
+        report.dropped_stale,
+        report.dropped_records,
+        report.bytes_before,
+        report.bytes_after,
+    );
+    Ok(out)
+}
+
+/// Runs `diffcode cache verify`: a structural integrity scan of the
+/// log. Returns the report and whether the log is clean (the binary
+/// exits non-zero on a dirty log).
+///
+/// # Errors
+///
+/// I/O failures reading the store.
+pub fn render_cache_verify(dir: &Path) -> Result<(String, bool), String> {
+    let report =
+        cache::verify(dir).map_err(|e| format!("verifying cache at {}: {e}", dir.display()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "verify {}: {} valid record(s), {} distinct key(s), {} checksum failure(s), \
+         {} corrupt tail byte(s)",
+        dir.display(),
+        report.valid_records,
+        report.distinct_keys,
+        report.checksum_failures,
+        report.corrupt_tail_bytes,
+    );
+    for (version, count) in &report.versions {
+        let marker = if *version == crate::mcache::ANALYSIS_VERSION {
+            " (current)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  version {version}{marker}: {count} record(s)");
+    }
+    let clean = report.is_clean();
+    let _ = writeln!(out, "integrity: {}", if clean { "OK" } else { "DIRTY" });
+    if !clean {
+        let _ = writeln!(
+            out,
+            "run `diffcode cache vacuum --cache-dir {}` to drop the damaged bytes",
+            dir.display()
+        );
+    }
+    Ok((out, clean))
+}
+
 /// The counter names of the mining → filtering funnel, in pipeline
 /// order. Shared by the report renderer, the invariant check, and the
 /// CI snapshot checker (which re-implements the same chain over the
@@ -420,6 +620,9 @@ USAGE:
     diffcode check <file-or-dir>... [--android <minSdk>]
     diffcode rules
     diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
+    diffcode mine [--seed <N>] [--projects <N>] [--threads <N>]
+                  [--cache-dir <dir>] [--metrics-json <path>]
+    diffcode cache <stats|vacuum|verify> --cache-dir <dir>
     diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
                      [--metrics-json <path>]
 
@@ -429,6 +632,13 @@ COMMANDS:
     check     run CryptoChecker (the 13 elicited rules) on files/directories
     rules     print the rule table (paper Figure 9)
     chaos     fault-inject a generated corpus and report the quarantine accounting
+    mine      mine a seeded corpus and print the deterministic accounting;
+              --cache-dir enables the persistent result cache (a warm re-run
+              replays cached outcomes and prints byte-identical output),
+              --metrics-json writes counters incl. cache.hit/miss/stale_version
+    cache     inspect the persistent result cache: stats (size/versions),
+              vacuum (compact, dropping stale + superseded records),
+              verify (structural integrity scan; non-zero exit when dirty)
     metrics   run the pipeline over a seeded corpus and report per-stage
               counters, quarantine breakdown, and stage latencies;
               --metrics-json writes the machine-readable snapshot

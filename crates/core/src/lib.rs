@@ -45,6 +45,7 @@ pub mod cli;
 pub mod elicit;
 pub mod experiments;
 pub mod filter;
+pub mod mcache;
 pub mod pipeline;
 pub mod quarantine;
 pub mod report;
@@ -58,9 +59,10 @@ pub use filter::{
     apply_filters, apply_filters_with_metrics, apply_filters_with_seen, stage_changes,
     stage_changes_with_seen, DupKey, FilterStage, FilterStats,
 };
+pub use mcache::{CachedLookup, ChangeOutcome, MiningCache, MiningCacheView, ANALYSIS_VERSION};
 pub use pipeline::{
-    mine_parallel, mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange,
-    MiningResult, MiningStats,
+    mine_parallel, mine_parallel_cached, mine_parallel_with_metrics, ChangeMeta, DiffCode,
+    MinedUsageChange, MiningResult, MiningStats,
 };
 pub use quarantine::{ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters};
 pub use report::{display_width, Table};

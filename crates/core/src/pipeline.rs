@@ -8,6 +8,7 @@
 //! boundary; failures degrade to per-kind counted skips with a
 //! [`QuarantineReport`] carrying provenance.
 
+use crate::mcache::{CachedLookup, ChangeOutcome, MiningCache, MiningCacheView};
 use crate::quarantine::{
     excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
 };
@@ -288,6 +289,30 @@ impl DiffCode {
     /// is skipped, counted under its [`ErrorKind`], and quarantined
     /// with provenance, while the remaining changes proceed.
     pub fn mine(&mut self, corpus: &Corpus, classes: &[&str]) -> MiningResult {
+        self.mine_cached(corpus, classes, None)
+    }
+
+    /// [`Self::mine`] with an optional look-aside result cache: each
+    /// change's key is looked up before any analysis work, a hit
+    /// replays the cached [`ChangeOutcome`] (mined tuples *or* the
+    /// quarantined skip — cached skips stay skipped, so
+    /// `processed = mined + skipped` balances identically on warm
+    /// runs), and a miss computes the outcome and records it in the
+    /// view's write log. Lookup results are counted as `cache.hit` /
+    /// `cache.miss` / `cache.stale_version`.
+    ///
+    /// The caller is responsible for opening the cache with the same
+    /// target classes, limits, and depth this pipeline mines with —
+    /// the cache's configuration fingerprint is part of every key, so
+    /// a mismatched handle can only cause misses, never wrong replays
+    /// of *its own* entries, but keys from a different configuration
+    /// would alias if the handle lies about the configuration.
+    pub fn mine_cached(
+        &mut self,
+        corpus: &Corpus,
+        classes: &[&str],
+        mut cache: Option<&mut MiningCacheView<'_>>,
+    ) -> MiningResult {
         let classes: Vec<&str> = if classes.is_empty() {
             TARGET_CLASSES.to_vec()
         } else {
@@ -309,33 +334,35 @@ impl DiffCode {
                 message: code_change.commit.message.clone(),
                 path: code_change.path.to_owned(),
             };
-            match self.process_change(&code_change, &classes) {
-                Ok(mined) => {
-                    result.stats.mined += 1;
-                    for (class, old_dag, new_dag, change) in mined {
-                        result.changes.push(MinedUsageChange {
-                            meta: meta.clone(),
-                            class,
-                            old_dag,
-                            new_dag,
-                            change,
-                        });
+            // Look aside before any analysis work. Both the replayed
+            // and the freshly-computed paths apply a `ChangeOutcome`
+            // through the same function below, so a warm run is
+            // byte-identical to the cold run by construction.
+            let outcome = match cache.as_mut() {
+                Some(view) => {
+                    let key = view.change_key(code_change.old, code_change.new);
+                    match view.get(key) {
+                        CachedLookup::Hit(outcome) => {
+                            self.metrics.inc("cache.hit", 1);
+                            outcome
+                        }
+                        lookup => {
+                            self.metrics.inc(
+                                match lookup {
+                                    CachedLookup::StaleVersion => "cache.stale_version",
+                                    _ => "cache.miss",
+                                },
+                                1,
+                            );
+                            let outcome = self.compute_outcome(&code_change, &classes);
+                            view.record(key, &outcome);
+                            outcome
+                        }
                     }
                 }
-                Err((error, excerpt)) => {
-                    let kind = error.kind();
-                    result.stats.skipped.bump(kind);
-                    if matches!(kind, ErrorKind::Lex | ErrorKind::Parse) {
-                        result.stats.parse_failures += 1;
-                    }
-                    result.quarantine.push(QuarantineReport {
-                        meta,
-                        kind,
-                        error: error.to_string(),
-                        excerpt,
-                    });
-                }
-            }
+                None => self.compute_outcome(&code_change, &classes),
+            };
+            apply_outcome(&mut result, meta, outcome);
             self.metrics
                 .record_span("mine.change", change_clock.elapsed());
         }
@@ -356,6 +383,25 @@ impl DiffCode {
         )
         .is_ok());
         result
+    }
+
+    /// [`Self::process_change`] with the result folded into the
+    /// cacheable [`ChangeOutcome`] form (the error reduced to its kind,
+    /// message, and excerpt — exactly what a [`QuarantineReport`]
+    /// keeps).
+    fn compute_outcome(
+        &mut self,
+        code_change: &corpus::CodeChange<'_>,
+        classes: &[&str],
+    ) -> ChangeOutcome {
+        match self.process_change(code_change, classes) {
+            Ok(mined) => ChangeOutcome::Mined(mined),
+            Err((error, excerpt)) => ChangeOutcome::Skipped {
+                kind: error.kind(),
+                error: error.to_string(),
+                excerpt,
+            },
+        }
     }
 
     /// Runs one code change through analyze → DAG diff behind a panic
@@ -404,6 +450,42 @@ impl DiffCode {
 }
 
 type MinedTuples = Vec<(String, UsageDag, UsageDag, UsageChange)>;
+
+/// Folds one per-change outcome — replayed from cache or freshly
+/// computed — into the running result. The single accounting path for
+/// both, which is what makes warm runs byte-identical to cold ones.
+fn apply_outcome(result: &mut MiningResult, meta: ChangeMeta, outcome: ChangeOutcome) {
+    match outcome {
+        ChangeOutcome::Mined(mined) => {
+            result.stats.mined += 1;
+            for (class, old_dag, new_dag, change) in mined {
+                result.changes.push(MinedUsageChange {
+                    meta: meta.clone(),
+                    class,
+                    old_dag,
+                    new_dag,
+                    change,
+                });
+            }
+        }
+        ChangeOutcome::Skipped {
+            kind,
+            error,
+            excerpt,
+        } => {
+            result.stats.skipped.bump(kind);
+            if matches!(kind, ErrorKind::Lex | ErrorKind::Parse) {
+                result.stats.parse_failures += 1;
+            }
+            result.quarantine.push(QuarantineReport {
+                meta,
+                kind,
+                error,
+                excerpt,
+            });
+        }
+    }
+}
 
 /// Renders a caught panic payload as a message.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -463,52 +545,89 @@ pub fn mine_parallel_with_metrics(
     n_threads: usize,
     registry: &mut MetricsRegistry,
 ) -> MiningResult {
+    mine_parallel_cached(corpus, classes, n_threads, registry, None)
+}
+
+/// [`mine_parallel_with_metrics`] with an optional persistent result
+/// cache. Every worker thread gets a read-only view of the cache's
+/// loaded index plus its own append log — no locks on the hot path —
+/// and the logs are merged back into the store on join, in shard
+/// order, so the flushed file is deterministic. A shard whose worker
+/// died never gets its log absorbed: its changes were folded in as
+/// skips, and caching half-finished outcomes from a dead worker would
+/// let a warm run disagree with the cold one.
+///
+/// Absorbed entries live in memory until the caller invokes
+/// [`MiningCache::flush`]; this function does no I/O.
+pub fn mine_parallel_cached(
+    corpus: &Corpus,
+    classes: &[&str],
+    n_threads: usize,
+    registry: &mut MetricsRegistry,
+    cache: Option<&mut MiningCache>,
+) -> MiningResult {
     let n_threads = n_threads.max(1).min(corpus.projects.len().max(1));
     if n_threads <= 1 {
+        let mut view = cache.as_ref().map(|c| c.view());
         let mut dc = DiffCode::new();
-        let result = dc.mine(corpus, classes);
+        let result = dc.mine_cached(corpus, classes, view.as_mut());
         registry.merge(&dc.take_metrics());
+        let log = view.map(MiningCacheView::into_log);
+        if let (Some(cache), Some(log)) = (cache, log) {
+            cache.absorb(log);
+        }
         return result;
     }
     let shards = shard_by_code_changes(corpus, n_threads);
-    let results: Vec<(MiningResult, MetricsRegistry)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|shard| {
-                (
-                    shard,
-                    scope.spawn(move || {
-                        let mut dc = DiffCode::new();
-                        let result = dc.mine(shard, classes);
-                        (result, dc.take_metrics())
-                    }),
-                )
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(shard, handle)| match handle.join() {
-                Ok(outcome) => outcome,
-                // A worker died outside the per-change isolation (mine
-                // itself never panics on input). Fold the shard in as
-                // all-skipped so sibling shards' results survive and
-                // the merged accounting still balances; its in-flight
-                // metrics died with the thread, so rebuild the counters
-                // the accounting requires from the skip totals.
-                Err(payload) => {
-                    let result = shard_failure_result(shard, &panic_message(payload));
-                    let mut shard_metrics = MetricsRegistry::new();
-                    shard_metrics.inc("mine.shard_failures", 1);
-                    shard_metrics.inc("mine.code_changes", result.stats.code_changes as u64);
-                    shard_metrics.inc("mine.mined", 0);
-                    result.stats.skipped.record(&mut shard_metrics);
-                    (result, shard_metrics)
-                }
-            })
-            .collect()
-    });
+    // Immutable reborrow for the workers; the mutable handle is used
+    // again only after the scope ends and every view is consumed.
+    let shared: Option<&MiningCache> = cache.as_deref();
+    let results: Vec<(MiningResult, MetricsRegistry, Option<cache::ShardLog>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    let mut view = shared.map(|c| c.view());
+                    (
+                        shard,
+                        scope.spawn(move || {
+                            let mut dc = DiffCode::new();
+                            let result = dc.mine_cached(shard, classes, view.as_mut());
+                            (
+                                result,
+                                dc.take_metrics(),
+                                view.map(MiningCacheView::into_log),
+                            )
+                        }),
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(shard, handle)| match handle.join() {
+                    Ok(outcome) => outcome,
+                    // A worker died outside the per-change isolation (mine
+                    // itself never panics on input). Fold the shard in as
+                    // all-skipped so sibling shards' results survive and
+                    // the merged accounting still balances; its in-flight
+                    // metrics died with the thread, so rebuild the counters
+                    // the accounting requires from the skip totals. The
+                    // shard's cache log died with it too — deliberately.
+                    Err(payload) => {
+                        let result = shard_failure_result(shard, &panic_message(payload));
+                        let mut shard_metrics = MetricsRegistry::new();
+                        shard_metrics.inc("mine.shard_failures", 1);
+                        shard_metrics.inc("mine.code_changes", result.stats.code_changes as u64);
+                        shard_metrics.inc("mine.mined", 0);
+                        result.stats.skipped.record(&mut shard_metrics);
+                        (result, shard_metrics, None)
+                    }
+                })
+                .collect()
+        });
     let mut merged = MiningResult::default();
-    for (result, shard_metrics) in results {
+    let mut logs = Vec::new();
+    for (result, shard_metrics, log) in results {
         merged.stats.code_changes += result.stats.code_changes;
         merged.stats.parse_failures += result.stats.parse_failures;
         merged.stats.mined += result.stats.mined;
@@ -516,6 +635,12 @@ pub fn mine_parallel_with_metrics(
         merged.changes.extend(result.changes);
         merged.quarantine.extend(result.quarantine);
         registry.merge(&shard_metrics);
+        logs.extend(log);
+    }
+    if let Some(cache) = cache {
+        for log in logs {
+            cache.absorb(log);
+        }
     }
     debug_assert!(merged.stats.is_balanced());
     debug_assert!(obs::check_partition(

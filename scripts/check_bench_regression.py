@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gates per-stage latency regressions in the CI bench smoke run.
+
+Compares the `--bench-json` snapshot of an `all_experiments` run
+against the committed baseline (scripts/bench_baseline.json): for every
+span present in both, the current mean latency (sum_ns / count) must
+not exceed MAX_RATIO x the baseline mean. Spans below MIN_BASELINE_NS
+are skipped — sub-tenth-millisecond stages are noise-dominated on
+shared CI runners.
+
+New spans (absent from the baseline) pass with a note; a span that
+disappeared fails, since that usually means a stage was renamed without
+updating the baseline.
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+Usage: check_bench_regression.py <current.json> <baseline.json>
+"""
+
+import json
+import sys
+
+MAX_RATIO = 2.0
+MIN_BASELINE_NS = 100_000  # 0.1 ms
+
+
+def mean_ns(span):
+    count = span.get("count", 0)
+    return span.get("sum_ns", 0) / count if count else 0.0
+
+
+def check(current, baseline):
+    errors = []
+    notes = []
+    cur_spans = current.get("spans", {})
+    base_spans = baseline.get("spans", {})
+
+    for name in sorted(base_spans):
+        if name not in cur_spans:
+            errors.append(
+                f"span {name} present in baseline but missing from the run "
+                "(stage renamed? update scripts/bench_baseline.json)"
+            )
+
+    for name in sorted(cur_spans):
+        if name not in base_spans:
+            notes.append(f"new span {name}: no baseline, skipping")
+            continue
+        base = mean_ns(base_spans[name])
+        cur = mean_ns(cur_spans[name])
+        if base < MIN_BASELINE_NS:
+            notes.append(f"span {name}: baseline mean {base:.0f}ns below noise floor, skipping")
+            continue
+        if cur > MAX_RATIO * base:
+            errors.append(
+                f"span {name} regressed {cur / base:.2f}x: "
+                f"mean {cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms "
+                f"(limit {MAX_RATIO}x)"
+            )
+        else:
+            notes.append(
+                f"span {name}: {cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms "
+                f"({cur / base:.2f}x)"
+            )
+
+    return errors, notes
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    errors, notes = check(current, baseline)
+    for note in notes:
+        print(note)
+    for error in errors:
+        print(f"BENCH REGRESSION: {error}", file=sys.stderr)
+    if not errors:
+        print("bench latencies OK: no stage regressed more than "
+              f"{MAX_RATIO}x vs baseline")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validates a cold-vs-warm `diffcode mine --cache-dir` pair.
+
+CI runs `diffcode mine` twice against the same cache directory and
+passes both stdout captures plus the warm run's `--metrics-json`
+snapshot here. The gate enforces the cache's two acceptance criteria:
+
+  1. byte-identical output: the warm run's stdout must equal the cold
+     run's exactly (the report is deterministic by construction — any
+     divergence means a cached outcome replayed differently);
+  2. hit rate: cache.hit / (cache.hit + cache.miss +
+     cache.stale_version) >= MIN_HIT_RATE on the warm run, i.e. at
+     least 95% of per-change analysis work was skipped.
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+Usage: check_cache_warm.py <cold_stdout> <warm_stdout> <warm_metrics.json>
+"""
+
+import json
+import sys
+
+MIN_HIT_RATE = 0.95
+
+
+def check(cold_text, warm_text, snapshot):
+    errors = []
+
+    if cold_text != warm_text:
+        cold_lines = cold_text.splitlines()
+        warm_lines = warm_text.splitlines()
+        detail = "line counts differ"
+        for i, (c, w) in enumerate(zip(cold_lines, warm_lines), start=1):
+            if c != w:
+                detail = f"first divergence at line {i}: {c!r} != {w!r}"
+                break
+        errors.append(f"warm run output is not byte-identical to cold run ({detail})")
+
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    stale = counters.get("cache.stale_version", 0)
+    lookups = hits + misses + stale
+    if lookups == 0:
+        errors.append("warm run recorded no cache lookups (was --cache-dir passed?)")
+    else:
+        rate = hits / lookups
+        if rate < MIN_HIT_RATE:
+            errors.append(
+                f"warm hit rate {rate:.1%} below {MIN_HIT_RATE:.0%} "
+                f"(hit={hits} miss={misses} stale_version={stale})"
+            )
+
+    processed = counters.get("mine.code_changes", 0)
+    if lookups and processed and lookups != processed:
+        errors.append(
+            f"cache lookups ({lookups}) != processed changes ({processed}): "
+            "some changes bypassed the cache"
+        )
+
+    return errors, hits, misses, stale
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        cold_text = f.read()
+    with open(sys.argv[2]) as f:
+        warm_text = f.read()
+    with open(sys.argv[3]) as f:
+        snapshot = json.load(f)
+    errors, hits, misses, stale = check(cold_text, warm_text, snapshot)
+    for error in errors:
+        print(f"CACHE GATE VIOLATED: {error}", file=sys.stderr)
+    if not errors:
+        lookups = hits + misses + stale
+        print(
+            f"cache warm run OK: output byte-identical, "
+            f"{hits}/{lookups} hits ({hits / lookups:.1%}), "
+            f"{misses} miss(es), {stale} stale"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

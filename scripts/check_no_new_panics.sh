@@ -8,15 +8,32 @@
 #
 # Test code is exempt: by repo convention every `#[cfg(test)]` module
 # sits at the bottom of its file, so scanning stops at that marker.
+# Build output and vendored code are exempt too: any `target/` or
+# `vendor/` directory inside the scanned trees is pruned, so stray
+# build artifacts or vendored sources can never fail the gate.
+#
+# `--self-test` runs the checker against throwaway fixture trees and
+# verifies it catches a new panic site, honors the cfg(test) exemption,
+# and prunes target/ and vendor/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-allowlist=scripts/panic_allowlist.txt
-found=$(
-    find crates/javalang/src crates/analysis/src crates/usagegraph/src \
-        crates/core/src -name '*.rs' -print0 |
+# Prints every non-test panic/unwrap/expect site under the scanned
+# source trees of $1, one "path: line" per line.
+scan() {
+    local root=$1
+    local dirs=()
+    local d
+    for d in javalang analysis usagegraph core; do
+        [ -d "$root/crates/$d/src" ] && dirs+=("$root/crates/$d/src")
+    done
+    [ "${#dirs[@]}" -eq 0 ] && return 0
+    find "${dirs[@]}" \
+        \( -type d \( -name target -o -name vendor \) \) -prune \
+        -o -name '*.rs' -print0 |
         sort -z |
         while IFS= read -r -d '' f; do
+            f=${f#./}
             awk -v fn="$f" '
                 /#\[cfg\(test\)\]/ { exit }
                 /\.unwrap\(\)|\.expect\(|panic!\(/ {
@@ -25,10 +42,60 @@ found=$(
                 }
             ' "$f"
         done
-)
+}
 
-new=$(grep -vxF -f <(grep -v '^#' "$allowlist" | grep -v '^$') \
-    <<<"$found" || true)
+# Filters $1 (scan output) down to sites absent from allowlist $2.
+new_sites() {
+    local found=$1 allowlist=$2
+    grep -vxF -f <(grep -v '^#' "$allowlist" | grep -v '^$') \
+        <<<"$found" || true
+}
+
+self_test() {
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    mkdir -p "$tmp/crates/core/src/target/debug" \
+        "$tmp/crates/javalang/src/vendor/dep"
+    # A genuine new panic site: must be reported.
+    printf 'fn f() {\n    x.unwrap();\n}\n' >"$tmp/crates/core/src/bad.rs"
+    # Panics only under #[cfg(test)]: must be exempt.
+    printf 'fn g() {}\n#[cfg(test)]\nmod t { fn h() { y.unwrap(); } }\n' \
+        >"$tmp/crates/core/src/tested.rs"
+    # Panics inside target/ and vendor/: must be pruned.
+    printf 'fn t() { z.unwrap(); }\n' \
+        >"$tmp/crates/core/src/target/debug/gen.rs"
+    printf 'fn v() { panic!("vendored"); }\n' \
+        >"$tmp/crates/javalang/src/vendor/dep/lib.rs"
+    local empty_allowlist="$tmp/allowlist.txt"
+    : >"$empty_allowlist"
+
+    local found new
+    found=$(scan "$tmp")
+    new=$(new_sites "$found" "$empty_allowlist")
+    if ! grep -q 'bad\.rs: x\.unwrap();' <<<"$new"; then
+        echo "self-test FAILED: new panic site in bad.rs not reported" >&2
+        exit 1
+    fi
+    if grep -q 'tested\.rs' <<<"$new"; then
+        echo "self-test FAILED: cfg(test) code was not exempt" >&2
+        exit 1
+    fi
+    if grep -Eq 'target/|vendor/' <<<"$new"; then
+        echo "self-test FAILED: target/ or vendor/ was not pruned" >&2
+        exit 1
+    fi
+    echo "ok: self-test passed (detects new sites, exempts tests, prunes target/ and vendor/)"
+    exit 0
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+    self_test
+fi
+
+allowlist=scripts/panic_allowlist.txt
+found=$(scan .)
+new=$(new_sites "$found" "$allowlist")
 if [ -n "${new// /}" ]; then
     echo "error: new panic/unwrap/expect site(s) in non-test pipeline code:" >&2
     echo "$new" >&2

@@ -515,3 +515,75 @@ fn token_length_boundary_is_exact() {
     let reject = javalang::parse_compilation_unit_with_limits(&source, under).unwrap_err();
     assert_eq!(reject.kind(), javalang::ParseErrorKind::TokenTooLong);
 }
+
+// ---------------------------------------------------------------------
+// mcache: the cached-outcome codec is lossless and total
+// ---------------------------------------------------------------------
+
+fn usage_change() -> impl Strategy<Value = usagegraph::UsageChange> {
+    (
+        proptest::collection::vec(feature_path(), 0..5),
+        proptest::collection::vec(feature_path(), 0..5),
+    )
+        .prop_map(|(removed, added)| usagegraph::UsageChange {
+            class: "Cipher".to_owned(),
+            removed,
+            added,
+        })
+}
+
+fn error_kind() -> impl Strategy<Value = diffcode::ErrorKind> {
+    prop_oneof![
+        Just(diffcode::ErrorKind::Lex),
+        Just(diffcode::ErrorKind::Parse),
+        Just(diffcode::ErrorKind::AnalysisBudget),
+        Just(diffcode::ErrorKind::DagBudget),
+        Just(diffcode::ErrorKind::Panic),
+    ]
+}
+
+fn change_outcome() -> impl Strategy<Value = diffcode::ChangeOutcome> {
+    prop_oneof![
+        proptest::collection::vec(
+            (
+                "[A-Z][a-zA-Z]{0,10}",
+                usage_dag(),
+                usage_dag(),
+                usage_change()
+            ),
+            0..4
+        )
+        .prop_map(diffcode::ChangeOutcome::Mined),
+        (error_kind(), "[ -~]{0,40}", "[ -~]{0,40}").prop_map(|(kind, error, excerpt)| {
+            diffcode::ChangeOutcome::Skipped {
+                kind,
+                error,
+                excerpt,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Round-tripping any outcome — mined tuples or quarantined skips —
+    /// through the cache payload codec is lossless. This is what makes
+    /// a warm mining run byte-identical to a cold one.
+    #[test]
+    fn cached_outcome_round_trip_is_lossless(outcome in change_outcome()) {
+        let bytes = diffcode::mcache::encode_outcome(&outcome);
+        prop_assert_eq!(diffcode::mcache::decode_outcome(&bytes).unwrap(), outcome);
+    }
+
+    /// Decoding is total: every strict prefix of a valid payload is a
+    /// typed error, never a panic and never a wrong outcome.
+    #[test]
+    fn cached_outcome_decode_rejects_every_truncation(outcome in change_outcome()) {
+        let bytes = diffcode::mcache::encode_outcome(&outcome);
+        for cut in 0..bytes.len() {
+            prop_assert!(diffcode::mcache::decode_outcome(&bytes[..cut]).is_err());
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        prop_assert!(diffcode::mcache::decode_outcome(&trailing).is_err());
+    }
+}
