@@ -105,3 +105,30 @@ pub fn cluster_usage_changes_matrix_metered(
     });
     (dendrogram, matrix)
 }
+
+/// [`cluster_usage_changes_matrix_metered`], additionally emitting
+/// `cluster.matrix` and `cluster.agglomerate` spans into `trace` so a
+/// Chrome-trace export shows the same breakdown the timing metrics
+/// report does. No-op tracing when the sink is disabled.
+pub fn cluster_usage_changes_matrix_traced(
+    changes: &[UsageChange],
+    registry: &mut obs::MetricsRegistry,
+    trace: &mut obs::TraceSink,
+) -> (Dendrogram, DistanceMatrix) {
+    registry.inc("cluster.items", changes.len() as u64);
+    registry.inc(
+        "cluster.pairs",
+        (changes.len().saturating_sub(1) * changes.len() / 2) as u64,
+    );
+    let span = trace.begin_with("cluster.matrix", |a| {
+        a.u64("items", changes.len() as u64);
+    });
+    let matrix = registry.time("cluster.matrix", || usage_distance_matrix(changes));
+    trace.end(span);
+    let span = trace.begin("cluster.agglomerate");
+    let dendrogram = registry.time("cluster.agglomerate", || {
+        agglomerate_matrix(&matrix, Linkage::Complete)
+    });
+    trace.end(span);
+    (dendrogram, matrix)
+}

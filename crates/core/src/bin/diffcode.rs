@@ -89,13 +89,50 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
             });
-            let (report, registry) =
-                cli::run_mine(opts.seed, opts.projects, threads, opts.cache_dir.as_deref())?;
-            print!("{report}");
+            let registry = match &opts.trace_out {
+                Some(trace_path) => {
+                    let (report, registry, trace) = cli::run_mine_traced(
+                        opts.seed,
+                        opts.projects,
+                        threads,
+                        opts.cache_dir.as_deref(),
+                        opts.trace_sample.unwrap_or(1),
+                    )?;
+                    std::fs::write(trace_path, obs::to_chrome_json(&trace))
+                        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                    print!("{report}");
+                    println!(
+                        "trace: {} event(s) written to {}",
+                        trace.len(),
+                        trace_path.display()
+                    );
+                    registry
+                }
+                None => {
+                    let (report, registry) = cli::run_mine(
+                        opts.seed,
+                        opts.projects,
+                        threads,
+                        opts.cache_dir.as_deref(),
+                    )?;
+                    print!("{report}");
+                    registry
+                }
+            };
             if let Some(path) = opts.metrics_json {
                 std::fs::write(&path, registry.to_json())
                     .map_err(|e| format!("{}: {e}", path.display()))?;
             }
+            Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let (query, seed, projects, threads) = parse_explain_flags(&args[1..])?;
+            let threads = threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+            print!("{}", cli::run_explain(&query, seed, projects, threads)?);
             Ok(ExitCode::SUCCESS)
         }
         "cache" => {
@@ -224,12 +261,16 @@ struct MineOpts {
     threads: Option<usize>,
     cache_dir: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    trace_sample: Option<u64>,
 }
 
 /// Parses `mine` flags: `--seed <N>` (default 42), `--projects <N>`
 /// (default 12), `--threads <N>` (default: all cores), `--cache-dir
-/// <dir>` (enables the persistent result cache), and `--metrics-json
-/// <path>` (optional snapshot output).
+/// <dir>` (enables the persistent result cache), `--metrics-json
+/// <path>` (optional snapshot output), `--trace-out <path>` (Chrome
+/// trace-event JSON export), and `--trace-sample <N>` (keep every Nth
+/// span; needs `--trace-out`).
 fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
     let mut opts = MineOpts {
         seed: 42,
@@ -237,6 +278,8 @@ fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
         threads: None,
         cache_dir: None,
         metrics_json: None,
+        trace_out: None,
+        trace_sample: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -266,10 +309,72 @@ fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
             "--metrics-json" => {
                 opts.metrics_json = Some(PathBuf::from(value_for("--metrics-json")?));
             }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(value_for("--trace-out")?));
+            }
+            "--trace-sample" => {
+                let value = value_for("--trace-sample")?;
+                let sample: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad sample interval `{value}`"))?;
+                if sample == 0 {
+                    return Err("--trace-sample must be at least 1".to_owned());
+                }
+                opts.trace_sample = Some(sample);
+            }
             other => return Err(format!("unknown mine argument `{other}`")),
         }
     }
+    if opts.trace_sample.is_some() && opts.trace_out.is_none() {
+        return Err("--trace-sample needs --trace-out".to_owned());
+    }
     Ok(opts)
+}
+
+/// Parses `explain` arguments: one positional query (a fingerprint
+/// prefix or a `project/path` substring) plus `--seed <N>` (default
+/// 42), `--projects <N>` (default 12), and `--threads <N>` (default:
+/// all cores).
+fn parse_explain_flags(args: &[String]) -> Result<(String, u64, usize, Option<usize>), String> {
+    let mut query = None;
+    let mut seed = 42u64;
+    let mut projects = 12usize;
+    let mut threads = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seed" => {
+                let value = value_for("--seed")?;
+                seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--projects" => {
+                let value = value_for("--projects")?;
+                projects = value
+                    .parse()
+                    .map_err(|_| format!("bad project count `{value}`"))?;
+            }
+            "--threads" => {
+                let value = value_for("--threads")?;
+                threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad thread count `{value}`"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown explain flag `{flag}`"));
+            }
+            word => {
+                if query.replace(word.to_owned()).is_some() {
+                    return Err("explain takes exactly one query".to_owned());
+                }
+            }
+        }
+    }
+    let query = query
+        .ok_or_else(|| "explain needs a query: a fingerprint prefix or project/path".to_owned())?;
+    Ok((query, seed, projects, threads))
 }
 
 /// Parses `cache` arguments: one action (`stats`, `vacuum`, `verify`)

@@ -4,14 +4,14 @@
 //! All rendering lives here (unit-testable, no I/O); the binary in
 //! `src/bin/diffcode.rs` only reads files and forwards sources.
 
-use crate::filter::apply_filters_with_metrics;
+use crate::filter::{apply_filters_traced, apply_filters_with_metrics, SeenDups};
 use crate::mcache::MiningCache;
-use crate::pipeline::{mine_parallel_cached, mine_parallel_with_metrics, DiffCode, MiningResult};
+use crate::pipeline::{mine_parallel_traced, mine_parallel_with_metrics, DiffCode, MiningResult};
 use crate::quarantine::{ErrorKind, PipelineLimits};
 use crate::report::Table;
 use analysis::TARGET_CLASSES;
 use javalang::ParseError;
-use obs::{fmt_ns, MetricsRegistry};
+use obs::{fmt_ns, MetricsRegistry, TraceKind, TraceSink};
 use rules::{CheckedProject, CryptoChecker, ProjectContext};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -290,7 +290,43 @@ pub fn run_mine(
     n_threads: usize,
     cache_dir: Option<&Path>,
 ) -> Result<(String, MetricsRegistry), String> {
+    let (out, registry, _) = run_mine_inner(seed, n_projects, n_threads, cache_dir, None)?;
+    Ok((out, registry))
+}
+
+/// [`run_mine`] with structured tracing at the given sampling interval
+/// (`1` = record every span): the returned [`TraceSink`] covers the
+/// full funnel — mining, filtering, clustering — with one decision
+/// event per change, and serializes to Chrome trace-event JSON via
+/// [`obs::to_chrome_json`]. The rendered report stays byte-identical
+/// to an untraced run's, so tracing never perturbs the warm-vs-cold
+/// stdout gate.
+///
+/// # Errors
+///
+/// I/O failures opening or flushing the cache.
+pub fn run_mine_traced(
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+    cache_dir: Option<&Path>,
+    trace_sample: u64,
+) -> Result<(String, MetricsRegistry, TraceSink), String> {
+    run_mine_inner(seed, n_projects, n_threads, cache_dir, Some(trace_sample))
+}
+
+fn run_mine_inner(
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+    cache_dir: Option<&Path>,
+    trace_sample: Option<u64>,
+) -> Result<(String, MetricsRegistry, TraceSink), String> {
     let mut registry = MetricsRegistry::new();
+    let mut trace = match trace_sample {
+        Some(sample) => TraceSink::enabled(sample),
+        None => TraceSink::disabled(),
+    };
     let corpus = registry.time("corpus.generate", || {
         corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed))
     });
@@ -310,7 +346,14 @@ pub fn run_mine(
         ),
         None => None,
     };
-    let result = mine_parallel_cached(&corpus, &[], n_threads, &mut registry, cache.as_mut());
+    let result = mine_parallel_traced(
+        &corpus,
+        &[],
+        n_threads,
+        &mut registry,
+        cache.as_mut(),
+        &mut trace,
+    );
     if let Some(cache) = cache.as_mut() {
         let flushed = cache.flush().map_err(|e| format!("flushing cache: {e}"))?;
         registry.inc("cache.flushed_entries", flushed as u64);
@@ -318,11 +361,27 @@ pub fn run_mine(
         registry.set_gauge("cache.entries", stats.current_entries as f64);
         registry.set_gauge("cache.file_bytes", stats.file_bytes as f64);
     }
+    // A traced run extends the trace through filtering and clustering
+    // so the export and `diffcode explain` show each change's full
+    // funnel journey; nothing downstream of mining is printed, so
+    // stdout is unchanged.
+    if trace.is_enabled() {
+        let (kept, _) = apply_filters_traced(
+            result.changes.clone(),
+            &mut SeenDups::new(),
+            &mut registry,
+            &mut trace,
+            0,
+        );
+        if kept.len() >= 2 {
+            let _ = crate::elicit::elicit_auto_traced(&kept, &mut registry, &mut trace);
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "mine run: seed {seed}, {n_projects} project(s)");
     out.push_str(&render_mining_summary(&result, 10));
     let _ = writeln!(out, "\nresult digest: {}", mined_digest(&result));
-    Ok((out, registry))
+    Ok((out, registry, trace))
 }
 
 /// A content fingerprint of everything a mining run produced, in
@@ -350,6 +409,182 @@ fn mined_digest(result: &MiningResult) -> cache::Fingerprint {
     }
     let parts: Vec<&str> = parts.iter().map(String::as_str).collect();
     cache::fingerprint_str(&parts)
+}
+
+/// The paper's Figure 2 fix as a one-commit corpus project, prepended
+/// by [`run_explain`] so the command always has a well-known change to
+/// walk (`fixtures/figure2`, commit `figure2-fix`, `AESCipher.java`) —
+/// the CI trace smoke step queries exactly this change.
+fn figure2_project() -> corpus::Project {
+    corpus::Project {
+        user: "fixtures".into(),
+        name: "figure2".into(),
+        facts: corpus::ProjectFacts::default(),
+        commits: vec![corpus::Commit {
+            id: "figure2-fix".into(),
+            message: "Fix: use AES/CBC with an explicit IV".into(),
+            changes: vec![corpus::FileChange {
+                path: "AESCipher.java".into(),
+                old: Some(corpus::fixtures::FIGURE2_OLD.into()),
+                new: Some(corpus::fixtures::FIGURE2_NEW.into()),
+            }],
+        }],
+    }
+}
+
+/// Backs `diffcode explain <query>`: re-runs the traced pipeline over
+/// the seeded corpus (with the Figure 2 fixture prepended as project
+/// `fixtures/figure2`) and prints the full funnel journey of every
+/// change matching `query` — a change-fingerprint prefix or a
+/// `project/path` substring.
+///
+/// # Errors
+///
+/// No change matches the query.
+pub fn run_explain(
+    query: &str,
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+) -> Result<String, String> {
+    let mut registry = MetricsRegistry::new();
+    let mut trace = TraceSink::enabled(1);
+    let mut corpus = corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed));
+    corpus.projects.insert(0, figure2_project());
+    let result = mine_parallel_traced(&corpus, &[], n_threads, &mut registry, None, &mut trace);
+    let (kept, _) = apply_filters_traced(
+        result.changes,
+        &mut SeenDups::new(),
+        &mut registry,
+        &mut trace,
+        0,
+    );
+    if kept.len() >= 2 {
+        let _ = crate::elicit::elicit_auto_traced(&kept, &mut registry, &mut trace);
+    }
+    render_explain(&trace, query)
+}
+
+/// Renders the funnel journey of every change in `trace` matching
+/// `query` (fingerprint prefix or `project/path` substring): the
+/// change's `mine.change` span subtree (parse, analysis, DAG diff,
+/// cache markers), then its decision events in stage order with the
+/// typed reason each stage recorded.
+///
+/// # Errors
+///
+/// No change matches the query.
+pub fn render_explain(trace: &TraceSink, query: &str) -> Result<String, String> {
+    let events = trace.events();
+    // Matching fingerprints, in first-decision order.
+    let mut fingerprints: Vec<String> = Vec::new();
+    for event in events {
+        if event.kind != TraceKind::Decision {
+            continue;
+        }
+        let Some(fp) = trace.attr_str(event, "fingerprint") else {
+            continue;
+        };
+        let project = trace.attr_str(event, "project").unwrap_or_default();
+        let path = trace.attr_str(event, "path").unwrap_or_default();
+        let matches = fp.starts_with(query) || format!("{project}/{path}").contains(query);
+        if matches && !fingerprints.iter().any(|f| f == fp) {
+            fingerprints.push(fp.to_owned());
+        }
+    }
+    if fingerprints.is_empty() {
+        return Err(format!(
+            "no change matches `{query}` (expected a fingerprint prefix or a project/path substring)"
+        ));
+    }
+    let mut out = String::new();
+    for fp in &fingerprints {
+        let decisions: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.kind == TraceKind::Decision && trace.attr_str(e, "fingerprint") == Some(fp)
+            })
+            .collect();
+        let first = decisions[0];
+        let _ = writeln!(
+            out,
+            "change {fp} — {} @ {} ({})",
+            trace.attr_str(first, "project").unwrap_or("?"),
+            trace.attr_str(first, "commit").unwrap_or("?"),
+            trace.attr_str(first, "path").unwrap_or("?"),
+        );
+        // The pipeline work done on this change: the subtree of every
+        // `mine.change` span carrying this fingerprint.
+        let roots: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.kind == TraceKind::Begin
+                    && trace.name(e.name) == "mine.change"
+                    && trace.attr_str(e, "fingerprint") == Some(fp)
+            })
+            .collect();
+        if !roots.is_empty() {
+            let _ = writeln!(out, "  pipeline spans:");
+            for root in roots {
+                render_span_subtree(trace, root.span, root.lane, 2, &mut out);
+            }
+        }
+        let _ = writeln!(out, "  decisions:");
+        let stage_order = |stage: Option<&str>| match stage {
+            Some("mine") => 0,
+            Some("filter") => 1,
+            Some("cluster") => 2,
+            _ => 3,
+        };
+        let mut ordered = decisions.clone();
+        ordered.sort_by_key(|e| (stage_order(trace.attr_str(e, "stage")), e.seq));
+        for event in ordered {
+            let stage = trace.attr_str(event, "stage").unwrap_or("?");
+            let reason = trace.attr_str(event, "reason").unwrap_or("?");
+            let mut extras = String::new();
+            for key in ["cache", "usage_changes", "index", "cluster_size"] {
+                if let Some(value) = trace.attr(event, key) {
+                    let _ = write!(extras, " {key}={value}");
+                }
+            }
+            let _ = writeln!(out, "    {stage}: {reason}{extras}");
+        }
+    }
+    Ok(out)
+}
+
+/// Prints the span/instant tree rooted at `span` (within one lane),
+/// names only — durations are deliberately omitted so the output is
+/// stable enough for CI to grep.
+fn render_span_subtree(
+    trace: &TraceSink,
+    span: obs::SpanId,
+    lane: u32,
+    indent: usize,
+    out: &mut String,
+) {
+    let root = trace
+        .events()
+        .iter()
+        .find(|e| e.kind == TraceKind::Begin && e.span == span && e.lane == lane);
+    let Some(root) = root else {
+        return;
+    };
+    let pad = "  ".repeat(indent);
+    let _ = writeln!(out, "{pad}{}", trace.name(root.name));
+    for event in trace.events() {
+        if event.lane != lane || event.parent != span {
+            continue;
+        }
+        match event.kind {
+            TraceKind::Begin => render_span_subtree(trace, event.span, lane, indent + 1, out),
+            TraceKind::Instant => {
+                let inner = "  ".repeat(indent + 1);
+                let _ = writeln!(out, "{inner}{} (instant)", trace.name(event.name));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Renders `diffcode cache stats` for the store under `dir`.
@@ -622,6 +857,9 @@ USAGE:
     diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
     diffcode mine [--seed <N>] [--projects <N>] [--threads <N>]
                   [--cache-dir <dir>] [--metrics-json <path>]
+                  [--trace-out <path>] [--trace-sample <N>]
+    diffcode explain <fingerprint|project/path> [--seed <N>] [--projects <N>]
+                     [--threads <N>]
     diffcode cache <stats|vacuum|verify> --cache-dir <dir>
     diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
                      [--metrics-json <path>]
@@ -635,7 +873,14 @@ COMMANDS:
     mine      mine a seeded corpus and print the deterministic accounting;
               --cache-dir enables the persistent result cache (a warm re-run
               replays cached outcomes and prints byte-identical output),
-              --metrics-json writes counters incl. cache.hit/miss/stale_version
+              --metrics-json writes counters incl. cache.hit/miss/stale_version,
+              --trace-out writes a Chrome trace-event JSON of the whole funnel
+              (load it in Perfetto / chrome://tracing), --trace-sample N keeps
+              every Nth span (decision events are always kept)
+    explain   re-run the traced pipeline and print one change's full funnel
+              journey — pipeline spans plus the typed decision each stage
+              recorded; the query is a change-fingerprint prefix or a
+              project/path substring (fixtures/figure2 is always present)
     cache     inspect the persistent result cache: stats (size/versions),
               vacuum (compact, dropping stale + superseded records),
               verify (structural integrity scan; non-zero exit when dirty)
@@ -772,5 +1017,33 @@ mod tests {
         assert!(out.contains("chaos run: seed 7"), "{out}");
         assert!(out.contains("quarantine rate:"), "{out}");
         assert!(out.contains("accounting exact"), "{out}");
+    }
+
+    #[test]
+    fn traced_mine_report_is_byte_identical_to_untraced() {
+        let (plain, _) = run_mine(42, 4, 2, None).unwrap();
+        let (traced, _, trace) = run_mine_traced(42, 4, 2, None, 1).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb stdout");
+        assert!(!trace.is_empty());
+        let json = obs::to_chrome_json(&trace);
+        assert!(json.starts_with("[\n"), "{}", &json[..40]);
+    }
+
+    #[test]
+    fn explain_walks_the_figure2_change_through_the_funnel() {
+        let out = run_explain("fixtures/figure2", 42, 6, 2).unwrap();
+        assert!(
+            out.contains("fixtures/figure2 @ figure2-fix (AESCipher.java)"),
+            "{out}"
+        );
+        for marker in ["parse", "analysis", "dags.diff", "mined", "kept", "dup_of("] {
+            assert!(out.contains(marker), "missing {marker} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn explain_rejects_unmatched_queries() {
+        let err = run_explain("no-such-change-anywhere", 42, 2, 1).unwrap_err();
+        assert!(err.contains("no change matches"), "{err}");
     }
 }

@@ -1,9 +1,13 @@
 //! Clustering the filtered usage changes and eliciting rule candidates
 //! (paper §4.3 and §6.3).
 
+use crate::decision::{record_decision, DecisionReason};
 use crate::pipeline::MinedUsageChange;
-use cluster::{cluster_usage_changes_matrix, cluster_usage_changes_matrix_metered, Dendrogram};
-use obs::MetricsRegistry;
+use cluster::{
+    cluster_usage_changes_matrix, cluster_usage_changes_matrix_metered,
+    cluster_usage_changes_matrix_traced, Dendrogram,
+};
+use obs::{MetricsRegistry, TraceSink};
 use rules::SuggestedRule;
 use usagegraph::UsageChange;
 
@@ -67,6 +71,47 @@ pub fn elicit_auto_with_metrics(
     elicitation
 }
 
+/// [`elicit_auto_with_metrics`] with decision provenance: wraps the
+/// whole stage in an `elicit` span, times the silhouette search as an
+/// `elicit.cut` span, and emits one `cluster(<id>)` decision per
+/// surviving change, where `<id>` is the change's cluster index in the
+/// final (largest-first) report order. The decisions carry the
+/// change's index into `changes` so tests can reconcile membership
+/// lists against the trace exactly.
+pub fn elicit_auto_traced(
+    changes: &[MinedUsageChange],
+    registry: &mut MetricsRegistry,
+    trace: &mut TraceSink,
+) -> Elicitation {
+    let stage_span = trace.begin_with("elicit", |a| {
+        a.u64("changes", changes.len() as u64);
+    });
+    let usage_changes: Vec<UsageChange> = changes.iter().map(|c| c.change.clone()).collect();
+    let (dendrogram, matrix) = cluster_usage_changes_matrix_traced(&usage_changes, registry, trace);
+    let cut_span = trace.begin("elicit.cut");
+    let members = registry.time("elicit.cut", || {
+        dendrogram.best_cut(&matrix, usage_changes.len()).1
+    });
+    trace.end(cut_span);
+    let elicitation = build_elicitation(dendrogram, members, &usage_changes);
+    registry.inc("elicit.clusters", elicitation.clusters.len() as u64);
+    for (cluster_id, cluster) in elicitation.clusters.iter().enumerate() {
+        for &member in &cluster.members {
+            record_decision(
+                trace,
+                &changes[member].meta,
+                &DecisionReason::Cluster(cluster_id),
+                |a| {
+                    a.u64("index", member as u64);
+                    a.u64("cluster_size", cluster.members.len() as u64);
+                },
+            );
+        }
+    }
+    trace.end(stage_span);
+    elicitation
+}
+
 fn build_elicitation(
     dendrogram: Dendrogram,
     members: Vec<Vec<usize>>,
@@ -124,6 +169,7 @@ mod tests {
                     commit: pair.name.to_owned(),
                     message: pair.description.to_owned(),
                     path: "A.java".into(),
+                    fingerprint: crate::pipeline::change_fingerprint(pair.old, pair.new),
                 },
                 class: class.to_owned(),
                 old_dag,

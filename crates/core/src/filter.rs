@@ -1,10 +1,11 @@
 //! The four filters of §4.2: `fsame`, `fadd`, `frem`, `fdup`, applied
 //! in that order, with per-stage survivor counts (Figure 6).
 
+use crate::decision::{record_decision, DecisionReason};
 use crate::pipeline::MinedUsageChange;
-use obs::MetricsRegistry;
+use obs::{MetricsRegistry, Stopwatch, TraceSink};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 /// Which filter stage removed a usage change (or none).
@@ -71,6 +72,14 @@ impl FilterStats {
 /// pair) — negligible against corpus-scale dedup sets.
 pub type DupKey = (u64, u64);
 
+/// Caller-owned `fdup` state: each key maps to the *change fingerprint*
+/// ([`crate::pipeline::ChangeMeta::fingerprint`]) of its first
+/// occurrence, which is what a later duplicate's
+/// [`DecisionReason::DupOf`] decision names. (A plain set would suffice
+/// for staging alone; the map is what makes `dup_of(<fingerprint>)`
+/// provenance possible.)
+pub type SeenDups = BTreeMap<DupKey, String>;
+
 fn dup_key(change: &MinedUsageChange) -> DupKey {
     let fields = (&change.class, &change.change.removed, &change.change.added);
     let mut h1 = DefaultHasher::new();
@@ -86,17 +95,17 @@ fn dup_key(change: &MinedUsageChange) -> DupKey {
 /// consistent *across* batches (the paper dedups corpus-wide), use
 /// [`stage_changes_with_seen`] with one shared `seen` set.
 pub fn stage_changes(changes: &[MinedUsageChange]) -> Vec<(FilterStage, &MinedUsageChange)> {
-    stage_changes_with_seen(changes, &mut BTreeSet::new())
+    stage_changes_with_seen(changes, &mut SeenDups::new())
 }
 
 /// [`stage_changes`] with caller-owned dedup state: `seen` carries the
 /// `fdup` fingerprints forward, so staging several batches with the
-/// same set yields exactly the stages a single concatenated run would
+/// same map yields exactly the stages a single concatenated run would
 /// (a change is a duplicate if *any* earlier batch already produced
 /// its key).
 pub fn stage_changes_with_seen<'a>(
     changes: &'a [MinedUsageChange],
-    seen: &mut BTreeSet<DupKey>,
+    seen: &mut SeenDups,
 ) -> Vec<(FilterStage, &'a MinedUsageChange)> {
     changes
         .iter()
@@ -107,10 +116,14 @@ pub fn stage_changes_with_seen<'a>(
                 FilterStage::FAdd
             } else if c.change.is_pure_removal() {
                 FilterStage::FRem
-            } else if !seen.insert(dup_key(c)) {
-                FilterStage::FDup
             } else {
-                FilterStage::Remaining
+                match seen.entry(dup_key(c)) {
+                    std::collections::btree_map::Entry::Occupied(_) => FilterStage::FDup,
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(c.meta.fingerprint.clone());
+                        FilterStage::Remaining
+                    }
+                }
             };
             (stage, c)
         })
@@ -120,7 +133,7 @@ pub fn stage_changes_with_seen<'a>(
 /// Applies the filters, returning the surviving changes and the
 /// per-stage statistics.
 pub fn apply_filters(changes: Vec<MinedUsageChange>) -> (Vec<MinedUsageChange>, FilterStats) {
-    apply_filters_with_seen(changes, &mut BTreeSet::new())
+    apply_filters_with_seen(changes, &mut SeenDups::new())
 }
 
 /// [`apply_filters`] with caller-owned `fdup` state (see
@@ -129,15 +142,27 @@ pub fn apply_filters(changes: Vec<MinedUsageChange>) -> (Vec<MinedUsageChange>, 
 /// filtering the concatenated result in one call.
 pub fn apply_filters_with_seen(
     changes: Vec<MinedUsageChange>,
-    seen: &mut BTreeSet<DupKey>,
+    seen: &mut SeenDups,
 ) -> (Vec<MinedUsageChange>, FilterStats) {
-    let staged = stage_changes_with_seen(&changes, seen);
+    let stages: Vec<FilterStage> = stage_changes_with_seen(&changes, seen)
+        .iter()
+        .map(|(stage, _)| *stage)
+        .collect();
+    split_staged(changes, &stages)
+}
+
+/// Folds staged changes into (survivors, funnel stats) — the single
+/// accounting path shared by the plain and traced filter entry points.
+fn split_staged(
+    changes: Vec<MinedUsageChange>,
+    stages: &[FilterStage],
+) -> (Vec<MinedUsageChange>, FilterStats) {
     let mut stats = FilterStats {
         total: changes.len(),
         ..FilterStats::default()
     };
-    let mut keep_indices = Vec::new();
-    for (idx, (stage, _)) in staged.iter().enumerate() {
+    let mut keep_set: Vec<bool> = vec![false; changes.len()];
+    for (idx, stage) in stages.iter().enumerate() {
         match stage {
             FilterStage::FSame => {}
             FilterStage::FAdd => stats.after_fsame += 1,
@@ -155,13 +180,9 @@ pub fn apply_filters_with_seen(
                 stats.after_fadd += 1;
                 stats.after_frem += 1;
                 stats.after_fdup += 1;
-                keep_indices.push(idx);
+                keep_set[idx] = true;
             }
         }
-    }
-    let mut keep_set: Vec<bool> = vec![false; changes.len()];
-    for idx in keep_indices {
-        keep_set[idx] = true;
     }
     let kept: Vec<MinedUsageChange> = changes
         .into_iter()
@@ -200,10 +221,67 @@ pub fn apply_filters_with_metrics(
     (kept, stats)
 }
 
+/// [`apply_filters_with_metrics`] with caller-owned `fdup` state and
+/// structured tracing: wraps the stage in a `filter.apply` span and
+/// emits one decision event per usage change — `kept`,
+/// `filtered(refactoring|pure_addition|pure_removal)`, or
+/// `dup_of(<fingerprint>)` naming the first occurrence the duplicate
+/// collapsed into. The `index` attribute is the change's position in
+/// the filter input (offset by `index_base` so batched calls number
+/// changes corpus-wide).
+pub fn apply_filters_traced(
+    changes: Vec<MinedUsageChange>,
+    seen: &mut SeenDups,
+    registry: &mut MetricsRegistry,
+    trace: &mut TraceSink,
+    index_base: usize,
+) -> (Vec<MinedUsageChange>, FilterStats) {
+    let clock = Stopwatch::start();
+    let span = trace.begin_with("filter.apply", |a| {
+        a.u64("changes", changes.len() as u64);
+    });
+    let staged = stage_changes_with_seen(&changes, seen);
+    let mut stages: Vec<FilterStage> = Vec::with_capacity(staged.len());
+    for (idx, (stage, change)) in staged.iter().enumerate() {
+        stages.push(*stage);
+        let reason = match stage {
+            FilterStage::FSame => DecisionReason::FilteredRefactoring,
+            FilterStage::FAdd => DecisionReason::FilteredPureAddition,
+            FilterStage::FRem => DecisionReason::FilteredPureRemoval,
+            FilterStage::FDup => {
+                DecisionReason::DupOf(seen.get(&dup_key(change)).cloned().unwrap_or_default())
+            }
+            FilterStage::Remaining => DecisionReason::Kept,
+        };
+        record_decision(trace, &change.meta, &reason, |a| {
+            a.u64("index", (index_base + idx) as u64);
+            a.str("class", change.class.as_str());
+        });
+    }
+    drop(staged);
+    let (kept, stats) = split_staged(changes, &stages);
+    trace.end(span);
+    registry.record_span("filter.apply", clock.elapsed());
+    stats.record(registry);
+    debug_assert!(obs::check_funnel(
+        registry,
+        &[
+            "filter.total",
+            "filter.after_fsame",
+            "filter.after_fadd",
+            "filter.after_frem",
+            "filter.after_fdup",
+        ],
+    )
+    .is_ok());
+    (kept, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::ChangeMeta;
+    use std::collections::BTreeSet;
     use usagegraph::{FeaturePath, UsageChange, UsageDag};
 
     fn mk(class: &str, removed: &[&str], added: &[&str]) -> MinedUsageChange {
@@ -214,6 +292,7 @@ mod tests {
                 commit: "c".into(),
                 message: String::new(),
                 path: "A.java".into(),
+                fingerprint: format!("fp:{class}:{removed:?}->{added:?}"),
             },
             class: class.to_owned(),
             old_dag: UsageDag::empty(class),
@@ -331,7 +410,7 @@ mod tests {
         ];
         let one_shot: Vec<FilterStage> = stage_changes(&all).iter().map(|(s, _)| *s).collect();
 
-        let mut seen = BTreeSet::new();
+        let mut seen = SeenDups::new();
         let mut batched = Vec::new();
         for batch in all.chunks(2) {
             batched.extend(
@@ -362,7 +441,7 @@ mod tests {
         ];
         let (kept_once, stats_once) = apply_filters(all.clone());
 
-        let mut seen = BTreeSet::new();
+        let mut seen = SeenDups::new();
         let mut kept_batched = Vec::new();
         let mut totals = FilterStats::default();
         for batch in all.chunks(2) {

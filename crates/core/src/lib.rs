@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod decision;
 pub mod elicit;
 pub mod experiments;
 pub mod filter;
@@ -50,19 +51,20 @@ pub mod pipeline;
 pub mod quarantine;
 pub mod report;
 
-pub use elicit::elicit_auto_with_metrics;
+pub use decision::{DecisionReason, DECISION_EVENT};
 pub use elicit::{elicit, elicit_auto, render_dendrogram, ClusterReport, Elicitation};
+pub use elicit::{elicit_auto_traced, elicit_auto_with_metrics};
 pub use experiments::{
     figure9_table, Experiments, Figure10Output, Figure6Row, Figure7Cell, Figure7Row, Figure8Output,
 };
 pub use filter::{
-    apply_filters, apply_filters_with_metrics, apply_filters_with_seen, stage_changes,
-    stage_changes_with_seen, DupKey, FilterStage, FilterStats,
+    apply_filters, apply_filters_traced, apply_filters_with_metrics, apply_filters_with_seen,
+    stage_changes, stage_changes_with_seen, DupKey, FilterStage, FilterStats, SeenDups,
 };
 pub use mcache::{CachedLookup, ChangeOutcome, MiningCache, MiningCacheView, ANALYSIS_VERSION};
 pub use pipeline::{
-    mine_parallel, mine_parallel_cached, mine_parallel_with_metrics, ChangeMeta, DiffCode,
-    MinedUsageChange, MiningResult, MiningStats,
+    change_fingerprint, mine_parallel, mine_parallel_cached, mine_parallel_traced,
+    mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange, MiningResult, MiningStats,
 };
 pub use quarantine::{ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters};
 pub use report::{display_width, Table};

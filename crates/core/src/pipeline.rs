@@ -8,6 +8,7 @@
 //! boundary; failures degrade to per-kind counted skips with a
 //! [`QuarantineReport`] carrying provenance.
 
+use crate::decision::{record_decision, DecisionReason};
 use crate::mcache::{CachedLookup, ChangeOutcome, MiningCache, MiningCacheView};
 use crate::quarantine::{
     excerpt, ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters,
@@ -15,7 +16,7 @@ use crate::quarantine::{
 use analysis::{analyze, try_analyze_counted, ApiModel, Usages, TARGET_CLASSES};
 use corpus::Corpus;
 use javalang::ParseError;
-use obs::{MetricsRegistry, Stopwatch};
+use obs::{MetricsRegistry, Stopwatch, TraceSink};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,6 +37,19 @@ pub struct ChangeMeta {
     pub message: String,
     /// Changed file.
     pub path: String,
+    /// Content fingerprint of the `(old, new)` source pair
+    /// ([`change_fingerprint`]): 32 lowercase hex chars, stable across
+    /// runs and configurations — the identity `diffcode explain`
+    /// queries by.
+    pub fingerprint: String,
+}
+
+/// The 128-bit content fingerprint of one code change: a hash of the
+/// old and new file bytes only (no configuration, no provenance), so
+/// the same textual change carries the same fingerprint wherever it
+/// appears. Rendered as 32 lowercase hex chars.
+pub fn change_fingerprint(old: &str, new: &str) -> String {
+    cache::fingerprint(&[old.as_bytes(), new.as_bytes()]).to_string()
 }
 
 /// One usage change with provenance and the DAG pair it came from.
@@ -99,6 +113,7 @@ pub struct DiffCode {
     cache: HashMap<u64, Rc<Usages>>,
     limits: PipelineLimits,
     metrics: MetricsRegistry,
+    trace: TraceSink,
 }
 
 impl DiffCode {
@@ -111,6 +126,7 @@ impl DiffCode {
             cache: HashMap::new(),
             limits: PipelineLimits::DEFAULT,
             metrics: MetricsRegistry::new(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -148,6 +164,26 @@ impl DiffCode {
     /// worker pipelines on join.
     pub fn take_metrics(&mut self) -> MetricsRegistry {
         std::mem::take(&mut self.metrics)
+    }
+
+    /// Installs a trace sink; subsequent mining records spans per
+    /// change/stage and one decision event per code change. Pipelines
+    /// start with a disabled sink (zero-cost: every trace call is one
+    /// branch).
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The trace events recorded so far.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Takes the accumulated trace, leaving a disabled sink — how
+    /// [`mine_parallel_traced`] collects per-shard traces from worker
+    /// pipelines on join.
+    pub fn take_trace(&mut self) -> TraceSink {
+        std::mem::replace(&mut self.trace, TraceSink::disabled())
     }
 
     /// Parses and analyzes one source file, caching by content. Parsing
@@ -202,11 +238,20 @@ impl DiffCode {
         if let Some(hit) = self.cache.get(&key) {
             let hit = Rc::clone(hit);
             self.metrics.inc("analyze.cache_hit", 1);
+            self.trace.instant("analyze.cache_hit");
             return Ok(hit);
         }
         self.metrics.inc("analyze.cache_miss", 1);
-        let unit = javalang::parse_snippet_with_limits(source, self.limits.parse)?;
-        let (usages, steps) = try_analyze_counted(&unit, &self.api, &self.limits.analysis)?;
+        // Each fallible stage's span is closed *before* the error
+        // propagates, so failed changes still leave balanced traces.
+        let parse_span = self.trace.begin("parse");
+        let unit = javalang::parse_snippet_with_limits(source, self.limits.parse);
+        self.trace.end(parse_span);
+        let unit = unit?;
+        let analysis_span = self.trace.begin("analysis");
+        let analyzed = try_analyze_counted(&unit, &self.api, &self.limits.analysis);
+        self.trace.end(analysis_span);
+        let (usages, steps) = analyzed?;
         self.metrics.inc("analysis.steps", steps);
         let usages = Rc::new(usages);
         self.cache.insert(key, Rc::clone(&usages));
@@ -324,6 +369,7 @@ impl DiffCode {
             }
         }
         let run_clock = Stopwatch::start();
+        let run_span = self.trace.begin("mine.run");
         let mut result = MiningResult::default();
         for code_change in corpus.code_changes() {
             let change_clock = Stopwatch::start();
@@ -333,39 +379,64 @@ impl DiffCode {
                 commit: code_change.commit.id.clone(),
                 message: code_change.commit.message.clone(),
                 path: code_change.path.to_owned(),
+                fingerprint: change_fingerprint(code_change.old, code_change.new),
             };
+            let change_span = self.trace.begin_with("mine.change", |a| {
+                a.str("project", meta.project.as_str());
+                a.str("commit", meta.commit.as_str());
+                a.str("path", meta.path.as_str());
+                a.str("fingerprint", meta.fingerprint.as_str());
+            });
             // Look aside before any analysis work. Both the replayed
             // and the freshly-computed paths apply a `ChangeOutcome`
             // through the same function below, so a warm run is
             // byte-identical to the cold run by construction.
-            let outcome = match cache.as_mut() {
+            let (outcome, cache_status) = match cache.as_mut() {
                 Some(view) => {
                     let key = view.change_key(code_change.old, code_change.new);
                     match view.get(key) {
                         CachedLookup::Hit(outcome) => {
                             self.metrics.inc("cache.hit", 1);
-                            outcome
+                            self.trace.instant("cache.hit");
+                            (outcome, "hit")
                         }
                         lookup => {
-                            self.metrics.inc(
-                                match lookup {
-                                    CachedLookup::StaleVersion => "cache.stale_version",
-                                    _ => "cache.miss",
-                                },
-                                1,
-                            );
+                            let (counter, status) = match lookup {
+                                CachedLookup::StaleVersion => {
+                                    ("cache.stale_version", "stale_version")
+                                }
+                                _ => ("cache.miss", "miss"),
+                            };
+                            self.metrics.inc(counter, 1);
+                            self.trace.instant(counter);
                             let outcome = self.compute_outcome(&code_change, &classes);
                             view.record(key, &outcome);
-                            outcome
+                            (outcome, status)
                         }
                     }
                 }
-                None => self.compute_outcome(&code_change, &classes),
+                None => (self.compute_outcome(&code_change, &classes), "off"),
             };
+            // The per-change decision: emitted inside the change span,
+            // always retained regardless of sampling.
+            let reason = match &outcome {
+                ChangeOutcome::Mined(_) => DecisionReason::Mined,
+                ChangeOutcome::Skipped { kind, .. } => DecisionReason::Quarantined(*kind),
+            };
+            let usage_changes = match &outcome {
+                ChangeOutcome::Mined(tuples) => tuples.len() as u64,
+                ChangeOutcome::Skipped { .. } => 0,
+            };
+            record_decision(&mut self.trace, &meta, &reason, |a| {
+                a.str("cache", cache_status);
+                a.u64("usage_changes", usage_changes);
+            });
             apply_outcome(&mut result, meta, outcome);
+            self.trace.end(change_span);
             self.metrics
                 .record_span("mine.change", change_clock.elapsed());
         }
+        self.trace.end(run_span);
         self.metrics.record_span("mine.run", run_clock.elapsed());
         self.metrics
             .inc("mine.code_changes", result.stats.code_changes as u64);
@@ -422,21 +493,30 @@ impl DiffCode {
         classes: &[&str],
     ) -> Result<MinedTuples, (PipelineError, String)> {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let old = self
-                .try_analyze_source(code_change.old)
-                .map_err(|e| (e, excerpt(code_change.old)))?;
-            let new = self
-                .try_analyze_source(code_change.new)
-                .map_err(|e| (e, excerpt(code_change.new)))?;
+            let span = self.trace.begin("analyze.old");
+            let old = self.try_analyze_source(code_change.old);
+            self.trace.end(span);
+            let old = old.map_err(|e| (e, excerpt(code_change.old)))?;
+            let span = self.trace.begin("analyze.new");
+            let new = self.try_analyze_source(code_change.new);
+            self.trace.end(span);
+            let new = new.map_err(|e| (e, excerpt(code_change.new)))?;
+            let dags_span = self.trace.begin("dags.diff");
             let mut mined = MinedTuples::new();
             for class in classes {
-                let tuples = self
-                    .try_usage_changes_from_usages(&old, &new, class)
-                    .map_err(|e| (e, excerpt(code_change.new)))?;
+                let tuples = self.try_usage_changes_from_usages(&old, &new, class);
+                let tuples = match tuples {
+                    Ok(tuples) => tuples,
+                    Err(e) => {
+                        self.trace.end(dags_span);
+                        return Err((e, excerpt(code_change.new)));
+                    }
+                };
                 for (old_dag, new_dag, change) in tuples {
                     mined.push(((*class).to_owned(), old_dag, new_dag, change));
                 }
             }
+            self.trace.end(dags_span);
             Ok(mined)
         }));
         match outcome {
@@ -566,12 +646,42 @@ pub fn mine_parallel_cached(
     registry: &mut MetricsRegistry,
     cache: Option<&mut MiningCache>,
 ) -> MiningResult {
+    mine_parallel_traced(
+        corpus,
+        classes,
+        n_threads,
+        registry,
+        cache,
+        &mut TraceSink::disabled(),
+    )
+}
+
+/// [`mine_parallel_cached`] with structured tracing: each worker shard
+/// records into its own [`TraceSink`] (same no-locks discipline as the
+/// per-shard registries), and the shard sinks are absorbed into `trace`
+/// on join, **in shard order** — each shard becomes its own lane, so a
+/// parallel trace is the sequential trace's events re-grouped by lane,
+/// with identical decision events per change. A shard whose worker died
+/// contributes no lane; its changes' quarantine decisions are emitted
+/// into the orchestrator's own lane so the one-decision-per-change
+/// completeness invariant survives worker loss.
+pub fn mine_parallel_traced(
+    corpus: &Corpus,
+    classes: &[&str],
+    n_threads: usize,
+    registry: &mut MetricsRegistry,
+    cache: Option<&mut MiningCache>,
+    trace: &mut TraceSink,
+) -> MiningResult {
+    let trace_config = trace.config();
     let n_threads = n_threads.max(1).min(corpus.projects.len().max(1));
     if n_threads <= 1 {
         let mut view = cache.as_ref().map(|c| c.view());
         let mut dc = DiffCode::new();
+        dc.set_trace(TraceSink::from_config(trace_config));
         let result = dc.mine_cached(corpus, classes, view.as_mut());
         registry.merge(&dc.take_metrics());
+        trace.absorb(dc.take_trace());
         let log = view.map(MiningCacheView::into_log);
         if let (Some(cache), Some(log)) = (cache, log) {
             cache.absorb(log);
@@ -582,52 +692,59 @@ pub fn mine_parallel_cached(
     // Immutable reborrow for the workers; the mutable handle is used
     // again only after the scope ends and every view is consumed.
     let shared: Option<&MiningCache> = cache.as_deref();
-    let results: Vec<(MiningResult, MetricsRegistry, Option<cache::ShardLog>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    let mut view = shared.map(|c| c.view());
-                    (
-                        shard,
-                        scope.spawn(move || {
-                            let mut dc = DiffCode::new();
-                            let result = dc.mine_cached(shard, classes, view.as_mut());
-                            (
-                                result,
-                                dc.take_metrics(),
-                                view.map(MiningCacheView::into_log),
-                            )
-                        }),
-                    )
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(shard, handle)| match handle.join() {
-                    Ok(outcome) => outcome,
-                    // A worker died outside the per-change isolation (mine
-                    // itself never panics on input). Fold the shard in as
-                    // all-skipped so sibling shards' results survive and
-                    // the merged accounting still balances; its in-flight
-                    // metrics died with the thread, so rebuild the counters
-                    // the accounting requires from the skip totals. The
-                    // shard's cache log died with it too — deliberately.
-                    Err(payload) => {
-                        let result = shard_failure_result(shard, &panic_message(payload));
-                        let mut shard_metrics = MetricsRegistry::new();
-                        shard_metrics.inc("mine.shard_failures", 1);
-                        shard_metrics.inc("mine.code_changes", result.stats.code_changes as u64);
-                        shard_metrics.inc("mine.mined", 0);
-                        result.stats.skipped.record(&mut shard_metrics);
-                        (result, shard_metrics, None)
-                    }
-                })
-                .collect()
-        });
+    type ShardOutcome = (
+        MiningResult,
+        MetricsRegistry,
+        Option<cache::ShardLog>,
+        Option<TraceSink>,
+    );
+    let results: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let mut view = shared.map(|c| c.view());
+                (
+                    shard,
+                    scope.spawn(move || {
+                        let mut dc = DiffCode::new();
+                        dc.set_trace(TraceSink::from_config(trace_config));
+                        let result = dc.mine_cached(shard, classes, view.as_mut());
+                        (
+                            result,
+                            dc.take_metrics(),
+                            view.map(MiningCacheView::into_log),
+                            Some(dc.take_trace()),
+                        )
+                    }),
+                )
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(shard, handle)| match handle.join() {
+                Ok(outcome) => outcome,
+                // A worker died outside the per-change isolation (mine
+                // itself never panics on input). Fold the shard in as
+                // all-skipped so sibling shards' results survive and
+                // the merged accounting still balances; its in-flight
+                // metrics died with the thread, so rebuild the counters
+                // the accounting requires from the skip totals. The
+                // shard's cache log died with it too — deliberately.
+                Err(payload) => {
+                    let result = shard_failure_result(shard, &panic_message(payload), trace);
+                    let mut shard_metrics = MetricsRegistry::new();
+                    shard_metrics.inc("mine.shard_failures", 1);
+                    shard_metrics.inc("mine.code_changes", result.stats.code_changes as u64);
+                    shard_metrics.inc("mine.mined", 0);
+                    result.stats.skipped.record(&mut shard_metrics);
+                    (result, shard_metrics, None, None)
+                }
+            })
+            .collect()
+    });
     let mut merged = MiningResult::default();
     let mut logs = Vec::new();
-    for (result, shard_metrics, log) in results {
+    for (result, shard_metrics, log, shard_trace) in results {
         merged.stats.code_changes += result.stats.code_changes;
         merged.stats.parse_failures += result.stats.parse_failures;
         merged.stats.mined += result.stats.mined;
@@ -636,6 +753,9 @@ pub fn mine_parallel_cached(
         merged.quarantine.extend(result.quarantine);
         registry.merge(&shard_metrics);
         logs.extend(log);
+        if let Some(shard_trace) = shard_trace {
+            trace.absorb(shard_trace);
+        }
     }
     if let Some(cache) = cache {
         for log in logs {
@@ -656,18 +776,36 @@ pub fn mine_parallel_cached(
 /// returning: every code change of the shard is recorded as a
 /// [`ErrorKind::Panic`] skip with a quarantine report, so
 /// `code_changes == mined + skipped.total()` holds for the merged run.
-fn shard_failure_result(shard: &Corpus, message: &str) -> MiningResult {
+/// The per-change decision events die with the worker's sink, so they
+/// are re-emitted here into the orchestrator's `trace` (after a
+/// `mine.shard_failure` marker), keeping the trace's decision set
+/// complete even when a whole shard is lost.
+fn shard_failure_result(shard: &Corpus, message: &str, trace: &mut TraceSink) -> MiningResult {
+    trace.instant_with("mine.shard_failure", |a| {
+        a.str("message", message);
+    });
     let mut result = MiningResult::default();
     for code_change in shard.code_changes() {
         result.stats.code_changes += 1;
         result.stats.skipped.bump(ErrorKind::Panic);
-        result.quarantine.push(QuarantineReport {
-            meta: ChangeMeta {
-                project: code_change.project.full_name(),
-                commit: code_change.commit.id.clone(),
-                message: code_change.commit.message.clone(),
-                path: code_change.path.to_owned(),
+        let meta = ChangeMeta {
+            project: code_change.project.full_name(),
+            commit: code_change.commit.id.clone(),
+            message: code_change.commit.message.clone(),
+            path: code_change.path.to_owned(),
+            fingerprint: change_fingerprint(code_change.old, code_change.new),
+        };
+        record_decision(
+            trace,
+            &meta,
+            &DecisionReason::Quarantined(ErrorKind::Panic),
+            |a| {
+                a.str("cache", "off");
+                a.u64("usage_changes", 0);
             },
+        );
+        result.quarantine.push(QuarantineReport {
+            meta,
             kind: ErrorKind::Panic,
             error: format!("mining shard panicked: {message}"),
             excerpt: excerpt(code_change.new),

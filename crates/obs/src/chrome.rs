@@ -1,0 +1,149 @@
+//! Chrome trace-event JSON export for a [`TraceSink`].
+//!
+//! Hand-rolled writer (same zero-dependency constraint as the
+//! metrics snapshot writer) targeting the trace-event *JSON array format*: a
+//! flat array of `B`/`E`/`i` events that Perfetto and
+//! `chrome://tracing` load directly. Mapping:
+//!
+//! - [`TraceKind::Begin`]/[`TraceKind::End`] → `ph: "B"` / `ph: "E"`,
+//! - [`TraceKind::Instant`] → `ph: "i"` with thread scope (`s: "t"`),
+//! - [`TraceKind::Decision`] → `ph: "i"`, `s: "t"`, with the full
+//!   attribute set (provenance + reason) in `args`,
+//! - lane → `tid` (lane 0 is the orchestrating sink, lanes 1.. the
+//!   absorbed shards in shard order), `pid` is always 1,
+//! - `ts` is microseconds with nanosecond precision kept as a decimal
+//!   fraction; `args.seq` carries the sink's own sequence number.
+//!
+//! Event *selection and order* are deterministic for a fixed input and
+//! configuration (see [`TraceSink`] determinism notes); only the `ts`
+//! values vary between runs.
+
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
+use std::fmt::Write as _;
+
+/// Serializes `sink` to the Chrome trace-event JSON array format.
+pub fn to_chrome_json(sink: &TraceSink) -> String {
+    let mut out = String::new();
+    out.push_str("[\n");
+    let mut first = true;
+    for event in sink.events() {
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        let _ = write!(out, "{sep}{}", render_event(sink, event));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn render_event(sink: &TraceSink, event: &TraceEvent) -> String {
+    let ph = match event.kind {
+        TraceKind::Begin => "B",
+        TraceKind::End => "E",
+        TraceKind::Instant | TraceKind::Decision => "i",
+    };
+    let mut entry = String::new();
+    let _ = write!(
+        entry,
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        crate::json::escape(sink.name(event.name)),
+        event.lane,
+        ts_us(event.ts_ns),
+    );
+    if ph == "i" {
+        entry.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(entry, ",\"args\":{{\"seq\":{}", event.seq);
+    for (key, value) in &event.attrs {
+        let _ = write!(
+            entry,
+            ",\"{}\":{}",
+            crate::json::escape(sink.name(*key)),
+            render_value(value)
+        );
+    }
+    entry.push_str("}}");
+    entry
+}
+
+/// Nanoseconds → microseconds with the sub-µs precision kept as an
+/// exact decimal fraction (no float rounding).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn render_value(value: &crate::trace::TraceValue) -> String {
+    use crate::trace::TraceValue;
+    match value {
+        TraceValue::Str(s) => format!("\"{}\"", crate::json::escape(s)),
+        TraceValue::U64(v) => v.to_string(),
+        TraceValue::I64(v) => v.to_string(),
+        TraceValue::F64(v) => crate::json::json_f64(*v),
+        TraceValue::Bool(v) => v.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_begin_end_instant_and_decision() {
+        let mut sink = TraceSink::enabled(1);
+        let span = sink.begin_with("mine.change", |a| {
+            a.str("project", "u/p").u64("index", 3);
+        });
+        sink.instant("cache.lookup");
+        sink.decision_with("decision", |a| {
+            a.str("reason", "kept").bool("flag", true).f64("score", 0.5);
+        });
+        sink.end(span);
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(
+            json.contains("\"name\":\"mine.change\",\"ph\":\"B\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"mine.change\",\"ph\":\"E\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"cache.lookup\",\"ph\":\"i\""),
+            "{json}"
+        );
+        assert!(json.contains("\"s\":\"t\""), "{json}");
+        assert!(json.contains("\"project\":\"u/p\""), "{json}");
+        assert!(json.contains("\"index\":3"), "{json}");
+        assert!(json.contains("\"reason\":\"kept\""), "{json}");
+        assert!(json.contains("\"flag\":true"), "{json}");
+        assert!(json.contains("\"score\":0.5"), "{json}");
+        // Every event carries pid/tid and its sequence number.
+        assert_eq!(json.matches("\"pid\":1").count(), 4, "{json}");
+        assert!(json.contains("\"args\":{\"seq\":0"), "{json}");
+    }
+
+    #[test]
+    fn ts_is_microseconds_with_ns_fraction() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(1_000), "1.000");
+        assert_eq!(ts_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut sink = TraceSink::enabled(1);
+        sink.decision_with("decision", |a| {
+            a.str("path", "dir\\A\"B\".java");
+        });
+        let json = sink.to_chrome_json();
+        assert!(json.contains("dir\\\\A\\\"B\\\".java"), "{json}");
+    }
+
+    #[test]
+    fn empty_sink_exports_an_empty_array() {
+        let json = TraceSink::disabled().to_chrome_json();
+        assert_eq!(json, "[\n\n]\n");
+    }
+}

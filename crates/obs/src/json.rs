@@ -23,8 +23,9 @@ use std::fmt::Write as _;
 pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Escapes a string for a JSON literal (metric names are ASCII
-/// identifiers in practice, but correctness is cheap).
-fn escape(s: &str) -> String {
+/// identifiers in practice, but correctness is cheap). Shared with the
+/// Chrome trace exporter, which does write arbitrary paths/messages.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -44,7 +45,7 @@ fn escape(s: &str) -> String {
 
 /// Renders a finite `f64` so the snapshot stays valid JSON (NaN and
 /// infinities have no JSON literal; they degrade to 0).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         if v == v.trunc() && v.abs() < 1e15 {
             format!("{:.1}", v)

@@ -3,7 +3,10 @@
 //! A zero-dependency metrics layer for the DiffCode pipeline:
 //! monotonic **counters**, wall-clock **timing spans** aggregated as
 //! min/max/sum/count ([`SpanStats`]), and labeled **gauges**, all
-//! collected into a [`MetricsRegistry`].
+//! collected into a [`MetricsRegistry`]. For per-item audit trails —
+//! ordered events, hierarchical spans, one decision record per mined
+//! change — see the structured tracing layer ([`TraceSink`]) and its
+//! Chrome trace-event exporter ([`chrome`]).
 //!
 //! Design constraints, in priority order:
 //!
@@ -40,11 +43,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 mod json;
 mod span;
+mod trace;
 
+pub use chrome::to_chrome_json;
 pub use json::{to_json, SNAPSHOT_VERSION};
 pub use span::{fmt_ns, SpanStats, Stopwatch};
+pub use trace::{
+    AttrSet, NameId, SpanId, TraceConfig, TraceEvent, TraceKind, TraceSink, TraceValue,
+};
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -139,7 +148,19 @@ impl MetricsRegistry {
     // -- aggregation ---------------------------------------------------
 
     /// Merges `other` into `self`: counters add, spans absorb, gauges
-    /// take `other`'s value (last write wins, matching `set_gauge`).
+    /// take `other`'s value (last write wins, matching [`Self::set_gauge`]).
+    ///
+    /// **Gauge determinism.** Counters and spans are commutative and
+    /// associative, but gauges make `merge` order-sensitive: the value
+    /// that survives is the one from the *last* `merge` call whose
+    /// registry carries that gauge. This is a contract, not an
+    /// accident — callers that merge shard registries must do so in
+    /// shard order (as `mine_parallel`-style orchestrators do, and as
+    /// [`TraceSink::absorb`] requires for traces), which makes the
+    /// surviving gauge deterministically the highest-numbered shard's.
+    /// Merging in any other fixed order is also deterministic, just a
+    /// different convention; only a *varying* order (e.g. completion
+    /// order) would make snapshots flap.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
@@ -266,6 +287,35 @@ mod tests {
         let mut right = a.clone();
         right.merge(&bc);
         assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_gauges_are_last_write_wins_in_merge_order() {
+        // Pins the gauge contract documented on `merge`: whichever
+        // shard is merged last supplies the surviving value, in either
+        // direction — so a caller that fixes the merge order (shard
+        // order) gets a deterministic snapshot.
+        let mut shard_a = MetricsRegistry::new();
+        shard_a.set_gauge("g", 1.0);
+        shard_a.inc("n", 1);
+        let mut shard_b = MetricsRegistry::new();
+        shard_b.set_gauge("g", 2.0);
+        shard_b.inc("n", 2);
+
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&shard_a);
+        ab.merge(&shard_b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&shard_b);
+        ba.merge(&shard_a);
+
+        assert_eq!(ab.gauge("g"), Some(2.0), "last merge (b) wins");
+        assert_eq!(ba.gauge("g"), Some(1.0), "last merge (a) wins");
+        // Counters stay order-independent; only gauges are sensitive.
+        assert_eq!(ab.counter("n"), ba.counter("n"));
+        // A merge whose registry lacks the gauge leaves it untouched.
+        ab.merge(&MetricsRegistry::new());
+        assert_eq!(ab.gauge("g"), Some(2.0));
     }
 
     #[test]

@@ -10,8 +10,17 @@ Checks the invariants the pipeline promises (DESIGN.md, "Observability"):
      >= after_fdup (Figure 6 only ever narrows);
   4. span sanity: count >= 1 implies min_ns <= max_ns <= sum_ns.
 
+With a second argument, also validates a `diffcode mine --trace-out`
+Chrome trace-event export:
+
+  5. the trace is a well-formed JSON array of objects with name/ph/
+     pid/tid/ts fields and ph in {B, E, i};
+  6. per (pid, tid) lane, timestamps never decrease in array order;
+  7. per lane, B/E events nest: every B has a matching E (same name,
+     LIFO order) and no E arrives without an open B.
+
 Exit code 0 on success, 1 with a message per violation otherwise.
-Usage: check_metrics_snapshot.py <snapshot.json>
+Usage: check_metrics_snapshot.py <snapshot.json> [trace.json]
 """
 
 import json
@@ -87,13 +96,80 @@ def check(snapshot):
     return errors
 
 
+def check_trace(events):
+    errors = []
+    if not isinstance(events, list):
+        return [f"trace is not a JSON array: {type(events).__name__}"]
+    stacks = {}  # (pid, tid) -> list of open B names
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"trace[{i}]: not an object")
+            continue
+        missing = [key for key in ("name", "ph", "pid", "tid", "ts") if key not in event]
+        if missing:
+            errors.append(f"trace[{i}]: missing fields: {', '.join(missing)}")
+            continue
+        ph = event["ph"]
+        if ph not in ("B", "E", "i"):
+            errors.append(f"trace[{i}]: unknown phase {ph!r}")
+            continue
+        lane = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append(f"trace[{i}]: non-numeric ts {ts!r}")
+            continue
+        if lane in last_ts and ts < last_ts[lane]:
+            errors.append(
+                f"trace[{i}]: ts went backwards in lane pid={lane[0]} "
+                f"tid={lane[1]}: {last_ts[lane]} -> {ts}"
+            )
+        last_ts[lane] = ts
+        stack = stacks.setdefault(lane, [])
+        if ph == "B":
+            stack.append(event["name"])
+        elif ph == "E":
+            if not stack:
+                errors.append(
+                    f"trace[{i}]: E {event['name']!r} with no open B "
+                    f"in lane pid={lane[0]} tid={lane[1]}"
+                )
+            elif stack[-1] != event["name"]:
+                errors.append(
+                    f"trace[{i}]: E {event['name']!r} does not match "
+                    f"open B {stack[-1]!r} in lane pid={lane[0]} tid={lane[1]}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for lane, stack in sorted(stacks.items()):
+        if stack:
+            errors.append(
+                f"lane pid={lane[0]} tid={lane[1]}: {len(stack)} B event(s) "
+                f"never closed: {', '.join(stack)}"
+            )
+    return errors
+
+
 def main():
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
         snapshot = json.load(f)
     errors = check(snapshot)
+    if len(sys.argv) == 3:
+        try:
+            with open(sys.argv[2]) as f:
+                trace = json.load(f)
+        except json.JSONDecodeError as e:
+            trace, trace_errors = None, [f"trace is not well-formed JSON: {e}"]
+        else:
+            trace_errors = check_trace(trace)
+        errors.extend(trace_errors)
+        if not trace_errors:
+            lanes = len({(e["pid"], e["tid"]) for e in trace})
+            print(f"trace OK: {len(trace)} event(s) across {lanes} lane(s)")
     for error in errors:
         print(f"INVARIANT VIOLATED: {error}", file=sys.stderr)
     if not errors:

@@ -16,6 +16,7 @@ fn mined(pair: &fixtures::FixPair, class: &str) -> Vec<MinedUsageChange> {
                 commit: pair.name.to_owned(),
                 message: pair.description.to_owned(),
                 path: "A.java".into(),
+                fingerprint: diffcode::change_fingerprint(pair.old, pair.new),
             },
             class: class.to_owned(),
             old_dag,

@@ -9,7 +9,6 @@ use diffcode::{
     DiffCode, ErrorKind,
 };
 use obs::MetricsRegistry;
-use std::collections::BTreeSet;
 
 const SEED: u64 = 7;
 
@@ -42,7 +41,7 @@ fn sharded_filtering_with_shared_seen_matches_sequential() {
         "mining must be shard-invariant"
     );
 
-    let mut seen = BTreeSet::new();
+    let mut seen = diffcode::SeenDups::new();
     let mut kept_batched = Vec::new();
     let mut total_after_fdup = 0;
     for batch in parallel.changes.chunks(3) {
