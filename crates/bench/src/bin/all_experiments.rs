@@ -14,7 +14,9 @@
 //! spans included) for CI's bench-regression gate.
 
 use diffcode::Experiments;
-use diffcode_bench::{bench_json_path, config_from_args, header, render_span_table};
+use diffcode_bench::{
+    bench_json_path, config_from_args, frontend_microbench, header, render_span_table,
+};
 use obs::MetricsRegistry;
 
 fn main() {
@@ -30,6 +32,18 @@ fn main() {
         corpus.projects.len(),
         corpus.total_commits()
     );
+    // Cold front-end stage costs (frontend.* spans): the numbers the
+    // bench-regression gate and the front-end speedup gate read from
+    // the bench JSON.
+    let (timed, passes) = frontend_microbench(&corpus, &mut metrics);
+    for stage in ["lex", "parse", "analyze", "change"] {
+        if let Some(span) = metrics.span(&format!("frontend.{stage}")) {
+            println!(
+                "  frontend.{stage}: {}/change cold ({timed} changes x {passes} passes)",
+                obs::fmt_ns(span.mean_ns() / timed as u64),
+            );
+        }
+    }
     let mut exp = metrics.time("experiments.mine", || Experiments::new(corpus));
     metrics.merge(exp.metrics());
     println!(

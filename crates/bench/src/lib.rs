@@ -78,6 +78,94 @@ pub fn render_span_table(registry: &MetricsRegistry) -> String {
     table.render()
 }
 
+/// One cold code change, end to end: parse and analyze both versions,
+/// then derive the usage-change diff for every target class — exactly
+/// what the mining loop pays per change on a cache miss. Returns the
+/// number of non-trivial usage changes derived (a value to keep the
+/// optimizer honest). Shared by the `frontend` criterion group and the
+/// `frontend.*` metric spans `all_experiments` records for CI's
+/// bench-regression gate.
+pub fn cold_change(old: &str, new: &str, api: &analysis::ApiModel) -> usize {
+    use usagegraph::{dags_for_class, diff_dags, pair_dags, DEFAULT_MAX_DEPTH};
+    let old_usages = analysis::analyze(&javalang::parse_snippet(old).unwrap(), api);
+    let new_usages = analysis::analyze(&javalang::parse_snippet(new).unwrap(), api);
+    let mut derived = 0;
+    for class in analysis::TARGET_CLASSES {
+        let old_dags = dags_for_class(&old_usages, class, DEFAULT_MAX_DEPTH);
+        let new_dags = dags_for_class(&new_usages, class, DEFAULT_MAX_DEPTH);
+        if old_dags.is_empty() && new_dags.is_empty() {
+            continue;
+        }
+        for (a, b) in pair_dags(&old_dags, &new_dags, class) {
+            derived += usize::from(!diff_dags(&a, &b).is_same());
+        }
+    }
+    derived
+}
+
+/// Times each front-end stage over a fixed slice of `corpus`'s code
+/// changes, recording `frontend.lex` / `frontend.parse` /
+/// `frontend.analyze` / `frontend.change` spans — one span per pass
+/// over the whole slice, so span means sit well above the regression
+/// gate's noise floor while still scaling linearly with per-change
+/// cost. Returns `(changes timed, passes per stage)`.
+pub fn frontend_microbench(
+    corpus: &corpus::Corpus,
+    metrics: &mut MetricsRegistry,
+) -> (usize, usize) {
+    const SAMPLES: usize = 32;
+    const REPS: usize = 40;
+    let changes: Vec<(&str, &str)> = corpus
+        .code_changes()
+        .take(SAMPLES)
+        .map(|c| (c.old, c.new))
+        .collect();
+    let api = analysis::ApiModel::standard();
+    let mut sink = 0usize;
+    for _ in 0..REPS {
+        sink += metrics.time("frontend.lex", || {
+            changes
+                .iter()
+                .map(|(old, new)| {
+                    javalang::lex(old).unwrap().len() + javalang::lex(new).unwrap().len()
+                })
+                .sum::<usize>()
+        });
+        sink += metrics.time("frontend.parse", || {
+            changes
+                .iter()
+                .map(|(old, new)| {
+                    javalang::parse_snippet(old).unwrap().types.len()
+                        + javalang::parse_snippet(new).unwrap().types.len()
+                })
+                .sum::<usize>()
+        });
+        let units: Vec<_> = changes
+            .iter()
+            .flat_map(|(old, new)| {
+                [
+                    javalang::parse_snippet(old).unwrap(),
+                    javalang::parse_snippet(new).unwrap(),
+                ]
+            })
+            .collect();
+        sink += metrics.time("frontend.analyze", || {
+            units
+                .iter()
+                .map(|unit| analysis::analyze(unit, &api).events.len())
+                .sum::<usize>()
+        });
+        sink += metrics.time("frontend.change", || {
+            changes
+                .iter()
+                .map(|(old, new)| cold_change(old, new, &api))
+                .sum::<usize>()
+        });
+    }
+    std::hint::black_box(sink);
+    (changes.len(), REPS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,12 +8,20 @@ not exceed MAX_RATIO x the baseline mean. Spans below MIN_BASELINE_NS
 are skipped — sub-tenth-millisecond stages are noise-dominated on
 shared CI runners.
 
+Improvements are reported explicitly (`improved N.NNx`), so claimed
+speedups are visible in the workflow log, and `--min-speedup` turns a
+claim into a gate: `--min-speedup frontend.change=3.0` fails the run
+unless the span's mean improved by at least that factor vs the given
+baseline. Min-speedup spans are exempt from the noise floor — they are
+opted in deliberately and measured over enough iterations to be stable.
+
 New spans (absent from the baseline) pass with a note; a span that
 disappeared fails, since that usually means a stage was renamed without
 updating the baseline.
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 Usage: check_bench_regression.py <current.json> <baseline.json>
+           [--min-speedup <span>=<factor>]...
 """
 
 import json
@@ -28,9 +36,10 @@ def mean_ns(span):
     return span.get("sum_ns", 0) / count if count else 0.0
 
 
-def check(current, baseline):
+def check(current, baseline, min_speedups=None):
     errors = []
     notes = []
+    min_speedups = dict(min_speedups or {})
     cur_spans = current.get("spans", {})
     base_spans = baseline.get("spans", {})
 
@@ -43,10 +52,32 @@ def check(current, baseline):
 
     for name in sorted(cur_spans):
         if name not in base_spans:
-            notes.append(f"new span {name}: no baseline, skipping")
+            if name in min_speedups:
+                errors.append(
+                    f"span {name} has a --min-speedup gate but no baseline entry"
+                )
+                min_speedups.pop(name)
+            else:
+                notes.append(f"new span {name}: no baseline, skipping")
             continue
         base = mean_ns(base_spans[name])
         cur = mean_ns(cur_spans[name])
+        required = min_speedups.pop(name, None)
+        if required is not None:
+            speedup = base / cur if cur else float("inf")
+            if speedup < required:
+                errors.append(
+                    f"span {name} speedup {speedup:.2f}x below the required "
+                    f"{required:.2f}x: mean {cur / 1e6:.3f}ms vs baseline "
+                    f"{base / 1e6:.3f}ms"
+                )
+            else:
+                notes.append(
+                    f"span {name}: improved {speedup:.2f}x "
+                    f"({cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms, "
+                    f"required >={required:.2f}x)"
+                )
+            continue
         if base < MIN_BASELINE_NS:
             notes.append(f"span {name}: baseline mean {base:.0f}ns below noise floor, skipping")
             continue
@@ -56,31 +87,64 @@ def check(current, baseline):
                 f"mean {cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms "
                 f"(limit {MAX_RATIO}x)"
             )
+        elif cur < base:
+            notes.append(
+                f"span {name}: improved {base / cur:.2f}x "
+                f"({cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms)"
+            )
         else:
             notes.append(
                 f"span {name}: {cur / 1e6:.3f}ms vs baseline {base / 1e6:.3f}ms "
                 f"({cur / base:.2f}x)"
             )
 
+    for name in sorted(min_speedups):
+        errors.append(f"span {name} has a --min-speedup gate but was not measured")
+
     return errors, notes
 
 
+def parse_args(argv):
+    positionals = []
+    min_speedups = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--min-speedup":
+            i += 1
+            spec = argv[i] if i < len(argv) else ""
+            name, sep, factor = spec.partition("=")
+            if not sep:
+                raise ValueError(f"--min-speedup expects <span>=<factor>, got {spec!r}")
+            min_speedups.append((name, float(factor)))
+        else:
+            positionals.append(arg)
+        i += 1
+    return positionals, min_speedups
+
+
 def main():
-    if len(sys.argv) != 3:
+    try:
+        positionals, min_speedups = parse_args(sys.argv[1:])
+    except ValueError as err:
+        print(err, file=sys.stderr)
+        return 2
+    if len(positionals) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(positionals[0]) as f:
         current = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(positionals[1]) as f:
         baseline = json.load(f)
-    errors, notes = check(current, baseline)
+    errors, notes = check(current, baseline, min_speedups)
     for note in notes:
         print(note)
     for error in errors:
         print(f"BENCH REGRESSION: {error}", file=sys.stderr)
     if not errors:
         print("bench latencies OK: no stage regressed more than "
-              f"{MAX_RATIO}x vs baseline")
+              f"{MAX_RATIO}x vs baseline"
+              + (", all required speedups held" if min_speedups else ""))
     return 1 if errors else 0
 
 
