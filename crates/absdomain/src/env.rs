@@ -1,14 +1,29 @@
 //! The abstract store `∆ : Vars → AVals`.
 
 use crate::AValue;
+use intern::Sym;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// An abstract environment mapping variable (or field) names to
 /// abstract values. Backed by a `BTreeMap` so iteration — and therefore
 /// the whole pipeline — is deterministic.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// The map lives behind an [`Rc`]: cloning an environment (which the
+/// analyzer does at every branch, loop, and inlined call) is a
+/// reference-count bump, and the map is only deep-copied on the first
+/// write after a fork (`Rc::make_mut`). Branches that never write —
+/// the common case in straight-line crypto code — share one allocation
+/// for their entire lifetime.
+#[derive(Debug, Clone, Default)]
 pub struct Env {
-    vars: BTreeMap<String, AValue>,
+    vars: Rc<BTreeMap<Sym, AValue>>,
+}
+
+impl PartialEq for Env {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.vars, &other.vars) || self.vars == other.vars
+    }
 }
 
 impl Env {
@@ -23,13 +38,17 @@ impl Env {
     }
 
     /// Binds `name` to `value`, returning the previous binding.
-    pub fn set(&mut self, name: impl Into<String>, value: AValue) -> Option<AValue> {
-        self.vars.insert(name.into(), value)
+    pub fn set(&mut self, name: impl Into<Sym>, value: AValue) -> Option<AValue> {
+        Rc::make_mut(&mut self.vars).insert(name.into(), value)
     }
 
     /// Removes a binding.
     pub fn remove(&mut self, name: &str) -> Option<AValue> {
-        self.vars.remove(name)
+        // Don't break sharing when there is nothing to remove.
+        if !self.vars.contains_key(name) {
+            return None;
+        }
+        Rc::make_mut(&mut self.vars).remove(name)
     }
 
     /// Number of bindings.
@@ -43,7 +62,7 @@ impl Env {
     }
 
     /// Iterates over bindings in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&String, &AValue)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, &AValue)> {
         self.vars.iter()
     }
 
@@ -51,30 +70,56 @@ impl Env {
     /// variables bound in exactly one side are kept as-is (the other
     /// branch did not touch them).
     pub fn join_with(&mut self, other: Env) {
-        for (name, value) in other.vars {
-            match self.vars.remove(&name) {
-                Some(existing) => {
-                    self.vars.insert(name, existing.join(value));
+        // An env joined with a fork that never diverged is a no-op:
+        // `v.join(v) == v` for every abstract value (join is
+        // idempotent), so shared storage means nothing to merge.
+        if Rc::ptr_eq(&self.vars, &other.vars) || other.vars.is_empty() {
+            return;
+        }
+        if self.vars.is_empty() {
+            self.vars = other.vars;
+            return;
+        }
+        let vars = Rc::make_mut(&mut self.vars);
+        match Rc::try_unwrap(other.vars) {
+            // Sole owner: move the bindings out.
+            Ok(map) => {
+                for (name, value) in map {
+                    join_binding(vars, name, value);
                 }
-                None => {
-                    self.vars.insert(name, value);
+            }
+            // Still shared with a live fork: clone per binding.
+            Err(shared) => {
+                for (name, value) in shared.iter() {
+                    join_binding(vars, name.clone(), value.clone());
                 }
             }
         }
     }
 }
 
-impl FromIterator<(String, AValue)> for Env {
-    fn from_iter<T: IntoIterator<Item = (String, AValue)>>(iter: T) -> Self {
-        Env {
-            vars: iter.into_iter().collect(),
+fn join_binding(vars: &mut BTreeMap<Sym, AValue>, name: Sym, value: AValue) {
+    match vars.remove(&name) {
+        Some(existing) => {
+            vars.insert(name, existing.join(value));
+        }
+        None => {
+            vars.insert(name, value);
         }
     }
 }
 
-impl Extend<(String, AValue)> for Env {
-    fn extend<T: IntoIterator<Item = (String, AValue)>>(&mut self, iter: T) {
-        self.vars.extend(iter);
+impl FromIterator<(Sym, AValue)> for Env {
+    fn from_iter<T: IntoIterator<Item = (Sym, AValue)>>(iter: T) -> Self {
+        Env {
+            vars: Rc::new(iter.into_iter().collect()),
+        }
+    }
+}
+
+impl Extend<(Sym, AValue)> for Env {
+    fn extend<T: IntoIterator<Item = (Sym, AValue)>>(&mut self, iter: T) {
+        Rc::make_mut(&mut self.vars).extend(iter);
     }
 }
 
@@ -113,5 +158,32 @@ mod tests {
         b.set("x", AValue::Str("AES".into()));
         a.join_with(b);
         assert_eq!(a.get("x"), Some(&AValue::Str("AES".into())));
+    }
+
+    #[test]
+    fn forked_env_shares_until_written() {
+        let mut a = Env::new();
+        a.set("x", AValue::Int(1));
+        let mut b = a.clone();
+        // Clone is a pointer copy; reading does not unshare.
+        assert_eq!(b.get("x"), Some(&AValue::Int(1)));
+        // Writing the fork leaves the original untouched.
+        b.set("x", AValue::Int(2));
+        assert_eq!(a.get("x"), Some(&AValue::Int(1)));
+        assert_eq!(b.get("x"), Some(&AValue::Int(2)));
+        // Joining an untouched fork back is a no-op.
+        let c = a.clone();
+        a.join_with(c);
+        assert_eq!(a.get("x"), Some(&AValue::Int(1)));
+    }
+
+    #[test]
+    fn remove_missing_key_is_noop() {
+        let mut a = Env::new();
+        a.set("x", AValue::Int(1));
+        let mut b = a.clone();
+        assert_eq!(b.remove("absent"), None);
+        assert_eq!(b.remove("x"), Some(AValue::Int(1)));
+        assert_eq!(a.get("x"), Some(&AValue::Int(1)));
     }
 }

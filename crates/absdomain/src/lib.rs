@@ -17,9 +17,9 @@
 //! ```
 //! use absdomain::AValue;
 //!
-//! let a = AValue::Str("AES".to_owned());
-//! let b = AValue::Str("DES".to_owned());
-//! assert_eq!(a.clone().join(a.clone()), AValue::Str("AES".to_owned()));
+//! let a = AValue::Str("AES".into());
+//! let b = AValue::Str("DES".into());
+//! assert_eq!(a.clone().join(a.clone()), AValue::Str("AES".into()));
 //! assert_eq!(a.join(b), AValue::TopStr);
 //! ```
 

@@ -1,5 +1,6 @@
 //! Method signatures as tracked by the abstraction.
 
+use intern::{intern, Sym};
 use std::fmt;
 
 /// A method signature `m([t0], t1, …, tk)` restricted to what the
@@ -9,16 +10,16 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MethodSig {
     /// The class the method belongs to (e.g. `Cipher`).
-    pub class: String,
+    pub class: Sym,
     /// The method name; `<init>` for constructors.
-    pub name: String,
+    pub name: Sym,
     /// Number of arguments at the call site.
     pub arity: usize,
 }
 
 impl MethodSig {
     /// Creates a signature.
-    pub fn new(class: impl Into<String>, name: impl Into<String>, arity: usize) -> Self {
+    pub fn new(class: impl Into<Sym>, name: impl Into<Sym>, arity: usize) -> Self {
         MethodSig {
             class: class.into(),
             name: name.into(),
@@ -27,13 +28,13 @@ impl MethodSig {
     }
 
     /// Creates a constructor signature for `class`.
-    pub fn ctor(class: impl Into<String>, arity: usize) -> Self {
+    pub fn ctor(class: impl Into<Sym>, arity: usize) -> Self {
         MethodSig::new(class, "<init>", arity)
     }
 
     /// `true` if this is a constructor.
     pub fn is_ctor(&self) -> bool {
-        self.name == "<init>"
+        &*self.name == "<init>"
     }
 
     /// The label used for DAG method nodes. Methods of the object's own
@@ -46,14 +47,18 @@ impl MethodSig {
     /// use absdomain::MethodSig;
     ///
     /// let init = MethodSig::new("Cipher", "init", 3);
-    /// assert_eq!(init.label_for("Cipher"), "init");
-    /// assert_eq!(init.label_for("IvParameterSpec"), "Cipher.init");
+    /// assert_eq!(&*init.label_for("Cipher"), "init");
+    /// assert_eq!(&*init.label_for("IvParameterSpec"), "Cipher.init");
     /// ```
-    pub fn label_for(&self, owner_class: &str) -> String {
-        if self.class == owner_class {
+    ///
+    /// Own-class labels are a refcount bump of the interned method
+    /// name; foreign labels are interned, so repeats across DAGs cost
+    /// one pool probe instead of a fresh `String`.
+    pub fn label_for(&self, owner_class: &str) -> Sym {
+        if &*self.class == owner_class {
             self.name.clone()
         } else {
-            format!("{}.{}", self.class, self.name)
+            intern(&format!("{}.{}", self.class, self.name))
         }
     }
 }
@@ -77,9 +82,9 @@ mod tests {
     #[test]
     fn labels_qualify_foreign_methods() {
         let own = MethodSig::new("Cipher", "getInstance", 1);
-        assert_eq!(own.label_for("Cipher"), "getInstance");
+        assert_eq!(&*own.label_for("Cipher"), "getInstance");
         let foreign = MethodSig::new("Cipher", "init", 3);
-        assert_eq!(foreign.label_for("IvParameterSpec"), "Cipher.init");
+        assert_eq!(&*foreign.label_for("IvParameterSpec"), "Cipher.init");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Abstract values.
 
+use intern::Sym;
 use std::fmt;
 
 /// Identifies one allocation site — the paper's abstract object `l_n`.
@@ -21,14 +22,14 @@ pub enum AValue {
         /// The allocation site.
         site: AllocSite,
         /// The erased simple type name (e.g. `Cipher`).
-        ty: String,
+        ty: Sym,
     },
     /// `⊤obj` — an object whose allocation is outside the analyzed code;
     /// the static type is kept when known (it labels DAG nodes, e.g.
     /// `arg2:Secret`).
     TopObj {
         /// Static type if known.
-        ty: Option<String>,
+        ty: Option<Sym>,
     },
     /// A known constant from `Ints(P)`.
     Int(i64),
@@ -39,11 +40,11 @@ pub enum AValue {
     /// `⊤int[]`.
     TopIntArray,
     /// A known constant from `Strs(P)`.
-    Str(String),
+    Str(Sym),
     /// `⊤str`.
     TopStr,
     /// A known constant array from `StrArrays(P)`.
-    StrArray(Vec<String>),
+    StrArray(Vec<Sym>),
     /// `⊤str[]`.
     TopStrArray,
     /// `constbyte` — a byte whose value is a program constant.
@@ -63,9 +64,9 @@ pub enum AValue {
     /// because the numeric value is an API detail.
     ApiConst {
         /// Defining class.
-        class: String,
+        class: Sym,
         /// Constant name.
-        name: String,
+        name: Sym,
     },
     /// The `null` literal.
     Null,
@@ -172,32 +173,59 @@ impl AValue {
     /// The label used for DAG argument nodes (paper §3.4): constants
     /// print their value, tops print `⊤kind`, objects print their type.
     pub fn label(&self) -> String {
+        let mut out = String::new();
+        self.write_label(&mut out);
+        out
+    }
+
+    /// Appends [`AValue::label`] to `out` without intermediate
+    /// allocations — the DAG builder's hot path composes labels like
+    /// `arg1:AES` into a reused scratch buffer.
+    pub fn write_label(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            AValue::Obj { ty, .. } => ty.clone(),
-            AValue::TopObj { ty } => ty.clone().unwrap_or_else(|| "\u{22a4}obj".to_owned()),
-            AValue::Int(v) => v.to_string(),
-            AValue::TopInt => "\u{22a4}int".to_owned(),
-            AValue::IntArray(vs) => format!(
-                "[{}]",
-                vs.iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
-            AValue::TopIntArray => "\u{22a4}int[]".to_owned(),
-            AValue::Str(s) => s.clone(),
-            AValue::TopStr => "\u{22a4}str".to_owned(),
-            AValue::StrArray(vs) => format!("[{}]", vs.join(",")),
-            AValue::TopStrArray => "\u{22a4}str[]".to_owned(),
-            AValue::ConstByte => "constbyte".to_owned(),
-            AValue::TopByte => "\u{22a4}byte".to_owned(),
-            AValue::ConstByteArray => "constbyte[]".to_owned(),
-            AValue::TopByteArray => "\u{22a4}byte[]".to_owned(),
-            AValue::Bool(b) => b.to_string(),
-            AValue::TopBool => "\u{22a4}bool".to_owned(),
-            AValue::ApiConst { name, .. } => name.clone(),
-            AValue::Null => "null".to_owned(),
-            AValue::Unknown => "\u{22a4}".to_owned(),
+            AValue::Obj { ty, .. } => out.push_str(ty),
+            AValue::TopObj { ty: Some(ty) } => out.push_str(ty),
+            AValue::TopObj { ty: None } => out.push_str("\u{22a4}obj"),
+            AValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AValue::TopInt => out.push_str("\u{22a4}int"),
+            AValue::IntArray(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{v}");
+                }
+                out.push(']');
+            }
+            AValue::TopIntArray => out.push_str("\u{22a4}int[]"),
+            AValue::Str(s) => out.push_str(s),
+            AValue::TopStr => out.push_str("\u{22a4}str"),
+            AValue::StrArray(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(v);
+                }
+                out.push(']');
+            }
+            AValue::TopStrArray => out.push_str("\u{22a4}str[]"),
+            AValue::ConstByte => out.push_str("constbyte"),
+            AValue::TopByte => out.push_str("\u{22a4}byte"),
+            AValue::ConstByteArray => out.push_str("constbyte[]"),
+            AValue::TopByteArray => out.push_str("\u{22a4}byte[]"),
+            AValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            AValue::TopBool => out.push_str("\u{22a4}bool"),
+            AValue::ApiConst { name, .. } => out.push_str(name),
+            AValue::Null => out.push_str("null"),
+            AValue::Unknown => out.push('\u{22a4}'),
         }
     }
 
@@ -223,7 +251,7 @@ mod tests {
     fn obj(site: u32, ty: &str) -> AValue {
         AValue::Obj {
             site: AllocSite(site),
-            ty: ty.to_owned(),
+            ty: ty.into(),
         }
     }
 
@@ -251,7 +279,7 @@ mod tests {
         assert_eq!(
             obj(1, "Cipher").join(obj(2, "Cipher")),
             AValue::TopObj {
-                ty: Some("Cipher".to_owned())
+                ty: Some("Cipher".into())
             }
         );
         assert_eq!(

@@ -14,6 +14,7 @@
 use crate::api::{looks_like_class_name, looks_like_const_name, ApiModel};
 use crate::limits::{AnalysisError, AnalysisLimits};
 use absdomain::{AValue, AllocSite, Env, MethodSig};
+use intern::{intern, intern_owned, Sym};
 use javalang::ast::*;
 use std::collections::{BTreeMap, HashMap};
 
@@ -32,7 +33,7 @@ pub struct UsageEvent {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Usages {
     /// Type of each abstract object, keyed by allocation site.
-    pub objects: BTreeMap<AllocSite, String>,
+    pub objects: BTreeMap<AllocSite, Sym>,
     /// Usage events per abstract object.
     pub events: BTreeMap<AllocSite, Vec<UsageEvent>>,
 }
@@ -42,7 +43,7 @@ impl Usages {
     pub fn objects_of_type<'a>(&'a self, ty: &'a str) -> impl Iterator<Item = AllocSite> + 'a {
         self.objects
             .iter()
-            .filter(move |(_, t)| t.as_str() == ty)
+            .filter(move |&(_, t)| &**t == ty)
             .map(|(site, _)| *site)
     }
 
@@ -53,7 +54,7 @@ impl Usages {
 
     /// The type of the object at `site`.
     pub fn type_of(&self, site: AllocSite) -> Option<&str> {
-        self.objects.get(&site).map(String::as_str)
+        self.objects.get(&site).map(|t| &**t)
     }
 
     /// Merges the usages of several separately analyzed files into one
@@ -145,7 +146,7 @@ pub fn try_analyze_counted(
             });
         }
     }
-    let mut analyzer = Analyzer::new(api, limits.max_steps);
+    let mut analyzer = Analyzer::new(api, &unit.ast, limits.max_steps);
     analyzer.run_unit(unit);
     if analyzer.exhausted {
         return Err(AnalysisError::StepBudgetExceeded {
@@ -160,13 +161,13 @@ pub fn try_analyze_counted(
 /// Exists so budget-boundary tests can pin "exactly enough fuel
 /// succeeds, one step less fails" without hard-coding step counts.
 pub fn analysis_steps(unit: &CompilationUnit, api: &ApiModel) -> u64 {
-    let mut analyzer = Analyzer::new(api, u64::MAX);
+    let mut analyzer = Analyzer::new(api, &unit.ast, u64::MAX);
     analyzer.run_unit(unit);
     u64::MAX - analyzer.fuel
 }
 
 fn run(unit: &CompilationUnit, api: &ApiModel, fuel: u64) -> (Usages, bool) {
-    let mut analyzer = Analyzer::new(api, fuel);
+    let mut analyzer = Analyzer::new(api, &unit.ast, fuel);
     analyzer.run_unit(unit);
     (analyzer.usages, analyzer.exhausted)
 }
@@ -175,15 +176,21 @@ const MAX_INLINE_DEPTH: usize = 3;
 
 struct Analyzer<'a> {
     api: &'a ApiModel,
-    /// Allocation sites interned by AST node identity, so re-analysis of
-    /// a helper from several entry methods maps to the same site.
-    sites: HashMap<*const Expr, AllocSite>,
+    /// The unit's expression/statement arena; child links in the tree
+    /// are ids into it.
+    ast: &'a Ast,
+    /// Allocation sites interned by arena id, so re-analysis of a
+    /// helper from several entry methods maps to the same site.
+    sites: HashMap<ExprId, AllocSite>,
     next_site: u32,
     usages: Usages,
     /// `static final` constants of every class in the unit, keyed
     /// `Class.FIELD` — resolves the common constants-holder pattern
     /// (`Constants.HASH_ALGO`) across classes of the same file.
     unit_constants: BTreeMap<String, AValue>,
+    /// Reusable scratch for composing `Class.FIELD` lookup keys
+    /// without a per-lookup allocation.
+    key_buf: String,
     /// Remaining step budget.
     fuel: u64,
     /// Set once the budget runs out; every interpreter entry point
@@ -197,19 +204,21 @@ struct Analyzer<'a> {
 struct Ctx<'a> {
     class: &'a TypeDecl,
     depth: usize,
-    call_stack: Vec<String>,
+    call_stack: Vec<Sym>,
     /// Join of `return` expressions seen while inlining.
     ret: Option<AValue>,
 }
 
 impl<'a> Analyzer<'a> {
-    fn new(api: &'a ApiModel, fuel: u64) -> Analyzer<'a> {
+    fn new(api: &'a ApiModel, ast: &'a Ast, fuel: u64) -> Analyzer<'a> {
         Analyzer {
             api,
+            ast,
             sites: HashMap::new(),
             next_site: 0,
             usages: Usages::default(),
             unit_constants: BTreeMap::new(),
+            key_buf: String::new(),
             fuel,
             exhausted: false,
         }
@@ -237,11 +246,14 @@ impl<'a> Analyzer<'a> {
         false
     }
 
-    /// Clones `env` for a branch/inline fork, charging its size — the
-    /// clone itself is O(|env|) work, so flat per-statement charging
-    /// would let `k` branches over `n` variables do `k·n` work on `k`
-    /// fuel. When the budget is already gone the clone is skipped (the
-    /// result will be discarded anyway).
+    /// Clones `env` for a branch/inline fork, charging its size. The
+    /// clone is a copy-on-write pointer bump, but the charge stays
+    /// proportional to the env because the *potential* work a fork
+    /// enables (first write unshares, join walks the bindings) is
+    /// O(|env|) — and keeping the historical cost model keeps fuel
+    /// accounting, and thus every mined artifact, bit-identical. When
+    /// the budget is already gone the clone is skipped (the result
+    /// will be discarded anyway).
     fn fork_env(&mut self, env: &Env) -> Env {
         if self.charge(1 + env.len() as u64) {
             return Env::new();
@@ -253,13 +265,14 @@ impl<'a> Analyzer<'a> {
     /// constant arrays) of every class, so sibling classes can resolve
     /// `Holder.CONST` references.
     fn collect_unit_constants(&mut self, unit: &'a CompilationUnit) {
+        let ast = self.ast;
         for class in unit.all_types() {
             for field in class.fields() {
                 if !(field.modifiers.is_static && field.modifiers.is_final) {
                     continue;
                 }
                 for d in &field.declarators {
-                    let value = match &d.init {
+                    let value = match d.init.map(|init| ast.expr(init)) {
                         Some(Expr::Literal(Lit::Str(v))) => AValue::Str(v.clone()),
                         Some(Expr::Literal(Lit::Int(v))) => AValue::Int(*v),
                         Some(Expr::Literal(Lit::Bool(v))) => AValue::Bool(*v),
@@ -285,6 +298,7 @@ impl<'a> Analyzer<'a> {
     }
 
     fn analyze_class(&mut self, class: &'a TypeDecl) {
+        let ast = self.ast;
         // Pass 1: field initializers, evaluated in source order so later
         // fields can reference earlier constants.
         let mut fields = Env::new();
@@ -297,11 +311,13 @@ impl<'a> Analyzer<'a> {
         for member in &class.members {
             if let Member::Field(field) = member {
                 for d in &field.declarators {
-                    let value = match &d.init {
-                        Some(Expr::ArrayInit(elems)) => {
-                            self.eval_array_literal(elems, &field.ty, &mut fields, &mut ctx)
-                        }
-                        Some(init) => self.eval(init, &mut fields, &mut ctx),
+                    let value = match d.init {
+                        Some(init) => match ast.expr(init) {
+                            Expr::ArrayInit(elems) => {
+                                self.eval_array_literal(elems, &field.ty, &mut fields, &mut ctx)
+                            }
+                            _ => self.eval(init, &mut fields, &mut ctx),
+                        },
                         None => AValue::Null,
                     };
                     fields.set(d.name.clone(), value);
@@ -338,19 +354,26 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn fresh_site(&mut self, key: *const Expr, ty: &str) -> AllocSite {
+    fn fresh_site(&mut self, key: ExprId, ty: &str) -> AllocSite {
         if let Some(site) = self.sites.get(&key) {
             return *site;
         }
         let site = AllocSite(self.next_site);
         self.next_site += 1;
         self.sites.insert(key, site);
-        self.usages.objects.insert(site, ty.to_owned());
+        self.usages.objects.insert(site, intern(ty));
         site
     }
 
     fn record(&mut self, site: AllocSite, method: MethodSig, args: Vec<AValue>) {
-        let events = self.usages.events.entry(site).or_default();
+        // Objects typically see a handful of calls (getInstance, init,
+        // doFinal…); starting at capacity 4 skips the 1→2→4 growth
+        // reallocations for the common case.
+        let events = self
+            .usages
+            .events
+            .entry(site)
+            .or_insert_with(|| Vec::with_capacity(4));
         let event = UsageEvent { method, args };
         if !events.contains(&event) {
             events.push(event);
@@ -368,45 +391,61 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// [`Analyzer::record`] at `site` followed by
+    /// [`Analyzer::record_on_args`], taking ownership of `args`: the
+    /// defensive argument-vector clone is paid only when some argument
+    /// actually is a site-bound object — for the common
+    /// constant-and-array argument lists the vector moves straight into
+    /// the event.
+    fn record_call(&mut self, site: AllocSite, method: &MethodSig, args: Vec<AValue>) {
+        if args.iter().any(|a| matches!(a, AValue::Obj { .. })) {
+            self.record(site, method.clone(), args.clone());
+            self.record_on_args(method, &args);
+        } else {
+            self.record(site, method.clone(), args);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Statements
     // ------------------------------------------------------------------
 
-    fn exec_block(&mut self, block: &'a Block, env: &mut Env, ctx: &mut Ctx<'a>) {
+    fn exec_block(&mut self, block: &Block, env: &mut Env, ctx: &mut Ctx<'a>) {
         for stmt in &block.stmts {
-            self.exec_stmt(stmt, env, ctx);
+            self.exec_stmt(*stmt, env, ctx);
         }
     }
 
-    fn exec_stmt(&mut self, stmt: &'a Stmt, env: &mut Env, ctx: &mut Ctx<'a>) {
+    fn exec_stmt(&mut self, stmt: StmtId, env: &mut Env, ctx: &mut Ctx<'a>) {
         if self.charge(1) {
             return;
         }
-        match stmt {
+        let ast = self.ast;
+        match ast.stmt(stmt) {
             Stmt::Block(b) => self.exec_block(b, env, ctx),
             Stmt::LocalVar { ty, declarators } => {
                 for d in declarators {
-                    let value = match &d.init {
-                        Some(Expr::ArrayInit(elems)) => {
-                            self.eval_array_literal(elems, ty, env, ctx)
-                        }
-                        Some(init) => self.eval(init, env, ctx),
+                    let value = match d.init {
+                        Some(init) => match ast.expr(init) {
+                            Expr::ArrayInit(elems) => self.eval_array_literal(elems, ty, env, ctx),
+                            _ => self.eval(init, env, ctx),
+                        },
                         None => AValue::Null,
                     };
                     env.set(d.name.clone(), value);
                 }
             }
             Stmt::Expr(e) | Stmt::Throw(e) | Stmt::Assert(e) => {
-                self.eval(e, env, ctx);
+                self.eval(*e, env, ctx);
             }
             Stmt::If { cond, then, alt } => {
-                self.eval(cond, env, ctx);
+                self.eval(*cond, env, ctx);
                 let mut then_env = self.fork_env(env);
-                self.exec_stmt(then, &mut then_env, ctx);
+                self.exec_stmt(*then, &mut then_env, ctx);
                 match alt {
                     Some(alt) => {
                         let mut alt_env = self.fork_env(env);
-                        self.exec_stmt(alt, &mut alt_env, ctx);
+                        self.exec_stmt(*alt, &mut alt_env, ctx);
                         then_env.join_with(alt_env);
                         *env = then_env;
                     }
@@ -414,15 +453,15 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Stmt::While { cond, body } => {
-                self.eval(cond, env, ctx);
+                self.eval(*cond, env, ctx);
                 let mut body_env = self.fork_env(env);
-                self.exec_stmt(body, &mut body_env, ctx);
+                self.exec_stmt(*body, &mut body_env, ctx);
                 env.join_with(body_env);
             }
             Stmt::DoWhile { body, cond } => {
                 // The body executes at least once.
-                self.exec_stmt(body, env, ctx);
-                self.eval(cond, env, ctx);
+                self.exec_stmt(*body, env, ctx);
+                self.eval(*cond, env, ctx);
             }
             Stmt::For {
                 init,
@@ -431,15 +470,15 @@ impl<'a> Analyzer<'a> {
                 body,
             } => {
                 for s in init {
-                    self.exec_stmt(s, env, ctx);
+                    self.exec_stmt(*s, env, ctx);
                 }
                 if let Some(c) = cond {
-                    self.eval(c, env, ctx);
+                    self.eval(*c, env, ctx);
                 }
                 let mut body_env = self.fork_env(env);
-                self.exec_stmt(body, &mut body_env, ctx);
+                self.exec_stmt(*body, &mut body_env, ctx);
                 for u in update {
-                    self.eval(u, &mut body_env, ctx);
+                    self.eval(*u, &mut body_env, ctx);
                 }
                 env.join_with(body_env);
             }
@@ -449,16 +488,16 @@ impl<'a> Analyzer<'a> {
                 iterable,
                 body,
             } => {
-                self.eval(iterable, env, ctx);
+                self.eval(*iterable, env, ctx);
                 let mut body_env = self.fork_env(env);
                 body_env.set(name.clone(), top_for_type(ty));
-                self.exec_stmt(body, &mut body_env, ctx);
+                self.exec_stmt(*body, &mut body_env, ctx);
                 body_env.remove(name);
                 env.join_with(body_env);
             }
             Stmt::Return(value) => {
                 if let Some(value) = value {
-                    let v = self.eval(value, env, ctx);
+                    let v = self.eval(*value, env, ctx);
                     ctx.ret = Some(match ctx.ret.take() {
                         Some(prev) => prev.join(v),
                         None => v,
@@ -472,7 +511,7 @@ impl<'a> Analyzer<'a> {
                 finally,
             } => {
                 for r in resources {
-                    self.exec_stmt(r, env, ctx);
+                    self.exec_stmt(*r, env, ctx);
                 }
                 self.exec_block(block, env, ctx);
                 for catch in catches {
@@ -481,7 +520,7 @@ impl<'a> Analyzer<'a> {
                         .types
                         .first()
                         .and_then(|t| t.simple_name())
-                        .map(str::to_owned);
+                        .map(intern);
                     catch_env.set(catch.name.clone(), AValue::TopObj { ty: exc_ty });
                     self.exec_block(&catch.body, &mut catch_env, ctx);
                     catch_env.remove(&catch.name);
@@ -492,21 +531,21 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Stmt::Switch { scrutinee, cases } => {
-                self.eval(scrutinee, env, ctx);
+                self.eval(*scrutinee, env, ctx);
                 let base = self.fork_env(env);
                 for case in cases {
                     for label in &case.labels {
-                        self.eval(label, env, ctx);
+                        self.eval(*label, env, ctx);
                     }
                     let mut case_env = self.fork_env(&base);
                     for s in &case.body {
-                        self.exec_stmt(s, &mut case_env, ctx);
+                        self.exec_stmt(*s, &mut case_env, ctx);
                     }
                     env.join_with(case_env);
                 }
             }
             Stmt::Synchronized { monitor, body } => {
-                self.eval(monitor, env, ctx);
+                self.eval(*monitor, env, ctx);
                 self.exec_block(body, env, ctx);
             }
             Stmt::LocalType(_) | Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Unparsed => {}
@@ -517,11 +556,12 @@ impl<'a> Analyzer<'a> {
     // Expressions
     // ------------------------------------------------------------------
 
-    fn eval(&mut self, expr: &'a Expr, env: &mut Env, ctx: &mut Ctx<'a>) -> AValue {
+    fn eval(&mut self, expr: ExprId, env: &mut Env, ctx: &mut Ctx<'a>) -> AValue {
         if self.charge(1) {
             return AValue::Unknown;
         }
-        match expr {
+        let ast = self.ast;
+        match ast.expr(expr) {
             Expr::Literal(lit) => match lit {
                 Lit::Int(v) => AValue::Int(*v),
                 Lit::Float(_) => AValue::TopInt,
@@ -530,12 +570,12 @@ impl<'a> Analyzer<'a> {
                 Lit::Str(s) => AValue::Str(s.clone()),
                 Lit::Null => AValue::Null,
             },
-            Expr::Name(segments) => self.eval_name(segments, env),
+            Expr::Name(dotted) => self.eval_name(dotted, env),
             Expr::FieldAccess { target, name } => {
-                if **target == Expr::This {
+                if *ast.expr(*target) == Expr::This {
                     return env.get(name).cloned().unwrap_or(AValue::Unknown);
                 }
-                let receiver = self.eval(target, env, ctx);
+                let receiver = self.eval(*target, env, ctx);
                 match receiver {
                     AValue::Obj { site, .. } => env
                         .get(&heap_key(site, name))
@@ -545,36 +585,35 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::MethodCall { target, name, args } => {
-                self.eval_call(expr, target.as_deref(), name, args, env, ctx)
+                self.eval_call(expr, *target, name, args, env, ctx)
             }
             Expr::New { ty, args, .. } => {
-                let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(a, env, ctx)).collect();
-                let class = ty.display_name();
+                let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(*a, env, ctx)).collect();
+                let class = display_sym(ty);
                 if ty.simple_name().is_some() {
                     // Per-allocation-site heap abstraction (paper §3.3):
                     // every constructor site is one abstract object, for
                     // tracked *and* untracked classes — the latter give
                     // field sensitivity (`holder.key = ...`) and argument
                     // usage events.
-                    let site = self.fresh_site(expr as *const Expr, &class);
-                    let sig = MethodSig::ctor(&class, arg_vals.len());
-                    self.record(site, sig.clone(), arg_vals.clone());
-                    self.record_on_args(&sig, &arg_vals);
+                    let site = self.fresh_site(expr, &class);
+                    let sig = MethodSig::ctor(class.clone(), arg_vals.len());
+                    self.record_call(site, &sig, arg_vals);
                     AValue::Obj { site, ty: class }
                 } else {
                     AValue::TopObj {
-                        ty: ty.simple_name().map(str::to_owned),
+                        ty: ty.simple_name().map(intern),
                     }
                 }
             }
             Expr::NewArray { ty, dims, init } => {
                 for d in dims {
-                    self.eval(d, env, ctx);
+                    self.eval(*d, env, ctx);
                 }
                 match init {
                     Some(elems) => {
                         let vals: Vec<AValue> =
-                            elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+                            elems.iter().map(|e| self.eval(*e, env, ctx)).collect();
                         array_value(ty, &vals, /*explicit_literal=*/ true)
                     }
                     None => {
@@ -591,52 +630,52 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::ArrayInit(elems) => {
-                let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+                let vals: Vec<AValue> = elems.iter().map(|e| self.eval(*e, env, ctx)).collect();
                 infer_array_literal(&vals)
             }
             Expr::Assign { lhs, op, rhs } => {
-                let rhs_val = if let Expr::ArrayInit(elems) = rhs.as_ref() {
-                    let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+                let rhs_val = if let Expr::ArrayInit(elems) = ast.expr(*rhs) {
+                    let vals: Vec<AValue> = elems.iter().map(|e| self.eval(*e, env, ctx)).collect();
                     infer_array_literal(&vals)
                 } else {
-                    self.eval(rhs, env, ctx)
+                    self.eval(*rhs, env, ctx)
                 };
                 let value = match op {
                     AssignOp::Assign => rhs_val,
                     _ => {
-                        let old = self.eval_lvalue(lhs, env);
+                        let old = self.eval_lvalue(*lhs, env);
                         // Compound assignment: fold when both constant.
                         match (&old, &rhs_val) {
                             (AValue::Str(a), AValue::Str(b)) if *op == AssignOp::Add => {
-                                AValue::Str(format!("{a}{b}"))
+                                AValue::Str(intern_owned(format!("{a}{b}")))
                             }
                             (AValue::Str(a), AValue::Int(b)) if *op == AssignOp::Add => {
-                                AValue::Str(format!("{a}{b}"))
+                                AValue::Str(intern_owned(format!("{a}{b}")))
                             }
                             (AValue::Int(a), AValue::Int(b)) => fold_int_assign(*a, *b, *op),
                             _ => old.join(rhs_val),
                         }
                     }
                 };
-                self.assign_lvalue(lhs, value.clone(), env, ctx);
+                self.assign_lvalue(*lhs, value.clone(), env, ctx);
                 value
             }
             Expr::Binary { op, lhs, rhs } => {
-                let l = self.eval(lhs, env, ctx);
-                let r = self.eval(rhs, env, ctx);
+                let l = self.eval(*lhs, env, ctx);
+                let r = self.eval(*rhs, env, ctx);
                 fold_binary(*op, l, r)
             }
             Expr::Unary { op, expr } => {
-                let v = self.eval(expr, env, ctx);
+                let v = self.eval(*expr, env, ctx);
                 match (op, &v) {
                     (UnOp::Neg, AValue::Int(n)) => AValue::Int(-n),
                     (UnOp::BitNot, AValue::Int(n)) => AValue::Int(!n),
                     (UnOp::Not, AValue::Bool(b)) => AValue::Bool(!b),
                     (UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec, _) => {
                         // Increment havocs the variable.
-                        if let Expr::Name(segs) = &**expr {
-                            if segs.len() == 1 && env.get(&segs[0]).is_some() {
-                                env.set(segs[0].clone(), AValue::TopInt);
+                        if let Expr::Name(name) = ast.expr(*expr) {
+                            if !name.contains('.') && env.get(name).is_some() {
+                                env.set(name.clone(), AValue::TopInt);
                             }
                         }
                         AValue::TopInt
@@ -645,7 +684,7 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::Cast { ty, expr } => {
-                let v = self.eval(expr, env, ctx);
+                let v = self.eval(*expr, env, ctx);
                 if v == AValue::Unknown || matches!(v, AValue::TopObj { ty: None }) {
                     top_for_type(ty)
                 } else {
@@ -653,8 +692,8 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::ArrayAccess { array, index } => {
-                let a = self.eval(array, env, ctx);
-                self.eval(index, env, ctx);
+                let a = self.eval(*array, env, ctx);
+                self.eval(*index, env, ctx);
                 match a {
                     AValue::IntArray(_) | AValue::TopIntArray => AValue::TopInt,
                     AValue::ConstByteArray => AValue::ConstByte,
@@ -664,13 +703,13 @@ impl<'a> Analyzer<'a> {
                 }
             }
             Expr::Conditional { cond, then, alt } => {
-                self.eval(cond, env, ctx);
-                let t = self.eval(then, env, ctx);
-                let a = self.eval(alt, env, ctx);
+                self.eval(*cond, env, ctx);
+                let t = self.eval(*then, env, ctx);
+                let a = self.eval(*alt, env, ctx);
                 t.join(a)
             }
             Expr::InstanceOf { expr, .. } => {
-                self.eval(expr, env, ctx);
+                self.eval(*expr, env, ctx);
                 AValue::TopBool
             }
             Expr::This => AValue::TopObj {
@@ -682,7 +721,7 @@ impl<'a> Analyzer<'a> {
                     .extends
                     .as_ref()
                     .and_then(|t| t.simple_name())
-                    .map(str::to_owned),
+                    .map(intern),
             },
             Expr::ClassLiteral(_) | Expr::Lambda | Expr::MethodRef | Expr::Unparsed => {
                 AValue::Unknown
@@ -690,18 +729,25 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn eval_name(&mut self, segments: &[String], env: &Env) -> AValue {
-        if segments.is_empty() {
+    /// Resolves a (possibly dotted) name without splitting it into an
+    /// allocated segment list: the first segment is checked against the
+    /// environment, the rest walk the abstract heap.
+    fn eval_name(&mut self, name: &str, env: &Env) -> AValue {
+        if name.is_empty() {
             return AValue::Unknown;
         }
-        if let Some(v) = env.get(&segments[0]) {
-            if segments.len() == 1 {
+        let (first, rest) = match name.split_once('.') {
+            Some((first, rest)) => (first, Some(rest)),
+            None => (name, None),
+        };
+        if let Some(v) = env.get(first) {
+            let Some(rest) = rest else {
                 return v.clone();
-            }
+            };
             // Field access on an abstract object: abstract heap lookup
             // `η(o, f)` (paper §3.3), chained for `a.b.c`.
             let mut current = v.clone();
-            for field in &segments[1..] {
+            for field in rest.split('.') {
                 let AValue::Obj { site, .. } = current else {
                     return AValue::Unknown;
                 };
@@ -712,26 +758,22 @@ impl<'a> Analyzer<'a> {
             }
             return current;
         }
-        // Constants defined by a sibling class in the same unit
-        // (`Constants.HASH_ALGO`).
-        if segments.len() >= 2 {
-            let key = format!(
-                "{}.{}",
-                segments[segments.len() - 2],
-                segments[segments.len() - 1]
-            );
-            if let Some(v) = self.unit_constants.get(&key) {
+        if let Some((prefix, last)) = name.rsplit_once('.') {
+            let qualifier = prefix.rsplit_once('.').map_or(prefix, |(_, q)| q);
+            // Constants defined by a sibling class in the same unit
+            // (`Constants.HASH_ALGO`).
+            self.key_buf.clear();
+            self.key_buf.push_str(qualifier);
+            self.key_buf.push('.');
+            self.key_buf.push_str(last);
+            if let Some(v) = self.unit_constants.get(self.key_buf.as_str()) {
                 return v.clone();
             }
-        }
-        // `Cipher.ENCRYPT_MODE`-style API constants.
-        if segments.len() >= 2 {
-            let last = &segments[segments.len() - 1];
-            let qualifier = &segments[segments.len() - 2];
+            // `Cipher.ENCRYPT_MODE`-style API constants.
             if looks_like_const_name(last) && looks_like_class_name(qualifier) {
                 return AValue::ApiConst {
-                    class: qualifier.clone(),
-                    name: last.clone(),
+                    class: intern(qualifier),
+                    name: intern(last),
                 };
             }
         }
@@ -739,61 +781,69 @@ impl<'a> Analyzer<'a> {
     }
 
     /// Reads the current value of an assignment target.
-    fn eval_lvalue(&mut self, lhs: &Expr, env: &Env) -> AValue {
-        match lhs {
-            Expr::Name(segs) if segs.len() == 1 => {
-                env.get(&segs[0]).cloned().unwrap_or(AValue::Unknown)
-            }
-            Expr::Name(segs) if segs.len() == 2 => match env.get(&segs[0]) {
-                Some(AValue::Obj { site, .. }) => env
-                    .get(&heap_key(*site, &segs[1]))
-                    .cloned()
-                    .unwrap_or(AValue::Unknown),
-                _ => AValue::Unknown,
+    fn eval_lvalue(&mut self, lhs: ExprId, env: &Env) -> AValue {
+        let ast = self.ast;
+        match ast.expr(lhs) {
+            Expr::Name(name) => match name.split_once('.') {
+                None => env.get(name).cloned().unwrap_or(AValue::Unknown),
+                Some((first, field)) if !field.contains('.') => match env.get(first) {
+                    Some(AValue::Obj { site, .. }) => env
+                        .get(&heap_key(*site, field))
+                        .cloned()
+                        .unwrap_or(AValue::Unknown),
+                    _ => AValue::Unknown,
+                },
+                Some(_) => AValue::Unknown,
             },
-            Expr::FieldAccess { target, name } if **target == Expr::This => {
+            Expr::FieldAccess { target, name } if *ast.expr(*target) == Expr::This => {
                 env.get(name).cloned().unwrap_or(AValue::Unknown)
             }
             _ => AValue::Unknown,
         }
     }
 
-    fn assign_lvalue(&mut self, lhs: &'a Expr, value: AValue, env: &mut Env, ctx: &mut Ctx<'a>) {
-        match lhs {
-            Expr::Name(segs) if segs.len() == 1 => {
-                env.set(segs[0].clone(), value);
-            }
-            Expr::Name(segs) if segs.len() >= 2 => {
-                // `holder.field = value` (possibly chained) — abstract
-                // heap store. Strong update is sound here because each
-                // allocation site is a distinct abstract object.
-                let [first, path @ .., last] = segs.as_slice() else {
-                    return;
-                };
-                let mut current = env.get(first).cloned();
-                for field in path {
-                    current = match current {
-                        Some(AValue::Obj { site, .. }) => env.get(&heap_key(site, field)).cloned(),
-                        _ => None,
+    fn assign_lvalue(&mut self, lhs: ExprId, value: AValue, env: &mut Env, ctx: &mut Ctx<'a>) {
+        let ast = self.ast;
+        match ast.expr(lhs) {
+            Expr::Name(name) => match name.rsplit_once('.') {
+                None => {
+                    env.set(name.clone(), value);
+                }
+                Some((prefix, last)) => {
+                    // `holder.field = value` (possibly chained) — abstract
+                    // heap store. Strong update is sound here because each
+                    // allocation site is a distinct abstract object.
+                    let (first, path) = match prefix.split_once('.') {
+                        Some((first, path)) => (first, path),
+                        None => (prefix, ""),
                     };
+                    let mut current = env.get(first).cloned();
+                    for field in path.split('.').filter(|f| !f.is_empty()) {
+                        current = match current {
+                            Some(AValue::Obj { site, .. }) => {
+                                env.get(&heap_key(site, field)).cloned()
+                            }
+                            _ => None,
+                        };
+                    }
+                    if let Some(AValue::Obj { site, .. }) = current {
+                        env.set(heap_key(site, last), value);
+                    }
                 }
-                if let Some(AValue::Obj { site, .. }) = current {
-                    env.set(heap_key(site, last), value);
-                }
-            }
-            Expr::FieldAccess { target, name } if **target == Expr::This => {
+            },
+            Expr::FieldAccess { target, name } if *ast.expr(*target) == Expr::This => {
                 env.set(name.clone(), value);
             }
             Expr::FieldAccess { target, name } => {
-                if let AValue::Obj { site, .. } = self.eval(target, env, ctx) {
+                if let AValue::Obj { site, .. } = self.eval(*target, env, ctx) {
                     env.set(heap_key(site, name), value);
                 }
             }
             Expr::ArrayAccess { array, .. } => {
                 // Storing a runtime value into a constant array havocs it.
-                if let Expr::Name(segs) = array.as_ref() {
-                    if segs.len() == 1 {
-                        if let Some(old) = env.get(&segs[0]).cloned() {
+                if let Expr::Name(name) = ast.expr(*array) {
+                    if !name.contains('.') {
+                        if let Some(old) = env.get(name).cloned() {
                             let havocked = match old {
                                 AValue::ConstByteArray if value_is_const(&value) => {
                                     AValue::ConstByteArray
@@ -807,14 +857,14 @@ impl<'a> Analyzer<'a> {
                                 AValue::StrArray(_) | AValue::TopStrArray => AValue::TopStrArray,
                                 other => other,
                             };
-                            env.set(segs[0].clone(), havocked);
+                            env.set(name.clone(), havocked);
                         }
                     }
                 }
             }
-            other => {
+            _ => {
                 // Evaluate for side effects (e.g. `obj.field[i] = x`).
-                let _ = self.eval(other, env, ctx);
+                let _ = self.eval(lhs, env, ctx);
             }
         }
     }
@@ -822,22 +872,23 @@ impl<'a> Analyzer<'a> {
     #[allow(clippy::too_many_arguments)]
     fn eval_call(
         &mut self,
-        call_expr: &'a Expr,
-        target: Option<&'a Expr>,
+        call_expr: ExprId,
+        target: Option<ExprId>,
         name: &str,
-        args: &'a [Expr],
+        args: &[ExprId],
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(a, env, ctx)).collect();
+        let ast = self.ast;
+        let arg_vals: Vec<AValue> = args.iter().map(|a| self.eval(*a, env, ctx)).collect();
 
         // Array-havoc methods mutate their argument in place
         // (`random.nextBytes(iv)`).
         if self.api.is_array_havoc(name) {
             for arg in args {
-                if let Expr::Name(segs) = arg {
-                    if segs.len() == 1 {
-                        if let Some(v) = env.get(&segs[0]).cloned() {
+                if let Expr::Name(arg_name) = ast.expr(*arg) {
+                    if !arg_name.contains('.') {
+                        if let Some(v) = env.get(arg_name).cloned() {
                             let havocked = match v {
                                 AValue::ConstByteArray | AValue::TopByteArray => {
                                     AValue::TopByteArray
@@ -845,7 +896,7 @@ impl<'a> Analyzer<'a> {
                                 AValue::IntArray(_) | AValue::TopIntArray => AValue::TopIntArray,
                                 other => other,
                             };
-                            env.set(segs[0].clone(), havocked);
+                            env.set(arg_name.clone(), havocked);
                         }
                     }
                 }
@@ -854,7 +905,10 @@ impl<'a> Analyzer<'a> {
 
         // Unqualified (or this-qualified) call: constructor chain, local
         // helper, or unknown static import.
-        let is_this_call = matches!(target, None | Some(Expr::This));
+        let is_this_call = match target {
+            None => true,
+            Some(t) => *ast.expr(t) == Expr::This,
+        };
         if is_this_call {
             if name == "this" || name == "super" {
                 return AValue::Unknown;
@@ -867,16 +921,14 @@ impl<'a> Analyzer<'a> {
             return AValue::Unknown;
         };
 
-        // Static call on a class name? (An `Expr::Name` with no
-        // segments cannot come out of the parser, but hand-built trees
-        // may contain one — treat it as an unknown receiver.)
-        if let Expr::Name(segments) = target {
-            if let (Some(first), Some(last)) = (segments.first(), segments.last()) {
-                if env.get(first).is_none() {
-                    let class = last.clone();
-                    if looks_like_class_name(&class) {
-                        return self.eval_static_call(call_expr, &class, name, arg_vals);
-                    }
+        // Static call on a class name?
+        if let Expr::Name(dotted) = ast.expr(target) {
+            let first = dotted.split_once('.').map_or(&**dotted, |(f, _)| f);
+            let last = dotted.rsplit_once('.').map_or(&**dotted, |(_, l)| l);
+            if !first.is_empty() && env.get(first).is_none() {
+                let class = last.to_owned();
+                if looks_like_class_name(&class) {
+                    return self.eval_static_call(call_expr, &class, name, arg_vals);
                 }
             }
         }
@@ -889,43 +941,47 @@ impl<'a> Analyzer<'a> {
             _ => None,
         };
         let sig = MethodSig::new(
-            recv_class.clone().unwrap_or_else(|| "?".to_owned()),
-            name,
+            recv_class.clone().unwrap_or_else(|| intern("?")),
+            intern(name),
             arg_vals.len(),
         );
-        if let AValue::Obj { site, .. } = &recv {
-            self.record(*site, sig.clone(), arg_vals.clone());
-        }
-        self.record_on_args(&sig, &arg_vals);
-
-        self.api
+        // `eval_known_call` only reads the (immutable) API model, so
+        // evaluating it first lets `arg_vals` move into the recorded
+        // event instead of being cloned.
+        let out = self
+            .api
             .eval_known_call(name, Some(&recv), &arg_vals)
-            .unwrap_or(AValue::Unknown)
+            .unwrap_or(AValue::Unknown);
+        if let AValue::Obj { site, .. } = &recv {
+            self.record_call(*site, &sig, arg_vals);
+        } else {
+            self.record_on_args(&sig, &arg_vals);
+        }
+        out
     }
 
     fn eval_static_call(
         &mut self,
-        call_expr: &'a Expr,
+        call_expr: ExprId,
         class: &str,
         name: &str,
         arg_vals: Vec<AValue>,
     ) -> AValue {
         if self.api.is_factory(class, name) && self.api.is_tracked_class(class) {
-            let site = self.fresh_site(call_expr as *const Expr, class);
-            let sig = MethodSig::new(class, name, arg_vals.len());
-            self.record(site, sig.clone(), arg_vals.clone());
-            self.record_on_args(&sig, &arg_vals);
+            let site = self.fresh_site(call_expr, class);
+            let sig = MethodSig::new(intern(class), intern(name), arg_vals.len());
+            self.record_call(site, &sig, arg_vals);
             return AValue::Obj {
                 site,
-                ty: class.to_owned(),
+                ty: intern(class),
             };
         }
-        let sig = MethodSig::new(class, name, arg_vals.len());
+        let sig = MethodSig::new(intern(class), intern(name), arg_vals.len());
         self.record_on_args(&sig, &arg_vals);
         if self.api.is_factory(class, name) {
             // Factory of an untracked class.
             return AValue::TopObj {
-                ty: Some(class.to_owned()),
+                ty: Some(intern(class)),
             };
         }
         self.api
@@ -940,13 +996,13 @@ impl<'a> Analyzer<'a> {
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        if ctx.depth >= MAX_INLINE_DEPTH || ctx.call_stack.iter().any(|m| m == name) {
+        if ctx.depth >= MAX_INLINE_DEPTH || ctx.call_stack.iter().any(|m| &**m == name) {
             return AValue::Unknown;
         }
         let callee = ctx
             .class
             .methods()
-            .find(|m| m.name == name && m.params.len() == arg_vals.len() && m.body.is_some());
+            .find(|m| &*m.name == name && m.params.len() == arg_vals.len() && m.body.is_some());
         let Some(callee) = callee else {
             return AValue::Unknown;
         };
@@ -963,7 +1019,7 @@ impl<'a> Analyzer<'a> {
             depth: ctx.depth + 1,
             call_stack: {
                 let mut s = ctx.call_stack.clone();
-                s.push(name.to_owned());
+                s.push(intern(name));
                 s
             },
             ret: None,
@@ -972,7 +1028,7 @@ impl<'a> Analyzer<'a> {
 
         // Propagate callee effects on variables the caller can see
         // (fields and shadow-free locals).
-        let updates: Vec<(String, AValue)> = env
+        let updates: Vec<(Sym, AValue)> = env
             .iter()
             .filter(|(k, _)| !callee.params.iter().any(|p| &p.name == *k))
             .filter_map(|(k, _)| callee_env.get(k).map(|v| (k.clone(), v.clone())))
@@ -985,12 +1041,12 @@ impl<'a> Analyzer<'a> {
 
     fn eval_array_literal(
         &mut self,
-        elems: &'a [Expr],
+        elems: &[ExprId],
         declared: &Type,
         env: &mut Env,
         ctx: &mut Ctx<'a>,
     ) -> AValue {
-        let vals: Vec<AValue> = elems.iter().map(|e| self.eval(e, env, ctx)).collect();
+        let vals: Vec<AValue> = elems.iter().map(|e| self.eval(*e, env, ctx)).collect();
         // Unwrap the declared array element type.
         let elem_ty = match declared {
             Type::Array(inner) => inner.as_ref().clone(),
@@ -1005,6 +1061,20 @@ impl<'a> Analyzer<'a> {
 /// collide with locals or fields of `this`.
 fn heap_key(site: AllocSite, field: &str) -> String {
     format!("{site}#{field}")
+}
+
+/// [`Type::display_name`] as an interned symbol, without the
+/// intermediate `String` for plain named types — the symbol the parser
+/// interned *is* the display name when the type has no package
+/// qualifier.
+fn display_sym(ty: &Type) -> Sym {
+    match ty {
+        Type::Named { name, .. } => match name.rfind('.') {
+            None => name.clone(),
+            Some(dot) => intern(&name[dot + 1..]),
+        },
+        other => intern_owned(other.display_name()),
+    }
 }
 
 /// `⊤`-value for a declared type (used for parameters and casts).
@@ -1028,7 +1098,7 @@ fn top_for_type(ty: &Type) -> AValue {
             Some("Boolean") => AValue::TopBool,
             Some("Byte") | Some("Character") => AValue::TopByte,
             other => AValue::TopObj {
-                ty: other.map(str::to_owned),
+                ty: other.map(intern),
             },
         },
         Type::Wildcard | Type::Unknown => AValue::Unknown,
@@ -1070,7 +1140,7 @@ fn array_value(elem_ty: &Type, vals: &[AValue], _explicit: bool) -> AValue {
             }
         }
         Type::Named { name, .. } if name.ends_with("String") => {
-            let consts: Option<Vec<String>> = vals
+            let consts: Option<Vec<Sym>> = vals
                 .iter()
                 .map(|v| match v {
                     AValue::Str(s) => Some(s.clone()),
@@ -1100,7 +1170,7 @@ fn infer_array_literal(vals: &[AValue]) -> AValue {
         if ints.len() == vals.len() {
             return AValue::IntArray(ints);
         }
-        let strs: Vec<String> = vals
+        let strs: Vec<Sym> = vals
             .iter()
             .filter_map(|v| match v {
                 AValue::Str(s) => Some(s.clone()),
@@ -1122,13 +1192,13 @@ fn fold_binary(op: BinOp, l: AValue, r: AValue) -> AValue {
     use BinOp::*;
     match (&l, &r) {
         (AValue::Str(a), AValue::Str(b)) if op == Add => {
-            return AValue::Str(format!("{a}{b}"));
+            return AValue::Str(intern_owned(format!("{a}{b}")));
         }
         (AValue::Str(a), AValue::Int(b)) if op == Add => {
-            return AValue::Str(format!("{a}{b}"));
+            return AValue::Str(intern_owned(format!("{a}{b}")));
         }
         (AValue::Int(a), AValue::Str(b)) if op == Add => {
-            return AValue::Str(format!("{a}{b}"));
+            return AValue::Str(intern_owned(format!("{a}{b}")));
         }
         (AValue::Int(a), AValue::Int(b)) => {
             return match op {

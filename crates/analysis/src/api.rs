@@ -68,20 +68,24 @@ impl ApiModel {
         receiver: Option<&AValue>,
         args: &[AValue],
     ) -> Option<AValue> {
-        let const_inputs = receiver.into_iter().chain(args.iter()).all(|v| {
-            matches!(
-                v.kind(),
-                ValueKind::Str | ValueKind::Int | ValueKind::Byte | ValueKind::ByteArray
-            ) && !v.is_top()
-        });
         match method {
-            // char[]/byte[] producers that preserve constness.
+            // char[]/byte[] producers that preserve constness. The
+            // constness scan only runs once a producer matched — most
+            // calls fall through to `None` on the name alone.
             "toCharArray" | "getBytes" | "decodeHex" | "decode" | "parseHexBinary" | "copyOf"
-            | "copyOfRange" | "clone" => Some(if const_inputs {
-                AValue::ConstByteArray
-            } else {
-                AValue::TopByteArray
-            }),
+            | "copyOfRange" | "clone" => {
+                let const_inputs = receiver.into_iter().chain(args.iter()).all(|v| {
+                    matches!(
+                        v.kind(),
+                        ValueKind::Str | ValueKind::Int | ValueKind::Byte | ValueKind::ByteArray
+                    ) && !v.is_top()
+                });
+                Some(if const_inputs {
+                    AValue::ConstByteArray
+                } else {
+                    AValue::TopByteArray
+                })
+            }
             // Inherently data-dependent producers.
             "digest" | "doFinal" | "update" | "generateSeed" | "getEncoded" | "generateKey"
             | "generateSecret" | "sign" | "wrap" | "unwrap" => Some(AValue::TopByteArray),

@@ -87,7 +87,7 @@ mod tests {
         assert_eq!(events.len(), 2, "getInstance + init: {events:?}");
 
         let get_instance = &events[0];
-        assert_eq!(get_instance.method.name, "getInstance");
+        assert_eq!(&*get_instance.method.name, "getInstance");
         assert_eq!(
             get_instance.args,
             vec![AValue::Str("AES/CBC/PKCS5Padding".into())],
@@ -95,7 +95,7 @@ mod tests {
         );
 
         let init = &events[1];
-        assert_eq!(init.method.name, "init");
+        assert_eq!(&*init.method.name, "init");
         assert_eq!(init.args.len(), 3);
         assert_eq!(
             init.args[0],
@@ -110,7 +110,7 @@ mod tests {
                 ty: Some("Secret".into())
             }
         );
-        assert!(matches!(init.args[2], AValue::Obj { ref ty, .. } if ty == "IvParameterSpec"));
+        assert!(matches!(init.args[2], AValue::Obj { ref ty, .. } if &**ty == "IvParameterSpec"));
     }
 
     #[test]
@@ -131,7 +131,7 @@ mod tests {
         assert!(
             events
                 .iter()
-                .any(|e| e.method.name == "init" && e.method.class == "Cipher"),
+                .any(|e| &*e.method.name == "init" && &*e.method.class == "Cipher"),
             "passing the spec to Cipher.init is a usage of the spec: {events:?}"
         );
     }
@@ -237,12 +237,13 @@ mod tests {
         assert_eq!(ciphers.len(), 1, "one allocation site inside the helper");
         let events = usages.events_of(ciphers[0]);
         assert!(
-            events.iter().any(
-                |e| e.method.name == "getInstance" && e.args == vec![AValue::Str("DES".into())]
-            ),
+            events
+                .iter()
+                .any(|e| &*e.method.name == "getInstance"
+                    && e.args == vec![AValue::Str("DES".into())]),
             "constant must flow through the inlined helper: {events:?}"
         );
-        assert!(events.iter().any(|e| e.method.name == "init"));
+        assert!(events.iter().any(|e| &*e.method.name == "init"));
     }
 
     #[test]
@@ -292,7 +293,10 @@ mod tests {
         );
         let rng = usages.objects_of_type("SecureRandom").next().unwrap();
         let events = usages.events_of(rng);
-        let set_seed = events.iter().find(|e| e.method.name == "setSeed").unwrap();
+        let set_seed = events
+            .iter()
+            .find(|e| &*e.method.name == "setSeed")
+            .unwrap();
         assert_eq!(set_seed.args, vec![AValue::ConstByteArray]);
     }
 
@@ -490,7 +494,7 @@ mod tests {
         let resets = usages
             .events_of(d)
             .iter()
-            .filter(|e| e.method.name == "reset")
+            .filter(|e| &*e.method.name == "reset")
             .count();
         assert_eq!(resets, 1);
     }

@@ -17,7 +17,7 @@ fn first_arg_of(usages: &Usages, class: &str, method: &str) -> AValue {
     usages
         .events_of(site)
         .iter()
-        .find(|e| e.method.name == method)
+        .find(|e| &*e.method.name == method)
         .unwrap_or_else(|| panic!("no {method} on {class}"))
         .args[0]
         .clone()
@@ -187,7 +187,7 @@ fn interprocedural_argument_flow() {
     let algos: Vec<String> = u
         .events_of(site)
         .iter()
-        .filter(|e| e.method.name == "getInstance")
+        .filter(|e| &*e.method.name == "getInstance")
         .map(|e| e.args[0].label())
         .collect();
     assert!(algos.contains(&"SHA-1".to_owned()), "{algos:?}");
@@ -211,7 +211,7 @@ fn helper_called_from_two_entries_merges_events() {
     let algos: Vec<String> = u
         .events_of(site)
         .iter()
-        .filter(|e| e.method.name == "getInstance")
+        .filter(|e| &*e.method.name == "getInstance")
         .map(|e| e.args[0].label())
         .collect();
     assert_eq!(u.objects_of_type("MessageDigest").count(), 1);
@@ -288,7 +288,7 @@ fn cipher_modes_via_api_constants() {
     let init = u
         .events_of(site)
         .iter()
-        .find(|e| e.method.name == "init")
+        .find(|e| &*e.method.name == "init")
         .unwrap();
     assert_eq!(
         init.args[0],
@@ -369,7 +369,7 @@ fn mac_and_keygenerator_are_tracked() {
     let init = u
         .events_of(kg)
         .iter()
-        .find(|e| e.method.name == "init")
+        .find(|e| &*e.method.name == "init")
         .unwrap();
     assert_eq!(init.args[0], AValue::Int(256));
 }

@@ -26,12 +26,12 @@ fn synthetic_changes(n: usize) -> Vec<UsageChange> {
                 removed: vec![FeaturePath(vec![
                     "Cipher".into(),
                     "getInstance".into(),
-                    format!("arg1:{from}"),
+                    format!("arg1:{from}").into(),
                 ])],
                 added: vec![FeaturePath(vec![
                     "Cipher".into(),
                     "getInstance".into(),
-                    format!("arg1:{to}"),
+                    format!("arg1:{to}").into(),
                 ])],
             }
         })

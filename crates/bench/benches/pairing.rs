@@ -41,7 +41,12 @@ fn bench_pair_dags(c: &mut Criterion) {
     let new_dags = usagegraph::dags_for_class(&new, "Cipher", 5);
     c.bench_function("pairing/figure2_cipher", |b| {
         b.iter(|| {
-            usagegraph::pair_dags(black_box(&old_dags), black_box(&new_dags), "Cipher").len()
+            usagegraph::pair_dags(
+                black_box(old_dags.clone()),
+                black_box(new_dags.clone()),
+                "Cipher",
+            )
+            .len()
         });
     });
 }

@@ -140,12 +140,8 @@ fn coarsen_path(path: &FeaturePath) -> FeaturePath {
         path.labels()
             .iter()
             .map(|label| match label.split_once(':') {
-                Some((prefix, value)) if prefix.starts_with("arg") => {
-                    if is_string_value(value) {
-                        format!("{prefix}:\u{22a4}str")
-                    } else {
-                        label.clone()
-                    }
+                Some((prefix, value)) if prefix.starts_with("arg") && is_string_value(value) => {
+                    usagegraph::Label::from(format!("{prefix}:\u{22a4}str"))
                 }
                 _ => label.clone(),
             })

@@ -91,9 +91,10 @@ pub fn usage_dist_cached(c1: &UsageChange, c2: &UsageChange, cache: &LabelCache)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use usagegraph::Label;
 
     fn path(labels: &[&str]) -> FeaturePath {
-        FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+        FeaturePath(labels.iter().copied().map(Label::from).collect())
     }
 
     #[test]

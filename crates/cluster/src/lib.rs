@@ -19,10 +19,10 @@
 //!
 //! ```
 //! use cluster::{cluster_usage_changes, usage_dist};
-//! use usagegraph::{FeaturePath, UsageChange};
+//! use usagegraph::{FeaturePath, Label, UsageChange};
 //!
 //! fn path(labels: &[&str]) -> FeaturePath {
-//!     FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+//!     FeaturePath(labels.iter().copied().map(Label::from).collect())
 //! }
 //!
 //! let ecb_to_cbc = UsageChange {

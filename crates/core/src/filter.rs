@@ -285,7 +285,7 @@ mod tests {
     use usagegraph::{FeaturePath, UsageChange, UsageDag};
 
     fn mk(class: &str, removed: &[&str], added: &[&str]) -> MinedUsageChange {
-        let path = |s: &&str| FeaturePath(vec![class.to_owned(), (*s).to_owned()]);
+        let path = |s: &&str| FeaturePath(vec![class.into(), (*s).into()]);
         MinedUsageChange {
             meta: ChangeMeta {
                 project: "u/p".into(),

@@ -26,7 +26,7 @@ use crate::quarantine::ErrorKind;
 use cache::wire::{Reader, WireError, Writer};
 use cache::{fingerprint, CacheStore, Fingerprint, Lookup, ShardLog};
 use std::path::Path;
-use usagegraph::{FeaturePath, UsageChange, UsageDag};
+use usagegraph::{FeaturePath, Label, UsageChange, UsageDag};
 
 /// The semantic version of the lex → parse → analysis → DAG-diff
 /// stack. **Bump this on any change to `javalang`, `analysis`, or
@@ -82,7 +82,7 @@ fn read_paths(r: &mut Reader<'_>) -> Result<Vec<FeaturePath>, WireError> {
         let len = r.u64()?;
         let mut labels = Vec::new();
         for _ in 0..len {
-            labels.push(r.str()?.to_owned());
+            labels.push(Label::from(r.str()?));
         }
         paths.push(FeaturePath(labels));
     }
@@ -96,7 +96,7 @@ fn write_dag(w: &mut Writer, dag: &UsageDag) {
 }
 
 fn read_dag(r: &mut Reader<'_>) -> Result<UsageDag, WireError> {
-    let root_type = r.str()?.to_owned();
+    let root_type = intern::intern(r.str()?);
     let paths = read_paths(r)?.into_iter().collect();
     Ok(UsageDag { root_type, paths })
 }
@@ -392,7 +392,7 @@ mod tests {
     use usagegraph::DEFAULT_MAX_DEPTH;
 
     fn path(labels: &[&str]) -> FeaturePath {
-        FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+        FeaturePath(labels.iter().copied().map(Label::from).collect())
     }
 
     fn sample_dag() -> UsageDag {
@@ -401,7 +401,7 @@ mod tests {
         paths.insert(path(&["Cipher", "getInstance"]));
         paths.insert(path(&["Cipher", "getInstance", "arg1:AES"]));
         UsageDag {
-            root_type: "Cipher".to_owned(),
+            root_type: "Cipher".into(),
             paths,
         }
     }

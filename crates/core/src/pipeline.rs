@@ -288,7 +288,7 @@ impl DiffCode {
         if old_dags.is_empty() && new_dags.is_empty() {
             return Vec::new();
         }
-        pair_dags(&old_dags, &new_dags, class)
+        pair_dags(old_dags, new_dags, class)
             .into_iter()
             .map(|(a, b)| {
                 let change = diff_dags(&a, &b);
@@ -318,7 +318,7 @@ impl DiffCode {
         if old_dags.is_empty() && new_dags.is_empty() {
             return Ok(Vec::new());
         }
-        Ok(pair_dags(&old_dags, &new_dags, class)
+        Ok(pair_dags(old_dags, new_dags, class)
             .into_iter()
             .map(|(a, b)| {
                 let change = diff_dags(&a, &b);

@@ -7,6 +7,7 @@
 //! the stable surface too — tests assert on them — so kinds are an
 //! *addition*, not a replacement.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
@@ -122,52 +123,64 @@ impl ParseErrorKind {
 }
 
 /// A fatal parse error: the file could not be turned into an AST at all.
+///
+/// The payload lives behind one `Box`, keeping `ParseError` (and with
+/// it every `Result` threaded through the recursive-descent parser's
+/// hot path) pointer-sized; speculative parses construct and discard
+/// errors freely, and static messages don't allocate a `String`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    inner: Box<ParseErrorInner>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParseErrorInner {
     kind: ParseErrorKind,
-    message: String,
+    message: Cow<'static, str>,
     span: Span,
 }
 
 impl ParseError {
     /// Creates a parse error at `span` with the generic
     /// [`ParseErrorKind::UnexpectedToken`] kind.
-    pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError {
-            kind: ParseErrorKind::UnexpectedToken,
-            message: message.into(),
-            span,
-        }
+    pub fn new(message: impl Into<Cow<'static, str>>, span: Span) -> Self {
+        ParseError::with_kind(ParseErrorKind::UnexpectedToken, message, span)
     }
 
     /// Creates a parse error of a specific kind at `span`.
-    pub fn with_kind(kind: ParseErrorKind, message: impl Into<String>, span: Span) -> Self {
+    pub fn with_kind(
+        kind: ParseErrorKind,
+        message: impl Into<Cow<'static, str>>,
+        span: Span,
+    ) -> Self {
         ParseError {
-            kind,
-            message: message.into(),
-            span,
+            inner: Box::new(ParseErrorInner {
+                kind,
+                message: message.into(),
+                span,
+            }),
         }
     }
 
     /// The failure category.
     pub fn kind(&self) -> ParseErrorKind {
-        self.kind
+        self.inner.kind
     }
 
     /// The human-readable description, lowercase, without punctuation.
     pub fn message(&self) -> &str {
-        &self.message
+        &self.inner.message
     }
 
     /// Where in the source the error occurred.
     pub fn span(&self) -> Span {
-        self.span
+        self.inner.span
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {}", self.message, self.span)
+        write!(f, "{} at {}", self.inner.message, self.inner.span)
     }
 }
 

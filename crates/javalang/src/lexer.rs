@@ -10,6 +10,34 @@ use crate::error::{ParseError, ParseErrorKind, Span};
 use crate::limits::Limits;
 use crate::token::{Keyword, Punct, SpannedToken, Token};
 
+/// Byte-class table: `true` for bytes that can *continue* an
+/// identifier (ASCII alphanumerics, `_`, `$`, and all non-ASCII lead
+/// and continuation bytes — identifiers are matched bytewise, so any
+/// `>= 0x80` byte keeps the word going). One table load replaces the
+/// four-way comparison chain in the hottest scan loop.
+const WORD_CONT: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut i = 0;
+    while i < 256 {
+        let b = i as u8;
+        t[i] = b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80;
+        i += 1;
+    }
+    t
+};
+
+/// Byte-class table for bytes that can *start* an identifier: as
+/// [`WORD_CONT`] minus the ASCII digits.
+const WORD_START: [bool; 256] = {
+    let mut t = WORD_CONT;
+    let mut b = b'0';
+    while b <= b'9' {
+        t[b as usize] = false;
+        b += 1;
+    }
+    t
+};
+
 /// Streaming lexer over a source string.
 #[derive(Debug)]
 pub struct Lexer<'s> {
@@ -44,7 +72,7 @@ impl<'s> Lexer<'s> {
     /// Returns an error for unterminated strings/comments/chars,
     /// malformed numeric literals, and inputs that exceed the
     /// configured [`Limits`].
-    pub fn tokenize(mut self) -> Result<Vec<SpannedToken>, ParseError> {
+    pub fn tokenize(mut self) -> Result<Vec<SpannedToken<'s>>, ParseError> {
         if self.src.len() > self.limits.max_source_bytes {
             return Err(ParseError::with_kind(
                 ParseErrorKind::SourceTooLarge,
@@ -56,7 +84,9 @@ impl<'s> Lexer<'s> {
                 Span::new(0, self.src.len(), 1),
             ));
         }
-        let mut out = Vec::new();
+        // Java source averages well above five bytes per token, so this
+        // over-reserves slightly and the token vector never regrows.
+        let mut out = Vec::with_capacity(self.src.len() / 5 + 8);
         loop {
             let tok = self.next_token()?;
             if tok.span.end - tok.span.start > self.limits.max_token_bytes {
@@ -110,15 +140,30 @@ impl<'s> Lexer<'s> {
         loop {
             match self.peek() {
                 Some(b) if b.is_ascii_whitespace() => {
-                    self.bump();
+                    // Tight whitespace scan: no per-byte function call,
+                    // newlines counted inline.
+                    let mut pos = self.pos;
+                    let mut line = self.line;
+                    while let Some(&b) = self.bytes.get(pos) {
+                        if !b.is_ascii_whitespace() {
+                            break;
+                        }
+                        line += u32::from(b == b'\n');
+                        pos += 1;
+                    }
+                    self.pos = pos;
+                    self.line = line;
                 }
                 Some(b'/') if self.peek_at(1) == Some(b'/') => {
-                    while let Some(b) = self.peek() {
+                    // Line comments cannot contain a newline: plain scan.
+                    let mut pos = self.pos;
+                    while let Some(&b) = self.bytes.get(pos) {
                         if b == b'\n' {
                             break;
                         }
-                        self.bump();
+                        pos += 1;
                     }
+                    self.pos = pos;
                 }
                 Some(b'/') if self.peek_at(1) == Some(b'*') => {
                     let start = self.pos;
@@ -150,7 +195,7 @@ impl<'s> Lexer<'s> {
         }
     }
 
-    fn next_token(&mut self) -> Result<SpannedToken, ParseError> {
+    fn next_token(&mut self) -> Result<SpannedToken<'s>, ParseError> {
         self.skip_trivia()?;
         let start = self.pos;
         let line = self.line;
@@ -161,7 +206,7 @@ impl<'s> Lexer<'s> {
             });
         };
 
-        let token = if b.is_ascii_alphabetic() || b == b'_' || b == b'$' || b >= 0x80 {
+        let token = if WORD_START[b as usize] {
             self.lex_word()
         } else if b.is_ascii_digit()
             || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()))
@@ -180,28 +225,37 @@ impl<'s> Lexer<'s> {
         })
     }
 
-    fn lex_word(&mut self) -> Token {
+    fn lex_word(&mut self) -> Token<'s> {
         let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' || b >= 0x80 {
-                self.bump();
+        // Tight scan: word characters never include `\n`, so the
+        // line-tracking `bump` is unnecessary per byte.
+        let mut pos = self.pos;
+        while let Some(&b) = self.bytes.get(pos) {
+            if WORD_CONT[b as usize] {
+                pos += 1;
             } else {
                 break;
             }
         }
+        self.pos = pos;
         let word = &self.src[start..self.pos];
+        // Keywords and word-literals are all lowercase ASCII; skip the
+        // table probe for everything else (most identifiers).
+        if !word.as_bytes().first().is_some_and(u8::is_ascii_lowercase) {
+            return Token::Ident(word);
+        }
         match word {
             "true" => Token::BoolLit(true),
             "false" => Token::BoolLit(false),
             "null" => Token::Null,
             _ => match Keyword::lookup(word) {
                 Some(kw) => Token::Keyword(kw),
-                None => Token::Ident(word.to_owned()),
+                None => Token::Ident(word),
             },
         }
     }
 
-    fn lex_number(&mut self) -> Result<Token, ParseError> {
+    fn lex_number(&mut self) -> Result<Token<'s>, ParseError> {
         let start = self.pos;
         let line = self.line;
 
@@ -215,10 +269,7 @@ impl<'s> Lexer<'s> {
             {
                 self.bump();
             }
-            let text: String = self.src[digits_start..self.pos]
-                .chars()
-                .filter(|c| *c != '_')
-                .collect();
+            let text = strip_underscores(&self.src[digits_start..self.pos]);
             let is_long = self.consume_long_suffix();
             // Wrap like javac does for e.g. 0xFFFFFFFF.
             let value = u64::from_str_radix(&text, 16).map_err(|_| {
@@ -240,10 +291,7 @@ impl<'s> Lexer<'s> {
             {
                 self.bump();
             }
-            let text: String = self.src[digits_start..self.pos]
-                .chars()
-                .filter(|c| *c != '_')
-                .collect();
+            let text = strip_underscores(&self.src[digits_start..self.pos]);
             let is_long = self.consume_long_suffix();
             let value = u64::from_str_radix(&text, 2).map_err(|_| {
                 ParseError::with_kind(
@@ -290,10 +338,7 @@ impl<'s> Lexer<'s> {
                 _ => break,
             }
         }
-        let text: String = self.src[start..self.pos]
-            .chars()
-            .filter(|c| *c != '_')
-            .collect();
+        let text = strip_underscores(&self.src[start..self.pos]);
 
         match self.peek() {
             Some(b'f') | Some(b'F') | Some(b'd') | Some(b'D') => {
@@ -405,11 +450,12 @@ impl<'s> Lexer<'s> {
             })
     }
 
-    fn lex_string(&mut self) -> Result<Token, ParseError> {
+    fn lex_string(&mut self) -> Result<Token<'s>, ParseError> {
         let start = self.pos;
         let line = self.line;
         self.bump(); // opening quote
-        let mut value = String::new();
+        let content_start = self.pos;
+        let mut escaped = false;
         loop {
             match self.peek() {
                 None | Some(b'\n') => {
@@ -420,30 +466,32 @@ impl<'s> Lexer<'s> {
                     ));
                 }
                 Some(b'"') => {
+                    let raw = &self.src[content_start..self.pos];
                     self.bump();
-                    return Ok(Token::StrLit(value));
+                    return Ok(Token::StrLit { raw, escaped });
                 }
                 Some(b'\\') => {
+                    escaped = true;
                     self.bump();
-                    value.push(self.lex_escape(start, line)?);
-                }
-                Some(b) if b < 0x80 => {
-                    self.bump();
-                    value.push(b as char);
+                    // Validate (and consume) the escape now so
+                    // malformed escapes still fail at lex time; the
+                    // resolved character is materialized only if the
+                    // literal is ever cooked.
+                    self.lex_escape(start, line)?;
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8: copy the whole character.
-                    let ch = self.cur_char(start, line)?;
-                    for _ in 0..ch.len_utf8() {
-                        self.bump();
-                    }
-                    value.push(ch);
+                    // Literal content, borrowed — never copied. A
+                    // plain byte-advance is safe: newlines cannot hide
+                    // inside multi-byte UTF-8 sequences, and `pos`
+                    // stays on a boundary because it only stops on the
+                    // ASCII bytes matched above.
+                    self.pos += 1;
                 }
             }
         }
     }
 
-    fn lex_char(&mut self) -> Result<Token, ParseError> {
+    fn lex_char(&mut self) -> Result<Token<'s>, ParseError> {
         let start = self.pos;
         let line = self.line;
         self.bump(); // opening quote
@@ -482,7 +530,7 @@ impl<'s> Lexer<'s> {
         Ok(Token::CharLit(ch))
     }
 
-    fn lex_punct(&mut self) -> Result<Token, ParseError> {
+    fn lex_punct(&mut self) -> Result<Token<'s>, ParseError> {
         use Punct::*;
         let start = self.pos;
         let line = self.line;
@@ -657,11 +705,21 @@ impl<'s> Lexer<'s> {
     }
 }
 
+/// Drops `_` digit separators, borrowing when there are none — the
+/// common case, which therefore costs no allocation.
+fn strip_underscores(digits: &str) -> std::borrow::Cow<'_, str> {
+    if digits.contains('_') {
+        std::borrow::Cow::Owned(digits.chars().filter(|c| *c != '_').collect())
+    } else {
+        std::borrow::Cow::Borrowed(digits)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn toks(src: &str) -> Vec<Token> {
+    fn toks(src: &str) -> Vec<Token<'_>> {
         Lexer::new(src)
             .tokenize()
             .unwrap()
@@ -676,7 +734,7 @@ mod tests {
             toks("class Foo"),
             vec![
                 Token::Keyword(Keyword::Class),
-                Token::Ident("Foo".into()),
+                Token::Ident("Foo"),
                 Token::Eof
             ]
         );
@@ -684,17 +742,43 @@ mod tests {
 
     #[test]
     fn contextual_var_is_identifier() {
-        assert_eq!(toks("var")[0], Token::Ident("var".into()));
+        assert_eq!(toks("var")[0], Token::Ident("var"));
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\n\t\"\\""#)[0], Token::StrLit("a\n\t\"\\".into()));
+        let tok = toks(r#""a\n\t\"\\""#)[0];
+        assert_eq!(
+            tok,
+            Token::StrLit {
+                raw: r#"a\n\t\"\\"#,
+                escaped: true
+            }
+        );
+        let Token::StrLit { raw, escaped } = tok else {
+            unreachable!()
+        };
+        assert_eq!(Token::cook_str(raw, escaped), "a\n\t\"\\");
     }
 
     #[test]
     fn unicode_escape() {
-        assert_eq!(toks(r#""A""#)[0], Token::StrLit("A".into()));
+        let Token::StrLit { raw, escaped } = toks(r#""\u0041""#)[0] else {
+            panic!("not a string literal")
+        };
+        assert!(escaped);
+        assert_eq!(Token::cook_str(raw, escaped), "A");
+    }
+
+    #[test]
+    fn plain_string_borrows_without_escapes() {
+        assert_eq!(
+            toks(r#""AES/GCM/NoPadding""#)[0],
+            Token::StrLit {
+                raw: "AES/GCM/NoPadding",
+                escaped: false
+            }
+        );
     }
 
     #[test]
@@ -740,8 +824,8 @@ mod tests {
         assert_eq!(
             toks("a // line\n /* block \n */ b"),
             vec![
-                Token::Ident("a".into()),
-                Token::Ident("b".into()),
+                Token::Ident("a"),
+                Token::Ident("b"),
                 Token::Eof
             ]
         );
@@ -760,9 +844,9 @@ mod tests {
         assert_eq!(
             toks("a += b >>> 2"),
             vec![
-                Token::Ident("a".into()),
+                Token::Ident("a"),
                 Token::Punct(Punct::PlusAssign),
-                Token::Ident("b".into()),
+                Token::Ident("b"),
                 Token::Punct(Punct::Gt),
                 Token::Punct(Punct::Gt),
                 Token::Punct(Punct::Gt),

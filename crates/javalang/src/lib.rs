@@ -51,7 +51,7 @@ pub use printer::pretty_print;
 ///
 /// Returns [`ParseError`] on malformed literals (e.g. an unterminated
 /// string).
-pub fn lex(source: &str) -> Result<Vec<token::SpannedToken>, ParseError> {
+pub fn lex(source: &str) -> Result<Vec<token::SpannedToken<'_>>, ParseError> {
     lexer::Lexer::new(source).tokenize()
 }
 

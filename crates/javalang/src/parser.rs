@@ -5,12 +5,19 @@
 //! or a balanced `{...}` — a [`ParseDiagnostic`] is recorded on the
 //! [`CompilationUnit`], and parsing resumes. This mirrors DiffCode's
 //! requirement to analyze partial programs mined from version control.
+//!
+//! Expressions and statements are allocated into the unit's [`Ast`]
+//! arena lazily — a node is pushed only when it becomes the child of
+//! another node — so backtracking productions (casts, declarator
+//! lookahead, generic-argument disambiguation) at worst orphan a few
+//! arena slots instead of repeatedly allocating and freeing boxes.
 
 use crate::ast::*;
 use crate::error::{ParseDiagnostic, ParseError, ParseErrorKind, Span};
 use crate::lexer::Lexer;
 use crate::limits::Limits;
 use crate::token::{Keyword, Punct, SpannedToken, Token};
+use intern::{intern, intern_owned};
 
 /// Parses a whole source file with [`Limits::DEFAULT`] budgets.
 ///
@@ -38,33 +45,45 @@ pub fn parse_compilation_unit_with_limits(
     Parser::with_limits(tokens, limits).parse_unit()
 }
 
-/// The recursive-descent parser.
+/// The recursive-descent parser. Borrows the source through its
+/// zero-copy token stream.
 #[derive(Debug)]
-pub struct Parser {
-    tokens: Vec<SpannedToken>,
+pub struct Parser<'s> {
+    tokens: Vec<SpannedToken<'s>>,
     pos: usize,
+    /// Cache of `tokens[pos].token`, so the very hottest operation —
+    /// peeking the current token — is one field load with no bounds
+    /// check. Kept in sync by `bump` and `rewind`.
+    cur: Token<'s>,
     diagnostics: Vec<ParseDiagnostic>,
+    /// The arena the parsed unit's expressions and statements land in.
+    ast: Ast,
     /// Current nesting depth across *all* recursive paths (statements,
     /// expressions, types, array initialisers, nested type
     /// declarations) — guards the stack against adversarial inputs.
     depth: usize,
     /// Depth at which [`Parser::nested`] gives up.
     max_nesting: usize,
+    /// Reusable scratch for composing dotted names before interning.
+    /// Used stack-wise: callers record `name_buf.len()`, append, intern
+    /// the suffix, and truncate back, so recursive productions (type
+    /// arguments inside dotted type names) can share one buffer.
+    name_buf: String,
 }
 
 type PResult<T> = Result<T, ParseError>;
 
-impl Parser {
+impl<'s> Parser<'s> {
     /// Creates a parser over a pre-lexed token stream with
     /// [`Limits::DEFAULT`] budgets. A missing trailing [`Token::Eof`]
     /// is appended rather than rejected.
-    pub fn new(tokens: Vec<SpannedToken>) -> Self {
+    pub fn new(tokens: Vec<SpannedToken<'s>>) -> Self {
         Parser::with_limits(tokens, Limits::DEFAULT)
     }
 
     /// Creates a parser over a pre-lexed token stream with explicit
     /// resource budgets.
-    pub fn with_limits(mut tokens: Vec<SpannedToken>, limits: Limits) -> Self {
+    pub fn with_limits(mut tokens: Vec<SpannedToken<'s>>, limits: Limits) -> Self {
         if !matches!(tokens.last(), Some(t) if t.token == Token::Eof) {
             let span = tokens.last().map(|t| t.span).unwrap_or_default();
             tokens.push(SpannedToken {
@@ -73,11 +92,14 @@ impl Parser {
             });
         }
         Parser {
+            ast: Ast::with_token_estimate(tokens.len()),
+            cur: tokens[0].token,
             tokens,
             pos: 0,
             diagnostics: Vec::new(),
             depth: 0,
             max_nesting: limits.max_nesting,
+            name_buf: String::new(),
         }
     }
 
@@ -102,37 +124,46 @@ impl Parser {
     // Token-stream helpers
     // ------------------------------------------------------------------
 
-    fn peek(&self) -> &Token {
-        &self.tokens[self.pos].token
+    fn peek(&self) -> Token<'s> {
+        self.cur
     }
 
-    fn peek_at(&self, k: usize) -> &Token {
+    fn peek_at(&self, k: usize) -> Token<'s> {
         let idx = (self.pos + k).min(self.tokens.len() - 1);
-        &self.tokens[idx].token
+        self.tokens[idx].token
     }
 
     fn span(&self) -> Span {
         self.tokens[self.pos].span
     }
 
-    fn bump(&mut self) -> &Token {
-        let idx = self.pos;
+    fn bump(&mut self) -> Token<'s> {
+        let tok = self.cur;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
-        &self.tokens[idx].token
+        self.cur = self.tokens[self.pos].token;
+        tok
+    }
+
+    /// Moves the cursor to an earlier (saved) position, keeping the
+    /// cached current token in sync. All speculative-parse backtracking
+    /// goes through here.
+    fn rewind(&mut self, pos: usize) {
+        self.pos = pos;
+        self.cur = self.tokens[pos].token;
     }
 
     fn at_eof(&self) -> bool {
-        *self.peek() == Token::Eof
+        self.peek() == Token::Eof
     }
 
     fn check_punct(&self, p: Punct) -> bool {
-        *self.peek() == Token::Punct(p)
+        self.peek() == Token::Punct(p)
     }
 
     fn check_keyword(&self, k: Keyword) -> bool {
-        *self.peek() == Token::Keyword(k)
+        self.peek() == Token::Keyword(k)
     }
 
     fn eat_punct(&mut self, p: Punct) -> bool {
@@ -169,11 +200,11 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> PResult<String> {
-        match self.peek().clone() {
+    fn expect_ident(&mut self) -> PResult<Name> {
+        match self.peek() {
             Token::Ident(name) => {
                 self.bump();
-                Ok(name)
+                Ok(intern(name))
             }
             // Allow a handful of keywords in identifier position where
             // real-world code uses them as names via imports.
@@ -181,13 +212,21 @@ impl Parser {
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> ParseError {
+    fn error(&self, message: impl Into<std::borrow::Cow<'static, str>>) -> ParseError {
         ParseError::new(message, self.span())
+    }
+
+    fn alloc_expr(&mut self, expr: Expr) -> ExprId {
+        self.ast.alloc_expr(expr)
+    }
+
+    fn alloc_stmt(&mut self, stmt: Stmt) -> StmtId {
+        self.ast.alloc_stmt(stmt)
     }
 
     /// `>`-`>` adjacency check used to reassemble shift operators.
     fn gt_adjacent(&self) -> bool {
-        if self.check_punct(Punct::Gt) && *self.peek_at(1) == Token::Punct(Punct::Gt) {
+        if self.check_punct(Punct::Gt) && self.peek_at(1) == Token::Punct(Punct::Gt) {
             let a = self.tokens[self.pos].span;
             let b = self.tokens[self.pos + 1].span;
             a.end == b.start
@@ -219,7 +258,7 @@ impl Parser {
     fn skip_annotations(&mut self) {
         while self.check_punct(Punct::At) {
             // `@interface` is a declaration, not an annotation use.
-            if *self.peek_at(1) == Token::Keyword(Keyword::Interface) {
+            if self.peek_at(1) == Token::Keyword(Keyword::Interface) {
                 return;
             }
             self.bump(); // @
@@ -256,12 +295,12 @@ impl Parser {
                     return;
                 }
             } else if self.check_punct(Punct::Semi) || self.check_punct(Punct::LBrace) {
-                self.pos = save;
+                self.rewind(save);
                 return;
             }
             self.bump();
         }
-        self.pos = save;
+        self.rewind(save);
     }
 
     // ------------------------------------------------------------------
@@ -278,44 +317,45 @@ impl Parser {
 
         self.skip_annotations();
         if self.eat_keyword(Keyword::Package) {
-            let mut path = String::new();
-            while let Token::Ident(seg) = self.peek().clone() {
+            let start = self.name_buf.len();
+            while let Token::Ident(seg) = self.peek() {
                 self.bump();
-                path.push_str(&seg);
+                self.name_buf.push_str(seg);
                 if self.eat_punct(Punct::Dot) {
-                    path.push('.');
+                    self.name_buf.push('.');
                 } else {
                     break;
                 }
             }
             let _ = self.expect_punct(Punct::Semi);
-            unit.package = Some(path);
+            unit.package = Some(intern(&self.name_buf[start..]));
+            self.name_buf.truncate(start);
         }
 
         while self.check_keyword(Keyword::Import) {
             self.bump();
             let is_static = self.eat_keyword(Keyword::Static);
-            let mut path = String::new();
+            let start = self.name_buf.len();
             let mut on_demand = false;
             loop {
-                match self.peek().clone() {
+                match self.peek() {
                     Token::Ident(seg) => {
                         self.bump();
-                        path.push_str(&seg);
+                        self.name_buf.push_str(seg);
                     }
                     Token::Punct(Punct::Star) => {
                         self.bump();
                         on_demand = true;
                         // strip trailing dot
-                        if path.ends_with('.') {
-                            path.pop();
+                        if self.name_buf.len() > start && self.name_buf.ends_with('.') {
+                            self.name_buf.pop();
                         }
                         break;
                     }
                     _ => break,
                 }
                 if self.eat_punct(Punct::Dot) {
-                    path.push('.');
+                    self.name_buf.push('.');
                 } else {
                     break;
                 }
@@ -323,9 +363,10 @@ impl Parser {
             let _ = self.expect_punct(Punct::Semi);
             unit.imports.push(Import {
                 is_static,
-                path,
+                path: intern(&self.name_buf[start..]),
                 on_demand,
             });
+            self.name_buf.truncate(start);
         }
 
         while !self.at_eof() {
@@ -352,6 +393,7 @@ impl Parser {
             }
         }
         unit.diagnostics = std::mem::take(&mut self.diagnostics);
+        unit.ast = self.ast;
         Ok(unit)
     }
 
@@ -379,7 +421,7 @@ impl Parser {
         } else if self.eat_keyword(Keyword::Enum) {
             TypeKind::Enum
         } else if self.check_punct(Punct::At)
-            && *self.peek_at(1) == Token::Keyword(Keyword::Interface)
+            && self.peek_at(1) == Token::Keyword(Keyword::Interface)
         {
             self.bump();
             self.bump();
@@ -436,10 +478,10 @@ impl Parser {
             // Constants up to `;` or `}`.
             loop {
                 self.skip_annotations();
-                match self.peek().clone() {
+                match self.peek() {
                     Token::Ident(constant) => {
                         self.bump();
-                        enum_constants.push(constant);
+                        enum_constants.push(intern(constant));
                         if self.check_punct(Punct::LParen) {
                             self.skip_balanced(Punct::LParen, Punct::RParen);
                         }
@@ -550,7 +592,7 @@ impl Parser {
             || self.check_keyword(Keyword::Interface)
             || self.check_keyword(Keyword::Enum)
             || (self.check_punct(Punct::At)
-                && *self.peek_at(1) == Token::Keyword(Keyword::Interface))
+                && self.peek_at(1) == Token::Keyword(Keyword::Interface))
         {
             // Re-parse with the modifiers we already consumed folded in.
             let mut decl = self.parse_type_decl()?;
@@ -564,7 +606,7 @@ impl Parser {
 
         // Constructor? `Name (` where Name == enclosing class.
         if let Token::Ident(word) = self.peek() {
-            if word == class_name && *self.peek_at(1) == Token::Punct(Punct::LParen) {
+            if word == class_name && self.peek_at(1) == Token::Punct(Punct::LParen) {
                 let name = self.expect_ident()?;
                 return self.parse_method_rest(modifiers, None, name, true, start);
             }
@@ -594,7 +636,7 @@ impl Parser {
         &mut self,
         modifiers: Modifiers,
         return_type: Option<Type>,
-        name: String,
+        name: Name,
         is_constructor: bool,
         start: Span,
     ) -> PResult<Member> {
@@ -614,7 +656,7 @@ impl Parser {
                 let mut ty = ty;
                 // `int x[]` post-name dims.
                 while self.check_punct(Punct::LBracket)
-                    && *self.peek_at(1) == Token::Punct(Punct::RBracket)
+                    && self.peek_at(1) == Token::Punct(Punct::RBracket)
                 {
                     self.bump();
                     self.bump();
@@ -633,7 +675,7 @@ impl Parser {
         self.expect_punct(Punct::RParen)?;
 
         // `int m()[]` — archaic; skip.
-        while self.check_punct(Punct::LBracket) && *self.peek_at(1) == Token::Punct(Punct::RBracket)
+        while self.check_punct(Punct::LBracket) && self.peek_at(1) == Token::Punct(Punct::RBracket)
         {
             self.bump();
             self.bump();
@@ -684,7 +726,7 @@ impl Parser {
                     message: err.message().to_owned(),
                     span: err.span(),
                 });
-                self.pos = open_pos;
+                self.rewind(open_pos);
                 if self.check_punct(Punct::LBrace) {
                     self.skip_balanced(Punct::LBrace, Punct::RBrace);
                 }
@@ -733,7 +775,7 @@ impl Parser {
                     // `synchronized` as a modifier only when followed by
                     // something other than `(`.
                     if self.check_keyword(Keyword::Synchronized)
-                        && *self.peek_at(1) == Token::Punct(Punct::LParen)
+                        && self.peek_at(1) == Token::Punct(Punct::LParen)
                     {
                         return m;
                     }
@@ -743,7 +785,7 @@ impl Parser {
                     // `sealed` / `non-sealed` (the latter lexes as
                     // `non - sealed`); consume conservatively.
                     if w == "non" {
-                        if *self.peek_at(1) == Token::Punct(Punct::Minus)
+                        if self.peek_at(1) == Token::Punct(Punct::Minus)
                             && matches!(self.peek_at(2), Token::Ident(s) if s == "sealed")
                         {
                             self.bump();
@@ -766,11 +808,7 @@ impl Parser {
     // ------------------------------------------------------------------
 
     /// Parses a type reference.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the cursor is not at a type.
-    pub fn parse_type(&mut self) -> PResult<Type> {
+    fn parse_type(&mut self) -> PResult<Type> {
         // Types recurse through type arguments (`A<B<C<...>>>`) and
         // wildcard bounds, so they run under the nesting guard too.
         self.nested(|p| p.parse_type_inner())
@@ -778,7 +816,7 @@ impl Parser {
 
     fn parse_type_inner(&mut self) -> PResult<Type> {
         self.skip_annotations();
-        let base = match self.peek().clone() {
+        let base = match self.peek() {
             Token::Keyword(kw) => {
                 let prim = match kw {
                     Keyword::Boolean => PrimitiveType::Boolean,
@@ -804,11 +842,18 @@ impl Parser {
             }
             Token::Ident(first) => {
                 self.bump();
-                let mut name = first;
+                // Simple (un-dotted) names — the overwhelmingly common
+                // case — intern the token slice directly; the dotted
+                // path is composed in the shared scratch buffer only on
+                // a `.` segment. `parse_type_args` can recurse back
+                // into `parse_type`, but recursive users of `name_buf`
+                // append after our suffix and truncate back, so the
+                // `start..` slice stays intact across the calls.
+                let mut start: Option<usize> = None;
                 let mut args = self.parse_type_args()?;
                 while self.check_punct(Punct::Dot) && matches!(self.peek_at(1), Token::Ident(_)) {
                     self.bump();
-                    let Token::Ident(seg) = self.bump().clone() else {
+                    let Token::Ident(seg) = self.bump() else {
                         // Checked by the loop condition; reported as a
                         // typed error instead of a panic so one bad
                         // file cannot abort a mining run.
@@ -818,14 +863,27 @@ impl Parser {
                             self.span(),
                         ));
                     };
-                    name.push('.');
-                    name.push_str(&seg);
+                    let s = *start.get_or_insert_with(|| {
+                        let s = self.name_buf.len();
+                        self.name_buf.push_str(first);
+                        s
+                    });
+                    debug_assert!(self.name_buf.len() >= s);
+                    self.name_buf.push('.');
+                    self.name_buf.push_str(seg);
                     args = self.parse_type_args()?;
                 }
-                if name == "var" {
-                    Type::Unknown
-                } else {
-                    Type::Named { name, args }
+                match start {
+                    None if first == "var" => Type::Unknown,
+                    None => Type::Named {
+                        name: intern(first),
+                        args,
+                    },
+                    Some(s) => {
+                        let name = intern(&self.name_buf[s..]);
+                        self.name_buf.truncate(s);
+                        Type::Named { name, args }
+                    }
                 }
             }
             other => return Err(self.error(format!("expected type, found `{other}`"))),
@@ -834,8 +892,7 @@ impl Parser {
         let mut ty = base;
         loop {
             self.skip_annotations();
-            if self.check_punct(Punct::LBracket)
-                && *self.peek_at(1) == Token::Punct(Punct::RBracket)
+            if self.check_punct(Punct::LBracket) && self.peek_at(1) == Token::Punct(Punct::RBracket)
             {
                 self.bump();
                 self.bump();
@@ -864,7 +921,7 @@ impl Parser {
             match self.parse_type() {
                 Ok(t) => args.push(t),
                 Err(_) => {
-                    self.pos = save;
+                    self.rewind(save);
                     return Ok(Vec::new());
                 }
             }
@@ -875,7 +932,7 @@ impl Parser {
                 return Ok(args);
             }
             // Not a generic argument list after all (e.g. `a < b`).
-            self.pos = save;
+            self.rewind(save);
             return Ok(Vec::new());
         }
     }
@@ -885,35 +942,41 @@ impl Parser {
     // ------------------------------------------------------------------
 
     /// Parses a `{ ... }` block.
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first malformed statement.
-    pub fn parse_block(&mut self) -> PResult<Block> {
+    fn parse_block(&mut self) -> PResult<Block> {
         self.expect_punct(Punct::LBrace)?;
         let mut stmts = Vec::new();
         while !self.check_punct(Punct::RBrace) {
             if self.at_eof() {
                 return Err(self.error("unterminated block"));
             }
-            stmts.push(self.parse_stmt()?);
+            let stmt = self.parse_stmt()?;
+            stmts.push(self.alloc_stmt(stmt));
         }
         self.bump(); // `}`
         Ok(Block { stmts })
     }
 
-    /// Parses a single statement.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the cursor is not at a statement.
-    pub fn parse_stmt(&mut self) -> PResult<Stmt> {
+    /// Parses a single statement, returning it by value; the caller
+    /// allocates it into the arena where an id is needed.
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
         self.nested(|p| p.parse_stmt_inner())
+    }
+
+    /// Parses a statement and allocates it, for the common child case.
+    fn parse_stmt_id(&mut self) -> PResult<StmtId> {
+        let stmt = self.parse_stmt()?;
+        Ok(self.alloc_stmt(stmt))
+    }
+
+    /// Parses an expression and allocates it.
+    fn parse_expr_id(&mut self) -> PResult<ExprId> {
+        let expr = self.parse_expr()?;
+        Ok(self.alloc_expr(expr))
     }
 
     fn parse_stmt_inner(&mut self) -> PResult<Stmt> {
         self.skip_annotations();
-        match self.peek().clone() {
+        match self.peek() {
             Token::Punct(Punct::LBrace) => Ok(Stmt::Block(self.parse_block()?)),
             Token::Punct(Punct::Semi) => {
                 self.bump();
@@ -923,17 +986,17 @@ impl Parser {
             Token::Keyword(Keyword::While) => {
                 self.bump();
                 self.expect_punct(Punct::LParen)?;
-                let cond = self.parse_expr()?;
+                let cond = self.parse_expr_id()?;
                 self.expect_punct(Punct::RParen)?;
-                let body = Box::new(self.parse_stmt()?);
+                let body = self.parse_stmt_id()?;
                 Ok(Stmt::While { cond, body })
             }
             Token::Keyword(Keyword::Do) => {
                 self.bump();
-                let body = Box::new(self.parse_stmt()?);
+                let body = self.parse_stmt_id()?;
                 self.expect_keyword(Keyword::While)?;
                 self.expect_punct(Punct::LParen)?;
-                let cond = self.parse_expr()?;
+                let cond = self.parse_expr_id()?;
                 self.expect_punct(Punct::RParen)?;
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::DoWhile { body, cond })
@@ -944,14 +1007,14 @@ impl Parser {
                 let value = if self.check_punct(Punct::Semi) {
                     None
                 } else {
-                    Some(self.parse_expr()?)
+                    Some(self.parse_expr_id()?)
                 };
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Return(value))
             }
             Token::Keyword(Keyword::Throw) => {
                 self.bump();
-                let value = self.parse_expr()?;
+                let value = self.parse_expr_id()?;
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Throw(value))
             }
@@ -960,7 +1023,7 @@ impl Parser {
             Token::Keyword(Keyword::Synchronized) => {
                 self.bump();
                 self.expect_punct(Punct::LParen)?;
-                let monitor = self.parse_expr()?;
+                let monitor = self.parse_expr_id()?;
                 self.expect_punct(Punct::RParen)?;
                 let body = self.parse_block()?;
                 Ok(Stmt::Synchronized { monitor, body })
@@ -983,7 +1046,7 @@ impl Parser {
             }
             Token::Keyword(Keyword::Assert) => {
                 self.bump();
-                let value = self.parse_expr()?;
+                let value = self.parse_expr_id()?;
                 if self.eat_punct(Punct::Colon) {
                     let _ = self.parse_expr()?;
                 }
@@ -1001,18 +1064,18 @@ impl Parser {
                     || self.check_keyword(Keyword::Interface)
                     || self.check_keyword(Keyword::Enum)
                 {
-                    self.pos = save;
+                    self.rewind(save);
                     return Ok(Stmt::LocalType(self.parse_type_decl()?));
                 }
-                self.pos = save;
+                self.rewind(save);
                 match self.try_parse_local_var()? {
                     Some(stmt) => Ok(stmt),
                     None => Err(self.error("expected declaration after modifiers")),
                 }
             }
             Token::Ident(label)
-                if *self.peek_at(1) == Token::Punct(Punct::Colon)
-                    && *self.peek_at(2) != Token::Punct(Punct::Colon) =>
+                if self.peek_at(1) == Token::Punct(Punct::Colon)
+                    && self.peek_at(2) != Token::Punct(Punct::Colon) =>
             {
                 // Labeled statement — drop the label.
                 let _ = label;
@@ -1025,7 +1088,7 @@ impl Parser {
                 if let Some(stmt) = self.try_parse_local_var()? {
                     return Ok(stmt);
                 }
-                let expr = self.parse_expr()?;
+                let expr = self.parse_expr_id()?;
                 self.expect_punct(Punct::Semi)?;
                 Ok(Stmt::Expr(expr))
             }
@@ -1035,11 +1098,11 @@ impl Parser {
     fn parse_if(&mut self) -> PResult<Stmt> {
         self.expect_keyword(Keyword::If)?;
         self.expect_punct(Punct::LParen)?;
-        let cond = self.parse_expr()?;
+        let cond = self.parse_expr_id()?;
         self.expect_punct(Punct::RParen)?;
-        let then = Box::new(self.parse_stmt()?);
+        let then = self.parse_stmt_id()?;
         let alt = if self.eat_keyword(Keyword::Else) {
-            Some(Box::new(self.parse_stmt()?))
+            Some(self.parse_stmt_id()?)
         } else {
             None
         };
@@ -1055,7 +1118,8 @@ impl Parser {
         match self.try_parse_foreach_header() {
             Ok(inner) => {
                 let (ty, name, iterable) = inner?;
-                let body = Box::new(self.parse_stmt()?);
+                let iterable = self.alloc_expr(iterable);
+                let body = self.parse_stmt_id()?;
                 return Ok(Stmt::ForEach {
                     ty,
                     name,
@@ -1064,18 +1128,20 @@ impl Parser {
                 });
             }
             Err(_) => {
-                self.pos = save;
+                self.rewind(save);
             }
         }
 
         let mut init = Vec::new();
         if !self.check_punct(Punct::Semi) {
             if let Some(decl) = self.try_parse_local_var_no_semi()? {
-                init.push(decl);
+                init.push(self.alloc_stmt(decl));
             } else {
-                init.push(Stmt::Expr(self.parse_expr()?));
+                let first = self.parse_expr_id()?;
+                init.push(self.alloc_stmt(Stmt::Expr(first)));
                 while self.eat_punct(Punct::Comma) {
-                    init.push(Stmt::Expr(self.parse_expr()?));
+                    let next = self.parse_expr_id()?;
+                    init.push(self.alloc_stmt(Stmt::Expr(next)));
                 }
             }
         }
@@ -1083,18 +1149,18 @@ impl Parser {
         let cond = if self.check_punct(Punct::Semi) {
             None
         } else {
-            Some(self.parse_expr()?)
+            Some(self.parse_expr_id()?)
         };
         self.expect_punct(Punct::Semi)?;
         let mut update = Vec::new();
         if !self.check_punct(Punct::RParen) {
-            update.push(self.parse_expr()?);
+            update.push(self.parse_expr_id()?);
             while self.eat_punct(Punct::Comma) {
-                update.push(self.parse_expr()?);
+                update.push(self.parse_expr_id()?);
             }
         }
         self.expect_punct(Punct::RParen)?;
-        let body = Box::new(self.parse_stmt()?);
+        let body = self.parse_stmt_id()?;
         Ok(Stmt::For {
             init,
             cond,
@@ -1106,20 +1172,20 @@ impl Parser {
     /// Attempts `Type name :` and, on success, returns the pieces with
     /// the iterable parsed and `)` consumed.
     #[allow(clippy::type_complexity)]
-    fn try_parse_foreach_header(&mut self) -> PResult<PResult<(Type, String, Expr)>> {
+    fn try_parse_foreach_header(&mut self) -> PResult<PResult<(Type, Name, Expr)>> {
         let save = self.pos;
         while self.eat_keyword(Keyword::Final) {}
         self.skip_annotations();
         let Ok(ty) = self.parse_type() else {
-            self.pos = save;
+            self.rewind(save);
             return Err(self.error("not a foreach"));
         };
         let Ok(name) = self.expect_ident() else {
-            self.pos = save;
+            self.rewind(save);
             return Err(self.error("not a foreach"));
         };
         if !self.eat_punct(Punct::Colon) {
-            self.pos = save;
+            self.rewind(save);
             return Err(self.error("not a foreach"));
         }
         let iterable = match self.parse_expr() {
@@ -1141,9 +1207,10 @@ impl Parser {
                     break;
                 }
                 if let Some(decl) = self.try_parse_local_var_no_semi()? {
-                    resources.push(decl);
+                    resources.push(self.alloc_stmt(decl));
                 } else {
-                    resources.push(Stmt::Expr(self.parse_expr()?));
+                    let expr = self.parse_expr_id()?;
+                    resources.push(self.alloc_stmt(Stmt::Expr(expr)));
                 }
                 if !self.eat_punct(Punct::Semi) {
                     break;
@@ -1182,7 +1249,7 @@ impl Parser {
     fn parse_switch(&mut self) -> PResult<Stmt> {
         self.expect_keyword(Keyword::Switch)?;
         self.expect_punct(Punct::LParen)?;
-        let scrutinee = self.parse_expr()?;
+        let scrutinee = self.parse_expr_id()?;
         self.expect_punct(Punct::RParen)?;
         self.expect_punct(Punct::LBrace)?;
         let mut cases: Vec<SwitchCase> = Vec::new();
@@ -1199,16 +1266,16 @@ impl Parser {
             }
             if self.check_keyword(Keyword::Case) {
                 self.bump();
-                let mut labels = vec![self.parse_expr()?];
+                let mut labels = vec![self.parse_expr_id()?];
                 while self.eat_punct(Punct::Comma) {
-                    labels.push(self.parse_expr()?);
+                    labels.push(self.parse_expr_id()?);
                 }
                 if let Some(c) = current.take() {
                     cases.push(c);
                 }
                 // Arrow switch arms `case X -> stmt`.
                 if self.eat_punct(Punct::Arrow) {
-                    let body = vec![self.parse_stmt()?];
+                    let body = vec![self.parse_stmt_id()?];
                     cases.push(SwitchCase { labels, body });
                     continue;
                 }
@@ -1225,7 +1292,7 @@ impl Parser {
                     cases.push(c);
                 }
                 if self.eat_punct(Punct::Arrow) {
-                    let body = vec![self.parse_stmt()?];
+                    let body = vec![self.parse_stmt_id()?];
                     cases.push(SwitchCase {
                         labels: Vec::new(),
                         body,
@@ -1239,7 +1306,7 @@ impl Parser {
                 });
                 continue;
             }
-            let stmt = self.parse_stmt()?;
+            let stmt = self.parse_stmt_id()?;
             match current.as_mut() {
                 Some(c) => c.body.push(stmt),
                 None => {
@@ -1262,28 +1329,56 @@ impl Parser {
         match self.try_parse_local_var_no_semi()? {
             Some(stmt) if self.eat_punct(Punct::Semi) => Ok(Some(stmt)),
             _ => {
-                self.pos = save;
+                self.rewind(save);
                 Ok(None)
             }
         }
     }
 
+    /// With the cursor on an identifier, decides from raw tokens
+    /// whether the stream can still begin `Type name ...`. Scans the
+    /// dotted-name chain and answers `false` for shapes like
+    /// `recv.method(` or `x = ...` — the common expression statements —
+    /// so [`Parser::try_parse_local_var_no_semi`] can bail before
+    /// speculatively building (and rewinding) a type. Returns `true`
+    /// for anything involving generics or brackets; the real type
+    /// parser stays the arbiter there.
+    fn ident_decl_lookahead(&self) -> bool {
+        let mut k = 1;
+        loop {
+            match self.peek_at(k) {
+                Token::Punct(Punct::Dot) => {
+                    if matches!(self.peek_at(k + 1), Token::Ident(_)) {
+                        k += 2;
+                    } else {
+                        return false;
+                    }
+                }
+                Token::Ident(_) | Token::Punct(Punct::Lt | Punct::LBracket) => return true,
+                _ => return false,
+            }
+        }
+    }
+
     fn try_parse_local_var_no_semi(&mut self) -> PResult<Option<Stmt>> {
+        if matches!(self.peek(), Token::Ident(_)) && !self.ident_decl_lookahead() {
+            return Ok(None);
+        }
         let save = self.pos;
         while self.eat_keyword(Keyword::Final) {
             self.skip_annotations();
         }
         self.skip_annotations();
         let Ok(ty) = self.parse_type() else {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         };
         if matches!(ty, Type::Primitive(PrimitiveType::Void)) {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         }
         let Token::Ident(_) = self.peek() else {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         };
         // Ensure this looks like a declarator and not e.g. `a b` garbage:
@@ -1292,7 +1387,7 @@ impl Parser {
         match self.peek_at(1) {
             Token::Punct(Punct::Assign | Punct::Comma | Punct::Semi | Punct::LBracket) => {}
             _ => {
-                self.pos = save;
+                self.rewind(save);
                 return Ok(None);
             }
         }
@@ -1300,20 +1395,20 @@ impl Parser {
         let declarators = match self.parse_declarators(name) {
             Ok(d) => d,
             Err(_) => {
-                self.pos = save;
+                self.rewind(save);
                 return Ok(None);
             }
         };
         Ok(Some(Stmt::LocalVar { ty, declarators }))
     }
 
-    fn parse_declarators(&mut self, first_name: String) -> PResult<Vec<Declarator>> {
+    fn parse_declarators(&mut self, first_name: Name) -> PResult<Vec<Declarator>> {
         let mut declarators = Vec::new();
         let mut name = first_name;
         loop {
             let mut extra_dims = 0;
             while self.check_punct(Punct::LBracket)
-                && *self.peek_at(1) == Token::Punct(Punct::RBracket)
+                && self.peek_at(1) == Token::Punct(Punct::RBracket)
             {
                 self.bump();
                 self.bump();
@@ -1321,9 +1416,10 @@ impl Parser {
             }
             let init = if self.eat_punct(Punct::Assign) {
                 if self.check_punct(Punct::LBrace) {
-                    Some(Expr::ArrayInit(self.parse_array_init()?))
+                    let elems = self.parse_array_init()?;
+                    Some(self.alloc_expr(Expr::ArrayInit(elems)))
                 } else {
-                    Some(self.parse_expr()?)
+                    Some(self.parse_expr_id()?)
                 }
             } else {
                 None
@@ -1340,12 +1436,12 @@ impl Parser {
         }
     }
 
-    fn parse_array_init(&mut self) -> PResult<Vec<Expr>> {
+    fn parse_array_init(&mut self) -> PResult<Vec<ExprId>> {
         // `{{{{...}}}}` nests without passing through `parse_expr`.
         self.nested(|p| p.parse_array_init_inner())
     }
 
-    fn parse_array_init_inner(&mut self) -> PResult<Vec<Expr>> {
+    fn parse_array_init_inner(&mut self) -> PResult<Vec<ExprId>> {
         self.expect_punct(Punct::LBrace)?;
         let mut elems = Vec::new();
         loop {
@@ -1353,9 +1449,10 @@ impl Parser {
                 return Ok(elems);
             }
             if self.check_punct(Punct::LBrace) {
-                elems.push(Expr::ArrayInit(self.parse_array_init()?));
+                let inner = self.parse_array_init()?;
+                elems.push(self.alloc_expr(Expr::ArrayInit(inner)));
             } else {
-                elems.push(self.parse_expr()?);
+                elems.push(self.parse_expr_id()?);
             }
             if !self.eat_punct(Punct::Comma) {
                 self.expect_punct(Punct::RBrace)?;
@@ -1368,12 +1465,9 @@ impl Parser {
     // Expressions
     // ------------------------------------------------------------------
 
-    /// Parses an expression.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the cursor is not at an expression.
-    pub fn parse_expr(&mut self) -> PResult<Expr> {
+    /// Parses an expression, returning it by value; the caller
+    /// allocates it into the arena where an id is needed.
+    fn parse_expr(&mut self) -> PResult<Expr> {
         self.nested(|p| p.parse_assignment())
     }
 
@@ -1400,11 +1494,9 @@ impl Parser {
             // `parse_expr`; count it against the nesting budget.
             self.nested(|p| p.parse_assignment())?
         };
-        Ok(Expr::Assign {
-            lhs: Box::new(lhs),
-            op,
-            rhs: Box::new(rhs),
-        })
+        let lhs = self.alloc_expr(lhs);
+        let rhs = self.alloc_expr(rhs);
+        Ok(Expr::Assign { lhs, op, rhs })
     }
 
     fn parse_conditional(&mut self) -> PResult<Expr> {
@@ -1414,11 +1506,10 @@ impl Parser {
             self.expect_punct(Punct::Colon)?;
             // `a ? b : c ? d : ...` chains recurse directly.
             let alt = self.nested(|p| p.parse_conditional())?;
-            Ok(Expr::Conditional {
-                cond: Box::new(cond),
-                then: Box::new(then),
-                alt: Box::new(alt),
-            })
+            let cond = self.alloc_expr(cond);
+            let then = self.alloc_expr(then);
+            let alt = self.alloc_expr(alt);
+            Ok(Expr::Conditional { cond, then, alt })
         } else {
             Ok(cond)
         }
@@ -1442,7 +1533,7 @@ impl Parser {
                 if self.gt_adjacent() {
                     // `>>` or `>>>`
                     let third_adjacent = {
-                        if *self.peek_at(2) == Token::Punct(Punct::Gt) {
+                        if self.peek_at(2) == Token::Punct(Punct::Gt) {
                             let b = self.tokens[self.pos + 1].span;
                             let c = self.tokens[self.pos + 2].span;
                             b.end == c.start
@@ -1480,10 +1571,8 @@ impl Parser {
                 if let Token::Ident(_) = self.peek() {
                     self.bump();
                 }
-                lhs = Expr::InstanceOf {
-                    expr: Box::new(lhs),
-                    ty,
-                };
+                let expr = self.alloc_expr(lhs);
+                lhs = Expr::InstanceOf { expr, ty };
                 continue;
             }
             let Some((op, prec, ntok)) = self.binop_at_cursor() else {
@@ -1496,10 +1585,12 @@ impl Parser {
                 self.bump();
             }
             let rhs = self.parse_binary(prec + 1)?;
+            let lhs_id = self.alloc_expr(lhs);
+            let rhs_id = self.alloc_expr(rhs);
             lhs = Expr::Binary {
                 op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+                lhs: lhs_id,
+                rhs: rhs_id,
             };
         }
     }
@@ -1529,10 +1620,8 @@ impl Parser {
                     return Ok(Expr::Literal(Lit::Float(-v)));
                 }
             }
-            return Ok(Expr::Unary {
-                op,
-                expr: Box::new(expr),
-            });
+            let expr = self.alloc_expr(expr);
+            return Ok(Expr::Unary { op, expr });
         }
 
         // Cast?
@@ -1548,18 +1637,18 @@ impl Parser {
         let save = self.pos;
         self.bump(); // (
         let Ok(ty) = self.parse_type() else {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         };
         // `& AdditionalBound` in casts.
         while self.eat_punct(Punct::Amp) {
             if self.parse_type().is_err() {
-                self.pos = save;
+                self.rewind(save);
                 return Ok(None);
             }
         }
         if !self.eat_punct(Punct::RParen) {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         }
         let is_primitive_or_array = matches!(ty, Type::Primitive(_) | Type::Array(_));
@@ -1568,7 +1657,7 @@ impl Parser {
             | Token::IntLit(..)
             | Token::FloatLit(_)
             | Token::CharLit(_)
-            | Token::StrLit(_)
+            | Token::StrLit { .. }
             | Token::BoolLit(_)
             | Token::Null
             | Token::Keyword(Keyword::New | Keyword::This | Keyword::Super)
@@ -1577,42 +1666,46 @@ impl Parser {
             _ => false,
         };
         if !castable_follows {
-            self.pos = save;
+            self.rewind(save);
             return Ok(None);
         }
         // `(A)(A)(A)...x` cast chains recurse via `parse_unary`.
         let expr = self.nested(|p| p.parse_unary())?;
-        Ok(Some(Expr::Cast {
-            ty,
-            expr: Box::new(expr),
-        }))
+        let expr = self.alloc_expr(expr);
+        Ok(Some(Expr::Cast { ty, expr }))
     }
 
     fn parse_postfix(&mut self) -> PResult<Expr> {
         let mut expr = self.parse_primary()?;
         loop {
-            match self.peek().clone() {
+            match self.peek() {
                 Token::Punct(Punct::Dot) => {
                     self.bump();
-                    match self.peek().clone() {
+                    match self.peek() {
                         Token::Ident(name) => {
                             self.bump();
                             // Generic method call `obj.<T>m(...)`.
                             if self.check_punct(Punct::LParen) {
                                 self.bump();
                                 let args = self.parse_args()?;
+                                let target = self.alloc_expr(expr);
                                 expr = Expr::MethodCall {
-                                    target: Some(Box::new(expr)),
-                                    name,
+                                    target: Some(target),
+                                    name: intern(name),
                                     args,
                                 };
-                            } else if let Expr::Name(mut segs) = expr {
-                                segs.push(name);
-                                expr = Expr::Name(segs);
+                            } else if let Expr::Name(dotted) = expr {
+                                let start = self.name_buf.len();
+                                self.name_buf.push_str(&dotted);
+                                self.name_buf.push('.');
+                                self.name_buf.push_str(name);
+                                expr = Expr::Name(intern(&self.name_buf[start..]));
+                                self.name_buf.truncate(start);
                             } else {
+                                let target = self.alloc_expr(expr);
                                 expr = Expr::FieldAccess {
-                                    target: Box::new(expr),
-                                    name,
+                                    target,
+                                    name: intern(name),
                                 };
                             }
                         }
@@ -1622,8 +1715,9 @@ impl Parser {
                             let name = self.expect_ident()?;
                             self.expect_punct(Punct::LParen)?;
                             let args = self.parse_args()?;
+                            let target = self.alloc_expr(expr);
                             expr = Expr::MethodCall {
-                                target: Some(Box::new(expr)),
+                                target: Some(target),
                                 name,
                                 args,
                             };
@@ -1631,7 +1725,7 @@ impl Parser {
                         Token::Keyword(Keyword::Class) => {
                             self.bump();
                             let ty = match &expr {
-                                Expr::Name(segs) => Type::named(segs.join(".")),
+                                Expr::Name(dotted) => Type::named(dotted.clone()),
                                 _ => Type::Unknown,
                             };
                             expr = Expr::ClassLiteral(ty);
@@ -1662,23 +1756,24 @@ impl Parser {
                     self.bump();
                     let index = self.parse_expr()?;
                     self.expect_punct(Punct::RBracket)?;
-                    expr = Expr::ArrayAccess {
-                        array: Box::new(expr),
-                        index: Box::new(index),
-                    };
+                    let array = self.alloc_expr(expr);
+                    let index = self.alloc_expr(index);
+                    expr = Expr::ArrayAccess { array, index };
                 }
                 Token::Punct(Punct::Inc) => {
                     self.bump();
+                    let inner = self.alloc_expr(expr);
                     expr = Expr::Unary {
                         op: UnOp::PostInc,
-                        expr: Box::new(expr),
+                        expr: inner,
                     };
                 }
                 Token::Punct(Punct::Dec) => {
                     self.bump();
+                    let inner = self.alloc_expr(expr);
                     expr = Expr::Unary {
                         op: UnOp::PostDec,
-                        expr: Box::new(expr),
+                        expr: inner,
                     };
                 }
                 Token::Punct(Punct::ColonColon) => {
@@ -1695,14 +1790,14 @@ impl Parser {
         }
     }
 
-    fn parse_args(&mut self) -> PResult<Vec<Expr>> {
+    fn parse_args(&mut self) -> PResult<Vec<ExprId>> {
         // `(` already consumed.
         let mut args = Vec::new();
         if self.eat_punct(Punct::RParen) {
             return Ok(args);
         }
         loop {
-            args.push(self.parse_expr()?);
+            args.push(self.parse_expr_id()?);
             if self.eat_punct(Punct::Comma) {
                 continue;
             }
@@ -1723,7 +1818,7 @@ impl Parser {
                 if self.eat_punct(Punct::RBracket) {
                     _empty_dims += 1;
                 } else {
-                    dims.push(self.parse_expr()?);
+                    dims.push(self.parse_expr_id()?);
                     self.expect_punct(Punct::RBracket)?;
                 }
             }
@@ -1782,7 +1877,7 @@ impl Parser {
                 Token::Punct(Punct::RParen) => {
                     depth -= 1;
                     if depth == 0 {
-                        return *self.peek_at(k + 1) == Token::Punct(Punct::Arrow);
+                        return self.peek_at(k + 1) == Token::Punct(Punct::Arrow);
                     }
                 }
                 Token::Eof => return false,
@@ -1804,7 +1899,7 @@ impl Parser {
     }
 
     fn parse_primary(&mut self) -> PResult<Expr> {
-        match self.peek().clone() {
+        match self.peek() {
             Token::IntLit(v, _) => {
                 self.bump();
                 Ok(Expr::Literal(Lit::Int(v)))
@@ -1817,9 +1912,13 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Literal(Lit::Char(c)))
             }
-            Token::StrLit(s) => {
+            Token::StrLit { raw, escaped } => {
                 self.bump();
-                Ok(Expr::Literal(Lit::Str(s)))
+                Ok(Expr::Literal(Lit::Str(if escaped {
+                    intern_owned(Token::cook_str(raw, escaped))
+                } else {
+                    intern(raw)
+                })))
             }
             Token::BoolLit(b) => {
                 self.bump();
@@ -1887,7 +1986,7 @@ impl Parser {
                 Ok(inner)
             }
             Token::Ident(name) => {
-                if *self.peek_at(1) == Token::Punct(Punct::Arrow) {
+                if self.peek_at(1) == Token::Punct(Punct::Arrow) {
                     // `x -> ...`
                     self.bump();
                     return self.parse_lambda_after_head();
@@ -1897,11 +1996,11 @@ impl Parser {
                     let args = self.parse_args()?;
                     return Ok(Expr::MethodCall {
                         target: None,
-                        name,
+                        name: intern(name),
                         args,
                     });
                 }
-                Ok(Expr::Name(vec![name]))
+                Ok(Expr::Name(intern(name)))
             }
             other => Err(self.error(format!("expected expression, found `{other}`"))),
         }
@@ -1926,6 +2025,11 @@ mod tests {
             .expect("no body")
     }
 
+    /// Resolves a declarator's initializer through the unit's arena.
+    fn init_expr<'a>(unit: &'a CompilationUnit, d: &Declarator) -> &'a Expr {
+        unit.ast.expr(d.init.expect("no initializer"))
+    }
+
     #[test]
     fn parses_package_and_imports() {
         let unit = parse(
@@ -1936,10 +2040,10 @@ mod tests {
         );
         assert_eq!(unit.package.as_deref(), Some("com.example.app"));
         assert_eq!(unit.imports.len(), 2);
-        assert_eq!(unit.imports[0].path, "javax.crypto.Cipher");
+        assert_eq!(&*unit.imports[0].path, "javax.crypto.Cipher");
         assert!(unit.imports[1].is_static);
         assert!(unit.imports[1].on_demand);
-        assert_eq!(unit.imports[1].path, "org.junit.Assert");
+        assert_eq!(&*unit.imports[1].path, "org.junit.Assert");
     }
 
     #[test]
@@ -1957,7 +2061,7 @@ mod tests {
             "#,
         );
         let class = &unit.types[0];
-        assert_eq!(class.name, "AESCipher");
+        assert_eq!(&*class.name, "AESCipher");
         assert_eq!(class.fields().count(), 2);
         let methods: Vec<_> = class.methods().collect();
         assert_eq!(methods.len(), 2);
@@ -1973,7 +2077,7 @@ mod tests {
         let Type::Named { name, args } = &field.ty else {
             panic!("expected named type")
         };
-        assert_eq!(name, "java.util.Map");
+        assert_eq!(&**name, "java.util.Map");
         assert_eq!(args.len(), 2);
     }
 
@@ -1991,26 +2095,29 @@ mod tests {
         );
         let body = first_method_body(&unit);
         assert_eq!(body.stmts.len(), 2);
-        let Stmt::LocalVar { ty, declarators } = &body.stmts[0] else {
+        let Stmt::LocalVar { ty, declarators } = unit.ast.stmt(body.stmts[0]) else {
             panic!("expected local var")
         };
         assert_eq!(ty.display_name(), "Cipher");
-        let Some(Expr::MethodCall { target, name, args }) = &declarators[0].init else {
+        let Expr::MethodCall { target, name, args } = init_expr(&unit, &declarators[0]) else {
             panic!("expected call initializer")
         };
-        assert_eq!(name, "getInstance");
+        assert_eq!(&**name, "getInstance");
         assert_eq!(args.len(), 1);
         assert_eq!(
-            target.as_deref(),
-            Some(&Expr::Name(vec!["Cipher".to_owned()]))
+            target.map(|t| unit.ast.expr(t)),
+            Some(&Expr::Name("Cipher".into()))
         );
-        let Stmt::Expr(Expr::MethodCall { name, args, .. }) = &body.stmts[1] else {
+        let Stmt::Expr(call) = unit.ast.stmt(body.stmts[1]) else {
+            panic!("expected expr stmt")
+        };
+        let Expr::MethodCall { name, args, .. } = unit.ast.expr(*call) else {
             panic!("expected call stmt")
         };
-        assert_eq!(name, "init");
+        assert_eq!(&**name, "init");
         assert_eq!(
-            args[0],
-            Expr::Name(vec!["Cipher".into(), "ENCRYPT_MODE".into()])
+            unit.ast.expr(args[0]),
+            &Expr::Name("Cipher.ENCRYPT_MODE".into())
         );
     }
 
@@ -2029,12 +2136,12 @@ mod tests {
         );
         let body = first_method_body(&unit);
         assert_eq!(body.stmts.len(), 3);
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[1] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[1]) else {
             panic!()
         };
-        let Some(Expr::NewArray {
+        let Expr::NewArray {
             init: Some(elems), ..
-        }) = &declarators[0].init
+        } = init_expr(&unit, &declarators[0])
         else {
             panic!("expected array literal")
         };
@@ -2085,15 +2192,21 @@ mod tests {
             "#,
         );
         let body = first_method_body(&unit);
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[0]) else {
             panic!()
         };
-        assert!(matches!(declarators[0].init, Some(Expr::Cast { .. })));
+        assert!(matches!(
+            init_expr(&unit, &declarators[0]),
+            Expr::Cast { .. }
+        ));
         // `(foo) - 1` must parse as subtraction, not a cast of -1.
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[4] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[4]) else {
             panic!()
         };
-        assert!(matches!(declarators[0].init, Some(Expr::Binary { .. })));
+        assert!(matches!(
+            init_expr(&unit, &declarators[0]),
+            Expr::Binary { .. }
+        ));
     }
 
     #[test]
@@ -2131,22 +2244,22 @@ mod tests {
         );
         assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
         let body = first_method_body(&unit);
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[1] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[1]) else {
             panic!()
         };
         assert!(matches!(
-            declarators[0].init,
-            Some(Expr::Binary { op: BinOp::Shr, .. })
+            init_expr(&unit, &declarators[0]),
+            Expr::Binary { op: BinOp::Shr, .. }
         ));
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[2] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[2]) else {
             panic!()
         };
         assert!(matches!(
-            declarators[0].init,
-            Some(Expr::Binary {
+            init_expr(&unit, &declarators[0]),
+            Expr::Binary {
                 op: BinOp::UShr,
                 ..
-            })
+            }
         ));
     }
 
@@ -2162,8 +2275,8 @@ mod tests {
             "#,
         );
         let names: Vec<_> = unit.types[0].methods().map(|m| m.name.clone()).collect();
-        assert!(names.contains(&"good1".to_owned()));
-        assert!(names.contains(&"good2".to_owned()));
+        assert!(names.contains(&Name::from("good1")));
+        assert!(names.contains(&Name::from("good2")));
         assert!(!unit.diagnostics.is_empty());
     }
 
@@ -2179,7 +2292,7 @@ mod tests {
         );
         let decl = &unit.types[0];
         assert_eq!(decl.kind, TypeKind::Enum);
-        assert_eq!(decl.enum_constants, vec!["ECB", "CBC", "GCM"]);
+        assert_eq!(decl.enum_constants, ["ECB", "CBC", "GCM"].map(Name::from));
         assert_eq!(decl.methods().count(), 1);
     }
 
@@ -2203,15 +2316,15 @@ mod tests {
             .body
             .as_ref()
             .unwrap();
-        let Stmt::LocalVar { declarators, .. } = &body.stmts[0] else {
+        let Stmt::LocalVar { declarators, .. } = unit.ast.stmt(body.stmts[0]) else {
             panic!()
         };
         assert!(matches!(
-            declarators[0].init,
-            Some(Expr::New {
+            init_expr(&unit, &declarators[0]),
+            Expr::New {
                 anon_body: true,
                 ..
-            })
+            }
         ));
     }
 
@@ -2243,7 +2356,10 @@ mod tests {
     fn negative_literal_folds() {
         let unit = parse("class A { int x = -42; }");
         let f = unit.types[0].fields().next().unwrap();
-        assert_eq!(f.declarators[0].init, Some(Expr::Literal(Lit::Int(-42))));
+        assert_eq!(
+            init_expr(&unit, &f.declarators[0]),
+            &Expr::Literal(Lit::Int(-42))
+        );
     }
 
     #[test]

@@ -8,18 +8,22 @@ use std::fmt::Write as _;
 
 /// Renders a compilation unit back to Java source.
 pub fn pretty_print(unit: &CompilationUnit) -> String {
-    let mut p = Printer::default();
+    let mut p = Printer {
+        ast: &unit.ast,
+        out: String::new(),
+        indent: 0,
+    };
     p.unit(unit);
     p.out
 }
 
-#[derive(Default)]
-struct Printer {
+struct Printer<'a> {
+    ast: &'a Ast,
     out: String,
     indent: usize,
 }
 
-impl Printer {
+impl Printer<'_> {
     fn line(&mut self, text: &str) {
         for _ in 0..self.indent {
             self.out.push_str("    ");
@@ -98,7 +102,11 @@ impl Printer {
     fn member(&mut self, m: &Member) {
         match m {
             Member::Field(f) => {
-                let decls: Vec<_> = f.declarators.iter().map(declarator_str).collect();
+                let decls: Vec<_> = f
+                    .declarators
+                    .iter()
+                    .map(|d| declarator_str(self.ast, d))
+                    .collect();
                 self.line(&format!(
                     "{}{} {};",
                     Self::modifiers(&f.modifiers),
@@ -111,7 +119,7 @@ impl Printer {
                 self.line(if *is_static { "static {" } else { "{" });
                 self.indent += 1;
                 for s in &body.stmts {
-                    self.stmt(s);
+                    self.stmt(&self.ast[*s]);
                 }
                 self.indent -= 1;
                 self.line("}");
@@ -152,7 +160,7 @@ impl Printer {
                 self.line(&header);
                 self.indent += 1;
                 for s in &body.stmts {
-                    self.stmt(s);
+                    self.stmt(&self.ast[*s]);
                 }
                 self.indent -= 1;
                 self.line("}");
@@ -163,12 +171,28 @@ impl Printer {
     fn block_inline(&mut self, b: &Block) {
         self.indent += 1;
         for s in &b.stmts {
-            self.stmt(s);
+            self.stmt(&self.ast[*s]);
         }
         self.indent -= 1;
     }
 
+    /// Renders a `for`-init / try-resource statement without its `;`.
+    fn header_stmt_str(&self, s: StmtId) -> String {
+        match &self.ast[s] {
+            Stmt::LocalVar { ty, declarators } => {
+                let decls: Vec<_> = declarators
+                    .iter()
+                    .map(|d| declarator_str(self.ast, d))
+                    .collect();
+                format!("{} {}", type_str(ty), decls.join(", "))
+            }
+            Stmt::Expr(e) => expr_str(self.ast, &self.ast[*e]),
+            _ => String::new(),
+        }
+    }
+
     fn stmt(&mut self, s: &Stmt) {
+        let ast = self.ast;
         match s {
             Stmt::Block(b) => {
                 self.line("{");
@@ -176,20 +200,20 @@ impl Printer {
                 self.line("}");
             }
             Stmt::LocalVar { ty, declarators } => {
-                let decls: Vec<_> = declarators.iter().map(declarator_str).collect();
+                let decls: Vec<_> = declarators.iter().map(|d| declarator_str(ast, d)).collect();
                 self.line(&format!("{} {};", type_str(ty), decls.join(", ")));
             }
-            Stmt::Expr(e) => self.line(&format!("{};", expr_str(e))),
+            Stmt::Expr(e) => self.line(&format!("{};", expr_str(ast, &ast[*e]))),
             Stmt::If { cond, then, alt } => {
-                self.line(&format!("if ({}) {{", expr_str(cond)));
+                self.line(&format!("if ({}) {{", expr_str(ast, &ast[*cond])));
                 self.indent += 1;
-                self.stmt_unwrapped(then);
+                self.stmt_unwrapped(&ast[*then]);
                 self.indent -= 1;
                 match alt {
                     Some(alt) => {
                         self.line("} else {");
                         self.indent += 1;
-                        self.stmt_unwrapped(alt);
+                        self.stmt_unwrapped(&ast[*alt]);
                         self.indent -= 1;
                         self.line("}");
                     }
@@ -197,18 +221,18 @@ impl Printer {
                 }
             }
             Stmt::While { cond, body } => {
-                self.line(&format!("while ({}) {{", expr_str(cond)));
+                self.line(&format!("while ({}) {{", expr_str(ast, &ast[*cond])));
                 self.indent += 1;
-                self.stmt_unwrapped(body);
+                self.stmt_unwrapped(&ast[*body]);
                 self.indent -= 1;
                 self.line("}");
             }
             Stmt::DoWhile { body, cond } => {
                 self.line("do {");
                 self.indent += 1;
-                self.stmt_unwrapped(body);
+                self.stmt_unwrapped(&ast[*body]);
                 self.indent -= 1;
-                self.line(&format!("}} while ({});", expr_str(cond)));
+                self.line(&format!("}} while ({});", expr_str(ast, &ast[*cond])));
             }
             Stmt::For {
                 init,
@@ -216,19 +240,9 @@ impl Printer {
                 update,
                 body,
             } => {
-                let init_s: Vec<_> = init
-                    .iter()
-                    .map(|s| match s {
-                        Stmt::LocalVar { ty, declarators } => {
-                            let decls: Vec<_> = declarators.iter().map(declarator_str).collect();
-                            format!("{} {}", type_str(ty), decls.join(", "))
-                        }
-                        Stmt::Expr(e) => expr_str(e),
-                        _ => String::new(),
-                    })
-                    .collect();
-                let cond_s = cond.as_ref().map(expr_str).unwrap_or_default();
-                let update_s: Vec<_> = update.iter().map(expr_str).collect();
+                let init_s: Vec<_> = init.iter().map(|s| self.header_stmt_str(*s)).collect();
+                let cond_s = cond.map(|c| expr_str(ast, &ast[c])).unwrap_or_default();
+                let update_s: Vec<_> = update.iter().map(|u| expr_str(ast, &ast[*u])).collect();
                 self.line(&format!(
                     "for ({}; {}; {}) {{",
                     init_s.join(", "),
@@ -236,7 +250,7 @@ impl Printer {
                     update_s.join(", ")
                 ));
                 self.indent += 1;
-                self.stmt_unwrapped(body);
+                self.stmt_unwrapped(&ast[*body]);
                 self.indent -= 1;
                 self.line("}");
             }
@@ -250,18 +264,18 @@ impl Printer {
                     "for ({} {} : {}) {{",
                     type_str(ty),
                     name,
-                    expr_str(iterable)
+                    expr_str(ast, &ast[*iterable])
                 ));
                 self.indent += 1;
-                self.stmt_unwrapped(body);
+                self.stmt_unwrapped(&ast[*body]);
                 self.indent -= 1;
                 self.line("}");
             }
             Stmt::Return(v) => match v {
-                Some(v) => self.line(&format!("return {};", expr_str(v))),
+                Some(v) => self.line(&format!("return {};", expr_str(ast, &ast[*v]))),
                 None => self.line("return;"),
             },
-            Stmt::Throw(v) => self.line(&format!("throw {};", expr_str(v))),
+            Stmt::Throw(v) => self.line(&format!("throw {};", expr_str(ast, &ast[*v]))),
             Stmt::Try {
                 resources,
                 block,
@@ -271,18 +285,7 @@ impl Printer {
                 if resources.is_empty() {
                     self.line("try {");
                 } else {
-                    let res: Vec<_> = resources
-                        .iter()
-                        .map(|s| match s {
-                            Stmt::LocalVar { ty, declarators } => {
-                                let decls: Vec<_> =
-                                    declarators.iter().map(declarator_str).collect();
-                                format!("{} {}", type_str(ty), decls.join(", "))
-                            }
-                            Stmt::Expr(e) => expr_str(e),
-                            _ => String::new(),
-                        })
-                        .collect();
+                    let res: Vec<_> = resources.iter().map(|s| self.header_stmt_str(*s)).collect();
                     self.line(&format!("try ({}) {{", res.join("; ")));
                 }
                 self.block_inline(block);
@@ -298,19 +301,19 @@ impl Printer {
                 self.line("}");
             }
             Stmt::Switch { scrutinee, cases } => {
-                self.line(&format!("switch ({}) {{", expr_str(scrutinee)));
+                self.line(&format!("switch ({}) {{", expr_str(ast, &ast[*scrutinee])));
                 self.indent += 1;
                 for case in cases {
                     if case.labels.is_empty() {
                         self.line("default:");
                     } else {
                         for l in &case.labels {
-                            self.line(&format!("case {}:", expr_str(l)));
+                            self.line(&format!("case {}:", expr_str(ast, &ast[*l])));
                         }
                     }
                     self.indent += 1;
                     for s in &case.body {
-                        self.stmt(s);
+                        self.stmt(&ast[*s]);
                     }
                     self.indent -= 1;
                 }
@@ -318,13 +321,16 @@ impl Printer {
                 self.line("}");
             }
             Stmt::Synchronized { monitor, body } => {
-                self.line(&format!("synchronized ({}) {{", expr_str(monitor)));
+                self.line(&format!(
+                    "synchronized ({}) {{",
+                    expr_str(ast, &ast[*monitor])
+                ));
                 self.block_inline(body);
                 self.line("}");
             }
             Stmt::Break => self.line("break;"),
             Stmt::Continue => self.line("continue;"),
-            Stmt::Assert(e) => self.line(&format!("assert {};", expr_str(e))),
+            Stmt::Assert(e) => self.line(&format!("assert {};", expr_str(ast, &ast[*e]))),
             Stmt::Empty => self.line(";"),
             Stmt::LocalType(t) => self.type_decl(t),
             Stmt::Unparsed => self.line("/* unparsed */;"),
@@ -337,7 +343,7 @@ impl Printer {
         match s {
             Stmt::Block(b) => {
                 for s in &b.stmts {
-                    self.stmt(s);
+                    self.stmt(&self.ast[*s]);
                 }
             }
             other => self.stmt(other),
@@ -345,10 +351,10 @@ impl Printer {
     }
 }
 
-fn declarator_str(d: &Declarator) -> String {
+fn declarator_str(ast: &Ast, d: &Declarator) -> String {
     let dims = "[]".repeat(d.extra_dims);
-    match &d.init {
-        Some(init) => format!("{}{dims} = {}", d.name, expr_str(init)),
+    match d.init {
+        Some(init) => format!("{}{dims} = {}", d.name, expr_str(ast, &ast[init])),
         None => format!("{}{dims}", d.name),
     }
 }
@@ -359,7 +365,7 @@ pub fn type_str(t: &Type) -> String {
         Type::Primitive(p) => p.as_str().to_owned(),
         Type::Named { name, args } => {
             if args.is_empty() {
-                name.clone()
+                name.to_string()
             } else {
                 let list: Vec<_> = args.iter().map(type_str).collect();
                 format!("{name}<{}>", list.join(", "))
@@ -397,8 +403,9 @@ fn escape_char(c: char) -> String {
     }
 }
 
-/// Renders an expression.
-pub fn expr_str(e: &Expr) -> String {
+/// Renders an expression; child nodes are resolved through `ast`.
+pub fn expr_str(ast: &Ast, e: &Expr) -> String {
+    let sub = |id: &ExprId| expr_str(ast, &ast[*id]);
     match e {
         Expr::Literal(l) => match l {
             Lit::Int(v) => v.to_string(),
@@ -414,14 +421,14 @@ pub fn expr_str(e: &Expr) -> String {
             Lit::Str(s) => format!("\"{}\"", escape_str(s)),
             Lit::Null => "null".to_owned(),
         },
-        Expr::Name(segs) => segs.join("."),
+        Expr::Name(dotted) => dotted.to_string(),
         Expr::FieldAccess { target, name } => {
-            format!("{}.{name}", expr_str(target))
+            format!("{}.{name}", sub(target))
         }
         Expr::MethodCall { target, name, args } => {
-            let args_s: Vec<_> = args.iter().map(expr_str).collect();
+            let args_s: Vec<_> = args.iter().map(sub).collect();
             match target {
-                Some(t) => format!("{}.{name}({})", expr_str(t), args_s.join(", ")),
+                Some(t) => format!("{}.{name}({})", sub(t), args_s.join(", ")),
                 None => format!("{name}({})", args_s.join(", ")),
             }
         }
@@ -430,26 +437,26 @@ pub fn expr_str(e: &Expr) -> String {
             args,
             anon_body,
         } => {
-            let args_s: Vec<_> = args.iter().map(expr_str).collect();
+            let args_s: Vec<_> = args.iter().map(sub).collect();
             let body = if *anon_body { " { }" } else { "" };
             format!("new {}({}){body}", type_str(ty), args_s.join(", "))
         }
         Expr::NewArray { ty, dims, init } => {
             let mut s = format!("new {}", type_str(ty));
             for d in dims {
-                let _ = write!(s, "[{}]", expr_str(d));
+                let _ = write!(s, "[{}]", sub(d));
             }
             if let Some(init) = init {
                 if dims.is_empty() {
                     s.push_str("[]");
                 }
-                let elems: Vec<_> = init.iter().map(expr_str).collect();
+                let elems: Vec<_> = init.iter().map(sub).collect();
                 let _ = write!(s, " {{ {} }}", elems.join(", "));
             }
             s
         }
         Expr::ArrayInit(elems) => {
-            let elems_s: Vec<_> = elems.iter().map(expr_str).collect();
+            let elems_s: Vec<_> = elems.iter().map(sub).collect();
             format!("{{ {} }}", elems_s.join(", "))
         }
         Expr::Assign { lhs, op, rhs } => {
@@ -467,7 +474,7 @@ pub fn expr_str(e: &Expr) -> String {
                 AssignOp::Shr => ">>=",
                 AssignOp::UShr => ">>>=",
             };
-            format!("{} {op_s} {}", expr_str(lhs), expr_str(rhs))
+            format!("{} {op_s} {}", sub(lhs), sub(rhs))
         }
         Expr::Binary { op, lhs, rhs } => {
             let op_s = match op {
@@ -491,30 +498,27 @@ pub fn expr_str(e: &Expr) -> String {
                 BinOp::Shr => ">>",
                 BinOp::UShr => ">>>",
             };
-            format!("({} {op_s} {})", expr_str(lhs), expr_str(rhs))
+            format!("({} {op_s} {})", sub(lhs), sub(rhs))
         }
         Expr::Unary { op, expr } => match op {
-            UnOp::Neg => format!("-{}", expr_str(expr)),
-            UnOp::Pos => format!("+{}", expr_str(expr)),
-            UnOp::Not => format!("!{}", expr_str(expr)),
-            UnOp::BitNot => format!("~{}", expr_str(expr)),
-            UnOp::PreInc => format!("++{}", expr_str(expr)),
-            UnOp::PreDec => format!("--{}", expr_str(expr)),
-            UnOp::PostInc => format!("{}++", expr_str(expr)),
-            UnOp::PostDec => format!("{}--", expr_str(expr)),
+            UnOp::Neg => format!("-{}", sub(expr)),
+            UnOp::Pos => format!("+{}", sub(expr)),
+            UnOp::Not => format!("!{}", sub(expr)),
+            UnOp::BitNot => format!("~{}", sub(expr)),
+            UnOp::PreInc => format!("++{}", sub(expr)),
+            UnOp::PreDec => format!("--{}", sub(expr)),
+            UnOp::PostInc => format!("{}++", sub(expr)),
+            UnOp::PostDec => format!("{}--", sub(expr)),
         },
-        Expr::Cast { ty, expr } => format!("({}) {}", type_str(ty), expr_str(expr)),
+        Expr::Cast { ty, expr } => format!("({}) {}", type_str(ty), sub(expr)),
         Expr::ArrayAccess { array, index } => {
-            format!("{}[{}]", expr_str(array), expr_str(index))
+            format!("{}[{}]", sub(array), sub(index))
         }
-        Expr::Conditional { cond, then, alt } => format!(
-            "({} ? {} : {})",
-            expr_str(cond),
-            expr_str(then),
-            expr_str(alt)
-        ),
+        Expr::Conditional { cond, then, alt } => {
+            format!("({} ? {} : {})", sub(cond), sub(then), sub(alt))
+        }
         Expr::InstanceOf { expr, ty } => {
-            format!("({} instanceof {})", expr_str(expr), type_str(ty))
+            format!("({} instanceof {})", sub(expr), type_str(ty))
         }
         Expr::This => "this".to_owned(),
         Expr::Super => "super".to_owned(),
@@ -555,16 +559,22 @@ mod tests {
 
     #[test]
     fn prints_escapes() {
-        assert_eq!(expr_str(&Expr::str_lit("a\"b\\c\n")), r#""a\"b\\c\n""#);
+        assert_eq!(
+            expr_str(&Ast::default(), &Expr::str_lit("a\"b\\c\n")),
+            r#""a\"b\\c\n""#
+        );
     }
 
     #[test]
     fn prints_array_literal() {
+        let mut ast = Ast::default();
+        let one = ast.alloc_expr(Expr::int_lit(1));
+        let two = ast.alloc_expr(Expr::int_lit(2));
         let e = Expr::NewArray {
             ty: Type::Primitive(PrimitiveType::Byte),
             dims: vec![],
-            init: Some(vec![Expr::int_lit(1), Expr::int_lit(2)]),
+            init: Some(vec![one, two]),
         };
-        assert_eq!(expr_str(&e), "new byte[] { 1, 2 }");
+        assert_eq!(expr_str(&ast, &e), "new byte[] { 1, 2 }");
     }
 }

@@ -301,11 +301,15 @@ impl fmt::Display for Punct {
     }
 }
 
-/// A lexed token.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Token {
-    /// An identifier (including contextual keywords such as `var`).
-    Ident(String),
+/// A lexed token. Zero-copy: identifier and string-literal tokens
+/// borrow slices of the source instead of owning a `String`, which
+/// makes `Token` (and [`SpannedToken`]) `Copy` — the parser inspects
+/// tokens freely without ever allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Token<'s> {
+    /// An identifier (including contextual keywords such as `var`),
+    /// as a slice of the source.
+    Ident(&'s str),
     /// A reserved keyword.
     Keyword(Keyword),
     /// Punctuation or an operator.
@@ -316,8 +320,17 @@ pub enum Token {
     FloatLit(f64),
     /// A character literal.
     CharLit(char),
-    /// A string literal with escapes resolved.
-    StrLit(String),
+    /// A string literal: the raw source slice between the quotes, plus
+    /// whether it contains escape sequences. The lexer *validates*
+    /// escapes while scanning (so malformed escapes still fail at lex
+    /// time) but resolves them only on demand via [`Token::cook_str`]
+    /// — unescaped literals (the overwhelming majority) never allocate.
+    StrLit {
+        /// The characters between the quotes, escapes unresolved.
+        raw: &'s str,
+        /// `true` when `raw` contains at least one backslash escape.
+        escaped: bool,
+    },
     /// `true` or `false`.
     BoolLit(bool),
     /// The `null` literal.
@@ -326,7 +339,58 @@ pub enum Token {
     Eof,
 }
 
-impl fmt::Display for Token {
+impl<'s> Token<'s> {
+    /// Resolves the escapes of a lexer-validated string-literal body.
+    /// Allocates only when the literal actually contains escapes.
+    pub fn cook_str(raw: &str, escaped: bool) -> String {
+        if !escaped {
+            return raw.to_owned();
+        }
+        unescape(raw)
+    }
+}
+
+/// Resolves the backslash escapes of a string-literal body the lexer
+/// has already validated. Mirrors the lexer's escape rules exactly:
+/// the named escapes, `\0`, `\uXXXX` with any number of `u`s (out of
+/// range maps to U+FFFD), and unknown escapes standing for themselves.
+fn unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        // The lexer guarantees every escape is well-formed.
+        let Some(e) = chars.next() else { break };
+        out.push(match e {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            'b' => '\u{8}',
+            'f' => '\u{c}',
+            '0' => '\0',
+            'u' => {
+                let mut rest = chars.clone();
+                while rest.clone().next() == Some('u') {
+                    rest.next();
+                }
+                let mut value: u32 = 0;
+                for _ in 0..4 {
+                    let d = rest.next().and_then(|d| d.to_digit(16)).unwrap_or(0);
+                    value = value * 16 + d;
+                }
+                chars = rest;
+                char::from_u32(value).unwrap_or('\u{fffd}')
+            }
+            other => other,
+        });
+    }
+    out
+}
+
+impl fmt::Display for Token<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Token::Ident(s) => f.write_str(s),
@@ -337,7 +401,9 @@ impl fmt::Display for Token {
             }
             Token::FloatLit(v) => write!(f, "{v}"),
             Token::CharLit(c) => write!(f, "'{c}'"),
-            Token::StrLit(s) => write!(f, "{s:?}"),
+            Token::StrLit { raw, escaped } => {
+                write!(f, "{:?}", Token::cook_str(raw, *escaped))
+            }
             Token::BoolLit(b) => write!(f, "{b}"),
             Token::Null => f.write_str("null"),
             Token::Eof => f.write_str("<eof>"),
@@ -346,10 +412,10 @@ impl fmt::Display for Token {
 }
 
 /// A token together with its source span.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SpannedToken {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpannedToken<'s> {
     /// The token itself.
-    pub token: Token,
+    pub token: Token<'s>,
     /// Where it came from.
     pub span: Span,
 }

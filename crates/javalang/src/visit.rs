@@ -1,105 +1,107 @@
 //! A read-only visitor over the AST.
 //!
 //! Override the hooks you care about; `walk_*` free functions provide
-//! the default traversal so overrides can recurse selectively.
+//! the default traversal so overrides can recurse selectively. Child
+//! expressions and statements live in the unit's [`Ast`] arena, so
+//! every hook receives the arena alongside the node.
 
 use crate::ast::*;
 
 /// A read-only AST visitor. All hooks default to plain traversal.
 pub trait Visitor {
     /// Called for every type declaration (including nested ones).
-    fn visit_type_decl(&mut self, decl: &TypeDecl) {
-        walk_type_decl(self, decl);
+    fn visit_type_decl(&mut self, ast: &Ast, decl: &TypeDecl) {
+        walk_type_decl(self, ast, decl);
     }
 
     /// Called for every method declaration.
-    fn visit_method(&mut self, method: &MethodDecl) {
-        walk_method(self, method);
+    fn visit_method(&mut self, ast: &Ast, method: &MethodDecl) {
+        walk_method(self, ast, method);
     }
 
     /// Called for every field declaration.
-    fn visit_field(&mut self, field: &FieldDecl) {
-        walk_field(self, field);
+    fn visit_field(&mut self, ast: &Ast, field: &FieldDecl) {
+        walk_field(self, ast, field);
     }
 
     /// Called for every statement.
-    fn visit_stmt(&mut self, stmt: &Stmt) {
-        walk_stmt(self, stmt);
+    fn visit_stmt(&mut self, ast: &Ast, stmt: &Stmt) {
+        walk_stmt(self, ast, stmt);
     }
 
     /// Called for every expression.
-    fn visit_expr(&mut self, expr: &Expr) {
-        walk_expr(self, expr);
+    fn visit_expr(&mut self, ast: &Ast, expr: &Expr) {
+        walk_expr(self, ast, expr);
     }
 }
 
 /// Visits every type in `unit`.
 pub fn walk_unit<V: Visitor + ?Sized>(v: &mut V, unit: &CompilationUnit) {
     for t in &unit.types {
-        v.visit_type_decl(t);
+        v.visit_type_decl(&unit.ast, t);
     }
 }
 
 /// Default traversal for a type declaration.
-pub fn walk_type_decl<V: Visitor + ?Sized>(v: &mut V, decl: &TypeDecl) {
+pub fn walk_type_decl<V: Visitor + ?Sized>(v: &mut V, ast: &Ast, decl: &TypeDecl) {
     for m in &decl.members {
         match m {
-            Member::Field(f) => v.visit_field(f),
-            Member::Method(m) => v.visit_method(m),
+            Member::Field(f) => v.visit_field(ast, f),
+            Member::Method(m) => v.visit_method(ast, m),
             Member::Initializer { body, .. } => {
                 for s in &body.stmts {
-                    v.visit_stmt(s);
+                    v.visit_stmt(ast, &ast[*s]);
                 }
             }
-            Member::Type(t) => v.visit_type_decl(t),
+            Member::Type(t) => v.visit_type_decl(ast, t),
         }
     }
 }
 
 /// Default traversal for a method.
-pub fn walk_method<V: Visitor + ?Sized>(v: &mut V, method: &MethodDecl) {
+pub fn walk_method<V: Visitor + ?Sized>(v: &mut V, ast: &Ast, method: &MethodDecl) {
     if let Some(body) = &method.body {
         for s in &body.stmts {
-            v.visit_stmt(s);
+            v.visit_stmt(ast, &ast[*s]);
         }
     }
 }
 
 /// Default traversal for a field.
-pub fn walk_field<V: Visitor + ?Sized>(v: &mut V, field: &FieldDecl) {
+pub fn walk_field<V: Visitor + ?Sized>(v: &mut V, ast: &Ast, field: &FieldDecl) {
     for d in &field.declarators {
-        if let Some(init) = &d.init {
-            v.visit_expr(init);
+        if let Some(init) = d.init {
+            v.visit_expr(ast, &ast[init]);
         }
     }
 }
 
 /// Default traversal for a statement.
-pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, ast: &Ast, stmt: &Stmt) {
     match stmt {
         Stmt::Block(b) => {
             for s in &b.stmts {
-                v.visit_stmt(s);
+                v.visit_stmt(ast, &ast[*s]);
             }
         }
         Stmt::LocalVar { declarators, .. } => {
             for d in declarators {
-                if let Some(init) = &d.init {
-                    v.visit_expr(init);
+                if let Some(init) = d.init {
+                    v.visit_expr(ast, &ast[init]);
                 }
             }
         }
-        Stmt::Expr(e) | Stmt::Throw(e) | Stmt::Assert(e) => v.visit_expr(e),
+        Stmt::Expr(e) | Stmt::Throw(e) | Stmt::Assert(e) => v.visit_expr(ast, &ast[*e]),
         Stmt::If { cond, then, alt } => {
-            v.visit_expr(cond);
-            v.visit_stmt(then);
+            v.visit_expr(ast, &ast[*cond]);
+            v.visit_stmt(ast, &ast[*then]);
             if let Some(alt) = alt {
-                v.visit_stmt(alt);
+                v.visit_stmt(ast, &ast[*alt]);
             }
         }
         Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
-            v.visit_expr(cond);
-            v.visit_stmt(body);
+            v.visit_expr(ast, &ast[*cond]);
+            v.visit_stmt(ast, &ast[*body]);
         }
         Stmt::For {
             init,
@@ -108,23 +110,23 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             body,
         } => {
             for s in init {
-                v.visit_stmt(s);
+                v.visit_stmt(ast, &ast[*s]);
             }
             if let Some(c) = cond {
-                v.visit_expr(c);
+                v.visit_expr(ast, &ast[*c]);
             }
             for u in update {
-                v.visit_expr(u);
+                v.visit_expr(ast, &ast[*u]);
             }
-            v.visit_stmt(body);
+            v.visit_stmt(ast, &ast[*body]);
         }
         Stmt::ForEach { iterable, body, .. } => {
-            v.visit_expr(iterable);
-            v.visit_stmt(body);
+            v.visit_expr(ast, &ast[*iterable]);
+            v.visit_stmt(ast, &ast[*body]);
         }
         Stmt::Return(value) => {
             if let Some(value) = value {
-                v.visit_expr(value);
+                v.visit_expr(ast, &ast[*value]);
             }
         }
         Stmt::Try {
@@ -134,95 +136,95 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
             finally,
         } => {
             for r in resources {
-                v.visit_stmt(r);
+                v.visit_stmt(ast, &ast[*r]);
             }
             for s in &block.stmts {
-                v.visit_stmt(s);
+                v.visit_stmt(ast, &ast[*s]);
             }
             for c in catches {
                 for s in &c.body.stmts {
-                    v.visit_stmt(s);
+                    v.visit_stmt(ast, &ast[*s]);
                 }
             }
             if let Some(f) = finally {
                 for s in &f.stmts {
-                    v.visit_stmt(s);
+                    v.visit_stmt(ast, &ast[*s]);
                 }
             }
         }
         Stmt::Switch { scrutinee, cases } => {
-            v.visit_expr(scrutinee);
+            v.visit_expr(ast, &ast[*scrutinee]);
             for c in cases {
                 for l in &c.labels {
-                    v.visit_expr(l);
+                    v.visit_expr(ast, &ast[*l]);
                 }
                 for s in &c.body {
-                    v.visit_stmt(s);
+                    v.visit_stmt(ast, &ast[*s]);
                 }
             }
         }
         Stmt::Synchronized { monitor, body } => {
-            v.visit_expr(monitor);
+            v.visit_expr(ast, &ast[*monitor]);
             for s in &body.stmts {
-                v.visit_stmt(s);
+                v.visit_stmt(ast, &ast[*s]);
             }
         }
-        Stmt::LocalType(t) => v.visit_type_decl(t),
+        Stmt::LocalType(t) => v.visit_type_decl(ast, t),
         Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Unparsed => {}
     }
 }
 
 /// Default traversal for an expression.
-pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, ast: &Ast, expr: &Expr) {
     match expr {
-        Expr::FieldAccess { target, .. } => v.visit_expr(target),
+        Expr::FieldAccess { target, .. } => v.visit_expr(ast, &ast[*target]),
         Expr::MethodCall { target, args, .. } => {
             if let Some(t) = target {
-                v.visit_expr(t);
+                v.visit_expr(ast, &ast[*t]);
             }
             for a in args {
-                v.visit_expr(a);
+                v.visit_expr(ast, &ast[*a]);
             }
         }
         Expr::New { args, .. } => {
             for a in args {
-                v.visit_expr(a);
+                v.visit_expr(ast, &ast[*a]);
             }
         }
         Expr::NewArray { dims, init, .. } => {
             for d in dims {
-                v.visit_expr(d);
+                v.visit_expr(ast, &ast[*d]);
             }
             if let Some(init) = init {
                 for e in init {
-                    v.visit_expr(e);
+                    v.visit_expr(ast, &ast[*e]);
                 }
             }
         }
         Expr::ArrayInit(elems) => {
             for e in elems {
-                v.visit_expr(e);
+                v.visit_expr(ast, &ast[*e]);
             }
         }
         Expr::Assign { lhs, rhs, .. } => {
-            v.visit_expr(lhs);
-            v.visit_expr(rhs);
+            v.visit_expr(ast, &ast[*lhs]);
+            v.visit_expr(ast, &ast[*rhs]);
         }
         Expr::Binary { lhs, rhs, .. } => {
-            v.visit_expr(lhs);
-            v.visit_expr(rhs);
+            v.visit_expr(ast, &ast[*lhs]);
+            v.visit_expr(ast, &ast[*rhs]);
         }
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => v.visit_expr(expr),
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => v.visit_expr(ast, &ast[*expr]),
         Expr::ArrayAccess { array, index } => {
-            v.visit_expr(array);
-            v.visit_expr(index);
+            v.visit_expr(ast, &ast[*array]);
+            v.visit_expr(ast, &ast[*index]);
         }
         Expr::Conditional { cond, then, alt } => {
-            v.visit_expr(cond);
-            v.visit_expr(then);
-            v.visit_expr(alt);
+            v.visit_expr(ast, &ast[*cond]);
+            v.visit_expr(ast, &ast[*then]);
+            v.visit_expr(ast, &ast[*alt]);
         }
-        Expr::InstanceOf { expr, .. } => v.visit_expr(expr),
+        Expr::InstanceOf { expr, .. } => v.visit_expr(ast, &ast[*expr]),
         Expr::Literal(_)
         | Expr::Name(_)
         | Expr::This
@@ -237,24 +239,25 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
 /// A node reference on the [`ast_depth`] worklist.
 enum Node<'a> {
     Type(&'a TypeDecl),
-    Stmt(&'a Stmt),
-    Expr(&'a Expr),
+    Stmt(StmtId),
+    Expr(ExprId),
 }
 
 /// The maximum nesting depth of `unit` across type declarations,
 /// statements, and expressions, computed **iteratively** (explicit
 /// worklist, no recursion) so it is safe to call on arbitrarily deep
-/// hand-built trees.
+/// trees.
 ///
 /// Parser-produced units are bounded by [`crate::limits::Limits::max_nesting`],
 /// but `analyze` and the visitors accept any [`CompilationUnit`]; this
 /// lets them reject pathological trees *before* recursing into them.
 pub fn ast_depth(unit: &CompilationUnit) -> usize {
+    let ast = &unit.ast;
     let mut max = 0usize;
     let mut work: Vec<(Node<'_>, usize)> = unit.types.iter().map(|t| (Node::Type(t), 1)).collect();
-    fn push_block<'a>(work: &mut Vec<(Node<'a>, usize)>, b: &'a Block, d: usize) {
+    fn push_block<'a>(work: &mut Vec<(Node<'a>, usize)>, b: &Block, d: usize) {
         for s in &b.stmts {
-            work.push((Node::Stmt(s), d));
+            work.push((Node::Stmt(*s), d));
         }
     }
     while let Some((node, d)) = work.pop() {
@@ -265,7 +268,7 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     match m {
                         Member::Field(f) => {
                             for decl in &f.declarators {
-                                if let Some(init) = &decl.init {
+                                if let Some(init) = decl.init {
                                     work.push((Node::Expr(init), d + 1));
                                 }
                             }
@@ -282,28 +285,28 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     }
                 }
             }
-            Node::Stmt(stmt) => match stmt {
+            Node::Stmt(stmt) => match &ast[stmt] {
                 Stmt::Block(b) => push_block(&mut work, b, d + 1),
                 Stmt::LocalVar { declarators, .. } => {
                     for decl in declarators {
-                        if let Some(init) = &decl.init {
+                        if let Some(init) = decl.init {
                             work.push((Node::Expr(init), d + 1));
                         }
                     }
                 }
                 Stmt::Expr(e) | Stmt::Throw(e) | Stmt::Assert(e) => {
-                    work.push((Node::Expr(e), d + 1));
+                    work.push((Node::Expr(*e), d + 1));
                 }
                 Stmt::If { cond, then, alt } => {
-                    work.push((Node::Expr(cond), d + 1));
-                    work.push((Node::Stmt(then), d + 1));
+                    work.push((Node::Expr(*cond), d + 1));
+                    work.push((Node::Stmt(*then), d + 1));
                     if let Some(alt) = alt {
-                        work.push((Node::Stmt(alt), d + 1));
+                        work.push((Node::Stmt(*alt), d + 1));
                     }
                 }
                 Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
-                    work.push((Node::Expr(cond), d + 1));
-                    work.push((Node::Stmt(body), d + 1));
+                    work.push((Node::Expr(*cond), d + 1));
+                    work.push((Node::Stmt(*body), d + 1));
                 }
                 Stmt::For {
                     init,
@@ -312,23 +315,23 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     body,
                 } => {
                     for s in init {
-                        work.push((Node::Stmt(s), d + 1));
+                        work.push((Node::Stmt(*s), d + 1));
                     }
                     if let Some(c) = cond {
-                        work.push((Node::Expr(c), d + 1));
+                        work.push((Node::Expr(*c), d + 1));
                     }
                     for u in update {
-                        work.push((Node::Expr(u), d + 1));
+                        work.push((Node::Expr(*u), d + 1));
                     }
-                    work.push((Node::Stmt(body), d + 1));
+                    work.push((Node::Stmt(*body), d + 1));
                 }
                 Stmt::ForEach { iterable, body, .. } => {
-                    work.push((Node::Expr(iterable), d + 1));
-                    work.push((Node::Stmt(body), d + 1));
+                    work.push((Node::Expr(*iterable), d + 1));
+                    work.push((Node::Stmt(*body), d + 1));
                 }
                 Stmt::Return(value) => {
                     if let Some(value) = value {
-                        work.push((Node::Expr(value), d + 1));
+                        work.push((Node::Expr(*value), d + 1));
                     }
                 }
                 Stmt::Try {
@@ -338,7 +341,7 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     finally,
                 } => {
                     for r in resources {
-                        work.push((Node::Stmt(r), d + 1));
+                        work.push((Node::Stmt(*r), d + 1));
                     }
                     push_block(&mut work, block, d + 1);
                     for c in catches {
@@ -349,72 +352,72 @@ pub fn ast_depth(unit: &CompilationUnit) -> usize {
                     }
                 }
                 Stmt::Switch { scrutinee, cases } => {
-                    work.push((Node::Expr(scrutinee), d + 1));
+                    work.push((Node::Expr(*scrutinee), d + 1));
                     for c in cases {
                         for l in &c.labels {
-                            work.push((Node::Expr(l), d + 1));
+                            work.push((Node::Expr(*l), d + 1));
                         }
                         for s in &c.body {
-                            work.push((Node::Stmt(s), d + 1));
+                            work.push((Node::Stmt(*s), d + 1));
                         }
                     }
                 }
                 Stmt::Synchronized { monitor, body } => {
-                    work.push((Node::Expr(monitor), d + 1));
+                    work.push((Node::Expr(*monitor), d + 1));
                     push_block(&mut work, body, d + 1);
                 }
                 Stmt::LocalType(t) => work.push((Node::Type(t), d + 1)),
                 Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Unparsed => {}
             },
-            Node::Expr(expr) => match expr {
+            Node::Expr(expr) => match &ast[expr] {
                 Expr::FieldAccess { target, .. } => {
-                    work.push((Node::Expr(target), d + 1));
+                    work.push((Node::Expr(*target), d + 1));
                 }
                 Expr::MethodCall { target, args, .. } => {
                     if let Some(t) = target {
-                        work.push((Node::Expr(t), d + 1));
+                        work.push((Node::Expr(*t), d + 1));
                     }
                     for a in args {
-                        work.push((Node::Expr(a), d + 1));
+                        work.push((Node::Expr(*a), d + 1));
                     }
                 }
                 Expr::New { args, .. } => {
                     for a in args {
-                        work.push((Node::Expr(a), d + 1));
+                        work.push((Node::Expr(*a), d + 1));
                     }
                 }
                 Expr::NewArray { dims, init, .. } => {
                     for dim in dims {
-                        work.push((Node::Expr(dim), d + 1));
+                        work.push((Node::Expr(*dim), d + 1));
                     }
                     if let Some(init) = init {
                         for e in init {
-                            work.push((Node::Expr(e), d + 1));
+                            work.push((Node::Expr(*e), d + 1));
                         }
                     }
                 }
                 Expr::ArrayInit(elems) => {
                     for e in elems {
-                        work.push((Node::Expr(e), d + 1));
+                        work.push((Node::Expr(*e), d + 1));
                     }
                 }
                 Expr::Assign { lhs, rhs, .. } | Expr::Binary { lhs, rhs, .. } => {
-                    work.push((Node::Expr(lhs), d + 1));
-                    work.push((Node::Expr(rhs), d + 1));
+                    work.push((Node::Expr(*lhs), d + 1));
+                    work.push((Node::Expr(*rhs), d + 1));
                 }
                 Expr::Unary { expr, .. }
                 | Expr::Cast { expr, .. }
                 | Expr::InstanceOf { expr, .. } => {
-                    work.push((Node::Expr(expr), d + 1));
+                    work.push((Node::Expr(*expr), d + 1));
                 }
                 Expr::ArrayAccess { array, index } => {
-                    work.push((Node::Expr(array), d + 1));
-                    work.push((Node::Expr(index), d + 1));
+                    work.push((Node::Expr(*array), d + 1));
+                    work.push((Node::Expr(*index), d + 1));
                 }
                 Expr::Conditional { cond, then, alt } => {
-                    work.push((Node::Expr(cond), d + 1));
-                    work.push((Node::Expr(then), d + 1));
-                    work.push((Node::Expr(alt), d + 1));
+                    work.push((Node::Expr(*cond), d + 1));
+                    work.push((Node::Expr(*then), d + 1));
+                    work.push((Node::Expr(*alt), d + 1));
                 }
                 Expr::Literal(_)
                 | Expr::Name(_)
@@ -441,11 +444,11 @@ mod tests {
     }
 
     impl Visitor for CallCounter {
-        fn visit_expr(&mut self, expr: &Expr) {
+        fn visit_expr(&mut self, ast: &Ast, expr: &Expr) {
             if let Expr::MethodCall { name, .. } = expr {
-                self.calls.push(name.clone());
+                self.calls.push(name.to_string());
             }
-            walk_expr(self, expr);
+            walk_expr(self, ast, expr);
         }
     }
 
@@ -481,16 +484,19 @@ mod tests {
 
     #[test]
     fn ast_depth_survives_pathological_trees() {
-        // A hand-built 100k-deep expression would overflow the stack in
-        // a recursive walker; the iterative depth must handle it.
-        let mut expr = Expr::int_lit(1);
+        // A 100k-deep expression would overflow the stack in a recursive
+        // walker; the iterative depth must handle it. The arena also
+        // makes dropping the unit non-recursive, so no leak is needed.
+        let mut ast = Ast::default();
+        let mut expr = ast.alloc_expr(Expr::int_lit(1));
         for _ in 0..100_000 {
-            expr = Expr::Unary {
+            expr = ast.alloc_expr(Expr::Unary {
                 op: UnOp::Neg,
-                expr: Box::new(expr),
-            };
+                expr,
+            });
         }
         let unit = CompilationUnit {
+            ast,
             types: vec![TypeDecl {
                 kind: TypeKind::Class,
                 modifiers: Modifiers::default(),
@@ -513,8 +519,5 @@ mod tests {
             ..CompilationUnit::default()
         };
         assert!(ast_depth(&unit) > 100_000);
-        // Dropping the tree would itself recurse 100k levels deep in
-        // drop glue; leak it instead (test-only, bounded).
-        std::mem::forget(unit);
     }
 }

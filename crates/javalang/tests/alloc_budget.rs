@@ -1,0 +1,100 @@
+//! Pins the front end's steady-state allocation behaviour.
+//!
+//! The arena AST + zero-copy lexer + interned names exist to keep a
+//! cold mine off the allocator; this test makes that property a hard
+//! invariant instead of a benchmark-only observation. A counting
+//! global allocator measures allocations for a warm parse (interner
+//! already populated) of a representative crypto-service file and
+//! fails if the count creeps past a small budget.
+//!
+//! The budget is a ceiling with headroom, not an exact pin: growing it
+//! slightly for a good reason is fine, but a regression back to
+//! per-node boxing or per-identifier `String`s (hundreds of
+//! allocations for this file) should fail loudly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct Counting;
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no further invariants.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+/// Shaped like the mining corpus' crypto-service files: package and
+/// import headers, a constants field, and one method whose body is a
+/// chain of crypto API calls.
+const SOURCE: &str = r#"package com.example.crypto;
+
+import javax.crypto.Cipher;
+import javax.crypto.spec.SecretKeySpec;
+import javax.crypto.spec.IvParameterSpec;
+import java.security.SecureRandom;
+
+public class CryptoService {
+    private static final String TRANSFORM = "AES/CBC/PKCS5Padding";
+
+    public byte[] encryptData(byte[] data, byte[] keyBytes) throws Exception {
+        SecretKeySpec keySpec = new SecretKeySpec(keyBytes, "AES");
+        byte[] ivBytes = new byte[16];
+        SecureRandom ivRandom = new SecureRandom();
+        ivRandom.nextBytes(ivBytes);
+        IvParameterSpec paramSpec = new IvParameterSpec(ivBytes);
+        Cipher enc = Cipher.getInstance(TRANSFORM);
+        enc.init(Cipher.ENCRYPT_MODE, keySpec, paramSpec);
+        return enc.doFinal(data);
+    }
+}
+"#;
+
+/// Steady-state allocation budget for one `parse_snippet` of `SOURCE`.
+///
+/// Current cost (measured): 1 token vector, the two arena vectors, a
+/// handful of per-list `Vec`s (imports, members, parameters, block
+/// statements, declarators, call arguments), and nothing per token,
+/// per identifier, or per AST node. Measured at 32 on x86-64; the
+/// budget leaves headroom for allocator-pattern differences between
+/// platforms, not for architectural regressions.
+const PARSE_ALLOC_BUDGET: usize = 48;
+
+// One test function on purpose: the allocation counter is global to
+// the process, so concurrently running tests in this binary would
+// count each other's allocations.
+#[test]
+fn warm_parse_stays_within_alloc_budget() {
+    // Warm up: populate the thread-local interner and any lazily
+    // initialised runtime state. Warm parses are the steady state of a
+    // mining run — the corpus repeats the same identifiers throughout.
+    for _ in 0..3 {
+        javalang::parse_snippet(SOURCE).expect("fixture parses");
+    }
+
+    const RUNS: usize = 16;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..RUNS {
+        let unit = javalang::parse_snippet(SOURCE).expect("fixture parses");
+        assert_eq!(unit.types.len(), 1);
+    }
+    let per_parse = (ALLOCS.load(Ordering::Relaxed) - before) / RUNS;
+
+    assert!(
+        per_parse <= PARSE_ALLOC_BUDGET,
+        "warm parse of the fixture made {per_parse} allocations, \
+         budget is {PARSE_ALLOC_BUDGET} — did a per-node or \
+         per-identifier allocation sneak back into the front end?"
+    );
+}

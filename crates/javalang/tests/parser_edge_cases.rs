@@ -20,7 +20,8 @@ fn hex_byte_arrays() {
         "class A { static final byte[] KEY = { (byte) 0xDE, (byte) 0xAD, 0x01, -1 }; }",
     );
     let field = unit.types[0].fields().next().unwrap();
-    let Some(Expr::ArrayInit(elems)) = &field.declarators[0].init else {
+    let init = field.declarators[0].init.expect("no initializer");
+    let Expr::ArrayInit(elems) = unit.ast.expr(init) else {
         panic!()
     };
     assert_eq!(elems.len(), 4);
@@ -60,9 +61,10 @@ fn conditional_with_generics_ambiguity() {
         .body
         .as_ref()
         .unwrap();
-    let Stmt::Return(Some(Expr::Conditional { .. })) = &body.stmts[0] else {
+    let Stmt::Return(Some(value)) = unit.ast.stmt(body.stmts[0]) else {
         panic!("{body:?}")
     };
+    assert!(matches!(unit.ast.expr(*value), Expr::Conditional { .. }));
 }
 
 #[test]
@@ -202,7 +204,7 @@ fn broken_expression_recovers_at_statement_level() {
         "#,
     );
     let names: Vec<_> = unit.types[0].methods().map(|m| m.name.clone()).collect();
-    assert!(names.contains(&"good".to_owned()));
+    assert!(names.iter().any(|n| &**n == "good"));
     assert!(!unit.diagnostics.is_empty());
 }
 
@@ -218,7 +220,7 @@ fn missing_semicolon_recovers() {
         "#,
     );
     // Recovery may merge the broken field, but the method must survive.
-    assert!(unit.types[0].methods().any(|m| m.name == "m"));
+    assert!(unit.types[0].methods().any(|m| &*m.name == "m"));
 }
 
 #[test]

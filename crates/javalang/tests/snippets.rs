@@ -7,7 +7,7 @@ use javalang::parse_snippet;
 #[test]
 fn full_unit_passes_through() {
     let unit = parse_snippet("package p; class A { void m() {} }").unwrap();
-    assert_eq!(unit.types[0].name, "A");
+    assert_eq!(&*unit.types[0].name, "A");
     assert_eq!(unit.package.as_deref(), Some("p"));
 }
 
@@ -23,10 +23,10 @@ fn bare_method_is_wrapped() {
         "#,
     )
     .unwrap();
-    assert_eq!(unit.types[0].name, "__Snippet__");
+    assert_eq!(&*unit.types[0].name, "__Snippet__");
     let methods: Vec<_> = unit.types[0].methods().collect();
     assert_eq!(methods.len(), 1);
-    assert_eq!(methods[0].name, "encrypt");
+    assert_eq!(&*methods[0].name, "encrypt");
     assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
 }
 
@@ -51,7 +51,10 @@ fn bare_statements_are_wrapped() {
     assert!(unit.diagnostics.is_empty(), "{:?}", unit.diagnostics);
     // The non-declaration statement must survive (not be dropped as a
     // broken member).
-    assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Expr(_))));
+    assert!(body
+        .stmts
+        .iter()
+        .any(|s| matches!(unit.ast.stmt(*s), Stmt::Expr(_))));
 }
 
 #[test]

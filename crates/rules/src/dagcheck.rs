@@ -43,11 +43,11 @@ pub fn label_to_avalue(label: &str) -> AValue {
         && label.chars().next().is_some_and(|c| c.is_ascii_uppercase())
     {
         return AValue::ApiConst {
-            class: "?".to_owned(),
-            name: label.to_owned(),
+            class: "?".into(),
+            name: label.into(),
         };
     }
-    AValue::Str(label.to_owned())
+    AValue::Str(label.into())
 }
 
 fn parse_arg_label(label: &str) -> Option<(usize, AValue)> {
@@ -106,7 +106,7 @@ fn formula_triggers(formula: &Formula, dag: &UsageDag) -> bool {
 /// `true` if the clause triggers on this object's DAG (the DAG root
 /// must be the clause's class).
 pub fn clause_triggers(clause: &ClassClause, dag: &UsageDag) -> bool {
-    dag.root_type == clause.class && formula_triggers(&clause.formula, dag)
+    *dag.root_type == clause.class && formula_triggers(&clause.formula, dag)
 }
 
 #[cfg(test)]

@@ -39,13 +39,13 @@ impl ArgConstraint {
         match self {
             ArgConstraint::Any => true,
             ArgConstraint::EqStr(s) => {
-                matches!(value, Some(AValue::Str(v)) if v == s)
+                matches!(value, Some(AValue::Str(v)) if &**v == s.as_str())
             }
             ArgConstraint::InStrs(set) => {
-                matches!(value, Some(AValue::Str(v)) if set.contains(v))
+                matches!(value, Some(AValue::Str(v)) if set.iter().any(|x| x == &**v))
             }
             ArgConstraint::NotInStrs(set) => match value {
-                Some(AValue::Str(v)) => !set.contains(v),
+                Some(AValue::Str(v)) => !set.iter().any(|x| x == &**v),
                 // Missing or non-constant argument: not one of the
                 // required constants.
                 _ => true,
@@ -74,8 +74,8 @@ impl ArgConstraint {
                 )
             ),
             ArgConstraint::IsObjectOfType(ty) => match value {
-                Some(AValue::Obj { ty: t, .. }) => t == ty,
-                Some(AValue::TopObj { ty: Some(t) }) => t == ty,
+                Some(AValue::Obj { ty: t, .. }) => &**t == ty.as_str(),
+                Some(AValue::TopObj { ty: Some(t) }) => &**t == ty.as_str(),
                 _ => false,
             },
         }
@@ -122,7 +122,12 @@ impl CallPred {
 
     /// Evaluates the predicate on one event.
     pub fn matches(&self, event: &UsageEvent) -> bool {
-        if !self.methods.is_empty() && !self.methods.contains(&event.method.name) {
+        if !self.methods.is_empty()
+            && !self
+                .methods
+                .iter()
+                .any(|m| m.as_str() == &*event.method.name)
+        {
             return false;
         }
         self.args

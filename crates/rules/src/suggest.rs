@@ -103,7 +103,7 @@ fn render_atom(path: &FeaturePath, var: char, relation: &str) -> String {
     let labels = path.labels();
     match labels.len() {
         0 | 1 => "true".to_owned(),
-        2 => labels[1].clone(),
+        2 => labels[1].to_string(),
         _ => {
             let method = &labels[1];
             match split_arg(&labels[2]) {

@@ -11,20 +11,82 @@ use crate::limits::{DagError, DagLimits};
 use crate::matching::min_cost_assignment;
 use absdomain::{AValue, AllocSite};
 use analysis::Usages;
+use intern::intern;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Default maximum path length (the paper's construction depth n = 5).
 pub const DEFAULT_MAX_DEPTH: usize = 5;
 
+/// One node label of a feature path.
+///
+/// Shared (`Arc<str>`) rather than owned: every path in a DAG repeats
+/// its ancestors' labels, so path construction, DAG pairing, and diffs
+/// clone labels constantly — with shared labels those clones are
+/// refcount bumps instead of string copies. `Arc` (not `Rc`) because
+/// mining results cross the pipeline's shard-thread joins.
+pub type Label = Arc<str>;
+
 /// One root-to-node label path, e.g.
 /// `["Cipher", "getInstance", "arg1:AES"]`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct FeaturePath(pub Vec<String>);
+///
+/// Equality and ordering are by label *content* (the order every
+/// `BTreeSet` of paths, and therefore every digest, is built on), but
+/// the implementations take a pointer-equality fast path first:
+/// interned labels with equal content are usually the same `Arc`, so
+/// the common case in set intersection/difference and pairing distance
+/// is a pointer compare, not a `memcmp`. Pointer inequality proves
+/// nothing (labels interned on different threads are distinct `Arc`s)
+/// and falls through to the content compare.
+#[derive(Debug, Clone, Eq)]
+pub struct FeaturePath(pub Vec<Label>);
+
+// Hash by label content, like the derive would: `eq`'s pointer check is
+// only a shortcut for content equality (`Arc::ptr_eq` implies equal
+// strings), so content hashing stays consistent with it.
+impl std::hash::Hash for FeaturePath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialEq for FeaturePath {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl Ord for FeaturePath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if Arc::ptr_eq(a, b) {
+                continue;
+            }
+            match a.cmp(b) {
+                std::cmp::Ordering::Equal => {}
+                non_eq => return non_eq,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl PartialOrd for FeaturePath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl FeaturePath {
     /// The labels of the path.
-    pub fn labels(&self) -> &[String] {
+    pub fn labels(&self) -> &[Label] {
         &self.0
     }
 
@@ -40,7 +102,12 @@ impl FeaturePath {
 
     /// `true` if `self` is a strict prefix of `other`.
     pub fn is_strict_prefix_of(&self, other: &FeaturePath) -> bool {
-        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+        self.0.len() < other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
     }
 }
 
@@ -55,7 +122,7 @@ impl fmt::Display for FeaturePath {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UsageDag {
     /// The root object's type (the root node label).
-    pub root_type: String,
+    pub root_type: Label,
     /// All root-to-node label paths, including the trivial root path.
     pub paths: BTreeSet<FeaturePath>,
 }
@@ -63,7 +130,7 @@ pub struct UsageDag {
 impl UsageDag {
     /// The empty DAG for `root_type`: just the root node. Used to pad
     /// version sides with unequal object counts (paper §3.5).
-    pub fn empty(root_type: impl Into<String>) -> Self {
+    pub fn empty(root_type: impl Into<Label>) -> Self {
         let root_type = root_type.into();
         let mut paths = BTreeSet::new();
         paths.insert(FeaturePath(vec![root_type.clone()]));
@@ -89,8 +156,26 @@ impl UsageDag {
     /// assert_eq!(a.distance(&b), 1.0, "disjoint node sets");
     /// ```
     pub fn distance(&self, other: &UsageDag) -> f64 {
-        let inter = self.paths.intersection(&other.paths).count();
-        let union = self.paths.union(&other.paths).count();
+        // One sorted-merge walk counts the intersection; the union size
+        // follows from |A| + |B| − |A∩B|. Equivalent to
+        // `intersection().count()` + `union().count()` at half the
+        // comparisons — this is the inner loop of DAG pairing.
+        let mut inter = 0usize;
+        let mut a_iter = self.paths.iter();
+        let mut b_iter = other.paths.iter();
+        let (mut a, mut b) = (a_iter.next(), b_iter.next());
+        while let (Some(x), Some(y)) = (a, b) {
+            match x.cmp(y) {
+                std::cmp::Ordering::Less => a = a_iter.next(),
+                std::cmp::Ordering::Greater => b = b_iter.next(),
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    a = a_iter.next();
+                    b = b_iter.next();
+                }
+            }
+        }
+        let union = self.paths.len() + other.paths.len() - inter;
         if union == 0 {
             return 0.0;
         }
@@ -111,7 +196,7 @@ pub fn build_dag(usages: &Usages, root: AllocSite, max_depth: usize) -> UsageDag
         Ok(dag) => dag,
         // Unreachable with max_paths == usize::MAX; an empty DAG is the
         // graceful degradation if that ever changes.
-        Err(_) => UsageDag::empty(usages.type_of(root).unwrap_or("<unknown>").to_owned()),
+        Err(_) => UsageDag::empty(intern(usages.type_of(root).unwrap_or("<unknown>"))),
     }
 }
 
@@ -127,49 +212,142 @@ pub fn try_build_dag(
     root: AllocSite,
     limits: &DagLimits,
 ) -> Result<UsageDag, DagError> {
-    let root_type = usages.type_of(root).unwrap_or("<unknown>").to_owned();
-    let mut dag = UsageDag::empty(root_type.clone());
-    let mut on_path: Vec<(absdomain::MethodSig, Vec<AValue>)> = Vec::new();
-    expand(
+    try_build_dag_with(usages, root, limits, &mut DagScratch::default())
+}
+
+/// Reusable working memory for DAG construction. One instance serves
+/// any number of [`try_build_dag_with`] calls over the same `Usages`,
+/// so per-site builds don't re-allocate the path prefix, label buffer,
+/// and cycle stack.
+#[derive(Default)]
+struct DagScratch<'u> {
+    on_path: Vec<(&'u absdomain::MethodSig, &'u [AValue])>,
+}
+
+/// Lifetime-free working buffers for one DAG build: the root-to-here
+/// label prefix, the label composition buffer, and the flat path list
+/// of unbounded builds. Kept in a thread-local pool so consecutive
+/// builds — including across *different* `Usages`, which the
+/// lifetime-carrying [`DagScratch`] cannot outlive — reuse the same
+/// three allocations. `take()` leaves `None` behind, so a re-entrant
+/// build (impossible today, cheap to stay safe against) falls back to
+/// fresh buffers instead of aliasing.
+struct BuildBufs {
+    prefix: Vec<Label>,
+    label_buf: String,
+    flat: Vec<FeaturePath>,
+}
+
+thread_local! {
+    static BUILD_BUFS: std::cell::Cell<Option<BuildBufs>> = const { std::cell::Cell::new(None) };
+}
+
+/// Where [`expand`] deposits paths. Unbounded builds collect into a
+/// `Vec` and bulk-build the `BTreeSet` once at the end — DFS emits
+/// paths nearly sorted, so the set's sort-and-build `FromIterator` is
+/// close to linear, where per-path `insert` pays tree rebalancing.
+/// Budgeted builds keep the incremental set: the path budget counts
+/// *distinct* paths, which only the set itself can tell.
+enum PathSink<'a> {
+    Counted(&'a mut BTreeSet<FeaturePath>),
+    Flat(&'a mut Vec<FeaturePath>),
+}
+
+impl PathSink<'_> {
+    fn push(&mut self, path: FeaturePath, limits: &DagLimits) -> Result<(), DagError> {
+        match self {
+            PathSink::Counted(paths) => {
+                paths.insert(path);
+                if paths.len() > limits.max_paths {
+                    return Err(DagError::PathBudgetExceeded {
+                        max_paths: limits.max_paths,
+                    });
+                }
+                Ok(())
+            }
+            PathSink::Flat(paths) => {
+                paths.push(path);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn try_build_dag_with<'u>(
+    usages: &'u Usages,
+    root: AllocSite,
+    limits: &DagLimits,
+    scratch: &mut DagScratch<'u>,
+) -> Result<UsageDag, DagError> {
+    let root_type = intern(usages.type_of(root).unwrap_or("<unknown>"));
+    let mut bufs = BUILD_BUFS
+        .with(|cell| cell.take())
+        .unwrap_or_else(|| BuildBufs {
+            prefix: Vec::new(),
+            label_buf: String::new(),
+            flat: Vec::new(),
+        });
+    bufs.prefix.clear();
+    bufs.prefix.push(root_type.clone());
+    scratch.on_path.clear();
+    let unbounded = limits.max_paths == usize::MAX;
+    let mut dag = if unbounded {
+        // The path set is bulk-built below; starting from the empty set
+        // avoids a root-path insert that the rebuild would discard.
+        UsageDag {
+            root_type: root_type.clone(),
+            paths: BTreeSet::new(),
+        }
+    } else {
+        UsageDag::empty(root_type.clone())
+    };
+    let mut sink = if unbounded {
+        bufs.flat.clear();
+        bufs.flat.push(FeaturePath(bufs.prefix.clone()));
+        PathSink::Flat(&mut bufs.flat)
+    } else {
+        PathSink::Counted(&mut dag.paths)
+    };
+    let expanded = expand(
         usages,
         root,
         &root_type,
-        &FeaturePath(vec![root_type.clone()]),
+        &mut bufs.prefix,
+        &mut bufs.label_buf,
         limits,
-        &mut dag.paths,
-        &mut on_path,
+        &mut sink,
+        &mut scratch.on_path,
         /*is_root=*/ true,
-    )?;
+    );
+    if unbounded && expanded.is_ok() {
+        // `FromIterator` sorts (near-linear on the almost-sorted DFS
+        // emission) and bulk-builds the tree; equal-content duplicates
+        // (repeated identical events) collapse exactly as per-path
+        // `insert` would. `drain` keeps the flat buffer's allocation
+        // for the next build.
+        dag.paths = bufs.flat.drain(..).collect();
+    }
+    BUILD_BUFS.with(|cell| cell.set(Some(bufs)));
+    expanded?;
     Ok(dag)
 }
 
-/// Inserts `path` into `paths`, failing when the budget is exceeded.
-fn insert_path(
-    paths: &mut BTreeSet<FeaturePath>,
-    path: FeaturePath,
-    limits: &DagLimits,
-) -> Result<(), DagError> {
-    paths.insert(path);
-    if paths.len() > limits.max_paths {
-        return Err(DagError::PathBudgetExceeded {
-            max_paths: limits.max_paths,
-        });
-    }
-    Ok(())
-}
-
 #[allow(clippy::too_many_arguments)]
-fn expand(
-    usages: &Usages,
+fn expand<'u>(
+    usages: &'u Usages,
     site: AllocSite,
     owner_type: &str,
-    prefix: &FeaturePath,
+    scratch: &mut Vec<Label>,
+    label_buf: &mut String,
     limits: &DagLimits,
-    paths: &mut BTreeSet<FeaturePath>,
-    on_path: &mut Vec<(absdomain::MethodSig, Vec<AValue>)>,
+    sink: &mut PathSink<'_>,
+    on_path: &mut Vec<(&'u absdomain::MethodSig, &'u [AValue])>,
     is_root: bool,
 ) -> Result<(), DagError> {
-    if prefix.len() >= limits.max_depth {
+    // `scratch` holds the labels of the current root-to-here prefix;
+    // labels are pushed/popped in place and each inserted path is one
+    // `scratch.clone()` — refcount bumps, not string copies.
+    if scratch.len() >= limits.max_depth {
         return Ok(());
     }
     for event in usages.events_of(site) {
@@ -178,44 +356,65 @@ fn expand(
         // are passed to already appear above them in the DAG. This is
         // what keeps Figure 2(c)'s IvParameterSpec node to a single
         // `<init>` child.
-        if !is_root && event.method.class != owner_type {
+        if !is_root && &*event.method.class != owner_type {
             continue;
         }
         // Cycle prevention (paper: "add an edge … if it does not
         // introduce a cycle"): an event already on the current expansion
-        // path is the same (m, σ) node.
-        let key = (event.method.clone(), event.args.clone());
-        if on_path.contains(&key) {
+        // path is the same (m, σ) node. Compared by reference into the
+        // usages table — no per-event key clone.
+        if on_path
+            .iter()
+            .any(|&(m, a)| m == &event.method && a == &event.args[..])
+        {
             continue;
         }
-        let method_label = event.method.label_for(owner_type);
-        let mut method_path = prefix.0.clone();
-        method_path.push(method_label);
-        let method_path = FeaturePath(method_path);
-        insert_path(paths, method_path.clone(), limits)?;
+        // Same as `MethodSig::label_for`, but composing the qualified
+        // label in the reusable buffer instead of a fresh `format!`
+        // String per event occurrence.
+        scratch.push(if &*event.method.class == owner_type {
+            event.method.name.clone()
+        } else {
+            label_buf.clear();
+            label_buf.push_str(&event.method.class);
+            label_buf.push('.');
+            label_buf.push_str(&event.method.name);
+            intern(label_buf)
+        });
+        sink.push(FeaturePath(scratch.clone()), limits)?;
 
-        if method_path.len() >= limits.max_depth {
-            continue;
-        }
-        for (index, arg) in event.args.iter().enumerate() {
-            let label = format!("arg{}:{}", index + 1, arg.label());
-            let mut arg_path = method_path.0.clone();
-            arg_path.push(label);
-            let arg_path = FeaturePath(arg_path);
-            insert_path(paths, arg_path.clone(), limits)?;
-
-            if let AValue::Obj { site: arg_site, ty } = arg {
-                if *arg_site != site {
-                    on_path.push(key.clone());
-                    let result = expand(
-                        usages, *arg_site, ty, &arg_path, limits, paths, on_path,
-                        /*is_root=*/ false,
-                    );
-                    on_path.pop();
-                    result?;
+        if scratch.len() < limits.max_depth {
+            for (index, arg) in event.args.iter().enumerate() {
+                label_buf.clear();
+                label_buf.push_str("arg");
+                // Positional indices are tiny; pushing the digit directly
+                // skips `write!`'s formatting machinery, which is
+                // measurable at this call frequency.
+                if index < 9 {
+                    label_buf.push((b'1' + index as u8) as char);
+                } else {
+                    let _ = write!(label_buf, "{}", index + 1);
                 }
+                label_buf.push(':');
+                arg.write_label(label_buf);
+                scratch.push(intern(label_buf));
+                sink.push(FeaturePath(scratch.clone()), limits)?;
+
+                if let AValue::Obj { site: arg_site, ty } = arg {
+                    if *arg_site != site {
+                        on_path.push((&event.method, &event.args));
+                        let result = expand(
+                            usages, *arg_site, ty, scratch, label_buf, limits, sink, on_path,
+                            /*is_root=*/ false,
+                        );
+                        on_path.pop();
+                        result?;
+                    }
+                }
+                scratch.pop();
             }
         }
+        scratch.pop();
     }
     Ok(())
 }
@@ -223,9 +422,20 @@ fn expand(
 /// Builds one DAG per abstract object of type `class` in `usages`,
 /// ordered by allocation site.
 pub fn dags_for_class(usages: &Usages, class: &str, max_depth: usize) -> Vec<UsageDag> {
+    let limits = DagLimits {
+        max_depth,
+        ..DagLimits::UNBOUNDED
+    };
+    let mut scratch = DagScratch::default();
     usages
         .objects_of_type(class)
-        .map(|site| build_dag(usages, site, max_depth))
+        .map(|site| {
+            try_build_dag_with(usages, site, &limits, &mut scratch).unwrap_or_else(|_| {
+                // Unreachable with max_paths == usize::MAX; an empty DAG
+                // is the graceful degradation if that ever changes.
+                UsageDag::empty(intern(usages.type_of(site).unwrap_or("<unknown>")))
+            })
+        })
         .collect()
 }
 
@@ -249,9 +459,10 @@ pub fn try_dags_for_class(
             max_objects: limits.max_objects,
         });
     }
+    let mut scratch = DagScratch::default();
     usages
         .objects_of_type(class)
-        .map(|site| try_build_dag(usages, site, limits))
+        .map(|site| try_build_dag_with(usages, site, limits, &mut scratch))
         .collect()
 }
 
@@ -261,24 +472,50 @@ pub fn try_dags_for_class(
 ///
 /// Returns the paired DAGs (old, new) — padded entries appear as
 /// trivial DAGs.
-pub fn pair_dags(old: &[UsageDag], new: &[UsageDag], class: &str) -> Vec<(UsageDag, UsageDag)> {
+pub fn pair_dags(old: Vec<UsageDag>, new: Vec<UsageDag>, class: &str) -> Vec<(UsageDag, UsageDag)> {
     let n = old.len().max(new.len());
     if n == 0 {
         return Vec::new();
     }
+    // One DAG per side (or one side absent) — the overwhelmingly common
+    // shape per (change, class) — has a forced assignment: skip the
+    // cost matrix and Hungarian solve entirely.
+    if n == 1 {
+        let a = old
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| UsageDag::empty(class));
+        let b = new
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| UsageDag::empty(class));
+        return vec![(a, b)];
+    }
     let pad = UsageDag::empty(class);
-    let old_padded: Vec<&UsageDag> = (0..n).map(|i| old.get(i).unwrap_or(&pad)).collect();
-    let new_padded: Vec<&UsageDag> = (0..n).map(|i| new.get(i).unwrap_or(&pad)).collect();
-
-    let cost: Vec<Vec<f64>> = old_padded
-        .iter()
-        .map(|a| new_padded.iter().map(|b| a.distance(b)).collect())
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let a = old.get(i).unwrap_or(&pad);
+            (0..n)
+                .map(|j| a.distance(new.get(j).unwrap_or(&pad)))
+                .collect()
+        })
         .collect();
     let (assignment, _) = min_cost_assignment(&cost);
+    // The inputs are consumed: each DAG moves into its assigned pair,
+    // and only padding slots (unequal version sides) allocate.
+    let mut old_slots: Vec<Option<UsageDag>> = old.into_iter().map(Some).collect();
+    let mut new_slots: Vec<Option<UsageDag>> = new.into_iter().map(Some).collect();
     assignment
         .iter()
         .enumerate()
-        .map(|(i, &j)| (old_padded[i].clone(), new_padded[j].clone()))
+        .map(|(i, &j)| {
+            let a = old_slots.get_mut(i).and_then(Option::take);
+            let b = new_slots.get_mut(j).and_then(Option::take);
+            (
+                a.unwrap_or_else(|| pad.clone()),
+                b.unwrap_or_else(|| pad.clone()),
+            )
+        })
         .collect()
 }
 
@@ -399,7 +636,7 @@ mod tests {
     fn pairing_matches_like_with_like() {
         let old = dag_of(FIGURE2_OLD, "Cipher");
         let new = dag_of(FIGURE2_NEW, "Cipher");
-        let pairs = pair_dags(&old, &new, "Cipher");
+        let pairs = pair_dags(old, new, "Cipher");
         assert_eq!(pairs.len(), 2);
         // enc pairs with enc (both use ENCRYPT_MODE), dec with dec.
         let enc_pair = &pairs[0];
@@ -418,7 +655,7 @@ mod tests {
     #[test]
     fn pairing_pads_unequal_sides() {
         let old = dag_of(FIGURE2_OLD, "Cipher");
-        let pairs = pair_dags(&old, &[], "Cipher");
+        let pairs = pair_dags(old, Vec::new(), "Cipher");
         assert_eq!(pairs.len(), 2);
         assert!(pairs.iter().all(|(_, new)| new.is_trivial()));
     }

@@ -60,14 +60,19 @@ pub fn shortest(paths: &BTreeSet<FeaturePath>) -> Vec<FeaturePath> {
 
 /// `Removed(G₁,G₂) = Shortest(Paths(G₁) \ Paths(G₂))`.
 pub fn removed(g1: &UsageDag, g2: &UsageDag) -> Vec<FeaturePath> {
-    let diff: BTreeSet<FeaturePath> = g1.paths.difference(&g2.paths).cloned().collect();
-    shortest(&diff)
+    // Work on borrowed difference entries (already in sorted set
+    // order); only the surviving shortest paths are cloned.
+    let diff: Vec<&FeaturePath> = g1.paths.difference(&g2.paths).collect();
+    diff.iter()
+        .filter(|p| !diff.iter().any(|q| q.is_strict_prefix_of(p)))
+        .map(|p| (*p).clone())
+        .collect()
 }
 
 /// Computes the usage change for a paired (old, new) DAG.
 pub fn diff_dags(old: &UsageDag, new: &UsageDag) -> UsageChange {
     UsageChange {
-        class: old.root_type.clone(),
+        class: old.root_type.to_string(),
         removed: removed(old, new),
         added: removed(new, old),
     }
@@ -76,6 +81,7 @@ pub fn diff_dags(old: &UsageDag, new: &UsageDag) -> UsageChange {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dag::Label;
     use crate::dag::{dags_for_class, pair_dags, DEFAULT_MAX_DEPTH};
     use analysis::{analyze, ApiModel};
 
@@ -86,7 +92,7 @@ mod tests {
     }
 
     fn path(labels: &[&str]) -> FeaturePath {
-        FeaturePath(labels.iter().map(|s| (*s).to_owned()).collect())
+        FeaturePath(labels.iter().copied().map(Label::from).collect())
     }
 
     #[test]
@@ -125,7 +131,7 @@ mod tests {
         "#;
         let old = dags(old_src, "Cipher");
         let new = dags(new_src, "Cipher");
-        let pairs = pair_dags(&old, &new, "Cipher");
+        let pairs = pair_dags(old, new, "Cipher");
         assert_eq!(pairs.len(), 1);
         let change = diff_dags(&pairs[0].0, &pairs[0].1);
 
@@ -168,7 +174,7 @@ mod tests {
         "#;
         let old = dags(old_src, "Cipher");
         let new = dags(new_src, "Cipher");
-        let pairs = pair_dags(&old, &new, "Cipher");
+        let pairs = pair_dags(old, new, "Cipher");
         let change = diff_dags(&pairs[0].0, &pairs[0].1);
         assert!(change.is_same(), "{change}");
     }

@@ -40,8 +40,8 @@ mod limits;
 pub mod matching;
 
 pub use dag::{
-    build_dag, dags_for_class, pair_dags, try_build_dag, try_dags_for_class, FeaturePath, UsageDag,
-    DEFAULT_MAX_DEPTH,
+    build_dag, dags_for_class, pair_dags, try_build_dag, try_dags_for_class, FeaturePath, Label,
+    UsageDag, DEFAULT_MAX_DEPTH,
 };
 pub use diff::{diff_dags, removed, shortest, UsageChange};
 pub use limits::{DagError, DagLimits};
@@ -63,7 +63,7 @@ pub fn usage_changes_with_depth(
 ) -> Vec<UsageChange> {
     let old_dags = dags_for_class(old, class, max_depth);
     let new_dags = dags_for_class(new, class, max_depth);
-    pair_dags(&old_dags, &new_dags, class)
+    pair_dags(old_dags, new_dags, class)
         .iter()
         .map(|(a, b)| diff_dags(a, b))
         .collect()
@@ -84,7 +84,7 @@ pub fn try_usage_changes(
 ) -> Result<Vec<UsageChange>, DagError> {
     let old_dags = try_dags_for_class(old, class, limits)?;
     let new_dags = try_dags_for_class(new, class, limits)?;
-    Ok(pair_dags(&old_dags, &new_dags, class)
+    Ok(pair_dags(old_dags, new_dags, class)
         .iter()
         .map(|(a, b)| diff_dags(a, b))
         .collect())

@@ -65,7 +65,7 @@ fn root_path_always_present() {
     let d = dag(NESTED, "Cipher", 5);
     assert!(d
         .paths
-        .contains(&usagegraph::FeaturePath(vec!["Cipher".to_owned()])));
+        .contains(&usagegraph::FeaturePath(vec!["Cipher".into()])));
 }
 
 #[test]
@@ -106,7 +106,7 @@ fn pairing_is_stable_under_reordering() {
     let old_u = usages(NESTED);
     let old = dags_for_class(&old_u, "Cipher", 5);
     let new = old.clone();
-    let pairs = pair_dags(&old, &new, "Cipher");
+    let pairs = pair_dags(old.clone(), new, "Cipher");
     for (a, b) in &pairs {
         assert_eq!(a, b, "identical versions must pair each DAG with itself");
     }
@@ -141,9 +141,9 @@ fn distance_monotone_under_feature_removal() {
     let a = dag(NESTED, "Cipher", 5);
     let mut b = a.clone();
     let extra = usagegraph::FeaturePath(vec![
-        "Cipher".to_owned(),
-        "getInstance".to_owned(),
-        "arg2:BC".to_owned(),
+        "Cipher".into(),
+        "getInstance".into(),
+        "arg2:BC".into(),
     ]);
     b.paths.insert(extra.clone());
     let with_extra = a.distance(&b);

@@ -14,7 +14,7 @@ fn avalue() -> impl Strategy<Value = AValue> {
     prop_oneof![
         any::<i64>().prop_map(AValue::Int),
         Just(AValue::TopInt),
-        "[a-zA-Z/]{0,12}".prop_map(AValue::Str),
+        "[a-zA-Z/]{0,12}".prop_map(|s| AValue::Str(s.into())),
         Just(AValue::TopStr),
         Just(AValue::ConstByte),
         Just(AValue::TopByte),
@@ -23,8 +23,10 @@ fn avalue() -> impl Strategy<Value = AValue> {
         any::<bool>().prop_map(AValue::Bool),
         Just(AValue::Null),
         Just(AValue::Unknown),
-        ("[A-Z][a-zA-Z]{0,8}", "[A-Z_]{1,10}")
-            .prop_map(|(class, name)| { AValue::ApiConst { class, name } }),
+        ("[A-Z][a-zA-Z]{0,8}", "[A-Z_]{1,10}").prop_map(|(class, name)| AValue::ApiConst {
+            class: class.into(),
+            name: name.into(),
+        }),
     ]
 }
 
@@ -42,15 +44,15 @@ fn label() -> impl Strategy<Value = String> {
 fn feature_path() -> impl Strategy<Value = FeaturePath> {
     proptest::collection::vec(label(), 1..5).prop_map(|mut labels| {
         labels.insert(0, "Cipher".to_owned());
-        FeaturePath(labels)
+        FeaturePath(labels.into_iter().map(usagegraph::Label::from).collect())
     })
 }
 
 fn usage_dag() -> impl Strategy<Value = UsageDag> {
     proptest::collection::btree_set(feature_path(), 0..8).prop_map(|mut paths| {
-        paths.insert(FeaturePath(vec!["Cipher".to_owned()]));
+        paths.insert(FeaturePath(vec![usagegraph::Label::from("Cipher")]));
         UsageDag {
-            root_type: "Cipher".to_owned(),
+            root_type: "Cipher".into(),
             paths,
         }
     })
@@ -240,6 +242,30 @@ proptest! {
             let unit2 = javalang::parse_compilation_unit(&printed1).unwrap();
             let printed2 = javalang::pretty_print(&unit2);
             prop_assert_eq!(printed1, printed2);
+        }
+    }
+
+    #[test]
+    fn printed_normal_form_is_arena_fixed_point(seed in 0u64..5000) {
+        // Once a unit has been printed and re-parsed, it has reached the
+        // printer's normal form: parsing that form again must be a true
+        // fixed point *at the arena level* — identical text AND
+        // identical expression/statement arena sizes. This pins the
+        // arena representation against silently accumulating orphan
+        // slots (from speculative parses) or dropping nodes on a
+        // round-trip: normal-form text must always re-parse into an
+        // arena of the same shape.
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(1, seed));
+        let change = corpus.code_changes().next();
+        if let Some(change) = change {
+            let unit1 = javalang::parse_compilation_unit(change.old).unwrap();
+            let unit2 = javalang::parse_compilation_unit(
+                &javalang::pretty_print(&unit1)).unwrap();
+            let printed2 = javalang::pretty_print(&unit2);
+            let unit3 = javalang::parse_compilation_unit(&printed2).unwrap();
+            prop_assert_eq!(&javalang::pretty_print(&unit3), &printed2);
+            prop_assert_eq!(unit3.ast.expr_count(), unit2.ast.expr_count());
+            prop_assert_eq!(unit3.ast.stmt_count(), unit2.ast.stmt_count());
         }
     }
 
