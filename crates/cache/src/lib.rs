@@ -59,4 +59,6 @@ mod store;
 pub mod wire;
 
 pub use fingerprint::{fingerprint, fingerprint_str, Fingerprint};
-pub use store::{verify, CacheStats, CacheStore, Lookup, ShardLog, VacuumReport, VerifyReport};
+pub use store::{
+    verify, CacheStats, CacheStore, Lookup, ShardLog, StoreError, VacuumReport, VerifyReport,
+};

@@ -11,13 +11,21 @@
 //! leaves a truncated tail that fails its length or checksum check, so
 //! the next [`CacheStore::open`] indexes every record up to the tail
 //! and ignores the rest; the next [`CacheStore::flush`] truncates the
-//! garbage before appending. Entries are immutable once written —
-//! a duplicate key appended later supersedes the earlier record at
-//! load time (last write wins), which vacuum then compacts away.
+//! garbage before appending. Corruption in the *middle* of the log —
+//! a checksum-failed record with valid records after it, i.e. bitrot
+//! rather than a crash — is a different animal: truncating there would
+//! destroy good data, so the strict open refuses with
+//! [`StoreError::CorruptRecord`] and the tolerant
+//! [`CacheStore::open_tolerant`] + [`CacheStore::vacuum`] path is how
+//! such a log is inspected and repaired. Entries are immutable once
+//! written — a duplicate key appended later supersedes the earlier
+//! record at load time (last write wins), which vacuum then compacts
+//! away.
 
 use crate::fingerprint::Fingerprint;
 use crate::wire::{Reader, WireError, Writer};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
@@ -36,6 +44,66 @@ fn checksum(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+/// Why a cache store could not be opened.
+///
+/// Distinguishes plain filesystem failures from *mid-log corruption*:
+/// a record whose framing is intact but whose payload fails its
+/// checksum, with valid records after it. Tail damage (a crash
+/// mid-append) is not an error — it is truncated away on the next
+/// flush — but a bad record in the middle means real data loss is on
+/// the table, so the strict [`CacheStore::open`] refuses rather than
+/// silently dropping the valid records that follow it.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure creating the directory or reading the log.
+    Io(io::Error),
+    /// A record in the middle of the log failed its checksum while
+    /// later records are still valid.
+    CorruptRecord {
+        /// Byte offset of the corrupt record within the log file.
+        offset: u64,
+        /// Valid records indexed before the corrupt one.
+        valid_before: usize,
+        /// Valid records found after it — the data a naive
+        /// truncate-at-first-error load would have dropped.
+        valid_after: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "cache I/O error: {err}"),
+            StoreError::CorruptRecord {
+                offset,
+                valid_before,
+                valid_after,
+            } => write!(
+                f,
+                "cache log record at byte {offset} failed its checksum with \
+                 {valid_after} valid record(s) after it ({valid_before} before); \
+                 refusing to drop them silently — run `cache verify` to inspect \
+                 the damage and `cache vacuum` to rebuild a clean log"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::CorruptRecord { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
 }
 
 /// One indexed entry: the analysis version it was written under and
@@ -116,6 +184,9 @@ pub struct CacheStats {
     pub records_loaded: usize,
     /// Bytes of unreadable tail ignored at open.
     pub corrupt_tail_bytes: u64,
+    /// Checksum-failed mid-log records skipped by a tolerant open
+    /// (always zero for a store opened strictly).
+    pub corrupt_records: usize,
     /// Size of the log file in bytes (as of open plus flushed writes).
     pub file_bytes: u64,
     /// Entries recorded but not yet flushed.
@@ -171,6 +242,7 @@ pub struct CacheStore {
     valid_len: u64,
     records_loaded: usize,
     corrupt_tail_bytes: u64,
+    corrupt_records: usize,
 }
 
 impl CacheStore {
@@ -181,10 +253,34 @@ impl CacheStore {
     ///
     /// # Errors
     ///
-    /// I/O failures creating the directory or reading the log. A
-    /// *corrupt* log is not an error — unreadable bytes are skipped and
-    /// reported via [`CacheStore::stats`].
-    pub fn open(dir: &Path, version: u32) -> io::Result<CacheStore> {
+    /// [`StoreError::Io`] on filesystem failures creating the directory
+    /// or reading the log. A corrupt *tail* (crash mid-append) is not
+    /// an error — unreadable trailing bytes are skipped, reported via
+    /// [`CacheStore::stats`], and truncated on the next flush. A
+    /// checksum-failed record in the *middle* of the log, with valid
+    /// records after it, fails with [`StoreError::CorruptRecord`]
+    /// instead of silently dropping those later records; use
+    /// [`CacheStore::open_tolerant`] (and then
+    /// [`CacheStore::vacuum`]) to inspect and repair such a log.
+    pub fn open(dir: &Path, version: u32) -> Result<CacheStore, StoreError> {
+        CacheStore::open_inner(dir, version, false)
+    }
+
+    /// Opens the cache under `dir` like [`CacheStore::open`], but skips
+    /// checksum-failed mid-log records (counting them in
+    /// [`CacheStats::corrupt_records`]) instead of failing. This is the
+    /// inspection/repair path: `cache stats` and `cache vacuum` must
+    /// work on a damaged log, and vacuum's rewrite is how the damage is
+    /// healed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] only.
+    pub fn open_tolerant(dir: &Path, version: u32) -> Result<CacheStore, StoreError> {
+        CacheStore::open_inner(dir, version, true)
+    }
+
+    fn open_inner(dir: &Path, version: u32, tolerant: bool) -> Result<CacheStore, StoreError> {
         std::fs::create_dir_all(dir)?;
         let mut store = CacheStore {
             dir: dir.to_owned(),
@@ -194,11 +290,12 @@ impl CacheStore {
             valid_len: 0,
             records_loaded: 0,
             corrupt_tail_bytes: 0,
+            corrupt_records: 0,
         };
         let log = store.log_path();
         if log.exists() {
             let bytes = std::fs::read(&log)?;
-            store.load(&bytes);
+            store.load(&bytes, tolerant)?;
         }
         Ok(store)
     }
@@ -213,29 +310,67 @@ impl CacheStore {
         self.version
     }
 
-    fn load(&mut self, bytes: &[u8]) {
+    fn load(&mut self, bytes: &[u8], tolerant: bool) -> Result<(), StoreError> {
         if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
             // Foreign or empty file: treat everything as corrupt tail
             // so flush rewrites from scratch.
             self.corrupt_tail_bytes = bytes.len() as u64;
             self.valid_len = 0;
-            return;
+            return Ok(());
         }
         let mut reader = Reader::new(&bytes[MAGIC.len()..]);
         let mut consumed = MAGIC.len() as u64;
+        // A checksum-failed record whose *framing* parsed is only a
+        // benign "corrupt tail" if nothing valid follows it. Track how
+        // many such records a later valid record turns into mid-log
+        // corruption (`skipped`), versus ones still waiting at the end
+        // of the scan (`pending` — absorbed into the corrupt tail).
+        let mut first_corrupt: Option<(u64, usize)> = None; // (offset, valid records before it)
+        let mut valid_seen = 0usize;
+        let mut pending_corrupt = 0usize;
+        let mut skipped_corrupt = 0usize;
         while !reader.is_exhausted() {
+            let record_start = (bytes.len() - reader.remaining()) as u64;
             match read_record(&mut reader) {
-                Ok((key, version, payload)) => {
+                Ok(RawRecord::Valid {
+                    key,
+                    version,
+                    payload,
+                }) => {
                     consumed = (bytes.len() - reader.remaining()) as u64;
                     self.records_loaded += 1;
+                    valid_seen += 1;
+                    skipped_corrupt += pending_corrupt;
+                    pending_corrupt = 0;
                     // Last write wins: a re-recorded key supersedes.
                     self.index.insert(key.0, Entry { version, payload });
                 }
+                Ok(RawRecord::BadChecksum) => {
+                    // Framing intact, payload untrustworthy. Keep
+                    // scanning: whether this is tail damage or mid-log
+                    // corruption depends on what comes after.
+                    if first_corrupt.is_none() {
+                        first_corrupt = Some((record_start, valid_seen));
+                    }
+                    pending_corrupt += 1;
+                }
+                // Structural damage: everything from here is tail.
                 Err(_) => break,
             }
         }
+        if skipped_corrupt > 0 {
+            if let (false, Some((offset, valid_before))) = (tolerant, first_corrupt) {
+                return Err(StoreError::CorruptRecord {
+                    offset,
+                    valid_before,
+                    valid_after: valid_seen - valid_before,
+                });
+            }
+            self.corrupt_records = skipped_corrupt;
+        }
         self.valid_len = consumed;
         self.corrupt_tail_bytes = bytes.len() as u64 - consumed;
+        Ok(())
     }
 
     /// Looks up `key`.
@@ -354,6 +489,7 @@ impl CacheStore {
             stale_entries: self.index.len() - current_entries,
             records_loaded: self.records_loaded,
             corrupt_tail_bytes: self.corrupt_tail_bytes,
+            corrupt_records: self.corrupt_records,
             file_bytes: self.valid_len + self.corrupt_tail_bytes,
             pending_entries: self.pending.len(),
         }
@@ -393,11 +529,15 @@ impl CacheStore {
         std::fs::write(&tmp, &out)?;
         std::fs::rename(&tmp, self.log_path())?;
 
-        let dropped_records = self.records_loaded.saturating_sub(keys.len());
+        // Skipped corrupt records count as dropped: the rewrite is what
+        // finally removes their bytes from the log.
+        let dropped_records =
+            (self.records_loaded + self.corrupt_records).saturating_sub(keys.len());
         self.index.retain(|_, e| e.version == self.version);
         self.records_loaded = keys.len();
         self.valid_len = out.len() as u64;
         self.corrupt_tail_bytes = 0;
+        self.corrupt_records = 0;
         Ok(VacuumReport {
             kept: keys.len(),
             dropped_stale,
@@ -458,17 +598,35 @@ fn encode_record(key: Fingerprint, version: u32, payload: &[u8]) -> Vec<u8> {
     w.finish()
 }
 
-/// Reads one record, validating its checksum (checksum mismatch is a
-/// wire error: the record is not trustworthy).
-fn read_record(reader: &mut Reader<'_>) -> Result<(Fingerprint, u32, Vec<u8>), WireError> {
+/// One record as read off the log: either fully valid, or structurally
+/// intact (length framing parsed, so the scan can continue past it)
+/// but failing its payload checksum.
+enum RawRecord {
+    Valid {
+        key: Fingerprint,
+        version: u32,
+        payload: Vec<u8>,
+    },
+    BadChecksum,
+}
+
+/// Reads one record. Structural damage (truncated framing) is a wire
+/// error; a checksum mismatch with intact framing is reported as
+/// [`RawRecord::BadChecksum`] so the caller can decide whether it is
+/// tail damage or mid-log corruption.
+fn read_record(reader: &mut Reader<'_>) -> Result<RawRecord, WireError> {
     let key = Fingerprint(reader.u128()?);
     let version = reader.u32()?;
     let payload = reader.bytes()?.to_vec();
     let stored = reader.u64()?;
     if stored != checksum(&payload) {
-        return Err(WireError::Malformed("record checksum mismatch"));
+        return Ok(RawRecord::BadChecksum);
     }
-    Ok((key, version, payload))
+    Ok(RawRecord::Valid {
+        key,
+        version,
+        payload,
+    })
 }
 
 /// Reads one record structurally, reporting (rather than failing on) a
@@ -663,6 +821,92 @@ mod tests {
         assert!(!report.is_clean());
         assert_eq!(report.checksum_failures, 1);
         assert_eq!(report.valid_records, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_record_fails_strict_open_and_heals_via_vacuum() {
+        let dir = temp_dir("mid-corrupt");
+        let (k1, k2, k3) = (
+            fingerprint(&[b"first"]),
+            fingerprint(&[b"second"]),
+            fingerprint(&[b"third"]),
+        );
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        store.insert(k1, b"one".to_vec());
+        store.insert(k2, b"two".to_vec());
+        store.insert(k3, b"three".to_vec());
+        store.flush().unwrap();
+        let log = store.log_path();
+
+        // Byte-flip the *middle* record's payload: framing stays
+        // intact, the checksum fails, and records 1 and 3 stay valid.
+        let mut bytes = std::fs::read(&log).unwrap();
+        let rec1_len = encode_record(k1, 1, b"one").len();
+        let flip = MAGIC.len() + rec1_len + 16 + 4 + 8; // key + version + len prefix
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&log, &bytes).unwrap();
+
+        // Strict open refuses instead of silently dropping record 3.
+        let err = match CacheStore::open(&dir, 1) {
+            Err(err) => err,
+            Ok(_) => panic!("strict open must fail on mid-log corruption"),
+        };
+        match &err {
+            StoreError::CorruptRecord {
+                offset,
+                valid_before,
+                valid_after,
+            } => {
+                assert_eq!(*offset, (MAGIC.len() + rec1_len) as u64);
+                assert_eq!(*valid_before, 1);
+                assert_eq!(*valid_after, 1);
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("cache verify"), "hint missing: {msg}");
+        assert!(msg.contains("cache vacuum"), "hint missing: {msg}");
+
+        // Tolerant open skips the bad record but keeps both neighbours.
+        let mut store = CacheStore::open_tolerant(&dir, 1).unwrap();
+        assert_eq!(store.get(k1), Lookup::Hit(b"one".as_slice()));
+        assert_eq!(store.get(k2), Lookup::Miss, "corrupt record not indexed");
+        assert_eq!(store.get(k3), Lookup::Hit(b"three".as_slice()));
+        assert_eq!(store.stats().corrupt_records, 1);
+
+        // Vacuum rewrites a clean log; strict open works again.
+        let report = store.vacuum().unwrap();
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.dropped_records, 1);
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(k1), Lookup::Hit(b"one".as_slice()));
+        assert_eq!(store.get(k3), Lookup::Hit(b"three".as_slice()));
+        assert_eq!(store.stats().corrupt_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_final_record_is_still_tail_damage() {
+        let dir = temp_dir("last-corrupt");
+        let (k1, k2) = (fingerprint(&[b"keep"]), fingerprint(&[b"flip"]));
+        let mut store = CacheStore::open(&dir, 1).unwrap();
+        store.insert(k1, b"keep".to_vec());
+        store.insert(k2, b"flip".to_vec());
+        store.flush().unwrap();
+        let log = store.log_path();
+        let mut bytes = std::fs::read(&log).unwrap();
+        let last = bytes.len() - 9; // inside the last record's payload/checksum
+        bytes[last] ^= 0xFF;
+        std::fs::write(&log, &bytes).unwrap();
+
+        // No valid record follows the damage, so this is the ordinary
+        // corrupt-tail case: strict open succeeds and flush heals.
+        let store = CacheStore::open(&dir, 1).unwrap();
+        assert_eq!(store.get(k1), Lookup::Hit(b"keep".as_slice()));
+        assert_eq!(store.get(k2), Lookup::Miss);
+        assert!(store.stats().corrupt_tail_bytes > 0);
+        assert_eq!(store.stats().corrupt_records, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

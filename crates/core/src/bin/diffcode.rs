@@ -109,13 +109,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     registry
                 }
                 None => {
-                    let (report, registry) = cli::run_mine(
+                    // Graceful Ctrl-C: mining stops between changes,
+                    // the cache log is flushed, the partial summary
+                    // prints, and the process exits 130.
+                    diffcode::shutdown::install();
+                    let (report, registry, interrupted) = cli::run_mine_interruptible(
                         opts.seed,
                         opts.projects,
                         threads,
                         opts.cache_dir.as_deref(),
+                        diffcode::shutdown::flag(),
                     )?;
                     print!("{report}");
+                    if interrupted {
+                        if let Some(path) = opts.metrics_json {
+                            std::fs::write(&path, registry.to_json())
+                                .map_err(|e| format!("{}: {e}", path.display()))?;
+                        }
+                        return Ok(ExitCode::from(130));
+                    }
                     registry
                 }
             };
@@ -124,6 +136,44 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|e| format!("{}: {e}", path.display()))?;
             }
             Ok(ExitCode::SUCCESS)
+        }
+        "serve" => {
+            // Cargo-style external subcommand: the server depends on
+            // this crate, so it lives in its own binary
+            // (`diffcode-serve`, crates/serve) installed next to this
+            // one. On Unix, exec() replaces this process so the server
+            // keeps our pid — a supervisor's SIGTERM reaches the drain
+            // logic directly instead of killing a wrapper and orphaning
+            // the listener.
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("resolving current executable: {e}"))?;
+            let name = if cfg!(windows) {
+                "diffcode-serve.exe"
+            } else {
+                "diffcode-serve"
+            };
+            let sibling = exe.with_file_name(name);
+            let mut cmd = std::process::Command::new(&sibling);
+            cmd.args(&args[1..]);
+            let launch_err = |e: std::io::Error| {
+                format!(
+                    "launching {}: {e} (is the diffcode-serve binary installed \
+                     next to diffcode?)",
+                    sibling.display()
+                )
+            };
+            #[cfg(unix)]
+            {
+                use std::os::unix::process::CommandExt as _;
+                // exec only returns on failure.
+                Err(launch_err(cmd.exec()))
+            }
+            #[cfg(not(unix))]
+            {
+                let status = cmd.status().map_err(launch_err)?;
+                let code = status.code().unwrap_or(130);
+                Ok(ExitCode::from(u8::try_from(code).unwrap_or(1)))
+            }
         }
         "explain" => {
             let (query, seed, projects, threads) = parse_explain_flags(&args[1..])?;

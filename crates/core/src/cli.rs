@@ -290,8 +290,31 @@ pub fn run_mine(
     n_threads: usize,
     cache_dir: Option<&Path>,
 ) -> Result<(String, MetricsRegistry), String> {
-    let (out, registry, _) = run_mine_inner(seed, n_projects, n_threads, cache_dir, None)?;
+    let (out, registry, _, _) = run_mine_inner(seed, n_projects, n_threads, cache_dir, None, None)?;
     Ok((out, registry))
+}
+
+/// [`run_mine`] with a cooperative cancellation flag (the binary wires
+/// in [`crate::shutdown::flag`]). When the flag trips mid-run, mining
+/// stops between changes, the cache log is still flushed, and the
+/// report covers the partial run with an explicit `interrupted` line —
+/// Ctrl-C costs the remainder of the run, never the warm cache.
+/// Returns the report, the registry, and whether the run was
+/// interrupted (the binary exits 130 in that case).
+///
+/// # Errors
+///
+/// I/O failures opening or flushing the cache.
+pub fn run_mine_interruptible(
+    seed: u64,
+    n_projects: usize,
+    n_threads: usize,
+    cache_dir: Option<&Path>,
+    cancel: &'static std::sync::atomic::AtomicBool,
+) -> Result<(String, MetricsRegistry, bool), String> {
+    let (out, registry, _, interrupted) =
+        run_mine_inner(seed, n_projects, n_threads, cache_dir, None, Some(cancel))?;
+    Ok((out, registry, interrupted))
 }
 
 /// [`run_mine`] with structured tracing at the given sampling interval
@@ -312,7 +335,15 @@ pub fn run_mine_traced(
     cache_dir: Option<&Path>,
     trace_sample: u64,
 ) -> Result<(String, MetricsRegistry, TraceSink), String> {
-    run_mine_inner(seed, n_projects, n_threads, cache_dir, Some(trace_sample))
+    let (out, registry, trace, _) = run_mine_inner(
+        seed,
+        n_projects,
+        n_threads,
+        cache_dir,
+        Some(trace_sample),
+        None,
+    )?;
+    Ok((out, registry, trace))
 }
 
 fn run_mine_inner(
@@ -321,7 +352,8 @@ fn run_mine_inner(
     n_threads: usize,
     cache_dir: Option<&Path>,
     trace_sample: Option<u64>,
-) -> Result<(String, MetricsRegistry, TraceSink), String> {
+    cancel: Option<&'static std::sync::atomic::AtomicBool>,
+) -> Result<(String, MetricsRegistry, TraceSink, bool), String> {
     let mut registry = MetricsRegistry::new();
     let mut trace = match trace_sample {
         Some(sample) => TraceSink::enabled(sample),
@@ -346,14 +378,16 @@ fn run_mine_inner(
         ),
         None => None,
     };
-    let result = mine_parallel_traced(
+    let result = crate::pipeline::mine_parallel_interruptible(
         &corpus,
         &[],
         n_threads,
         &mut registry,
         cache.as_mut(),
         &mut trace,
+        cancel,
     );
+    let interrupted = cancel.is_some_and(|flag| flag.load(std::sync::atomic::Ordering::SeqCst));
     if let Some(cache) = cache.as_mut() {
         let flushed = cache.flush().map_err(|e| format!("flushing cache: {e}"))?;
         registry.inc("cache.flushed_entries", flushed as u64);
@@ -379,9 +413,50 @@ fn run_mine_inner(
     }
     let mut out = String::new();
     let _ = writeln!(out, "mine run: seed {seed}, {n_projects} project(s)");
+    if interrupted {
+        let _ = writeln!(
+            out,
+            "interrupted: partial results below cover {} processed change(s); cache log flushed",
+            result.stats.code_changes
+        );
+    }
     out.push_str(&render_mining_summary(&result, 10));
     let _ = writeln!(out, "\nresult digest: {}", mined_digest(&result));
-    Ok((out, registry, trace))
+    Ok((out, registry, trace, interrupted))
+}
+
+/// The canonical provenance-free digest text of one mined tuple:
+/// `class|old-dag|new-dag|change`. This exact formatting is shared
+/// between the one-shot mining digest below and the `serve` `/mine`
+/// endpoint, which is what makes a served verdict byte-comparable to a
+/// one-shot run's.
+pub fn tuple_digest(
+    class: &str,
+    old_dag: &usagegraph::UsageDag,
+    new_dag: &usagegraph::UsageDag,
+    change: &usagegraph::UsageChange,
+) -> String {
+    fn dag_text(dag: &usagegraph::UsageDag) -> String {
+        let paths: Vec<String> = dag.paths.iter().map(ToString::to_string).collect();
+        format!("{}:{}", dag.root_type, paths.join(";"))
+    }
+    format!(
+        "{class}|{}|{}|{change}",
+        dag_text(old_dag),
+        dag_text(new_dag)
+    )
+}
+
+/// The digest texts of one [`crate::mcache::ChangeOutcome`] — one
+/// [`tuple_digest`] per mined tuple, empty for a quarantined skip.
+pub fn outcome_digest_parts(outcome: &crate::mcache::ChangeOutcome) -> Vec<String> {
+    match outcome {
+        crate::mcache::ChangeOutcome::Mined(tuples) => tuples
+            .iter()
+            .map(|(class, old_dag, new_dag, change)| tuple_digest(class, old_dag, new_dag, change))
+            .collect(),
+        crate::mcache::ChangeOutcome::Skipped { .. } => Vec::new(),
+    }
 }
 
 /// A content fingerprint of everything a mining run produced, in
@@ -390,21 +465,14 @@ fn run_mine_inner(
 /// changes — the warm-vs-cold CI gate compares this (plus the rest of
 /// the byte-identical report).
 fn mined_digest(result: &MiningResult) -> cache::Fingerprint {
-    fn dag_text(dag: &usagegraph::UsageDag) -> String {
-        let paths: Vec<String> = dag.paths.iter().map(ToString::to_string).collect();
-        format!("{}:{}", dag.root_type, paths.join(";"))
-    }
     let mut parts: Vec<String> = Vec::with_capacity(result.changes.len());
     for mined in &result.changes {
         parts.push(format!(
-            "{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}",
             mined.meta.project,
             mined.meta.commit,
             mined.meta.path,
-            mined.class,
-            dag_text(&mined.old_dag),
-            dag_text(&mined.new_dag),
-            mined.change,
+            tuple_digest(&mined.class, &mined.old_dag, &mined.new_dag, &mined.change),
         ));
     }
     let parts: Vec<&str> = parts.iter().map(String::as_str).collect();
@@ -587,13 +655,15 @@ fn render_span_subtree(
     }
 }
 
-/// Renders `diffcode cache stats` for the store under `dir`.
+/// Renders `diffcode cache stats` for the store under `dir`. Opens
+/// tolerantly: inspection must work on a damaged log (skipped corrupt
+/// records show up in their own row).
 ///
 /// # Errors
 ///
 /// I/O failures opening the store.
 pub fn render_cache_stats(dir: &Path) -> Result<String, String> {
-    let cache = MiningCache::open(
+    let cache = MiningCache::open_tolerant(
         dir,
         &[],
         &PipelineLimits::DEFAULT,
@@ -624,18 +694,23 @@ pub fn render_cache_stats(dir: &Path) -> Result<String, String> {
         "corrupt tail bytes".to_owned(),
         stats.corrupt_tail_bytes.to_string(),
     ]);
+    table.row([
+        "corrupt records skipped".to_owned(),
+        stats.corrupt_records.to_string(),
+    ]);
     Ok(table.render())
 }
 
 /// Runs `diffcode cache vacuum`: compacts the log to one record per
-/// live key, dropping stale versions, superseded duplicates, and any
-/// corrupt tail.
+/// live key, dropping stale versions, superseded duplicates, corrupt
+/// mid-log records, and any corrupt tail. Opens tolerantly — vacuum is
+/// the repair path for a log the strict open refuses.
 ///
 /// # Errors
 ///
 /// I/O failures opening or rewriting the store.
 pub fn render_cache_vacuum(dir: &Path) -> Result<String, String> {
-    let mut cache = MiningCache::open(
+    let mut cache = MiningCache::open_tolerant(
         dir,
         &[],
         &PipelineLimits::DEFAULT,
@@ -863,6 +938,8 @@ USAGE:
     diffcode cache <stats|vacuum|verify> --cache-dir <dir>
     diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
                      [--metrics-json <path>]
+    diffcode serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
+                   [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
 
 COMMANDS:
     analyze   print the abstract crypto-API usages (objects, events, DAGs)
@@ -887,6 +964,11 @@ COMMANDS:
     metrics   run the pipeline over a seeded corpus and report per-stage
               counters, quarantine breakdown, and stage latencies;
               --metrics-json writes the machine-readable snapshot
+    serve     run the resident mining/checking HTTP service (delegates to
+              the diffcode-serve binary next to this one): POST /mine,
+              POST /check, GET /explain/<fingerprint>, GET /metrics,
+              GET /healthz, GET /readyz; per-request deadlines, bounded
+              admission queue with 429 shedding, graceful SIGTERM drain
 ";
 
 fn effective_classes<'a>(classes: &[&'a str]) -> Vec<&'a str> {

@@ -50,6 +50,7 @@ pub mod mcache;
 pub mod pipeline;
 pub mod quarantine;
 pub mod report;
+pub mod shutdown;
 
 pub use decision::{DecisionReason, DECISION_EVENT};
 pub use elicit::{elicit, elicit_auto, render_dendrogram, ClusterReport, Elicitation};
@@ -63,8 +64,9 @@ pub use filter::{
 };
 pub use mcache::{CachedLookup, ChangeOutcome, MiningCache, MiningCacheView, ANALYSIS_VERSION};
 pub use pipeline::{
-    change_fingerprint, mine_parallel, mine_parallel_cached, mine_parallel_traced,
-    mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange, MiningResult, MiningStats,
+    change_fingerprint, mine_parallel, mine_parallel_cached, mine_parallel_interruptible,
+    mine_parallel_traced, mine_parallel_with_metrics, ChangeMeta, DiffCode, MinedUsageChange,
+    MiningResult, MiningStats,
 };
 pub use quarantine::{ErrorKind, PipelineError, PipelineLimits, QuarantineReport, SkipCounters};
 pub use report::{display_width, Table};

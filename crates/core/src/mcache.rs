@@ -24,7 +24,7 @@
 
 use crate::quarantine::ErrorKind;
 use cache::wire::{Reader, WireError, Writer};
-use cache::{fingerprint, CacheStore, Fingerprint, Lookup, ShardLog};
+use cache::{fingerprint, CacheStore, Fingerprint, Lookup, ShardLog, StoreError};
 use std::path::Path;
 use usagegraph::{FeaturePath, Label, UsageChange, UsageDag};
 
@@ -224,14 +224,36 @@ impl MiningCache {
     ///
     /// # Errors
     ///
-    /// I/O failures opening the store.
+    /// [`StoreError`] on I/O failures or mid-log corruption (see
+    /// [`CacheStore::open`]); a mining run refuses a damaged cache
+    /// rather than silently dropping part of it.
     pub fn open(
         dir: &Path,
         classes: &[&str],
         limits: &crate::quarantine::PipelineLimits,
         max_depth: usize,
-    ) -> std::io::Result<MiningCache> {
+    ) -> Result<MiningCache, StoreError> {
         MiningCache::open_at_version(dir, classes, limits, max_depth, ANALYSIS_VERSION)
+    }
+
+    /// [`MiningCache::open`], but tolerating (and skipping) corrupt
+    /// mid-log records — the `cache stats` / `cache vacuum`
+    /// inspection-and-repair path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] only.
+    pub fn open_tolerant(
+        dir: &Path,
+        classes: &[&str],
+        limits: &crate::quarantine::PipelineLimits,
+        max_depth: usize,
+    ) -> Result<MiningCache, StoreError> {
+        let store = CacheStore::open_tolerant(dir, ANALYSIS_VERSION)?;
+        Ok(MiningCache {
+            store,
+            config_fp: config_fingerprint(classes, limits, max_depth),
+        })
     }
 
     /// [`MiningCache::open`] at an explicit analysis version — the
@@ -242,7 +264,7 @@ impl MiningCache {
         limits: &crate::quarantine::PipelineLimits,
         max_depth: usize,
         version: u32,
-    ) -> std::io::Result<MiningCache> {
+    ) -> Result<MiningCache, StoreError> {
         let store = CacheStore::open(dir, version)?;
         Ok(MiningCache {
             store,

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use usagegraph::{
     dags_for_class, diff_dags, pair_dags, try_dags_for_class, DagLimits, UsageChange, UsageDag,
     DEFAULT_MAX_DEPTH,
@@ -114,6 +115,12 @@ pub struct DiffCode {
     limits: PipelineLimits,
     metrics: MetricsRegistry,
     trace: TraceSink,
+    /// Cooperative cancellation: checked between code changes by
+    /// [`DiffCode::mine_cached`]. `None` (the default) means mining
+    /// runs to completion; explicit opt-in only — a resident server
+    /// drains in-flight requests rather than aborting them, so only
+    /// the one-shot CLI wires a signal flag in here.
+    cancel: Option<&'static AtomicBool>,
 }
 
 impl DiffCode {
@@ -127,7 +134,23 @@ impl DiffCode {
             limits: PipelineLimits::DEFAULT,
             metrics: MetricsRegistry::new(),
             trace: TraceSink::disabled(),
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative cancellation flag: once it reads `true`,
+    /// [`Self::mine_cached`] stops *between* code changes — the change
+    /// in flight completes normally, the remainder are never counted,
+    /// and the partial result still satisfies
+    /// `code_changes == mined + skipped`.
+    pub fn set_cancel_flag(&mut self, flag: &'static AtomicBool) {
+        self.cancel = Some(flag);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .map(|flag| flag.load(Ordering::Relaxed))
+            .unwrap_or(false)
     }
 
     /// Overrides the DAG construction depth.
@@ -372,6 +395,13 @@ impl DiffCode {
         let run_span = self.trace.begin("mine.run");
         let mut result = MiningResult::default();
         for code_change in corpus.code_changes() {
+            if self.cancelled() {
+                // Between-change interruption: nothing in flight, the
+                // untouched remainder is simply never counted, so the
+                // partial accounting still balances.
+                self.metrics.inc("mine.interrupted", 1);
+                break;
+            }
             let change_clock = Stopwatch::start();
             result.stats.code_changes += 1;
             let meta = ChangeMeta {
@@ -391,32 +421,12 @@ impl DiffCode {
             // and the freshly-computed paths apply a `ChangeOutcome`
             // through the same function below, so a warm run is
             // byte-identical to the cold run by construction.
-            let (outcome, cache_status) = match cache.as_mut() {
-                Some(view) => {
-                    let key = view.change_key(code_change.old, code_change.new);
-                    match view.get(key) {
-                        CachedLookup::Hit(outcome) => {
-                            self.metrics.inc("cache.hit", 1);
-                            self.trace.instant("cache.hit");
-                            (outcome, "hit")
-                        }
-                        lookup => {
-                            let (counter, status) = match lookup {
-                                CachedLookup::StaleVersion => {
-                                    ("cache.stale_version", "stale_version")
-                                }
-                                _ => ("cache.miss", "miss"),
-                            };
-                            self.metrics.inc(counter, 1);
-                            self.trace.instant(counter);
-                            let outcome = self.compute_outcome(&code_change, &classes);
-                            view.record(key, &outcome);
-                            (outcome, status)
-                        }
-                    }
-                }
-                None => (self.compute_outcome(&code_change, &classes), "off"),
-            };
+            let (outcome, cache_status) = self.outcome_for_pair(
+                code_change.old,
+                code_change.new,
+                &classes,
+                cache.as_deref_mut(),
+            );
             // The per-change decision: emitted inside the change span,
             // always retained regardless of sampling.
             let reason = match &outcome {
@@ -456,16 +466,75 @@ impl DiffCode {
         result
     }
 
+    /// Processes one `(old, new)` source pair through the full
+    /// budgeted, panic-isolated pipeline, optionally through a cache
+    /// view — the resident-service entry point (one request = one
+    /// change). Resolves an empty class list to the paper's targets,
+    /// exactly like [`Self::mine`], so a served verdict is computed
+    /// under the same configuration as a one-shot mining run's.
+    ///
+    /// Returns the outcome plus the cache status this lookup recorded
+    /// (`"hit"`, `"miss"`, `"stale_version"`, or `"off"` without a
+    /// cache).
+    pub fn process_pair_cached(
+        &mut self,
+        old: &str,
+        new: &str,
+        classes: &[&str],
+        cache: Option<&mut MiningCacheView<'_>>,
+    ) -> (ChangeOutcome, &'static str) {
+        let classes: Vec<&str> = if classes.is_empty() {
+            TARGET_CLASSES.to_vec()
+        } else {
+            classes.to_vec()
+        };
+        self.outcome_for_pair(old, new, &classes, cache)
+    }
+
+    /// The shared look-aside path: cache lookup (hit replays, miss
+    /// computes and records), with `cache.*` counters and trace
+    /// markers. Both the mining loop and [`Self::process_pair_cached`]
+    /// go through here, so a served verdict and a mined one are the
+    /// same computation by construction.
+    fn outcome_for_pair(
+        &mut self,
+        old: &str,
+        new: &str,
+        classes: &[&str],
+        cache: Option<&mut MiningCacheView<'_>>,
+    ) -> (ChangeOutcome, &'static str) {
+        match cache {
+            Some(view) => {
+                let key = view.change_key(old, new);
+                match view.get(key) {
+                    CachedLookup::Hit(outcome) => {
+                        self.metrics.inc("cache.hit", 1);
+                        self.trace.instant("cache.hit");
+                        (outcome, "hit")
+                    }
+                    lookup => {
+                        let (counter, status) = match lookup {
+                            CachedLookup::StaleVersion => ("cache.stale_version", "stale_version"),
+                            _ => ("cache.miss", "miss"),
+                        };
+                        self.metrics.inc(counter, 1);
+                        self.trace.instant(counter);
+                        let outcome = self.compute_outcome(old, new, classes);
+                        view.record(key, &outcome);
+                        (outcome, status)
+                    }
+                }
+            }
+            None => (self.compute_outcome(old, new, classes), "off"),
+        }
+    }
+
     /// [`Self::process_change`] with the result folded into the
     /// cacheable [`ChangeOutcome`] form (the error reduced to its kind,
     /// message, and excerpt — exactly what a [`QuarantineReport`]
     /// keeps).
-    fn compute_outcome(
-        &mut self,
-        code_change: &corpus::CodeChange<'_>,
-        classes: &[&str],
-    ) -> ChangeOutcome {
-        match self.process_change(code_change, classes) {
+    fn compute_outcome(&mut self, old: &str, new: &str, classes: &[&str]) -> ChangeOutcome {
+        match self.process_change(old, new, classes) {
             Ok(mined) => ChangeOutcome::Mined(mined),
             Err((error, excerpt)) => ChangeOutcome::Skipped {
                 kind: error.kind(),
@@ -489,18 +558,19 @@ impl DiffCode {
     /// survives the catch.
     fn process_change(
         &mut self,
-        code_change: &corpus::CodeChange<'_>,
+        old_source: &str,
+        new_source: &str,
         classes: &[&str],
     ) -> Result<MinedTuples, (PipelineError, String)> {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let span = self.trace.begin("analyze.old");
-            let old = self.try_analyze_source(code_change.old);
+            let old = self.try_analyze_source(old_source);
             self.trace.end(span);
-            let old = old.map_err(|e| (e, excerpt(code_change.old)))?;
+            let old = old.map_err(|e| (e, excerpt(old_source)))?;
             let span = self.trace.begin("analyze.new");
-            let new = self.try_analyze_source(code_change.new);
+            let new = self.try_analyze_source(new_source);
             self.trace.end(span);
-            let new = new.map_err(|e| (e, excerpt(code_change.new)))?;
+            let new = new.map_err(|e| (e, excerpt(new_source)))?;
             let dags_span = self.trace.begin("dags.diff");
             let mut mined = MinedTuples::new();
             for class in classes {
@@ -509,7 +579,7 @@ impl DiffCode {
                     Ok(tuples) => tuples,
                     Err(e) => {
                         self.trace.end(dags_span);
-                        return Err((e, excerpt(code_change.new)));
+                        return Err((e, excerpt(new_source)));
                     }
                 };
                 for (old_dag, new_dag, change) in tuples {
@@ -523,7 +593,7 @@ impl DiffCode {
             Ok(processed) => processed,
             Err(payload) => Err((
                 PipelineError::Panic(panic_message(payload)),
-                excerpt(code_change.new),
+                excerpt(new_source),
             )),
         }
     }
@@ -673,12 +743,34 @@ pub fn mine_parallel_traced(
     cache: Option<&mut MiningCache>,
     trace: &mut TraceSink,
 ) -> MiningResult {
+    mine_parallel_interruptible(corpus, classes, n_threads, registry, cache, trace, None)
+}
+
+/// [`mine_parallel_traced`] with an optional cooperative cancellation
+/// flag, propagated to every worker pipeline: once the flag reads
+/// `true`, each shard stops between code changes and the partial
+/// results merge normally — shard logs are absorbed, the accounting
+/// balances over what was actually processed, and nothing in flight is
+/// abandoned mid-change. This is the Ctrl-C path for one-shot
+/// `diffcode mine`; a `None` flag is exactly [`mine_parallel_traced`].
+pub fn mine_parallel_interruptible(
+    corpus: &Corpus,
+    classes: &[&str],
+    n_threads: usize,
+    registry: &mut MetricsRegistry,
+    cache: Option<&mut MiningCache>,
+    trace: &mut TraceSink,
+    cancel: Option<&'static AtomicBool>,
+) -> MiningResult {
     let trace_config = trace.config();
     let n_threads = n_threads.max(1).min(corpus.projects.len().max(1));
     if n_threads <= 1 {
         let mut view = cache.as_ref().map(|c| c.view());
         let mut dc = DiffCode::new();
         dc.set_trace(TraceSink::from_config(trace_config));
+        if let Some(flag) = cancel {
+            dc.set_cancel_flag(flag);
+        }
         let result = dc.mine_cached(corpus, classes, view.as_mut());
         registry.merge(&dc.take_metrics());
         trace.absorb(dc.take_trace());
@@ -708,6 +800,9 @@ pub fn mine_parallel_traced(
                     scope.spawn(move || {
                         let mut dc = DiffCode::new();
                         dc.set_trace(TraceSink::from_config(trace_config));
+                        if let Some(flag) = cancel {
+                            dc.set_cancel_flag(flag);
+                        }
                         let result = dc.mine_cached(shard, classes, view.as_mut());
                         (
                             result,
@@ -1117,6 +1212,52 @@ mod tests {
             "budget skip is not a parse failure"
         );
         assert!(result.stats.is_balanced());
+    }
+
+    #[test]
+    fn cancel_flag_stops_mining_between_changes_with_balanced_stats() {
+        static FLAG: AtomicBool = AtomicBool::new(true);
+        let corpus = corpus::generate(&corpus::GeneratorConfig::small(4, 11));
+        let mut dc = DiffCode::new();
+        dc.set_cancel_flag(&FLAG);
+        let result = dc.mine(&corpus, &[]);
+        assert_eq!(
+            result.stats.code_changes, 0,
+            "pre-set flag processes nothing"
+        );
+        assert!(result.stats.is_balanced());
+
+        let mut registry = MetricsRegistry::new();
+        let partial = mine_parallel_interruptible(
+            &corpus,
+            &[],
+            2,
+            &mut registry,
+            None,
+            &mut TraceSink::disabled(),
+            Some(&FLAG),
+        );
+        assert_eq!(partial.stats.code_changes, 0);
+        assert!(partial.stats.is_balanced());
+        assert!(registry.counter("mine.interrupted") > 0);
+    }
+
+    #[test]
+    fn process_pair_matches_mining_outcome() {
+        let (old, new) = (fixtures::FIGURE2_OLD, fixtures::FIGURE2_NEW);
+        let mut dc = DiffCode::new();
+        let (outcome, status) = dc.process_pair_cached(old, new, &[], None);
+        assert_eq!(status, "off");
+        let ChangeOutcome::Mined(tuples) = outcome else {
+            panic!("figure 2 pair must mine");
+        };
+        let corpus = corpus_of_pairs("p", &[(old, new)]);
+        let mined = DiffCode::new().mine(&corpus, &[]);
+        assert_eq!(tuples.len(), mined.changes.len());
+        for (tuple, mined_change) in tuples.iter().zip(&mined.changes) {
+            assert_eq!(tuple.0, mined_change.class);
+            assert_eq!(tuple.3, mined_change.change);
+        }
     }
 
     #[test]

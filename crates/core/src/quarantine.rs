@@ -208,7 +208,9 @@ pub struct QuarantineReport {
 
 /// Produces the triage excerpt stored in a [`QuarantineReport`]: the
 /// first non-blank line with control characters replaced by `·`,
-/// truncated to 80 characters (with an ellipsis when cut).
+/// truncated to 80 characters (with an ellipsis when cut). Truncation
+/// slices at a char boundary — a multibyte scalar straddling the cap
+/// is dropped whole, never split into invalid UTF-8.
 pub fn excerpt(source: &str) -> String {
     const MAX_CHARS: usize = 80;
     let line = source
@@ -216,15 +218,29 @@ pub fn excerpt(source: &str) -> String {
         .find(|l| !l.trim().is_empty())
         .unwrap_or("")
         .trim_end();
-    let mut out = String::new();
-    for (i, c) in line.chars().enumerate() {
-        if i == MAX_CHARS {
-            out.push('…');
-            break;
-        }
-        out.push(if c.is_control() { '·' } else { c });
+    let (head, cut) = truncate_at_char_boundary(line, MAX_CHARS);
+    let mut out: String = head
+        .chars()
+        .map(|c| if c.is_control() { '·' } else { c })
+        .collect();
+    if cut {
+        out.push('…');
     }
     out
+}
+
+/// Byte-slices `s` to its first `max_chars` characters. The cut index
+/// comes from `char_indices`, so it is a char boundary by construction;
+/// the `debug_assert` pins that invariant against future edits swapping
+/// in a byte count. Returns the head and whether anything was cut.
+fn truncate_at_char_boundary(s: &str, max_chars: usize) -> (&str, bool) {
+    match s.char_indices().nth(max_chars) {
+        Some((cut, _)) => {
+            debug_assert!(s.is_char_boundary(cut));
+            (&s[..cut], true)
+        }
+        None => (s, false),
+    }
 }
 
 /// The per-stage resource budgets one [`crate::DiffCode`] applies while
@@ -306,5 +322,23 @@ mod tests {
         assert_eq!(e.chars().count(), 81, "80 chars + ellipsis");
         assert!(e.ends_with('…'));
         assert_eq!(excerpt("   \n\t\n"), "");
+    }
+
+    #[test]
+    fn excerpt_cuts_multibyte_lines_on_char_boundaries() {
+        // 100 four-byte scalars: a byte-indexed cut at 80 would land
+        // mid-scalar. The excerpt must keep exactly 80 whole chars.
+        let emoji = "\u{1F510}".repeat(100);
+        let e = excerpt(&emoji);
+        assert_eq!(e.chars().count(), 81);
+        assert!(e.ends_with('…'));
+        assert!(e.starts_with('\u{1F510}'));
+        // A scalar exactly straddling the cap is dropped whole.
+        let mixed = format!("{}é", "x".repeat(79));
+        assert_eq!(excerpt(&mixed).chars().count(), 80, "fits: no cut");
+        let over = format!("{}éé", "x".repeat(79));
+        let e = excerpt(&over);
+        assert_eq!(e.chars().count(), 81);
+        assert!(e.ends_with("é…"));
     }
 }

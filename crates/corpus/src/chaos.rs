@@ -9,10 +9,17 @@
 //! returns a [`FaultLog`] identifying exactly which changes were
 //! touched — so a chaos test can assert that every *untouched* change
 //! mines byte-identically to a fault-free run.
+//!
+//! For the resident server there is a second adversary: [`HttpMutator`]
+//! emits deterministic *wire-level* fault plans ([`HttpPlan`]) — a
+//! sequence of send/pause/close steps that a soak test replays over a
+//! real socket to model truncated requests, oversized headers, lying
+//! `Content-Length`s, slowloris drips, and raw garbage.
 
 use crate::model::Corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// The kinds of corruption the mutator injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -236,6 +243,166 @@ impl Mutator {
     }
 }
 
+/// The kinds of wire-level abuse [`HttpMutator`] plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HttpFaultKind {
+    /// A request line cut off mid-token, then the socket closes.
+    TruncatedRequestLine,
+    /// A header block far beyond any sane cap (a memory trap for
+    /// servers that buffer headers unboundedly).
+    OversizedHeaders,
+    /// A `Content-Length` that is not a number at all.
+    BogusContentLength,
+    /// A `Content-Length` promising more bytes than are ever sent,
+    /// then the socket closes (a hang trap for blocking reads).
+    ShortBody,
+    /// A well-formed request delivered one byte at a time with long
+    /// pauses — the classic slowloris slow-drip.
+    Slowloris,
+    /// Bytes that are not HTTP at all.
+    Garbage,
+    /// An honest `Content-Length` that exceeds any sane body cap.
+    HugeBody,
+}
+
+impl HttpFaultKind {
+    /// Stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HttpFaultKind::TruncatedRequestLine => "truncated-request-line",
+            HttpFaultKind::OversizedHeaders => "oversized-headers",
+            HttpFaultKind::BogusContentLength => "bogus-content-length",
+            HttpFaultKind::ShortBody => "short-body",
+            HttpFaultKind::Slowloris => "slowloris",
+            HttpFaultKind::Garbage => "garbage",
+            HttpFaultKind::HugeBody => "huge-body",
+        }
+    }
+}
+
+/// One step of a wire-level fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpStep {
+    /// Write these bytes to the socket.
+    Send(Vec<u8>),
+    /// Sleep before the next step (keeps the connection open, idle).
+    Pause(Duration),
+    /// Shut down the write half and stop sending.
+    Close,
+}
+
+/// A deterministic sequence of socket operations modelling one
+/// malformed client. The server under test must answer every plan with
+/// a clean 4xx or a timeout — never a hung worker or an abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpPlan {
+    /// What this plan models.
+    pub kind: HttpFaultKind,
+    /// The steps to replay, in order.
+    pub steps: Vec<HttpStep>,
+}
+
+/// A deterministic, seeded generator of malformed-HTTP client plans.
+#[derive(Debug)]
+pub struct HttpMutator {
+    rng: StdRng,
+    pause: Duration,
+}
+
+impl HttpMutator {
+    /// A mutator seeded with `seed`. Slowloris pauses default to 50 ms
+    /// — long enough to trip a test-tuned read deadline, short enough
+    /// to keep a soak run fast.
+    pub fn new(seed: u64) -> Self {
+        HttpMutator {
+            rng: StdRng::seed_from_u64(seed),
+            pause: Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the pause used between slow-drip sends.
+    pub fn with_pause(mut self, pause: Duration) -> Self {
+        self.pause = pause;
+        self
+    }
+
+    /// Produces the next fault plan. Successive calls cycle through
+    /// all kinds in a seed-determined order with seed-determined
+    /// parameters (lengths, cut points).
+    pub fn plan(&mut self) -> HttpPlan {
+        let kind = match self.rng.random_range(0..7u32) {
+            0 => HttpFaultKind::TruncatedRequestLine,
+            1 => HttpFaultKind::OversizedHeaders,
+            2 => HttpFaultKind::BogusContentLength,
+            3 => HttpFaultKind::ShortBody,
+            4 => HttpFaultKind::Slowloris,
+            5 => HttpFaultKind::Garbage,
+            _ => HttpFaultKind::HugeBody,
+        };
+        self.plan_for(kind)
+    }
+
+    /// Produces a plan of a specific kind (parameters still seeded).
+    pub fn plan_for(&mut self, kind: HttpFaultKind) -> HttpPlan {
+        let steps = match kind {
+            HttpFaultKind::TruncatedRequestLine => {
+                let line = b"POST /mine HTTP/1.1\r\n";
+                let cut = 1 + self.rng.random_range(0..line.len() - 1);
+                vec![HttpStep::Send(line[..cut].to_vec()), HttpStep::Close]
+            }
+            HttpFaultKind::OversizedHeaders => {
+                let mut req = b"GET /healthz HTTP/1.1\r\n".to_vec();
+                let n = 256 + self.rng.random_range(0..64usize);
+                for i in 0..n {
+                    req.extend_from_slice(format!("X-Pad-{i}: ").as_bytes());
+                    req.extend(std::iter::repeat_n(b'a', 512));
+                    req.extend_from_slice(b"\r\n");
+                }
+                req.extend_from_slice(b"\r\n");
+                vec![HttpStep::Send(req), HttpStep::Close]
+            }
+            HttpFaultKind::BogusContentLength => {
+                let req = b"POST /mine HTTP/1.1\r\ncontent-length: banana\r\n\r\n".to_vec();
+                vec![HttpStep::Send(req), HttpStep::Close]
+            }
+            HttpFaultKind::ShortBody => {
+                let promised = 4_096 + self.rng.random_range(0..4_096usize);
+                let sent = self.rng.random_range(0..64usize);
+                let mut req = format!("POST /check HTTP/1.1\r\ncontent-length: {promised}\r\n\r\n")
+                    .into_bytes();
+                req.extend(std::iter::repeat_n(b'{', sent));
+                vec![HttpStep::Send(req), HttpStep::Close]
+            }
+            HttpFaultKind::Slowloris => {
+                let req = b"GET /metrics HTTP/1.1\r\n";
+                let mut steps = Vec::with_capacity(2 * req.len());
+                for byte in req {
+                    steps.push(HttpStep::Send(vec![*byte]));
+                    steps.push(HttpStep::Pause(self.pause));
+                }
+                // Never send the terminating blank line: the server's
+                // read deadline has to cut the connection, not EOF.
+                steps
+            }
+            HttpFaultKind::Garbage => {
+                let n = 1 + self.rng.random_range(0..512usize);
+                let bytes: Vec<u8> = (0..n).map(|_| self.rng.random_range(0..=255u8)).collect();
+                vec![HttpStep::Send(bytes), HttpStep::Close]
+            }
+            HttpFaultKind::HugeBody => {
+                let promised = 1 << 26; // 64 MiB: past any sane body cap.
+                let req = format!("POST /mine HTTP/1.1\r\ncontent-length: {promised}\r\n\r\n")
+                    .into_bytes();
+                // Start sending the body so the server sees an honest
+                // (if doomed) client, then give up.
+                let chunk = vec![b'x'; 1_024];
+                vec![HttpStep::Send(req), HttpStep::Send(chunk), HttpStep::Close]
+            }
+        };
+        HttpPlan { kind, steps }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +459,54 @@ mod tests {
             .with_panic_marker("@@CHAOS@@")
             .inject(&mut corpus2);
         assert!(log2.faults.iter().any(|f| f.kind == FaultKind::PanicMarker));
+    }
+
+    #[test]
+    fn http_plans_are_deterministic_and_cover_all_kinds() {
+        let plans_a: Vec<HttpPlan> = {
+            let mut m = HttpMutator::new(99);
+            (0..64).map(|_| m.plan()).collect()
+        };
+        let plans_b: Vec<HttpPlan> = {
+            let mut m = HttpMutator::new(99);
+            (0..64).map(|_| m.plan()).collect()
+        };
+        assert_eq!(plans_a, plans_b, "same seed, same plans");
+        let mut kinds: Vec<&str> = plans_a.iter().map(|p| p.kind.name()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 7, "64 draws should hit all 7 kinds");
+    }
+
+    #[test]
+    fn http_plan_shapes_match_their_kinds() {
+        let mut m = HttpMutator::new(5).with_pause(Duration::from_millis(1));
+        let trunc = m.plan_for(HttpFaultKind::TruncatedRequestLine);
+        let HttpStep::Send(bytes) = &trunc.steps[0] else {
+            panic!("truncated plan starts with a send");
+        };
+        assert!(bytes.len() < b"POST /mine HTTP/1.1\r\n".len());
+        assert_eq!(trunc.steps.last(), Some(&HttpStep::Close));
+
+        let slow = m.plan_for(HttpFaultKind::Slowloris);
+        assert!(
+            slow.steps
+                .iter()
+                .any(|s| matches!(s, HttpStep::Pause(p) if *p == Duration::from_millis(1))),
+            "slowloris drips with the configured pause"
+        );
+        assert_ne!(
+            slow.steps.last(),
+            Some(&HttpStep::Close),
+            "slowloris never hangs up; the server must"
+        );
+
+        let huge = m.plan_for(HttpFaultKind::HugeBody);
+        let HttpStep::Send(head) = &huge.steps[0] else {
+            panic!("huge-body plan starts with a send");
+        };
+        let head = String::from_utf8_lossy(head);
+        assert!(head.contains(&format!("content-length: {}", 1 << 26)));
     }
 
     #[test]

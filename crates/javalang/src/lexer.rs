@@ -823,11 +823,7 @@ mod tests {
     fn comments_are_trivia() {
         assert_eq!(
             toks("a // line\n /* block \n */ b"),
-            vec![
-                Token::Ident("a"),
-                Token::Ident("b"),
-                Token::Eof
-            ]
+            vec![Token::Ident("a"), Token::Ident("b"), Token::Eof]
         );
     }
 

@@ -45,11 +45,13 @@
 
 pub mod chrome;
 mod json;
+pub mod prometheus;
 mod span;
 mod trace;
 
 pub use chrome::to_chrome_json;
 pub use json::{to_json, SNAPSHOT_VERSION};
+pub use prometheus::to_prometheus_text;
 pub use span::{fmt_ns, SpanStats, Stopwatch};
 pub use trace::{
     AttrSet, NameId, SpanId, TraceConfig, TraceEvent, TraceKind, TraceSink, TraceValue,

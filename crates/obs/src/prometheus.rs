@@ -1,0 +1,124 @@
+//! Prometheus text-format exposition for a [`MetricsRegistry`].
+//!
+//! The resident server's `GET /metrics` endpoint renders a registry
+//! snapshot in the Prometheus exposition format (version 0.0.4): one
+//! `# TYPE` line plus one sample line per metric, `diffcode_`-prefixed,
+//! with registry names sanitized to the `[a-zA-Z0-9_]` metric-name
+//! alphabet (every other byte becomes `_`). Output is **deterministic**
+//! for a given registry state — names render in sorted order and floats
+//! with a fixed format — which is what lets the soak harness assert
+//! that two scrapes of an idle server are byte-identical.
+//!
+//! Counters map to `counter`, gauges to `gauge`, and each timing span
+//! to four `counter`/`gauge` samples: `<name>_count`, `<name>_sum_ns`,
+//! `<name>_min_ns`, `<name>_max_ns`.
+
+use crate::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Rewrites a registry name (`serve.http_requests`, `mine.change`) into
+/// the Prometheus metric-name alphabet, prefixed with `diffcode_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("diffcode_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a gauge value the way Prometheus expects: integral values
+/// without a fractional part, everything else with enough digits to
+/// round-trip, and non-finite values as `NaN`/`+Inf`/`-Inf`.
+fn gauge_value(value: f64) -> String {
+    if value.is_nan() {
+        return "NaN".to_owned();
+    }
+    if value.is_infinite() {
+        return if value > 0.0 { "+Inf" } else { "-Inf" }.to_owned();
+    }
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+/// Deterministic: same registry state, same bytes.
+pub fn to_prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {}", gauge_value(value));
+    }
+    for (name, span) in registry.spans() {
+        let base = metric_name(name);
+        let _ = writeln!(out, "# TYPE {base}_count counter");
+        let _ = writeln!(out, "{base}_count {}", span.count);
+        let _ = writeln!(out, "# TYPE {base}_sum_ns counter");
+        let _ = writeln!(out, "{base}_sum_ns {}", span.sum_ns);
+        let _ = writeln!(out, "# TYPE {base}_min_ns gauge");
+        let _ = writeln!(out, "{base}_min_ns {}", span.min_ns);
+        let _ = writeln!(out, "# TYPE {base}_max_ns gauge");
+        let _ = writeln!(out, "{base}_max_ns {}", span.max_ns);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_gauges_and_spans_deterministically() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("serve.accepted", 7);
+        reg.inc("mine.code_changes", 3);
+        reg.set_gauge("serve.queue_depth", 2.0);
+        reg.set_gauge("cache.hit_rate", 0.25);
+        reg.record_span("serve.request", Duration::from_nanos(1_500));
+        reg.record_span("serve.request", Duration::from_nanos(500));
+
+        let text = to_prometheus_text(&reg);
+        let again = to_prometheus_text(&reg);
+        assert_eq!(text, again, "idle scrapes are byte-identical");
+
+        assert!(text.contains("# TYPE diffcode_serve_accepted counter"));
+        assert!(text.contains("diffcode_serve_accepted 7"));
+        assert!(text.contains("diffcode_mine_code_changes 3"));
+        assert!(text.contains("diffcode_serve_queue_depth 2"));
+        assert!(text.contains("diffcode_cache_hit_rate 0.25"));
+        assert!(text.contains("diffcode_serve_request_count 2"));
+        assert!(text.contains("diffcode_serve_request_sum_ns 2000"));
+        assert!(text.contains("diffcode_serve_request_min_ns 500"));
+        assert!(text.contains("diffcode_serve_request_max_ns 1500"));
+        // Counters render before gauges, names sorted within a section.
+        let accepted = text.find("diffcode_serve_accepted").unwrap();
+        let changes = text.find("diffcode_mine_code_changes").unwrap();
+        assert!(changes < accepted, "sorted counter order");
+    }
+
+    #[test]
+    fn sanitizes_names_and_non_finite_gauges() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("weird name:with/chars", 1);
+        reg.set_gauge("g.nan", f64::NAN);
+        reg.set_gauge("g.inf", f64::INFINITY);
+        let text = to_prometheus_text(&reg);
+        assert!(text.contains("diffcode_weird_name_with_chars 1"));
+        assert!(text.contains("diffcode_g_nan NaN"));
+        assert!(text.contains("diffcode_g_inf +Inf"));
+    }
+}

@@ -1,0 +1,100 @@
+//! The `diffcode-serve` binary: `diffcode serve` delegates here (the
+//! cargo-style external-subcommand pattern keeps the core CLI free of
+//! a server dependency). Runs until SIGINT/SIGTERM, then drains and
+//! reports final accounting.
+
+use serve::{ServeConfig, Server};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: diffcode-serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
+                      [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
+
+Resident mining/checking service. Endpoints:
+  POST /mine                  {\"old\": ..., \"new\": ...} -> mined/quarantined verdict
+  POST /check                 {\"source\": ...} -> rule violations
+  GET  /explain/<fingerprint> recent /mine verdicts for a fingerprint prefix
+  GET  /metrics               Prometheus text exposition
+  GET  /healthz, /readyz      liveness; readiness goes 503 while draining
+
+Shuts down gracefully on SIGINT/SIGTERM: stops accepting, drains the
+queue under the drain deadline, flushes the mining cache.
+Set DIFFCODE_SERVE_CHAOS=1 to honor the X-Chaos-* test headers.";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_owned())?;
+            }
+            "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--deadline-ms" => {
+                config.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms needs an integer".to_owned())?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer".to_owned())?;
+            }
+            "--drain-ms" => {
+                config.drain_ms = value("--drain-ms")?
+                    .parse()
+                    .map_err(|_| "--drain-ms needs an integer".to_owned())?;
+            }
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if std::env::var_os("DIFFCODE_SERVE_CHAOS").is_some() {
+        config.chaos_hooks = true;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    diffcode::shutdown::install();
+    let handle = match Server::spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("diffcode-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The listening line is the startup handshake: supervisors (and
+    // the smoke script) read it to learn the bound port, so it must
+    // reach the pipe immediately.
+    println!("diffcode-serve listening on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+
+    let summary = handle.join();
+    println!(
+        "diffcode-serve drained: accepted {} = completed {} + shed {} + failed {}; \
+         flushed {} cache entries",
+        summary.accepted, summary.completed, summary.shed, summary.failed, summary.flushed_entries
+    );
+    let _ = std::io::stdout().flush();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,269 @@
+//! The five endpoints of the resident service.
+//!
+//! | route | answers |
+//! |---|---|
+//! | `POST /mine` | one `(old, new)` change → mined/quarantined verdict |
+//! | `POST /check` | snippet(s) → rule violations |
+//! | `GET /explain/<fingerprint>` | the ring-buffered verdict journal |
+//! | `GET /metrics` | the registry in Prometheus text format |
+//! | `GET /healthz`, `GET /readyz` | liveness / drain-aware readiness |
+//!
+//! `/mine` goes through [`diffcode::DiffCode::process_pair_cached`] —
+//! the exact look-aside path the one-shot `diffcode mine` loop uses —
+//! and renders verdict tuples with [`diffcode::cli::tuple_digest`], so
+//! a served verdict is byte-comparable to a mining run's digest parts.
+//! The pipeline's own fuel budgets do the heavy robustness lifting: a
+//! 10 MB "Java file" or pathologically nested source quarantines the
+//! *request* (a clean JSON verdict with provenance), never the worker.
+
+use crate::http::{Request, Response};
+use crate::json::{self, Json};
+use crate::ring::ExplainRecord;
+use crate::server::Shared;
+use diffcode::mcache::ChangeOutcome;
+use diffcode::pipeline::change_fingerprint;
+use diffcode::DiffCode;
+use std::sync::PoisonError;
+
+/// Per-worker handler state: the pipeline instance (carries its own
+/// metrics registry, merged into the shared one after each request).
+pub struct WorkerCtx {
+    dc: DiffCode,
+}
+
+impl WorkerCtx {
+    /// A fresh pipeline at default limits and depth — the same
+    /// configuration as a one-shot mining run.
+    pub fn new() -> Self {
+        WorkerCtx {
+            dc: DiffCode::new(),
+        }
+    }
+}
+
+impl Default for WorkerCtx {
+    fn default() -> Self {
+        WorkerCtx::new()
+    }
+}
+
+/// Routes one request. Always returns a response; panics escape to the
+/// per-request `catch_unwind` in the server loop.
+pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+    if shared.config.chaos_hooks {
+        if let Some(ms) = req
+            .header("x-chaos-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
+        }
+        if req.header("x-chaos-panic").is_some() {
+            panic!("chaos fault injection: X-Chaos-Panic header present");
+        }
+    }
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/mine") => mine(req, shared, ctx),
+        ("POST", "/check") => check(req),
+        ("GET", "/metrics") => metrics(shared),
+        ("GET", "/healthz") => Response::text(200, "ok"),
+        ("GET", "/readyz") => {
+            if shared.draining() {
+                Response::text(503, "draining")
+            } else {
+                Response::text(200, "ready")
+            }
+        }
+        ("GET", path) if path.starts_with("/explain/") => explain(path, shared),
+        (_, "/mine" | "/check" | "/metrics" | "/healthz" | "/readyz") => {
+            err_json(405, "method not allowed for this path")
+        }
+        (_, path) if path.starts_with("/explain/") => err_json(405, "explain is GET-only"),
+        _ => err_json(404, "unknown path"),
+    }
+}
+
+fn err_json(status: u16, message: &str) -> Response {
+    let body = Json::Obj(vec![("error".to_owned(), Json::Str(message.to_owned()))]);
+    Response::json(status, body.render())
+}
+
+/// Parses the request body as a JSON object.
+fn body_json(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| err_json(400, "request body is not UTF-8"))?;
+    json::parse(text).map_err(|e| err_json(400, &format!("request body: {e}")))
+}
+
+/// `POST /mine`: `{"old": "...", "new": "...", "classes": ["..."]?}`.
+fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+    let body = match body_json(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(old) = body.get("old").and_then(Json::as_str) else {
+        return err_json(400, "missing string field `old`");
+    };
+    let Some(new) = body.get("new").and_then(Json::as_str) else {
+        return err_json(400, "missing string field `new`");
+    };
+    let classes: Vec<&str> = body
+        .get("classes")
+        .and_then(Json::as_array)
+        .map(|items| items.iter().filter_map(Json::as_str).collect())
+        .unwrap_or_default();
+
+    let (outcome, cache_status) = match shared.cache.as_ref() {
+        Some(lock) => {
+            // Mining holds only a read lock: concurrent /mine requests
+            // look the cache up in parallel and batch their writes in
+            // per-request shard logs, absorbed under a brief write
+            // lock afterwards — same pattern as parallel mining.
+            let (result, log) = {
+                let cache = lock.read().unwrap_or_else(PoisonError::into_inner);
+                let mut view = cache.view();
+                let result = ctx
+                    .dc
+                    .process_pair_cached(old, new, &classes, Some(&mut view));
+                (result, view.into_log())
+            };
+            let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
+            cache.absorb(log);
+            match cache.flush() {
+                Ok(n) => shared.with_registry(|r| r.inc("cache.flushed_entries", n as u64)),
+                Err(_) => shared.with_registry(|r| r.inc("serve.cache_flush_errors", 1)),
+            }
+            result
+        }
+        None => ctx.dc.process_pair_cached(old, new, &classes, None),
+    };
+
+    // Fold the pipeline's own counters (cache.hit/miss, mine spans,
+    // quarantine breakdown) into the served registry.
+    let request_metrics = ctx.dc.take_metrics();
+    shared.with_registry(|r| {
+        r.merge(&request_metrics);
+        r.inc("serve.mine_requests", 1);
+    });
+
+    let fingerprint = change_fingerprint(old, new);
+    let tuples = diffcode::cli::outcome_digest_parts(&outcome);
+    let (verdict, skip) = match &outcome {
+        ChangeOutcome::Mined(_) => ("mined", None),
+        ChangeOutcome::Skipped {
+            kind,
+            error,
+            excerpt,
+        } => (
+            "quarantined",
+            Some((kind.name().to_owned(), error.clone(), excerpt.clone())),
+        ),
+    };
+
+    let seq = {
+        let mut ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.push(ExplainRecord {
+            seq: 0,
+            fingerprint: fingerprint.clone(),
+            verdict,
+            cache: cache_status,
+            tuples: tuples.clone(),
+            skip: skip.clone(),
+        })
+    };
+
+    let skip_json = match skip {
+        Some((kind, error, excerpt)) => Json::Obj(vec![
+            ("kind".to_owned(), Json::Str(kind)),
+            ("error".to_owned(), Json::Str(error)),
+            ("excerpt".to_owned(), Json::Str(excerpt)),
+        ]),
+        None => Json::Null,
+    };
+    let body = Json::Obj(vec![
+        ("fingerprint".to_owned(), Json::Str(fingerprint)),
+        ("verdict".to_owned(), Json::Str(verdict.to_owned())),
+        ("cache".to_owned(), Json::Str(cache_status.to_owned())),
+        ("seq".to_owned(), Json::Num(seq as f64)),
+        (
+            "tuples".to_owned(),
+            Json::Arr(tuples.into_iter().map(Json::Str).collect()),
+        ),
+        ("skip".to_owned(), skip_json),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `POST /check`: `{"source": "..."}` or
+/// `{"files": [{"name": "...", "source": "..."}]}`.
+fn check(req: &Request) -> Response {
+    let body = match body_json(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let files: Vec<(String, String)> =
+        if let Some(source) = body.get("source").and_then(Json::as_str) {
+            vec![("request".to_owned(), source.to_owned())]
+        } else if let Some(items) = body.get("files").and_then(Json::as_array) {
+            let mut files = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let Some(source) = item.get("source").and_then(Json::as_str) else {
+                    return err_json(400, "each file needs a string field `source`");
+                };
+                let name = item
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map_or_else(|| format!("file{i}"), ToOwned::to_owned);
+                files.push((name, source.to_owned()));
+            }
+            files
+        } else {
+            return err_json(400, "expected `source` or `files`");
+        };
+    if files.is_empty() {
+        return err_json(400, "no files to check");
+    }
+
+    let (report, violated) = diffcode::cli::render_check(&files, rules::ProjectContext::plain());
+    let body = Json::Obj(vec![
+        ("violated_rules".to_owned(), Json::Num(violated as f64)),
+        ("files".to_owned(), Json::Num(files.len() as f64)),
+        ("report".to_owned(), Json::Str(report)),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /explain/<fingerprint-prefix>`.
+fn explain(path: &str, shared: &Shared) -> Response {
+    let prefix = path.trim_start_matches("/explain/");
+    if prefix.is_empty() {
+        return err_json(400, "expected /explain/<fingerprint-prefix>");
+    }
+    let ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
+    let matches = ring.find(prefix);
+    if matches.is_empty() {
+        return err_json(
+            404,
+            "no served change matches that fingerprint prefix (the ring holds recent /mine verdicts only)",
+        );
+    }
+    let body = Json::Obj(vec![
+        ("found".to_owned(), Json::Num(matches.len() as f64)),
+        (
+            "records".to_owned(),
+            Json::Arr(matches.iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /metrics`: deterministic Prometheus text.
+fn metrics(shared: &Shared) -> Response {
+    let text = shared.with_registry(|r| obs::to_prometheus_text(r));
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: text.into_bytes(),
+        retry_after: None,
+    }
+}

@@ -1,0 +1,456 @@
+//! The resident server: listener, bounded admission queue, fixed
+//! worker pool, per-request panic isolation, and graceful drain.
+//!
+//! Life of a connection:
+//!
+//! 1. The accept loop (nonblocking, polled so shutdown is observed
+//!    within one tick) counts it `serve.accepted`, then either enqueues
+//!    it or — past the queue watermark — sheds it on the spot with
+//!    `429` + `Retry-After` (`serve.shed`).
+//! 2. A worker pops it, reads the request under the per-request
+//!    deadline ([`crate::http`]), and dispatches
+//!    ([`crate::handlers`]) inside `catch_unwind`: a handler panic
+//!    becomes a `500` with quarantine-style provenance and counts
+//!    `serve.failed`; the worker survives. Everything else — including
+//!    clean `4xx` rejections of malformed input — counts
+//!    `serve.completed`.
+//! 3. On shutdown (SIGINT/SIGTERM via [`diffcode::shutdown`], or a
+//!    programmatic stop flag) the listener closes, queued connections
+//!    drain under the drain deadline (whatever the deadline catches
+//!    still queued is shed with `503`), the mining cache flushes its
+//!    append log, and the counters are returned as a [`ServeSummary`].
+//!
+//! The accounting partition `accepted = completed + shed + failed`
+//! holds exactly whenever the server is idle or stopped — it is checked
+//! by the soak harness and rendered by `GET /metrics`.
+
+use crate::handlers::{self, WorkerCtx};
+use crate::http::{self, HttpCaps, Response};
+use crate::ring::ExplainRing;
+use diffcode::quarantine::PipelineLimits;
+use diffcode::MiningCache;
+use obs::MetricsRegistry;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Everything `diffcode serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Mining-cache directory; `None` serves without a cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-request read deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Admission-queue watermark: connections beyond this are shed.
+    pub queue_depth: usize,
+    /// Drain deadline at shutdown, milliseconds.
+    pub drain_ms: u64,
+    /// `/explain` ring capacity.
+    pub ring_capacity: usize,
+    /// HTTP size caps.
+    pub caps: HttpCaps,
+    /// Honors the `X-Chaos-Sleep-Ms` / `X-Chaos-Panic` test headers.
+    /// Off in production; the soak harness turns it on.
+    pub chaos_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8091".to_owned(),
+            threads: 4,
+            cache_dir: None,
+            deadline_ms: 2_000,
+            queue_depth: 64,
+            drain_ms: 5_000,
+            ring_capacity: 256,
+            caps: HttpCaps::DEFAULT,
+            chaos_hooks: false,
+        }
+    }
+}
+
+/// Final accounting returned when the server stops.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests answered (2xx and clean 4xx alike).
+    pub completed: u64,
+    /// Requests shed (429 at the watermark, 503 at drain).
+    pub shed: u64,
+    /// Requests failed (500: handler panic or internal error).
+    pub failed: u64,
+    /// Cache entries flushed over the server's lifetime (per-request
+    /// flushes plus the final drain flush).
+    pub flushed_entries: u64,
+    /// The full final metrics registry.
+    pub registry: MetricsRegistry,
+}
+
+impl Default for ServeSummary {
+    fn default() -> Self {
+        ServeSummary {
+            accepted: 0,
+            completed: 0,
+            shed: 0,
+            failed: 0,
+            flushed_entries: 0,
+            registry: MetricsRegistry::new(),
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers, and the handlers.
+pub struct Shared {
+    /// The server configuration.
+    pub config: ServeConfig,
+    /// The single metrics registry behind `GET /metrics`.
+    pub registry: Mutex<MetricsRegistry>,
+    /// The hot mining cache, when configured.
+    pub cache: Option<RwLock<MiningCache>>,
+    /// The `/explain` verdict journal.
+    pub ring: Mutex<ExplainRing>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    /// `true` once shutdown has begun (readiness goes 503).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` on the locked registry, recovering a poisoned lock
+    /// (metrics are monotone counters; a panicked writer cannot leave
+    /// them torn in a way that matters more than losing them).
+    pub fn with_registry<T>(&self, f: impl FnOnce(&mut MetricsRegistry) -> T) -> T {
+        let mut guard = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+/// A running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the drain to finish.
+    pub fn shutdown(self) -> ServeSummary {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the server to stop on its own (signal-triggered).
+    /// If the server thread itself panicked there is no accounting to
+    /// report and the default (all-zero) summary comes back.
+    pub fn join(self) -> ServeSummary {
+        self.thread.join().unwrap_or_default()
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, opens the cache (strict open: a corrupt
+    /// mid-log fails loudly with the `cache verify` hint), and spawns
+    /// the accept loop plus worker pool. Returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and cache-open failures.
+    pub fn spawn(config: ServeConfig) -> Result<ServerHandle, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("configuring listener: {e}"))?;
+
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(RwLock::new(
+                // Same configuration as a one-shot `diffcode mine`
+                // run, so served verdicts and mined ones share keys.
+                MiningCache::open(
+                    dir,
+                    &[],
+                    &PipelineLimits::DEFAULT,
+                    usagegraph::DEFAULT_MAX_DEPTH,
+                )
+                .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?,
+            )),
+            None => None,
+        };
+
+        let shared = Arc::new(Shared {
+            ring: Mutex::new(ExplainRing::new(config.ring_capacity)),
+            registry: Mutex::new(MetricsRegistry::new()),
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
+            config,
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || run(listener, shared, &stop))
+                .map_err(|e| format!("spawning server thread: {e}"))?
+        };
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+/// The accept loop + drain sequence (runs on the server thread).
+fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSummary {
+    let workers: Vec<_> = (0..shared.config.threads.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    while !stop.load(Ordering::SeqCst) && !diffcode::shutdown::requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(&shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    drop(listener);
+
+    // Drain: workers keep answering queued requests until the queue is
+    // empty; whatever the drain deadline catches still queued is shed
+    // with a fast 503 inside the workers.
+    {
+        let mut deadline = shared
+            .drain_deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *deadline = Some(Instant::now() + Duration::from_millis(shared.config.drain_ms));
+    }
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    for handle in workers.into_iter().flatten() {
+        let _ = handle.join();
+    }
+
+    // Flush the cache append log so a restart starts warm.
+    let mut flushed = 0u64;
+    if let Some(lock) = &shared.cache {
+        let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
+        match cache.flush() {
+            Ok(n) => flushed = n as u64,
+            Err(_) => shared.with_registry(|r| r.inc("serve.cache_flush_errors", 1)),
+        }
+    }
+
+    shared.with_registry(|r| {
+        r.inc("cache.flushed_entries", flushed);
+        ServeSummary {
+            accepted: r.counter("serve.accepted"),
+            completed: r.counter("serve.completed"),
+            shed: r.counter("serve.shed"),
+            failed: r.counter("serve.failed"),
+            flushed_entries: r.counter("cache.flushed_entries"),
+            registry: r.clone(),
+        }
+    })
+}
+
+/// Counts and enqueues one accepted connection, or sheds it with 429
+/// when the queue is at the watermark.
+fn admit(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    shared.with_registry(|r| r.inc("serve.accepted", 1));
+    let rejected = {
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= shared.config.queue_depth {
+            Some(stream)
+        } else {
+            queue.push_back(stream);
+            let len = queue.len();
+            shared.with_registry(|r| r.set_gauge("serve.queue_depth", len as f64));
+            None
+        }
+    };
+    match rejected {
+        None => shared.queue_cv.notify_one(),
+        Some(mut stream) => {
+            // Past the watermark: shed on the accept thread. The write
+            // is bounded by the socket write timeout, so a client that
+            // refuses to read its 429 cannot stall accepts for long.
+            let mut resp = Response::json(
+                429,
+                "{\"error\":\"admission queue is full, retry shortly\"}".to_owned(),
+            );
+            resp.retry_after = Some(1);
+            let _ = http::write_response(&mut stream, &resp);
+            shared.with_registry(|r| {
+                r.inc("serve.shed", 1);
+                r.inc("serve.http_429", 1);
+            });
+        }
+    }
+}
+
+/// One worker: pop, handle under `catch_unwind`, count, repeat — until
+/// the queue runs dry during drain.
+fn worker_loop(shared: &Shared) {
+    let mut ctx = WorkerCtx::new();
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(stream) = conn else { break };
+        handle_connection(shared, &mut ctx, stream);
+    }
+}
+
+/// Where one finished connection lands in the accounting partition.
+/// (Shed connections are counted at their shed site — the 429
+/// watermark rejection or the drain-deadline 503 — and never get here.)
+enum Disposition {
+    Completed,
+    Failed,
+}
+
+fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream) {
+    // Past the drain deadline: fast 503, no parsing.
+    let past_drain = shared.draining()
+        && shared
+            .drain_deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some_and(|d| Instant::now() >= d);
+    if past_drain {
+        let mut resp = Response::json(503, "{\"error\":\"server is draining\"}".to_owned());
+        resp.retry_after = Some(1);
+        let _ = http::write_response(&mut stream, &resp);
+        shared.with_registry(|r| {
+            r.inc("serve.shed", 1);
+            r.inc("serve.http_503", 1);
+        });
+        return;
+    }
+
+    let deadline = Instant::now() + Duration::from_millis(shared.config.deadline_ms);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        match http::read_request(&mut stream, deadline, &shared.config.caps) {
+            Ok(req) => {
+                let resp = handlers::handle(&req, shared, ctx);
+                Some(resp)
+            }
+            Err(err) => {
+                shared.with_registry(|r| r.inc(&format!("serve.recv_{}", err.name()), 1));
+                err.status()
+                    .map(|(status, msg)| Response::text(status, msg))
+            }
+        }
+    }));
+
+    let disposition = match outcome {
+        Ok(Some(resp)) => {
+            let status = resp.status;
+            let delivered = http::write_response(&mut stream, &resp).is_ok();
+            shared.with_registry(|r| {
+                r.inc(&format!("serve.http_{status}"), 1);
+                if !delivered {
+                    r.inc("serve.response_write_errors", 1);
+                }
+            });
+            if status == 500 {
+                Disposition::Failed
+            } else {
+                Disposition::Completed
+            }
+        }
+        // Peer vanished before sending a request; cleanly done.
+        Ok(None) => Disposition::Completed,
+        Err(payload) => {
+            // A panic escaped a handler: the worker survives, the
+            // client gets a 500 carrying quarantine-style provenance.
+            let msg = panic_message(payload.as_ref());
+            let body = crate::json::Json::Obj(vec![
+                (
+                    "error".to_owned(),
+                    crate::json::Json::Str("internal error: handler panicked".to_owned()),
+                ),
+                (
+                    "quarantine".to_owned(),
+                    crate::json::Json::Obj(vec![
+                        (
+                            "kind".to_owned(),
+                            crate::json::Json::Str("panic".to_owned()),
+                        ),
+                        ("error".to_owned(), crate::json::Json::Str(msg)),
+                    ]),
+                ),
+            ]);
+            let _ = http::write_response(&mut stream, &Response::json(500, body.render()));
+            shared.with_registry(|r| r.inc("serve.http_500", 1));
+            Disposition::Failed
+        }
+    };
+
+    shared.with_registry(|r| match disposition {
+        Disposition::Completed => r.inc("serve.completed", 1),
+        Disposition::Failed => r.inc("serve.failed", 1),
+    });
+}
+
+/// Extracts the message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

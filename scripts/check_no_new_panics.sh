@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Guards the fault-tolerance invariant: non-test code in the crates on
-# the untrusted-input path (javalang, analysis, usagegraph, core) must
+# the untrusted-input path (javalang, analysis, usagegraph, core,
+# serve) must
 # not gain new unwrap()/expect()/panic! sites. Deliberate sites are
 # recorded in scripts/panic_allowlist.txt; add a line there (with a
 # justification comment) only when a panic is genuinely unreachable
@@ -24,7 +25,7 @@ scan() {
     local root=$1
     local dirs=()
     local d
-    for d in javalang analysis usagegraph core; do
+    for d in javalang analysis usagegraph core serve; do
         [ -d "$root/crates/$d/src" ] && dirs+=("$root/crates/$d/src")
     done
     [ "${#dirs[@]}" -eq 0 ] && return 0

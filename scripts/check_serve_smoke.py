@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""End-to-end smoke gate for `diffcode serve`.
+
+Boots the resident service on an ephemeral port, walks every endpoint,
+and checks the acceptance criteria a unit test can't see from inside
+the process:
+
+  1. startup handshake: the first stdout line names the bound address;
+  2. all five endpoints answer: /healthz, /readyz, /mine, /check,
+     /explain/<fingerprint>, /metrics;
+  3. verdict parity: mining the same change cold then warm returns the
+     identical fingerprint/verdict/tuples (the warm one from the
+     cache), i.e. a served verdict never depends on cache state;
+  4. malformed input gets a clean 4xx, not a dropped connection;
+  5. SIGTERM drains: exit code 0 and a final accounting line whose
+     partition `accepted = completed + shed + failed` balances.
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+Usage: check_serve_smoke.py <path-to-diffcode-binary>
+"""
+
+import http.client
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+STARTUP_TIMEOUT_S = 30
+DRAIN_TIMEOUT_S = 30
+DRAIN_RE = re.compile(
+    r"drained: accepted (\d+) = completed (\d+) \+ shed (\d+) \+ failed (\d+); "
+    r"flushed (\d+) cache entries"
+)
+
+FIGURE2_OLD = """class F2 { void m() throws Exception {
+    javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("AES");
+} }"""
+FIGURE2_NEW = """class F2 { void m() throws Exception {
+    javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("AES/GCM/NoPadding");
+} }"""
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def request_json(port, method, path, body=None):
+    status, raw = request(port, method, path, body)
+    return status, json.loads(raw)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    diffcode = sys.argv[1]
+    errors = []
+
+    with tempfile.TemporaryDirectory(prefix="serve_smoke_cache_") as cache_dir:
+        proc = subprocess.Popen(
+            [diffcode, "serve", "--addr", "127.0.0.1:0", "--cache-dir", cache_dir],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # 1. Startup handshake: first line names the bound port.
+            line = proc.stdout.readline().strip()
+            m = re.search(r"listening on http://127\.0\.0\.1:(\d+)$", line)
+            if not m:
+                raise SystemExit(f"bad startup handshake line: {line!r}")
+            port = int(m.group(1))
+            print(f"serve smoke: server up on port {port}")
+
+            # 2. Liveness + readiness.
+            status, body = request(port, "GET", "/healthz")
+            if status != 200 or body.strip() != b"ok":
+                errors.append(f"/healthz: expected 200 ok, got {status} {body!r}")
+            status, body = request(port, "GET", "/readyz")
+            if status != 200:
+                errors.append(f"/readyz: expected 200 while serving, got {status}")
+
+            # 3. Cold mine, then warm: identical verdict, warm from cache.
+            change = {"old": FIGURE2_OLD, "new": FIGURE2_NEW}
+            status, cold = request_json(port, "POST", "/mine", change)
+            if status != 200:
+                errors.append(f"/mine (cold): expected 200, got {status}")
+            elif cold.get("verdict") != "mined":
+                errors.append(f"/mine (cold): expected a mined verdict, got {cold}")
+            status, warm = request_json(port, "POST", "/mine", change)
+            if status != 200:
+                errors.append(f"/mine (warm): expected 200, got {status}")
+            else:
+                if warm.get("cache") != "hit":
+                    errors.append(f"/mine (warm): expected a cache hit, got {warm.get('cache')}")
+                for key in ("fingerprint", "verdict", "tuples", "skip"):
+                    if cold.get(key) != warm.get(key):
+                        errors.append(
+                            f"/mine parity: {key} differs cold vs warm: "
+                            f"{cold.get(key)!r} != {warm.get(key)!r}"
+                        )
+
+            # 4. /explain journals both verdicts for the fingerprint.
+            fingerprint = cold.get("fingerprint", "")
+            status, explained = request_json(port, "GET", f"/explain/{fingerprint}")
+            if status != 200 or explained.get("found", 0) < 2:
+                errors.append(f"/explain/{fingerprint}: expected >=2 records, got {status} {explained}")
+            status, _ = request(port, "GET", "/explain/ffffffffffffffff")
+            if status != 404:
+                errors.append(f"/explain (unknown): expected 404, got {status}")
+
+            # 5. /check runs the rule checker.
+            status, checked = request_json(
+                port, "POST", "/check", {"source": FIGURE2_OLD}
+            )
+            if status != 200 or "report" not in checked:
+                errors.append(f"/check: expected 200 with a report, got {status} {checked}")
+
+            # 6. Malformed input: clean 4xx, not a dropped connection.
+            status, _ = request(port, "POST", "/mine", {"old": 42})
+            if status != 400:
+                errors.append(f"/mine (malformed): expected 400, got {status}")
+
+            # 7. /metrics exposes the serve counters in Prometheus text.
+            status, metrics = request(port, "GET", "/metrics")
+            text = metrics.decode()
+            for needle in ("diffcode_serve_accepted", "diffcode_serve_mine_requests"):
+                if needle not in text:
+                    errors.append(f"/metrics: missing {needle}")
+            if status != 200:
+                errors.append(f"/metrics: expected 200, got {status}")
+
+            # 8. SIGTERM: graceful drain, exit 0, balanced accounting.
+            proc.send_signal(signal.SIGTERM)
+            try:
+                stdout, stderr = proc.communicate(timeout=DRAIN_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise SystemExit("server did not drain within the deadline after SIGTERM")
+            if proc.returncode != 0:
+                errors.append(
+                    f"exit code after SIGTERM: expected 0, got {proc.returncode}; "
+                    f"stderr: {stderr.strip()!r}"
+                )
+            m = DRAIN_RE.search(stdout)
+            if not m:
+                errors.append(f"missing drain accounting line in stdout: {stdout!r}")
+            else:
+                accepted, completed, shed, failed, flushed = map(int, m.groups())
+                if accepted != completed + shed + failed:
+                    errors.append(
+                        f"accounting partition violated: {accepted} != "
+                        f"{completed} + {shed} + {failed}"
+                    )
+                if failed != 0:
+                    errors.append(f"smoke traffic must not fail requests: failed={failed}")
+                if flushed < 1:
+                    errors.append("the mined verdict was never flushed to the cache log")
+                print(
+                    f"serve smoke: drained with accepted={accepted} "
+                    f"completed={completed} shed={shed} failed={failed} flushed={flushed}"
+                )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print("ok: serve smoke passed (endpoints, warm-cache parity, SIGTERM drain)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

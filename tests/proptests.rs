@@ -437,6 +437,50 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Quarantine excerpts: UTF-8 safe on any byte soup
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// `quarantine::excerpt` truncates on char boundaries: for any
+    /// input — including multibyte scalars straddling the 80-char cap
+    /// and lossily-decoded byte soup — the excerpt is one sanitized
+    /// line of at most 80 chars (81 with the ellipsis), never a panic
+    /// from slicing mid-scalar and never a control character.
+    #[test]
+    fn excerpt_is_utf8_safe_on_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        multibyte in "[\u{e9}\u{4e2d}\u{1F510}a \n]{0,200}",
+    ) {
+        for source in [String::from_utf8_lossy(&bytes).into_owned(), multibyte] {
+            let e = diffcode::quarantine::excerpt(&source);
+            let n = e.chars().count();
+            prop_assert!(n <= 81, "{n} chars from {source:?}");
+            if n == 81 {
+                prop_assert!(e.ends_with('…'));
+            }
+            prop_assert!(
+                e.chars().all(|c| !c.is_control()),
+                "control char leaked into {e:?}"
+            );
+            prop_assert!(!e.contains('\n'), "excerpt is a single line");
+            // Truncation preserved the line's leading chars verbatim
+            // (modulo control-char replacement).
+            let line: String = source
+                .lines()
+                .find(|l| !l.trim().is_empty())
+                .unwrap_or("")
+                .trim_end()
+                .chars()
+                .take(80)
+                .map(|c| if c.is_control() { '\u{b7}' } else { c })
+                .collect();
+            prop_assert!(e.strip_suffix('…').unwrap_or(&e) == line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Budget boundaries are exact: a budget of N passes, N-1 rejects
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,529 @@
+//! Chaos soak harness for the resident server, over real sockets.
+//!
+//! Pins the full robustness envelope end to end:
+//!
+//! - zero aborts: every hostile payload in `corpus::chaos::HttpMutator`
+//!   gets a clean 4xx/timeout and the process survives;
+//! - exact accounting: `accepted = completed + shed + failed` at rest;
+//! - verdict parity: `/mine` answers byte-identical tuple digests to
+//!   the one-shot pipeline entry point (whose equivalence to
+//!   `DiffCode::mine` the core test suite pins);
+//! - warm cache: a repeated `/mine` is a cache hit under the deadline;
+//! - load shedding: past the admission watermark, clients get `429` +
+//!   `Retry-After`;
+//! - graceful drain: shutdown answers what is queued and flushes the
+//!   mining cache's append log.
+
+use corpus::chaos::{HttpMutator, HttpPlan, HttpStep};
+use proptest::prelude::*;
+use serve::{Json, ServeConfig, ServeSummary, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn test_config(deadline_ms: u64) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        cache_dir: None,
+        deadline_ms,
+        queue_depth: 64,
+        drain_ms: 2_000,
+        ring_capacity: 64,
+        chaos_hooks: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(config: ServeConfig) -> ServerHandle {
+    Server::spawn(config).expect("server must start on an ephemeral port")
+}
+
+/// One full request/response exchange; returns (status, head, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send_request(&mut stream, method, path, headers, body);
+    read_response(&mut stream).expect("server must answer")
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+}
+
+/// Reads one `Connection: close` response to EOF. `None` if the server
+/// closed without answering.
+fn read_response(stream: &mut TcpStream) -> Option<(u16, String, Vec<u8>)> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?.to_owned();
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    Some((status, head, raw[head_end + 4..].to_vec()))
+}
+
+fn json_body(body: &[u8]) -> Json {
+    serve::json::parse(std::str::from_utf8(body).expect("UTF-8 body")).expect("JSON body")
+}
+
+fn mine_body(old: &str, new: &str) -> Vec<u8> {
+    Json::Obj(vec![
+        ("old".to_owned(), Json::Str(old.to_owned())),
+        ("new".to_owned(), Json::Str(new.to_owned())),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Replays one wire-level fault plan; swallows transport errors (the
+/// server is expected to cut hostile connections). Returns the status
+/// the server managed to deliver, if any.
+fn replay(addr: SocketAddr, plan: &HttpPlan) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    for step in &plan.steps {
+        match step {
+            HttpStep::Send(bytes) => {
+                if stream.write_all(bytes).is_err() {
+                    break;
+                }
+            }
+            HttpStep::Pause(pause) => std::thread::sleep(*pause),
+            HttpStep::Close => {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                break;
+            }
+        }
+    }
+    read_response(&mut stream).map(|(status, _, _)| status)
+}
+
+/// Shuts the server down and asserts the accounting partition on the
+/// final summary (all client sockets are closed by the time tests call
+/// this, so the summary is at rest by construction: shutdown drains the
+/// queue and joins every worker before counting).
+fn settle_and_shutdown(handle: ServerHandle) -> ServeSummary {
+    let summary = handle.shutdown();
+    assert_eq!(
+        summary.accepted,
+        summary.completed + summary.shed + summary.failed,
+        "accepted = completed + shed + failed must hold at rest: {summary:?}",
+    );
+    summary
+}
+
+fn figure2_pair() -> (&'static str, &'static str) {
+    (
+        r#"class F2 { void m() throws Exception {
+            javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("AES");
+        } }"#,
+        r#"class F2 { void m() throws Exception {
+            javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("AES/GCM/NoPadding");
+        } }"#,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Chaos soak: hostile wire payloads, zero aborts, exact accounting
+// ---------------------------------------------------------------------
+
+#[test]
+fn soak_chaos_payloads_never_kill_workers_and_accounting_balances() {
+    let handle = spawn(test_config(200));
+    let addr = handle.addr();
+
+    // Interleave hostile plans with honest traffic from client threads.
+    let n_chaos = 48u64;
+    let plans: Vec<HttpPlan> = {
+        let mut m = HttpMutator::new(0xD1FF).with_pause(Duration::from_millis(20));
+        (0..n_chaos).map(|_| m.plan()).collect()
+    };
+    let mut sent_ok = 0u64;
+    std::thread::scope(|scope| {
+        for shard in plans.chunks(12) {
+            scope.spawn(move || {
+                for plan in shard {
+                    if let Some(status) = replay(addr, plan) {
+                        assert!(
+                            (400..=408).contains(&status) || status == 413 || status == 431,
+                            "hostile plan {:?} must get a clean 4xx, got {status}",
+                            plan.kind,
+                        );
+                    }
+                }
+            });
+        }
+        // Honest requests riding along on the same server.
+        let (old, new) = figure2_pair();
+        for _ in 0..8 {
+            let (status, _, body) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+            assert_eq!(status, 200);
+            let verdict = json_body(&body);
+            assert_eq!(
+                verdict.get("verdict").and_then(Json::as_str),
+                Some("mined"),
+                "honest traffic mines even under chaos"
+            );
+            sent_ok += 1;
+        }
+    });
+    let (status, _, _) = request(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(status, 200, "server alive after the chaos barrage");
+    sent_ok += 1;
+
+    let summary = settle_and_shutdown(handle);
+    assert_eq!(
+        summary.accepted,
+        n_chaos + sent_ok,
+        "every connection was accepted and accounted"
+    );
+    assert_eq!(summary.failed, 0, "hostile *input* is never a 500");
+    assert!(summary.completed >= sent_ok);
+    // The failure modes were counted by kind.
+    let recv_total: u64 = [
+        "serve.recv_deadline",
+        "serve.recv_head_too_large",
+        "serve.recv_body_too_large",
+        "serve.recv_malformed",
+        "serve.recv_closed",
+        "serve.recv_io",
+    ]
+    .iter()
+    .map(|name| summary.registry.counter(name))
+    .sum();
+    assert!(
+        recv_total > 0,
+        "chaos plans must register in the recv-error counters"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Verdict parity + warm cache + /explain
+// ---------------------------------------------------------------------
+
+#[test]
+fn mine_verdicts_match_one_shot_pipeline_and_warm_cache_hits() {
+    let dir = std::env::temp_dir().join(format!("serve_soak_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = spawn(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config(2_000)
+    });
+    let addr = handle.addr();
+
+    let generated = corpus::generate(&corpus::GeneratorConfig::small(2, 7));
+    let pairs: Vec<(String, String)> = generated
+        .code_changes()
+        .take(6)
+        .map(|c| (c.old.to_owned(), c.new.to_owned()))
+        .collect();
+    assert!(!pairs.is_empty(), "the generator must yield code changes");
+
+    let mut fingerprints = Vec::new();
+    for (old, new) in &pairs {
+        // One-shot reference verdict: the same entry point the mining
+        // loop uses (their equivalence is pinned in the core tests).
+        let (expected, _) = diffcode::DiffCode::new().process_pair_cached(old, new, &[], None);
+        let expected_tuples = diffcode::cli::outcome_digest_parts(&expected);
+
+        let (status, _, body) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+        assert_eq!(status, 200);
+        let verdict = json_body(&body);
+        let served: Vec<String> = verdict
+            .get("tuples")
+            .and_then(Json::as_array)
+            .expect("tuples array")
+            .iter()
+            .filter_map(|t| t.as_str().map(ToOwned::to_owned))
+            .collect();
+        assert_eq!(
+            served, expected_tuples,
+            "served /mine verdict must be byte-identical to the one-shot pipeline's"
+        );
+        fingerprints.push(
+            verdict
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .expect("fingerprint")
+                .to_owned(),
+        );
+    }
+
+    // Warm cache: repeating the first pair is a hit under the deadline,
+    // with the identical verdict.
+    let (old, new) = &pairs[0];
+    let started = Instant::now();
+    let (status, _, body) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+    assert_eq!(status, 200);
+    let warm = json_body(&body);
+    assert_eq!(warm.get("cache").and_then(Json::as_str), Some("hit"));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "a warm hit answers well under the deadline"
+    );
+
+    // /explain serves the ring-buffered journal for a fingerprint.
+    let fp = &fingerprints[0];
+    let (status, _, body) = request(addr, "GET", &format!("/explain/{fp}"), &[], b"");
+    assert_eq!(status, 200);
+    let explained = json_body(&body);
+    let records = explained
+        .get("records")
+        .and_then(Json::as_array)
+        .expect("records");
+    assert!(
+        records.len() >= 2,
+        "cold and warm verdicts are both journaled"
+    );
+    assert_eq!(records[0].get("cache").and_then(Json::as_str), Some("hit"));
+    let (status, _, _) = request(addr, "GET", "/explain/ffffffffffffffff", &[], b"");
+    assert_eq!(status, 404);
+
+    let summary = settle_and_shutdown(handle);
+    assert!(
+        summary.registry.counter("cache.hit") >= 1,
+        "the warm request hit the resident cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Load shedding at the admission watermark
+// ---------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let handle = spawn(ServeConfig {
+        threads: 1,
+        queue_depth: 1,
+        ..test_config(5_000)
+    });
+    let addr = handle.addr();
+
+    // Park the single worker on a slow request, then flood: with a
+    // queue watermark of 1, most of the flood must shed immediately.
+    let slow = std::thread::spawn(move || {
+        request(addr, "GET", "/healthz", &[("X-Chaos-Sleep-Ms", "600")], b"")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Send the whole flood before reading any response, so the queue
+    // actually fills instead of draining between sequential requests.
+    let mut flood: Vec<TcpStream> = Vec::new();
+    for _ in 0..8 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        send_request(&mut stream, "GET", "/healthz", &[], b"");
+        flood.push(stream);
+    }
+    let mut shed_seen = 0u64;
+    let mut retry_after_seen = false;
+    for mut stream in flood {
+        if let Some((status, head, _)) = read_response(&mut stream) {
+            if status == 429 {
+                shed_seen += 1;
+                if head.to_ascii_lowercase().contains("retry-after:") {
+                    retry_after_seen = true;
+                }
+            }
+        }
+    }
+    assert!(shed_seen >= 1, "the watermark must shed under overload");
+    assert!(retry_after_seen, "shed responses carry Retry-After");
+    let (status, _, _) = slow.join().expect("slow client");
+    assert_eq!(status, 200, "the slow request itself completes");
+
+    let summary = settle_and_shutdown(handle);
+    assert!(summary.shed >= shed_seen);
+    assert!(summary.registry.counter("serve.http_429") >= shed_seen);
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation: a poisoned request fails alone
+// ---------------------------------------------------------------------
+
+#[test]
+fn handler_panic_is_a_500_and_the_worker_survives() {
+    let handle = spawn(test_config(1_000));
+    let addr = handle.addr();
+
+    let (status, _, body) = request(addr, "GET", "/healthz", &[("X-Chaos-Panic", "1")], b"");
+    assert_eq!(status, 500);
+    let quarantine = json_body(&body);
+    assert_eq!(
+        quarantine
+            .get("quarantine")
+            .and_then(|q| q.get("kind"))
+            .and_then(Json::as_str),
+        Some("panic"),
+        "a 500 carries quarantine provenance"
+    );
+
+    // The same worker pool keeps serving.
+    let (status, _, _) = request(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(status, 200);
+    let (old, new) = figure2_pair();
+    let (status, _, _) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+    assert_eq!(status, 200);
+
+    let summary = settle_and_shutdown(handle);
+    assert_eq!(summary.failed, 1, "exactly the panicking request failed");
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain: shutdown flushes the cache and closes the listener
+// ---------------------------------------------------------------------
+
+#[test]
+fn shutdown_drains_and_flushes_the_cache_log() {
+    let dir = std::env::temp_dir().join(format!("serve_drain_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = spawn(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config(2_000)
+    });
+    let addr = handle.addr();
+
+    let (status, _, _) = request(addr, "GET", "/readyz", &[], b"");
+    assert_eq!(status, 200, "ready while serving");
+    let (old, new) = figure2_pair();
+    let (status, _, _) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+    assert_eq!(status, 200);
+
+    let summary = settle_and_shutdown(handle);
+    assert!(TcpStream::connect(addr).is_err(), "listener closed");
+
+    // The flushed log replays: a fresh cache open sees the entry.
+    let cache = diffcode::MiningCache::open(
+        &dir,
+        &[],
+        &diffcode::PipelineLimits::DEFAULT,
+        usagegraph::DEFAULT_MAX_DEPTH,
+    )
+    .expect("the drained log must reopen cleanly");
+    assert!(
+        cache.store().stats().current_entries >= 1,
+        "the /mine verdict was flushed to the append log"
+    );
+    assert!(
+        summary.registry.counter("cache.flushed_entries") >= 1,
+        "flush accounting: {summary:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Property: any interleaving of ok/slow/panicking/oversized requests
+// keeps the partition exact and /metrics deterministic
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Ok,
+    Slow,
+    Panicking,
+    Oversized,
+}
+
+fn kind() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Ok),
+        Just(Kind::Slow),
+        Just(Kind::Panicking),
+        Just(Kind::Oversized),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn any_interleaving_keeps_accounting_exact(
+        kinds in proptest::collection::vec(kind(), 1..10),
+    ) {
+        let handle = spawn(test_config(1_000));
+        let addr = handle.addr();
+        let mut expected_failed = 0u64;
+        std::thread::scope(|scope| {
+            for k in &kinds {
+                let k = *k;
+                scope.spawn(move || match k {
+                    Kind::Ok => {
+                        let (old, new) = figure2_pair();
+                        let (status, _, _) =
+                            request(addr, "POST", "/mine", &[], &mine_body(old, new));
+                        assert_eq!(status, 200);
+                    }
+                    Kind::Slow => {
+                        let (status, _, _) = request(
+                            addr,
+                            "GET",
+                            "/healthz",
+                            &[("X-Chaos-Sleep-Ms", "40")],
+                            b"",
+                        );
+                        assert_eq!(status, 200);
+                    }
+                    Kind::Panicking => {
+                        let (status, _, _) =
+                            request(addr, "GET", "/healthz", &[("X-Chaos-Panic", "1")], b"");
+                        assert_eq!(status, 500);
+                    }
+                    Kind::Oversized => {
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        let head = format!(
+                            "POST /mine HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                            64 * 1024 * 1024
+                        );
+                        stream.write_all(head.as_bytes()).expect("write");
+                        let (status, _, _) =
+                            read_response(&mut stream).expect("413 must come back");
+                        assert_eq!(status, 413);
+                    }
+                });
+                if k == Kind::Panicking {
+                    expected_failed += 1;
+                }
+            }
+        });
+        let summary = settle_and_shutdown(handle);
+        prop_assert_eq!(summary.accepted, kinds.len() as u64);
+        prop_assert_eq!(summary.failed, expected_failed);
+        prop_assert_eq!(summary.shed, 0, "queue depth 64 never sheds here");
+        // /metrics is deterministic: same registry state, same bytes.
+        let once = obs::to_prometheus_text(&summary.registry);
+        let again = obs::to_prometheus_text(&summary.registry);
+        prop_assert_eq!(once, again);
+    }
+}
