@@ -60,5 +60,6 @@ pub mod wire;
 
 pub use fingerprint::{fingerprint, fingerprint_str, Fingerprint};
 pub use store::{
-    verify, CacheStats, CacheStore, Lookup, ShardLog, StoreError, VacuumReport, VerifyReport,
+    verify, verify_ns, CacheStats, CacheStore, Lookup, ShardLog, StoreError, VacuumReport,
+    VerifyReport,
 };

@@ -1,0 +1,288 @@
+//! Two-level, memory-bounded clustering for corpora whose dense
+//! condensed matrix does not fit the cell budget.
+//!
+//! Level one pre-buckets changes by their API class (the cheap,
+//! always-available feature: two changes to different crypto classes
+//! are never near-duplicates of each other under
+//! [`usage_dist`](crate::usage_dist), whose class mismatch already
+//! dominates the distance). Level two runs the exact dense machinery
+//! *within* each bucket — [`DistanceMatrix::try_from_fn`] under the
+//! per-bucket cell budget, NN-chain agglomeration, silhouette cut — so
+//! peak memory is O(max-bucket²) instead of O(n²). A final stitch pass
+//! picks each bucket's medoid (the member minimizing its summed
+//! within-bucket distance), agglomerates the medoid-to-medoid
+//! distances, and splices the per-bucket trees into one dendrogram
+//! through the same SciPy-style relabeling the NN-chain uses.
+//!
+//! # How exactly this matches the dense path
+//!
+//! The dense path ([`crate::cluster_usage_changes_matrix`]) stays the
+//! executable spec. On corpora whose buckets are *well separated* —
+//! every cross-bucket distance strictly exceeds every within-bucket
+//! merge height — the bucketed scheme reproduces the dense path's
+//! clusters exactly: the dense agglomeration finishes every
+//! within-bucket merge before the first cross-bucket one, so the
+//! per-bucket subtrees (and their silhouette cuts, which is what the
+//! elicitation stage consumes) coincide. The *stitch heights* are the
+//! documented approximation, in the spirit of the NN-chain tie-tangle
+//! note (`crate::chain`): the dense tree joins two buckets at the
+//! complete-linkage (max-pair) distance, while the stitch joins them at
+//! their medoid-pair distance, clamped to keep the dendrogram
+//! monotone. Cross-bucket heights may therefore differ — but cluster
+//! membership below the cut does not, and
+//! `tests/cluster_cache.rs::bucketed_matches_dense_on_a_well_separated_corpus`
+//! pins the equivalence.
+
+use crate::chain::{relabel, Op};
+use crate::matrix::{DistanceMatrix, MatrixError};
+use crate::{agglomerate_matrix, usage_dist_cached, Dendrogram, LabelCache, Linkage};
+use usagegraph::UsageChange;
+
+/// The result of a two-level bucketed clustering run.
+#[derive(Debug)]
+pub struct BucketedClustering {
+    /// The stitched global dendrogram over all `n` changes (leaf ids
+    /// are indices into the input slice).
+    pub dendrogram: Dendrogram,
+    /// Bucket membership: global change indices per bucket, in
+    /// first-appearance order of the bucketing class.
+    pub buckets: Vec<Vec<usize>>,
+    /// Each bucket's medoid (global change index).
+    pub medoids: Vec<usize>,
+    /// The flat clustering: union of the per-bucket silhouette cuts,
+    /// each cluster sorted, clusters ordered by their smallest member.
+    pub clusters: Vec<Vec<usize>>,
+    /// Largest per-bucket condensed matrix actually allocated — the
+    /// realized memory bound, always ≤ the configured budget.
+    pub peak_cells: usize,
+}
+
+/// Clusters `changes` with the two-level scheme under a per-bucket
+/// cell budget. `max_k` caps the silhouette search within each bucket
+/// (the search is O(k·m²) per bucket, so unbounded k makes large
+/// buckets cubic).
+///
+/// # Errors
+///
+/// [`MatrixError::CellBudgetExceeded`] if any single bucket exceeds
+/// `max_cells` — the budget bounds peak memory, it does not silently
+/// degrade accuracy. ([`MatrixError::SizeOverflow`] is unreachable for
+/// inputs that fit in memory but is propagated for completeness.)
+pub fn cluster_bucketed(
+    changes: &[UsageChange],
+    max_cells: usize,
+    max_k: usize,
+) -> Result<BucketedClustering, MatrixError> {
+    let n = changes.len();
+    if n == 0 {
+        return Ok(BucketedClustering {
+            dendrogram: Dendrogram::default(),
+            buckets: Vec::new(),
+            medoids: Vec::new(),
+            clusters: Vec::new(),
+            peak_cells: 0,
+        });
+    }
+
+    // Level 1: bucket by class, first-appearance order for determinism.
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    let mut by_class: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (idx, change) in changes.iter().enumerate() {
+        let slot = *by_class.entry(change.class.as_str()).or_insert_with(|| {
+            buckets.push(Vec::new());
+            buckets.len() - 1
+        });
+        buckets[slot].push(idx);
+    }
+
+    // Level 2: exact dense clustering within each bucket. The label
+    // cache is shared across buckets (and with the stitch pass) — the
+    // vocabulary overlaps heavily between classes.
+    let cache = LabelCache::default();
+    let mut raw: Vec<(Op, Op, f64)> = Vec::with_capacity(n - 1);
+    let mut roots: Vec<Op> = Vec::with_capacity(buckets.len());
+    let mut subtree_heights: Vec<f64> = Vec::with_capacity(buckets.len());
+    let mut medoids: Vec<usize> = Vec::with_capacity(buckets.len());
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut peak_cells = 0usize;
+
+    for members in &buckets {
+        let m = members.len();
+        let matrix = DistanceMatrix::try_from_fn(m, Some(max_cells), |i, j| {
+            usage_dist_cached(&changes[members[i]], &changes[members[j]], &cache)
+        })?;
+        peak_cells = peak_cells.max(matrix.condensed().len());
+
+        // Medoid: the member with the smallest summed distance to its
+        // bucket; ties go to the smallest index (deterministic).
+        let medoid_local = (0..m)
+            .min_by(|&a, &b| {
+                let sum = |x: usize| (0..m).map(|y| matrix.get(x, y)).sum::<f64>();
+                sum(a)
+                    .partial_cmp(&sum(b))
+                    .expect("finite distances")
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty bucket");
+        medoids.push(members[medoid_local]);
+
+        let dendro = agglomerate_matrix(&matrix, Linkage::Complete);
+        let (_, cut, _) = dendro.best_cut(&matrix, max_k);
+        clusters.extend(
+            cut.into_iter()
+                .map(|cluster| cluster.into_iter().map(|local| members[local]).collect()),
+        );
+
+        // Re-express the bucket's merges as raw ops over global leaf
+        // ids: local node m+k is the k-th bucket merge, which lands at
+        // raw index base+k.
+        let base = raw.len();
+        let to_op = |id: usize| {
+            if id < m {
+                Op::Leaf(members[id])
+            } else {
+                Op::Merged(base + (id - m))
+            }
+        };
+        for merge in &dendro.merges {
+            raw.push((to_op(merge.left), to_op(merge.right), merge.distance));
+        }
+        roots.push(if m == 1 {
+            Op::Leaf(members[0])
+        } else {
+            Op::Merged(raw.len() - 1)
+        });
+        subtree_heights.push(dendro.merges.last().map_or(0.0, |merge| merge.distance));
+    }
+    clusters.sort_by_key(|c| c[0]);
+
+    // Stitch: agglomerate the medoids, then splice the bucket trees in
+    // as the leaves of the stitch tree. Heights are clamped to each
+    // child's subtree height so the combined tree stays monotone (the
+    // relabeling pass requires non-inverted merges).
+    let b = buckets.len();
+    let stitch_matrix = DistanceMatrix::from_fn(b, |x, y| {
+        usage_dist_cached(&changes[medoids[x]], &changes[medoids[y]], &cache)
+    });
+    let stitch = agglomerate_matrix(&stitch_matrix, Linkage::Complete);
+    let stitch_base = raw.len();
+    let mut stitch_heights = subtree_heights;
+    for merge in &stitch.merges {
+        let height = merge
+            .distance
+            .max(stitch_heights[merge.left])
+            .max(stitch_heights[merge.right]);
+        let to_op = |id: usize| {
+            if id < b {
+                roots[id]
+            } else {
+                Op::Merged(stitch_base + (id - b))
+            }
+        };
+        raw.push((to_op(merge.left), to_op(merge.right), height));
+        stitch_heights.push(height);
+    }
+
+    debug_assert_eq!(raw.len(), n - 1, "a full binary merge tree");
+    Ok(BucketedClustering {
+        dendrogram: relabel(n, raw),
+        buckets,
+        medoids,
+        clusters,
+        peak_cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_usage_changes_matrix;
+    use usagegraph::{FeaturePath, Label};
+
+    fn path(labels: &[&str]) -> FeaturePath {
+        FeaturePath(labels.iter().copied().map(Label::from).collect())
+    }
+
+    fn change(class: &str, from: &str, to: &str) -> UsageChange {
+        UsageChange {
+            class: class.into(),
+            removed: vec![path(&[class, "getInstance", from])],
+            added: vec![path(&[class, "getInstance", to])],
+        }
+    }
+
+    fn corpus() -> Vec<UsageChange> {
+        vec![
+            change("Cipher", "arg1:AES/ECB", "arg1:AES/CBC"),
+            change("MessageDigest", "arg1:MD5", "arg1:SHA-256"),
+            change("Cipher", "arg1:AES/ECB", "arg1:AES/GCM"),
+            change("Cipher", "arg1:DES", "arg1:AES/CBC"),
+            change("MessageDigest", "arg1:SHA-1", "arg1:SHA-256"),
+            change("SecureRandom", "arg1:SHA1PRNG", "arg1:NativePRNG"),
+        ]
+    }
+
+    #[test]
+    fn buckets_by_class_in_first_appearance_order() {
+        let changes = corpus();
+        let out = cluster_bucketed(&changes, 1 << 20, 16).unwrap();
+        assert_eq!(out.buckets, vec![vec![0, 2, 3], vec![1, 4], vec![5]]);
+        assert_eq!(out.medoids.len(), 3);
+        assert_eq!(out.dendrogram.n_leaves, changes.len());
+        assert_eq!(out.dendrogram.merges.len(), changes.len() - 1);
+        // Every change lands in exactly one cluster.
+        let mut all: Vec<usize> = out.clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..changes.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_bucket_reduces_to_the_dense_path() {
+        let changes: Vec<UsageChange> = corpus()
+            .into_iter()
+            .filter(|c| c.class == "Cipher")
+            .collect();
+        let bucketed = cluster_bucketed(&changes, 1 << 20, 16).unwrap();
+        let (dense, _) = cluster_usage_changes_matrix(&changes);
+        assert_eq!(bucketed.dendrogram, dense);
+    }
+
+    #[test]
+    fn enforces_the_per_bucket_budget() {
+        let changes = corpus();
+        // The largest bucket has 3 members → 3 cells; a 2-cell budget
+        // must refuse with the typed error.
+        let err = cluster_bucketed(&changes, 2, 16).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MatrixError::CellBudgetExceeded {
+                    n: 3,
+                    cells: 3,
+                    budget: 2
+                }
+            ),
+            "{err:?}"
+        );
+        // A 3-cell budget fits every bucket even though the dense
+        // matrix would need 15 cells.
+        let out = cluster_bucketed(&changes, 3, 16).unwrap();
+        assert_eq!(out.peak_cells, 3);
+    }
+
+    #[test]
+    fn stitched_dendrogram_is_monotone() {
+        let changes = corpus();
+        let out = cluster_bucketed(&changes, 1 << 20, 16).unwrap();
+        for pair in out.dendrogram.merges.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let out = cluster_bucketed(&[], 16, 16).unwrap();
+        assert_eq!(out.dendrogram, Dendrogram::default());
+        assert!(out.buckets.is_empty() && out.clusters.is_empty());
+    }
+}

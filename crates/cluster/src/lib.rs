@@ -43,23 +43,37 @@
 
 #![warn(missing_docs)]
 
+mod bucket;
 mod cache;
 mod chain;
 mod dist;
 mod hierarchy;
+mod incr;
 mod lev;
 mod matrix;
 
+pub use bucket::{cluster_bucketed, BucketedClustering};
 pub use cache::LabelCache;
 pub use dist::{path_dist, paths_dist, usage_dist, usage_dist_cached};
 pub use hierarchy::{
     agglomerate, agglomerate_matrix, agglomerate_naive, agglomerate_with, Dendrogram, Linkage,
     Merge,
 };
+pub use incr::{matrix_from_prior, WarmMatrix};
 pub use lev::{label_similarity, levenshtein};
-pub use matrix::DistanceMatrix;
+pub use matrix::{condensed_cells, DistanceMatrix, MatrixError};
 
 use usagegraph::UsageChange;
+
+/// The number of unordered pairs among `n` items, `n·(n−1)/2`,
+/// saturating at `u64::MAX`. Computed in `u128` so the multiply cannot
+/// wrap for any `usize` input (the old in-`usize` formula silently
+/// wrapped the `cluster.pairs` gauge once `n` passed ~2³² on 64-bit).
+#[must_use]
+pub fn pair_count(n: usize) -> u64 {
+    let n = n as u128;
+    u64::try_from(n * n.saturating_sub(1) / 2).unwrap_or(u64::MAX)
+}
 
 /// Builds the shared pairwise [`usage_dist`] matrix for `changes`:
 /// computed in parallel, each pair exactly once, label similarities
@@ -95,10 +109,7 @@ pub fn cluster_usage_changes_matrix_metered(
     registry: &mut obs::MetricsRegistry,
 ) -> (Dendrogram, DistanceMatrix) {
     registry.inc("cluster.items", changes.len() as u64);
-    registry.inc(
-        "cluster.pairs",
-        (changes.len().saturating_sub(1) * changes.len() / 2) as u64,
-    );
+    registry.inc("cluster.pairs", pair_count(changes.len()));
     let matrix = registry.time("cluster.matrix", || usage_distance_matrix(changes));
     let dendrogram = registry.time("cluster.agglomerate", || {
         agglomerate_matrix(&matrix, Linkage::Complete)
@@ -116,10 +127,7 @@ pub fn cluster_usage_changes_matrix_traced(
     trace: &mut obs::TraceSink,
 ) -> (Dendrogram, DistanceMatrix) {
     registry.inc("cluster.items", changes.len() as u64);
-    registry.inc(
-        "cluster.pairs",
-        (changes.len().saturating_sub(1) * changes.len() / 2) as u64,
-    );
+    registry.inc("cluster.pairs", pair_count(changes.len()));
     let span = trace.begin_with("cluster.matrix", |a| {
         a.u64("items", changes.len() as u64);
     });
@@ -131,4 +139,32 @@ pub fn cluster_usage_changes_matrix_traced(
     });
     trace.end(span);
     (dendrogram, matrix)
+}
+
+#[cfg(test)]
+mod pair_count_tests {
+    use super::pair_count;
+
+    #[test]
+    fn small_counts_match_the_closed_form() {
+        for (n, want) in [(0, 0), (1, 0), (2, 1), (3, 3), (100, 4950)] {
+            assert_eq!(pair_count(n), want, "n={n}");
+        }
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn does_not_wrap_past_the_usize_multiply_boundary() {
+        // n·(n−1) overflows usize here (≈2.5·10¹⁹ > 2⁶⁴) while the
+        // pair count itself still fits u64 — exactly the regime where
+        // the old in-usize formula silently wrapped the gauge.
+        let n = 5_000_000_000usize;
+        let wrapped = (n.saturating_sub(1).wrapping_mul(n) / 2) as u64;
+        let exact = pair_count(n);
+        assert_eq!(exact, ((n as u128) * (n as u128 - 1) / 2) as u64);
+        assert_ne!(exact, wrapped, "in-usize arithmetic silently wraps");
+        // Beyond u64 pair counts, the gauge saturates instead of wrapping.
+        assert_eq!(pair_count(usize::MAX), u64::MAX);
+        assert_eq!(pair_count(1 << 33), u64::MAX);
+    }
 }

@@ -12,6 +12,46 @@
 //! major, `i < j`), the same layout SciPy's `pdist` uses: half the
 //! memory of a square matrix and cache-friendly row scans.
 
+/// Why a [`DistanceMatrix`] could not be built: the size arithmetic
+/// itself is the enforcement point for the clustering memory bound, so
+/// both failure modes are typed instead of wrapping or aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// `n·(n−1)/2` does not fit in `usize`, so the condensed buffer is
+    /// not even addressable. (Computed in `u128`; the old `usize`
+    /// multiply would silently wrap here.)
+    SizeOverflow {
+        /// The offending item count.
+        n: usize,
+    },
+    /// The matrix is addressable but larger than the caller's cell
+    /// budget — the dense path must hand over to the bucketed scheme.
+    CellBudgetExceeded {
+        /// The offending item count.
+        n: usize,
+        /// Exact cell count `n·(n−1)/2`.
+        cells: u128,
+        /// The configured budget the count exceeded.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::SizeOverflow { n } => {
+                write!(f, "condensed distance matrix for {n} items overflows usize")
+            }
+            MatrixError::CellBudgetExceeded { n, cells, budget } => write!(
+                f,
+                "distance matrix for {n} items needs {cells} cells, over the budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
 /// A symmetric pairwise distance matrix over `n` items with zero
 /// diagonal, stored as the condensed upper triangle.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -27,8 +67,38 @@ impl DistanceMatrix {
     /// the available cores via scoped threads. `dist` is called exactly
     /// once per unordered pair `{i, j}`, `i < j`, and must be
     /// symmetric; the diagonal is implicitly zero.
+    ///
+    /// # Panics
+    ///
+    /// If `n·(n−1)/2` overflows `usize`. Use [`DistanceMatrix::try_from_fn`]
+    /// to get a typed error (and a configurable cell budget) instead.
     pub fn from_fn(n: usize, dist: impl Fn(usize, usize) -> f64 + Sync) -> Self {
-        let mut data = vec![0.0f64; condensed_len(n)];
+        DistanceMatrix::try_from_fn(n, None, dist).expect("condensed matrix size overflows usize")
+    }
+
+    /// [`DistanceMatrix::from_fn`] with typed failure: refuses (instead
+    /// of wrapping or aborting) when the condensed length `n·(n−1)/2`
+    /// overflows `usize`, or when it exceeds `max_cells` — the
+    /// enforcement point for the clustering memory bound. Each cell is
+    /// 8 bytes, so a budget of `N` cells caps the allocation at `8·N`
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::SizeOverflow`] or [`MatrixError::CellBudgetExceeded`].
+    pub fn try_from_fn(
+        n: usize,
+        max_cells: Option<usize>,
+        dist: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Result<Self, MatrixError> {
+        let cells = condensed_cells(n);
+        if let Some(budget) = max_cells {
+            if cells > budget as u128 {
+                return Err(MatrixError::CellBudgetExceeded { n, cells, budget });
+            }
+        }
+        let len = usize::try_from(cells).map_err(|_| MatrixError::SizeOverflow { n })?;
+        let mut data = vec![0.0f64; len];
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
@@ -42,7 +112,7 @@ impl DistanceMatrix {
                     idx += 1;
                 }
             }
-            return DistanceMatrix { n, data };
+            return Ok(DistanceMatrix { n, data });
         }
         // Split the condensed buffer into per-row slices (disjoint, so
         // the borrows check), then deal rows to workers round-robin:
@@ -68,7 +138,7 @@ impl DistanceMatrix {
                 });
             }
         });
-        DistanceMatrix { n, data }
+        Ok(DistanceMatrix { n, data })
     }
 
     /// Wraps an already-condensed distance vector (length must be
@@ -111,9 +181,24 @@ impl DistanceMatrix {
     }
 }
 
-/// Length of the condensed form for `n` items.
-pub(crate) fn condensed_len(n: usize) -> usize {
+/// Exact cell count of the condensed form for `n` items,
+/// `n·(n−1)/2`, computed in `u128` so it can never wrap. (`u128` holds
+/// the product for any `usize` `n`: the factors are < 2⁶⁴ each.)
+#[must_use]
+pub fn condensed_cells(n: usize) -> u128 {
+    let n = n as u128;
     n * n.saturating_sub(1) / 2
+}
+
+/// Length of the condensed form for `n` items, for contexts that have
+/// already validated the size (indexing an existing buffer).
+///
+/// # Panics
+///
+/// If the count overflows `usize` — [`DistanceMatrix::try_from_fn`] is
+/// the checked entry point.
+pub(crate) fn condensed_len(n: usize) -> usize {
+    usize::try_from(condensed_cells(n)).expect("condensed length overflows usize")
 }
 
 /// Condensed offset of pair `(i, j)` with `i < j`.
@@ -197,6 +282,64 @@ mod tests {
     #[should_panic(expected = "condensed length")]
     fn from_condensed_rejects_bad_length() {
         let _ = DistanceMatrix::from_condensed(4, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn condensed_cells_is_exact_at_wrapping_sizes() {
+        // Small sizes: matches the closed form.
+        for (n, want) in [(0u128, 0u128), (1, 0), (2, 1), (5, 10), (2000, 1_999_000)] {
+            assert_eq!(condensed_cells(n as usize), want, "n={n}");
+        }
+        // The old `usize` formula wraps for n ≥ 2³³ on 64-bit targets
+        // (the multiply exceeds 2⁶⁴); the u128 count stays exact.
+        #[cfg(target_pointer_width = "64")]
+        {
+            let n: usize = 1 << 33;
+            let exact = (n as u128) * ((n as u128) - 1) / 2;
+            assert_eq!(condensed_cells(n), exact);
+            assert!(exact > u64::MAX as u128 / 2, "sanity: past the wrap point");
+            let wrapped = (n.wrapping_mul(n - 1)) / 2;
+            assert_ne!(wrapped as u128, exact, "usize arithmetic would wrap");
+        }
+        assert_eq!(
+            condensed_cells(usize::MAX),
+            (usize::MAX as u128) * (usize::MAX as u128 - 1) / 2
+        );
+    }
+
+    #[test]
+    fn try_from_fn_reports_overflow_as_typed_error() {
+        #[cfg(target_pointer_width = "64")]
+        let n = 1usize << 33; // n·(n−1)/2 ≈ 2⁶⁵ > usize::MAX
+        #[cfg(not(target_pointer_width = "64"))]
+        let n = usize::MAX;
+        let err = DistanceMatrix::try_from_fn(n, None, |_, _| 0.0).unwrap_err();
+        assert_eq!(err, MatrixError::SizeOverflow { n });
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn try_from_fn_enforces_the_cell_budget() {
+        // 6 items need 15 cells; a budget of 14 must refuse without
+        // evaluating a single distance.
+        let calls = AtomicUsize::new(0);
+        let err = DistanceMatrix::try_from_fn(6, Some(14), |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            0.0
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::CellBudgetExceeded {
+                n: 6,
+                cells: 15,
+                budget: 14
+            }
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "no work past the budget");
+        // An exact-fit budget succeeds and matches the unbudgeted build.
+        let m = DistanceMatrix::try_from_fn(6, Some(15), |i, j| (i + j) as f64).unwrap();
+        assert_eq!(m, DistanceMatrix::from_fn(6, |i, j| (i + j) as f64));
     }
 
     #[test]

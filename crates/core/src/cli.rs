@@ -290,7 +290,8 @@ pub fn run_mine(
     n_threads: usize,
     cache_dir: Option<&Path>,
 ) -> Result<(String, MetricsRegistry), String> {
-    let (out, registry, _, _) = run_mine_inner(seed, n_projects, n_threads, cache_dir, None, None)?;
+    let (out, registry, _, _) =
+        run_mine_inner(seed, n_projects, n_threads, cache_dir, None, None, None)?;
     Ok((out, registry))
 }
 
@@ -310,10 +311,18 @@ pub fn run_mine_interruptible(
     n_projects: usize,
     n_threads: usize,
     cache_dir: Option<&Path>,
+    cluster_cache_dir: Option<&Path>,
     cancel: &'static std::sync::atomic::AtomicBool,
 ) -> Result<(String, MetricsRegistry, bool), String> {
-    let (out, registry, _, interrupted) =
-        run_mine_inner(seed, n_projects, n_threads, cache_dir, None, Some(cancel))?;
+    let (out, registry, _, interrupted) = run_mine_inner(
+        seed,
+        n_projects,
+        n_threads,
+        cache_dir,
+        cluster_cache_dir,
+        None,
+        Some(cancel),
+    )?;
     Ok((out, registry, interrupted))
 }
 
@@ -333,6 +342,7 @@ pub fn run_mine_traced(
     n_projects: usize,
     n_threads: usize,
     cache_dir: Option<&Path>,
+    cluster_cache_dir: Option<&Path>,
     trace_sample: u64,
 ) -> Result<(String, MetricsRegistry, TraceSink), String> {
     let (out, registry, trace, _) = run_mine_inner(
@@ -340,6 +350,7 @@ pub fn run_mine_traced(
         n_projects,
         n_threads,
         cache_dir,
+        cluster_cache_dir,
         Some(trace_sample),
         None,
     )?;
@@ -351,6 +362,7 @@ fn run_mine_inner(
     n_projects: usize,
     n_threads: usize,
     cache_dir: Option<&Path>,
+    cluster_cache_dir: Option<&Path>,
     trace_sample: Option<u64>,
     cancel: Option<&'static std::sync::atomic::AtomicBool>,
 ) -> Result<(String, MetricsRegistry, TraceSink, bool), String> {
@@ -395,11 +407,14 @@ fn run_mine_inner(
         registry.set_gauge("cache.entries", stats.current_entries as f64);
         registry.set_gauge("cache.file_bytes", stats.file_bytes as f64);
     }
-    // A traced run extends the trace through filtering and clustering
-    // so the export and `diffcode explain` show each change's full
-    // funnel journey; nothing downstream of mining is printed, so
-    // stdout is unchanged.
-    if trace.is_enabled() {
+    // Downstream of mining: a traced run extends the trace through
+    // filtering and clustering so the export and `diffcode explain`
+    // show each change's full funnel journey, and a run with a cluster
+    // cache re-clusters through the persisted distance cells. Neither
+    // changes the mining report; the cluster path appends its own
+    // deterministic lines below.
+    let mut cluster_lines = String::new();
+    if trace.is_enabled() || cluster_cache_dir.is_some() {
         let (kept, _) = apply_filters_traced(
             result.changes.clone(),
             &mut SeenDups::new(),
@@ -407,8 +422,48 @@ fn run_mine_inner(
             &mut trace,
             0,
         );
-        if kept.len() >= 2 {
-            let _ = crate::elicit::elicit_auto_traced(&kept, &mut registry, &mut trace);
+        match cluster_cache_dir {
+            Some(dir) => {
+                let mut ccache = crate::ccache::ClusterCache::open_default(dir)
+                    .map_err(|e| format!("opening cluster cache at {}: {e}", dir.display()))?;
+                if kept.len() >= 2 {
+                    let elicitation = crate::elicit::elicit_auto_cached(
+                        &kept,
+                        Some(&mut ccache),
+                        &mut registry,
+                        &mut trace,
+                    );
+                    let _ = writeln!(
+                        cluster_lines,
+                        "clustering: {} change(s) in {} cluster(s)",
+                        kept.len(),
+                        elicitation.clusters.len()
+                    );
+                    let _ = writeln!(
+                        cluster_lines,
+                        "cluster digest: {}",
+                        cluster_digest(&elicitation)
+                    );
+                } else {
+                    let _ = writeln!(
+                        cluster_lines,
+                        "clustering: skipped ({} change(s) after filtering)",
+                        kept.len()
+                    );
+                }
+                let flushed = ccache
+                    .flush()
+                    .map_err(|e| format!("flushing cluster cache: {e}"))?;
+                registry.inc("cluster.cache.flushed_entries", flushed as u64);
+                let stats = ccache.store().stats();
+                registry.set_gauge("cluster.cache.entries", stats.current_entries as f64);
+                registry.set_gauge("cluster.cache.file_bytes", stats.file_bytes as f64);
+            }
+            None => {
+                if kept.len() >= 2 {
+                    let _ = crate::elicit::elicit_auto_traced(&kept, &mut registry, &mut trace);
+                }
+            }
         }
     }
     let mut out = String::new();
@@ -422,7 +477,34 @@ fn run_mine_inner(
     }
     out.push_str(&render_mining_summary(&result, 10));
     let _ = writeln!(out, "\nresult digest: {}", mined_digest(&result));
+    out.push_str(&cluster_lines);
     Ok((out, registry, trace, interrupted))
+}
+
+/// A content fingerprint of everything the cached clustering stage
+/// produced: every dendrogram merge (operands plus the exact height
+/// bits) and every cluster's membership, in report order. Two runs that
+/// print the same cluster digest built bit-identical dendrograms and
+/// cut them identically — the warm-vs-cold cluster CI gate compares
+/// this (plus the rest of the byte-identical report).
+fn cluster_digest(elicitation: &crate::elicit::Elicitation) -> cache::Fingerprint {
+    let mut parts: Vec<String> =
+        Vec::with_capacity(elicitation.dendrogram.merges.len() + elicitation.clusters.len() + 1);
+    parts.push(format!("leaves:{}", elicitation.dendrogram.n_leaves));
+    for merge in &elicitation.dendrogram.merges {
+        parts.push(format!(
+            "m:{}|{}|{:016x}",
+            merge.left,
+            merge.right,
+            merge.distance.to_bits()
+        ));
+    }
+    for cluster in &elicitation.clusters {
+        let members: Vec<String> = cluster.members.iter().map(ToString::to_string).collect();
+        parts.push(format!("c:{}", members.join(",")));
+    }
+    let parts: Vec<&str> = parts.iter().map(String::as_str).collect();
+    cache::fingerprint_str(&parts)
 }
 
 /// The canonical provenance-free digest text of one mined tuple:
@@ -655,28 +737,43 @@ fn render_span_subtree(
     }
 }
 
-/// Renders `diffcode cache stats` for the store under `dir`. Opens
-/// tolerantly: inspection must work on a damaged log (skipped corrupt
-/// records show up in their own row).
+/// Resolves a `cache --namespace` value to the log namespace and the
+/// version currently written under it. One directory can hold several
+/// logs — the mining outcomes (`cache.log`, the default) and the
+/// clustering distance cells (`cluster.log`) — and each namespace has
+/// its own notion of "current version".
 ///
 /// # Errors
 ///
-/// I/O failures opening the store.
-pub fn render_cache_stats(dir: &Path) -> Result<String, String> {
-    let cache = MiningCache::open_tolerant(
-        dir,
-        &[],
-        &PipelineLimits::DEFAULT,
-        usagegraph::DEFAULT_MAX_DEPTH,
-    )
-    .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
-    let stats = cache.store().stats();
+/// An unknown namespace (only the two known logs have a defined
+/// current version).
+fn cache_namespace(namespace: Option<&str>) -> Result<(&str, u32), String> {
+    match namespace.unwrap_or("cache") {
+        "cache" => Ok(("cache", crate::mcache::ANALYSIS_VERSION)),
+        "cluster" => Ok(("cluster", crate::ccache::CLUSTERING_VERSION)),
+        other => Err(format!(
+            "unknown cache namespace `{other}` (expected `cache` or `cluster`)"
+        )),
+    }
+}
+
+/// Renders `diffcode cache stats` for the store under `dir`. Opens
+/// tolerantly: inspection must work on a damaged log (skipped corrupt
+/// records show up in their own row). `namespace` selects which log in
+/// the directory to inspect (`None` = the mining log).
+///
+/// # Errors
+///
+/// I/O failures opening the store, or an unknown namespace.
+pub fn render_cache_stats(dir: &Path, namespace: Option<&str>) -> Result<String, String> {
+    let (ns, version) = cache_namespace(namespace)?;
+    let store = cache::CacheStore::open_ns_tolerant(dir, version, ns)
+        .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
+    let stats = store.stats();
     let mut table = Table::new(["Fact", "Value"]);
     table.row(["directory".to_owned(), dir.display().to_string()]);
-    table.row([
-        "analysis version".to_owned(),
-        crate::mcache::ANALYSIS_VERSION.to_string(),
-    ]);
+    table.row(["namespace".to_owned(), ns.to_owned()]);
+    table.row(["analysis version".to_owned(), version.to_string()]);
     table.row([
         "entries (current version)".to_owned(),
         stats.current_entries.to_string(),
@@ -704,21 +801,19 @@ pub fn render_cache_stats(dir: &Path) -> Result<String, String> {
 /// Runs `diffcode cache vacuum`: compacts the log to one record per
 /// live key, dropping stale versions, superseded duplicates, corrupt
 /// mid-log records, and any corrupt tail. Opens tolerantly — vacuum is
-/// the repair path for a log the strict open refuses.
+/// the repair path for a log the strict open refuses. `namespace`
+/// selects which log in the directory to compact (`None` = the mining
+/// log).
 ///
 /// # Errors
 ///
-/// I/O failures opening or rewriting the store.
-pub fn render_cache_vacuum(dir: &Path) -> Result<String, String> {
-    let mut cache = MiningCache::open_tolerant(
-        dir,
-        &[],
-        &PipelineLimits::DEFAULT,
-        usagegraph::DEFAULT_MAX_DEPTH,
-    )
-    .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
-    let report = cache
-        .store_mut()
+/// I/O failures opening or rewriting the store, or an unknown
+/// namespace.
+pub fn render_cache_vacuum(dir: &Path, namespace: Option<&str>) -> Result<String, String> {
+    let (ns, version) = cache_namespace(namespace)?;
+    let mut store = cache::CacheStore::open_ns_tolerant(dir, version, ns)
+        .map_err(|e| format!("opening cache at {}: {e}", dir.display()))?;
+    let report = store
         .vacuum()
         .map_err(|e| format!("vacuuming cache at {}: {e}", dir.display()))?;
     let mut out = String::new();
@@ -739,14 +834,16 @@ pub fn render_cache_vacuum(dir: &Path) -> Result<String, String> {
 
 /// Runs `diffcode cache verify`: a structural integrity scan of the
 /// log. Returns the report and whether the log is clean (the binary
-/// exits non-zero on a dirty log).
+/// exits non-zero on a dirty log). `namespace` selects which log in
+/// the directory to scan (`None` = the mining log).
 ///
 /// # Errors
 ///
-/// I/O failures reading the store.
-pub fn render_cache_verify(dir: &Path) -> Result<(String, bool), String> {
-    let report =
-        cache::verify(dir).map_err(|e| format!("verifying cache at {}: {e}", dir.display()))?;
+/// I/O failures reading the store, or an unknown namespace.
+pub fn render_cache_verify(dir: &Path, namespace: Option<&str>) -> Result<(String, bool), String> {
+    let (ns, current_version) = cache_namespace(namespace)?;
+    let report = cache::verify_ns(dir, ns)
+        .map_err(|e| format!("verifying cache at {}: {e}", dir.display()))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -759,7 +856,7 @@ pub fn render_cache_verify(dir: &Path) -> Result<(String, bool), String> {
         report.corrupt_tail_bytes,
     );
     for (version, count) in &report.versions {
-        let marker = if *version == crate::mcache::ANALYSIS_VERSION {
+        let marker = if *version == current_version {
             " (current)"
         } else {
             ""
@@ -931,15 +1028,17 @@ USAGE:
     diffcode rules
     diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
     diffcode mine [--seed <N>] [--projects <N>] [--threads <N>]
-                  [--cache-dir <dir>] [--metrics-json <path>]
+                  [--cache-dir <dir>] [--cluster-cache-dir <dir>]
+                  [--metrics-json <path>]
                   [--trace-out <path>] [--trace-sample <N>]
     diffcode explain <fingerprint|project/path> [--seed <N>] [--projects <N>]
                      [--threads <N>]
-    diffcode cache <stats|vacuum|verify> --cache-dir <dir>
+    diffcode cache <stats|vacuum|verify> --cache-dir <dir> [--namespace <ns>]
     diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
                      [--metrics-json <path>]
     diffcode serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
-                   [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
+                   [--cluster-cache-dir <dir>] [--deadline-ms <N>]
+                   [--queue-depth <N>] [--drain-ms <N>]
 
 COMMANDS:
     analyze   print the abstract crypto-API usages (objects, events, DAGs)
@@ -950,7 +1049,11 @@ COMMANDS:
     mine      mine a seeded corpus and print the deterministic accounting;
               --cache-dir enables the persistent result cache (a warm re-run
               replays cached outcomes and prints byte-identical output),
-              --metrics-json writes counters incl. cache.hit/miss/stale_version,
+              --cluster-cache-dir additionally filters + clusters the mined
+              changes with persisted distance cells (a warm re-cluster only
+              computes cells for new changes; output stays byte-identical to
+              a cold run), --metrics-json writes counters incl.
+              cache.hit/miss/stale_version and cluster.cache.hit/miss,
               --trace-out writes a Chrome trace-event JSON of the whole funnel
               (load it in Perfetto / chrome://tracing), --trace-sample N keeps
               every Nth span (decision events are always kept)
@@ -960,15 +1063,18 @@ COMMANDS:
               project/path substring (fixtures/figure2 is always present)
     cache     inspect the persistent result cache: stats (size/versions),
               vacuum (compact, dropping stale + superseded records),
-              verify (structural integrity scan; non-zero exit when dirty)
+              verify (structural integrity scan; non-zero exit when dirty);
+              --namespace selects the log in the directory: cache (mining
+              outcomes, the default) or cluster (distance cells)
     metrics   run the pipeline over a seeded corpus and report per-stage
               counters, quarantine breakdown, and stage latencies;
               --metrics-json writes the machine-readable snapshot
     serve     run the resident mining/checking HTTP service (delegates to
               the diffcode-serve binary next to this one): POST /mine,
               POST /check, GET /explain/<fingerprint>, GET /metrics,
-              GET /healthz, GET /readyz; per-request deadlines, bounded
-              admission queue with 429 shedding, graceful SIGTERM drain
+              GET /cluster/stats, GET /healthz, GET /readyz; per-request
+              deadlines, bounded admission queue with 429 shedding,
+              graceful SIGTERM drain
 ";
 
 fn effective_classes<'a>(classes: &[&'a str]) -> Vec<&'a str> {
@@ -1104,7 +1210,7 @@ mod tests {
     #[test]
     fn traced_mine_report_is_byte_identical_to_untraced() {
         let (plain, _) = run_mine(42, 4, 2, None).unwrap();
-        let (traced, _, trace) = run_mine_traced(42, 4, 2, None, 1).unwrap();
+        let (traced, _, trace) = run_mine_traced(42, 4, 2, None, None, 1).unwrap();
         assert_eq!(plain, traced, "tracing must not perturb stdout");
         assert!(!trace.is_empty());
         let json = obs::to_chrome_json(&trace);

@@ -9,17 +9,19 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: diffcode-serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
-                      [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
+                      [--cluster-cache-dir <dir>] [--deadline-ms <N>]
+                      [--queue-depth <N>] [--drain-ms <N>]
 
 Resident mining/checking service. Endpoints:
   POST /mine                  {\"old\": ..., \"new\": ...} -> mined/quarantined verdict
   POST /check                 {\"source\": ...} -> rule violations
   GET  /explain/<fingerprint> recent /mine verdicts for a fingerprint prefix
   GET  /metrics               Prometheus text exposition
+  GET  /cluster/stats         persisted clustering distance-cell log stats
   GET  /healthz, /readyz      liveness; readiness goes 503 while draining
 
 Shuts down gracefully on SIGINT/SIGTERM: stops accepting, drains the
-queue under the drain deadline, flushes the mining cache.
+queue under the drain deadline, flushes the mining and cluster caches.
 Set DIFFCODE_SERVE_CHAOS=1 to honor the X-Chaos-* test headers.";
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
@@ -39,6 +41,9 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     .map_err(|_| "--threads needs a positive integer".to_owned())?;
             }
             "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--cluster-cache-dir" => {
+                config.cluster_cache_dir = Some(value("--cluster-cache-dir")?.into());
+            }
             "--deadline-ms" => {
                 config.deadline_ms = value("--deadline-ms")?
                     .parse()

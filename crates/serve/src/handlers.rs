@@ -6,6 +6,7 @@
 //! | `POST /check` | snippet(s) → rule violations |
 //! | `GET /explain/<fingerprint>` | the ring-buffered verdict journal |
 //! | `GET /metrics` | the registry in Prometheus text format |
+//! | `GET /cluster/stats` | the persisted clustering distance-cell log |
 //! | `GET /healthz`, `GET /readyz` | liveness / drain-aware readiness |
 //!
 //! `/mine` goes through [`diffcode::DiffCode::process_pair_cached`] —
@@ -66,6 +67,7 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
         ("POST", "/mine") => mine(req, shared, ctx),
         ("POST", "/check") => check(req),
         ("GET", "/metrics") => metrics(shared),
+        ("GET", "/cluster/stats") => cluster_stats(shared),
         ("GET", "/healthz") => Response::text(200, "ok"),
         ("GET", "/readyz") => {
             if shared.draining() {
@@ -75,7 +77,7 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
             }
         }
         ("GET", path) if path.starts_with("/explain/") => explain(path, shared),
-        (_, "/mine" | "/check" | "/metrics" | "/healthz" | "/readyz") => {
+        (_, "/mine" | "/check" | "/metrics" | "/cluster/stats" | "/healthz" | "/readyz") => {
             err_json(405, "method not allowed for this path")
         }
         (_, path) if path.starts_with("/explain/") => err_json(405, "explain is GET-only"),
@@ -252,6 +254,50 @@ fn explain(path: &str, shared: &Shared) -> Response {
         (
             "records".to_owned(),
             Json::Arr(matches.iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `GET /cluster/stats`: the state of the persisted clustering
+/// distance-cell log — how warm the next `mine --cluster-cache-dir`
+/// run on this directory starts.
+fn cluster_stats(shared: &Shared) -> Response {
+    let Some(lock) = shared.cluster_cache.as_ref() else {
+        return err_json(
+            404,
+            "no cluster cache configured (start with --cluster-cache-dir)",
+        );
+    };
+    let stats = {
+        let cache = lock.read().unwrap_or_else(PoisonError::into_inner);
+        cache.store().stats()
+    };
+    let body = Json::Obj(vec![
+        (
+            "namespace".to_owned(),
+            Json::Str(diffcode::CLUSTER_NAMESPACE.to_owned()),
+        ),
+        (
+            "clustering_version".to_owned(),
+            Json::Num(f64::from(diffcode::CLUSTERING_VERSION)),
+        ),
+        (
+            "entries".to_owned(),
+            Json::Num(stats.current_entries as f64),
+        ),
+        (
+            "stale_entries".to_owned(),
+            Json::Num(stats.stale_entries as f64),
+        ),
+        (
+            "records_loaded".to_owned(),
+            Json::Num(stats.records_loaded as f64),
+        ),
+        ("file_bytes".to_owned(), Json::Num(stats.file_bytes as f64)),
+        (
+            "corrupt_tail_bytes".to_owned(),
+            Json::Num(stats.corrupt_tail_bytes as f64),
         ),
     ]);
     Response::json(200, body.render())

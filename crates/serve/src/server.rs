@@ -17,8 +17,9 @@
 //! 3. On shutdown (SIGINT/SIGTERM via [`diffcode::shutdown`], or a
 //!    programmatic stop flag) the listener closes, queued connections
 //!    drain under the drain deadline (whatever the deadline catches
-//!    still queued is shed with `503`), the mining cache flushes its
-//!    append log, and the counters are returned as a [`ServeSummary`].
+//!    still queued is shed with `503`), the mining and cluster caches
+//!    flush their append logs, and the counters are returned as a
+//!    [`ServeSummary`].
 //!
 //! The accounting partition `accepted = completed + shed + failed`
 //! holds exactly whenever the server is idle or stopped — it is checked
@@ -48,6 +49,10 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Mining-cache directory; `None` serves without a cache.
     pub cache_dir: Option<PathBuf>,
+    /// Cluster-cache directory (distance cells persisted by
+    /// `diffcode mine --cluster-cache-dir`); `None` disables
+    /// `GET /cluster/stats`.
+    pub cluster_cache_dir: Option<PathBuf>,
     /// Per-request read deadline, milliseconds.
     pub deadline_ms: u64,
     /// Admission-queue watermark: connections beyond this are shed.
@@ -69,6 +74,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:8091".to_owned(),
             threads: 4,
             cache_dir: None,
+            cluster_cache_dir: None,
             deadline_ms: 2_000,
             queue_depth: 64,
             drain_ms: 5_000,
@@ -118,6 +124,8 @@ pub struct Shared {
     pub registry: Mutex<MetricsRegistry>,
     /// The hot mining cache, when configured.
     pub cache: Option<RwLock<MiningCache>>,
+    /// The persisted clustering distance cells, when configured.
+    pub cluster_cache: Option<RwLock<diffcode::ClusterCache>>,
     /// The `/explain` verdict journal.
     pub ring: Mutex<ExplainRing>,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -204,10 +212,22 @@ impl Server {
             None => None,
         };
 
+        let cluster_cache = match &config.cluster_cache_dir {
+            Some(dir) => Some(RwLock::new(
+                // Same configuration as `diffcode mine
+                // --cluster-cache-dir`, so the served stats describe
+                // exactly the cells mining runs read and write.
+                diffcode::ClusterCache::open_default(dir)
+                    .map_err(|e| format!("opening cluster cache at {}: {e}", dir.display()))?,
+            )),
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             ring: Mutex::new(ExplainRing::new(config.ring_capacity)),
             registry: Mutex::new(MetricsRegistry::new()),
             cache,
+            cluster_cache,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -266,13 +286,20 @@ fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSu
         let _ = handle.join();
     }
 
-    // Flush the cache append log so a restart starts warm.
+    // Flush the cache append logs so a restart starts warm.
     let mut flushed = 0u64;
     if let Some(lock) = &shared.cache {
         let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
         match cache.flush() {
             Ok(n) => flushed = n as u64,
             Err(_) => shared.with_registry(|r| r.inc("serve.cache_flush_errors", 1)),
+        }
+    }
+    if let Some(lock) = &shared.cluster_cache {
+        let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
+        match cache.flush() {
+            Ok(n) => shared.with_registry(|r| r.inc("cluster.cache.flushed_entries", n as u64)),
+            Err(_) => shared.with_registry(|r| r.inc("serve.cluster_cache_flush_errors", 1)),
         }
     }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates a warm `diffcode mine --cluster-cache-dir` re-cluster.
+
+CI primes a cluster cache at a base project count, re-mines a grown
+corpus against the same cache directory (warm), then mines the grown
+corpus once more against a fresh directory (cold) and passes the two
+grown-corpus stdout captures plus the warm run's `--metrics-json`
+snapshot here. The gate enforces the incremental-clustering
+acceptance criteria:
+
+  1. byte-identical output: the warm re-cluster's stdout (dendrogram
+     digest, cluster count, rule report) must equal the cold
+     from-scratch run's exactly — cached distance cells must replay
+     bit-identically;
+  2. hit rate: cluster.cache.hit / (hit + miss + stale_version)
+     >= MIN_HIT_RATE on the warm run, i.e. the warm run computed only
+     the new-row/new-column distance cells;
+  3. new-row-only work: misses must equal C(n,2) - hits' pair count
+     complement, i.e. every cache miss is attributable to a change
+     fingerprint that was not in the primed corpus (checked via
+     cluster.pairs == hit + miss).
+
+Gate pair choice: the seeded corpus generator dedups aggressively, so
+kept (clustered) changes grow ~logarithmically in `--projects`. The
+prime=1000 / grown=1200 pair yields 48 -> 49 kept changes: one new
+row over a 48-change base, C(48,2)/C(49,2) = 95.9% hits, while still
+exercising real growth (the 2000-change scale bound is covered by the
+`cluster_cache` integration test at the matrix layer).
+
+Exit code 0 on success, 1 with a message per violation otherwise.
+Usage: check_cluster_warm.py <cold_stdout> <warm_stdout> <warm_metrics.json>
+"""
+
+import json
+import sys
+
+MIN_HIT_RATE = 0.95
+
+
+def check(cold_text, warm_text, snapshot):
+    errors = []
+
+    if cold_text != warm_text:
+        cold_lines = cold_text.splitlines()
+        warm_lines = warm_text.splitlines()
+        detail = "line counts differ"
+        for i, (c, w) in enumerate(zip(cold_lines, warm_lines), start=1):
+            if c != w:
+                detail = f"first divergence at line {i}: {c!r} != {w!r}"
+                break
+        errors.append(
+            f"warm re-cluster output is not byte-identical to cold run ({detail})"
+        )
+
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cluster.cache.hit", 0)
+    misses = counters.get("cluster.cache.miss", 0)
+    stale = counters.get("cluster.cache.stale_version", 0)
+    lookups = hits + misses + stale
+    if lookups == 0:
+        errors.append(
+            "warm run recorded no cluster-cache lookups "
+            "(was --cluster-cache-dir passed?)"
+        )
+    else:
+        rate = hits / lookups
+        if rate < MIN_HIT_RATE:
+            errors.append(
+                f"warm cluster hit rate {rate:.1%} below {MIN_HIT_RATE:.0%} "
+                f"(hit={hits} miss={misses} stale_version={stale})"
+            )
+
+    pairs = counters.get("cluster.pairs", 0)
+    if lookups and pairs and lookups != pairs:
+        errors.append(
+            f"cluster-cache lookups ({lookups}) != distance pairs ({pairs}): "
+            "some cells bypassed the cache"
+        )
+
+    return errors, hits, misses, stale
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        cold_text = f.read()
+    with open(sys.argv[2]) as f:
+        warm_text = f.read()
+    with open(sys.argv[3]) as f:
+        snapshot = json.load(f)
+    errors, hits, misses, stale = check(cold_text, warm_text, snapshot)
+    for error in errors:
+        print(f"CLUSTER GATE VIOLATED: {error}", file=sys.stderr)
+    if not errors:
+        lookups = hits + misses + stale
+        print(
+            f"cluster warm run OK: output byte-identical, "
+            f"{hits}/{lookups} cell hits ({hits / lookups:.1%}), "
+            f"{misses} miss(es), {stale} stale"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

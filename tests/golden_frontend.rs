@@ -59,7 +59,7 @@ fn mine_stdout_matches_prerefactor_golden() {
 #[test]
 fn decision_trace_matches_prerefactor_golden() {
     let (_, _, trace) =
-        run_mine_traced(SEED, PROJECTS, THREADS, None, 1).expect("traced mine runs");
+        run_mine_traced(SEED, PROJECTS, THREADS, None, None, 1).expect("traced mine runs");
     let mut lines = String::new();
     for event in trace.events() {
         if trace.name(event.name) != DECISION_EVENT {
