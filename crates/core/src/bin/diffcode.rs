@@ -84,6 +84,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "mine" => {
             let opts = parse_mine_flags(&args[1..])?;
+            let source = opts.source()?;
             let threads = opts.threads.unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
@@ -92,8 +93,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let registry = match &opts.trace_out {
                 Some(trace_path) => {
                     let (report, registry, trace) = cli::run_mine_traced(
-                        opts.seed,
-                        opts.projects,
+                        &source,
                         threads,
                         opts.cache_dir.as_deref(),
                         opts.cluster_cache_dir.as_deref(),
@@ -115,8 +115,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     // prints, and the process exits 130.
                     diffcode::shutdown::install();
                     let (report, registry, interrupted) = cli::run_mine_interruptible(
-                        opts.seed,
-                        opts.projects,
+                        &source,
                         threads,
                         opts.cache_dir.as_deref(),
                         opts.cluster_cache_dir.as_deref(),
@@ -178,13 +177,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         "explain" => {
-            let (query, seed, projects, threads) = parse_explain_flags(&args[1..])?;
-            let threads = threads.unwrap_or_else(|| {
+            let (query, opts) = parse_explain_flags(&args[1..])?;
+            let source = opts.source()?;
+            let threads = opts.threads.unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
             });
-            print!("{}", cli::run_explain(&query, seed, projects, threads)?);
+            print!("{}", cli::run_explain_source(&query, &source, threads)?);
             Ok(ExitCode::SUCCESS)
         }
         "cache" => {
@@ -309,14 +309,45 @@ fn parse_chaos_flags(args: &[String]) -> Result<(u64, f64, usize), String> {
 
 /// Parsed `mine` flags.
 struct MineOpts {
-    seed: u64,
-    projects: usize,
+    seed: Option<u64>,
+    projects: Option<usize>,
+    repo: Option<PathBuf>,
+    rev_range: Option<String>,
+    max_commits: Option<usize>,
     threads: Option<usize>,
     cache_dir: Option<PathBuf>,
     cluster_cache_dir: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     trace_sample: Option<u64>,
+}
+
+impl MineOpts {
+    /// Resolves the seeded-vs-repo source, rejecting mixed flags (a
+    /// repo walk has no seed or project count to vary).
+    fn source(&self) -> Result<cli::MineSource, String> {
+        match &self.repo {
+            Some(repo) => {
+                if self.seed.is_some() || self.projects.is_some() {
+                    return Err("--repo conflicts with --seed/--projects".to_owned());
+                }
+                Ok(cli::MineSource::Repo {
+                    repo: repo.clone(),
+                    rev_range: self.rev_range.clone(),
+                    max_commits: self.max_commits,
+                })
+            }
+            None => {
+                if self.rev_range.is_some() || self.max_commits.is_some() {
+                    return Err("--rev-range/--max-commits need --repo".to_owned());
+                }
+                Ok(cli::MineSource::Seeded {
+                    seed: self.seed.unwrap_or(42),
+                    n_projects: self.projects.unwrap_or(12),
+                })
+            }
+        }
+    }
 }
 
 /// Parses `mine` flags: `--seed <N>` (default 42), `--projects <N>`
@@ -328,8 +359,11 @@ struct MineOpts {
 /// `--trace-sample <N>` (keep every Nth span; needs `--trace-out`).
 fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
     let mut opts = MineOpts {
-        seed: 42,
-        projects: 12,
+        seed: None,
+        projects: None,
+        repo: None,
+        rev_range: None,
+        max_commits: None,
         threads: None,
         cache_dir: None,
         cluster_cache_dir: None,
@@ -343,13 +377,29 @@ fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
         match arg.as_str() {
             "--seed" => {
                 let value = value_for("--seed")?;
-                opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                opts.seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?);
             }
             "--projects" => {
                 let value = value_for("--projects")?;
-                opts.projects = value
-                    .parse()
-                    .map_err(|_| format!("bad project count `{value}`"))?;
+                opts.projects = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad project count `{value}`"))?,
+                );
+            }
+            "--repo" => {
+                opts.repo = Some(PathBuf::from(value_for("--repo")?));
+            }
+            "--rev-range" => {
+                opts.rev_range = Some(value_for("--rev-range")?.clone());
+            }
+            "--max-commits" => {
+                let value = value_for("--max-commits")?;
+                opts.max_commits = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad commit count `{value}`"))?,
+                );
             }
             "--threads" => {
                 let value = value_for("--threads")?;
@@ -391,31 +441,58 @@ fn parse_mine_flags(args: &[String]) -> Result<MineOpts, String> {
 }
 
 /// Parses `explain` arguments: one positional query (a fingerprint
-/// prefix or a `project/path` substring) plus `--seed <N>` (default
-/// 42), `--projects <N>` (default 12), and `--threads <N>` (default:
-/// all cores).
-fn parse_explain_flags(args: &[String]) -> Result<(String, u64, usize, Option<usize>), String> {
+/// prefix or a `project/path` substring) plus the same corpus-source
+/// flags as `mine` — `--seed <N>` (default 42), `--projects <N>`
+/// (default 12) or `--repo <path>` with optional `--rev-range <A..B>`
+/// and `--max-commits <N>` — and `--threads <N>` (default: all cores).
+fn parse_explain_flags(args: &[String]) -> Result<(String, MineOpts), String> {
     let mut query = None;
-    let mut seed = 42u64;
-    let mut projects = 12usize;
-    let mut threads = None;
+    let mut opts = MineOpts {
+        seed: None,
+        projects: None,
+        repo: None,
+        rev_range: None,
+        max_commits: None,
+        threads: None,
+        cache_dir: None,
+        cluster_cache_dir: None,
+        metrics_json: None,
+        trace_out: None,
+        trace_sample: None,
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value_for = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--seed" => {
                 let value = value_for("--seed")?;
-                seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                opts.seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?);
             }
             "--projects" => {
                 let value = value_for("--projects")?;
-                projects = value
-                    .parse()
-                    .map_err(|_| format!("bad project count `{value}`"))?;
+                opts.projects = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad project count `{value}`"))?,
+                );
+            }
+            "--repo" => {
+                opts.repo = Some(PathBuf::from(value_for("--repo")?));
+            }
+            "--rev-range" => {
+                opts.rev_range = Some(value_for("--rev-range")?.clone());
+            }
+            "--max-commits" => {
+                let value = value_for("--max-commits")?;
+                opts.max_commits = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad commit count `{value}`"))?,
+                );
             }
             "--threads" => {
                 let value = value_for("--threads")?;
-                threads = Some(
+                opts.threads = Some(
                     value
                         .parse()
                         .map_err(|_| format!("bad thread count `{value}`"))?,
@@ -433,7 +510,7 @@ fn parse_explain_flags(args: &[String]) -> Result<(String, u64, usize, Option<us
     }
     let query = query
         .ok_or_else(|| "explain needs a query: a fingerprint prefix or project/path".to_owned())?;
-    Ok((query, seed, projects, threads))
+    Ok((query, opts))
 }
 
 /// Parses `cache` arguments: one action (`stats`, `vacuum`, `verify`)

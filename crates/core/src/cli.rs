@@ -14,7 +14,7 @@ use javalang::ParseError;
 use obs::{fmt_ns, MetricsRegistry, TraceKind, TraceSink};
 use rules::{CheckedProject, CryptoChecker, ProjectContext};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Renders the abstract usages of one source file: every abstract
 /// object of a target class with its usage DAG.
@@ -270,6 +270,131 @@ pub fn render_chaos(seed: u64, rate: f64, n_projects: usize) -> String {
     out
 }
 
+/// Where a `diffcode mine` / `diffcode explain` run gets its corpus.
+///
+/// Both sources feed the **same** cached mining path: cache keys are
+/// provenance-free content fingerprints, so a seeded corpus and a real
+/// repository share one cache discipline, and a warm re-mine of either
+/// replays outcomes instead of re-analyzing.
+#[derive(Debug, Clone)]
+pub enum MineSource {
+    /// A synthetic corpus from the deterministic generator.
+    Seeded {
+        /// Generator seed.
+        seed: u64,
+        /// Number of projects to generate.
+        n_projects: usize,
+    },
+    /// A real cloned repository, walked with [`gitsrc`].
+    Repo {
+        /// Path to the clone (its `.git` must be reachable by git).
+        repo: PathBuf,
+        /// Optional `A..B` rev-range restriction.
+        rev_range: Option<String>,
+        /// Keep only the oldest N commits.
+        max_commits: Option<usize>,
+    },
+}
+
+impl MineSource {
+    /// The deterministic one-line run header. Repo mode names the
+    /// repository by basename only, so the header (and therefore the
+    /// whole report) is byte-identical no matter where the clone
+    /// lives — the property the git-fixture CI gate byte-compares.
+    fn header(&self) -> String {
+        match self {
+            MineSource::Seeded { seed, n_projects } => {
+                format!("mine run: seed {seed}, {n_projects} project(s)\n")
+            }
+            MineSource::Repo {
+                repo,
+                rev_range,
+                max_commits,
+            } => {
+                let name = repo
+                    .canonicalize()
+                    .unwrap_or_else(|_| repo.clone())
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "repo".to_owned());
+                let mut line = format!("mine run: repo {name}");
+                if let Some(range) = rev_range {
+                    let _ = write!(line, ", range {range}");
+                }
+                if let Some(max) = max_commits {
+                    let _ = write!(line, ", first {max} commit(s)");
+                }
+                line.push('\n');
+                line
+            }
+        }
+    }
+
+    /// Builds the corpus: generate (seeded) or ingest (repo). Repo
+    /// mode also returns the deterministic ingestion summary lines
+    /// that follow the header in the report.
+    fn corpus(&self, registry: &mut MetricsRegistry) -> Result<(corpus::Corpus, String), String> {
+        match self {
+            MineSource::Seeded { seed, n_projects } => {
+                let corpus = registry.time("corpus.generate", || {
+                    corpus::generate(&corpus::GeneratorConfig::small(*n_projects, *seed))
+                });
+                Ok((corpus, String::new()))
+            }
+            MineSource::Repo {
+                repo,
+                rev_range,
+                max_commits,
+            } => {
+                let opts = gitsrc::IngestOptions {
+                    rev_range: rev_range.clone(),
+                    max_commits: *max_commits,
+                    limits: gitsrc::IngestLimits::DEFAULT,
+                };
+                let report = gitsrc::ingest_repo(repo, &opts, registry)
+                    .map_err(|e| format!("ingesting {}: {e}", repo.display()))?;
+                let summary = render_ingest_summary(&report);
+                Ok((report.corpus, summary))
+            }
+        }
+    }
+}
+
+/// Renders the deterministic ingestion accounting lines of a repo-mode
+/// mine report: walk totals, pair/rename/addition/deletion counts, and
+/// the quarantine breakdown (omitted when clean). Timings and batch
+/// latencies stay in the metrics registry only.
+fn render_ingest_summary(report: &gitsrc::IngestReport) -> String {
+    let stats = &report.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingested: {} commit(s) of {} walked, {} file(s) seen",
+        stats.commits_ingested, stats.commits_walked, stats.files_seen
+    );
+    let _ = writeln!(
+        out,
+        "pairs: {} pre/post pair(s) ({} rename(s) followed), \
+         {} addition(s), {} deletion(s), {} non-java file(s)",
+        stats.pairs, stats.renames_followed, stats.additions, stats.deletions, stats.non_java
+    );
+    if !report.skips.is_empty() {
+        let kinds: Vec<String> = report
+            .skipped_by_kind()
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(kind, n)| format!("{}: {n}", kind.name()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "quarantined: {} file(s) ({})",
+            report.skips.len(),
+            kinds.join(", ")
+        );
+    }
+    out
+}
+
 /// Runs a (parallel) mining run over a seeded corpus, optionally
 /// through the persistent result cache under `cache_dir`, and renders
 /// the accounting. Backs the `diffcode mine` command.
@@ -290,8 +415,8 @@ pub fn run_mine(
     n_threads: usize,
     cache_dir: Option<&Path>,
 ) -> Result<(String, MetricsRegistry), String> {
-    let (out, registry, _, _) =
-        run_mine_inner(seed, n_projects, n_threads, cache_dir, None, None, None)?;
+    let source = MineSource::Seeded { seed, n_projects };
+    let (out, registry, _, _) = run_mine_inner(&source, n_threads, cache_dir, None, None, None)?;
     Ok((out, registry))
 }
 
@@ -307,16 +432,14 @@ pub fn run_mine(
 ///
 /// I/O failures opening or flushing the cache.
 pub fn run_mine_interruptible(
-    seed: u64,
-    n_projects: usize,
+    source: &MineSource,
     n_threads: usize,
     cache_dir: Option<&Path>,
     cluster_cache_dir: Option<&Path>,
     cancel: &'static std::sync::atomic::AtomicBool,
 ) -> Result<(String, MetricsRegistry, bool), String> {
     let (out, registry, _, interrupted) = run_mine_inner(
-        seed,
-        n_projects,
+        source,
         n_threads,
         cache_dir,
         cluster_cache_dir,
@@ -338,16 +461,14 @@ pub fn run_mine_interruptible(
 ///
 /// I/O failures opening or flushing the cache.
 pub fn run_mine_traced(
-    seed: u64,
-    n_projects: usize,
+    source: &MineSource,
     n_threads: usize,
     cache_dir: Option<&Path>,
     cluster_cache_dir: Option<&Path>,
     trace_sample: u64,
 ) -> Result<(String, MetricsRegistry, TraceSink), String> {
     let (out, registry, trace, _) = run_mine_inner(
-        seed,
-        n_projects,
+        source,
         n_threads,
         cache_dir,
         cluster_cache_dir,
@@ -358,8 +479,7 @@ pub fn run_mine_traced(
 }
 
 fn run_mine_inner(
-    seed: u64,
-    n_projects: usize,
+    source: &MineSource,
     n_threads: usize,
     cache_dir: Option<&Path>,
     cluster_cache_dir: Option<&Path>,
@@ -371,9 +491,7 @@ fn run_mine_inner(
         Some(sample) => TraceSink::enabled(sample),
         None => TraceSink::disabled(),
     };
-    let corpus = registry.time("corpus.generate", || {
-        corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed))
-    });
+    let (corpus, ingest_summary) = source.corpus(&mut registry)?;
     corpus::corpus_stats(&corpus).record(&mut registry);
     let mut cache = match cache_dir {
         Some(dir) => Some(
@@ -467,7 +585,8 @@ fn run_mine_inner(
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "mine run: seed {seed}, {n_projects} project(s)");
+    out.push_str(&source.header());
+    out.push_str(&ingest_summary);
     if interrupted {
         let _ = writeln!(
             out,
@@ -572,6 +691,7 @@ fn figure2_project() -> corpus::Project {
         facts: corpus::ProjectFacts::default(),
         commits: vec![corpus::Commit {
             id: "figure2-fix".into(),
+            author: "paper authors <paper@pldi18>".into(),
             message: "Fix: use AES/CBC with an explicit IV".into(),
             changes: vec![corpus::FileChange {
                 path: "AESCipher.java".into(),
@@ -597,10 +717,29 @@ pub fn run_explain(
     n_projects: usize,
     n_threads: usize,
 ) -> Result<String, String> {
+    run_explain_source(query, &MineSource::Seeded { seed, n_projects }, n_threads)
+}
+
+/// [`run_explain`] over any [`MineSource`]. Repo mode walks the
+/// repository and explains real commits — the query matches a real
+/// change fingerprint or a `git/<repo-name>/<path>` substring; the
+/// Figure 2 fixture is only prepended for seeded corpora, where it
+/// anchors the CI trace smoke query.
+///
+/// # Errors
+///
+/// Repository ingestion failures; no change matches the query.
+pub fn run_explain_source(
+    query: &str,
+    source: &MineSource,
+    n_threads: usize,
+) -> Result<String, String> {
     let mut registry = MetricsRegistry::new();
     let mut trace = TraceSink::enabled(1);
-    let mut corpus = corpus::generate(&corpus::GeneratorConfig::small(n_projects, seed));
-    corpus.projects.insert(0, figure2_project());
+    let (mut corpus, _) = source.corpus(&mut registry)?;
+    if matches!(source, MineSource::Seeded { .. }) {
+        corpus.projects.insert(0, figure2_project());
+    }
     let result = mine_parallel_traced(&corpus, &[], n_threads, &mut registry, None, &mut trace);
     let (kept, _) = apply_filters_traced(
         result.changes,
@@ -1028,17 +1167,19 @@ USAGE:
     diffcode rules
     diffcode chaos [--seed <N>] [--rate <0..1>] [--projects <N>]
     diffcode mine [--seed <N>] [--projects <N>] [--threads <N>]
+                  [--repo <path>] [--rev-range <A..B>] [--max-commits <N>]
                   [--cache-dir <dir>] [--cluster-cache-dir <dir>]
                   [--metrics-json <path>]
                   [--trace-out <path>] [--trace-sample <N>]
     diffcode explain <fingerprint|project/path> [--seed <N>] [--projects <N>]
+                     [--repo <path>] [--rev-range <A..B>] [--max-commits <N>]
                      [--threads <N>]
     diffcode cache <stats|vacuum|verify> --cache-dir <dir> [--namespace <ns>]
     diffcode metrics [--seed <N>] [--projects <N>] [--threads <N>]
                      [--metrics-json <path>]
     diffcode serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
-                   [--cluster-cache-dir <dir>] [--deadline-ms <N>]
-                   [--queue-depth <N>] [--drain-ms <N>]
+                   [--cluster-cache-dir <dir>] [--repo-root <dir>]
+                   [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
 
 COMMANDS:
     analyze   print the abstract crypto-API usages (objects, events, DAGs)
@@ -1046,7 +1187,11 @@ COMMANDS:
     check     run CryptoChecker (the 13 elicited rules) on files/directories
     rules     print the rule table (paper Figure 9)
     chaos     fault-inject a generated corpus and report the quarantine accounting
-    mine      mine a seeded corpus and print the deterministic accounting;
+    mine      mine a seeded corpus — or, with --repo <path>, a real cloned
+              git repository (rename-aware commit walk over .java files;
+              --rev-range restricts to A..B, --max-commits keeps the oldest
+              N commits; author/commit/path provenance flows into traces) —
+              and print the deterministic accounting;
               --cache-dir enables the persistent result cache (a warm re-run
               replays cached outcomes and prints byte-identical output),
               --cluster-cache-dir additionally filters + clusters the mined
@@ -1060,7 +1205,8 @@ COMMANDS:
     explain   re-run the traced pipeline and print one change's full funnel
               journey — pipeline spans plus the typed decision each stage
               recorded; the query is a change-fingerprint prefix or a
-              project/path substring (fixtures/figure2 is always present)
+              project/path substring (fixtures/figure2 is always present
+              in seeded mode; with --repo the journey covers real commits)
     cache     inspect the persistent result cache: stats (size/versions),
               vacuum (compact, dropping stale + superseded records),
               verify (structural integrity scan; non-zero exit when dirty);
@@ -1071,7 +1217,9 @@ COMMANDS:
               --metrics-json writes the machine-readable snapshot
     serve     run the resident mining/checking HTTP service (delegates to
               the diffcode-serve binary next to this one): POST /mine,
-              POST /check, GET /explain/<fingerprint>, GET /metrics,
+              POST /mine-repo (walk + mine a clone named under
+              --repo-root; disabled without it), POST /check,
+              GET /explain/<fingerprint>, GET /metrics,
               GET /cluster/stats, GET /healthz, GET /readyz; per-request
               deadlines, bounded admission queue with 429 shedding,
               graceful SIGTERM drain
@@ -1157,6 +1305,7 @@ mod tests {
                 facts: corpus::ProjectFacts::default(),
                 commits: vec![corpus::Commit {
                     id: "c1".into(),
+                    author: String::new(),
                     message: "m".into(),
                     changes: vec![corpus::FileChange {
                         path: "A.java".into(),
@@ -1189,6 +1338,7 @@ mod tests {
                 facts: corpus::ProjectFacts::default(),
                 commits: vec![corpus::Commit {
                     id: "c1".into(),
+                    author: String::new(),
                     message: "m".into(),
                     changes,
                 }],
@@ -1210,7 +1360,11 @@ mod tests {
     #[test]
     fn traced_mine_report_is_byte_identical_to_untraced() {
         let (plain, _) = run_mine(42, 4, 2, None).unwrap();
-        let (traced, _, trace) = run_mine_traced(42, 4, 2, None, None, 1).unwrap();
+        let source = MineSource::Seeded {
+            seed: 42,
+            n_projects: 4,
+        };
+        let (traced, _, trace) = run_mine_traced(&source, 2, None, None, 1).unwrap();
         assert_eq!(plain, traced, "tracing must not perturb stdout");
         assert!(!trace.is_empty());
         let json = obs::to_chrome_json(&trace);

@@ -86,6 +86,7 @@ pub(crate) fn record_decision(
         a.str("reason", reason.to_string());
         a.str("project", &meta.project);
         a.str("commit", &meta.commit);
+        a.str("author", &meta.author);
         a.str("path", &meta.path);
         a.str("fingerprint", &meta.fingerprint);
         extra(a);
@@ -144,6 +145,7 @@ mod tests {
         let meta = ChangeMeta {
             project: "u/p".into(),
             commit: "c1".into(),
+            author: "a dev <dev@example.com>".into(),
             message: "fix".into(),
             path: "A.java".into(),
             fingerprint: "deadbeef".into(),
@@ -160,6 +162,10 @@ mod tests {
         assert_eq!(sink.attr_str(event, "reason"), Some("kept"));
         assert_eq!(sink.attr_str(event, "project"), Some("u/p"));
         assert_eq!(sink.attr_str(event, "commit"), Some("c1"));
+        assert_eq!(
+            sink.attr_str(event, "author"),
+            Some("a dev <dev@example.com>")
+        );
         assert_eq!(sink.attr_str(event, "path"), Some("A.java"));
         assert_eq!(sink.attr_str(event, "fingerprint"), Some("deadbeef"));
         assert_eq!(

@@ -321,6 +321,7 @@ mod tests {
                 meta: crate::pipeline::ChangeMeta {
                     project: format!("fixtures/{}", pair.name),
                     commit: pair.name.to_owned(),
+                    author: String::new(),
                     message: pair.description.to_owned(),
                     path: "A.java".into(),
                     fingerprint: crate::pipeline::change_fingerprint(pair.old, pair.new),

@@ -290,6 +290,7 @@ mod tests {
             meta: ChangeMeta {
                 project: "u/p".into(),
                 commit: "c".into(),
+                author: String::new(),
                 message: String::new(),
                 path: "A.java".into(),
                 fingerprint: format!("fp:{class}:{removed:?}->{added:?}"),

@@ -34,6 +34,9 @@ pub struct ChangeMeta {
     pub project: String,
     /// Commit id.
     pub commit: String,
+    /// Commit author (`Name <email>`; empty when unknown). Real for
+    /// git-ingested corpora, a deterministic bot for generated ones.
+    pub author: String,
     /// Commit message.
     pub message: String,
     /// Changed file.
@@ -407,6 +410,7 @@ impl DiffCode {
             let meta = ChangeMeta {
                 project: code_change.project.full_name(),
                 commit: code_change.commit.id.clone(),
+                author: code_change.commit.author.clone(),
                 message: code_change.commit.message.clone(),
                 path: code_change.path.to_owned(),
                 fingerprint: change_fingerprint(code_change.old, code_change.new),
@@ -886,6 +890,7 @@ fn shard_failure_result(shard: &Corpus, message: &str, trace: &mut TraceSink) ->
         let meta = ChangeMeta {
             project: code_change.project.full_name(),
             commit: code_change.commit.id.clone(),
+            author: code_change.commit.author.clone(),
             message: code_change.commit.message.clone(),
             path: code_change.path.to_owned(),
             fingerprint: change_fingerprint(code_change.old, code_change.new),
@@ -1022,6 +1027,7 @@ mod tests {
             facts: corpus::ProjectFacts::default(),
             commits: vec![corpus::Commit {
                 id: format!("{name}-1"),
+                author: String::new(),
                 message: "edit".into(),
                 changes: (0..k)
                     .map(changes)
@@ -1095,6 +1101,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, (old, new))| corpus::Commit {
                         id: format!("c{i}"),
+                        author: String::new(),
                         message: format!("change {i}"),
                         changes: vec![corpus::FileChange {
                             path: format!("F{i}.java"),

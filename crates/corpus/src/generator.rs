@@ -6,7 +6,7 @@
 //! calibration targets next to the measured outcomes. Generation is
 //! fully deterministic for a given [`GeneratorConfig::seed`].
 
-use crate::model::{Commit, Corpus, FileChange, Project, ProjectFacts};
+use crate::model::{Commit, Corpus, FileChange, Project, ProjectFacts, GENERATED_AUTHOR};
 use crate::templates::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -622,6 +622,7 @@ fn generate_project(idx: usize, config: &GeneratorConfig, rng: &mut StdRng) -> P
         .collect();
     commits.push(Commit {
         id: commit_id(idx, 0),
+        author: GENERATED_AUTHOR.to_owned(),
         message: "Initial import".to_owned(),
         changes: initial_changes,
     });
@@ -655,6 +656,7 @@ fn generate_project(idx: usize, config: &GeneratorConfig, rng: &mut StdRng) -> P
         }
         commits.push(Commit {
             id: commit_id(idx, c),
+            author: GENERATED_AUTHOR.to_owned(),
             message,
             changes,
         });

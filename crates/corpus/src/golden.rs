@@ -12,7 +12,7 @@
 //! * **carol/gateway** — RSA key exchange plus AES/CBC payloads and no
 //!   integrity protection (the R13 scenario); the fix adds an HMAC.
 
-use crate::model::{Commit, Corpus, FileChange, Project, ProjectFacts};
+use crate::model::{Commit, Corpus, FileChange, Project, ProjectFacts, GENERATED_AUTHOR};
 
 fn change(path: &str, old: Option<&str>, new: &str) -> FileChange {
     FileChange {
@@ -25,6 +25,7 @@ fn change(path: &str, old: Option<&str>, new: &str) -> FileChange {
 fn commit(id: &str, message: &str, changes: Vec<FileChange>) -> Commit {
     Commit {
         id: id.to_owned(),
+        author: GENERATED_AUTHOR.to_owned(),
         message: message.to_owned(),
         changes,
     }

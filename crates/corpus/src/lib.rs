@@ -37,5 +37,5 @@ pub use chaos::{FaultKind, FaultLog, InjectedFault, Mutator};
 pub use diff::{diff_lines, render_patch, DiffLine};
 pub use generator::{generate, GeneratorConfig};
 pub use golden::golden_corpus;
-pub use model::{CodeChange, Commit, Corpus, FileChange, Project, ProjectFacts};
+pub use model::{CodeChange, Commit, Corpus, FileChange, Project, ProjectFacts, GENERATED_AUTHOR};
 pub use stats::{corpus_stats, CorpusStats};

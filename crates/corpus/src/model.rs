@@ -2,6 +2,11 @@
 
 use std::collections::BTreeMap;
 
+/// The deterministic author identity stamped on every synthetic
+/// commit, so generated corpora and real-git ingestion flow through
+/// the same provenance plumbing.
+pub const GENERATED_AUTHOR: &str = "diffcode-generator <generator@diffcode>";
+
 /// Android-style project facts carried by the corpus (consumed by rule
 /// R6 via the checker's project context).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +33,10 @@ pub struct FileChange {
 pub struct Commit {
     /// Commit id (content-derived hex string).
     pub id: String,
+    /// Commit author (`Name <email>`; empty when unknown). Real-git
+    /// ingestion fills this from `%an <%ae>`; the synthetic generator
+    /// stamps a deterministic bot identity.
+    pub author: String,
     /// Commit message.
     pub message: String,
     /// File changes.
@@ -153,6 +162,7 @@ mod tests {
     fn commit(id: &str, path: &str, old: Option<&str>, new: Option<&str>) -> Commit {
         Commit {
             id: id.to_owned(),
+            author: String::new(),
             message: String::new(),
             changes: vec![FileChange {
                 path: path.to_owned(),

@@ -1,0 +1,160 @@
+//! Batched blob extraction over one long-lived `git cat-file --batch`
+//! child.
+//!
+//! cat-file's batch protocol answers each request line
+//! (`<rev>:<path>\n`) with either
+//! `<oid> <type> <size>\n<size bytes>\n` or `<spec> missing\n`.
+//! Requests are pipelined in bounded batches: the client writes at most
+//! [`crate::IngestLimits::catfile_batch`] request lines before reading
+//! the matching responses back, so neither side's pipe buffer can fill
+//! while the other end waits (the classic cat-file deadlock).
+//!
+//! Every response is fully consumed even when the blob is rejected —
+//! an oversized blob is read and discarded byte-for-byte — so the
+//! stream stays request/response aligned no matter which degradation
+//! path a blob takes.
+
+use crate::GitError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Outcome of fetching one blob spec. Only [`BlobFetch::Content`]
+/// yields text for mining; every other variant quarantines the file it
+/// belongs to (never the commit, never the run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobFetch {
+    /// UTF-8 blob content within the size budget.
+    Content(String),
+    /// Object does not exist (garbled path, shallow clone boundary…).
+    Missing,
+    /// Blob exceeds the per-blob byte budget; content discarded.
+    Oversized { size: u64 },
+    /// Blob bytes are not valid UTF-8 (likely binary mislabeled .java).
+    NonUtf8,
+}
+
+/// A running `git cat-file --batch` child scoped to one repository.
+pub struct CatFile {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl CatFile {
+    /// Spawns the batch child for `repo`.
+    pub fn spawn(repo: &Path) -> Result<Self, GitError> {
+        let mut child = Command::new("git")
+            .arg("-C")
+            .arg(repo)
+            .args(["cat-file", "--batch"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| GitError::Spawn(format!("git cat-file --batch: {e}")))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(CatFile {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// Fetches one batch of specs (`<rev>:<path>` each), returning one
+    /// [`BlobFetch`] per spec in request order. The caller bounds the
+    /// batch size; this method writes all requests, flushes once, then
+    /// drains all responses.
+    pub fn fetch(
+        &mut self,
+        specs: &[String],
+        max_blob_bytes: u64,
+    ) -> Result<Vec<BlobFetch>, GitError> {
+        let mut request = String::new();
+        for spec in specs {
+            request.push_str(spec);
+            request.push('\n');
+        }
+        self.stdin
+            .write_all(request.as_bytes())
+            .and_then(|()| self.stdin.flush())
+            .map_err(|e| GitError::Io(format!("cat-file request write: {e}")))?;
+        let mut results = Vec::with_capacity(specs.len());
+        for spec in specs {
+            results.push(self.read_response(spec, max_blob_bytes)?);
+        }
+        Ok(results)
+    }
+
+    /// Reads exactly one response, keeping the stream aligned on every
+    /// path (including discarding oversized payloads).
+    fn read_response(&mut self, spec: &str, max_blob_bytes: u64) -> Result<BlobFetch, GitError> {
+        let mut header = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut header)
+            .map_err(|e| GitError::Io(format!("cat-file response read: {e}")))?;
+        if n == 0 {
+            return Err(GitError::Protocol(format!(
+                "cat-file stream closed before response for {spec:?}"
+            )));
+        }
+        let header = header.trim_end_matches('\n');
+        if header.ends_with(" missing") || header.ends_with(" ambiguous") {
+            return Ok(BlobFetch::Missing);
+        }
+        // `<oid> <type> <size>`
+        let mut fields = header.split(' ');
+        let (Some(_oid), Some(kind), Some(size), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(GitError::Protocol(format!(
+                "unrecognized cat-file header {header:?} for {spec:?}"
+            )));
+        };
+        let size: u64 = size
+            .parse()
+            .map_err(|_| GitError::Protocol(format!("bad size in cat-file header {header:?}")))?;
+        // Payload is `size` bytes plus a trailing LF, always consumed.
+        if kind != "blob" || size > max_blob_bytes {
+            self.discard(size + 1)?;
+            return Ok(if kind == "blob" {
+                BlobFetch::Oversized { size }
+            } else {
+                // Tree/commit at a path spec: treat like missing text.
+                BlobFetch::Missing
+            });
+        }
+        let mut buf = vec![0u8; size as usize];
+        self.stdout
+            .read_exact(&mut buf)
+            .map_err(|e| GitError::Io(format!("cat-file payload read: {e}")))?;
+        self.discard(1)?;
+        Ok(match String::from_utf8(buf) {
+            Ok(text) => BlobFetch::Content(text),
+            Err(_) => BlobFetch::NonUtf8,
+        })
+    }
+
+    /// Reads and throws away `n` bytes from the response stream.
+    fn discard(&mut self, n: u64) -> Result<(), GitError> {
+        let copied = std::io::copy(&mut (&mut self.stdout).take(n), &mut std::io::sink())
+            .map_err(|e| GitError::Io(format!("cat-file payload discard: {e}")))?;
+        if copied != n {
+            return Err(GitError::Protocol(format!(
+                "cat-file stream truncated: wanted {n} bytes, got {copied}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for CatFile {
+    fn drop(&mut self) {
+        // Closing stdin ends the batch session; reap the child so a
+        // long mine doesn't accumulate zombies.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

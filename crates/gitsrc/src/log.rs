@@ -1,0 +1,269 @@
+//! Commit enumeration: parsing `git log --name-status -M` output.
+//!
+//! The enumeration runs as **one** `git log` invocation for the whole
+//! rev-range (streaming, rename-aware via `-M`, merge commits excluded
+//! via `--no-merges` so every ingested commit has a well-defined single
+//! parent for pre-image extraction). The parser here is pure — it takes
+//! the captured stdout text — so every name-status shape git can emit
+//! is unit-testable without a repository.
+//!
+//! Record framing uses ASCII control separators that cannot appear in
+//! hashes, author names, or subjects git prints on one line:
+//! `%x1e` (record separator) starts each commit header and `%x1f`
+//! (unit separator) splits the header fields. Paths with bytes outside
+//! the printable range arrive C-quoted (git's `core.quotePath`
+//! behavior); [`unquote_path`] undoes the standard escapes.
+
+/// The `--format` string matching [`parse_log`]: record separator,
+/// hash, author (`name <email>`), subject.
+pub const LOG_FORMAT: &str = "%x1e%H%x1f%an <%ae>%x1f%s";
+
+/// One file-level entry of a commit's `--name-status` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatusEntry {
+    /// `A` — file added (no pre-image).
+    Added { path: String },
+    /// `M` (and `T`, a type change) — file modified in place.
+    Modified { path: String },
+    /// `D` — file deleted (no post-image).
+    Deleted { path: String },
+    /// `R<score>` — rename, possibly with an edit. The pre-image lives
+    /// at `old` in the parent, the post-image at `new` in the commit.
+    Renamed { old: String, new: String },
+    /// `C<score>` — copy; the post-image is a new file (the source
+    /// still exists), so ingestion treats it as an addition at `new`.
+    Copied { new: String },
+    /// Anything else (`U`, `X`, …): surfaced for quarantine, never a
+    /// parse failure.
+    Other { code: String, raw: String },
+}
+
+/// One enumerated commit: provenance plus its name-status entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogCommit {
+    /// Full commit hash.
+    pub id: String,
+    /// `Author Name <email>`.
+    pub author: String,
+    /// Subject line.
+    pub message: String,
+    /// Name-status entries, in git's output order.
+    pub entries: Vec<StatusEntry>,
+}
+
+/// Parses the stdout of
+/// `git log --reverse --no-merges -M --name-status --format=<LOG_FORMAT>`
+/// into commits (oldest first, matching `--reverse`).
+///
+/// Total: lines that fit no known shape become [`StatusEntry::Other`]
+/// entries (quarantined downstream), and a malformed header drops only
+/// that record — enumeration of a weird history degrades, it never
+/// aborts.
+pub fn parse_log(stdout: &str) -> Vec<LogCommit> {
+    let mut commits = Vec::new();
+    for record in stdout.split('\u{1e}') {
+        if record.is_empty() {
+            continue;
+        }
+        let mut lines = record.lines();
+        let Some(header) = lines.next() else {
+            continue;
+        };
+        let fields: Vec<&str> = header.split('\u{1f}').collect();
+        let [id, author, message] = fields.as_slice() else {
+            continue;
+        };
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(entry) = parse_status_line(line) {
+                entries.push(entry);
+            }
+        }
+        commits.push(LogCommit {
+            id: (*id).to_owned(),
+            author: (*author).to_owned(),
+            message: (*message).to_owned(),
+            entries,
+        });
+    }
+    commits
+}
+
+/// Parses one `--name-status` line (`M\tpath`, `R087\told\tnew`, …).
+fn parse_status_line(line: &str) -> Option<StatusEntry> {
+    let mut parts = line.split('\t');
+    let code = parts.next()?;
+    if code.is_empty() {
+        return None;
+    }
+    let first = parts.next();
+    let second = parts.next();
+    let entry = match (code.as_bytes()[0], first, second) {
+        (b'A', Some(path), None) => StatusEntry::Added {
+            path: unquote_path(path),
+        },
+        // A type change (file <-> symlink) still has blob content on
+        // both sides; treat it as a modify and let blob extraction
+        // quarantine anything unreadable.
+        (b'M' | b'T', Some(path), None) => StatusEntry::Modified {
+            path: unquote_path(path),
+        },
+        (b'D', Some(path), None) => StatusEntry::Deleted {
+            path: unquote_path(path),
+        },
+        (b'R', Some(old), Some(new)) => StatusEntry::Renamed {
+            old: unquote_path(old),
+            new: unquote_path(new),
+        },
+        (b'C', Some(_old), Some(new)) => StatusEntry::Copied {
+            new: unquote_path(new),
+        },
+        _ => StatusEntry::Other {
+            code: code.to_owned(),
+            raw: line.to_owned(),
+        },
+    };
+    Some(entry)
+}
+
+/// Undoes git's C-style path quoting (`"a\tb\303\244.java"`); paths
+/// without the surrounding quotes pass through untouched. Unknown
+/// escapes keep the backslash verbatim — a garbled path yields a
+/// cat-file miss (quarantined), never a crash.
+pub fn unquote_path(path: &str) -> String {
+    let Some(inner) = path
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    else {
+        return path.to_owned();
+    };
+    let mut bytes: Vec<u8> = Vec::with_capacity(inner.len());
+    let mut chars = inner.bytes().peekable();
+    while let Some(b) = chars.next() {
+        if b != b'\\' {
+            bytes.push(b);
+            continue;
+        }
+        match chars.next() {
+            Some(b'n') => bytes.push(b'\n'),
+            Some(b't') => bytes.push(b'\t'),
+            Some(b'r') => bytes.push(b'\r'),
+            Some(b'\\') => bytes.push(b'\\'),
+            Some(b'"') => bytes.push(b'"'),
+            Some(d @ b'0'..=b'7') => {
+                // Up to three octal digits.
+                let mut value = u32::from(d - b'0');
+                for _ in 0..2 {
+                    match chars.peek() {
+                        Some(d2 @ b'0'..=b'7') => {
+                            value = value * 8 + u32::from(d2 - b'0');
+                            chars.next();
+                        }
+                        _ => break,
+                    }
+                }
+                bytes.push(value as u8);
+            }
+            Some(other) => {
+                bytes.push(b'\\');
+                bytes.push(other);
+            }
+            None => bytes.push(b'\\'),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_header_and_status_shapes() {
+        let stdout = "\u{1e}abc123\u{1f}Ada L <ada@example.com>\u{1f}Fix IV\n\n\
+                      M\tsrc/A.java\n\
+                      A\tsrc/B.java\n\
+                      D\told/C.java\n\
+                      R087\tsrc/Old.java\tsrc/New.java\n\
+                      C055\tsrc/A.java\tsrc/Copy.java\n\
+                      U\tconflict.java\n";
+        let commits = parse_log(stdout);
+        assert_eq!(commits.len(), 1);
+        let c = &commits[0];
+        assert_eq!(c.id, "abc123");
+        assert_eq!(c.author, "Ada L <ada@example.com>");
+        assert_eq!(c.message, "Fix IV");
+        assert_eq!(
+            c.entries,
+            vec![
+                StatusEntry::Modified {
+                    path: "src/A.java".into()
+                },
+                StatusEntry::Added {
+                    path: "src/B.java".into()
+                },
+                StatusEntry::Deleted {
+                    path: "old/C.java".into()
+                },
+                StatusEntry::Renamed {
+                    old: "src/Old.java".into(),
+                    new: "src/New.java".into()
+                },
+                StatusEntry::Copied {
+                    new: "src/Copy.java".into()
+                },
+                StatusEntry::Other {
+                    code: "U".into(),
+                    raw: "U\tconflict.java".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_multiple_commits_in_reverse_order() {
+        let stdout = "\u{1e}c1\u{1f}a <a@x>\u{1f}first\n\nA\tA.java\n\
+                      \u{1e}c2\u{1f}b <b@x>\u{1f}second\n\nM\tA.java\n";
+        let commits = parse_log(stdout);
+        assert_eq!(commits.len(), 2);
+        assert_eq!(commits[0].id, "c1");
+        assert_eq!(commits[1].id, "c2");
+    }
+
+    #[test]
+    fn commit_without_changes_is_kept_with_no_entries() {
+        let commits = parse_log("\u{1e}c1\u{1f}a <a@x>\u{1f}empty\n");
+        assert_eq!(commits.len(), 1);
+        assert!(commits[0].entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_header_drops_only_that_record() {
+        let stdout = "\u{1e}broken-header-no-separators\n\
+                      \u{1e}c2\u{1f}b <b@x>\u{1f}ok\n\nM\tA.java\n";
+        let commits = parse_log(stdout);
+        assert_eq!(commits.len(), 1);
+        assert_eq!(commits[0].id, "c2");
+    }
+
+    #[test]
+    fn unquotes_c_style_paths() {
+        assert_eq!(unquote_path("plain/Path.java"), "plain/Path.java");
+        assert_eq!(unquote_path(r#""a\tb.java""#), "a\tb.java");
+        assert_eq!(unquote_path(r#""uml\303\244ut.java""#), "umläut.java");
+        assert_eq!(unquote_path(r#""q\"uote.java""#), "q\"uote.java");
+        // Unknown escape survives verbatim instead of panicking.
+        assert_eq!(unquote_path(r#""a\qb.java""#), r"a\qb.java");
+    }
+
+    #[test]
+    fn subjects_with_tabs_and_unicode_survive() {
+        let stdout = "\u{1e}c1\u{1f}Åsa <å@x>\u{1f}fix\tcrypto ünit\n\nM\tA.java\n";
+        let commits = parse_log(stdout);
+        assert_eq!(commits[0].message, "fix\tcrypto ünit");
+        assert_eq!(commits[0].author, "Åsa <å@x>");
+    }
+}

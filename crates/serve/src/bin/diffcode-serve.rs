@@ -9,11 +9,12 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: diffcode-serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
-                      [--cluster-cache-dir <dir>] [--deadline-ms <N>]
-                      [--queue-depth <N>] [--drain-ms <N>]
+                      [--cluster-cache-dir <dir>] [--repo-root <dir>]
+                      [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
 
 Resident mining/checking service. Endpoints:
   POST /mine                  {\"old\": ..., \"new\": ...} -> mined/quarantined verdict
+  POST /mine-repo             {\"repo\": <name under --repo-root>} -> walk + mine
   POST /check                 {\"source\": ...} -> rule violations
   GET  /explain/<fingerprint> recent /mine verdicts for a fingerprint prefix
   GET  /metrics               Prometheus text exposition
@@ -44,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--cluster-cache-dir" => {
                 config.cluster_cache_dir = Some(value("--cluster-cache-dir")?.into());
             }
+            "--repo-root" => config.repo_root = Some(value("--repo-root")?.into()),
             "--deadline-ms" => {
                 config.deadline_ms = value("--deadline-ms")?
                     .parse()

@@ -3,6 +3,7 @@
 //! | route | answers |
 //! |---|---|
 //! | `POST /mine` | one `(old, new)` change → mined/quarantined verdict |
+//! | `POST /mine-repo` | a cloned repo under `--repo-root` → walk + mine |
 //! | `POST /check` | snippet(s) → rule violations |
 //! | `GET /explain/<fingerprint>` | the ring-buffered verdict journal |
 //! | `GET /metrics` | the registry in Prometheus text format |
@@ -65,6 +66,7 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
 
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/mine") => mine(req, shared, ctx),
+        ("POST", "/mine-repo") => mine_repo(req, shared, ctx),
         ("POST", "/check") => check(req),
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/cluster/stats") => cluster_stats(shared),
@@ -77,9 +79,11 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
             }
         }
         ("GET", path) if path.starts_with("/explain/") => explain(path, shared),
-        (_, "/mine" | "/check" | "/metrics" | "/cluster/stats" | "/healthz" | "/readyz") => {
-            err_json(405, "method not allowed for this path")
-        }
+        (
+            _,
+            "/mine" | "/mine-repo" | "/check" | "/metrics" | "/cluster/stats" | "/healthz"
+            | "/readyz",
+        ) => err_json(405, "method not allowed for this path"),
         (_, path) if path.starts_with("/explain/") => err_json(405, "explain is GET-only"),
         _ => err_json(404, "unknown path"),
     }
@@ -192,6 +196,168 @@ fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
             Json::Arr(tuples.into_iter().map(Json::Str).collect()),
         ),
         ("skip".to_owned(), skip_json),
+    ]);
+    Response::json(200, body.render())
+}
+
+/// `POST /mine-repo`: `{"repo": "<name under --repo-root>",
+/// "rev_range": "A..B"?, "max_commits": N?}` — walks the named cloned
+/// repository with [`gitsrc`] and mines every extracted pre/post pair
+/// through the shared cache, so a repeated request over an unchanged
+/// repository replays cached outcomes. Disabled unless the server was
+/// started with `--repo-root`; the name is resolved strictly under
+/// that root (plain path components only — no absolute paths, no
+/// `..`). Each mined pair lands in the `/explain` ring like a `/mine`
+/// verdict would.
+fn mine_repo(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+    let Some(root) = shared.config.repo_root.as_ref() else {
+        return err_json(
+            404,
+            "repository mining disabled (start with --repo-root <dir>)",
+        );
+    };
+    let body = match body_json(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let Some(name) = body.get("repo").and_then(Json::as_str) else {
+        return err_json(400, "missing string field `repo`");
+    };
+    let rel = std::path::Path::new(name);
+    let confined = !name.is_empty()
+        && rel
+            .components()
+            .all(|c| matches!(c, std::path::Component::Normal(_)));
+    if !confined {
+        return err_json(400, "`repo` must be a relative name under the repo root");
+    }
+    let repo = root.join(rel);
+    if !repo.is_dir() {
+        return err_json(404, "no such repository under the repo root");
+    }
+    let opts = gitsrc::IngestOptions {
+        rev_range: body
+            .get("rev_range")
+            .and_then(Json::as_str)
+            .map(ToOwned::to_owned),
+        max_commits: body
+            .get("max_commits")
+            .and_then(Json::as_num)
+            .map(|n| n as usize),
+        limits: gitsrc::IngestLimits::DEFAULT,
+    };
+    let mut ingest_metrics = obs::MetricsRegistry::new();
+    let report = match gitsrc::ingest_repo(&repo, &opts, &mut ingest_metrics) {
+        Ok(report) => report,
+        // The repo exists but git could not walk it: the request is
+        // unprocessable, the worker is fine.
+        Err(e) => return err_json(422, &format!("ingestion failed: {e}")),
+    };
+
+    // Mine every extracted pair through the same read-view / absorb
+    // pattern as `/mine`, batching all writes into one shard log.
+    let mut verdicts: Vec<(String, &'static str, &'static str)> = Vec::new();
+    let process = |ctx: &mut WorkerCtx,
+                   view: Option<&mut diffcode::mcache::MiningCacheView>,
+                   verdicts: &mut Vec<(String, &'static str, &'static str)>| {
+        let mut view = view;
+        for change in report.corpus.code_changes() {
+            let (outcome, cache_status) =
+                ctx.dc
+                    .process_pair_cached(change.old, change.new, &[], view.as_deref_mut());
+            let fingerprint = change_fingerprint(change.old, change.new);
+            let verdict = match &outcome {
+                ChangeOutcome::Mined(_) => "mined",
+                ChangeOutcome::Skipped { .. } => "quarantined",
+            };
+            let tuples = diffcode::cli::outcome_digest_parts(&outcome);
+            let mut ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            ring.push(ExplainRecord {
+                seq: 0,
+                fingerprint: fingerprint.clone(),
+                verdict,
+                cache: cache_status,
+                tuples,
+                skip: match outcome {
+                    ChangeOutcome::Mined(_) => None,
+                    ChangeOutcome::Skipped {
+                        kind,
+                        error,
+                        excerpt,
+                    } => Some((kind.name().to_owned(), error, excerpt)),
+                },
+            });
+            verdicts.push((fingerprint, verdict, cache_status));
+        }
+    };
+    match shared.cache.as_ref() {
+        Some(lock) => {
+            let log = {
+                let cache = lock.read().unwrap_or_else(PoisonError::into_inner);
+                let mut view = cache.view();
+                process(ctx, Some(&mut view), &mut verdicts);
+                view.into_log()
+            };
+            let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
+            cache.absorb(log);
+            match cache.flush() {
+                Ok(n) => shared.with_registry(|r| r.inc("cache.flushed_entries", n as u64)),
+                Err(_) => shared.with_registry(|r| r.inc("serve.cache_flush_errors", 1)),
+            }
+        }
+        None => process(ctx, None, &mut verdicts),
+    }
+
+    let request_metrics = ctx.dc.take_metrics();
+    shared.with_registry(|r| {
+        r.merge(&ingest_metrics);
+        r.merge(&request_metrics);
+        r.inc("serve.mine_repo_requests", 1);
+    });
+
+    let mined = verdicts.iter().filter(|(_, v, _)| *v == "mined").count();
+    let stats = &report.stats;
+    let body = Json::Obj(vec![
+        ("repo".to_owned(), Json::Str(name.to_owned())),
+        (
+            "commits_walked".to_owned(),
+            Json::Num(stats.commits_walked as f64),
+        ),
+        (
+            "commits_ingested".to_owned(),
+            Json::Num(stats.commits_ingested as f64),
+        ),
+        ("pairs".to_owned(), Json::Num(stats.pairs as f64)),
+        (
+            "renames_followed".to_owned(),
+            Json::Num(stats.renames_followed as f64),
+        ),
+        ("additions".to_owned(), Json::Num(stats.additions as f64)),
+        ("deletions".to_owned(), Json::Num(stats.deletions as f64)),
+        (
+            "ingest_quarantined".to_owned(),
+            Json::Num(report.skips.len() as f64),
+        ),
+        ("mined".to_owned(), Json::Num(mined as f64)),
+        (
+            "mine_quarantined".to_owned(),
+            Json::Num((verdicts.len() - mined) as f64),
+        ),
+        (
+            "changes".to_owned(),
+            Json::Arr(
+                verdicts
+                    .into_iter()
+                    .map(|(fingerprint, verdict, cache)| {
+                        Json::Obj(vec![
+                            ("fingerprint".to_owned(), Json::Str(fingerprint)),
+                            ("verdict".to_owned(), Json::Str(verdict.to_owned())),
+                            ("cache".to_owned(), Json::Str(cache.to_owned())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     Response::json(200, body.render())
 }

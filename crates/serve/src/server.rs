@@ -53,6 +53,10 @@ pub struct ServeConfig {
     /// `diffcode mine --cluster-cache-dir`); `None` disables
     /// `GET /cluster/stats`.
     pub cluster_cache_dir: Option<PathBuf>,
+    /// Directory of cloned repositories `POST /mine-repo` may walk;
+    /// `None` (the default) disables the endpoint entirely. Requests
+    /// name a repository relative to this root and can never escape it.
+    pub repo_root: Option<PathBuf>,
     /// Per-request read deadline, milliseconds.
     pub deadline_ms: u64,
     /// Admission-queue watermark: connections beyond this are shed.
@@ -75,6 +79,7 @@ impl Default for ServeConfig {
             threads: 4,
             cache_dir: None,
             cluster_cache_dir: None,
+            repo_root: None,
             deadline_ms: 2_000,
             queue_depth: 64,
             drain_ms: 5_000,

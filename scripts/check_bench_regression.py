@@ -24,8 +24,9 @@ Usage: check_bench_regression.py <current.json> <baseline.json>
            [--min-speedup <span>=<factor>]...
 """
 
-import json
 import sys
+
+import cilib
 
 MAX_RATIO = 2.0
 MIN_BASELINE_NS = 100_000  # 0.1 ms
@@ -132,20 +133,16 @@ def main():
     if len(positionals) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(positionals[0]) as f:
-        current = json.load(f)
-    with open(positionals[1]) as f:
-        baseline = json.load(f)
+    current = cilib.read_json(positionals[0])
+    baseline = cilib.read_json(positionals[1])
     errors, notes = check(current, baseline, min_speedups)
     for note in notes:
         print(note)
-    for error in errors:
-        print(f"BENCH REGRESSION: {error}", file=sys.stderr)
-    if not errors:
-        print("bench latencies OK: no stage regressed more than "
-              f"{MAX_RATIO}x vs baseline"
-              + (", all required speedups held" if min_speedups else ""))
-    return 1 if errors else 0
+    ok = (
+        f"bench latencies OK: no stage regressed more than {MAX_RATIO}x vs baseline"
+        + (", all required speedups held" if min_speedups else "")
+    )
+    return cilib.report("BENCH", errors, ok)
 
 
 if __name__ == "__main__":

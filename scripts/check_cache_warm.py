@@ -9,47 +9,30 @@ snapshot here. The gate enforces the cache's two acceptance criteria:
      run's exactly (the report is deterministic by construction — any
      divergence means a cached outcome replayed differently);
   2. hit rate: cache.hit / (cache.hit + cache.miss +
-     cache.stale_version) >= MIN_HIT_RATE on the warm run, i.e. at
-     least 95% of per-change analysis work was skipped.
+     cache.stale_version) >= cilib.MIN_HIT_RATE on the warm run, i.e.
+     at least 95% of per-change analysis work was skipped.
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 Usage: check_cache_warm.py <cold_stdout> <warm_stdout> <warm_metrics.json>
 """
 
-import json
 import sys
 
-MIN_HIT_RATE = 0.95
+import cilib
 
 
 def check(cold_text, warm_text, snapshot):
-    errors = []
-
-    if cold_text != warm_text:
-        cold_lines = cold_text.splitlines()
-        warm_lines = warm_text.splitlines()
-        detail = "line counts differ"
-        for i, (c, w) in enumerate(zip(cold_lines, warm_lines), start=1):
-            if c != w:
-                detail = f"first divergence at line {i}: {c!r} != {w!r}"
-                break
-        errors.append(f"warm run output is not byte-identical to cold run ({detail})")
+    errors = cilib.compare_texts(
+        cold_text, warm_text, "warm run output (vs the cold run)"
+    )
 
     counters = snapshot.get("counters", {})
-    hits = counters.get("cache.hit", 0)
-    misses = counters.get("cache.miss", 0)
-    stale = counters.get("cache.stale_version", 0)
-    lookups = hits + misses + stale
-    if lookups == 0:
-        errors.append("warm run recorded no cache lookups (was --cache-dir passed?)")
-    else:
-        rate = hits / lookups
-        if rate < MIN_HIT_RATE:
-            errors.append(
-                f"warm hit rate {rate:.1%} below {MIN_HIT_RATE:.0%} "
-                f"(hit={hits} miss={misses} stale_version={stale})"
-            )
+    rate_errors, hits, misses, stale = cilib.hit_rate_errors(
+        counters, "cache", "--cache-dir"
+    )
+    errors += rate_errors
 
+    lookups = hits + misses + stale
     processed = counters.get("mine.code_changes", 0)
     if lookups and processed and lookups != processed:
         errors.append(
@@ -64,23 +47,19 @@ def main():
     if len(sys.argv) != 4:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        cold_text = f.read()
-    with open(sys.argv[2]) as f:
-        warm_text = f.read()
-    with open(sys.argv[3]) as f:
-        snapshot = json.load(f)
+    cold_text = cilib.read_text(sys.argv[1])
+    warm_text = cilib.read_text(sys.argv[2])
+    snapshot = cilib.read_json(sys.argv[3])
     errors, hits, misses, stale = check(cold_text, warm_text, snapshot)
-    for error in errors:
-        print(f"CACHE GATE VIOLATED: {error}", file=sys.stderr)
-    if not errors:
-        lookups = hits + misses + stale
-        print(
-            f"cache warm run OK: output byte-identical, "
-            f"{hits}/{lookups} hits ({hits / lookups:.1%}), "
-            f"{misses} miss(es), {stale} stale"
-        )
-    return 1 if errors else 0
+    lookups = hits + misses + stale
+    ok = (
+        f"cache warm run OK: output byte-identical, "
+        f"{hits}/{lookups} hits ({hits / lookups:.1%}), "
+        f"{misses} miss(es), {stale} stale"
+        if lookups
+        else ""
+    )
+    return cilib.report("CACHE", errors, ok)
 
 
 if __name__ == "__main__":

@@ -13,8 +13,8 @@ acceptance criteria:
      from-scratch run's exactly — cached distance cells must replay
      bit-identically;
   2. hit rate: cluster.cache.hit / (hit + miss + stale_version)
-     >= MIN_HIT_RATE on the warm run, i.e. the warm run computed only
-     the new-row/new-column distance cells;
+     >= cilib.MIN_HIT_RATE on the warm run, i.e. the warm run computed
+     only the new-row/new-column distance cells;
   3. new-row-only work: misses must equal C(n,2) - hits' pair count
      complement, i.e. every cache miss is attributable to a change
      fingerprint that was not in the primed corpus (checked via
@@ -31,45 +31,23 @@ Exit code 0 on success, 1 with a message per violation otherwise.
 Usage: check_cluster_warm.py <cold_stdout> <warm_stdout> <warm_metrics.json>
 """
 
-import json
 import sys
 
-MIN_HIT_RATE = 0.95
+import cilib
 
 
 def check(cold_text, warm_text, snapshot):
-    errors = []
-
-    if cold_text != warm_text:
-        cold_lines = cold_text.splitlines()
-        warm_lines = warm_text.splitlines()
-        detail = "line counts differ"
-        for i, (c, w) in enumerate(zip(cold_lines, warm_lines), start=1):
-            if c != w:
-                detail = f"first divergence at line {i}: {c!r} != {w!r}"
-                break
-        errors.append(
-            f"warm re-cluster output is not byte-identical to cold run ({detail})"
-        )
+    errors = cilib.compare_texts(
+        cold_text, warm_text, "warm re-cluster output (vs the cold run)"
+    )
 
     counters = snapshot.get("counters", {})
-    hits = counters.get("cluster.cache.hit", 0)
-    misses = counters.get("cluster.cache.miss", 0)
-    stale = counters.get("cluster.cache.stale_version", 0)
-    lookups = hits + misses + stale
-    if lookups == 0:
-        errors.append(
-            "warm run recorded no cluster-cache lookups "
-            "(was --cluster-cache-dir passed?)"
-        )
-    else:
-        rate = hits / lookups
-        if rate < MIN_HIT_RATE:
-            errors.append(
-                f"warm cluster hit rate {rate:.1%} below {MIN_HIT_RATE:.0%} "
-                f"(hit={hits} miss={misses} stale_version={stale})"
-            )
+    rate_errors, hits, misses, stale = cilib.hit_rate_errors(
+        counters, "cluster.cache", "--cluster-cache-dir"
+    )
+    errors += rate_errors
 
+    lookups = hits + misses + stale
     pairs = counters.get("cluster.pairs", 0)
     if lookups and pairs and lookups != pairs:
         errors.append(
@@ -84,23 +62,19 @@ def main():
     if len(sys.argv) != 4:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        cold_text = f.read()
-    with open(sys.argv[2]) as f:
-        warm_text = f.read()
-    with open(sys.argv[3]) as f:
-        snapshot = json.load(f)
+    cold_text = cilib.read_text(sys.argv[1])
+    warm_text = cilib.read_text(sys.argv[2])
+    snapshot = cilib.read_json(sys.argv[3])
     errors, hits, misses, stale = check(cold_text, warm_text, snapshot)
-    for error in errors:
-        print(f"CLUSTER GATE VIOLATED: {error}", file=sys.stderr)
-    if not errors:
-        lookups = hits + misses + stale
-        print(
-            f"cluster warm run OK: output byte-identical, "
-            f"{hits}/{lookups} cell hits ({hits / lookups:.1%}), "
-            f"{misses} miss(es), {stale} stale"
-        )
-    return 1 if errors else 0
+    lookups = hits + misses + stale
+    ok = (
+        f"cluster warm run OK: output byte-identical, "
+        f"{hits}/{lookups} cell hits ({hits / lookups:.1%}), "
+        f"{misses} miss(es), {stale} stale"
+        if lookups
+        else ""
+    )
+    return cilib.report("CLUSTER", errors, ok)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ Usage: check_metrics_snapshot.py <snapshot.json> [trace.json]
 import json
 import sys
 
+import cilib
+
 FUNNEL = [
     "filter.total",
     "filter.after_fsame",
@@ -155,13 +157,11 @@ def main():
     if len(sys.argv) not in (2, 3):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        snapshot = json.load(f)
+    snapshot = cilib.read_json(sys.argv[1])
     errors = check(snapshot)
     if len(sys.argv) == 3:
         try:
-            with open(sys.argv[2]) as f:
-                trace = json.load(f)
+            trace = cilib.read_json(sys.argv[2])
         except json.JSONDecodeError as e:
             trace, trace_errors = None, [f"trace is not well-formed JSON: {e}"]
         else:
@@ -170,18 +170,15 @@ def main():
         if not trace_errors:
             lanes = len({(e["pid"], e["tid"]) for e in trace})
             print(f"trace OK: {len(trace)} event(s) across {lanes} lane(s)")
-    for error in errors:
-        print(f"INVARIANT VIOLATED: {error}", file=sys.stderr)
-    if not errors:
-        counters = snapshot["counters"]
-        print(
-            "snapshot OK: "
-            f"{counters.get('mine.code_changes', 0)} processed = "
-            f"{counters.get('mine.mined', 0)} mined + "
-            f"{counters.get('mine.skipped', 0)} skipped; funnel "
-            + " >= ".join(str(counters.get(stage, 0)) for stage in FUNNEL)
-        )
-    return 1 if errors else 0
+    counters = snapshot.get("counters", {})
+    ok = (
+        "snapshot OK: "
+        f"{counters.get('mine.code_changes', 0)} processed = "
+        f"{counters.get('mine.mined', 0)} mined + "
+        f"{counters.get('mine.skipped', 0)} skipped; funnel "
+        + " >= ".join(str(counters.get(stage, 0)) for stage in FUNNEL)
+    )
+    return cilib.report("INVARIANT", errors, ok)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,8 @@ import sys
 import tempfile
 import time
 
+import cilib
+
 STARTUP_TIMEOUT_S = 30
 DRAIN_TIMEOUT_S = 30
 DRAIN_RE = re.compile(
@@ -175,12 +177,11 @@ def main():
                 proc.kill()
                 proc.wait()
 
-    if errors:
-        for e in errors:
-            print(f"error: {e}", file=sys.stderr)
-        return 1
-    print("ok: serve smoke passed (endpoints, warm-cache parity, SIGTERM drain)")
-    return 0
+    return cilib.report(
+        "SERVE",
+        errors,
+        "ok: serve smoke passed (endpoints, warm-cache parity, SIGTERM drain)",
+    )
 
 
 if __name__ == "__main__":

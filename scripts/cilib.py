@@ -1,0 +1,113 @@
+"""Shared helpers for the CI gate scripts (check_*.py).
+
+Every gate follows the same shape: load captured stdout/JSON artifacts,
+accumulate violation messages, print them uniformly, exit non-zero when
+any fired. The byte-compare and cache-hit-rate checks were copied
+between gates before this module existed; they live here now so all
+gates fail with the same diff context.
+"""
+
+import json
+
+# Minimum warm-run cache hit rate every warm gate enforces.
+MIN_HIT_RATE = 0.95
+
+# Lines of surrounding context shown around the first divergence.
+CONTEXT_LINES = 3
+
+
+def read_text(path):
+    with open(path) as f:
+        return f.read()
+
+
+def read_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def first_divergence(expected_text, actual_text):
+    """Returns a human-readable description of where two captures first
+    differ, with CONTEXT_LINES of surrounding context from both sides,
+    or None when the texts are byte-identical."""
+    if expected_text == actual_text:
+        return None
+    expected = expected_text.splitlines()
+    actual = actual_text.splitlines()
+    line = None
+    for i, (e, a) in enumerate(zip(expected, actual), start=1):
+        if e != a:
+            line = i
+            break
+    if line is None:
+        # One capture is a strict prefix of the other.
+        line = min(len(expected), len(actual)) + 1
+    lo = max(0, line - 1 - CONTEXT_LINES)
+    hi = line + CONTEXT_LINES
+
+    def excerpt(lines, label):
+        out = [f"  {label}:"]
+        for n, text in enumerate(lines[lo:hi], start=lo + 1):
+            marker = ">" if n == line else " "
+            out.append(f"  {marker} {n:4} | {text}")
+        if not lines[lo:hi]:
+            out.append("    (no lines here)")
+        return out
+
+    detail = [
+        f"first divergence at line {line} "
+        f"(expected {len(expected)} line(s), got {len(actual)})"
+    ]
+    detail += excerpt(expected, "expected")
+    detail += excerpt(actual, "actual")
+    return "\n".join(detail)
+
+
+def compare_texts(expected_text, actual_text, what):
+    """One error message (with failing-diff context) when two captures
+    are not byte-identical, else an empty list."""
+    detail = first_divergence(expected_text, actual_text)
+    if detail is None:
+        return []
+    return [f"{what} is not byte-identical\n{detail}"]
+
+
+def cache_counters(counters, prefix):
+    """(hits, misses, stale, lookups) for a `<prefix>.hit`-style
+    counter family."""
+    hits = counters.get(f"{prefix}.hit", 0)
+    misses = counters.get(f"{prefix}.miss", 0)
+    stale = counters.get(f"{prefix}.stale_version", 0)
+    return hits, misses, stale, hits + misses + stale
+
+
+def hit_rate_errors(counters, prefix, enabling_flag, min_rate=MIN_HIT_RATE):
+    """The standard warm-run hit-rate check over a `<prefix>.*` counter
+    family. Returns (errors, hits, misses, stale)."""
+    hits, misses, stale, lookups = cache_counters(counters, prefix)
+    errors = []
+    if lookups == 0:
+        errors.append(
+            f"warm run recorded no {prefix} lookups (was {enabling_flag} passed?)"
+        )
+    else:
+        rate = hits / lookups
+        if rate < min_rate:
+            errors.append(
+                f"warm {prefix} hit rate {rate:.1%} below {min_rate:.0%} "
+                f"(hit={hits} miss={misses} stale_version={stale})"
+            )
+    return errors, hits, misses, stale
+
+
+def report(gate, errors, ok_message, out=None):
+    """Prints violations (or the success line) uniformly and returns
+    the process exit code."""
+    import sys
+
+    out = out or sys.stderr
+    for error in errors:
+        print(f"{gate} GATE VIOLATED: {error}", file=out)
+    if not errors:
+        print(ok_message)
+    return 1 if errors else 0

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Builds the deterministic git fixture repository the gitsrc CI gate
+# mines. Every commit is stamped with fixed author/committer identities
+# and dates, so the commit hashes — and therefore `diffcode mine
+# --repo` stdout — are byte-identical on every machine. Layout:
+#
+#   ~30 commits of plausible crypto-API churn, including
+#   - a rename+edit in one commit (exercises `-M` pre-image following),
+#   - a file deletion,
+#   - non-Java files (filtered, counted),
+#   - one oversized .java blob (> the 1 MiB ingest budget; quarantined),
+#   - a merge commit (excluded by --no-merges; the branch's own commit
+#     still ingests).
+#
+# Usage: make_fixture_repo.sh <target-dir>
+# The target directory must not exist; the repo is created at
+# <target-dir> with branch `main`.
+
+set -euo pipefail
+
+if [ $# -ne 1 ] || [ -e "$1" ]; then
+    echo "usage: $0 <target-dir> (must not exist)" >&2
+    exit 2
+fi
+
+DIR="$1"
+mkdir -p "$DIR"
+cd "$DIR"
+
+export GIT_AUTHOR_NAME="Fixture Author"
+export GIT_AUTHOR_EMAIL="fixture@diffcode.test"
+export GIT_COMMITTER_NAME="Fixture Committer"
+export GIT_COMMITTER_EMAIL="fixture-c@diffcode.test"
+export GIT_CONFIG_GLOBAL=/dev/null
+export GIT_CONFIG_SYSTEM=/dev/null
+
+# Monotone fake clock: each commit one minute after the previous.
+TICK=0
+stamp() {
+    TICK=$((TICK + 1))
+    printf '2020-06-01T12:%02d:00Z' "$TICK"
+}
+
+commit() {
+    local when
+    when=$(stamp)
+    GIT_AUTHOR_DATE="$when" GIT_COMMITTER_DATE="$when" \
+        git commit -q --no-gpg-sign -m "$1"
+}
+
+git init -q -b main .
+
+# A Java class with enough stable padding lines that a rename+edit
+# stays above git's default 50% similarity threshold.
+java_class() {
+    local name="$1" transform="$2"
+    {
+        for i in $(seq 1 24); do
+            echo "// padding line $i keeps rename similarity high"
+        done
+        printf 'public class %s {\n' "$name"
+        printf '    byte[] run(byte[] data) throws Exception {\n'
+        printf '        javax.crypto.Cipher c = javax.crypto.Cipher.getInstance("%s");\n' "$transform"
+        printf '        return c.doFinal(data);\n'
+        printf '    }\n'
+        printf '}\n'
+    }
+}
+
+# --- history -----------------------------------------------------------
+
+# 1: initial layout with a non-Java file.
+java_class Session DES > Session.java
+echo "# fixture repo" > README.md
+git add -A; commit "initial session handling"
+
+# 2..11: ten weak-to-strong transform fixes across ten files.
+WEAK=(DES DES RC4 DES/ECB/PKCS5Padding AES AES/ECB/PKCS5Padding DES RC4 AES DES)
+for i in $(seq 0 9); do
+    java_class "Worker$i" "${WEAK[$i]}" > "Worker$i.java"
+    git add -A; commit "add worker $i"
+done
+for i in $(seq 0 9); do
+    java_class "Worker$i" "AES/GCM/NoPadding" > "Worker$i.java"
+    git add -A; commit "worker $i: use an authenticated transform"
+done
+
+# 22: fix the session cipher too.
+java_class Session "AES/GCM/NoPadding" > Session.java
+git add -A; commit "session: retire DES"
+
+# 23: a rename WITH an edit in the same commit.
+git mv Session.java SecureSession.java
+sed -i 's/class Session/class SecureSession/' SecureSession.java
+git add -A; commit "rename Session to SecureSession"
+
+# 24: second hop of the rename chain.
+git mv SecureSession.java TlsSession.java
+sed -i 's/class SecureSession/class TlsSession/' TlsSession.java
+git add -A; commit "rename SecureSession to TlsSession"
+
+# 25: a file that will be deleted later.
+java_class Scratch "AES" > Scratch.java
+git add -A; commit "add scratch prototype"
+
+# 26: delete it.
+git rm -q Scratch.java; commit "drop the scratch prototype"
+
+# 27: non-Java churn only.
+echo "more docs" >> README.md
+git add -A; commit "docs: expand readme"
+
+# 28: an oversized .java blob (>1 MiB) that the ingest budget rejects.
+{
+    echo "public class Big {"
+    for i in $(seq 1 30000); do
+        echo "    int pad_$i = $i; // filler to exceed the blob budget"
+    done
+    echo "}"
+} > Big.java
+git add -A; commit "vendor a generated monster file"
+
+# 29: edit the oversized file (both sides oversized -> quarantined).
+sed -i '2i\    int first = 0;' Big.java
+git add -A; commit "touch the monster file"
+
+# 30/31: a merge commit (excluded by --no-merges) whose branch commit
+# still ingests.
+git checkout -q -b side
+java_class SideChannel "AES/GCM/NoPadding" > SideChannel.java
+git add -A; commit "side: add channel helper"
+git checkout -q main
+when=$(stamp)
+GIT_AUTHOR_DATE="$when" GIT_COMMITTER_DATE="$when" \
+    git merge -q --no-ff --no-gpg-sign -m "merge side channel work" side
+
+# 32: one more edit on top of the merge.
+java_class TlsSession "AES/GCM/NoPadding" > TlsSession.java
+sed -i 's/padding line 1 /padding line 1b/' TlsSession.java
+git add -A; commit "tls session: refresh padding comment"
+
+git log --oneline | wc -l | xargs echo "fixture commits:"
+git rev-parse HEAD | xargs echo "fixture HEAD:"

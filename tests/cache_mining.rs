@@ -41,6 +41,7 @@ fn corpus_with_skips() -> corpus::Corpus {
             facts: corpus::ProjectFacts::default(),
             commits: vec![corpus::Commit {
                 id: "c1".into(),
+                author: String::new(),
                 message: "harden crypto".into(),
                 changes: vec![
                     corpus::FileChange {

@@ -14,6 +14,7 @@ fn mined(pair: &fixtures::FixPair, class: &str) -> Vec<MinedUsageChange> {
             meta: diffcode::ChangeMeta {
                 project: format!("fixtures/{}", pair.name),
                 commit: pair.name.to_owned(),
+                author: String::new(),
                 message: pair.description.to_owned(),
                 path: "A.java".into(),
                 fingerprint: diffcode::change_fingerprint(pair.old, pair.new),

@@ -15,7 +15,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_frontend
 //! ```
 
-use diffcode::cli::{run_mine, run_mine_traced};
+use diffcode::cli::{run_mine, run_mine_traced, MineSource};
 use diffcode::DECISION_EVENT;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -58,8 +58,11 @@ fn mine_stdout_matches_prerefactor_golden() {
 
 #[test]
 fn decision_trace_matches_prerefactor_golden() {
-    let (_, _, trace) =
-        run_mine_traced(SEED, PROJECTS, THREADS, None, None, 1).expect("traced mine runs");
+    let source = MineSource::Seeded {
+        seed: SEED,
+        n_projects: PROJECTS,
+    };
+    let (_, _, trace) = run_mine_traced(&source, THREADS, None, None, 1).expect("traced mine runs");
     let mut lines = String::new();
     for event in trace.events() {
         if trace.name(event.name) != DECISION_EVENT {

@@ -421,6 +421,7 @@ proptest! {
                 facts: corpus::ProjectFacts::default(),
                 commits: vec![corpus::Commit {
                     id: "deadbeef".into(),
+                    author: String::new(),
                     message: "garbage".into(),
                     changes: vec![corpus::FileChange {
                         path: "A.java".into(),
