@@ -5,9 +5,14 @@
 //! (`<rev>:<path>\n`) with either
 //! `<oid> <type> <size>\n<size bytes>\n` or `<spec> missing\n`.
 //! Requests are pipelined in bounded batches: the client writes at most
-//! [`crate::IngestLimits::catfile_batch`] request lines before reading
-//! the matching responses back, so neither side's pipe buffer can fill
-//! while the other end waits (the classic cat-file deadlock).
+//! [`crate::IngestLimits::catfile_batch`] request lines **and** at most
+//! [`MAX_BATCH_REQUEST_BYTES`] of request text before reading the
+//! matching responses back. The count bound alone is not enough — a
+//! batch of long path specs can exceed the ~64 KiB stdin pipe buffer
+//! while the child is itself blocked writing a response nobody has
+//! drained yet (the classic cat-file deadlock) — so [`CatFile::fetch`]
+//! additionally splits on total request bytes, keeping every write
+//! comfortably inside one pipe buffer.
 //!
 //! Every response is fully consumed even when the blob is rejected —
 //! an oversized blob is read and discarded byte-for-byte — so the
@@ -32,6 +37,30 @@ pub enum BlobFetch {
     Oversized { size: u64 },
     /// Blob bytes are not valid UTF-8 (likely binary mislabeled .java).
     NonUtf8,
+}
+
+/// Most request bytes written before draining responses: half of the
+/// smallest common pipe buffer (64 KiB on Linux), so a full batch plus
+/// the child's own buffering can never wedge both pipes at once.
+pub const MAX_BATCH_REQUEST_BYTES: usize = 32 << 10;
+
+/// End index of the sub-batch starting at `start` whose request lines
+/// (`spec` + newline each) fit in `max_bytes`. Always advances by at
+/// least one spec: a single over-long spec is its own sub-batch, which
+/// is safe because the child has no undrained response backlog while
+/// its first request is still being written.
+fn batch_end(specs: &[String], start: usize, max_bytes: usize) -> usize {
+    let mut end = start;
+    let mut bytes = 0usize;
+    while end < specs.len() {
+        let line = specs[end].len() + 1;
+        if end > start && bytes + line > max_bytes {
+            break;
+        }
+        bytes += line;
+        end += 1;
+    }
+    end
 }
 
 /// A running `git cat-file --batch` child scoped to one repository.
@@ -64,25 +93,33 @@ impl CatFile {
 
     /// Fetches one batch of specs (`<rev>:<path>` each), returning one
     /// [`BlobFetch`] per spec in request order. The caller bounds the
-    /// batch size; this method writes all requests, flushes once, then
-    /// drains all responses.
+    /// batch *count*; this method additionally bounds the request
+    /// *bytes*, splitting into write-flush-drain sub-batches of at most
+    /// [`MAX_BATCH_REQUEST_BYTES`] so the stdin pipe can never fill
+    /// while the child is blocked writing an undrained response.
     pub fn fetch(
         &mut self,
         specs: &[String],
         max_blob_bytes: u64,
     ) -> Result<Vec<BlobFetch>, GitError> {
-        let mut request = String::new();
-        for spec in specs {
-            request.push_str(spec);
-            request.push('\n');
-        }
-        self.stdin
-            .write_all(request.as_bytes())
-            .and_then(|()| self.stdin.flush())
-            .map_err(|e| GitError::Io(format!("cat-file request write: {e}")))?;
         let mut results = Vec::with_capacity(specs.len());
-        for spec in specs {
-            results.push(self.read_response(spec, max_blob_bytes)?);
+        let mut start = 0;
+        while start < specs.len() {
+            let end = batch_end(specs, start, MAX_BATCH_REQUEST_BYTES);
+            let window = &specs[start..end];
+            let mut request = String::new();
+            for spec in window {
+                request.push_str(spec);
+                request.push('\n');
+            }
+            self.stdin
+                .write_all(request.as_bytes())
+                .and_then(|()| self.stdin.flush())
+                .map_err(|e| GitError::Io(format!("cat-file request write: {e}")))?;
+            for spec in window {
+                results.push(self.read_response(spec, max_blob_bytes)?);
+            }
+            start = end;
         }
         Ok(results)
     }
@@ -156,5 +193,45 @@ impl Drop for CatFile {
         // long mine doesn't accumulate zombies.
         let _ = self.child.kill();
         let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(lens: &[usize]) -> Vec<String> {
+        lens.iter().map(|&n| "x".repeat(n)).collect()
+    }
+
+    #[test]
+    fn batch_end_packs_specs_up_to_the_byte_budget() {
+        // Lines cost len+1; budget 10 fits 4+1 and 4+1 but not a third.
+        let s = specs(&[4, 4, 4]);
+        assert_eq!(batch_end(&s, 0, 10), 2);
+        assert_eq!(batch_end(&s, 2, 10), 3);
+    }
+
+    #[test]
+    fn batch_end_always_advances_past_an_oversized_spec() {
+        let s = specs(&[100, 4]);
+        assert_eq!(batch_end(&s, 0, 10), 1);
+        assert_eq!(batch_end(&s, 1, 10), 2);
+    }
+
+    #[test]
+    fn batch_end_covers_every_spec_exactly_once() {
+        let s = specs(&[3, 90, 7, 7, 7, 1, 200, 2]);
+        let mut start = 0;
+        let mut seen = 0;
+        while start < s.len() {
+            let end = batch_end(&s, start, 16);
+            assert!(end > start, "sub-batch must make progress");
+            let bytes: usize = s[start..end].iter().map(|x| x.len() + 1).sum();
+            assert!(end - start == 1 || bytes <= 16);
+            seen += end - start;
+            start = end;
+        }
+        assert_eq!(seen, s.len());
     }
 }

@@ -24,7 +24,7 @@
 mod catfile;
 pub mod log;
 
-pub use catfile::{BlobFetch, CatFile};
+pub use catfile::{BlobFetch, CatFile, MAX_BATCH_REQUEST_BYTES};
 
 use obs::{MetricsRegistry, Stopwatch};
 use std::fmt;
@@ -41,8 +41,10 @@ pub struct IngestLimits {
     /// quarantined as [`SkipKind::CommitFileBudget`] (bulk renames /
     /// vendored-source imports would otherwise dominate a mine).
     pub max_files_per_commit: usize,
-    /// Most cat-file requests in flight before responses are drained —
-    /// bounds both pipe buffers so the batch child can never deadlock.
+    /// Most cat-file requests in flight before responses are drained.
+    /// Together with the request-byte cap
+    /// ([`MAX_BATCH_REQUEST_BYTES`]) this bounds both pipe buffers so
+    /// the batch child can never deadlock.
     pub catfile_batch: usize,
 }
 
@@ -77,6 +79,9 @@ pub struct IngestOptions {
 /// degrades into typed per-file skips instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GitError {
+    /// An ingest option was rejected before any git child ran (e.g. a
+    /// rev-range shaped like a git option).
+    Options(String),
     /// Could not spawn a git child (git missing from PATH, bad repo
     /// path permissions…).
     Spawn(String),
@@ -93,6 +98,7 @@ pub enum GitError {
 impl fmt::Display for GitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            GitError::Options(e) => write!(f, "invalid ingest options: {e}"),
             GitError::Spawn(e) => write!(f, "failed to spawn git: {e}"),
             GitError::Io(e) => write!(f, "git pipe error: {e}"),
             GitError::Log { status, stderr } => {
@@ -459,6 +465,12 @@ fn fetch_planned(
 
 /// Runs the single enumeration `git log`, treating an empty history as
 /// an empty walk rather than an error.
+///
+/// The rev-range is the only caller-controlled argument, so it is both
+/// rejected when option-shaped (a leading `-` could smuggle git options
+/// like `--output=<path>` through remote callers such as
+/// `POST /mine-repo`) and fenced behind `--end-of-options` (git ≥
+/// 2.24), which forces git to parse everything after it as a revision.
 fn run_log(repo: &Path, opts: &IngestOptions) -> Result<String, GitError> {
     let mut cmd = Command::new("git");
     cmd.arg("-C").arg(repo).args([
@@ -471,6 +483,12 @@ fn run_log(repo: &Path, opts: &IngestOptions) -> Result<String, GitError> {
         &format!("--format={}", log::LOG_FORMAT),
     ]);
     if let Some(range) = &opts.rev_range {
+        if range.starts_with('-') {
+            return Err(GitError::Options(format!(
+                "rev range {range:?} must not start with '-'"
+            )));
+        }
+        cmd.arg("--end-of-options");
         cmd.arg(range);
     }
     cmd.arg("--");

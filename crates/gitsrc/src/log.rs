@@ -7,16 +7,21 @@
 //! the captured stdout text — so every name-status shape git can emit
 //! is unit-testable without a repository.
 //!
-//! Record framing uses ASCII control separators that cannot appear in
-//! hashes, author names, or subjects git prints on one line:
-//! `%x1e` (record separator) starts each commit header and `%x1f`
-//! (unit separator) splits the header fields. Paths with bytes outside
-//! the printable range arrive C-quoted (git's `core.quotePath`
-//! behavior); [`unquote_path`] undoes the standard escapes.
+//! Record framing uses NUL (`%x00`) separators. Commit objects are
+//! stored as NUL-terminated C strings, so git can *never* emit a NUL
+//! inside `%H`, `%an`, `%ae`, or `%s` — unlike the printable-ish
+//! control bytes 0x1e/0x1f, which a crafted commit subject or author
+//! name may legally contain and which would desynchronize any framing
+//! built on them. With NUL framing a hostile history can at worst
+//! produce weird *field contents*, never mis-attributed commits.
+//! Paths with bytes outside the printable range arrive C-quoted
+//! (git's `core.quotePath` behavior); [`unquote_path`] undoes the
+//! standard escapes.
 
-/// The `--format` string matching [`parse_log`]: record separator,
-/// hash, author (`name <email>`), subject.
-pub const LOG_FORMAT: &str = "%x1e%H%x1f%an <%ae>%x1f%s";
+/// The `--format` string matching [`parse_log`]: each record is
+/// `NUL hash NUL author NUL subject`, with the commit's name-status
+/// lines following the subject until the next record's NUL.
+pub const LOG_FORMAT: &str = "%x00%H%x00%an <%ae>%x00%s";
 
 /// One file-level entry of a commit's `--name-status` block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,23 +61,22 @@ pub struct LogCommit {
 /// into commits (oldest first, matching `--reverse`).
 ///
 /// Total: lines that fit no known shape become [`StatusEntry::Other`]
-/// entries (quarantined downstream), and a malformed header drops only
-/// that record — enumeration of a weird history degrades, it never
-/// aborts.
+/// entries (quarantined downstream), and a truncated trailing record
+/// (stream cut mid-header) is dropped — enumeration of a weird history
+/// degrades, it never aborts. Because the NUL separators cannot occur
+/// inside any header field, control bytes in subjects or author names
+/// pass through as content instead of desynchronizing the parse.
 pub fn parse_log(stdout: &str) -> Vec<LogCommit> {
     let mut commits = Vec::new();
-    for record in stdout.split('\u{1e}') {
-        if record.is_empty() {
-            continue;
-        }
-        let mut lines = record.lines();
-        let Some(header) = lines.next() else {
-            continue;
-        };
-        let fields: Vec<&str> = header.split('\u{1f}').collect();
-        let [id, author, message] = fields.as_slice() else {
-            continue;
-        };
+    let mut chunks = stdout.split('\0');
+    // Anything before the first separator is not a record (empty for
+    // well-formed output).
+    let _ = chunks.next();
+    while let (Some(id), Some(author), Some(rest)) = (chunks.next(), chunks.next(), chunks.next()) {
+        // `rest` is the subject line followed by this commit's
+        // name-status block, up to the next record's NUL.
+        let mut lines = rest.lines();
+        let message = lines.next().unwrap_or("").to_owned();
         let mut entries = Vec::new();
         for line in lines {
             if line.is_empty() {
@@ -83,9 +87,9 @@ pub fn parse_log(stdout: &str) -> Vec<LogCommit> {
             }
         }
         commits.push(LogCommit {
-            id: (*id).to_owned(),
-            author: (*author).to_owned(),
-            message: (*message).to_owned(),
+            id: id.to_owned(),
+            author: author.to_owned(),
+            message,
             entries,
         });
     }
@@ -183,7 +187,7 @@ mod tests {
 
     #[test]
     fn parses_header_and_status_shapes() {
-        let stdout = "\u{1e}abc123\u{1f}Ada L <ada@example.com>\u{1f}Fix IV\n\n\
+        let stdout = "\0abc123\0Ada L <ada@example.com>\0Fix IV\n\n\
                       M\tsrc/A.java\n\
                       A\tsrc/B.java\n\
                       D\told/C.java\n\
@@ -225,8 +229,8 @@ mod tests {
 
     #[test]
     fn parses_multiple_commits_in_reverse_order() {
-        let stdout = "\u{1e}c1\u{1f}a <a@x>\u{1f}first\n\nA\tA.java\n\
-                      \u{1e}c2\u{1f}b <b@x>\u{1f}second\n\nM\tA.java\n";
+        let stdout = "\0c1\0a <a@x>\0first\n\nA\tA.java\n\
+                      \0c2\0b <b@x>\0second\n\nM\tA.java\n";
         let commits = parse_log(stdout);
         assert_eq!(commits.len(), 2);
         assert_eq!(commits[0].id, "c1");
@@ -235,18 +239,38 @@ mod tests {
 
     #[test]
     fn commit_without_changes_is_kept_with_no_entries() {
-        let commits = parse_log("\u{1e}c1\u{1f}a <a@x>\u{1f}empty\n");
+        let commits = parse_log("\0c1\0a <a@x>\0empty\n");
         assert_eq!(commits.len(), 1);
         assert!(commits[0].entries.is_empty());
     }
 
     #[test]
-    fn malformed_header_drops_only_that_record() {
-        let stdout = "\u{1e}broken-header-no-separators\n\
-                      \u{1e}c2\u{1f}b <b@x>\u{1f}ok\n\nM\tA.java\n";
+    fn truncated_trailing_record_is_dropped() {
+        let stdout = "\0c1\0a <a@x>\0ok\n\nM\tA.java\n\0c2\0b <b@x>";
         let commits = parse_log(stdout);
         assert_eq!(commits.len(), 1);
-        assert_eq!(commits[0].id, "c2");
+        assert_eq!(commits[0].id, "c1");
+    }
+
+    #[test]
+    fn control_bytes_in_subject_and_author_stay_content() {
+        // 0x1e/0x1f are legal in commit subjects and author names; a
+        // crafted header trying to fake a record boundary must parse
+        // as field *content*, never as framing.
+        let stdout = "\0c1\0Ev\u{1f}il <e@x>\0fake\u{1e}deadbeef\u{1f}x <x@x>\u{1f}msg\n\n\
+                      M\tA.java\n\
+                      \0c2\0b <b@x>\0real\n\nM\tB.java\n";
+        let commits = parse_log(stdout);
+        assert_eq!(commits.len(), 2);
+        assert_eq!(commits[0].id, "c1");
+        assert_eq!(commits[0].author, "Ev\u{1f}il <e@x>");
+        assert_eq!(
+            commits[0].message,
+            "fake\u{1e}deadbeef\u{1f}x <x@x>\u{1f}msg"
+        );
+        assert_eq!(commits[0].entries.len(), 1);
+        assert_eq!(commits[1].id, "c2");
+        assert_eq!(commits[1].entries.len(), 1);
     }
 
     #[test]
@@ -261,7 +285,7 @@ mod tests {
 
     #[test]
     fn subjects_with_tabs_and_unicode_survive() {
-        let stdout = "\u{1e}c1\u{1f}Åsa <å@x>\u{1f}fix\tcrypto ünit\n\nM\tA.java\n";
+        let stdout = "\0c1\0Åsa <å@x>\0fix\tcrypto ünit\n\nM\tA.java\n";
         let commits = parse_log(stdout);
         assert_eq!(commits[0].message, "fix\tcrypto ünit");
         assert_eq!(commits[0].author, "Åsa <å@x>");

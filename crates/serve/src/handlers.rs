@@ -200,6 +200,39 @@ fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
     Response::json(200, body.render())
 }
 
+/// Validates the optional `rev_range` field: a malformed value is a
+/// 400, never a silent default. Option-shaped ranges (leading `-`) are
+/// rejected here — mirroring the check inside gitsrc itself — so a
+/// request body can never smuggle a git option (e.g. `--output=<path>`)
+/// into the `git log` argument list.
+fn parse_rev_range(body: &Json) -> Result<Option<String>, &'static str> {
+    match body.get("rev_range") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let Some(s) = v.as_str() else {
+                return Err("`rev_range` must be a string");
+            };
+            if s.is_empty() || s.starts_with('-') {
+                return Err("`rev_range` must be a revision range, not an option");
+            }
+            Ok(Some(s.to_owned()))
+        }
+    }
+}
+
+/// Validates the optional `max_commits` field: only non-negative whole
+/// numbers pass (a negative, fractional, or NaN value would otherwise
+/// saturate or truncate silently in the `f64 -> usize` cast).
+fn parse_max_commits(body: &Json) -> Result<Option<usize>, &'static str> {
+    match body.get("max_commits") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_num().filter(|n| *n >= 0.0 && n.fract() == 0.0) {
+            Some(n) => Ok(Some(n as usize)),
+            None => Err("`max_commits` must be a non-negative integer"),
+        },
+    }
+}
+
 /// `POST /mine-repo`: `{"repo": "<name under --repo-root>",
 /// "rev_range": "A..B"?, "max_commits": N?}` — walks the named cloned
 /// repository with [`gitsrc`] and mines every extracted pre/post pair
@@ -235,15 +268,17 @@ fn mine_repo(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
     if !repo.is_dir() {
         return err_json(404, "no such repository under the repo root");
     }
+    let rev_range = match parse_rev_range(&body) {
+        Ok(v) => v,
+        Err(msg) => return err_json(400, msg),
+    };
+    let max_commits = match parse_max_commits(&body) {
+        Ok(v) => v,
+        Err(msg) => return err_json(400, msg),
+    };
     let opts = gitsrc::IngestOptions {
-        rev_range: body
-            .get("rev_range")
-            .and_then(Json::as_str)
-            .map(ToOwned::to_owned),
-        max_commits: body
-            .get("max_commits")
-            .and_then(Json::as_num)
-            .map(|n| n as usize),
+        rev_range,
+        max_commits,
         limits: gitsrc::IngestLimits::DEFAULT,
     };
     let mut ingest_metrics = obs::MetricsRegistry::new();
@@ -477,5 +512,42 @@ fn metrics(shared: &Shared) -> Response {
         content_type: "text/plain; version=0.0.4",
         body: text.into_bytes(),
         retry_after: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Json {
+        json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn rev_range_accepts_ranges_and_rejects_option_shapes() {
+        assert_eq!(parse_rev_range(&body("{}")), Ok(None));
+        assert_eq!(parse_rev_range(&body(r#"{"rev_range": null}"#)), Ok(None));
+        assert_eq!(
+            parse_rev_range(&body(r#"{"rev_range": "v1..v2"}"#)),
+            Ok(Some("v1..v2".to_owned()))
+        );
+        // Option-shaped or degenerate values must 400, not reach git.
+        assert!(parse_rev_range(&body(r#"{"rev_range": "--output=/tmp/pwn"}"#)).is_err());
+        assert!(parse_rev_range(&body(r#"{"rev_range": "-n1"}"#)).is_err());
+        assert!(parse_rev_range(&body(r#"{"rev_range": ""}"#)).is_err());
+        assert!(parse_rev_range(&body(r#"{"rev_range": 3}"#)).is_err());
+    }
+
+    #[test]
+    fn max_commits_accepts_whole_numbers_only() {
+        assert_eq!(parse_max_commits(&body("{}")), Ok(None));
+        assert_eq!(parse_max_commits(&body(r#"{"max_commits": null}"#)), Ok(None));
+        assert_eq!(parse_max_commits(&body(r#"{"max_commits": 30}"#)), Ok(Some(30)));
+        assert_eq!(parse_max_commits(&body(r#"{"max_commits": 0}"#)), Ok(Some(0)));
+        // Negative, fractional, and non-numeric values must 400
+        // instead of saturating/truncating through the usize cast.
+        assert!(parse_max_commits(&body(r#"{"max_commits": -1}"#)).is_err());
+        assert!(parse_max_commits(&body(r#"{"max_commits": 2.5}"#)).is_err());
+        assert!(parse_max_commits(&body(r#"{"max_commits": "30"}"#)).is_err());
     }
 }
