@@ -15,7 +15,8 @@
 
 use diffcode::Experiments;
 use diffcode_bench::{
-    bench_json_path, config_from_args, frontend_microbench, header, render_span_table,
+    bench_json_path, config_from_args, frontend_microbench, header, obs_overhead_microbench,
+    render_span_table,
 };
 use obs::MetricsRegistry;
 
@@ -41,6 +42,18 @@ fn main() {
             println!(
                 "  frontend.{stage}: {}/change cold ({timed} changes x {passes} passes)",
                 obs::fmt_ns(span.mean_ns() / timed as u64),
+            );
+        }
+    }
+    // Histogram record-path overhead (obs.* spans): the full
+    // record_span cost vs the bare span-stats upsert it extends, for
+    // the EXPERIMENTS.md table and the CI --max-ratio gate.
+    let (records, obs_passes) = obs_overhead_microbench(&mut metrics);
+    for stage in ["span_stats_only", "record_span"] {
+        if let Some(span) = metrics.span(&format!("obs.{stage}")) {
+            println!(
+                "  obs.{stage}: {}/record ({records} records x {obs_passes} passes)",
+                obs::fmt_ns(span.mean_ns() / records as u64),
             );
         }
     }

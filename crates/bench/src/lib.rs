@@ -64,13 +64,23 @@ pub fn header(title: &str) {
 /// this table is printed at the end, instead of each binary doing its
 /// own `Instant` arithmetic.
 pub fn render_span_table(registry: &MetricsRegistry) -> String {
-    let mut table = diffcode::Table::new(vec!["span", "count", "total", "mean", "min", "max"]);
+    let mut table = diffcode::Table::new(vec![
+        "span", "count", "total", "mean", "p50", "p90", "p99", "min", "max",
+    ]);
     for (name, span) in registry.spans() {
+        let quantile = |q: f64| {
+            registry
+                .hist(name)
+                .map_or_else(|| "-".to_owned(), |h| fmt_ns(h.quantile(q)))
+        };
         table.row(vec![
             name.to_owned(),
             span.count.to_string(),
             fmt_ns(span.sum_ns),
             fmt_ns(span.mean_ns()),
+            quantile(0.50),
+            quantile(0.90),
+            quantile(0.99),
             fmt_ns(span.min_ns),
             fmt_ns(span.max_ns),
         ]);
@@ -173,6 +183,49 @@ pub fn frontend_microbench(
     (changes.len(), REPS)
 }
 
+/// Measures what the histogram plane added to `record_span`: one span
+/// times a pass of bare `BTreeMap<String, SpanStats>` upserts (the
+/// pre-histogram registry cost model), the other the full
+/// [`MetricsRegistry::record_span`] path (span stats + log-linear
+/// bucket increment). Both land in the bench JSON, where CI pins
+/// `obs.record_span / obs.span_stats_only <= 2` (the EXPERIMENTS.md
+/// record-overhead budget). Returns `(records per pass, passes)`.
+pub fn obs_overhead_microbench(metrics: &mut MetricsRegistry) -> (usize, usize) {
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+    const SAMPLES: usize = 4_096;
+    const REPS: usize = 60;
+    // Deterministic latency-shaped samples (xorshift, ns..10ms).
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let durations: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Duration::from_nanos(state % 10_000_000)
+        })
+        .collect();
+    let mut sink = 0u64;
+    for _ in 0..REPS {
+        sink += metrics.time("obs.span_stats_only", || {
+            let mut spans: BTreeMap<String, obs::SpanStats> = BTreeMap::new();
+            for d in &durations {
+                spans.entry("bench.span".to_owned()).or_default().record(*d);
+            }
+            spans.values().map(|s| s.count).sum::<u64>()
+        });
+        sink += metrics.time("obs.record_span", || {
+            let mut registry = MetricsRegistry::new();
+            for d in &durations {
+                registry.record_span("bench.span", *d);
+            }
+            registry.hist("bench.span").map_or(0, obs::Histogram::count)
+        });
+    }
+    std::hint::black_box(sink);
+    (SAMPLES, REPS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +234,17 @@ mod tests {
     fn default_config_uses_paper_scale() {
         let cfg = config_from_args(461);
         assert_eq!(cfg.n_projects, 461);
+    }
+
+    #[test]
+    fn span_table_renders_percentile_columns() {
+        let mut registry = MetricsRegistry::new();
+        for ns in [100u64, 200, 300, 400] {
+            registry.record_span("stage", std::time::Duration::from_nanos(ns));
+        }
+        let table = render_span_table(&registry);
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+        assert!(table.contains("stage"), "{table}");
     }
 }

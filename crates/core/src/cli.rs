@@ -1121,13 +1121,25 @@ pub fn render_metrics_report(registry: &MetricsRegistry, seed: u64, n_threads: u
     }
 
     out.push_str("\nstage latencies:\n");
-    let mut spans = Table::new(["Span", "Count", "Total", "Mean", "Min", "Max"]);
+    let mut spans = Table::new([
+        "Span", "Count", "Total", "Mean", "P50", "P90", "P99", "Min", "Max",
+    ]);
     for (name, span) in registry.spans() {
+        // Every span records into a log-linear histogram alongside the
+        // min/mean/max aggregate; quantiles come from there.
+        let quantile = |q: f64| {
+            registry
+                .hist(name)
+                .map_or_else(|| "-".to_owned(), |h| fmt_ns(h.quantile(q)))
+        };
         spans.row([
             name.to_owned(),
             span.count.to_string(),
             fmt_ns(span.sum_ns),
             fmt_ns(span.mean_ns()),
+            quantile(0.50),
+            quantile(0.90),
+            quantile(0.99),
             fmt_ns(span.min_ns),
             fmt_ns(span.max_ns),
         ]);

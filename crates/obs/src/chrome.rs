@@ -23,10 +23,20 @@ use std::fmt::Write as _;
 
 /// Serializes `sink` to the Chrome trace-event JSON array format.
 pub fn to_chrome_json(sink: &TraceSink) -> String {
+    to_chrome_json_tail(sink, usize::MAX)
+}
+
+/// Like [`to_chrome_json`], but renders only the **last**
+/// `max_events` events — the shape an on-demand capture endpoint
+/// (`GET /trace/capture?events=N`) wants: the most recent window of a
+/// long-running sink, still a well-formed trace array.
+pub fn to_chrome_json_tail(sink: &TraceSink, max_events: usize) -> String {
+    let events = sink.events();
+    let skip = events.len().saturating_sub(max_events);
     let mut out = String::new();
     out.push_str("[\n");
     let mut first = true;
-    for event in sink.events() {
+    for event in &events[skip..] {
         let sep = if first { "" } else { ",\n" };
         first = false;
         let _ = write!(out, "{sep}{}", render_event(sink, event));
@@ -145,5 +155,37 @@ mod tests {
     fn empty_sink_exports_an_empty_array() {
         let json = TraceSink::disabled().to_chrome_json();
         assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    fn tail_renders_only_the_most_recent_events() {
+        let mut sink = TraceSink::enabled(1);
+        for name in ["e0", "e1", "e2", "e3", "e4"] {
+            sink.instant(name);
+        }
+        let tail = to_chrome_json_tail(&sink, 2);
+        assert!(!tail.contains("\"name\":\"e2\""), "{tail}");
+        assert!(tail.contains("\"name\":\"e3\""), "{tail}");
+        assert!(tail.contains("\"name\":\"e4\""), "{tail}");
+        assert_eq!(to_chrome_json_tail(&sink, 0), "[\n\n]\n");
+        assert_eq!(
+            to_chrome_json_tail(&sink, 100),
+            to_chrome_json(&sink),
+            "an oversized window is the whole trace"
+        );
+    }
+
+    #[test]
+    fn truncated_sink_still_exports_cleanly() {
+        let mut sink = TraceSink::enabled(1);
+        for name in ["a", "b", "c", "d"] {
+            sink.instant(name);
+        }
+        sink.truncate_oldest(2);
+        assert_eq!(sink.len(), 2);
+        let json = sink.to_chrome_json();
+        assert!(!json.contains("\"name\":\"a\""), "{json}");
+        assert!(json.contains("\"name\":\"c\""), "{json}");
+        assert!(json.contains("\"name\":\"d\""), "{json}");
     }
 }

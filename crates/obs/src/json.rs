@@ -7,20 +7,32 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "counters": { "mine.mined": 12 },
 //!   "gauges": { "corpus.projects": 6.0 },
 //!   "spans": {
-//!     "mine.change": { "count": 14, "sum_ns": 1200, "min_ns": 10, "max_ns": 400 }
+//!     "mine.change": { "count": 14, "sum_ns": 1200, "min_ns": 10, "max_ns": 400,
+//!                      "p50_ns": 85, "p90_ns": 340, "p95_ns": 340,
+//!                      "p99_ns": 408, "p999_ns": 408,
+//!                      "buckets": [[85, 7], [340, 13], [408, 14]] }
 //!   }
 //! }
 //! ```
+//!
+//! Version 2 added the histogram-derived fields: `p*_ns` quantile
+//! estimates (inclusive bucket upper edges, ≤6.25% one-sided error —
+//! see [`crate::hist`]) and `buckets`, the sparse cumulative
+//! distribution as `[upper_edge_ns, samples_le_edge]` pairs over the
+//! fixed log-linear layout (only buckets with hits appear, so the last
+//! pair's cumulative count equals `count`). The version-1 keys are
+//! unchanged, so consumers that read only `count`/`sum_ns` (the bench
+//! regression gate) keep working.
 
 use crate::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// Current snapshot schema version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Escapes a string for a JSON literal (metric names are ASCII
 /// identifiers in practice, but correctness is cheap). Shared with the
@@ -80,18 +92,34 @@ pub fn to_json(registry: &MetricsRegistry) -> String {
     out.push_str(if first { "},\n" } else { "\n  },\n" });
     out.push_str("  \"spans\": {");
     first = true;
+    let empty_hist = crate::Histogram::new();
     for (name, span) in registry.spans() {
         let sep = if first { "\n" } else { ",\n" };
         first = false;
+        let hist = registry.hist(name).unwrap_or(&empty_hist);
         let _ = write!(
             out,
-            "{sep}    \"{}\": {{ \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {} }}",
+            "{sep}    \"{}\": {{ \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"buckets\": [",
             escape(name),
             span.count,
             span.sum_ns,
             span.min_ns,
-            span.max_ns
+            span.max_ns,
+            hist.quantile(0.5),
+            hist.quantile(0.9),
+            hist.quantile(0.95),
+            hist.quantile(0.99),
+            hist.quantile(0.999),
         );
+        let mut first_bucket = true;
+        for (edge, cum) in hist.cumulative() {
+            let sep = if first_bucket { "" } else { ", " };
+            first_bucket = false;
+            let _ = write!(out, "{sep}[{edge}, {cum}]");
+        }
+        out.push_str("] }");
     }
     out.push_str(if first { "}\n" } else { "\n  }\n" });
     out.push_str("}\n");
@@ -115,11 +143,15 @@ mod tests {
         let a = json.find("a.first").unwrap();
         let b = json.find("b.second").unwrap();
         assert!(a < b, "{json}");
-        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"version\": 2"), "{json}");
         assert!(json.contains("\"g\": 6.0"), "{json}");
+        // 42ns lands in the [42, 43] log-linear bucket; quantiles and
+        // bucket edges report its inclusive upper edge, 43.
         assert!(
             json.contains(
-                "\"s\": { \"count\": 1, \"sum_ns\": 42, \"min_ns\": 42, \"max_ns\": 42 }"
+                "\"s\": { \"count\": 1, \"sum_ns\": 42, \"min_ns\": 42, \"max_ns\": 42, \
+                 \"p50_ns\": 43, \"p90_ns\": 43, \"p95_ns\": 43, \"p99_ns\": 43, \
+                 \"p999_ns\": 43, \"buckets\": [[43, 1]] }"
             ),
             "{json}"
         );

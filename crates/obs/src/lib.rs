@@ -2,11 +2,14 @@
 //!
 //! A zero-dependency metrics layer for the DiffCode pipeline:
 //! monotonic **counters**, wall-clock **timing spans** aggregated as
-//! min/max/sum/count ([`SpanStats`]), and labeled **gauges**, all
-//! collected into a [`MetricsRegistry`]. For per-item audit trails —
-//! ordered events, hierarchical spans, one decision record per mined
-//! change — see the structured tracing layer ([`TraceSink`]) and its
-//! Chrome trace-event exporter ([`chrome`]).
+//! min/max/sum/count ([`SpanStats`]) *and* as log-linear latency
+//! **histograms** with p50/p90/p99/p999 quantiles ([`Histogram`]),
+//! and labeled **gauges**, all collected into a [`MetricsRegistry`].
+//! For per-item audit trails — ordered events, hierarchical spans, one
+//! decision record per mined change — see the structured tracing layer
+//! ([`TraceSink`]) and its Chrome trace-event exporter ([`chrome`]).
+//! For operational event streams (access logs, lifecycle events) see
+//! the JSON-lines structured logger ([`log`]).
 //!
 //! Design constraints, in priority order:
 //!
@@ -44,13 +47,17 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod hist;
 mod json;
+pub mod log;
 pub mod prometheus;
 mod span;
 mod trace;
 
-pub use chrome::to_chrome_json;
+pub use chrome::{to_chrome_json, to_chrome_json_tail};
+pub use hist::Histogram;
 pub use json::{to_json, SNAPSHOT_VERSION};
+pub use log::{LogFormat, LogLevel, Logger};
 pub use prometheus::to_prometheus_text;
 pub use span::{fmt_ns, SpanStats, Stopwatch};
 pub use trace::{
@@ -69,7 +76,16 @@ use std::time::Duration;
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    spans: BTreeMap<String, SpanStats>,
+    spans: BTreeMap<String, SpanEntry>,
+}
+
+/// One span's aggregate and its latency histogram, stored side by side
+/// so the record hot path pays a single map lookup (and a single key
+/// allocation on first sight) for both.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SpanEntry {
+    stats: SpanStats,
+    hist: Histogram,
 }
 
 impl MetricsRegistry {
@@ -121,12 +137,14 @@ impl MetricsRegistry {
 
     // -- spans ---------------------------------------------------------
 
-    /// Folds one measured duration into span `name`.
+    /// Folds one measured duration into span `name`: the min/max/sum
+    /// aggregate *and* the latency histogram, so every span answers
+    /// quantile queries with no extra instrumentation at call sites.
     pub fn record_span(&mut self, name: &str, duration: Duration) {
-        self.spans
-            .entry(name.to_owned())
-            .or_default()
-            .record(duration);
+        let ns = duration.as_nanos().min(u64::MAX as u128) as u64;
+        let entry = self.spans.entry(name.to_owned()).or_default();
+        entry.stats.record(duration);
+        entry.hist.record(ns);
     }
 
     /// Times `f` and records the wall-clock duration under `name`.
@@ -139,12 +157,22 @@ impl MetricsRegistry {
 
     /// Aggregate for span `name`, if it ever ran.
     pub fn span(&self, name: &str) -> Option<&SpanStats> {
-        self.spans.get(name)
+        self.spans.get(name).map(|e| &e.stats)
     }
 
     /// All spans in stable (sorted) order.
     pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> {
-        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+        self.spans.iter().map(|(k, v)| (k.as_str(), &v.stats))
+    }
+
+    /// Latency histogram for span `name`, if it ever ran.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.spans.get(name).map(|e| &e.hist)
+    }
+
+    /// All span histograms in stable (sorted) order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), &v.hist))
     }
 
     // -- aggregation ---------------------------------------------------
@@ -171,7 +199,9 @@ impl MetricsRegistry {
             self.gauges.insert(name.clone(), *value);
         }
         for (name, span) in &other.spans {
-            self.spans.entry(name.clone()).or_default().absorb(span);
+            let entry = self.spans.entry(name.clone()).or_default();
+            entry.stats.absorb(&span.stats);
+            entry.hist.merge(&span.hist);
         }
     }
 
@@ -352,6 +382,24 @@ mod tests {
         // A merge whose registry lacks the gauge leaves it untouched.
         ab.merge(&MetricsRegistry::new());
         assert_eq!(ab.gauge("g"), Some(2.0));
+    }
+
+    #[test]
+    fn record_span_populates_the_histogram() {
+        let mut reg = MetricsRegistry::new();
+        for ns in [100u64, 200, 300, 400] {
+            reg.record_span("s", Duration::from_nanos(ns));
+        }
+        let hist = reg.hist("s").expect("histogram recorded alongside span");
+        assert_eq!(hist.count(), reg.span("s").unwrap().count);
+        assert_eq!(hist.sum_ns(), reg.span("s").unwrap().sum_ns);
+        let p50 = hist.quantile(0.5);
+        assert!((200..=213).contains(&p50), "p50 = {p50}");
+
+        let mut other = MetricsRegistry::new();
+        other.record_span("s", Duration::from_nanos(10_000));
+        reg.merge(&other);
+        assert_eq!(reg.hist("s").unwrap().count(), 5, "merge merges histograms");
     }
 
     #[test]

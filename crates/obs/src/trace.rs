@@ -269,6 +269,21 @@ impl TraceSink {
         self.events.len()
     }
 
+    /// Drops the oldest events so at most `keep` remain — the bound a
+    /// long-lived capture sink (e.g. `diffcode serve`'s
+    /// `/trace/capture` ring) applies after each append. Interned
+    /// names are retained: the name table is bounded by the number of
+    /// distinct event names, not by traffic. Callers that record only
+    /// instants are unaffected by truncation; a Begin whose End is
+    /// truncated away would dangle, so bounded sinks should record
+    /// point events.
+    pub fn truncate_oldest(&mut self, keep: usize) {
+        if self.events.len() > keep {
+            let excess = self.events.len() - keep;
+            self.events.drain(..excess);
+        }
+    }
+
     /// `true` when no event was recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()

@@ -1,0 +1,109 @@
+//! Property tests for the log-linear histogram: the algebraic laws the
+//! registry's shard-merge discipline depends on, and the documented
+//! quantile error bound checked against exact sorted samples.
+
+use obs::hist::{bucket_bounds, bucket_index, Histogram, SUB_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Sample values spanning the interesting regimes: exact unit buckets,
+/// mid-range latencies, and the wide octaves near the top.
+fn sample_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..1_000_000,
+        1_000_000u64..10_000_000_000,
+        any::<u64>(),
+    ]
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in vec(sample_value(), 0..200),
+                            b in vec(sample_value(), 0..200)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in vec(sample_value(), 0..100),
+                            b in vec(sample_value(), 0..100),
+                            c in vec(sample_value(), 0..100)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_single_recording(values in vec(sample_value(), 1..300),
+                                     split in 0usize..300) {
+        // Recording a sample multiset in one histogram or sharded into
+        // two then merged is indistinguishable — the property that
+        // makes sequential and parallel pipeline runs agree.
+        let split = split % values.len();
+        let whole = hist_of(&values);
+        let mut sharded = hist_of(&values[..split]);
+        sharded.merge(&hist_of(&values[split..]));
+        prop_assert_eq!(sharded, whole);
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_documented_bound(
+        values in vec(sample_value(), 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "q={q}: {est} underestimates exact {exact}");
+        let bound = (exact as f64) * (1.0 + 1.0 / SUB_BUCKETS as f64);
+        prop_assert!(
+            (est as f64) <= bound.max(exact as f64 + 1.0),
+            "q={q}: {est} above the 1/{SUB_BUCKETS} relative bound over {exact}"
+        );
+    }
+
+    #[test]
+    fn layout_roundtrips_every_value(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {idx} = [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_complete(
+        values in vec(sample_value(), 0..300),
+    ) {
+        let h = hist_of(&values);
+        let mut last_cum = 0u64;
+        let mut last_edge = None;
+        for (edge, cum) in h.cumulative() {
+            prop_assert!(Some(edge) > last_edge);
+            prop_assert!(cum > last_cum);
+            last_edge = Some(edge);
+            last_cum = cum;
+        }
+        prop_assert_eq!(last_cum, values.len() as u64);
+    }
+}

@@ -2,7 +2,15 @@
 //! cargo-style external-subcommand pattern keeps the core CLI free of
 //! a server dependency). Runs until SIGINT/SIGTERM, then drains and
 //! reports final accounting.
+//!
+//! Diagnostics go through the structured logger (JSON lines on stderr
+//! by default; `--log-format text` for a human-readable mirror,
+//! `--log-file` to write to a size-rotated file instead). The two
+//! stdout lines — the `listening on` handshake and the final
+//! `drained:` accounting — are protocol, read by supervisors and the
+//! smoke harness, and stay plain text.
 
+use obs::{LogFormat, LogLevel, Logger};
 use serve::{ServeConfig, Server};
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -11,6 +19,8 @@ const USAGE: &str = "\
 usage: diffcode-serve [--addr <host:port>] [--threads <N>] [--cache-dir <dir>]
                       [--cluster-cache-dir <dir>] [--repo-root <dir>]
                       [--deadline-ms <N>] [--queue-depth <N>] [--drain-ms <N>]
+                      [--log-format json|text|off] [--log-file <path>]
+                      [--log-max-bytes <N>] [--log-level debug|info|warn|error]
 
 Resident mining/checking service. Endpoints:
   POST /mine                  {\"old\": ..., \"new\": ...} -> mined/quarantined verdict
@@ -18,15 +28,54 @@ Resident mining/checking service. Endpoints:
   POST /check                 {\"source\": ...} -> rule violations
   GET  /explain/<fingerprint> recent /mine verdicts for a fingerprint prefix
   GET  /metrics               Prometheus text exposition
+  GET  /status                uptime, accounting, cache hit rates, latency percentiles
+  GET  /trace/capture?events=N Chrome-trace snapshot of recent requests
   GET  /cluster/stats         persisted clustering distance-cell log stats
   GET  /healthz, /readyz      liveness; readiness goes 503 while draining
+
+One structured access-log record per request (and lifecycle events) is
+written as JSON lines on stderr, or to --log-file with size rotation at
+--log-max-bytes (default 64 MiB). --log-format text renders the same
+records human-readably; off disables logging entirely.
 
 Shuts down gracefully on SIGINT/SIGTERM: stops accepting, drains the
 queue under the drain deadline, flushes the mining and cluster caches.
 Set DIFFCODE_SERVE_CHAOS=1 to honor the X-Chaos-* test headers.";
 
+/// Log settings parsed from flags; folded into a [`Logger`] once.
+struct LogArgs {
+    format: Option<LogFormat>,
+    file: Option<std::path::PathBuf>,
+    max_bytes: u64,
+    level: LogLevel,
+}
+
+impl Default for LogArgs {
+    fn default() -> Self {
+        LogArgs {
+            format: Some(LogFormat::Json),
+            file: None,
+            max_bytes: 64 * 1024 * 1024,
+            level: LogLevel::Info,
+        }
+    }
+}
+
+impl LogArgs {
+    fn build(&self) -> Logger {
+        match self.format {
+            None => Logger::disabled(),
+            Some(format) => match &self.file {
+                Some(path) => Logger::file(path, self.max_bytes, format, self.level),
+                None => Logger::stderr(format, self.level),
+            },
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
+    let mut log = LogArgs::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -61,6 +110,29 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| "--drain-ms needs an integer".to_owned())?;
             }
+            "--log-format" => {
+                log.format = match value("--log-format")?.as_str() {
+                    "json" => Some(LogFormat::Json),
+                    "text" => Some(LogFormat::Text),
+                    "off" => None,
+                    _ => return Err("--log-format must be json, text, or off".to_owned()),
+                };
+            }
+            "--log-file" => log.file = Some(value("--log-file")?.into()),
+            "--log-max-bytes" => {
+                log.max_bytes = value("--log-max-bytes")?
+                    .parse()
+                    .map_err(|_| "--log-max-bytes needs an integer".to_owned())?;
+            }
+            "--log-level" => {
+                log.level = match value("--log-level")?.as_str() {
+                    "debug" => LogLevel::Debug,
+                    "info" => LogLevel::Info,
+                    "warn" => LogLevel::Warn,
+                    "error" => LogLevel::Error,
+                    _ => return Err("--log-level must be debug, info, warn, or error".to_owned()),
+                };
+            }
             "-h" | "--help" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -68,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     if std::env::var_os("DIFFCODE_SERVE_CHAOS").is_some() {
         config.chaos_hooks = true;
     }
+    config.logger = log.build();
     Ok(config)
 }
 
@@ -82,9 +155,17 @@ fn main() -> ExitCode {
     };
 
     diffcode::shutdown::install();
+    // Shares the writer with the server (Logger clones share one
+    // pipeline), so binary-level events interleave cleanly with the
+    // access log.
+    let log = config.logger.clone();
     let handle = match Server::spawn(config) {
         Ok(handle) => handle,
         Err(e) => {
+            log.event(LogLevel::Error, "serve.boot_failed")
+                .str("error", e.as_str())
+                .emit();
+            log.sync(std::time::Duration::from_secs(2));
             eprintln!("diffcode-serve: {e}");
             return ExitCode::FAILURE;
         }

@@ -7,6 +7,8 @@
 //! | `POST /check` | snippet(s) → rule violations |
 //! | `GET /explain/<fingerprint>` | the ring-buffered verdict journal |
 //! | `GET /metrics` | the registry in Prometheus text format |
+//! | `GET /status` | uptime, accounting, cache hit rates, percentiles |
+//! | `GET /trace/capture?events=N` | Chrome-trace snapshot of recent requests |
 //! | `GET /cluster/stats` | the persisted clustering distance-cell log |
 //! | `GET /healthz`, `GET /readyz` | liveness / drain-aware readiness |
 //!
@@ -50,8 +52,10 @@ impl Default for WorkerCtx {
 }
 
 /// Routes one request. Always returns a response; panics escape to the
-/// per-request `catch_unwind` in the server loop.
-pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+/// per-request `catch_unwind` in the server loop. `request_id` is the
+/// admission-assigned id the access log records — handlers thread it
+/// into explain-ring records so verdicts join to request records.
+pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx, request_id: u64) -> Response {
     if shared.config.chaos_hooks {
         if let Some(ms) = req
             .header("x-chaos-sleep-ms")
@@ -65,10 +69,11 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
     }
 
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/mine") => mine(req, shared, ctx),
-        ("POST", "/mine-repo") => mine_repo(req, shared, ctx),
+        ("POST", "/mine") => mine(req, shared, ctx, request_id),
+        ("POST", "/mine-repo") => mine_repo(req, shared, ctx, request_id),
         ("POST", "/check") => check(req),
         ("GET", "/metrics") => metrics(shared),
+        ("GET", "/status") => status(shared),
         ("GET", "/cluster/stats") => cluster_stats(shared),
         ("GET", "/healthz") => Response::text(200, "ok"),
         ("GET", "/readyz") => {
@@ -79,14 +84,22 @@ pub fn handle(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
             }
         }
         ("GET", path) if path.starts_with("/explain/") => explain(path, shared),
+        ("GET", path) if trace_capture_path(path) => trace_capture(path, shared),
         (
             _,
-            "/mine" | "/mine-repo" | "/check" | "/metrics" | "/cluster/stats" | "/healthz"
-            | "/readyz",
+            "/mine" | "/mine-repo" | "/check" | "/metrics" | "/status" | "/cluster/stats"
+            | "/healthz" | "/readyz",
         ) => err_json(405, "method not allowed for this path"),
         (_, path) if path.starts_with("/explain/") => err_json(405, "explain is GET-only"),
+        (_, path) if trace_capture_path(path) => err_json(405, "trace capture is GET-only"),
         _ => err_json(404, "unknown path"),
     }
+}
+
+/// `true` for `/trace/capture` with or without a query string (the
+/// request target arrives unsplit in `req.path`).
+fn trace_capture_path(path: &str) -> bool {
+    path.split('?').next() == Some("/trace/capture")
 }
 
 fn err_json(status: u16, message: &str) -> Response {
@@ -102,7 +115,7 @@ fn body_json(req: &Request) -> Result<Json, Response> {
 }
 
 /// `POST /mine`: `{"old": "...", "new": "...", "classes": ["..."]?}`.
-fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx, request_id: u64) -> Response {
     let body = match body_json(req) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -170,6 +183,7 @@ fn mine(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
         let mut ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
         ring.push(ExplainRecord {
             seq: 0,
+            request_id,
             fingerprint: fingerprint.clone(),
             verdict,
             cache: cache_status,
@@ -242,7 +256,7 @@ fn parse_max_commits(body: &Json) -> Result<Option<usize>, &'static str> {
 /// that root (plain path components only — no absolute paths, no
 /// `..`). Each mined pair lands in the `/explain` ring like a `/mine`
 /// verdict would.
-fn mine_repo(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
+fn mine_repo(req: &Request, shared: &Shared, ctx: &mut WorkerCtx, request_id: u64) -> Response {
     let Some(root) = shared.config.repo_root.as_ref() else {
         return err_json(
             404,
@@ -309,6 +323,7 @@ fn mine_repo(req: &Request, shared: &Shared, ctx: &mut WorkerCtx) -> Response {
             let mut ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
             ring.push(ExplainRecord {
                 seq: 0,
+                request_id,
                 fingerprint: fingerprint.clone(),
                 verdict,
                 cache: cache_status,
@@ -504,15 +519,182 @@ fn cluster_stats(shared: &Shared) -> Response {
     Response::json(200, body.render())
 }
 
-/// `GET /metrics`: deterministic Prometheus text.
+/// `GET /metrics`: deterministic Prometheus text. Logger throughput is
+/// snapshotted into gauges just before rendering, so scrape output
+/// carries the current emitted/dropped counts.
 fn metrics(shared: &Shared) -> Response {
-    let text = shared.with_registry(|r| obs::to_prometheus_text(r));
+    let emitted = shared.log.emitted();
+    let dropped = shared.log.dropped();
+    let text = shared.with_registry(|r| {
+        r.set_gauge("serve.log_emitted", emitted as f64);
+        r.set_gauge("serve.log_dropped", dropped as f64);
+        obs::to_prometheus_text(r)
+    });
     Response {
         status: 200,
         content_type: "text/plain; version=0.0.4",
         body: text.into_bytes(),
         retry_after: None,
     }
+}
+
+/// Hit-rate summary for a cache's `<prefix>.hit` / `.miss` /
+/// `.stale_version` counters; `Null` before any lookup happened.
+fn cache_rate_json(r: &obs::MetricsRegistry, prefix: &str) -> Json {
+    let hits = r.counter(&format!("{prefix}.hit"));
+    let misses = r.counter(&format!("{prefix}.miss"));
+    let stale = r.counter(&format!("{prefix}.stale_version"));
+    let total = hits + misses + stale;
+    let rate = if total == 0 {
+        Json::Null
+    } else {
+        Json::Num(hits as f64 / total as f64)
+    };
+    Json::Obj(vec![
+        ("hits".to_owned(), Json::Num(hits as f64)),
+        ("misses".to_owned(), Json::Num(misses as f64)),
+        ("stale".to_owned(), Json::Num(stale as f64)),
+        ("hit_rate".to_owned(), rate),
+    ])
+}
+
+/// `GET /status`: one JSON page of live runtime introspection —
+/// uptime, the accounting partition, cache hit rates, logger
+/// throughput, and the per-endpoint latency percentile table computed
+/// from the registry's log-linear histograms.
+fn status(shared: &Shared) -> Response {
+    let uptime_ms = shared.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+    let trace_events = {
+        let trace = shared.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        trace.len()
+    };
+    let body = shared.with_registry(|r| {
+        let mut endpoints: Vec<(String, Json)> = Vec::new();
+        for (name, span) in r.spans() {
+            let label = if name == "serve.request" {
+                "all"
+            } else if let Some(rest) = name.strip_prefix("serve.request.") {
+                rest
+            } else {
+                continue;
+            };
+            let mut fields = vec![
+                ("count".to_owned(), Json::Num(span.count as f64)),
+                (
+                    "mean_ns".to_owned(),
+                    Json::Num(span.sum_ns as f64 / span.count.max(1) as f64),
+                ),
+            ];
+            if let Some(hist) = r.hist(name) {
+                for (key, q) in [
+                    ("p50_ns", 0.50),
+                    ("p90_ns", 0.90),
+                    ("p95_ns", 0.95),
+                    ("p99_ns", 0.99),
+                    ("p999_ns", 0.999),
+                ] {
+                    fields.push((key.to_owned(), Json::Num(hist.quantile(q) as f64)));
+                }
+            }
+            fields.push(("max_ns".to_owned(), Json::Num(span.max_ns as f64)));
+            endpoints.push((label.to_owned(), Json::Obj(fields)));
+        }
+        Json::Obj(vec![
+            (
+                "version".to_owned(),
+                Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+            ),
+            ("uptime_ms".to_owned(), Json::Num(uptime_ms as f64)),
+            ("draining".to_owned(), Json::Bool(shared.draining())),
+            (
+                "requests".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "accepted".to_owned(),
+                        Json::Num(r.counter("serve.accepted") as f64),
+                    ),
+                    (
+                        "completed".to_owned(),
+                        Json::Num(r.counter("serve.completed") as f64),
+                    ),
+                    ("shed".to_owned(), Json::Num(r.counter("serve.shed") as f64)),
+                    (
+                        "failed".to_owned(),
+                        Json::Num(r.counter("serve.failed") as f64),
+                    ),
+                ]),
+            ),
+            (
+                "queue".to_owned(),
+                Json::Obj(vec![
+                    ("depth".to_owned(), Json::Num(shared.queue_len() as f64)),
+                    (
+                        "capacity".to_owned(),
+                        Json::Num(shared.config.queue_depth as f64),
+                    ),
+                ]),
+            ),
+            (
+                "cache".to_owned(),
+                if shared.cache.is_some() {
+                    cache_rate_json(r, "cache")
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "cluster_cache".to_owned(),
+                if shared.cluster_cache.is_some() {
+                    cache_rate_json(r, "cluster.cache")
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "log".to_owned(),
+                Json::Obj(vec![
+                    ("emitted".to_owned(), Json::Num(shared.log.emitted() as f64)),
+                    ("dropped".to_owned(), Json::Num(shared.log.dropped() as f64)),
+                ]),
+            ),
+            (
+                "trace".to_owned(),
+                Json::Obj(vec![
+                    ("events".to_owned(), Json::Num(trace_events as f64)),
+                    (
+                        "capacity".to_owned(),
+                        Json::Num(shared.config.trace_capacity as f64),
+                    ),
+                ]),
+            ),
+            ("endpoints".to_owned(), Json::Obj(endpoints)),
+        ])
+    });
+    Response::json(200, body.render())
+}
+
+/// `GET /trace/capture?events=N`: the most recent `N` events of the
+/// bounded capture sink in Chrome trace-event JSON (default 256),
+/// loadable in Perfetto / `chrome://tracing`.
+fn trace_capture(path: &str, shared: &Shared) -> Response {
+    let mut events = 256usize;
+    if let Some((_, query)) = path.split_once('?') {
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            if key != "events" {
+                return err_json(400, "unknown trace capture parameter (expected events=N)");
+            }
+            match value.parse::<usize>() {
+                Ok(n) if n >= 1 => events = n,
+                _ => return err_json(400, "`events` must be a positive integer"),
+            }
+        }
+    }
+    let json = {
+        let trace = shared.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        obs::to_chrome_json_tail(&trace, events)
+    };
+    Response::json(200, json)
 }
 
 #[cfg(test)]
@@ -541,9 +723,18 @@ mod tests {
     #[test]
     fn max_commits_accepts_whole_numbers_only() {
         assert_eq!(parse_max_commits(&body("{}")), Ok(None));
-        assert_eq!(parse_max_commits(&body(r#"{"max_commits": null}"#)), Ok(None));
-        assert_eq!(parse_max_commits(&body(r#"{"max_commits": 30}"#)), Ok(Some(30)));
-        assert_eq!(parse_max_commits(&body(r#"{"max_commits": 0}"#)), Ok(Some(0)));
+        assert_eq!(
+            parse_max_commits(&body(r#"{"max_commits": null}"#)),
+            Ok(None)
+        );
+        assert_eq!(
+            parse_max_commits(&body(r#"{"max_commits": 30}"#)),
+            Ok(Some(30))
+        );
+        assert_eq!(
+            parse_max_commits(&body(r#"{"max_commits": 0}"#)),
+            Ok(Some(0))
+        );
         // Negative, fractional, and non-numeric values must 400
         // instead of saturating/truncating through the usize cast.
         assert!(parse_max_commits(&body(r#"{"max_commits": -1}"#)).is_err());

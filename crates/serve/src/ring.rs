@@ -15,6 +15,10 @@ use std::collections::VecDeque;
 pub struct ExplainRecord {
     /// Monotone per-server sequence number (1-based).
     pub seq: u64,
+    /// The admission-assigned id of the request that produced this
+    /// verdict — the same id the access log and quarantine provenance
+    /// carry, so one grep joins a verdict to its request record.
+    pub request_id: u64,
     /// Content fingerprint of the `(old, new)` pair.
     pub fingerprint: String,
     /// `"mined"` or `"quarantined"`.
@@ -41,6 +45,7 @@ impl ExplainRecord {
         };
         Json::Obj(vec![
             ("seq".to_owned(), Json::Num(self.seq as f64)),
+            ("request_id".to_owned(), Json::Num(self.request_id as f64)),
             (
                 "fingerprint".to_owned(),
                 Json::Str(self.fingerprint.clone()),
@@ -115,6 +120,7 @@ mod tests {
     fn record(fp: &str) -> ExplainRecord {
         ExplainRecord {
             seq: 0,
+            request_id: 7,
             fingerprint: fp.to_owned(),
             verdict: "mined",
             cache: "off",
@@ -156,5 +162,6 @@ mod tests {
         let json = rec.to_json().render();
         assert!(json.contains("\"fingerprint\":\"cafe\""));
         assert!(json.contains("\"kind\":\"parse\""));
+        assert!(json.contains("\"request_id\":7"), "{json}");
     }
 }

@@ -30,12 +30,12 @@ use crate::http::{self, HttpCaps, Response};
 use crate::ring::ExplainRing;
 use diffcode::quarantine::PipelineLimits;
 use diffcode::MiningCache;
-use obs::MetricsRegistry;
+use obs::{LogLevel, Logger, MetricsRegistry, TraceSink};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -70,6 +70,17 @@ pub struct ServeConfig {
     /// Honors the `X-Chaos-Sleep-Ms` / `X-Chaos-Panic` test headers.
     /// Off in production; the soak harness turns it on.
     pub chaos_hooks: bool,
+    /// The structured logger every request and lifecycle event goes
+    /// through. Cloning shares the underlying writer, so the binary can
+    /// keep a handle for its own boot/drain events. Disabled by default
+    /// (library embedders opt in); the `diffcode-serve` binary enables
+    /// a stderr JSON logger unless told otherwise.
+    pub logger: Logger,
+    /// How many trace events `GET /trace/capture` retains (oldest
+    /// evicted first). The capture sink records one instant per
+    /// finished request plus lifecycle markers, so memory stays
+    /// bounded no matter how long the server runs.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +97,8 @@ impl Default for ServeConfig {
             ring_capacity: 256,
             caps: HttpCaps::DEFAULT,
             chaos_hooks: false,
+            logger: Logger::disabled(),
+            trace_capacity: 2_048,
         }
     }
 }
@@ -133,16 +146,42 @@ pub struct Shared {
     pub cluster_cache: Option<RwLock<diffcode::ClusterCache>>,
     /// The `/explain` verdict journal.
     pub ring: Mutex<ExplainRing>,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// The structured logger (clone of `config.logger`).
+    pub log: Logger,
+    /// The bounded capture sink behind `GET /trace/capture`: one
+    /// instant per finished request, truncated to
+    /// `config.trace_capacity` after each push.
+    pub trace: Mutex<TraceSink>,
+    /// When the server started (uptime for `GET /status`).
+    pub started: Instant,
+    next_request_id: AtomicU64,
+    queue: Mutex<VecDeque<Conn>>,
     queue_cv: Condvar,
     draining: AtomicBool,
     drain_deadline: Mutex<Option<Instant>>,
+}
+
+/// One admitted connection waiting for a worker, tagged with the
+/// request id and admission timestamp that thread through the access
+/// log, the explain ring, and quarantine provenance.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    accepted: Instant,
 }
 
 impl Shared {
     /// `true` once shutdown has begun (readiness goes 503).
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current admission-queue depth (for `GET /status`).
+    pub fn queue_len(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Runs `f` on the locked registry, recovering a poisoned lock
@@ -233,11 +272,28 @@ impl Server {
             registry: Mutex::new(MetricsRegistry::new()),
             cache,
             cluster_cache,
+            log: config.logger.clone(),
+            trace: Mutex::new(TraceSink::enabled(1)),
+            started: Instant::now(),
+            next_request_id: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             drain_deadline: Mutex::new(None),
             config,
+        });
+
+        shared
+            .log
+            .event(LogLevel::Info, "serve.boot")
+            .str("addr", &addr.to_string())
+            .u64("threads", shared.config.threads.max(1) as u64)
+            .bool("cache", shared.cache.is_some())
+            .bool("cluster_cache", shared.cluster_cache.is_some())
+            .str("version", env!("CARGO_PKG_VERSION"))
+            .emit();
+        trace_instant(&shared, "serve.boot", |a| {
+            a.str("addr", addr.to_string());
         });
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -286,6 +342,17 @@ fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSu
         *deadline = Some(Instant::now() + Duration::from_millis(shared.config.drain_ms));
     }
     shared.draining.store(true, Ordering::SeqCst);
+    shared
+        .log
+        .event(LogLevel::Info, "serve.drain")
+        .u64(
+            "accepted",
+            shared.with_registry(|r| r.counter("serve.accepted")),
+        )
+        .u64("queued", shared.queue_len() as u64)
+        .u64("drain_ms", shared.config.drain_ms)
+        .emit();
+    trace_instant(&shared, "serve.drain", |_| {});
     shared.queue_cv.notify_all();
     for handle in workers.into_iter().flatten() {
         let _ = handle.join();
@@ -299,17 +366,37 @@ fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSu
             Ok(n) => flushed = n as u64,
             Err(_) => shared.with_registry(|r| r.inc("serve.cache_flush_errors", 1)),
         }
+        shared
+            .log
+            .event(LogLevel::Info, "serve.cache_flush")
+            .str("cache", "mining")
+            .u64("entries", flushed)
+            .emit();
     }
     if let Some(lock) = &shared.cluster_cache {
         let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
-        match cache.flush() {
-            Ok(n) => shared.with_registry(|r| r.inc("cluster.cache.flushed_entries", n as u64)),
-            Err(_) => shared.with_registry(|r| r.inc("serve.cluster_cache_flush_errors", 1)),
-        }
+        let entries = match cache.flush() {
+            Ok(n) => {
+                shared.with_registry(|r| r.inc("cluster.cache.flushed_entries", n as u64));
+                n as u64
+            }
+            Err(_) => {
+                shared.with_registry(|r| r.inc("serve.cluster_cache_flush_errors", 1));
+                0
+            }
+        };
+        shared
+            .log
+            .event(LogLevel::Info, "serve.cache_flush")
+            .str("cache", "cluster")
+            .u64("entries", entries)
+            .emit();
     }
 
-    shared.with_registry(|r| {
+    let summary = shared.with_registry(|r| {
         r.inc("cache.flushed_entries", flushed);
+        r.set_gauge("serve.log_emitted", shared.log.emitted() as f64);
+        r.set_gauge("serve.log_dropped", shared.log.dropped() as f64);
         ServeSummary {
             accepted: r.counter("serve.accepted"),
             completed: r.counter("serve.completed"),
@@ -318,7 +405,101 @@ fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSu
             flushed_entries: r.counter("cache.flushed_entries"),
             registry: r.clone(),
         }
-    })
+    });
+    shared
+        .log
+        .event(LogLevel::Info, "serve.drained")
+        .u64("accepted", summary.accepted)
+        .u64("completed", summary.completed)
+        .u64("shed", summary.shed)
+        .u64("failed", summary.failed)
+        .u64("flushed_entries", summary.flushed_entries)
+        .emit();
+    // Bounded wait: a wedged writer must not stall shutdown forever.
+    shared.log.sync(Duration::from_secs(2));
+    summary
+}
+
+/// Appends one instant to the bounded capture sink.
+fn trace_instant(shared: &Shared, name: &str, fill: impl FnOnce(&mut obs::AttrSet)) {
+    let mut trace = shared.trace.lock().unwrap_or_else(PoisonError::into_inner);
+    trace.instant_with(name, fill);
+    let keep = shared.config.trace_capacity.max(1);
+    trace.truncate_oldest(keep);
+}
+
+/// The per-endpoint span label for a request path: `serve.request.<label>`.
+/// Unknown paths collapse into `other` so a URL-guessing client cannot
+/// grow the registry without bound.
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/mine" => "mine",
+        "/mine-repo" => "mine_repo",
+        "/check" => "check",
+        "/metrics" => "metrics",
+        "/cluster/stats" => "cluster_stats",
+        "/healthz" => "healthz",
+        "/readyz" => "readyz",
+        "/status" => "status",
+        "/trace/capture" => "trace_capture",
+        _ if path.starts_with("/explain/") => "explain",
+        _ => "other",
+    }
+}
+
+/// Emits the full per-request observability record: the latency into
+/// the `serve.request` histograms (overall and per endpoint), one
+/// access-log line, and one bounded trace instant. Every accepted
+/// connection — answered, shed, or panicked — lands here exactly once,
+/// so access-log records partition the same way the counters do.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    shared: &Shared,
+    id: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    latency: Duration,
+    bytes: usize,
+    outcome: &'static str,
+) {
+    let endpoint = if path == "-" {
+        None
+    } else {
+        Some(endpoint_label(path))
+    };
+    let latency_ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+    shared.with_registry(|r| {
+        r.record_span("serve.request", latency);
+        if let Some(endpoint) = endpoint {
+            r.record_span(&format!("serve.request.{endpoint}"), latency);
+        }
+    });
+    let level = match outcome {
+        "ok" => LogLevel::Info,
+        "panic" => LogLevel::Error,
+        _ => LogLevel::Warn,
+    };
+    shared
+        .log
+        .event(level, "serve.access")
+        .u64("request_id", id)
+        .str("method", method)
+        .str("path", path)
+        .str("endpoint", endpoint.unwrap_or("-"))
+        .u64("status", u64::from(status))
+        .u64("latency_ns", latency_ns)
+        .u64("bytes", bytes as u64)
+        .str("outcome", outcome)
+        .emit();
+    trace_instant(shared, "serve.request", |a| {
+        a.u64("request_id", id)
+            .str("endpoint", endpoint.unwrap_or("-"))
+            .u64("status", u64::from(status))
+            .u64("latency_ns", latency_ns)
+            .str("outcome", outcome);
+    });
 }
 
 /// Counts and enqueues one accepted connection, or sheds it with 429
@@ -326,13 +507,19 @@ fn run(listener: TcpListener, shared: Arc<Shared>, stop: &AtomicBool) -> ServeSu
 fn admit(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let accepted = Instant::now();
     shared.with_registry(|r| r.inc("serve.accepted", 1));
     let rejected = {
         let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if queue.len() >= shared.config.queue_depth {
             Some(stream)
         } else {
-            queue.push_back(stream);
+            queue.push_back(Conn {
+                stream,
+                id,
+                accepted,
+            });
             let len = queue.len();
             shared.with_registry(|r| r.set_gauge("serve.queue_depth", len as f64));
             None
@@ -349,11 +536,13 @@ fn admit(shared: &Shared, stream: TcpStream) {
                 "{\"error\":\"admission queue is full, retry shortly\"}".to_owned(),
             );
             resp.retry_after = Some(1);
+            let bytes = resp.body.len();
             let _ = http::write_response(&mut stream, &resp);
             shared.with_registry(|r| {
                 r.inc("serve.shed", 1);
                 r.inc("serve.http_429", 1);
             });
+            finish_request(shared, id, "-", "-", 429, accepted.elapsed(), bytes, "shed");
         }
     }
 }
@@ -379,8 +568,8 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        let Some(stream) = conn else { break };
-        handle_connection(shared, &mut ctx, stream);
+        let Some(conn) = conn else { break };
+        handle_connection(shared, &mut ctx, conn);
     }
 }
 
@@ -392,7 +581,12 @@ enum Disposition {
     Failed,
 }
 
-fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream) {
+fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, conn: Conn) {
+    let Conn {
+        mut stream,
+        id,
+        accepted,
+    } = conn;
     // Past the drain deadline: fast 503, no parsing.
     let past_drain = shared.draining()
         && shared
@@ -403,22 +597,28 @@ fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream
     if past_drain {
         let mut resp = Response::json(503, "{\"error\":\"server is draining\"}".to_owned());
         resp.retry_after = Some(1);
+        let bytes = resp.body.len();
         let _ = http::write_response(&mut stream, &resp);
         shared.with_registry(|r| {
             r.inc("serve.shed", 1);
             r.inc("serve.http_503", 1);
         });
+        finish_request(shared, id, "-", "-", 503, accepted.elapsed(), bytes, "shed");
         return;
     }
 
     let deadline = Instant::now() + Duration::from_millis(shared.config.deadline_ms);
+    let mut req_line: Option<(String, String)> = None;
+    let mut deadline_hit = false;
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         match http::read_request(&mut stream, deadline, &shared.config.caps) {
             Ok(req) => {
-                let resp = handlers::handle(&req, shared, ctx);
+                req_line = Some((req.method.clone(), req.path.clone()));
+                let resp = handlers::handle(&req, shared, ctx, id);
                 Some(resp)
             }
             Err(err) => {
+                deadline_hit = err == http::RecvError::Deadline;
                 shared.with_registry(|r| r.inc(&format!("serve.recv_{}", err.name()), 1));
                 err.status()
                     .map(|(status, msg)| Response::text(status, msg))
@@ -426,9 +626,10 @@ fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream
         }
     }));
 
-    let disposition = match outcome {
+    let (disposition, status, bytes) = match outcome {
         Ok(Some(resp)) => {
             let status = resp.status;
+            let bytes = resp.body.len();
             let delivered = http::write_response(&mut stream, &resp).is_ok();
             shared.with_registry(|r| {
                 r.inc(&format!("serve.http_{status}"), 1);
@@ -437,22 +638,24 @@ fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream
                 }
             });
             if status == 500 {
-                Disposition::Failed
+                (Disposition::Failed, status, bytes)
             } else {
-                Disposition::Completed
+                (Disposition::Completed, status, bytes)
             }
         }
         // Peer vanished before sending a request; cleanly done.
-        Ok(None) => Disposition::Completed,
+        Ok(None) => (Disposition::Completed, 0, 0),
         Err(payload) => {
             // A panic escaped a handler: the worker survives, the
-            // client gets a 500 carrying quarantine-style provenance.
+            // client gets a 500 carrying quarantine-style provenance
+            // stamped with the request id the access log records.
             let msg = panic_message(payload.as_ref());
             let body = crate::json::Json::Obj(vec![
                 (
                     "error".to_owned(),
                     crate::json::Json::Str("internal error: handler panicked".to_owned()),
                 ),
+                ("request_id".to_owned(), crate::json::Json::Num(id as f64)),
                 (
                     "quarantine".to_owned(),
                     crate::json::Json::Obj(vec![
@@ -464,9 +667,11 @@ fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream
                     ]),
                 ),
             ]);
-            let _ = http::write_response(&mut stream, &Response::json(500, body.render()));
+            let resp = Response::json(500, body.render());
+            let bytes = resp.body.len();
+            let _ = http::write_response(&mut stream, &resp);
             shared.with_registry(|r| r.inc("serve.http_500", 1));
-            Disposition::Failed
+            (Disposition::Failed, 500, bytes)
         }
     };
 
@@ -474,6 +679,22 @@ fn handle_connection(shared: &Shared, ctx: &mut WorkerCtx, mut stream: TcpStream
         Disposition::Completed => r.inc("serve.completed", 1),
         Disposition::Failed => r.inc("serve.failed", 1),
     });
+    let (method, path) = req_line.unwrap_or_else(|| ("-".to_owned(), "-".to_owned()));
+    let result = match disposition {
+        Disposition::Failed => "panic",
+        Disposition::Completed if deadline_hit => "deadline",
+        Disposition::Completed => "ok",
+    };
+    finish_request(
+        shared,
+        id,
+        &method,
+        &path,
+        status,
+        accepted.elapsed(),
+        bytes,
+        result,
+    );
 }
 
 /// Extracts the message from a caught panic payload.

@@ -15,6 +15,12 @@ unless the span's mean improved by at least that factor vs the given
 baseline. Min-speedup spans are exempt from the noise floor — they are
 opted in deliberately and measured over enough iterations to be stable.
 
+`--max-ratio <spanA>/<spanB>=<factor>` gates a *same-run* ratio: the
+current run's mean of spanA must not exceed factor x the mean of spanB.
+This pins relative overhead budgets (e.g. the full histogram-recording
+`obs.record_span` path vs the bare `obs.span_stats_only` upsert it
+extends) without a wall-clock baseline, so it is immune to runner speed.
+
 New spans (absent from the baseline) pass with a note; a span that
 disappeared fails, since that usually means a stage was renamed without
 updating the baseline.
@@ -22,6 +28,7 @@ updating the baseline.
 Exit code 0 on success, 1 with a message per violation otherwise.
 Usage: check_bench_regression.py <current.json> <baseline.json>
            [--min-speedup <span>=<factor>]...
+           [--max-ratio <spanA>/<spanB>=<factor>]...
 """
 
 import sys
@@ -35,6 +42,38 @@ MIN_BASELINE_NS = 100_000  # 0.1 ms
 def mean_ns(span):
     count = span.get("count", 0)
     return span.get("sum_ns", 0) / count if count else 0.0
+
+
+def check_ratios(current, max_ratios):
+    """Same-run ratio gates: mean(spanA) <= factor * mean(spanB)."""
+    errors = []
+    notes = []
+    cur_spans = current.get("spans", {})
+    for (num, den), factor in max_ratios:
+        missing = [name for name in (num, den) if name not in cur_spans]
+        if missing:
+            errors.append(
+                f"--max-ratio {num}/{den}: span(s) {', '.join(missing)} "
+                "not measured in this run"
+            )
+            continue
+        num_mean = mean_ns(cur_spans[num])
+        den_mean = mean_ns(cur_spans[den])
+        if den_mean <= 0:
+            errors.append(f"--max-ratio {num}/{den}: {den} has a zero mean")
+            continue
+        ratio = num_mean / den_mean
+        if ratio > factor:
+            errors.append(
+                f"ratio {num}/{den} is {ratio:.2f}x, above the {factor:.2f}x "
+                f"budget ({num_mean / 1e6:.3f}ms vs {den_mean / 1e6:.3f}ms)"
+            )
+        else:
+            notes.append(
+                f"ratio {num}/{den}: {ratio:.2f}x (budget {factor:.2f}x, "
+                f"{num_mean / 1e6:.3f}ms vs {den_mean / 1e6:.3f}ms)"
+            )
+    return errors, notes
 
 
 def check(current, baseline, min_speedups=None):
@@ -108,6 +147,7 @@ def check(current, baseline, min_speedups=None):
 def parse_args(argv):
     positionals = []
     min_speedups = []
+    max_ratios = []
     i = 0
     while i < len(argv):
         arg = argv[i]
@@ -118,15 +158,25 @@ def parse_args(argv):
             if not sep:
                 raise ValueError(f"--min-speedup expects <span>=<factor>, got {spec!r}")
             min_speedups.append((name, float(factor)))
+        elif arg == "--max-ratio":
+            i += 1
+            spec = argv[i] if i < len(argv) else ""
+            pair, sep, factor = spec.partition("=")
+            num, slash, den = pair.partition("/")
+            if not sep or not slash or not num or not den:
+                raise ValueError(
+                    f"--max-ratio expects <spanA>/<spanB>=<factor>, got {spec!r}"
+                )
+            max_ratios.append(((num, den), float(factor)))
         else:
             positionals.append(arg)
         i += 1
-    return positionals, min_speedups
+    return positionals, min_speedups, max_ratios
 
 
 def main():
     try:
-        positionals, min_speedups = parse_args(sys.argv[1:])
+        positionals, min_speedups, max_ratios = parse_args(sys.argv[1:])
     except ValueError as err:
         print(err, file=sys.stderr)
         return 2
@@ -136,11 +186,15 @@ def main():
     current = cilib.read_json(positionals[0])
     baseline = cilib.read_json(positionals[1])
     errors, notes = check(current, baseline, min_speedups)
+    ratio_errors, ratio_notes = check_ratios(current, max_ratios)
+    errors += ratio_errors
+    notes += ratio_notes
     for note in notes:
         print(note)
     ok = (
         f"bench latencies OK: no stage regressed more than {MAX_RATIO}x vs baseline"
         + (", all required speedups held" if min_speedups else "")
+        + (", all ratio budgets held" if max_ratios else "")
     )
     return cilib.report("BENCH", errors, ok)
 

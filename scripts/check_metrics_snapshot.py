@@ -3,20 +3,25 @@
 
 Checks the invariants the pipeline promises (DESIGN.md, "Observability"):
 
-  1. schema: version 1 with counters/gauges/spans sections;
+  1. schema: version 2 with counters/gauges/spans sections;
   2. partition: mine.code_changes == mine.mined + mine.skipped, and
      mine.skipped equals the sum of its per-kind breakdown;
   3. funnel: filter.total >= after_fsame >= after_fadd >= after_frem
      >= after_fdup (Figure 6 only ever narrows);
-  4. span sanity: count >= 1 implies min_ns <= max_ns <= sum_ns.
+  4. span sanity: count >= 1 implies min_ns <= max_ns <= sum_ns;
+  5. histogram sanity (v2, via cilib.histogram_errors): per span, the
+     p50..p999 quantiles are non-decreasing bucket edges, the sparse
+     `buckets` cumulative distribution is strictly increasing in both
+     edge and count, its final cumulative count equals the span count,
+     and max_ns lies within the last hit bucket.
 
 With a second argument, also validates a `diffcode mine --trace-out`
 Chrome trace-event export:
 
-  5. the trace is a well-formed JSON array of objects with name/ph/
+  6. the trace is a well-formed JSON array of objects with name/ph/
      pid/tid/ts fields and ph in {B, E, i};
-  6. per (pid, tid) lane, timestamps never decrease in array order;
-  7. per lane, B/E events nest: every B has a matching E (same name,
+  7. per (pid, tid) lane, timestamps never decrease in array order;
+  8. per lane, B/E events nest: every B has a matching E (same name,
      LIFO order) and no E arrives without an open B.
 
 Exit code 0 on success, 1 with a message per violation otherwise.
@@ -42,7 +47,7 @@ SKIP_KINDS = ["lex", "parse", "analysis-budget", "dag-budget", "panic"]
 def check(snapshot):
     errors = []
 
-    if snapshot.get("version") != 1:
+    if snapshot.get("version") != 2:
         errors.append(f"unsupported snapshot version: {snapshot.get('version')!r}")
     counters = snapshot.get("counters", {})
     spans = snapshot.get("spans", {})
@@ -81,8 +86,10 @@ def check(snapshot):
                     f"{below}={counters[below]}"
                 )
 
-    # Span aggregates must be internally consistent.
+    # Span aggregates must be internally consistent, and the v2
+    # histogram fields must describe exactly the same samples.
     for name, span in sorted(spans.items()):
+        errors.extend(cilib.histogram_errors(name, span))
         count = span.get("count", 0)
         if count == 0:
             continue

@@ -12,8 +12,17 @@ the process:
      identical fingerprint/verdict/tuples (the warm one from the
      cache), i.e. a served verdict never depends on cache state;
   4. malformed input gets a clean 4xx, not a dropped connection;
-  5. SIGTERM drains: exit code 0 and a final accounting line whose
-     partition `accepted = completed + shed + failed` balances.
+  5. /status reports live accounting and a per-endpoint latency table
+     with non-zero percentiles once traffic has flowed;
+  6. /trace/capture returns a well-formed Chrome-trace array covering
+     the recent requests, and rejects malformed queries with a 400;
+  7. SIGTERM drains: exit code 0 and a final accounting line whose
+     partition `accepted = completed + shed + failed` balances;
+  8. the stderr access log is valid JSON-lines: exactly one
+     serve.access record per accepted request, with the documented
+     schema, whose outcome partition cross-checks against the drain
+     accounting line; plus serve.boot and serve.drained lifecycle
+     records.
 
 Exit code 0 on success, 1 with a message per violation otherwise.
 Usage: check_serve_smoke.py <path-to-diffcode-binary>
@@ -59,6 +68,83 @@ def request(port, method, path, body=None):
 def request_json(port, method, path, body=None):
     status, raw = request(port, method, path, body)
     return status, json.loads(raw)
+
+
+ACCESS_KEYS = (
+    "request_id",
+    "method",
+    "path",
+    "endpoint",
+    "status",
+    "latency_ns",
+    "bytes",
+    "outcome",
+)
+
+
+def check_access_log(stderr, accepted, completed, shed, failed):
+    """Validates the structured stderr log against the drain accounting.
+
+    With the default `--log-format json`, every stderr line is one JSON
+    record. Access records (`event == "serve.access"`) must appear once
+    per accepted request with the full schema, and their outcome
+    partition must reproduce the drain line exactly:
+    `ok + deadline == completed`, `shed == shed`, `panic == failed`.
+    """
+    errors = []
+    outcomes = {"ok": 0, "deadline": 0, "shed": 0, "panic": 0}
+    events = {}
+    for line in stderr.splitlines():
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"access log: non-JSON stderr line {line!r}: {e}")
+            continue
+        event = rec.get("event")
+        events[event] = events.get(event, 0) + 1
+        for key in ("ts_ms", "level", "event"):
+            if key not in rec:
+                errors.append(f"access log: record missing {key}: {line!r}")
+        if event != "serve.access":
+            continue
+        for key in ACCESS_KEYS:
+            if key not in rec:
+                errors.append(f"access log: serve.access missing {key}: {line!r}")
+        outcome = rec.get("outcome")
+        if outcome in outcomes:
+            outcomes[outcome] += 1
+        else:
+            errors.append(f"access log: unknown outcome {outcome!r}: {line!r}")
+    n_access = events.get("serve.access", 0)
+    if n_access != accepted:
+        errors.append(
+            f"access log: {n_access} serve.access record(s) for "
+            f"{accepted} accepted request(s)"
+        )
+    if outcomes["ok"] + outcomes["deadline"] != completed:
+        errors.append(
+            f"access log: ok={outcomes['ok']} + deadline={outcomes['deadline']} "
+            f"!= completed={completed}"
+        )
+    if outcomes["shed"] != shed:
+        errors.append(f"access log: shed={outcomes['shed']} != drained shed={shed}")
+    if outcomes["panic"] != failed:
+        errors.append(f"access log: panic={outcomes['panic']} != drained failed={failed}")
+    if events.get("serve.boot", 0) != 1:
+        errors.append(f"access log: expected one serve.boot event, got {events.get('serve.boot', 0)}")
+    if events.get("serve.drained", 0) != 1:
+        errors.append(
+            f"access log: expected one serve.drained event, got {events.get('serve.drained', 0)}"
+        )
+    if not errors:
+        print(
+            f"serve smoke: access log OK with {n_access} record(s) "
+            f"(ok={outcomes['ok']} deadline={outcomes['deadline']} "
+            f"shed={outcomes['shed']} panic={outcomes['panic']})"
+        )
+    return errors
 
 
 def main():
@@ -142,7 +228,61 @@ def main():
             if status != 200:
                 errors.append(f"/metrics: expected 200, got {status}")
 
-            # 8. SIGTERM: graceful drain, exit 0, balanced accounting.
+            # 8. /status: live introspection with per-endpoint
+            # percentiles (non-zero after the traffic above).
+            status, page = request_json(port, "GET", "/status")
+            if status != 200:
+                errors.append(f"/status: expected 200, got {status}")
+            else:
+                if page.get("draining") is not False:
+                    errors.append(f"/status: draining should be false, got {page.get('draining')}")
+                accepted_live = page.get("requests", {}).get("accepted", 0)
+                if accepted_live < 8:
+                    errors.append(
+                        f"/status: requests.accepted={accepted_live} below the "
+                        "traffic already sent"
+                    )
+                endpoints = page.get("endpoints", {})
+                for endpoint in ("all", "mine", "healthz"):
+                    row = endpoints.get(endpoint)
+                    if not row:
+                        errors.append(f"/status: endpoints.{endpoint} missing")
+                        continue
+                    for key in ("p50_ns", "p95_ns", "p99_ns"):
+                        if not row.get(key, 0) > 0:
+                            errors.append(
+                                f"/status: endpoints.{endpoint}.{key} must be "
+                                f"non-zero, got {row.get(key)}"
+                            )
+
+            # 9. /trace/capture: a Chrome-trace array of recent events.
+            status, raw = request(port, "GET", "/trace/capture?events=64")
+            if status != 200:
+                errors.append(f"/trace/capture: expected 200, got {status}")
+            else:
+                try:
+                    trace = json.loads(raw)
+                except json.JSONDecodeError as e:
+                    errors.append(f"/trace/capture: invalid JSON: {e}")
+                    trace = []
+                if not isinstance(trace, list):
+                    errors.append(f"/trace/capture: expected a JSON array, got {type(trace).__name__}")
+                else:
+                    bad = [
+                        e for e in trace
+                        if not isinstance(e, dict)
+                        or any(k not in e for k in ("name", "ph", "pid", "tid", "ts"))
+                        or e["ph"] != "i"
+                    ]
+                    if bad:
+                        errors.append(f"/trace/capture: malformed event(s): {bad[:3]}")
+                    if not any(e.get("name") == "serve.request" for e in trace if isinstance(e, dict)):
+                        errors.append("/trace/capture: no serve.request events captured")
+            status, _ = request(port, "GET", "/trace/capture?events=nope")
+            if status != 400:
+                errors.append(f"/trace/capture (malformed query): expected 400, got {status}")
+
+            # 10. SIGTERM: graceful drain, exit 0, balanced accounting.
             proc.send_signal(signal.SIGTERM)
             try:
                 stdout, stderr = proc.communicate(timeout=DRAIN_TIMEOUT_S)
@@ -172,6 +312,7 @@ def main():
                     f"serve smoke: drained with accepted={accepted} "
                     f"completed={completed} shed={shed} failed={failed} flushed={flushed}"
                 )
+                errors.extend(check_access_log(stderr, accepted, completed, shed, failed))
         finally:
             if proc.poll() is None:
                 proc.kill()
@@ -180,7 +321,8 @@ def main():
     return cilib.report(
         "SERVE",
         errors,
-        "ok: serve smoke passed (endpoints, warm-cache parity, SIGTERM drain)",
+        "ok: serve smoke passed (endpoints, warm-cache parity, /status "
+        "percentiles, trace capture, structured access log, SIGTERM drain)",
     )
 
 

@@ -100,6 +100,69 @@ def hit_rate_errors(counters, prefix, enabling_flag, min_rate=MIN_HIT_RATE):
     return errors, hits, misses, stale
 
 
+# The v2 snapshot's quantile keys, in the order they must not decrease.
+SPAN_QUANTILES = ["p50_ns", "p90_ns", "p95_ns", "p99_ns", "p999_ns"]
+
+
+def histogram_errors(name, span):
+    """Validates the version-2 histogram fields of one snapshot span.
+
+    Checks: quantile keys present and non-decreasing; `buckets` is a
+    sparse cumulative distribution of [upper_edge_ns, samples_le_edge]
+    pairs with strictly increasing edges and strictly increasing
+    cumulative counts (only hit buckets appear); the last cumulative
+    count equals the span's `count`; `max_ns` lies at or below the last
+    edge; every reported quantile is one of the bucket edges (quantiles
+    are inclusive upper edges of hit buckets, never interpolated).
+    """
+    errors = []
+    count = span.get("count", 0)
+    missing = [key for key in SPAN_QUANTILES + ["buckets"] if key not in span]
+    if missing:
+        return [f"span {name}: missing v2 histogram fields: {', '.join(missing)}"]
+    quantiles = [span[key] for key in SPAN_QUANTILES]
+    if any(a > b for a, b in zip(quantiles, quantiles[1:])):
+        errors.append(f"span {name}: quantiles not monotone: {quantiles}")
+    buckets = span["buckets"]
+    if not isinstance(buckets, list) or any(
+        not (isinstance(pair, list) and len(pair) == 2) for pair in buckets
+    ):
+        errors.append(f"span {name}: buckets is not a list of [edge, cum] pairs")
+        return errors
+    edges = [pair[0] for pair in buckets]
+    cums = [pair[1] for pair in buckets]
+    if any(a >= b for a, b in zip(edges, edges[1:])):
+        errors.append(f"span {name}: bucket edges not strictly increasing: {edges}")
+    if any(a >= b for a, b in zip(cums, cums[1:])):
+        errors.append(
+            f"span {name}: cumulative counts not strictly increasing: {cums}"
+        )
+    if count == 0:
+        if buckets:
+            errors.append(f"span {name}: count=0 but buckets non-empty: {buckets}")
+        return errors
+    if not buckets:
+        errors.append(f"span {name}: count={count} but no buckets recorded")
+        return errors
+    if cums[-1] != count:
+        errors.append(
+            f"span {name}: last cumulative count {cums[-1]} != count {count}"
+        )
+    if span.get("max_ns", 0) > edges[-1]:
+        errors.append(
+            f"span {name}: max_ns={span.get('max_ns')} above the last "
+            f"bucket edge {edges[-1]}"
+        )
+    edge_set = set(edges)
+    stray = [q for q in quantiles if q not in edge_set]
+    if stray:
+        errors.append(
+            f"span {name}: quantile(s) {stray} are not bucket edges "
+            f"(quantiles must be inclusive upper edges of hit buckets)"
+        )
+    return errors
+
+
 def report(gate, errors, ok_message, out=None):
     """Prints violations (or the success line) uniformly and returns
     the process exit code."""

@@ -155,7 +155,7 @@ fn json_snapshot_carries_the_funnel() {
     let (_, _) = apply_filters_with_metrics(result.changes, &mut registry);
 
     let json = registry.to_json();
-    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"version\": 2"), "{json}");
     for stage in [
         "filter.total",
         "filter.after_fsame",
@@ -177,5 +177,76 @@ fn json_snapshot_carries_the_funnel() {
     assert!(
         json.contains("\"mine.run\": {"),
         "snapshot missing mine.run span"
+    );
+    // v2: every span carries quantiles and its cumulative bucket list.
+    for key in ["\"p50_ns\":", "\"p99_ns\":", "\"buckets\":"] {
+        assert!(json.contains(key), "snapshot missing {key}: {json}");
+    }
+}
+
+/// Span histograms obey the registry's shard-merge law: recording a
+/// set of durations sharded across registries and merging gives
+/// exactly the histogram of recording them all in one registry. (The
+/// wall-clock spans of a parallel mining run differ run to run, so the
+/// equality is checked over fixed synthetic durations — the same
+/// absorb path `mine_parallel_with_metrics` uses on shard join.)
+#[test]
+fn sharded_histogram_merge_matches_sequential_recording() {
+    use std::time::Duration;
+    // Deterministic durations spanning several octaves of the layout.
+    let durations: Vec<Duration> = (0..500u64)
+        .map(|i| Duration::from_nanos((i * i * 997 + i * 31 + 1) % 10_000_000))
+        .collect();
+
+    let mut sequential = MetricsRegistry::new();
+    for d in &durations {
+        sequential.record_span("mine.change", *d);
+    }
+
+    let mut merged = MetricsRegistry::new();
+    for shard in durations.chunks(137) {
+        let mut worker = MetricsRegistry::new();
+        for d in shard {
+            worker.record_span("mine.change", *d);
+        }
+        merged.merge(&worker);
+    }
+
+    assert_eq!(
+        merged.hist("mine.change"),
+        sequential.hist("mine.change"),
+        "merged shard histograms must equal a single-registry recording"
+    );
+    // And the quantiles the snapshot/status surfaces agree too.
+    let (m, s) = (
+        merged.hist("mine.change").unwrap(),
+        sequential.hist("mine.change").unwrap(),
+    );
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        assert_eq!(m.quantile(q), s.quantile(q));
+    }
+}
+
+/// A parallel mining run's merged histogram partitions the same
+/// per-change samples as the sequential run: counts and sums agree
+/// even though individual timings differ.
+#[test]
+fn parallel_histogram_count_matches_sequential() {
+    let corpus = corpus_under_test();
+
+    let mut dc = DiffCode::new();
+    let _ = dc.mine(&corpus, &[]);
+    let sequential = dc.take_metrics();
+
+    let mut parallel = MetricsRegistry::new();
+    let _ = mine_parallel_with_metrics(&corpus, &[], 4, &mut parallel);
+
+    let seq = sequential.hist("mine.change").expect("sequential hist");
+    let par = parallel.hist("mine.change").expect("parallel hist");
+    assert_eq!(seq.count(), par.count(), "one histogram sample per change");
+    assert_eq!(
+        seq.count(),
+        sequential.span("mine.change").unwrap().count,
+        "histogram and span stats count the same events"
     );
 }

@@ -445,6 +445,141 @@ fn shutdown_drains_and_flushes_the_cache_log() {
 }
 
 // ---------------------------------------------------------------------
+// Observability: access-log partition, /status percentiles, /trace
+// ---------------------------------------------------------------------
+
+/// Every accepted connection produces exactly one structured access
+/// record, and the records partition by outcome exactly like the
+/// counters do: `accepted = (ok + deadline) + shed + panic`. `/status`
+/// serves non-zero latency percentiles per endpoint and
+/// `/trace/capture` serves valid Chrome-trace JSON.
+#[test]
+fn access_log_partitions_and_introspection_endpoints_work() {
+    let log_path =
+        std::env::temp_dir().join(format!("serve_soak_log_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let handle = spawn(ServeConfig {
+        logger: obs::Logger::file(
+            &log_path,
+            16 * 1024 * 1024,
+            obs::LogFormat::Json,
+            obs::LogLevel::Info,
+        ),
+        ..test_config(1_000)
+    });
+    let addr = handle.addr();
+
+    let (old, new) = figure2_pair();
+    for _ in 0..3 {
+        let (status, _, _) = request(addr, "POST", "/mine", &[], &mine_body(old, new));
+        assert_eq!(status, 200);
+    }
+    let (status, _, _) = request(addr, "GET", "/healthz", &[("X-Chaos-Panic", "1")], b"");
+    assert_eq!(status, 500);
+
+    // /status: live accounting plus the per-endpoint percentile table.
+    let (status, _, body) = request(addr, "GET", "/status", &[], b"");
+    assert_eq!(status, 200);
+    let page = json_body(&body);
+    assert!(
+        matches!(page.get("draining"), Some(Json::Bool(false))),
+        "not draining while serving"
+    );
+    let accepted = page
+        .get("requests")
+        .and_then(|r| r.get("accepted"))
+        .and_then(Json::as_num)
+        .expect("requests.accepted");
+    assert!(accepted >= 4.0, "status sees the traffic: {accepted}");
+    for endpoint in ["all", "mine", "healthz"] {
+        let row = page
+            .get("endpoints")
+            .and_then(|e| e.get(endpoint))
+            .unwrap_or_else(|| panic!("endpoints.{endpoint} missing"));
+        assert!(
+            row.get("count").and_then(Json::as_num).expect("count") >= 1.0,
+            "endpoints.{endpoint}.count"
+        );
+        for key in ["p50_ns", "p90_ns", "p95_ns", "p99_ns", "p999_ns"] {
+            let v = row
+                .get(key)
+                .and_then(Json::as_num)
+                .unwrap_or_else(|| panic!("endpoints.{endpoint}.{key} missing"));
+            assert!(v > 0.0, "endpoints.{endpoint}.{key} must be non-zero");
+        }
+    }
+
+    // /trace/capture: a valid Chrome-trace snapshot of recent requests.
+    let (status, _, body) = request(addr, "GET", "/trace/capture?events=50", &[], b"");
+    assert_eq!(status, 200);
+    let text = std::str::from_utf8(&body).expect("UTF-8 trace");
+    assert!(
+        text.contains("serve.request"),
+        "trace names requests: {text}"
+    );
+    serve::json::parse(text).expect("trace capture is valid JSON");
+    let (status, _, _) = request(addr, "GET", "/trace/capture?events=zero", &[], b"");
+    assert_eq!(status, 400, "malformed capture query is rejected");
+
+    let summary = settle_and_shutdown(handle);
+
+    // Drain ran Logger::sync, so the file is complete. Every line must
+    // be valid JSON with the documented schema, and access records must
+    // partition exactly like the counters.
+    let text = std::fs::read_to_string(&log_path).expect("log file written");
+    let (mut access, mut ok, mut shed, mut deadline, mut panicked) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut boots, mut lifecycle) = (0u64, 0u64);
+    for line in text.lines() {
+        let rec = serve::json::parse(line).expect("every log line is one valid JSON record");
+        for key in ["ts_ms", "level", "event"] {
+            assert!(rec.get(key).is_some(), "record missing {key}: {line}");
+        }
+        match rec.get("event").and_then(Json::as_str).expect("event name") {
+            "serve.access" => {
+                access += 1;
+                for key in [
+                    "request_id",
+                    "method",
+                    "path",
+                    "endpoint",
+                    "status",
+                    "latency_ns",
+                    "bytes",
+                    "outcome",
+                ] {
+                    assert!(
+                        rec.get(key).is_some(),
+                        "access record missing {key}: {line}"
+                    );
+                }
+                match rec.get("outcome").and_then(Json::as_str).expect("outcome") {
+                    "ok" => ok += 1,
+                    "shed" => shed += 1,
+                    "deadline" => deadline += 1,
+                    "panic" => panicked += 1,
+                    other => panic!("unknown outcome {other}: {line}"),
+                }
+            }
+            "serve.boot" => boots += 1,
+            "serve.drain" | "serve.drained" | "serve.cache_flush" => lifecycle += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(access, summary.accepted, "one access record per request");
+    assert_eq!(ok + deadline, summary.completed, "completed partition");
+    assert_eq!(shed, summary.shed, "shed partition");
+    assert_eq!(panicked, summary.failed, "failed partition");
+    assert_eq!(boots, 1, "exactly one boot event");
+    assert!(lifecycle >= 2, "drain + drained events logged");
+    assert_eq!(
+        summary.registry.gauge("serve.log_dropped"),
+        Some(0.0),
+        "nothing overflowed the log queue"
+    );
+    let _ = std::fs::remove_file(&log_path);
+}
+
+// ---------------------------------------------------------------------
 // Property: any interleaving of ok/slow/panicking/oversized requests
 // keeps the partition exact and /metrics deterministic
 // ---------------------------------------------------------------------
